@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark suite.
+
+Scale is controlled by the ``REPRO_BENCH_SF`` environment variable
+(default 0.02 ≈ 120k LINEITEM tuples, a few seconds per experiment).
+Every paper table/figure has one benchmark; each prints its paper-style
+result table (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_sf() -> float:
+    return float(os.environ.get("REPRO_BENCH_SF", "0.02"))
+
+
+def run_once(benchmark, experiment, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        lambda: experiment(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

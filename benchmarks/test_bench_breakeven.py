@@ -1,0 +1,16 @@
+"""F5 — runtime vs ambivalent fraction; the ~25% break-even (Figure 5)."""
+
+import math
+
+from repro.bench.experiments import exp_breakeven_sweep
+
+from conftest import run_once
+
+
+def test_bench_breakeven_sweep(benchmark, bench_sf):
+    result = run_once(benchmark, exp_breakeven_sweep, scale_factor=bench_sf)
+    breakeven = result.metric("breakeven_fraction")
+    assert not math.isnan(breakeven)
+    assert 0.12 <= breakeven <= 0.40  # paper: "about 25%"
+    assert result.metric("scan_flatness") < 1.05
+    assert result.metric("sma_over_scan_at_max") < 1.4

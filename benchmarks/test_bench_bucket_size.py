@@ -1,0 +1,11 @@
+"""E10 — the Section 4 bucket-size trade-off."""
+
+from repro.bench.experiments import exp_bucket_size
+
+from conftest import run_once
+
+
+def test_bench_bucket_size(benchmark, bench_sf):
+    result = run_once(benchmark, exp_bucket_size, scale_factor=bench_sf)
+    # Bigger buckets shrink SMA-files — the first half of the trade-off.
+    assert result.metric("sma_pages_ppb_max") < result.metric("sma_pages_ppb1")

@@ -1,0 +1,14 @@
+"""F2 — diagonal data distribution and the clustering payoff."""
+
+from repro.bench.experiments import exp_diagonal_distribution
+
+from conftest import run_once
+
+
+def test_bench_diagonal_distribution(benchmark, bench_sf):
+    result = run_once(
+        benchmark, exp_diagonal_distribution, scale_factor=bench_sf / 2
+    )
+    assert result.metric("correlation") > 0.99
+    assert result.metric("amb_toc") < 0.2
+    assert result.metric("amb_uniform") > 0.9

@@ -1,0 +1,51 @@
+"""X1–X4 — extensions: Query 6, B+-tree pathology, hardware ablation,
+projection-index comparison."""
+
+from repro.bench.experiments import (
+    exp_bitmap_vs_sma,
+    exp_btree_uselessness,
+    exp_modern_hardware,
+    exp_projection_index,
+    exp_query6,
+    exp_scaling_linearity,
+)
+
+from conftest import run_once
+
+
+def test_bench_query6(benchmark, bench_sf):
+    result = run_once(benchmark, exp_query6, scale_factor=bench_sf)
+    assert result.metric("speedup") > 2
+
+
+def test_bench_btree_uselessness(benchmark, bench_sf):
+    result = run_once(benchmark, exp_btree_uselessness, scale_factor=bench_sf / 2)
+    assert result.metric("slowdown") > 5
+
+
+def test_bench_modern_hardware(benchmark, bench_sf):
+    result = run_once(benchmark, exp_modern_hardware, scale_factor=bench_sf)
+    assert result.metric("speedup_1998") > 1
+    assert result.metric("speedup_modern") > 1
+
+
+def test_bench_projection_index(benchmark, bench_sf):
+    result = run_once(benchmark, exp_projection_index, scale_factor=bench_sf / 2)
+    assert result.metric("page_ratio") > 5
+
+
+def test_bench_scaling_linearity(benchmark):
+    result = run_once(benchmark, exp_scaling_linearity)
+    assert result.metric("r2_scan") > 0.999
+
+
+def test_bench_bitmap_vs_sma(benchmark, bench_sf):
+    result = run_once(benchmark, exp_bitmap_vs_sma, scale_factor=bench_sf / 2)
+    assert result.metric("sum_advantage") > 5
+
+
+def test_bench_versatility(benchmark, bench_sf):
+    from repro.bench.experiments import exp_versatility
+
+    result = run_once(benchmark, exp_versatility, scale_factor=bench_sf / 2)
+    assert result.metric("fraction_served") >= 0.75

@@ -1,0 +1,14 @@
+"""E7 — hierarchical SMAs: first-level reads saved (Section 4)."""
+
+from repro.bench.experiments import exp_hierarchical
+
+from conftest import run_once
+
+
+def test_bench_hierarchical(benchmark, bench_sf):
+    result = run_once(benchmark, exp_hierarchical, scale_factor=bench_sf)
+    assert result.metric("entries_saved_low") > 0
+    assert result.metric("entries_saved_high") > 0
+    # "the second level SMA is useful for rather high and rather low
+    # selectivities": savings at the extremes beat the midpoint.
+    assert result.metric("entries_saved_low") >= result.metric("entries_saved_mid")

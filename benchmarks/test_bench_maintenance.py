@@ -1,0 +1,11 @@
+"""E9 — maintenance costs: bulk insert and tuple update (Section 2.1)."""
+
+from repro.bench.experiments import exp_maintenance
+
+from conftest import run_once
+
+
+def test_bench_maintenance(benchmark, bench_sf):
+    result = run_once(benchmark, exp_maintenance, scale_factor=bench_sf / 4)
+    assert result.metric("sma_write_overhead") < 0.5
+    assert result.metric("insert_writes_per_tuple") < 0.2

@@ -1,0 +1,129 @@
+"""Micro-benchmarks for the hot paths (repeated-round measurements).
+
+These are standard pytest-benchmark targets (many rounds, statistical
+output): bucket grading, SMA-file scanning, heap-file bucket reads, and
+vectorised predicate/expression evaluation — the operations whose
+per-call cost determines whether the scan-speed evaluation holds up in
+pure Python + numpy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grade import partition_column_const
+from repro.lang.expr import col, const, mul, sub
+from repro.lang.predicate import CmpOp, and_, cmp
+from repro.tpcd.schema import LINEITEM
+
+
+@pytest.fixture(scope="module")
+def bounds():
+    rng = np.random.default_rng(0)
+    mins = np.sort(rng.integers(0, 100_000, size=200_000)).astype(np.int32)
+    maxs = mins + rng.integers(1, 50, size=200_000).astype(np.int32)
+    return mins, maxs
+
+
+def test_grading_200k_buckets(benchmark, bounds):
+    """Grade 200k buckets (≈ SF=1 LINEITEM) for one range predicate."""
+    mins, maxs = bounds
+    result = benchmark(
+        partition_column_const, CmpOp.LE, 50_000, len(mins),
+        mins=mins, maxs=maxs,
+    )
+    assert result.num_buckets == len(mins)
+
+
+@pytest.fixture(scope="module")
+def lineitem_batch():
+    rng = np.random.default_rng(1)
+    n = 32_768
+    return LINEITEM.batch_from_columns(
+        L_ORDERKEY=rng.integers(1, 10_000, n).astype(np.int32),
+        L_PARTKEY=rng.integers(1, 10_000, n).astype(np.int32),
+        L_SUPPKEY=rng.integers(1, 1000, n).astype(np.int32),
+        L_LINENUMBER=np.ones(n, dtype=np.int32),
+        L_QUANTITY=rng.integers(1, 51, n).astype(np.float64),
+        L_EXTENDEDPRICE=rng.uniform(900, 105_000, n),
+        L_DISCOUNT=rng.integers(0, 11, n) / 100.0,
+        L_TAX=rng.integers(0, 9, n) / 100.0,
+        L_RETURNFLAG=np.full(n, b"N", dtype="S1"),
+        L_LINESTATUS=np.full(n, b"O", dtype="S1"),
+        L_SHIPDATE=rng.integers(8000, 10_556, n).astype(np.int32),
+        L_COMMITDATE=rng.integers(8000, 10_556, n).astype(np.int32),
+        L_RECEIPTDATE=rng.integers(8000, 10_556, n).astype(np.int32),
+        L_SHIPINSTRUCT=np.full(n, b"NONE", dtype="S25"),
+        L_SHIPMODE=np.full(n, b"MAIL", dtype="S10"),
+        L_COMMENT=np.full(n, b"x", dtype="S27"),
+    )
+
+
+def test_predicate_evaluation_32k_tuples(benchmark, lineitem_batch):
+    """Query 6's conjunctive predicate over a 32k-tuple batch."""
+    predicate = and_(
+        cmp("L_SHIPDATE", ">=", 8766),
+        cmp("L_SHIPDATE", "<", 9131),
+        cmp("L_DISCOUNT", ">=", 0.05),
+        cmp("L_DISCOUNT", "<=", 0.07),
+        cmp("L_QUANTITY", "<", 24.0),
+    ).bind(LINEITEM)
+    mask = benchmark(predicate.evaluate, lineitem_batch)
+    assert mask.dtype == bool
+
+
+def test_expression_evaluation_32k_tuples(benchmark, lineitem_batch):
+    """Query 1's charge expression over a 32k-tuple batch."""
+    expr = mul(
+        mul(col("L_EXTENDEDPRICE"), sub(const(1), col("L_DISCOUNT"))),
+        sub(const(1), col("L_TAX")),
+    ).bind(LINEITEM)
+    values = benchmark(expr.evaluate, lineitem_batch)
+    assert len(values) == len(lineitem_batch)
+
+
+def test_bucket_read_throughput(benchmark, tmp_path):
+    """Warm bucket reads through the pool (the ambivalent-fetch path)."""
+    from repro.storage import BufferPool, HeapFile
+
+    pool = BufferPool(capacity_pages=4096)
+    heap = HeapFile.create(str(tmp_path / "t.heap"), LINEITEM, pool)
+    rng = np.random.default_rng(2)
+
+    batch = np.zeros(32 * 64, dtype=LINEITEM.record_dtype)
+    batch["L_SHIPDATE"] = rng.integers(8000, 10_556, len(batch))
+    heap.append_batch(batch)
+
+    def read_all_buckets():
+        total = 0
+        for bucket_no in range(heap.num_buckets):
+            total += len(heap.read_bucket(bucket_no))
+        return total
+
+    assert benchmark(read_all_buckets) == len(batch)
+    heap.close()
+
+
+def test_sma_build_throughput(benchmark, tmp_path):
+    """Accumulate the full Figure 4 SMA set over in-memory buckets."""
+    from repro.core.builder import build_sma_set
+    from repro.storage import Catalog
+    from repro.tpcd.loader import load_lineitem
+    from repro.tpcd.queries import query1_sma_definitions
+
+    catalog = Catalog(str(tmp_path / "db"))
+    loaded = load_lineitem(catalog, scale_factor=0.005, build_smas=False)
+
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        sma_set, _ = build_sma_set(
+            loaded.table,
+            query1_sma_definitions(),
+            directory=str(tmp_path / f"smas{counter[0]}"),
+            name=f"bench{counter[0]}",
+        )
+        return sma_set.num_files
+
+    assert benchmark.pedantic(build, rounds=3, iterations=1) == 26
+    catalog.close()

@@ -1,0 +1,15 @@
+"""E4 — the headline table: Query 1 scan vs SMA cold vs SMA warm."""
+
+from repro.bench.experiments import exp_query1_speedup
+
+from conftest import run_once
+
+
+def test_bench_query1_speedup(benchmark, bench_sf):
+    result = run_once(benchmark, exp_query1_speedup, scale_factor=bench_sf)
+    # The paper's "two orders of magnitude" claim on the simulated clock.
+    assert result.metric("speedup_warm") > 30
+    assert result.metric("speedup_cold") > 3
+    # Projection onto the paper's SF=1 absolute numbers.
+    assert abs(result.metric("proj_scan_s") - 128) / 128 < 0.2
+    assert abs(result.metric("proj_warm_s") - 1.9) / 1.9 < 0.4

@@ -1,0 +1,10 @@
+"""E8 — semi-join input reduction via SMAs (Section 4)."""
+
+from repro.bench.experiments import exp_semijoin
+
+from conftest import run_once
+
+
+def test_bench_semijoin(benchmark, bench_sf):
+    result = run_once(benchmark, exp_semijoin, scale_factor=bench_sf / 2)
+    assert result.metric("reduction") > 0.5

@@ -1,0 +1,11 @@
+"""E1 — SMA creation time and size (Section 2.4, first table)."""
+
+from repro.bench.experiments import exp_sma_creation
+
+from conftest import run_once
+
+
+def test_bench_sma_creation(benchmark, bench_sf):
+    result = run_once(benchmark, exp_sma_creation, scale_factor=bench_sf)
+    assert len(result.rows) == 8
+    assert 0.9 <= result.metric("pages_per_1k_buckets_min") <= 1.5

@@ -1,0 +1,26 @@
+"""E2/E3/E5 — space comparisons: SMAs vs relation, B+-tree, data cube."""
+
+from repro.bench.experiments import (
+    exp_datacube_space,
+    exp_sma_file_ratio,
+    exp_space_overhead,
+)
+
+from conftest import run_once
+
+
+def test_bench_space_overhead(benchmark, bench_sf):
+    result = run_once(benchmark, exp_space_overhead, scale_factor=bench_sf)
+    assert result.metric("sma_fraction") < 0.08
+    assert result.metric("btree_fraction") > result.metric("sma_fraction")
+
+
+def test_bench_datacube_space(benchmark):
+    result = run_once(benchmark, exp_datacube_space, scale_factor=0.005)
+    assert result.metric("formula_matches") == 1.0
+    assert result.metric("cube3_over_sma") > 10_000
+
+
+def test_bench_sma_file_ratio(benchmark, bench_sf):
+    result = run_once(benchmark, exp_sma_file_ratio, scale_factor=bench_sf)
+    assert 0.0008 <= result.metric("ratio") <= 0.0012

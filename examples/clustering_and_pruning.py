@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Why SMAs work: implicit clustering and bucket pruning (Figure 2).
+
+Loads the same LINEITEM data under three physical layouts — perfectly
+sorted, time-of-creation (the paper's diagonal data distribution), and
+uniformly shuffled — then grades all buckets for the same shipdate
+predicate under each layout and shows the qualifying / disqualifying /
+ambivalent split.  The clustering story of Section 2.2 appears directly
+in the numbers: SMAs prune almost everything on (even imperfectly)
+clustered data and nothing on shuffled data.
+
+Run:  python examples/clustering_and_pruning.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import Catalog, cmp
+from repro.bench.harness import format_table
+from repro.storage.types import int_to_date
+from repro.tpcd import diagonal_distribution, load_lineitem
+
+
+def main(scale_factor: float = 0.01) -> None:
+    # Figure 2's diagonal data distribution, in numbers: event dates vs
+    # warehouse-introduction dates are near-perfectly correlated.
+    rng = np.random.default_rng(11)
+    events, introductions = diagonal_distribution(rng, 50_000)
+    lag = introductions - events
+    correlation = np.corrcoef(events, introductions)[0, 1]
+    print("diagonal data distribution (Figure 2):")
+    print(f"  corr(event date, introduction date) = {correlation:.4f}")
+    print(f"  introduction lag: mean {lag.mean():.1f} days, "
+          f"std {lag.std():.1f} days, all >= 0: {bool((lag >= 0).all())}\n")
+
+    rows = []
+    for clustering in ("sorted", "toc", "uniform"):
+        with tempfile.TemporaryDirectory(prefix="repro-clust-") as directory:
+            catalog = Catalog(directory)
+            loaded = load_lineitem(
+                catalog, scale_factor=scale_factor, clustering=clustering
+            )
+            sma_set = loaded.sma_set
+            # Grade at the midpoint of the date range — a mid-selectivity
+            # predicate that is meaningful under every layout.
+            max_values = sma_set.files_of("max")[()].values(charge=False)
+            min_values = sma_set.files_of("min")[()].values(charge=False)
+            cutoff = int_to_date(
+                (int(min_values.min()) + int(max_values.max())) // 2
+            )
+            partitioning = sma_set.partition(
+                cmp("L_SHIPDATE", "<=", cutoff), charge=False
+            )
+            rows.append(
+                (
+                    clustering,
+                    partitioning.num_buckets,
+                    partitioning.num_qualifying,
+                    partitioning.num_disqualifying,
+                    partitioning.num_ambivalent,
+                    f"{partitioning.fraction_ambivalent:.1%}",
+                )
+            )
+            catalog.close()
+    print("bucket grading for `L_SHIPDATE <= median` under each layout:")
+    print(format_table(
+        ["clustering", "buckets", "qualify", "disqualify", "ambivalent", "amb %"],
+        rows,
+    ))
+    print("\nreading: with clustering, nearly every bucket is settled from "
+          "the SMA-files alone; uniformly shuffled data makes every bucket "
+          "span the whole date range, so min/max pruning cannot help — "
+          "exactly the paper's Section 2.2 argument.")
+
+
+if __name__ == "__main__":
+    main()

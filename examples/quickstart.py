@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: build a table, define SMAs in SQL, run a query both ways.
+
+Creates a small sales table, defines min/max/count/sum SMAs with the
+paper's ``define sma`` syntax, and runs one grouping-aggregation query
+with and without SMAs, printing the rows, plan choice and both clocks
+(measured wall time and simulated 1998-hardware time).
+
+Run:  python examples/quickstart.py
+"""
+
+import datetime
+import tempfile
+
+from repro import Catalog, Schema, Session, INT32, DATE, FLOAT64, char
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as directory:
+        catalog = Catalog(directory)
+
+        # A toy fact table: orders trickle in roughly by date, so the
+        # physical order is (approximately) date order — the implicit
+        # time-of-creation clustering the paper builds on.
+        schema = Schema.of(
+            ("order_id", INT32),
+            ("sold_on", DATE),
+            ("amount", FLOAT64),
+            ("region", char(5)),
+        )
+        sales = catalog.create_table("SALES", schema, clustered_on="sold_on")
+        start = datetime.date(2024, 1, 1)
+        rows = [
+            (
+                i,
+                start + datetime.timedelta(days=i // 200),
+                float(10 + i % 90),
+                ["NORTH", "SOUTH", "EAST", "WEST"][i % 4],
+            )
+            for i in range(50_000)
+        ]
+        sales.append_rows(rows)
+        print(f"loaded {sales.num_records} rows into {sales.num_buckets} buckets")
+
+        # Define the SMAs with the paper's syntax: ungrouped min/max on
+        # the clustered date column for predicate grading, grouped
+        # count/sum for answering aggregates straight from the SMA-files.
+        session = Session(catalog)
+        sma_set, reports = session.define_smas(
+            """
+            define sma sold_min select min(sold_on) from SALES;
+            define sma sold_max select max(sold_on) from SALES;
+            define sma cnt   select count(*)    from SALES group by region;
+            define sma rev   select sum(amount) from SALES group by region;
+            """,
+            set_name="sales_smas",
+        )
+        print(f"built {sma_set.num_files} SMA-files, {sma_set.total_pages} pages "
+              f"({sma_set.total_bytes / sales.size_bytes:.2%} of the table)\n")
+
+        query = """
+            SELECT region, SUM(amount) AS revenue, AVG(amount) AS avg_sale,
+                   COUNT(*) AS n
+            FROM SALES
+            WHERE sold_on <= DATE '2024-03-01'
+            GROUP BY region
+            ORDER BY region
+        """
+        with_sma = session.sql(query, mode="sma", cold=True)
+        without = session.sql(query, mode="scan", cold=True)
+
+        print("results (identical for both plans):")
+        print(with_sma)
+        print()
+        print(f"SMA plan : {with_sma.plan.strategy}, "
+              f"{with_sma.plan.fraction_ambivalent:.1%} ambivalent buckets, "
+              f"simulated {with_sma.simulated_seconds * 1000:.1f} ms")
+        print(f"scan plan: {without.plan.strategy}, "
+              f"simulated {without.simulated_seconds * 1000:.1f} ms")
+        print(f"speedup  : {without.simulated_seconds / with_sma.simulated_seconds:.1f}x "
+              f"(simulated 1998 hardware)")
+        assert with_sma.rows == without.rows
+
+        # The planner makes this choice itself in auto mode:
+        auto = session.sql(query)
+        print(f"auto mode chose: {auto.plan.strategy} ({auto.plan.reason})")
+        catalog.close()
+
+
+if __name__ == "__main__":
+    main()

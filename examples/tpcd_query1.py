@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment: TPC-D Query 1 with and without SMAs.
+
+Loads LINEITEM sorted on L_SHIPDATE (the paper's optimal case), builds
+the eight Figure 4 SMA definitions (26 SMA-files), and reproduces the
+Section 2.4 runtime table: full scan vs SMA cold vs SMA warm, with a
+linear projection of the simulated clock to the paper's SF=1 scale.
+
+Run:  python examples/tpcd_query1.py [scale_factor]
+"""
+
+import sys
+import tempfile
+
+from repro import Catalog, PAPER_DISK, Session
+from repro.bench.experiments import PAPER_SF1_BUCKETS, _project_stats
+from repro.bench.harness import format_table, human_seconds
+from repro.tpcd import load_lineitem, query1
+
+
+def main(scale_factor: float = 0.05) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-q1-") as directory:
+        catalog = Catalog(directory, buffer_pages=8192)
+        print(f"generating + loading LINEITEM at SF={scale_factor} "
+              f"(sorted on L_SHIPDATE) ...")
+        loaded = load_lineitem(
+            catalog, scale_factor=scale_factor, clustering="sorted"
+        )
+        table = loaded.table
+        sma_set = loaded.sma_set
+        print(f"  {table.num_records} tuples, {table.num_buckets} buckets, "
+              f"{table.size_bytes / 2**20:.1f} MiB")
+        print(f"  {sma_set.num_files} SMA-files "
+              f"({sma_set.total_bytes / table.size_bytes:.1%} of the relation)\n")
+
+        session = Session(catalog)
+        query = query1(delta=90)
+        factor = PAPER_SF1_BUCKETS / table.num_buckets
+
+        runs = [
+            ("Query 1 without SMAs (cold)", session.execute(query, mode="scan", cold=True), "128 s"),
+            ("Query 1 with SMAs (cold)", session.execute(query, mode="sma", cold=True), "4.9 s"),
+            ("Query 1 with SMAs (warm)", session.execute(query, mode="sma"), "1.9 s"),
+        ]
+        rows = []
+        for label, result, paper in runs:
+            projected = PAPER_DISK.seconds(_project_stats(result.stats, factor))
+            rows.append(
+                (
+                    label,
+                    human_seconds(result.wall_seconds),
+                    human_seconds(result.simulated_seconds),
+                    human_seconds(projected),
+                    paper,
+                )
+            )
+        print(format_table(
+            ["configuration", "wall", "simulated", "projected@SF=1", "paper@SF=1"],
+            rows,
+        ))
+        scan, cold, warm = (r for _, r, _ in runs)
+        print(f"\nspeedup (simulated): {scan.simulated_seconds / cold.simulated_seconds:.1f}x cold, "
+              f"{scan.simulated_seconds / warm.simulated_seconds:.1f}x warm")
+        print(f"ambivalent buckets: {cold.plan.fraction_ambivalent:.2%}")
+        print("\nQuery 1 result (both plans return identical rows):")
+        print(warm)
+        catalog.close()
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

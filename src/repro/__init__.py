@@ -1,0 +1,139 @@
+"""repro — Small Materialized Aggregates (Moerkotte, VLDB 1998).
+
+A complete, from-scratch reproduction of the SMA paper: a paged storage
+engine with a calibrated 1998-era cost model, a TPC-D data generator,
+the SMA index structure itself (definitions, SMA-files, Section 3.1
+grading, SMA_Scan / SMA_GAggr operators, hierarchical and semi-join
+SMAs, incremental maintenance), the baselines the paper compares
+against (sequential scan, B⁺-tree, projection index, materialized data
+cube), a small SQL front-end, and one experiment per table/figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import Catalog, Session
+    from repro.tpcd import load_lineitem, query1
+
+    catalog = Catalog("./db")
+    load_lineitem(catalog, scale_factor=0.01, clustering="sorted")
+    session = Session(catalog)
+    result = session.execute(query1(), mode="auto")
+    print(result)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    SmaDefinitionError,
+    SmaStateError,
+    StorageError,
+)
+from repro.core import (
+    AggregateKind,
+    AggregateSpec,
+    BucketPartitioning,
+    Grade,
+    HierarchicalMinMax,
+    SmaDefinition,
+    SmaFile,
+    SmaMaintainer,
+    SmaSet,
+    build_sma_set,
+    count_star,
+    maximum,
+    minimum,
+    semijoin,
+    total,
+)
+from repro.core.aggregates import average
+from repro.lang import and_, cmp, col, const, not_, or_
+from repro.query import (
+    AggregateQuery,
+    OutputAggregate,
+    QueryResult,
+    ScanQuery,
+    Session,
+)
+from repro.sql import parse_definitions, parse_statement
+from repro.storage import (
+    BOOL,
+    BucketLayout,
+    Catalog,
+    Column,
+    DATE,
+    DiskModel,
+    FLOAT64,
+    INT32,
+    INT64,
+    IoStats,
+    MODERN_DISK,
+    PAPER_DISK,
+    Schema,
+    Table,
+    char,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateKind",
+    "AggregateQuery",
+    "AggregateSpec",
+    "BOOL",
+    "BucketLayout",
+    "BucketPartitioning",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "DATE",
+    "DiskModel",
+    "ExecutionError",
+    "FLOAT64",
+    "Grade",
+    "HierarchicalMinMax",
+    "INT32",
+    "INT64",
+    "IoStats",
+    "MODERN_DISK",
+    "OutputAggregate",
+    "PAPER_DISK",
+    "ParseError",
+    "PlanningError",
+    "QueryResult",
+    "ReproError",
+    "ScanQuery",
+    "Schema",
+    "SchemaError",
+    "Session",
+    "SmaDefinition",
+    "SmaDefinitionError",
+    "SmaFile",
+    "SmaMaintainer",
+    "SmaSet",
+    "SmaStateError",
+    "StorageError",
+    "Table",
+    "and_",
+    "average",
+    "build_sma_set",
+    "char",
+    "cmp",
+    "col",
+    "const",
+    "count_star",
+    "maximum",
+    "minimum",
+    "not_",
+    "or_",
+    "parse_definitions",
+    "parse_statement",
+    "semijoin",
+    "total",
+]

@@ -1,0 +1,32 @@
+"""Baselines the paper compares SMAs against: B⁺-tree, projection index,
+materialized data cube, and the plain sequential scan."""
+
+from repro.baselines.bitmap import BitmapIndex
+from repro.baselines.btree import BPlusTree, make_rid, rid_bucket, rid_slot
+from repro.baselines.datacube import (
+    CubeMissError,
+    CubeSpaceReport,
+    DataCube,
+    cube_bytes,
+    cube_cells,
+    paper_cube_comparison,
+)
+from repro.baselines.fullscan import scan_collect, scan_count
+from repro.baselines.projection import ProjectionIndex
+
+__all__ = [
+    "BPlusTree",
+    "BitmapIndex",
+    "CubeMissError",
+    "CubeSpaceReport",
+    "DataCube",
+    "ProjectionIndex",
+    "cube_bytes",
+    "cube_cells",
+    "make_rid",
+    "paper_cube_comparison",
+    "rid_bucket",
+    "rid_slot",
+    "scan_collect",
+    "scan_count",
+]

@@ -1,0 +1,177 @@
+"""Bitmap indexes — the other index family the paper's intro cites [15].
+
+A bitmap index on a low-cardinality column stores, per distinct value,
+one bit per tuple in physical order.  Equality and set predicates
+become bitwise operations; counts are popcounts that never touch the
+relation.  The structural comparison with SMAs:
+
+* a count SMA grouped by the column stores one 4-byte count per
+  (bucket, value) — with 32-tuple buckets that is the *same* 1 bit per
+  tuple per value a bitmap costs, but pre-aggregated: counting needs no
+  popcount pass, and sum SMAs answer SUM queries bitmaps cannot;
+* bitmaps answer *which tuples* exactly (position-level), SMAs only
+  which *buckets* might — for point lookups bitmaps win, for
+  aggregation SMAs do.
+
+This implementation packs bits with numpy, supports equality /
+membership / range predicates over the value dictionary, popcount-based
+counting, and position extraction with the usual page-charging through
+the buffer pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.lang.predicate import CmpOp
+from repro.storage.buffer import BufferPool
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.table import Table
+
+
+class BitmapIndex:
+    """One packed bitmap per distinct value of a low-cardinality column."""
+
+    def __init__(
+        self,
+        path: str,
+        column: str,
+        values: list,
+        bitmaps: np.ndarray,  # shape (num_values, ceil(n/8)) uint8
+        num_tuples: int,
+        pool: BufferPool,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self.path = path
+        self.column = column
+        self.values = values
+        self._bitmaps = bitmaps
+        self.num_tuples = num_tuples
+        self.pool = pool
+        self.page_size = page_size
+        self.file_id = os.path.abspath(path)
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        column: str,
+        path: str,
+        *,
+        max_cardinality: int = 256,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> "BitmapIndex":
+        """One scan over the table; refuses high-cardinality columns
+        (that is the point of bitmap indexes)."""
+        table.schema.column(column)
+        stats = table.heap.pool.stats
+        chunks: list[np.ndarray] = []
+        for _, records in table.iter_buckets():
+            stats.tuples_built += len(records)
+            chunks.append(records[column].copy())
+        column_values = (
+            np.concatenate(chunks)
+            if chunks
+            else np.zeros(0, dtype=table.schema.record_dtype[column])
+        )
+        distinct = np.unique(column_values)
+        if len(distinct) > max_cardinality:
+            raise StorageError(
+                f"column {column!r} has {len(distinct)} distinct values; "
+                f"bitmap indexes cap at {max_cardinality}"
+            )
+        n = len(column_values)
+        bitmaps = np.zeros(
+            (max(len(distinct), 1), (n + 7) // 8), dtype=np.uint8
+        )
+        for i, value in enumerate(distinct):
+            bitmaps[i] = np.packbits(column_values == value)
+        index = cls(
+            path, column, list(distinct), bitmaps, n, table.heap.pool, page_size
+        )
+        with open(path, "wb") as f:
+            f.write(bitmaps.tobytes())
+        stats.page_writes += index.num_pages
+        return index
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self._bitmaps.size)
+
+    @property
+    def num_pages(self) -> int:
+        if self.size_bytes == 0:
+            return 0
+        return (self.size_bytes + self.page_size - 1) // self.page_size
+
+    def _pages_of_value(self, index: int) -> tuple[int, int]:
+        row_bytes = self._bitmaps.shape[1]
+        first = index * row_bytes // self.page_size
+        last = (index * row_bytes + max(row_bytes - 1, 0)) // self.page_size
+        return first, last
+
+    def _charge_value(self, index: int) -> None:
+        first, last = self._pages_of_value(index)
+        for page_no in range(first, last + 1):
+            self.pool.read_page(self.file_id, page_no, lambda: b"")
+
+    # ------------------------------------------------------------------
+    # predicate evaluation
+    # ------------------------------------------------------------------
+
+    def _matching_value_indices(self, op: CmpOp, constant: object) -> list[int]:
+        chosen = []
+        for i, value in enumerate(self.values):
+            if op is CmpOp.EQ:
+                keep = value == constant
+            elif op is CmpOp.NE:
+                keep = value != constant
+            elif op is CmpOp.LT:
+                keep = value < constant
+            elif op is CmpOp.LE:
+                keep = value <= constant
+            elif op is CmpOp.GT:
+                keep = value > constant
+            elif op is CmpOp.GE:
+                keep = value >= constant
+            else:  # pragma: no cover - CmpOp is exhaustive
+                raise StorageError(f"unknown operator {op}")
+            if keep:
+                chosen.append(i)
+        return chosen
+
+    def bitmap_for(self, op: CmpOp, constant: object) -> np.ndarray:
+        """Packed result bitmap for ``column op constant`` (charged)."""
+        result = np.zeros(self._bitmaps.shape[1], dtype=np.uint8)
+        for i in self._matching_value_indices(op, constant):
+            self._charge_value(i)
+            result |= self._bitmaps[i]
+        return result
+
+    def count(self, op: CmpOp, constant: object) -> int:
+        """Popcount the result bitmap — no relation access at all."""
+        bitmap = self.bitmap_for(op, constant)
+        total = int(np.unpackbits(bitmap)[: self.num_tuples].sum())
+        return total
+
+    def positions(self, op: CmpOp, constant: object) -> np.ndarray:
+        """Global tuple positions satisfying the predicate."""
+        bitmap = self.bitmap_for(op, constant)
+        bits = np.unpackbits(bitmap)[: self.num_tuples]
+        return np.flatnonzero(bits)
+
+    def delete_files(self) -> None:
+        self.pool.invalidate(self.file_id)
+        if os.path.exists(self.path):
+            os.remove(self.path)

@@ -1,0 +1,289 @@
+"""A paged B⁺-tree — the traditional-index baseline.
+
+The paper's argument against B⁺-trees for Query 1 is twofold:
+
+* **space / build time** — "a B+ tree on shipdate (though of no use for
+  Query 1) consumes about 230 MB.  Its creation time is far beyond the
+  15 minutes needed to create all SMAs";
+* **uselessness at low selectivity** — with 95–97 % of tuples
+  qualifying, a non-clustered index merely turns sequential I/O into
+  random I/O.
+
+This implementation is a real bulk-loaded B⁺-tree with 4 KB-page
+geometry: leaves hold (key, rid) entries, internal nodes hold separator
+keys and child numbers, and every node access is charged to the buffer
+pool under a virtual file id.  Range scans return rids; fetching the
+base tuples through rids charges one (usually random) bucket access per
+distinct bucket — which is exactly how the paper's pathology shows up
+in the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.lang.predicate import CmpOp
+from repro.storage.buffer import BufferPool
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.table import Table
+
+#: rid encoding: bucket number in the high 32 bits, slot in the low 32.
+_RID_SHIFT = 32
+
+
+def make_rid(bucket_no: int, slot: int) -> int:
+    return (bucket_no << _RID_SHIFT) | slot
+
+
+def rid_bucket(rid: int) -> int:
+    return rid >> _RID_SHIFT
+
+
+def rid_slot(rid: int) -> int:
+    return rid & 0xFFFFFFFF
+
+
+@dataclass
+class _Level:
+    """One level of the tree: per-node key arrays (and payloads)."""
+
+    keys: list[np.ndarray]           # node -> sorted key array
+    payloads: list[np.ndarray]       # leaf: rids; internal: child node ids
+
+
+class BPlusTree:
+    """Bulk-loaded, read-only B⁺-tree with exact page accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        key_width: int,
+        pool: BufferPool,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        rid_width: int = 8,
+        header_bytes: int = 24,
+        entry_overhead: int = 8,
+    ):
+        self.name = name
+        self.pool = pool
+        self.page_size = page_size
+        self.key_width = key_width
+        self.rid_width = rid_width
+        self.header_bytes = header_bytes
+        # Slot pointer + alignment per entry, as in slotted B+-tree pages
+        # of the era (this is what pushes a shipdate tree toward the
+        # paper's 230 MB rather than a theoretical 12-bytes-per-entry).
+        self.entry_overhead = entry_overhead
+        self.leaf_capacity = (page_size - header_bytes) // (
+            key_width + rid_width + entry_overhead
+        )
+        # Internal: k separators + k+1 children (children as 4-byte page nos).
+        self.internal_capacity = (page_size - header_bytes) // (
+            key_width + 4 + entry_overhead
+        )
+        if self.leaf_capacity < 2 or self.internal_capacity < 3:
+            raise StorageError("page too small for B+-tree nodes")
+        self._levels: list[_Level] = []  # level 0 = leaves
+        self.num_entries = 0
+
+    # ------------------------------------------------------------------
+    # bulk load
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        table: Table,
+        column: str,
+        pool: BufferPool,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fill_factor: float = 0.67,
+    ) -> "BPlusTree":
+        """Bulk load an index on *table.column*.
+
+        Charges: one full table scan (pages + per-tuple build CPU), an
+        external sort (read+write of all key/rid data), and one write
+        per index page — the realistic creation bill the paper alludes
+        to with "far beyond the 15 minutes".  The default 2/3 fill
+        factor leaves the usual room for subsequent inserts.
+        """
+        dtype = table.schema.dtype_of(column)
+        tree = cls(name, dtype.width, pool, page_size=page_size)
+        stats = pool.stats
+
+        keys_parts: list[np.ndarray] = []
+        rids_parts: list[np.ndarray] = []
+        for bucket_no, records in table.iter_buckets():
+            stats.tuples_built += len(records)
+            keys_parts.append(records[column].copy())
+            rids_parts.append(
+                (np.int64(bucket_no) << _RID_SHIFT)
+                | np.arange(len(records), dtype=np.int64)
+            )
+        if keys_parts:
+            keys = np.concatenate(keys_parts)
+            rids = np.concatenate(rids_parts)
+        else:
+            keys = np.zeros(0, dtype=table.schema.record_dtype[column])
+            rids = np.zeros(0, dtype=np.int64)
+
+        # External-sort accounting: one read + one write pass over the
+        # (key, rid) run files.
+        entry_bytes = (tree.key_width + tree.rid_width) * len(keys)
+        sort_pages = (entry_bytes + page_size - 1) // page_size
+        stats.page_writes += sort_pages
+        stats.sequential_page_reads += sort_pages
+
+        order = np.argsort(keys, kind="stable")
+        tree._bulk_load(keys[order], rids[order], fill_factor)
+
+        # Writing the finished index.
+        stats.page_writes += tree.num_pages
+        return tree
+
+    def _bulk_load(
+        self, keys: np.ndarray, rids: np.ndarray, fill_factor: float
+    ) -> None:
+        if not 0.1 <= fill_factor <= 1.0:
+            raise StorageError(f"fill_factor must be in [0.1, 1], got {fill_factor}")
+        self.num_entries = len(keys)
+        per_leaf = max(2, int(self.leaf_capacity * fill_factor))
+        leaf_keys = [keys[i : i + per_leaf] for i in range(0, max(len(keys), 1), per_leaf)]
+        leaf_rids = [rids[i : i + per_leaf] for i in range(0, max(len(rids), 1), per_leaf)]
+        self._levels = [_Level(leaf_keys, leaf_rids)]
+
+        per_internal = max(3, int(self.internal_capacity * fill_factor))
+        while len(self._levels[-1].keys) > 1:
+            below = self._levels[-1]
+            highs = np.array([node[-1] if len(node) else keys[:1][0] for node in below.keys])
+            node_ids = np.arange(len(below.keys), dtype=np.int64)
+            new_keys = [
+                highs[i : i + per_internal]
+                for i in range(0, len(highs), per_internal)
+            ]
+            new_children = [
+                node_ids[i : i + per_internal]
+                for i in range(0, len(node_ids), per_internal)
+            ]
+            self._levels.append(_Level(new_keys, new_children))
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self._levels)
+
+    @property
+    def num_pages(self) -> int:
+        return sum(len(level.keys) for level in self._levels)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * self.page_size
+
+    def level_pages(self) -> list[int]:
+        """Page count per level, leaves first."""
+        return [len(level.keys) for level in self._levels]
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _charge_node(self, level: int, node: int) -> None:
+        # Page numbering: levels are laid out leaves-first, so page ids
+        # are unique per (level, node).
+        offset = sum(len(lv.keys) for lv in self._levels[:level])
+        self.pool.read_page((self.name, "btree"), offset + node, lambda: b"")
+
+    def _descend_to_leaf(self, key: object) -> int:
+        """Walk root→leaf for the first leaf that may contain *key*."""
+        node = 0
+        for level in range(self.height - 1, 0, -1):
+            self._charge_node(level, node)
+            level_data = self._levels[level]
+            position = int(np.searchsorted(level_data.keys[node], key, side="left"))
+            position = min(position, len(level_data.payloads[node]) - 1)
+            node = int(level_data.payloads[node][position])
+        return node
+
+    def search_range(
+        self, low: object | None, high: object | None, *,
+        low_inclusive: bool = True, high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """All rids with keys in the given range (None = unbounded)."""
+        if self.num_entries == 0:
+            return np.zeros(0, dtype=np.int64)
+        leaves = self._levels[0]
+        start_leaf = 0 if low is None else self._descend_to_leaf(low)
+        results: list[np.ndarray] = []
+        for leaf in range(start_leaf, len(leaves.keys)):
+            self._charge_node(0, leaf)
+            keys = leaves.keys[leaf]
+            rids = leaves.payloads[leaf]
+            mask = np.ones(len(keys), dtype=bool)
+            if low is not None:
+                mask &= (keys >= low) if low_inclusive else (keys > low)
+            if high is not None:
+                mask &= (keys <= high) if high_inclusive else (keys < high)
+            results.append(rids[mask])
+            if high is not None and len(keys) and keys[-1] > high:
+                break
+        return np.concatenate(results) if results else np.zeros(0, dtype=np.int64)
+
+    def search_eq(self, key: object) -> np.ndarray:
+        """All rids with exactly *key*."""
+        return self.search_range(key, key)
+
+    def search_cmp(self, op: CmpOp, constant: object) -> np.ndarray:
+        """rids satisfying ``key op constant``."""
+        if op is CmpOp.EQ:
+            return self.search_eq(constant)
+        if op is CmpOp.LE:
+            return self.search_range(None, constant)
+        if op is CmpOp.LT:
+            return self.search_range(None, constant, high_inclusive=False)
+        if op is CmpOp.GE:
+            return self.search_range(constant, None)
+        if op is CmpOp.GT:
+            return self.search_range(constant, None, low_inclusive=False)
+        raise StorageError(f"B+-tree cannot serve operator {op.value!r}")
+
+    # ------------------------------------------------------------------
+    # tuple fetch through rids — where the pathology lives
+    # ------------------------------------------------------------------
+
+    def fetch(self, table: Table, rids: np.ndarray) -> np.ndarray:
+        """Fetch base tuples for *rids* in rid order.
+
+        Every distinct bucket is one bucket access; because rid order
+        follows *key* order, not physical order, accesses on unclustered
+        data are scattered — the buffer pool classifies them as
+        random/skip reads and the simulated clock explodes, exactly the
+        paper's "the only effect of using an index is to turn sequential
+        I/O into random I/O".
+        """
+        if len(rids) == 0:
+            return table.schema.empty_batch()
+        stats = table.heap.pool.stats
+        pieces: list[np.ndarray] = []
+        buckets = rids >> _RID_SHIFT
+        slots = rids & 0xFFFFFFFF
+        boundaries = np.flatnonzero(np.diff(buckets)) + 1
+        start = 0
+        for end in list(boundaries) + [len(rids)]:
+            bucket_no = int(buckets[start])
+            records = table.read_bucket(bucket_no)
+            stats.buckets_fetched += 1
+            chosen = slots[start:end]
+            stats.tuples_scanned += len(chosen)
+            pieces.append(records[chosen])
+            start = end
+        return np.concatenate(pieces)

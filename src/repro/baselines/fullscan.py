@@ -1,0 +1,41 @@
+"""The sequential-scan baseline as a standalone helper.
+
+Query-level scan baselines run through the planner (``mode="scan"``);
+this module provides the raw primitive for experiments that measure a
+scan without any query machinery around it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.predicate import Predicate
+from repro.storage.table import Table
+
+
+def scan_count(table: Table, predicate: Predicate) -> int:
+    """Count qualifying tuples with one full sequential scan."""
+    bound = predicate.bind(table.schema)
+    stats = table.heap.pool.stats
+    count = 0
+    for _, records in table.iter_buckets():
+        stats.tuples_scanned += len(records)
+        stats.buckets_fetched += 1
+        count += int(bound.evaluate(records).sum())
+    return count
+
+
+def scan_collect(table: Table, predicate: Predicate) -> np.ndarray:
+    """Materialize qualifying tuples with one full sequential scan."""
+    bound = predicate.bind(table.schema)
+    stats = table.heap.pool.stats
+    pieces: list[np.ndarray] = []
+    for _, records in table.iter_buckets():
+        stats.tuples_scanned += len(records)
+        stats.buckets_fetched += 1
+        mask = bound.evaluate(records)
+        if mask.any():
+            pieces.append(records[mask])
+    if not pieces:
+        return table.schema.empty_batch()
+    return np.concatenate(pieces)

@@ -1,0 +1,127 @@
+"""Experiment harness: structured results, paper-style table rendering.
+
+Every experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult` — machine-checkable rows plus human-readable
+rendering — so the same code drives pytest assertions, the
+pytest-benchmark targets, and the EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.storage.catalog import Catalog
+
+
+def human_bytes(size: float) -> str:
+    """Render a byte count with a binary-unit suffix."""
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError  # pragma: no cover
+
+
+def human_seconds(seconds: float) -> str:
+    """Render a duration compactly."""
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.2f} ms"
+
+
+def format_table(headers: list[str], rows: list[tuple]) -> str:
+    """Monospace-aligned table, right-aligning numeric-looking cells."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace(",", "").replace("%", "").replace("x", "")
+        stripped = stripped.replace(" s", "").replace(" ms", "")
+        for unit in (" B", " KiB", " MiB", " GiB", " TiB"):
+            stripped = stripped.replace(unit, "")
+        try:
+            float(stripped)
+            return True
+        except ValueError:
+            return False
+
+    def render_row(row: list[str]) -> str:
+        parts = []
+        for i, text in enumerate(row):
+            if is_numeric(text):
+                parts.append(text.rjust(widths[i]))
+            else:
+                parts.append(text.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_row(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[tuple]
+    paper_reference: str = ""
+    notes: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.paper_reference:
+            lines.append(f"paper: {self.paper_reference}")
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.metrics:
+            rendered = ", ".join(
+                f"{name}={value:.4g}" for name, value in sorted(self.metrics.items())
+            )
+            lines.append(f"metrics: {rendered}")
+        return "\n".join(lines)
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"experiment {self.exp_id} has no metric {name!r}; "
+                f"have {sorted(self.metrics)}"
+            ) from None
+
+
+class ScratchCatalog:
+    """A temporary-directory catalog that cleans up after itself."""
+
+    def __init__(self, *, buffer_pages: int = 8192):
+        self._dir = tempfile.mkdtemp(prefix="repro-bench-")
+        self.catalog = Catalog(self._dir, buffer_pages=buffer_pages)
+
+    def __enter__(self) -> Catalog:
+        return self.catalog
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.catalog.close()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+
+def run_and_render(experiment: Callable[[], ExperimentResult]) -> ExperimentResult:
+    """Run one experiment and print its rendering (for -s bench runs)."""
+    result = experiment()
+    print()
+    print(result.render())
+    return result

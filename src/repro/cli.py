@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operational surface over the library so the reproduction can be
+driven without writing Python:
+
+========  ============================================================
+command   does
+========  ============================================================
+load      generate TPC-D data into a catalog directory (+ Q1 SMAs)
+define    build SMAs from a ``define sma`` script (file or inline)
+query     run one SELECT against a catalog, print rows + both clocks
+info      list tables, SMA sets and sizes of a catalog
+bench     run the paper experiments (all, or a comma-separated subset)
+========  ============================================================
+
+Examples::
+
+    python -m repro load --db ./db --sf 0.01 --clustering sorted
+    python -m repro query --db ./db "SELECT COUNT(*) AS n FROM LINEITEM \
+        WHERE L_SHIPDATE <= DATE '1998-09-02'"
+    python -m repro define --db ./db --set bounds \
+        --sql "define sma lo select min(L_SHIPDATE) from LINEITEM"
+    python -m repro bench --only E4,F5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import human_bytes, human_seconds
+from repro.query.session import Session
+from repro.storage.catalog import Catalog
+
+
+def _open_catalog(path: str, buffer_pages: int) -> Catalog:
+    return Catalog.discover(path, buffer_pages=buffer_pages)
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    from repro.tpcd.loader import load_lineitem, load_tpcd
+
+    catalog = _open_catalog(args.db, args.buffer_pages)
+    if catalog.has_table("LINEITEM"):
+        print("error: catalog already contains LINEITEM", file=sys.stderr)
+        return 1
+    if args.tables:
+        names = tuple(t.strip().upper() for t in args.tables.split(","))
+        loaded = load_tpcd(
+            catalog, scale_factor=args.sf, tables=names,
+            clustering=args.clustering, seed=args.seed,
+        )
+        for name, table in loaded.items():
+            print(f"loaded {name}: {table.num_records} tuples, "
+                  f"{table.num_buckets} buckets")
+    else:
+        loaded = load_lineitem(
+            catalog, scale_factor=args.sf, clustering=args.clustering,
+            seed=args.seed, build_smas=not args.no_smas,
+        )
+        print(f"loaded LINEITEM: {loaded.table.num_records} tuples, "
+              f"{loaded.table.num_buckets} buckets, "
+              f"{human_bytes(loaded.table.size_bytes)}")
+        if loaded.sma_set is not None:
+            print(f"built SMA set 'q1': {loaded.sma_set.num_files} files, "
+                  f"{human_bytes(loaded.sma_set.total_bytes)} "
+                  f"({loaded.sma_set.total_bytes / loaded.table.size_bytes:.1%} "
+                  f"of the relation)")
+    catalog.close()
+    return 0
+
+
+def cmd_define(args: argparse.Namespace) -> int:
+    if bool(args.sql) == bool(args.file):
+        print("error: pass exactly one of --sql or --file", file=sys.stderr)
+        return 1
+    script = args.sql
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            script = f.read()
+    catalog = _open_catalog(args.db, args.buffer_pages)
+    session = Session(catalog)
+    sma_set, reports = session.define_smas(script, set_name=args.set)
+    for report in reports:
+        print(f"built sma {report.definition_name}: {report.num_files} "
+              f"file(s), {report.pages} page(s), "
+              f"{human_seconds(report.wall_seconds)} wall")
+    print(f"set {sma_set.name!r}: {sma_set.num_files} SMA-files, "
+          f"{human_bytes(sma_set.total_bytes)}")
+    catalog.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    catalog = _open_catalog(args.db, args.buffer_pages)
+    session = Session(catalog)
+    result = session.sql(args.sql, mode=args.mode, cold=args.cold)
+    print(result)
+    print()
+    print(result.plan)
+    print(f"stats: {result.stats.page_reads} page reads "
+          f"({result.stats.sequential_page_reads} seq / "
+          f"{result.stats.skip_page_reads} skip / "
+          f"{result.stats.random_page_reads} rnd), "
+          f"{result.stats.buffer_hits} hits, "
+          f"{result.stats.tuples_scanned} tuples scanned, "
+          f"{result.stats.sma_entries_read} SMA entries")
+    catalog.close()
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    catalog = _open_catalog(args.db, args.buffer_pages)
+    for table in catalog.tables():
+        print(f"table {table.name}: {table.num_records} tuples, "
+              f"{table.num_buckets} buckets, {human_bytes(table.size_bytes)}"
+              + (f", clustered on {table.clustered_on}"
+                 if table.clustered_on else ""))
+        for sma_set in catalog.sma_sets(table.name):
+            print(f"  sma set {sma_set.name!r}: "
+                  f"{len(sma_set.definitions)} definitions, "
+                  f"{sma_set.num_files} files, "
+                  f"{human_bytes(sma_set.total_bytes)}")
+            for definition in sma_set.definitions.values():
+                print(f"    {definition}")
+    catalog.close()
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    wanted = None
+    if args.only:
+        wanted = {piece.strip().upper() for piece in args.only.split(",")}
+    ran = 0
+    renderings: list[str] = []
+    for experiment in ALL_EXPERIMENTS:
+        if wanted is not None:
+            # Cheap pre-filter on the function's exp id without running:
+            # ids are stable and documented, so map via a dry attribute.
+            probe_id = _EXPERIMENT_IDS.get(experiment.__name__)
+            if probe_id is None or probe_id not in wanted:
+                continue
+        result = experiment()
+        rendered = result.render()
+        renderings.append(rendered)
+        print()
+        print(rendered)
+        ran += 1
+    if wanted is not None and ran == 0:
+        print(f"error: no experiment matches {sorted(wanted)}; "
+              f"ids: {sorted(set(_EXPERIMENT_IDS.values()))}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write("\n\n".join(renderings) + "\n")
+        print(f"\nwrote {ran} experiment table(s) to {args.out}")
+    return 0
+
+
+_EXPERIMENT_IDS = {
+    "exp_sma_creation": "E1",
+    "exp_space_overhead": "E2",
+    "exp_datacube_space": "E3",
+    "exp_query1_speedup": "E4",
+    "exp_breakeven_sweep": "F5",
+    "exp_diagonal_distribution": "F2",
+    "exp_sma_file_ratio": "E5",
+    "exp_hierarchical": "E7",
+    "exp_semijoin": "E8",
+    "exp_maintenance": "E9",
+    "exp_bucket_size": "E10",
+    "exp_query6": "X1",
+    "exp_btree_uselessness": "X2",
+    "exp_modern_hardware": "X3",
+    "exp_projection_index": "X4",
+    "exp_scaling_linearity": "X5",
+    "exp_bitmap_vs_sma": "X6",
+    "exp_versatility": "X7",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Small Materialized Aggregates (VLDB 1998) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_db(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", required=True, help="catalog directory")
+        p.add_argument("--buffer-pages", type=int, default=2048)
+
+    p_load = sub.add_parser("load", help="generate and load TPC-D data")
+    add_db(p_load)
+    p_load.add_argument("--sf", type=float, default=0.01, help="scale factor")
+    p_load.add_argument(
+        "--clustering", choices=("sorted", "toc", "uniform"), default="sorted"
+    )
+    p_load.add_argument("--seed", type=int, default=42)
+    p_load.add_argument("--tables", help="comma-separated table list "
+                        "(default: LINEITEM with Q1 SMAs)")
+    p_load.add_argument("--no-smas", action="store_true")
+    p_load.set_defaults(func=cmd_load)
+
+    p_define = sub.add_parser("define", help="build SMAs from a script")
+    add_db(p_define)
+    p_define.add_argument("--set", default="default", help="SMA set name")
+    p_define.add_argument("--sql", help="inline define sma script")
+    p_define.add_argument("--file", help="path to a define sma script")
+    p_define.set_defaults(func=cmd_define)
+
+    p_query = sub.add_parser("query", help="run one SELECT")
+    add_db(p_query)
+    p_query.add_argument("sql", help="SELECT statement")
+    p_query.add_argument("--mode", choices=("auto", "sma", "scan"), default="auto")
+    p_query.add_argument("--cold", action="store_true")
+    p_query.set_defaults(func=cmd_query)
+
+    p_info = sub.add_parser("info", help="describe a catalog")
+    add_db(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_bench = sub.add_parser("bench", help="run the paper experiments")
+    p_bench.add_argument("--only", help="comma-separated experiment ids "
+                         "(e.g. E4,F5)")
+    p_bench.add_argument("--out", help="also write the result tables to a file")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

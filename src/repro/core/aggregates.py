@@ -1,0 +1,141 @@
+"""Aggregate functions materializable in SMAs.
+
+The paper allows ``min``, ``max``, ``sum`` and ``count`` in the select
+clause of an SMA definition (Section 2.1).  ``avg`` is never
+materialized: query processing computes it as sum/count in the last
+phase of SMA_GAggr (Section 3.3), which is why :class:`AggregateKind`
+includes AVG but :func:`check_materializable` rejects it.
+
+Storage widths follow the paper's accounting: "For counts and dates,
+4 bytes are needed.  For all other aggregate values we used 8 bytes."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SmaDefinitionError
+from repro.lang.expr import ScalarExpr
+from repro.storage.schema import Schema
+from repro.storage.types import TypeKind
+
+
+class AggregateKind(enum.Enum):
+    """Aggregate functions known to the system."""
+
+    MIN = "min"
+    MAX = "max"
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate call: a kind plus its argument expression.
+
+    ``count(*)`` is represented with ``argument=None``.  Frozen so that
+    structural equality lets the planner match query aggregates against
+    materialized SMA definitions.
+    """
+
+    kind: AggregateKind
+    argument: ScalarExpr | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AggregateKind.COUNT:
+            if self.argument is not None:
+                raise SmaDefinitionError("only count(*) is supported, not count(expr)")
+        elif self.argument is None:
+            raise SmaDefinitionError(f"{self.kind.value} requires an argument")
+
+    def columns(self) -> frozenset[str]:
+        if self.argument is None:
+            return frozenset()
+        return self.argument.columns()
+
+    def validate(self, schema: Schema) -> None:
+        """Type-check the argument against *schema*."""
+        if self.argument is None:
+            return
+        result = self.argument.result_type(schema)
+        if self.kind is AggregateKind.SUM or self.kind is AggregateKind.AVG:
+            if not result.is_numeric:
+                raise SmaDefinitionError(
+                    f"{self.kind.value}({self.argument}) needs a numeric "
+                    f"argument, got {result}"
+                )
+        elif self.kind in (AggregateKind.MIN, AggregateKind.MAX):
+            if not result.is_orderable:
+                raise SmaDefinitionError(
+                    f"{self.kind.value}({self.argument}) needs an orderable "
+                    f"argument, got {result}"
+                )
+
+    def value_dtype(self, schema: Schema) -> np.dtype:
+        """The numpy dtype one materialized value of this aggregate uses."""
+        if self.kind is AggregateKind.COUNT:
+            return np.dtype("<i4")  # paper: counts take 4 bytes
+        if self.kind is AggregateKind.AVG:
+            raise SmaDefinitionError("avg is never materialized; use sum and count")
+        assert self.argument is not None
+        result = self.argument.result_type(schema)
+        if self.kind in (AggregateKind.MIN, AggregateKind.MAX):
+            return np.dtype(result.numpy_dtype)
+        # SUM: 8 bytes, integer-summing promotes to int64.
+        if result.kind in (TypeKind.INT32, TypeKind.INT64):
+            return np.dtype("<i8")
+        return np.dtype("<f8")
+
+    def compute(self, values: np.ndarray) -> object:
+        """Reduce a (non-empty unless COUNT) value vector to one aggregate."""
+        if self.kind is AggregateKind.COUNT:
+            return len(values)
+        if len(values) == 0:
+            raise SmaDefinitionError(
+                f"{self.kind.value} of an empty vector is undefined"
+            )
+        if self.kind is AggregateKind.MIN:
+            return values.min()
+        if self.kind is AggregateKind.MAX:
+            return values.max()
+        if self.kind is AggregateKind.SUM:
+            return values.sum(dtype=np.float64 if values.dtype.kind == "f" else np.int64)
+        raise SmaDefinitionError(f"cannot materialize {self.kind.value}")
+
+    def __str__(self) -> str:
+        if self.kind is AggregateKind.COUNT:
+            return "count(*)"
+        return f"{self.kind.value}({self.argument})"
+
+
+def check_materializable(spec: AggregateSpec) -> None:
+    """Reject aggregate kinds that cannot appear in an SMA definition."""
+    if spec.kind is AggregateKind.AVG:
+        raise SmaDefinitionError(
+            "avg cannot be materialized in an SMA; define sum and count "
+            "instead (the paper computes averages in SMA_GAggr's last phase)"
+        )
+
+
+def minimum(argument: ScalarExpr) -> AggregateSpec:
+    return AggregateSpec(AggregateKind.MIN, argument)
+
+
+def maximum(argument: ScalarExpr) -> AggregateSpec:
+    return AggregateSpec(AggregateKind.MAX, argument)
+
+
+def total(argument: ScalarExpr) -> AggregateSpec:
+    return AggregateSpec(AggregateKind.SUM, argument)
+
+
+def count_star() -> AggregateSpec:
+    return AggregateSpec(AggregateKind.COUNT, None)
+
+
+def average(argument: ScalarExpr) -> AggregateSpec:
+    return AggregateSpec(AggregateKind.AVG, argument)

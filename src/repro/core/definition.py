@@ -1,0 +1,85 @@
+"""SMA definitions — the ``define sma`` statement of Section 2.1.
+
+A definition is a named, single-aggregate, single-relation query with an
+optional ``group by`` clause:
+
+.. code-block:: sql
+
+    define sma qty
+    select sum(L_QUANTITY)
+    from LINEITEM
+    group by L_RETURNFLAG, L_LINESTATUS
+
+The paper's restrictions are enforced here:
+
+* the select clause contains exactly one entry (one aggregate);
+* the from clause names exactly one relation (no joins — relaxed only by
+  the dedicated semi-join SMAs of Section 4);
+* no order specification;
+* the aggregate is one of min, max, sum, count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SmaDefinitionError
+from repro.core.aggregates import AggregateSpec, check_materializable
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class SmaDefinition:
+    """One ``define sma`` statement."""
+
+    name: str
+    table_name: str
+    aggregate: AggregateSpec
+    group_by: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SmaDefinitionError(f"invalid SMA name {self.name!r}")
+        check_materializable(self.aggregate)
+        if len(set(self.group_by)) != len(self.group_by):
+            raise SmaDefinitionError(
+                f"duplicate group-by columns in {self.group_by}"
+            )
+
+    def validate(self, schema: Schema) -> None:
+        """Check every referenced column against the relation's schema."""
+        self.aggregate.validate(schema)
+        for column in self.aggregate.columns():
+            schema.column(column)
+        for column in self.group_by:
+            schema.column(column)
+
+    @property
+    def grouped(self) -> bool:
+        return bool(self.group_by)
+
+    def matches(self, aggregate: AggregateSpec, group_by: tuple[str, ...]) -> bool:
+        """True when this definition materializes exactly that aggregate.
+
+        Matching is structural: the aggregate kind and argument expression
+        tree must be equal, and the group-by column tuples identical.  A
+        finer-grouped SMA could in principle serve a coarser query (cf.
+        the paper's citation of [10]); that roll-up generalization lives
+        in the planner, not here.
+        """
+        return self.aggregate == aggregate and self.group_by == group_by
+
+    def sql(self) -> str:
+        """Render back to the paper's ``define sma`` syntax."""
+        lines = [
+            f"define sma {self.name}",
+            f"select {self.aggregate}",
+            f"from {self.table_name}",
+        ]
+        if self.group_by:
+            lines.append("group by " + ", ".join(self.group_by))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        grouped = f" group by {', '.join(self.group_by)}" if self.group_by else ""
+        return f"sma {self.name}: {self.aggregate} on {self.table_name}{grouped}"

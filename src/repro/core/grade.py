@@ -1,0 +1,254 @@
+"""The grading rules of Section 3.1, vectorised over all buckets.
+
+Given per-bucket ``min_i(A)`` / ``max_i(A)`` vectors and an atomic
+predicate, these functions compute the (qualifying, disqualifying)
+partitioning in one numpy pass.  The rules are the paper's, verbatim:
+
+* ``A = c``:  d when ``c < min_i(A)`` or ``c > max_i(A)``; else a.
+  (We add the sound refinement q when ``min_i = max_i = c`` — every
+  tuple then equals c.  The paper's rule set omits it; it can only turn
+  ambivalent buckets into qualifying ones, never change results.)
+* ``A <= c``: q when ``max_i <= c``;  d when ``min_i > c``;  else a.
+* ``A >= c``: q when ``min_i >= c``;  d when ``max_i < c``;  else a.
+* ``A <= B``: q when ``max_i(A) <= min_i(B)``; d when
+  ``min_i(A) > max_i(B)``; else a.
+* strict variants (<, >) analogously.
+* "The else case is also applied if the max/min aggregates are not
+  defined" — handled by the ``valid`` masks and by tolerating a missing
+  side entirely (e.g. only a max SMA exists: the q-rule of ``A <= c``
+  still applies, the d-rule simply yields no information).
+
+Additionally, buckets known to be **empty** disqualify under every
+predicate — an empty bucket contributes no tuples, so skipping it is
+always sound.  The paper never materializes empty buckets, but
+maintenance (deletions) can produce them.
+
+The count-SMA rules (grouping on the restricted attribute A) are also
+implemented: a bucket qualifies when every *present* value of A
+satisfies the predicate (and at least one tuple is present), and
+disqualifies when no present value satisfies it.  This is the intended
+semantics of the paper's per-value partitionings BUˣ; the literal
+``else BUᵢ ∈ BUˣ_d`` text would file value-absent buckets as
+per-value-disqualifying, which works for BU_d = ∩ₓ BUˣ_d but makes
+BU_q = ∩ₓ BUˣ_q unachievable for any bucket not containing *all*
+domain values — a formalisation slip we correct (documented deviation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SmaStateError
+from repro.lang.predicate import CmpOp
+from repro.core.partition import BucketPartitioning
+
+
+def _false_like(reference: np.ndarray | None, num_buckets: int) -> np.ndarray:
+    if reference is not None and len(reference) != num_buckets:
+        raise SmaStateError(
+            f"SMA vector length {len(reference)} != bucket count {num_buckets}"
+        )
+    return np.zeros(num_buckets, dtype=bool)
+
+
+def partition_column_const(
+    op: CmpOp,
+    constant: object,
+    num_buckets: int,
+    *,
+    mins: np.ndarray | None = None,
+    maxs: np.ndarray | None = None,
+    valid: np.ndarray | None = None,
+    empty: np.ndarray | None = None,
+) -> BucketPartitioning:
+    """Grade all buckets for ``A op constant`` from min/max SMA vectors.
+
+    Either *mins* or *maxs* (or both) must be given.  *valid* marks
+    entries where the aggregates are defined (None means all defined);
+    invalid entries grade ambivalent per the paper's else-case unless
+    the bucket is *empty*, in which case it disqualifies.
+    """
+    if mins is None and maxs is None:
+        raise SmaStateError("need at least one of mins/maxs")
+    q = _false_like(mins if mins is not None else maxs, num_buckets)
+    d = q.copy()
+    c = constant
+
+    if op is CmpOp.EQ:
+        if mins is not None:
+            d |= np.asarray(c < mins)
+        if maxs is not None:
+            d |= np.asarray(c > maxs)
+        if mins is not None and maxs is not None:
+            q |= np.asarray(mins == maxs) & np.asarray(mins == c)
+    elif op is CmpOp.NE:
+        if mins is not None:
+            q |= np.asarray(c < mins)
+        if maxs is not None:
+            q |= np.asarray(c > maxs)
+        if mins is not None and maxs is not None:
+            d |= np.asarray(mins == maxs) & np.asarray(mins == c)
+    elif op is CmpOp.LE:
+        if maxs is not None:
+            q |= np.asarray(maxs <= c)
+        if mins is not None:
+            d |= np.asarray(mins > c)
+    elif op is CmpOp.LT:
+        if maxs is not None:
+            q |= np.asarray(maxs < c)
+        if mins is not None:
+            d |= np.asarray(mins >= c)
+    elif op is CmpOp.GE:
+        if mins is not None:
+            q |= np.asarray(mins >= c)
+        if maxs is not None:
+            d |= np.asarray(maxs < c)
+    elif op is CmpOp.GT:
+        if mins is not None:
+            q |= np.asarray(mins > c)
+        if maxs is not None:
+            d |= np.asarray(maxs <= c)
+    else:  # pragma: no cover - CmpOp is exhaustive
+        raise SmaStateError(f"unknown operator {op}")
+
+    return _apply_validity(q, d, valid, empty)
+
+
+def partition_column_column(
+    op: CmpOp,
+    num_buckets: int,
+    *,
+    mins_a: np.ndarray | None = None,
+    maxs_a: np.ndarray | None = None,
+    mins_b: np.ndarray | None = None,
+    maxs_b: np.ndarray | None = None,
+    valid: np.ndarray | None = None,
+    empty: np.ndarray | None = None,
+) -> BucketPartitioning:
+    """Grade all buckets for ``A op B`` (both columns of one relation)."""
+    reference = next(
+        (v for v in (mins_a, maxs_a, mins_b, maxs_b) if v is not None), None
+    )
+    if reference is None:
+        raise SmaStateError("need at least one SMA vector")
+    q = _false_like(reference, num_buckets)
+    d = q.copy()
+
+    def have(*vectors: np.ndarray | None) -> bool:
+        return all(v is not None for v in vectors)
+
+    if op is CmpOp.LE:
+        if have(maxs_a, mins_b):
+            q |= np.asarray(maxs_a <= mins_b)
+        if have(mins_a, maxs_b):
+            d |= np.asarray(mins_a > maxs_b)
+    elif op is CmpOp.LT:
+        if have(maxs_a, mins_b):
+            q |= np.asarray(maxs_a < mins_b)
+        if have(mins_a, maxs_b):
+            d |= np.asarray(mins_a >= maxs_b)
+    elif op is CmpOp.GE:
+        if have(mins_a, maxs_b):
+            q |= np.asarray(mins_a >= maxs_b)
+        if have(maxs_a, mins_b):
+            d |= np.asarray(maxs_a < mins_b)
+    elif op is CmpOp.GT:
+        if have(mins_a, maxs_b):
+            q |= np.asarray(mins_a > maxs_b)
+        if have(maxs_a, mins_b):
+            d |= np.asarray(maxs_a <= mins_b)
+    elif op is CmpOp.EQ:
+        if have(mins_a, maxs_b):
+            d |= np.asarray(mins_a > maxs_b)
+        if have(maxs_a, mins_b):
+            d |= np.asarray(maxs_a < mins_b)
+        if have(mins_a, maxs_a, mins_b, maxs_b):
+            q |= (
+                np.asarray(mins_a == maxs_a)
+                & np.asarray(mins_b == maxs_b)
+                & np.asarray(mins_a == mins_b)
+            )
+    elif op is CmpOp.NE:
+        if have(mins_a, maxs_b):
+            q |= np.asarray(mins_a > maxs_b)
+        if have(maxs_a, mins_b):
+            q |= np.asarray(maxs_a < mins_b)
+        if have(mins_a, maxs_a, mins_b, maxs_b):
+            d |= (
+                np.asarray(mins_a == maxs_a)
+                & np.asarray(mins_b == maxs_b)
+                & np.asarray(mins_a == mins_b)
+            )
+    else:  # pragma: no cover - CmpOp is exhaustive
+        raise SmaStateError(f"unknown operator {op}")
+
+    return _apply_validity(q, d, valid, empty)
+
+
+def _compare_scalar(op: CmpOp, x: object, c: object) -> bool:
+    """Scalar comparison used by the count-SMA rules."""
+    if op is CmpOp.EQ:
+        return x == c
+    if op is CmpOp.NE:
+        return x != c
+    if op is CmpOp.LT:
+        return x < c
+    if op is CmpOp.LE:
+        return x <= c
+    if op is CmpOp.GT:
+        return x > c
+    if op is CmpOp.GE:
+        return x >= c
+    raise SmaStateError(f"unknown operator {op}")  # pragma: no cover
+
+
+def partition_count_sma(
+    op: CmpOp,
+    constant: object,
+    num_buckets: int,
+    value_counts: dict[object, np.ndarray],
+) -> BucketPartitioning:
+    """Grade buckets for ``A op c`` from a count SMA grouped solely by A.
+
+    *value_counts* maps each value x of A to its per-bucket count vector
+    ``count_{A,i}[x]``.  A bucket qualifies when at least one tuple is
+    present and every present value satisfies the predicate; it
+    disqualifies when no present value satisfies it (including empty
+    buckets).
+    """
+    any_present = np.zeros(num_buckets, dtype=bool)
+    any_satisfying = np.zeros(num_buckets, dtype=bool)
+    any_violating = np.zeros(num_buckets, dtype=bool)
+    for value, counts in value_counts.items():
+        if len(counts) != num_buckets:
+            raise SmaStateError(
+                f"count vector for {value!r} has length {len(counts)}, "
+                f"expected {num_buckets}"
+            )
+        present = np.asarray(counts) > 0
+        any_present |= present
+        if _compare_scalar(op, value, constant):
+            any_satisfying |= present
+        else:
+            any_violating |= present
+    qualifying = any_present & ~any_violating
+    disqualifying = ~any_satisfying
+    return BucketPartitioning(qualifying, disqualifying)
+
+
+def _apply_validity(
+    q: np.ndarray,
+    d: np.ndarray,
+    valid: np.ndarray | None,
+    empty: np.ndarray | None,
+) -> BucketPartitioning:
+    """Demote undefined-aggregate buckets to ambivalent; empty ones to d."""
+    if valid is not None:
+        undefined = ~np.asarray(valid, dtype=bool)
+        q = q & ~undefined
+        d = d & ~undefined
+    if empty is not None:
+        is_empty = np.asarray(empty, dtype=bool)
+        q = q & ~is_empty
+        d = d | is_empty
+    return BucketPartitioning(q, d)

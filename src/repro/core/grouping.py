@@ -1,0 +1,49 @@
+"""Group-key machinery shared by the SMA builder and the GAggr operators.
+
+A *group key* is a tuple of user-facing Python values (strings, ints,
+floats, dates) — one per group-by column — e.g. ``("A", "F")`` for
+TPC-D Query 1's L_RETURNFLAG/L_LINESTATUS grouping.  Keys are hashable
+and appear in SMA-set metadata, query results and experiment output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.schema import Schema
+from repro.storage.types import python_value
+
+GroupKey = tuple
+
+
+def bucket_groups(
+    batch: np.ndarray,
+    group_by: tuple[str, ...],
+    schema: Schema,
+) -> tuple[list[GroupKey], np.ndarray]:
+    """Split one record batch by its group-by columns, vectorised.
+
+    Returns ``(keys, inverse)`` where ``keys[j]`` is the j-th distinct
+    group key (in lexicographic order) and ``inverse[t] == j`` says tuple
+    t belongs to group j.  An empty *group_by* yields the single key
+    ``()`` covering the whole batch.
+    """
+    if not group_by:
+        return [()], np.zeros(len(batch), dtype=np.intp)
+    if len(batch) == 0:
+        return [], np.zeros(0, dtype=np.intp)
+    sub = batch[list(group_by)]
+    unique, inverse = np.unique(sub, return_inverse=True)
+    dtypes = [schema.dtype_of(name) for name in group_by]
+    keys = [
+        tuple(python_value(dtype, record[name]) for name, dtype in zip(group_by, dtypes))
+        for record in unique
+    ]
+    return keys, inverse
+
+
+def group_key_label(key: GroupKey) -> str:
+    """A short human-readable label for one group key."""
+    if not key:
+        return "<all>"
+    return "/".join(str(part) for part in key)

@@ -1,0 +1,177 @@
+"""Bucket partitionings: qualifying / disqualifying / ambivalent.
+
+Section 3.1 of the paper partitions the buckets BU of a relation into
+BU_q (every tuple satisfies the predicate), BU_d (no tuple satisfies)
+and BU_a = BU \\ (BU_q ∪ BU_d).  :class:`BucketPartitioning` represents
+one such partitioning as two boolean vectors and implements the paper's
+combination algebra:
+
+=============  =======================  =======================
+connective     qualifying               disqualifying
+=============  =======================  =======================
+``p1 and p2``  BU¹_q ∩ BU²_q            BU¹_d ∪ BU²_d
+``p1 or p2``   BU¹_q ∪ BU²_q            BU¹_d ∩ BU²_d
+``not p``      BU_d                     BU_q
+=============  =======================  =======================
+
+plus *refinement*: two sound partitionings of the *same* predicate
+(derived from different SMAs) merge by unioning both their qualifying
+and their disqualifying sets.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import SmaStateError
+
+
+class Grade(enum.Enum):
+    """The paper's three-way bucket grade (result of ``grade()``)."""
+
+    QUALIFIES = "qualifies"
+    DISQUALIFIES = "disqualifies"
+    AMBIVALENT = "ambivalent"
+
+
+class BucketPartitioning:
+    """An exact, immutable-by-convention (q, d) pair of bucket vectors."""
+
+    __slots__ = ("qualifying", "disqualifying")
+
+    def __init__(self, qualifying: np.ndarray, disqualifying: np.ndarray):
+        qualifying = np.asarray(qualifying, dtype=bool)
+        disqualifying = np.asarray(disqualifying, dtype=bool)
+        if qualifying.shape != disqualifying.shape or qualifying.ndim != 1:
+            raise SmaStateError("partition vectors must be equal-length 1-D")
+        if bool(np.any(qualifying & disqualifying)):
+            raise SmaStateError("a bucket cannot both qualify and disqualify")
+        self.qualifying = qualifying
+        self.disqualifying = disqualifying
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def all_ambivalent(cls, num_buckets: int) -> "BucketPartitioning":
+        """The no-information partitioning (no applicable SMA)."""
+        zeros = np.zeros(num_buckets, dtype=bool)
+        return cls(zeros, zeros.copy())
+
+    @classmethod
+    def all_qualifying(cls, num_buckets: int) -> "BucketPartitioning":
+        """Everything qualifies (the TRUE predicate)."""
+        return cls(np.ones(num_buckets, dtype=bool), np.zeros(num_buckets, dtype=bool))
+
+    @classmethod
+    def all_disqualifying(cls, num_buckets: int) -> "BucketPartitioning":
+        """Nothing qualifies (the FALSE predicate)."""
+        return cls(np.zeros(num_buckets, dtype=bool), np.ones(num_buckets, dtype=bool))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.qualifying)
+
+    @property
+    def ambivalent(self) -> np.ndarray:
+        """BU_a = BU \\ (BU_q ∪ BU_d)."""
+        return ~(self.qualifying | self.disqualifying)
+
+    @property
+    def num_qualifying(self) -> int:
+        return int(self.qualifying.sum())
+
+    @property
+    def num_disqualifying(self) -> int:
+        return int(self.disqualifying.sum())
+
+    @property
+    def num_ambivalent(self) -> int:
+        return self.num_buckets - self.num_qualifying - self.num_disqualifying
+
+    @property
+    def fraction_ambivalent(self) -> float:
+        if self.num_buckets == 0:
+            return 0.0
+        return self.num_ambivalent / self.num_buckets
+
+    def grade(self, bucket_no: int) -> Grade:
+        """The paper's ``grade(bucket, pred)`` function for one bucket."""
+        if not 0 <= bucket_no < self.num_buckets:
+            raise SmaStateError(
+                f"bucket {bucket_no} out of range [0, {self.num_buckets})"
+            )
+        if self.qualifying[bucket_no]:
+            return Grade.QUALIFIES
+        if self.disqualifying[bucket_no]:
+            return Grade.DISQUALIFIES
+        return Grade.AMBIVALENT
+
+    # ------------------------------------------------------------------
+    # the combination algebra of Section 3.1
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "BucketPartitioning") -> None:
+        if self.num_buckets != other.num_buckets:
+            raise SmaStateError(
+                f"cannot combine partitionings over {self.num_buckets} "
+                f"and {other.num_buckets} buckets"
+            )
+
+    def __and__(self, other: "BucketPartitioning") -> "BucketPartitioning":
+        """Conjunction of the two underlying predicates."""
+        self._check_compatible(other)
+        return BucketPartitioning(
+            self.qualifying & other.qualifying,
+            self.disqualifying | other.disqualifying,
+        )
+
+    def __or__(self, other: "BucketPartitioning") -> "BucketPartitioning":
+        """Disjunction of the two underlying predicates."""
+        self._check_compatible(other)
+        return BucketPartitioning(
+            self.qualifying | other.qualifying,
+            self.disqualifying & other.disqualifying,
+        )
+
+    def invert(self) -> "BucketPartitioning":
+        """Negation of the underlying predicate (q and d swap roles)."""
+        return BucketPartitioning(self.disqualifying, self.qualifying)
+
+    def refine(self, other: "BucketPartitioning") -> "BucketPartitioning":
+        """Merge two sound partitionings of the *same* predicate.
+
+        Knowledge from independent SMAs accumulates: a bucket qualifies
+        if either source proves it qualifies, and disqualifies if either
+        proves it disqualifies.  Sound sources never conflict; a conflict
+        raises, as it indicates a stale SMA.
+        """
+        self._check_compatible(other)
+        qualifying = self.qualifying | other.qualifying
+        disqualifying = self.disqualifying | other.disqualifying
+        if bool(np.any(qualifying & disqualifying)):
+            raise SmaStateError(
+                "conflicting partitionings — an SMA is out of sync with its table"
+            )
+        return BucketPartitioning(qualifying, disqualifying)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BucketPartitioning):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.qualifying, other.qualifying)
+            and np.array_equal(self.disqualifying, other.disqualifying)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BucketPartitioning(q={self.num_qualifying}, "
+            f"d={self.num_disqualifying}, a={self.num_ambivalent})"
+        )

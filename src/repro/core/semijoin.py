@@ -1,0 +1,171 @@
+"""Semi-join SMAs — Section 4.
+
+For queries of the pattern::
+
+    select R.*
+    from R, S
+    where R.A theta S.B
+
+"If we can associate a minimax value of the S.B values with each bucket
+of R, SMAs can be used to decrease the input to the semi-join."
+
+The reduction works by turning the join condition into an equivalent
+*selection* on R.A using the global bounds of S.B — a tuple r has a
+partner s with ``r.A < s.B`` iff ``r.A < max(S.B)``, and so on — which
+the ordinary Section 3.1 grading machinery then evaluates against R's
+min/max SMAs.  For θ = '=' the bounds only give a necessary range; an
+exact membership check against a hash set of S.B values finishes the
+job on the reduced input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.lang.predicate import CmpOp, Predicate, and_, cmp
+from repro.storage.table import Table
+
+
+@dataclass
+class SemiJoinBounds:
+    """Global min/max (and optional exact value set) of S.B."""
+
+    column: str
+    low: object
+    high: object
+    values: frozenset | None = None
+    tuples_seen: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tuples_seen == 0
+
+
+def collect_bounds(
+    s_table: Table, column: str, *, keep_values: bool = False
+) -> SemiJoinBounds:
+    """Scan S once to compute the bounds of S.B (charged as a scan).
+
+    ``keep_values=True`` also retains the distinct values — needed for
+    exact '=' semi-joins after the SMA reduction.
+    """
+    s_table.schema.column(column)
+    stats = s_table.heap.pool.stats
+    low = None
+    high = None
+    values: set | None = set() if keep_values else None
+    seen = 0
+    for _, records in s_table.iter_buckets():
+        stats.tuples_scanned += len(records)
+        if len(records) == 0:
+            continue
+        seen += len(records)
+        column_values = records[column]
+        bucket_low = column_values.min()
+        bucket_high = column_values.max()
+        if low is None or bucket_low < low:
+            low = bucket_low
+        if high is None or bucket_high > high:
+            high = bucket_high
+        if values is not None:
+            values.update(np.unique(column_values).tolist())
+    from repro.storage.types import python_value
+
+    dtype = s_table.schema.dtype_of(column)
+    return SemiJoinBounds(
+        column=column,
+        low=None if low is None else python_value(dtype, low),
+        high=None if high is None else python_value(dtype, high),
+        values=frozenset(values) if values is not None else None,
+        tuples_seen=seen,
+    )
+
+
+def reduction_predicate(
+    r_column: str, op: CmpOp | str, bounds: SemiJoinBounds
+) -> Predicate:
+    """The selection on R.A equivalent to ``∃s : R.A op s.B``.
+
+    ========  =======================================
+    operator  reduction
+    ========  =======================================
+    ``<``     ``R.A <  max(S.B)``
+    ``<=``    ``R.A <= max(S.B)``
+    ``>``     ``R.A >  min(S.B)``
+    ``>=``    ``R.A >= min(S.B)``
+    ``=``     ``min(S.B) <= R.A <= max(S.B)`` (necessary only)
+    ========  =======================================
+    """
+    if isinstance(op, str):
+        op = CmpOp(op)
+    if bounds.is_empty:
+        raise PlanningError(
+            f"semi-join against an empty relation: no {bounds.column} values"
+        )
+    if op is CmpOp.LT:
+        return cmp(r_column, "<", bounds.high)
+    if op is CmpOp.LE:
+        return cmp(r_column, "<=", bounds.high)
+    if op is CmpOp.GT:
+        return cmp(r_column, ">", bounds.low)
+    if op is CmpOp.GE:
+        return cmp(r_column, ">=", bounds.low)
+    if op is CmpOp.EQ:
+        return and_(
+            cmp(r_column, ">=", bounds.low),
+            cmp(r_column, "<=", bounds.high),
+        )
+    raise PlanningError(f"semi-join reduction does not support {op.value!r}")
+
+
+def semijoin(
+    r_table: Table,
+    r_column: str,
+    op: CmpOp | str,
+    s_table: Table,
+    s_column: str,
+    *,
+    sma_set=None,
+) -> tuple[np.ndarray, Predicate]:
+    """Evaluate ``R ⋉ (R.A op S.B)`` with SMA input reduction.
+
+    Returns ``(matching R records, the reduction predicate used)``.
+    When *sma_set* is given, R's buckets are graded with it and only
+    non-disqualifying buckets are fetched; otherwise R is scanned fully.
+    The exact check (needed for '=') runs on the reduced input.
+    """
+    if isinstance(op, str):
+        op = CmpOp(op)
+    exact = op is CmpOp.EQ
+    bounds = collect_bounds(s_table, s_column, keep_values=exact)
+    if bounds.is_empty:
+        return r_table.schema.empty_batch(), cmp(r_column, "=", 0)
+    predicate = reduction_predicate(r_column, op, bounds).bind(r_table.schema)
+
+    stats = r_table.heap.pool.stats
+    pieces: list[np.ndarray] = []
+    if sma_set is not None:
+        partitioning = sma_set.partition(predicate)
+        bucket_numbers = np.flatnonzero(~partitioning.disqualifying)
+        stats.buckets_skipped += partitioning.num_disqualifying
+    else:
+        bucket_numbers = np.arange(r_table.num_buckets)
+
+    values = (
+        np.array(sorted(bounds.values)) if exact and bounds.values else None
+    )
+    for bucket_no in bucket_numbers:
+        records = r_table.read_bucket(int(bucket_no))
+        stats.buckets_fetched += 1
+        stats.tuples_scanned += len(records)
+        mask = predicate.evaluate(records)
+        if exact and values is not None:
+            mask &= np.isin(records[r_column], values)
+        if mask.any():
+            pieces.append(records[mask])
+    if not pieces:
+        return r_table.schema.empty_batch(), predicate
+    return np.concatenate(pieces), predicate

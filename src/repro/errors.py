@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or schema/value mismatch."""
+
+
+class StorageError(ReproError):
+    """Heap-file, page, or buffer-pool level failure."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate catalog object (table, SMA set, index)."""
+
+
+class SmaDefinitionError(ReproError):
+    """An SMA definition violates the paper's restrictions.
+
+    The select clause of a ``define sma`` statement may contain only a
+    single aggregate entry, the from clause a single relation, and no
+    order specification is allowed (Section 2.1 of the paper).
+    """
+
+
+class SmaStateError(ReproError):
+    """An SMA-file is out of sync with its base relation."""
+
+
+class ParseError(ReproError):
+    """SQL front-end failure: unexpected token or unsupported construct."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(ReproError):
+    """The planner could not build a plan for the requested query."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed during evaluation."""

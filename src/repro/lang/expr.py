@@ -1,0 +1,216 @@
+"""Scalar expression AST with vectorised evaluation over record batches.
+
+Expressions appear in two places:
+
+* inside aggregate arguments — TPC-D Query 1 aggregates derived values
+  such as ``L_EXTENDEDPRICE * (1 - L_DISCOUNT)``;
+* inside SMA definitions, where the *same* expression tree must be
+  recognisable so the planner can match a query's aggregate to a
+  materialized SMA.  All node classes are frozen dataclasses, so
+  structural equality (and hashing) is free and exact.
+
+Evaluation is numpy-vectorised: :meth:`ScalarExpr.evaluate` maps a
+structured record batch to a value array, never looping per tuple
+(the scan-speed-critical path of this reproduction).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.lang.values import display_constant, storage_constant
+from repro.storage.schema import Schema
+from repro.storage.types import DataType, FLOAT64, INT64, TypeKind
+
+
+class ScalarExpr:
+    """Base class for scalar expressions; subclasses are frozen dataclasses."""
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        """Evaluate over a structured record batch, vectorised."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """Names of all columns the expression references."""
+        raise NotImplementedError
+
+    def result_type(self, schema: Schema) -> DataType:
+        """Static result type against *schema*; raises on type errors."""
+        raise NotImplementedError
+
+    def bind(self, schema: Schema) -> "ScalarExpr":
+        """Validate against *schema* and coerce constants; returns self-like."""
+        self.result_type(schema)
+        return self
+
+
+@dataclass(frozen=True)
+class ColumnRef(ScalarExpr):
+    """Reference to a named column of the input relation."""
+
+    name: str
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        return batch[self.name]
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def result_type(self, schema: Schema) -> DataType:
+        return schema.dtype_of(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(ScalarExpr):
+    """A literal constant (int, float, date, or string)."""
+
+    value: object
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        value = self.value
+        if isinstance(value, datetime.date):
+            value = storage_constant(DataType(TypeKind.DATE), value)
+        return np.full(len(batch), value)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def result_type(self, schema: Schema) -> DataType:
+        if isinstance(self.value, bool):
+            raise SchemaError("boolean literals are not scalar expressions")
+        if isinstance(self.value, int):
+            return INT64
+        if isinstance(self.value, float):
+            return FLOAT64
+        if isinstance(self.value, datetime.date):
+            return DataType(TypeKind.DATE)
+        if isinstance(self.value, str):
+            return DataType(TypeKind.CHAR, max(len(self.value), 1))
+        raise SchemaError(f"unsupported literal {self.value!r}")
+
+    def __str__(self) -> str:
+        return display_constant(self.value)
+
+
+class ArithOp(enum.Enum):
+    """Binary arithmetic operators."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+
+_NUMPY_OP = {
+    ArithOp.ADD: np.add,
+    ArithOp.SUB: np.subtract,
+    ArithOp.MUL: np.multiply,
+    ArithOp.DIV: np.divide,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(ScalarExpr):
+    """Binary arithmetic over two sub-expressions."""
+
+    op: ArithOp
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        lhs = self.left.evaluate(batch)
+        rhs = self.right.evaluate(batch)
+        if self.op is ArithOp.DIV:
+            lhs = np.asarray(lhs, dtype=np.float64)
+            rhs = np.asarray(rhs, dtype=np.float64)
+        return _NUMPY_OP[self.op](lhs, rhs)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def result_type(self, schema: Schema) -> DataType:
+        left_t = self.left.result_type(schema)
+        right_t = self.right.result_type(schema)
+        date_kinds = (TypeKind.DATE,)
+        # DATE arithmetic: date - date -> int days; date +/- int -> date.
+        if left_t.kind in date_kinds or right_t.kind in date_kinds:
+            if self.op in (ArithOp.ADD, ArithOp.SUB) and (
+                left_t.kind is TypeKind.DATE
+                and right_t.kind in (TypeKind.INT32, TypeKind.INT64)
+            ):
+                return left_t
+            if self.op is ArithOp.SUB and (
+                left_t.kind is TypeKind.DATE and right_t.kind is TypeKind.DATE
+            ):
+                return INT64
+            raise SchemaError(
+                f"unsupported date arithmetic: {left_t} {self.op.value} {right_t}"
+            )
+        if not (left_t.is_numeric and right_t.is_numeric):
+            raise SchemaError(
+                f"arithmetic requires numeric operands, got {left_t} and {right_t}"
+            )
+        if self.op is ArithOp.DIV:
+            return FLOAT64
+        if left_t.kind is TypeKind.FLOAT64 or right_t.kind is TypeKind.FLOAT64:
+            return FLOAT64
+        return INT64
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op.value} {self.right})"
+
+
+@dataclass(frozen=True)
+class Neg(ScalarExpr):
+    """Unary negation."""
+
+    operand: ScalarExpr
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        return np.negative(self.operand.evaluate(batch))
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def result_type(self, schema: Schema) -> DataType:
+        inner = self.operand.result_type(schema)
+        if not inner.is_numeric:
+            raise SchemaError(f"cannot negate {inner}")
+        return inner
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def const(value: object) -> Const:
+    """Shorthand constructor for a literal."""
+    return Const(value)
+
+
+def add(left: ScalarExpr, right: ScalarExpr) -> BinOp:
+    return BinOp(ArithOp.ADD, left, right)
+
+
+def sub(left: ScalarExpr, right: ScalarExpr) -> BinOp:
+    return BinOp(ArithOp.SUB, left, right)
+
+
+def mul(left: ScalarExpr, right: ScalarExpr) -> BinOp:
+    return BinOp(ArithOp.MUL, left, right)
+
+
+def div(left: ScalarExpr, right: ScalarExpr) -> BinOp:
+    return BinOp(ArithOp.DIV, left, right)

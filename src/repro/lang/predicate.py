@@ -1,0 +1,306 @@
+"""Selection predicate AST with vectorised evaluation.
+
+The atomic forms mirror Section 3.1 of the paper exactly:
+
+* ``A = c`` (and the ``A <> c`` complement),
+* ``A <= c`` / ``A < c``,
+* ``A >= c`` / ``A > c``,
+* ``A <= B`` / ``A < B`` (two attributes of the same relation),
+
+combined with ``and``, ``or`` and ``not``.  The SMA grading rules in
+:mod:`repro.core.grade` pattern-match on these node types.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.lang.expr import ColumnRef
+from repro.lang.values import display_constant, storage_constant
+from repro.storage.schema import Schema
+from repro.storage.types import TypeKind
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators of atomic predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def flipped(self) -> "CmpOp":
+        """The operator with sides swapped (``a < b`` ⇔ ``b > a``)."""
+        return _FLIP[self]
+
+    @property
+    def negated(self) -> "CmpOp":
+        """The complementary operator (``not (a < b)`` ⇔ ``a >= b``)."""
+        return _NEGATE[self]
+
+
+_FLIP = {
+    CmpOp.EQ: CmpOp.EQ,
+    CmpOp.NE: CmpOp.NE,
+    CmpOp.LT: CmpOp.GT,
+    CmpOp.LE: CmpOp.GE,
+    CmpOp.GT: CmpOp.LT,
+    CmpOp.GE: CmpOp.LE,
+}
+
+_NEGATE = {
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.GT: CmpOp.LE,
+    CmpOp.GE: CmpOp.LT,
+}
+
+_NUMPY_CMP = {
+    CmpOp.EQ: np.equal,
+    CmpOp.NE: np.not_equal,
+    CmpOp.LT: np.less,
+    CmpOp.LE: np.less_equal,
+    CmpOp.GT: np.greater,
+    CmpOp.GE: np.greater_equal,
+}
+
+
+class Predicate:
+    """Base class of all predicate nodes."""
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation: a boolean array over the batch."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def bind(self, schema: Schema) -> "Predicate":
+        """Validate against *schema*, coercing constants; returns a bound copy."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate (query with no WHERE clause)."""
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def bind(self, schema: Schema) -> "TruePredicate":
+        return self
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class ColumnConstCmp(Predicate):
+    """Atomic predicate ``A θ c`` for a column A and constant c."""
+
+    column: str
+    op: CmpOp
+    constant: object
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        return _NUMPY_CMP[self.op](batch[self.column], self.constant)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def bind(self, schema: Schema) -> "ColumnConstCmp":
+        dtype = schema.dtype_of(self.column)
+        if not dtype.is_orderable and self.op not in (CmpOp.EQ, CmpOp.NE):
+            raise SchemaError(f"{dtype} supports only =/<> comparisons")
+        coerced = storage_constant(dtype, self.constant)
+        return ColumnConstCmp(self.column, self.op, coerced)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {display_constant(self.constant)}"
+
+
+@dataclass(frozen=True)
+class ColumnColumnCmp(Predicate):
+    """Atomic predicate ``A θ B`` for two columns of the same relation."""
+
+    left: str
+    op: CmpOp
+    right: str
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        return _NUMPY_CMP[self.op](batch[self.left], batch[self.right])
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.left, self.right))
+
+    def bind(self, schema: Schema) -> "ColumnColumnCmp":
+        left_t = schema.dtype_of(self.left)
+        right_t = schema.dtype_of(self.right)
+        comparable = (
+            left_t == right_t
+            or (left_t.is_numeric and right_t.is_numeric)
+        )
+        if not comparable:
+            raise SchemaError(f"cannot compare {left_t} with {right_t}")
+        return self
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two or more predicates."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise SchemaError("AND needs at least two operands")
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        result = self.operands[0].evaluate(batch)
+        for operand in self.operands[1:]:
+            result = result & operand.evaluate(batch)
+        return result
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(p.columns() for p in self.operands))
+
+    def bind(self, schema: Schema) -> "And":
+        return And(tuple(p.bind(schema) for p in self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(p) for p in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two or more predicates."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise SchemaError("OR needs at least two operands")
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        result = self.operands[0].evaluate(batch)
+        for operand in self.operands[1:]:
+            result = result | operand.evaluate(batch)
+        return result
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(p.columns() for p in self.operands))
+
+    def bind(self, schema: Schema) -> "Or":
+        return Or(tuple(p.bind(schema) for p in self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(p) for p in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def evaluate(self, batch: np.ndarray) -> np.ndarray:
+        return ~self.operand.evaluate(batch)
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def bind(self, schema: Schema) -> "Not":
+        return Not(self.operand.bind(schema))
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+
+
+def cmp(column: str | ColumnRef, op: CmpOp | str, value: object) -> Predicate:
+    """Build an atomic comparison; dispatches on the right-hand side.
+
+    ``cmp("a", "<=", 5)`` builds a column/constant comparison;
+    ``cmp("a", "<=", col("b"))`` builds a column/column comparison.
+    """
+    if isinstance(column, ColumnRef):
+        column = column.name
+    if isinstance(op, str):
+        op = CmpOp(op)
+    if isinstance(value, ColumnRef):
+        return ColumnColumnCmp(column, op, value.name)
+    return ColumnConstCmp(column, op, value)
+
+
+def and_(*operands: Predicate) -> Predicate:
+    """N-ary AND, flattening nested ANDs; one operand returns itself."""
+    flat: list[Predicate] = []
+    for operand in operands:
+        if isinstance(operand, And):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return TruePredicate()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def or_(*operands: Predicate) -> Predicate:
+    """N-ary OR, flattening nested ORs; one operand returns itself."""
+    flat: list[Predicate] = []
+    for operand in operands:
+        if isinstance(operand, Or):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        raise SchemaError("OR of zero operands")
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def not_(operand: Predicate) -> Predicate:
+    """Negation, simplifying atomic comparisons into their complements."""
+    if isinstance(operand, ColumnConstCmp):
+        return ColumnConstCmp(operand.column, operand.op.negated, operand.constant)
+    if isinstance(operand, ColumnColumnCmp):
+        return ColumnColumnCmp(operand.left, operand.op.negated, operand.right)
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def atoms(predicate: Predicate) -> Iterable[Predicate]:
+    """Yield every atomic comparison in a predicate tree."""
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (And, Or)):
+            stack.extend(node.operands)
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (ColumnConstCmp, ColumnColumnCmp)):
+            yield node

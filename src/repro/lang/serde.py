@@ -1,0 +1,156 @@
+"""JSON (de)serialization of expressions, predicates and group keys.
+
+SMA sets persist their definitions next to their SMA-files so a catalog
+can re-open them in a later process; that requires round-tripping the
+expression ASTs.  The format is a small tagged-node JSON tree.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import SchemaError
+from repro.lang.expr import (
+    ArithOp,
+    BinOp,
+    ColumnRef,
+    Const,
+    Neg,
+    ScalarExpr,
+)
+from repro.lang.predicate import (
+    And,
+    CmpOp,
+    ColumnColumnCmp,
+    ColumnConstCmp,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+
+def _value_to_json(value: object) -> dict:
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, datetime.date):
+        return {"t": "date", "v": value.isoformat()}
+    if isinstance(value, bytes):
+        return {"t": "bytes", "v": value.decode("latin-1")}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, float):
+        return {"t": "float", "v": value}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    raise SchemaError(f"cannot serialize constant {value!r}")
+
+
+def _value_from_json(node: dict) -> object:
+    tag, raw = node["t"], node["v"]
+    if tag == "bool":
+        return bool(raw)
+    if tag == "date":
+        return datetime.date.fromisoformat(raw)
+    if tag == "bytes":
+        return raw.encode("latin-1")
+    if tag == "int":
+        return int(raw)
+    if tag == "float":
+        return float(raw)
+    if tag == "str":
+        return str(raw)
+    raise SchemaError(f"unknown constant tag {tag!r}")
+
+
+def expr_to_json(expr: ScalarExpr) -> dict:
+    """Serialize a scalar expression tree."""
+    if isinstance(expr, ColumnRef):
+        return {"node": "col", "name": expr.name}
+    if isinstance(expr, Const):
+        return {"node": "const", "value": _value_to_json(expr.value)}
+    if isinstance(expr, BinOp):
+        return {
+            "node": "bin",
+            "op": expr.op.value,
+            "left": expr_to_json(expr.left),
+            "right": expr_to_json(expr.right),
+        }
+    if isinstance(expr, Neg):
+        return {"node": "neg", "operand": expr_to_json(expr.operand)}
+    raise SchemaError(f"cannot serialize expression {expr!r}")
+
+
+def expr_from_json(node: dict) -> ScalarExpr:
+    """Rebuild a scalar expression tree from :func:`expr_to_json` output."""
+    kind = node["node"]
+    if kind == "col":
+        return ColumnRef(node["name"])
+    if kind == "const":
+        return Const(_value_from_json(node["value"]))
+    if kind == "bin":
+        return BinOp(
+            ArithOp(node["op"]),
+            expr_from_json(node["left"]),
+            expr_from_json(node["right"]),
+        )
+    if kind == "neg":
+        return Neg(expr_from_json(node["operand"]))
+    raise SchemaError(f"unknown expression node {kind!r}")
+
+
+def predicate_to_json(predicate: Predicate) -> dict:
+    """Serialize a predicate tree."""
+    if isinstance(predicate, TruePredicate):
+        return {"node": "true"}
+    if isinstance(predicate, ColumnConstCmp):
+        return {
+            "node": "cmp_const",
+            "column": predicate.column,
+            "op": predicate.op.value,
+            "constant": _value_to_json(predicate.constant),
+        }
+    if isinstance(predicate, ColumnColumnCmp):
+        return {
+            "node": "cmp_col",
+            "left": predicate.left,
+            "op": predicate.op.value,
+            "right": predicate.right,
+        }
+    if isinstance(predicate, And):
+        return {"node": "and", "operands": [predicate_to_json(p) for p in predicate.operands]}
+    if isinstance(predicate, Or):
+        return {"node": "or", "operands": [predicate_to_json(p) for p in predicate.operands]}
+    if isinstance(predicate, Not):
+        return {"node": "not", "operand": predicate_to_json(predicate.operand)}
+    raise SchemaError(f"cannot serialize predicate {predicate!r}")
+
+
+def predicate_from_json(node: dict) -> Predicate:
+    """Rebuild a predicate tree from :func:`predicate_to_json` output."""
+    kind = node["node"]
+    if kind == "true":
+        return TruePredicate()
+    if kind == "cmp_const":
+        return ColumnConstCmp(
+            node["column"], CmpOp(node["op"]), _value_from_json(node["constant"])
+        )
+    if kind == "cmp_col":
+        return ColumnColumnCmp(node["left"], CmpOp(node["op"]), node["right"])
+    if kind == "and":
+        return And(tuple(predicate_from_json(p) for p in node["operands"]))
+    if kind == "or":
+        return Or(tuple(predicate_from_json(p) for p in node["operands"]))
+    if kind == "not":
+        return Not(predicate_from_json(node["operand"]))
+    raise SchemaError(f"unknown predicate node {kind!r}")
+
+
+def group_key_to_json(key: tuple) -> list:
+    """Serialize a group key (tuple of primitive values)."""
+    return [_value_to_json(v) for v in key]
+
+
+def group_key_from_json(items: list) -> tuple:
+    """Rebuild a group key from :func:`group_key_to_json` output."""
+    return tuple(_value_from_json(v) for v in items)

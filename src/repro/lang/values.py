@@ -1,0 +1,44 @@
+"""Constant handling for the expression language.
+
+Query constants arrive as Python values (ints, floats, dates, strings)
+and must be compared against stored representations (day numbers, padded
+bytes).  :func:`storage_constant` performs that coercion given the column
+type a constant is compared with.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from repro.storage.types import DataType, TypeKind, coerce_value
+
+
+def storage_constant(dtype: DataType, value: object) -> object:
+    """Coerce *value* to the storable domain of *dtype* for comparison.
+
+    Unlike :func:`repro.storage.types.coerce_value` this is permissive
+    about numeric widths (an int constant may be compared with a FLOAT64
+    column and vice versa) because predicates compare, not store.
+    """
+    if dtype.kind is TypeKind.FLOAT64 and isinstance(value, (int, np.integer)):
+        return float(value)
+    if (
+        dtype.kind in (TypeKind.INT32, TypeKind.INT64)
+        and isinstance(value, (float, np.floating))
+        and float(value).is_integer()
+    ):
+        return int(value)
+    return coerce_value(dtype, value)
+
+
+def display_constant(value: object) -> str:
+    """Human-readable rendering of a constant for plan/SQL display."""
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bytes):
+        return "'" + value.decode("ascii", errors="replace") + "'"
+    return str(value)

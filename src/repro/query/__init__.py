@@ -1,0 +1,31 @@
+"""Query engine: physical algebra, SMA-aware planning, session façade."""
+
+from repro.query.aggregation import AggregationState
+from repro.query.gaggr import GAggr
+from repro.query.iterators import Filter, Operator, Project, SeqScan, SmaScan
+from repro.query.planner import Plan, PlanInfo, Planner, fetch_io_profile
+from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+from repro.query.session import QueryResult, Session
+from repro.query.sma_gaggr import SmaGAggr, sma_covers, sma_requirements
+
+__all__ = [
+    "AggregateQuery",
+    "AggregationState",
+    "Filter",
+    "GAggr",
+    "Operator",
+    "OutputAggregate",
+    "Plan",
+    "PlanInfo",
+    "Planner",
+    "Project",
+    "QueryResult",
+    "ScanQuery",
+    "SeqScan",
+    "Session",
+    "SmaGAggr",
+    "SmaScan",
+    "fetch_io_profile",
+    "sma_covers",
+    "sma_requirements",
+]

@@ -1,0 +1,199 @@
+"""Shared grouping-aggregation state machine.
+
+Both GAggr (plain) and SMA_GAggr (Figure 7) advance the same per-group
+state; the latter additionally advances it from SMA-file entries for
+qualifying buckets.  The three phases of the paper's Section 3.3 map to
+:meth:`AggregationState.__init__` (allocate + initialize), the
+``consume_batch`` / ``advance_*`` calls (advance), and
+:meth:`AggregationState.finalize` (divide sums by counts for averages).
+
+A ``count(*)`` is always tracked per group even when the query does not
+ask for it — exactly as the paper prescribes: "If the result aggregates
+do not contain a count(*) and if averages are demanded by the query, we
+add it."  It also decides group *presence*: a group appears in the
+output only if at least one tuple satisfied the predicate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregates import AggregateKind
+from repro.core.grouping import GroupKey, bucket_groups
+from repro.errors import ExecutionError
+from repro.query.query import OutputAggregate
+from repro.storage.schema import Schema
+from repro.storage.types import TypeKind, int_to_date
+
+
+class _GroupState:
+    """Mutable accumulator for one group."""
+
+    __slots__ = ("count", "sums", "mins", "maxs")
+
+    def __init__(self, num_aggregates: int):
+        self.count = 0
+        self.sums = [0] * num_aggregates  # SUM and AVG running totals
+        self.mins: list[object] = [None] * num_aggregates
+        self.maxs: list[object] = [None] * num_aggregates
+
+
+class AggregationState:
+    """Per-group running aggregates for one grouping-aggregation query."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        group_by: tuple[str, ...],
+        aggregates: tuple[OutputAggregate, ...],
+    ):
+        self.schema = schema
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self._groups: dict[GroupKey, _GroupState] = {}
+        # min/max over DATE columns accumulate as int day numbers and
+        # convert back at finalize; remember which outputs need that.
+        self._is_date_result = []
+        for aggregate in aggregates:
+            is_date = False
+            if aggregate.spec.kind in (AggregateKind.MIN, AggregateKind.MAX):
+                assert aggregate.spec.argument is not None
+                result = aggregate.spec.argument.result_type(schema)
+                is_date = result.kind is TypeKind.DATE
+            self._is_date_result.append(is_date)
+
+    def _state(self, key: GroupKey) -> _GroupState:
+        state = self._groups.get(key)
+        if state is None:
+            state = _GroupState(len(self.aggregates))
+            self._groups[key] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # advancing from raw tuples (ambivalent buckets / plain GAggr)
+    # ------------------------------------------------------------------
+
+    def consume_batch(self, batch: np.ndarray) -> None:
+        """Fold one (already filtered) record batch into the state."""
+        if len(batch) == 0:
+            return
+        keys, inverse = bucket_groups(batch, self.group_by, self.schema)
+        argument_values: list[np.ndarray | None] = []
+        for aggregate in self.aggregates:
+            spec = aggregate.spec
+            argument_values.append(
+                None if spec.argument is None else spec.argument.evaluate(batch)
+            )
+        single_group = len(keys) == 1
+        for j, key in enumerate(keys):
+            mask = None if single_group else (inverse == j)
+            size = len(batch) if mask is None else int(mask.sum())
+            state = self._state(key)
+            state.count += size
+            for i, aggregate in enumerate(self.aggregates):
+                kind = aggregate.spec.kind
+                if kind is AggregateKind.COUNT:
+                    continue  # served by the shared per-group count
+                values = argument_values[i]
+                assert values is not None
+                if mask is not None:
+                    values = values[mask]
+                if kind in (AggregateKind.SUM, AggregateKind.AVG):
+                    state.sums[i] += values.sum()
+                elif kind is AggregateKind.MIN:
+                    low = values.min()
+                    if state.mins[i] is None or low < state.mins[i]:
+                        state.mins[i] = low
+                elif kind is AggregateKind.MAX:
+                    high = values.max()
+                    if state.maxs[i] is None or high > state.maxs[i]:
+                        state.maxs[i] = high
+
+    # ------------------------------------------------------------------
+    # advancing from SMA entries (qualifying buckets in SMA_GAggr)
+    # ------------------------------------------------------------------
+
+    def advance_count(self, key: GroupKey, count: int) -> None:
+        if count:
+            self._state(key).count += int(count)
+
+    def advance_sum(self, key: GroupKey, index: int, total: object) -> None:
+        self._state(key).sums[index] += total
+
+    def advance_min(self, key: GroupKey, index: int, value: object) -> None:
+        state = self._state(key)
+        if state.mins[index] is None or value < state.mins[index]:
+            state.mins[index] = value
+
+    def advance_max(self, key: GroupKey, index: int, value: object) -> None:
+        state = self._state(key)
+        if state.maxs[index] is None or value > state.maxs[index]:
+            state.maxs[index] = value
+
+    # ------------------------------------------------------------------
+    # finalize (phase three)
+    # ------------------------------------------------------------------
+
+    def _finalize_value(self, state: _GroupState, index: int) -> object:
+        kind = self.aggregates[index].spec.kind
+        if kind is AggregateKind.COUNT:
+            return state.count
+        if kind is AggregateKind.SUM:
+            if state.count == 0:
+                return None
+            total = state.sums[index]
+            return total.item() if isinstance(total, np.generic) else total
+        if kind is AggregateKind.AVG:
+            if state.count == 0:
+                return None
+            total = state.sums[index]
+            return float(total) / state.count
+        store = state.mins if kind is AggregateKind.MIN else state.maxs
+        value = store[index]
+        if value is None:
+            return None
+        if isinstance(value, bytes):
+            return value.rstrip(b"\x00").decode("ascii", errors="replace")
+        if self._is_date_result[index]:
+            return int_to_date(int(value))
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    def finalize(self) -> tuple[list[str], list[tuple]]:
+        """Output ``(columns, rows)``; groups with zero tuples are dropped.
+
+        An ungrouped query always yields exactly one row (count 0, None
+        aggregates when nothing qualified), per SQL semantics.
+        """
+        columns = list(self.group_by) + [a.name for a in self.aggregates]
+        rows: list[tuple] = []
+        if not self.group_by:
+            state = self._groups.get((), _GroupState(len(self.aggregates)))
+            rows.append(
+                tuple(self._finalize_value(state, i) for i in range(len(self.aggregates)))
+            )
+            return columns, rows
+        for key in sorted(self._groups, key=repr):
+            state = self._groups[key]
+            if state.count == 0:
+                continue
+            values = tuple(
+                self._finalize_value(state, i) for i in range(len(self.aggregates))
+            )
+            rows.append(key + values)
+        return columns, rows
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+
+def find_aggregate_index(
+    aggregates: tuple[OutputAggregate, ...], name: str
+) -> int:
+    """Position of the output aggregate called *name*."""
+    for i, aggregate in enumerate(aggregates):
+        if aggregate.name == name:
+            return i
+    raise ExecutionError(f"no aggregate named {name!r}")

@@ -1,0 +1,33 @@
+"""GAggr — grouping with aggregation, after Dayal [4].
+
+The plain (SMA-less) pipeline breaker: consume the child operator fully,
+group tuples, advance aggregates, finalize averages.  Used as the
+baseline side of every runtime experiment.
+"""
+
+from __future__ import annotations
+
+from repro.query.aggregation import AggregationState
+from repro.query.iterators import Operator
+from repro.query.query import OutputAggregate
+
+
+class GAggr:
+    """Hash grouping-aggregation over a child operator."""
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: tuple[str, ...],
+        aggregates: tuple[OutputAggregate, ...],
+    ):
+        self.child = child
+        self.group_by = group_by
+        self.aggregates = aggregates
+
+    def execute(self) -> tuple[list[str], list[tuple]]:
+        """Compute the full result (the operator's init phase)."""
+        state = AggregationState(self.child.schema, self.group_by, self.aggregates)
+        for batch in self.child.batches():
+            state.consume_batch(batch)
+        return state.finalize()

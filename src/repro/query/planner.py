@@ -1,0 +1,346 @@
+"""Plan generation in the presence of SMAs (Section 3).
+
+The planner decides, per query, between the plain sequential plan and
+the SMA plan.  Grading is cheap (it touches only SMA-files, ~0.1 % of
+the data), so the planner *actually grades* and then compares the two
+closed-form costs from the disk model:
+
+* ``cost_scan``: read every page sequentially, charge every tuple;
+* ``cost_sma``: read all needed SMA-files sequentially, charge every SMA
+  entry, then fetch only the buckets the operator will touch (ambivalent
+  ones for SMA_GAggr; qualifying + ambivalent for SMA_Scan), paying a
+  skip charge for every gap in the fetch sequence.
+
+The paper's ≈ 25 % break-even of Figure 5 is *not* hard-coded anywhere;
+it emerges from these two formulas.  When the planner mis-predicts (it
+cannot, much — grading is exact), the worst case is the paper's own
+observation: the discarded grading work costs < 2 % of the scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.partition import BucketPartitioning
+from repro.core.sma_set import SmaSet
+from repro.errors import PlanningError
+from repro.lang.predicate import Predicate, atoms
+from repro.query.gaggr import GAggr
+from repro.query.iterators import Filter, Project, SeqScan, SmaScan
+from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.sma_gaggr import SmaGAggr, sma_covers, sma_requirements
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskModel, PAPER_DISK
+from repro.storage.table import Table
+
+
+@dataclass
+class PlanInfo:
+    """What the planner decided and why (returned with every result)."""
+
+    strategy: str  # "sma_gaggr" | "gaggr" | "sma_scan" | "seq_scan"
+    reason: str
+    sma_set_name: str | None = None
+    fraction_ambivalent: float | None = None
+    est_sma_seconds: float | None = None
+    est_scan_seconds: float | None = None
+
+    def __str__(self) -> str:
+        lines = [f"strategy: {self.strategy} ({self.reason})"]
+        if self.sma_set_name is not None:
+            lines.append(f"sma set: {self.sma_set_name}")
+        if self.fraction_ambivalent is not None:
+            lines.append(f"ambivalent buckets: {self.fraction_ambivalent:.1%}")
+        if self.est_sma_seconds is not None and self.est_scan_seconds is not None:
+            lines.append(
+                f"estimated cost: sma {self.est_sma_seconds:.3f}s vs "
+                f"scan {self.est_scan_seconds:.3f}s (simulated)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Plan:
+    """An executable plan: call :meth:`run` to produce (columns, rows)."""
+
+    info: PlanInfo
+    _runner: object  # zero-argument callable
+
+    def run(self) -> tuple[list[str], list[tuple]]:
+        return self._runner()
+
+
+def fetch_io_profile(
+    fetched: np.ndarray, pages_per_bucket: int
+) -> tuple[int, int]:
+    """Split a bucket-fetch pattern into (sequential, skip) page counts.
+
+    Consecutive fetched buckets stream; every gap costs one skip charge
+    on the first page after it.  The very first fetched bucket counts as
+    a skip (the scan has to position once).
+    """
+    indices = np.flatnonzero(fetched)
+    if len(indices) == 0:
+        return 0, 0
+    gaps = int((np.diff(indices) > 1).sum()) + 1  # +1 for initial positioning
+    total_pages = len(indices) * pages_per_bucket
+    return total_pages - gaps, gaps
+
+
+class Planner:
+    """Chooses and builds physical plans against one catalog."""
+
+    def __init__(self, catalog: Catalog, disk_model: DiskModel = PAPER_DISK):
+        self.catalog = catalog
+        self.disk_model = disk_model
+
+    # ------------------------------------------------------------------
+    # candidate selection
+    # ------------------------------------------------------------------
+
+    def _candidate_sets(
+        self, table: Table, sma_set: str | SmaSet | None
+    ) -> list[SmaSet]:
+        if isinstance(sma_set, SmaSet):
+            return [sma_set]
+        if isinstance(sma_set, str):
+            return [self.catalog.sma_set(table.name, sma_set)]
+        return self.catalog.sma_sets(table.name)
+
+    def _sma_pages_entries(
+        self,
+        sma_set: SmaSet,
+        predicate: Predicate,
+        aggregate_specs: list[AggregateSpec],
+        group_by: tuple[str, ...],
+    ) -> tuple[int, int]:
+        """Pages/entries of every SMA-file the SMA plan would read."""
+        files: dict[int, object] = {}
+
+        def note(sma) -> None:
+            files[id(sma)] = sma
+
+        for atom in atoms(predicate):
+            for column in atom.columns():
+                sma_set.column_bounds(column, note)
+                # count-SMA files would also be read; approximate by the
+                # bounds files (count grading is rare and tiny anyway).
+        for spec in aggregate_specs:
+            found = sma_set.rollup_aggregate_files(spec, group_by)
+            if found:
+                for sma in found[0].values():
+                    note(sma)
+        pages = sum(sma.num_pages for sma in files.values())
+        entries = sum(sma.num_entries for sma in files.values())
+        return pages, entries, len(files)
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+
+    def plan_aggregate(
+        self,
+        query: AggregateQuery,
+        *,
+        mode: str = "auto",
+        sma_set: str | SmaSet | None = None,
+    ) -> Plan:
+        """Build a plan for an aggregation query.
+
+        *mode* is ``auto`` (cost-based), ``sma`` (force the SMA plan —
+        raises if impossible) or ``scan`` (force the sequential plan).
+        """
+        if mode not in ("auto", "sma", "scan"):
+            raise PlanningError(f"unknown planning mode {mode!r}")
+        table = self.catalog.table(query.table)
+        query.validate(table.schema)
+        predicate = query.where.bind(table.schema)
+
+        def scan_plan(reason: str, info_extra: dict | None = None) -> Plan:
+            info = PlanInfo(strategy="gaggr", reason=reason, **(info_extra or {}))
+            operator = GAggr(
+                Filter(SeqScan(table), predicate), query.group_by, query.aggregates
+            )
+            return Plan(info, operator.execute)
+
+        if mode == "scan":
+            return scan_plan("forced by caller")
+
+        covering = [
+            candidate
+            for candidate in self._candidate_sets(table, sma_set)
+            if sma_covers(candidate, query.aggregates, query.group_by)
+        ]
+        if not covering:
+            if mode == "sma":
+                raise PlanningError(
+                    f"no SMA set on {table.name!r} covers this query's aggregates"
+                )
+            return scan_plan("no covering SMA set")
+
+        chosen_set = covering[0]
+        partitioning = chosen_set.partition(predicate)
+        est_sma, est_scan = self._estimate_gaggr(
+            table, chosen_set, predicate, query, partitioning
+        )
+        info = PlanInfo(
+            strategy="sma_gaggr",
+            reason="cost-based" if mode == "auto" else "forced by caller",
+            sma_set_name=chosen_set.name,
+            fraction_ambivalent=partitioning.fraction_ambivalent,
+            est_sma_seconds=est_sma,
+            est_scan_seconds=est_scan,
+        )
+        if mode == "auto" and est_scan < est_sma:
+            return scan_plan(
+                "cost-based: scan is cheaper",
+                {
+                    "sma_set_name": chosen_set.name,
+                    "fraction_ambivalent": partitioning.fraction_ambivalent,
+                    "est_sma_seconds": est_sma,
+                    "est_scan_seconds": est_scan,
+                },
+            )
+        operator = SmaGAggr(
+            table,
+            predicate,
+            query.group_by,
+            query.aggregates,
+            chosen_set,
+            partitioning=partitioning,
+        )
+        return Plan(info, operator.execute)
+
+    def _estimate_gaggr(
+        self,
+        table: Table,
+        sma_set: SmaSet,
+        predicate: Predicate,
+        query: AggregateQuery,
+        partitioning: BucketPartitioning,
+    ) -> tuple[float, float]:
+        model = self.disk_model
+        # One positioning seek to start the scan; one per SMA-file opened.
+        est_scan = (
+            model.scan_seconds(table.num_pages, table.num_records)
+            + model.random_page_s
+        )
+        sma_pages, sma_entries, num_files = self._sma_pages_entries(
+            sma_set,
+            predicate,
+            sma_requirements(query.aggregates),
+            query.group_by,
+        )
+        ambivalent = partitioning.ambivalent
+        seq_pages, skip_pages = fetch_io_profile(
+            ambivalent, table.layout.pages_per_bucket
+        )
+        counts = np.asarray(table.heap.bucket_counts())
+        fetch_tuples = int(counts[ambivalent].sum())
+        est_sma = (
+            model.sma_seconds(
+                sma_pages, sma_entries, seq_pages, skip_pages, fetch_tuples
+            )
+            + num_files * model.random_page_s
+        )
+        return est_sma, est_scan
+
+    # ------------------------------------------------------------------
+    # scan queries
+    # ------------------------------------------------------------------
+
+    def plan_scan(
+        self,
+        query: ScanQuery,
+        *,
+        mode: str = "auto",
+        sma_set: str | SmaSet | None = None,
+    ) -> Plan:
+        """Build a plan for a tuple-returning selection."""
+        if mode not in ("auto", "sma", "scan"):
+            raise PlanningError(f"unknown planning mode {mode!r}")
+        table = self.catalog.table(query.table)
+        query.validate(table.schema)
+        predicate = query.where.bind(table.schema)
+
+        def finish(operator) -> object:
+            if query.columns:
+                operator = Project(operator, query.columns)
+
+            def runner() -> tuple[list[str], list[tuple]]:
+                from repro.storage.types import python_value
+
+                schema = operator.schema
+                dtypes = [schema.dtype_of(name) for name in schema.names]
+                columns = list(schema.names)
+                rows = [
+                    tuple(
+                        python_value(dtype, value)
+                        for dtype, value in zip(dtypes, record)
+                    )
+                    for record in operator.rows()
+                ]
+                return columns, rows
+
+            return runner
+
+        def scan_plan(reason: str) -> Plan:
+            info = PlanInfo(strategy="seq_scan", reason=reason)
+            return Plan(info, finish(Filter(SeqScan(table), predicate)))
+
+        if mode == "scan":
+            return scan_plan("forced by caller")
+
+        candidates = self._candidate_sets(table, sma_set)
+        referenced = {
+            column for atom in atoms(predicate) for column in atom.columns()
+        }
+        usable = [
+            candidate
+            for candidate in candidates
+            if any(candidate.column_bounds(column) for column in referenced)
+        ]
+        if not usable:
+            if mode == "sma":
+                raise PlanningError(
+                    f"no SMA set on {table.name!r} can grade this predicate"
+                )
+            return scan_plan("no applicable selection SMA")
+
+        chosen_set = usable[0]
+        partitioning = chosen_set.partition(predicate)
+        model = self.disk_model
+        est_scan = (
+            model.scan_seconds(table.num_pages, table.num_records)
+            + model.random_page_s
+        )
+        fetched = ~partitioning.disqualifying
+        seq_pages, skip_pages = fetch_io_profile(
+            fetched, table.layout.pages_per_bucket
+        )
+        counts = np.asarray(table.heap.bucket_counts())
+        fetch_tuples = int(counts[fetched].sum())
+        sma_pages, sma_entries, num_files = self._sma_pages_entries(
+            chosen_set, predicate, [], ()
+        )
+        est_sma = (
+            model.sma_seconds(
+                sma_pages, sma_entries, seq_pages, skip_pages, fetch_tuples
+            )
+            + num_files * model.random_page_s
+        )
+        info = PlanInfo(
+            strategy="sma_scan",
+            reason="cost-based" if mode == "auto" else "forced by caller",
+            sma_set_name=chosen_set.name,
+            fraction_ambivalent=partitioning.fraction_ambivalent,
+            est_sma_seconds=est_sma,
+            est_scan_seconds=est_scan,
+        )
+        if mode == "auto" and est_scan < est_sma:
+            return scan_plan("cost-based: scan is cheaper")
+        operator = SmaScan(table, predicate, chosen_set, partitioning=partitioning)
+        return Plan(info, finish(operator))

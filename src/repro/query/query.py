@@ -1,0 +1,92 @@
+"""Logical query descriptions the planner accepts.
+
+Two shapes cover the paper's workloads:
+
+* :class:`AggregateQuery` — single-table selection + grouping +
+  aggregation (TPC-D Query 1 and 6 are instances);
+* :class:`ScanQuery` — single-table selection returning tuples
+  (the SMA_Scan use case, including the semi-join reduction of §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregates import AggregateSpec
+from repro.errors import PlanningError
+from repro.lang.predicate import Predicate, TruePredicate
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class OutputAggregate:
+    """One aggregate in the select clause, with its output column name."""
+
+    name: str
+    spec: AggregateSpec
+
+    def __str__(self) -> str:
+        return f"{self.spec} AS {self.name}"
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``SELECT <group_by>, <aggregates> FROM t WHERE .. GROUP BY .. ORDER BY ..``"""
+
+    table: str
+    aggregates: tuple[OutputAggregate, ...]
+    where: Predicate = field(default_factory=TruePredicate)
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[str, ...] = ()
+    #: subset of order_by sorted descending (the rest sort ascending)
+    order_desc: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise PlanningError("an aggregate query needs at least one aggregate")
+        names = [a.name for a in self.aggregates]
+        if len(set(names)) != len(names):
+            raise PlanningError(f"duplicate output names {names}")
+        stray = set(self.order_desc) - set(self.order_by)
+        if stray:
+            raise PlanningError(
+                f"order_desc columns {sorted(stray)} not in order_by"
+            )
+
+    @property
+    def output_columns(self) -> tuple[str, ...]:
+        return self.group_by + tuple(a.name for a in self.aggregates)
+
+    def validate(self, schema: Schema) -> None:
+        self.where.bind(schema)
+        for column in self.group_by:
+            schema.column(column)
+        for aggregate in self.aggregates:
+            aggregate.spec.validate(schema)
+            for column in aggregate.spec.columns():
+                schema.column(column)
+        for column in self.order_by:
+            if column not in self.output_columns:
+                raise PlanningError(
+                    f"order-by column {column!r} is not in the output "
+                    f"{self.output_columns}"
+                )
+
+
+@dataclass(frozen=True)
+class ScanQuery:
+    """``SELECT <columns|*> FROM t WHERE ..`` returning base tuples."""
+
+    table: str
+    where: Predicate = field(default_factory=TruePredicate)
+    columns: tuple[str, ...] = ()  # empty means all columns
+
+    def validate(self, schema: Schema) -> None:
+        self.where.bind(schema)
+        for column in self.columns:
+            schema.column(column)
+
+    def output_schema(self, schema: Schema) -> Schema:
+        if not self.columns:
+            return schema
+        return schema.project(self.columns)

@@ -1,0 +1,160 @@
+"""SMA_GAggr — the operator of Figure 7.
+
+Computes a grouping-aggregation query using two kinds of SMAs:
+
+* *selection SMAs* grade every bucket against the predicate (through
+  :meth:`SmaSet.partition`, Section 3.1);
+* *aggregate SMAs* supply ready-made per-bucket per-group aggregate
+  values, so qualifying buckets never touch the base relation — only
+  ambivalent buckets are fetched and their tuples inspected.
+
+The scan of the relation's ambivalent buckets proceeds in bucket order,
+"in sync" with the (fully sequentially read) SMA-files, exactly as
+Section 2.3 describes.  Averages are derived as sum/count in the final
+phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregates import AggregateKind, AggregateSpec, count_star
+from repro.core.partition import BucketPartitioning
+from repro.core.sma_set import SmaSet
+from repro.errors import PlanningError
+from repro.lang.predicate import Predicate
+from repro.query.aggregation import AggregationState
+from repro.query.query import OutputAggregate
+from repro.storage.table import Table
+
+
+def sma_requirements(
+    aggregates: tuple[OutputAggregate, ...],
+) -> list[AggregateSpec]:
+    """The materialized specs SMA_GAggr needs for a set of query aggregates.
+
+    ``avg(e)`` requires ``sum(e)``; every query additionally requires
+    ``count(*)`` (group presence + average denominators).
+    """
+    required: list[AggregateSpec] = [count_star()]
+    for aggregate in aggregates:
+        spec = aggregate.spec
+        if spec.kind is AggregateKind.AVG:
+            required.append(AggregateSpec(AggregateKind.SUM, spec.argument))
+        elif spec.kind is not AggregateKind.COUNT:
+            required.append(spec)
+    return required
+
+
+def sma_covers(
+    sma_set: SmaSet,
+    aggregates: tuple[OutputAggregate, ...],
+    group_by: tuple[str, ...],
+) -> bool:
+    """True when *sma_set* materializes everything the query aggregates
+    need — exactly grouped or finer (roll-up, Section 2.3)."""
+    return all(
+        sma_set.rollup_aggregate_files(spec, group_by) is not None
+        for spec in sma_requirements(aggregates)
+    )
+
+
+class SmaGAggr:
+    """The SMA_GAggr pipeline breaker (Figure 7)."""
+
+    def __init__(
+        self,
+        table: Table,
+        predicate: Predicate,
+        group_by: tuple[str, ...],
+        aggregates: tuple[OutputAggregate, ...],
+        sma_set: SmaSet,
+        partitioning: BucketPartitioning | None = None,
+    ):
+        self.table = table
+        self.predicate = predicate.bind(table.schema)
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.sma_set = sma_set
+        self._partitioning = partitioning
+        if not sma_covers(sma_set, aggregates, group_by):
+            raise PlanningError(
+                f"SMA set {sma_set.name!r} does not materialize all "
+                f"aggregates needed by this query"
+            )
+
+    @property
+    def partitioning(self) -> BucketPartitioning:
+        if self._partitioning is None:
+            self._partitioning = self.sma_set.partition(self.predicate)
+        return self._partitioning
+
+    def execute(self) -> tuple[list[str], list[tuple]]:
+        """Compute the full result (the operator's init phase)."""
+        state = AggregationState(self.table.schema, self.group_by, self.aggregates)
+        partitioning = self.partitioning
+        qualifying = partitioning.qualifying
+        stats = self.table.heap.pool.stats
+
+        # Phase: advance result aggregates from the aggregate SMAs for
+        # every qualifying bucket.  Each SMA-file is read exactly once.
+        if qualifying.any():
+            self._advance_from_smas(state, qualifying)
+        stats.buckets_skipped += partitioning.num_disqualifying
+
+        # Phase: ambivalent buckets — fetch, filter, group, advance.
+        for bucket_no in np.flatnonzero(partitioning.ambivalent):
+            records = self.table.read_bucket(int(bucket_no))
+            stats.buckets_fetched += 1
+            stats.tuples_scanned += len(records)
+            mask = self.predicate.evaluate(records)
+            state.consume_batch(records[mask])
+
+        # Phase: post-processing (averages) happens inside finalize().
+        return state.finalize()
+
+    def _advance_from_smas(
+        self, state: AggregationState, qualifying: np.ndarray
+    ) -> None:
+        value_cache: dict[int, np.ndarray] = {}
+        valid_cache: dict[int, np.ndarray | None] = {}
+
+        def read(sma) -> tuple[np.ndarray, np.ndarray | None]:
+            if id(sma) not in value_cache:
+                value_cache[id(sma)] = sma.values()
+                valid_cache[id(sma)] = sma.valid_mask()
+            return value_cache[id(sma)], valid_cache[id(sma)]
+
+        found = self.sma_set.rollup_aggregate_files(count_star(), self.group_by)
+        assert found is not None  # guaranteed by sma_covers
+        count_files, projection = found
+        for key, sma in count_files.items():
+            counts, _ = read(sma)
+            state.advance_count(
+                self.sma_set.project_group_key(key, projection),
+                int(counts[qualifying].sum()),
+            )
+
+        for index, aggregate in enumerate(self.aggregates):
+            spec = aggregate.spec
+            if spec.kind is AggregateKind.COUNT:
+                continue  # served by the shared per-group count above
+            lookup = spec
+            if spec.kind is AggregateKind.AVG:
+                lookup = AggregateSpec(AggregateKind.SUM, spec.argument)
+            found = self.sma_set.rollup_aggregate_files(lookup, self.group_by)
+            assert found is not None  # guaranteed by sma_covers
+            files, projection = found
+            for key, sma in files.items():
+                values, valid = read(sma)
+                selected = qualifying if valid is None else (qualifying & valid)
+                if not selected.any():
+                    continue
+                chosen = values[selected]
+                coarse = self.sma_set.project_group_key(key, projection)
+                if lookup.kind is AggregateKind.SUM:
+                    state.advance_sum(coarse, index, chosen.sum())
+                elif lookup.kind is AggregateKind.MIN:
+                    state.advance_min(coarse, index, chosen.min())
+                elif lookup.kind is AggregateKind.MAX:
+                    state.advance_max(coarse, index, chosen.max())

@@ -1,0 +1,6 @@
+"""SQL front-end: the ``define sma`` DSL and the SELECT subset."""
+
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_definitions, parse_statement
+
+__all__ = ["Token", "TokenKind", "parse_definitions", "parse_statement", "tokenize"]

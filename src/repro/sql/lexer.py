@@ -1,0 +1,114 @@
+"""SQL lexer for the ``define sma`` DSL and the SELECT subset.
+
+Keywords are case-insensitive; identifiers keep their original case.
+String literals use single quotes with ``''`` escaping.  Dates are a
+two-token construct (``DATE '1998-12-01'``) handled by the parser.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "DEFINE", "SMA", "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY",
+        "AND", "OR", "NOT", "AS", "MIN", "MAX", "SUM", "COUNT", "AVG",
+        "DATE", "INTERVAL", "DAY", "BETWEEN", "DESC", "ASC",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", "*", "+", "-", "/", "<", ">", "=", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text in symbols
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.END:
+            return "<end of input>"
+        return repr(self.text)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # line comment
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenKind.NUMBER, text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", start)
+                if text[i] == "'":
+                    if text[i : i + 2] == "''":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(TokenKind.STRING, "".join(parts), start))
+            continue
+        for symbol in _SYMBOLS:
+            if text[i : i + len(symbol)] == symbol:
+                tokens.append(Token(TokenKind.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.END, "", n))
+    return tokens

@@ -1,0 +1,468 @@
+"""Recursive-descent parser for the paper's SQL surface.
+
+Two statement forms are supported:
+
+* ``define sma <name> select <agg> from <relation> [group by ...]`` —
+  produces an :class:`~repro.core.definition.SmaDefinition`, enforcing
+  the paper's restrictions (single select entry, single relation, no
+  order specification);
+* ``select ... from <relation> [where ...] [group by ...] [order by
+  ...]`` — produces an :class:`~repro.query.query.AggregateQuery` when
+  the select list contains aggregates, or a
+  :class:`~repro.query.query.ScanQuery` otherwise.
+
+Date literals (``DATE '1998-12-01'``) and interval arithmetic
+(``DATE '1998-12-01' - INTERVAL '90' DAY``) fold to date constants at
+parse time, exactly what Query 1 needs.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.aggregates import (
+    AggregateKind,
+    AggregateSpec,
+)
+from repro.core.definition import SmaDefinition
+from repro.errors import ParseError, SmaDefinitionError
+from repro.lang.expr import (
+    ArithOp,
+    BinOp,
+    ColumnRef,
+    Const,
+    Neg,
+    ScalarExpr,
+)
+from repro.lang.predicate import (
+    CmpOp,
+    Predicate,
+    TruePredicate,
+    and_,
+    cmp,
+    not_,
+    or_,
+)
+from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+_AGG_KEYWORDS = {
+    "MIN": AggregateKind.MIN,
+    "MAX": AggregateKind.MAX,
+    "SUM": AggregateKind.SUM,
+    "COUNT": AggregateKind.COUNT,
+    "AVG": AggregateKind.AVG,
+}
+
+_CMP_SYMBOLS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {self.current}", self.current.position
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, found {self.current}", self.current.position
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected an identifier, found {self.current}",
+                self.current.position,
+            )
+        return self.advance().text
+
+    def expect_name(self) -> str:
+        """An identifier, or a keyword used as a name.
+
+        The paper names SMAs ``min``, ``max`` and ``count`` — reserved
+        words in this grammar — so name positions accept keywords too.
+        """
+        if self.current.kind is TokenKind.KEYWORD:
+            return self.advance().text.lower()
+        return self.expect_ident()
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def accept_symbol(self, *symbols: str) -> Token | None:
+        if self.current.is_symbol(*symbols):
+            return self.advance()
+        return None
+
+    def at_end(self) -> bool:
+        if self.current.is_symbol(";"):
+            self.advance()
+        return self.current.kind is TokenKind.END
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self):
+        if self.current.is_keyword("DEFINE"):
+            statement = self.parse_define_sma()
+        elif self.current.is_keyword("SELECT"):
+            statement = self.parse_select()
+        else:
+            raise ParseError(
+                f"expected DEFINE or SELECT, found {self.current}",
+                self.current.position,
+            )
+        if not self.at_end():
+            raise ParseError(
+                f"trailing input at {self.current}", self.current.position
+            )
+        return statement
+
+    def parse_define_sma(self) -> SmaDefinition:
+        self.expect_keyword("DEFINE")
+        self.expect_keyword("SMA")
+        name = self.expect_name()
+        self.expect_keyword("SELECT")
+        spec, _ = self.parse_aggregate_call()
+        if self.accept_symbol(","):
+            raise SmaDefinitionError(
+                "the select clause of an SMA definition may contain only "
+                "a single entry (Section 2.1)"
+            )
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        if self.accept_symbol(","):
+            raise SmaDefinitionError(
+                "an SMA definition allows only a single relation in its "
+                "from clause (no joins, Section 2.1)"
+            )
+        group_by: tuple[str, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.parse_column_list()
+        if self.current.is_keyword("ORDER"):
+            raise SmaDefinitionError(
+                "an SMA definition does not allow an order specification "
+                "(Section 2.1)"
+            )
+        if spec.kind is AggregateKind.AVG:
+            raise SmaDefinitionError(
+                "avg cannot be materialized; define sum and count instead"
+            )
+        return SmaDefinition(name, table, spec, group_by)
+
+    def parse_select(self):
+        self.expect_keyword("SELECT")
+        star = False
+        plain_columns: list[str] = []
+        aggregates: list[OutputAggregate] = []
+        auto_names = 0
+        while True:
+            if self.accept_symbol("*"):
+                star = True
+            elif self.current.is_keyword(*_AGG_KEYWORDS):
+                spec, default_name = self.parse_aggregate_call()
+                name = default_name
+                if self.accept_keyword("AS"):
+                    name = self.expect_ident()
+                else:
+                    auto_names += 1
+                    name = f"{default_name}_{auto_names}" if any(
+                        a.name == default_name for a in aggregates
+                    ) else default_name
+                aggregates.append(OutputAggregate(name, spec))
+            else:
+                plain_columns.append(self.expect_ident())
+                if self.accept_keyword("AS"):
+                    self.expect_ident()  # aliases on plain columns: ignored
+            if not self.accept_symbol(","):
+                break
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where: Predicate = TruePredicate()
+        if self.accept_keyword("WHERE"):
+            where = self.parse_predicate()
+        group_by: tuple[str, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.parse_column_list()
+        order_by: tuple[str, ...] = ()
+        order_desc: frozenset[str] = frozenset()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by, order_desc = self.parse_order_list()
+
+        if aggregates:
+            unexpected = [c for c in plain_columns if c not in group_by]
+            if star or unexpected:
+                raise ParseError(
+                    "plain select columns must appear in GROUP BY "
+                    f"(offending: {unexpected or ['*']})"
+                )
+            return AggregateQuery(
+                table=table,
+                aggregates=tuple(aggregates),
+                where=where,
+                group_by=group_by,
+                order_by=order_by,
+                order_desc=order_desc,
+            )
+        if group_by or order_by:
+            raise ParseError(
+                "GROUP BY / ORDER BY require aggregates in this subset"
+            )
+        return ScanQuery(
+            table=table,
+            where=where,
+            columns=() if star else tuple(plain_columns),
+        )
+
+    # ------------------------------------------------------------------
+    # clauses
+    # ------------------------------------------------------------------
+
+    def parse_column_list(self) -> tuple[str, ...]:
+        columns = [self.expect_ident()]
+        while self.accept_symbol(","):
+            columns.append(self.expect_ident())
+        return tuple(columns)
+
+    def parse_order_list(self) -> tuple[tuple[str, ...], frozenset[str]]:
+        """ORDER BY items with optional ASC/DESC per column."""
+        columns: list[str] = []
+        descending: set[str] = set()
+
+        def one() -> None:
+            name = self.expect_ident()
+            columns.append(name)
+            direction = self.accept_keyword("ASC", "DESC")
+            if direction is not None and direction.text == "DESC":
+                descending.add(name)
+
+        one()
+        while self.accept_symbol(","):
+            one()
+        return tuple(columns), frozenset(descending)
+
+    def parse_aggregate_call(self) -> tuple[AggregateSpec, str]:
+        token = self.current
+        if not token.is_keyword(*_AGG_KEYWORDS):
+            raise ParseError(
+                f"expected an aggregate function, found {token}", token.position
+            )
+        kind = _AGG_KEYWORDS[self.advance().text]
+        self.expect_symbol("(")
+        if kind is AggregateKind.COUNT:
+            self.expect_symbol("*")
+            self.expect_symbol(")")
+            return AggregateSpec(kind, None), "COUNT"
+        argument = self.parse_expression()
+        self.expect_symbol(")")
+        return AggregateSpec(kind, argument), kind.value.upper()
+
+    # ------------------------------------------------------------------
+    # scalar expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ScalarExpr:
+        left = self.parse_term()
+        while True:
+            if self.accept_symbol("+"):
+                left = BinOp(ArithOp.ADD, left, self.parse_term())
+            elif self.current.is_symbol("-") and not self._minus_is_interval():
+                self.advance()
+                left = BinOp(ArithOp.SUB, left, self.parse_term())
+            else:
+                return left
+
+    def _minus_is_interval(self) -> bool:
+        """``DATE '..' - INTERVAL '..' DAY`` folds inside parse_factor."""
+        return False
+
+    def parse_term(self) -> ScalarExpr:
+        left = self.parse_factor()
+        while True:
+            if self.accept_symbol("*"):
+                left = BinOp(ArithOp.MUL, left, self.parse_factor())
+            elif self.accept_symbol("/"):
+                left = BinOp(ArithOp.DIV, left, self.parse_factor())
+            else:
+                return left
+
+    def parse_factor(self) -> ScalarExpr:
+        if self.accept_symbol("-"):
+            inner = self.parse_factor()
+            # Fold negative literals so `a = -1` compares against the
+            # constant -1 (an atomic Section 3.1 form), not -(1).
+            if isinstance(inner, Const) and isinstance(inner.value, (int, float)):
+                return Const(-inner.value)
+            return Neg(inner)
+        if self.accept_symbol("("):
+            inner = self.parse_expression()
+            self.expect_symbol(")")
+            return inner
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Const(token.text)
+        if token.is_keyword("DATE"):
+            return Const(self.parse_date_value())
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return ColumnRef(token.text)
+        raise ParseError(f"unexpected {token} in expression", token.position)
+
+    def parse_date_value(self) -> datetime.date:
+        """``DATE 'iso'`` optionally followed by ± INTERVAL 'n' DAY."""
+        self.expect_keyword("DATE")
+        literal = self.current
+        if literal.kind is not TokenKind.STRING:
+            raise ParseError(
+                f"expected a date string, found {literal}", literal.position
+            )
+        self.advance()
+        try:
+            value = datetime.date.fromisoformat(literal.text)
+        except ValueError:
+            raise ParseError(
+                f"invalid date literal {literal.text!r}", literal.position
+            ) from None
+        while self.current.is_symbol("+", "-") and self.tokens[
+            self.position + 1
+        ].is_keyword("INTERVAL"):
+            sign = -1 if self.advance().text == "-" else 1
+            self.expect_keyword("INTERVAL")
+            amount = self.current
+            if amount.kind is not TokenKind.STRING:
+                raise ParseError(
+                    f"expected a quoted interval, found {amount}", amount.position
+                )
+            self.advance()
+            self.expect_keyword("DAY")
+            try:
+                days = int(amount.text)
+            except ValueError:
+                raise ParseError(
+                    f"invalid interval {amount.text!r}", amount.position
+                ) from None
+            value = value + datetime.timedelta(days=sign * days)
+        return value
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+
+    def parse_predicate(self) -> Predicate:
+        return self.parse_or()
+
+    def parse_or(self) -> Predicate:
+        operands = [self.parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_and())
+        return or_(*operands) if len(operands) > 1 else operands[0]
+
+    def parse_and(self) -> Predicate:
+        operands = [self.parse_not()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_not())
+        return and_(*operands) if len(operands) > 1 else operands[0]
+
+    def parse_not(self) -> Predicate:
+        if self.accept_keyword("NOT"):
+            return not_(self.parse_not())
+        if self.current.is_symbol("("):
+            # Could be a parenthesised predicate or expression; try the
+            # predicate reading first (backtracking on failure).
+            saved = self.position
+            try:
+                self.advance()
+                inner = self.parse_predicate()
+                self.expect_symbol(")")
+                return inner
+            except ParseError:
+                self.position = saved
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        left = self.parse_expression()
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_expression()
+            self.expect_keyword("AND")
+            high = self.parse_expression()
+            return and_(
+                self._build_cmp(left, CmpOp.GE, low),
+                self._build_cmp(left, CmpOp.LE, high),
+            )
+        token = self.current
+        if not token.is_symbol(*_CMP_SYMBOLS):
+            raise ParseError(
+                f"expected a comparison operator, found {token}", token.position
+            )
+        self.advance()
+        op = CmpOp.NE if token.text == "!=" else CmpOp(token.text)
+        right = self.parse_expression()
+        return self._build_cmp(left, op, right)
+
+    @staticmethod
+    def _build_cmp(left: ScalarExpr, op: CmpOp, right: ScalarExpr) -> Predicate:
+        if isinstance(left, ColumnRef) and isinstance(right, Const):
+            return cmp(left.name, op, right.value)
+        if isinstance(left, Const) and isinstance(right, ColumnRef):
+            return cmp(right.name, op.flipped, left.value)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            return cmp(left.name, op, right)
+        raise ParseError(
+            "comparisons must involve a column and a constant, or two "
+            "columns (the Section 3.1 atomic forms)"
+        )
+
+
+def parse_statement(text: str):
+    """Parse one SQL statement.
+
+    Returns an :class:`SmaDefinition`, :class:`AggregateQuery` or
+    :class:`ScanQuery` depending on the statement form.
+    """
+    return _Parser(text).parse_statement()
+
+
+def parse_definitions(text: str) -> list[SmaDefinition]:
+    """Parse a script of semicolon-separated ``define sma`` statements."""
+    definitions = []
+    for piece in text.split(";"):
+        if piece.strip():
+            statement = parse_statement(piece)
+            if not isinstance(statement, SmaDefinition):
+                raise ParseError("expected only define sma statements")
+            definitions.append(statement)
+    return definitions

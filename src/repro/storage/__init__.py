@@ -1,0 +1,59 @@
+"""Storage substrate: types, schemas, pages, heap files, buffering, cost model.
+
+This package is the from-scratch DBMS layer the paper's AODB system
+provided: fixed-width records on 4 KB pages grouped into buckets, an LRU
+buffer pool with sequential/random I/O accounting, and a calibrated
+1998-era disk model that converts I/O counts into simulated seconds.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskModel, MODERN_DISK, PAPER_DISK
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import BucketLayout, DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE
+from repro.storage.schema import Column, Schema
+from repro.storage.stats import CostBreakdown, IoStats
+from repro.storage.table import Table
+from repro.storage.types import (
+    BOOL,
+    DATE,
+    DataType,
+    FLOAT64,
+    INT32,
+    INT64,
+    TypeKind,
+    char,
+    coerce_value,
+    date_to_int,
+    int_to_date,
+    python_value,
+)
+
+__all__ = [
+    "BOOL",
+    "BucketLayout",
+    "BufferPool",
+    "Catalog",
+    "Column",
+    "CostBreakdown",
+    "DATE",
+    "DEFAULT_PAGE_HEADER",
+    "DEFAULT_PAGE_SIZE",
+    "DataType",
+    "DiskModel",
+    "FLOAT64",
+    "HeapFile",
+    "INT32",
+    "INT64",
+    "IoStats",
+    "MODERN_DISK",
+    "PAPER_DISK",
+    "Schema",
+    "Table",
+    "TypeKind",
+    "char",
+    "coerce_value",
+    "date_to_int",
+    "int_to_date",
+    "python_value",
+]

@@ -1,0 +1,226 @@
+"""The catalog: the database instance owning tables, SMAs and the pool.
+
+A :class:`Catalog` ties together one directory of heap files, one shared
+buffer pool (with its :class:`~repro.storage.stats.IoStats`), and the
+registries of tables and SMA sets.  It is the root object users create;
+everything else hangs off it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE
+from repro.storage.schema import Schema
+from repro.storage.stats import IoStats
+from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.sma_set import SmaSet
+
+
+class Catalog:
+    """Tables + SMA sets sharing one directory and one buffer pool."""
+
+    MANIFEST = "catalog.json"
+
+    def __init__(self, root_dir: str, *, buffer_pages: int = 2048):
+        os.makedirs(root_dir, exist_ok=True)
+        self.root_dir = root_dir
+        self.stats = IoStats()
+        self.pool = BufferPool(capacity_pages=buffer_pages, stats=self.stats)
+        self._tables: dict[str, Table] = {}
+        self._sma_sets: dict[str, dict[str, "SmaSet"]] = {}
+
+    # ------------------------------------------------------------------
+    # manifest & discovery
+    # ------------------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root_dir, self.MANIFEST)
+
+    def _load_manifest(self) -> dict:
+        if not os.path.exists(self._manifest_path):
+            return {"tables": {}, "sma_sets": {}}
+        with open(self._manifest_path, "r", encoding="utf-8") as f:
+            return json.load(f)
+
+    def _save_manifest(self) -> None:
+        manifest = {
+            "tables": {
+                name: {"clustered_on": table.clustered_on}
+                for name, table in self._tables.items()
+            },
+            "sma_sets": {
+                table_name: {
+                    set_name: os.path.relpath(sma_set.directory, self.root_dir)
+                    for set_name, sma_set in by_name.items()
+                }
+                for table_name, by_name in self._sma_sets.items()
+                if by_name
+            },
+        }
+        with open(self._manifest_path, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=1)
+
+    @classmethod
+    def discover(cls, root_dir: str, *, buffer_pages: int = 2048) -> "Catalog":
+        """Re-open a persisted catalog: every table and SMA set listed in
+        its manifest comes back registered and query-ready."""
+        from repro.core.sma_set import SmaSet
+
+        catalog = cls(root_dir, buffer_pages=buffer_pages)
+        manifest = catalog._load_manifest()
+        for name, info in manifest.get("tables", {}).items():
+            catalog.open_table(name, clustered_on=info.get("clustered_on"))
+        for table_name, sets in manifest.get("sma_sets", {}).items():
+            table = catalog.table(table_name)
+            for set_name, rel_dir in sets.items():
+                sma_set = SmaSet.open(
+                    os.path.join(root_dir, rel_dir), table
+                )
+                catalog.register_sma_set(table_name, sma_set)
+        return catalog
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pages_per_bucket: int = 1,
+        page_header: int = DEFAULT_PAGE_HEADER,
+        clustered_on: str | None = None,
+    ) -> Table:
+        """Create an empty table backed by a new heap file."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        path = os.path.join(self.root_dir, f"{name}.heap")
+        heap = HeapFile.create(
+            path,
+            schema,
+            self.pool,
+            page_size=page_size,
+            pages_per_bucket=pages_per_bucket,
+            page_header=page_header,
+        )
+        table = Table(name, heap, clustered_on=clustered_on)
+        self._tables[name] = table
+        self._sma_sets[name] = {}
+        self._save_manifest()
+        return table
+
+    def open_table(self, name: str, *, clustered_on: str | None = None) -> Table:
+        """Re-open a table persisted in this catalog's directory."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} is already open")
+        path = os.path.join(self.root_dir, f"{name}.heap")
+        if not os.path.exists(path):
+            raise CatalogError(f"no heap file for table {name!r} at {path}")
+        heap = HeapFile.open(path, self.pool)
+        table = Table(name, heap, clustered_on=clustered_on)
+        self._tables[name] = table
+        self._sma_sets.setdefault(name, {})
+        self._save_manifest()
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for sma_set in list(self._sma_sets.get(name, {}).values()):
+            sma_set.delete_files()
+        self._sma_sets.pop(name, None)
+        table.heap.delete_files()
+        del self._tables[name]
+        self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # SMA sets
+    # ------------------------------------------------------------------
+
+    def register_sma_set(self, table_name: str, sma_set: "SmaSet") -> None:
+        """Attach a built SMA set to a table under the set's name."""
+        self.table(table_name)
+        by_name = self._sma_sets.setdefault(table_name, {})
+        if sma_set.name in by_name:
+            raise CatalogError(
+                f"SMA set {sma_set.name!r} already registered on {table_name!r}"
+            )
+        by_name[sma_set.name] = sma_set
+        self._save_manifest()
+
+    def sma_set(self, table_name: str, set_name: str) -> "SmaSet":
+        self.table(table_name)
+        try:
+            return self._sma_sets[table_name][set_name]
+        except KeyError:
+            raise CatalogError(
+                f"no SMA set {set_name!r} on table {table_name!r}; "
+                f"have {sorted(self._sma_sets.get(table_name, {}))}"
+            ) from None
+
+    def sma_sets(self, table_name: str) -> list["SmaSet"]:
+        self.table(table_name)
+        return list(self._sma_sets.get(table_name, {}).values())
+
+    def drop_sma_set(self, table_name: str, set_name: str) -> None:
+        sma_set = self.sma_set(table_name, set_name)
+        sma_set.delete_files()
+        del self._sma_sets[table_name][set_name]
+        self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+
+    def sma_dir(self, table_name: str) -> str:
+        """Directory where SMA-files of *table_name* live."""
+        path = os.path.join(self.root_dir, f"{table_name}.smas")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def go_cold(self) -> None:
+        """Empty the buffer pool: the next reads hit 'disk' (cold run)."""
+        self.pool.clear()
+
+    def reset_stats(self) -> IoStats:
+        """Zero the shared counters and return the pre-reset snapshot."""
+        snapshot = self.stats.snapshot()
+        self.stats.reset()
+        return snapshot
+
+    def close(self) -> None:
+        for table in self._tables.values():
+            table.heap.close()
+        for by_name in self._sma_sets.values():
+            for sma_set in by_name.values():
+                sma_set.close()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

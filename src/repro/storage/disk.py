@@ -1,0 +1,144 @@
+"""Simulated 1998-era disk and CPU cost model.
+
+The paper's absolute numbers were measured on a Sparc Ultra I (167 MHz)
+with Seagate Barracuda 4 GB disks.  We cannot re-run that hardware, but
+the experiments are dominated by page-I/O counts and per-tuple CPU work,
+both of which this reproduction counts exactly.  :class:`DiskModel`
+converts an :class:`IoStats` window into simulated seconds.
+
+The default parameters are calibrated against the paper's own Section 2.4
+measurements:
+
+* SMA cold minus warm (4.9 s − 1.9 s) over 33.776 MB of SMA-files gives a
+  sequential rate of ≈ 11.3 MB/s — consistent with a 1998 Barracuda.
+* The 128 s full scan of the 733.33 MB LINEITEM then leaves ≈ 63 s of CPU
+  over ≈ 6 M tuples → ≈ 10.5 µs per tuple for predicate evaluation plus
+  aggregate advancement on a 167 MHz CPU.
+* The 1.9 s warm SMA run over ≈ 26 SMA entries per bucket × ≈ 187 k
+  buckets gives ≈ 0.39 µs per SMA entry.
+* Figure 5 crosses the 128 s scan line at ≈ 25 % ambivalent buckets.
+  Ambivalent buckets are read *in order but with gaps*; each gap costs a
+  short head repositioning.  Solving the break-even equation (scattered
+  ambivalent buckets, some adjacent pairs streaming) for a crossing at
+  25 % gives ``skip_ms ≈ 2.6`` on top of the 0.36 ms transfer — about a
+  short seek plus half a rotation, plausible for a 1998 Barracuda.
+* SMA creation at ≈ 115 s per pass (paper: 95–117 s) implies a build-side
+  CPU charge of ≈ 8 µs per tuple (no predicate to evaluate).
+
+Three read classes are priced (the buffer pool classifies them):
+*sequential* (next page of the same file), *skip* (forward gap within a
+file), *random* (anything else).  With these constants the model
+reproduces the paper's headline table to within a few percent, and the
+Figure 5 break-even emerges from geometry rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.storage.stats import CostBreakdown, IoStats
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Parameters of the simulated disk + CPU."""
+
+    page_size: int = 4096
+    sequential_mb_per_s: float = 11.3
+    skip_ms: float = 2.6
+    avg_seek_ms: float = 8.8
+    avg_rotational_ms: float = 4.17
+    cpu_per_tuple_us: float = 10.5
+    cpu_per_tuple_build_us: float = 8.0
+    cpu_per_sma_entry_us: float = 0.39
+
+    @property
+    def sequential_page_s(self) -> float:
+        """Seconds to transfer one page during a sequential run."""
+        return self.page_size / (self.sequential_mb_per_s * 1_000_000.0)
+
+    @property
+    def skip_page_s(self) -> float:
+        """Seconds for one page read after a forward gap (skip + transfer)."""
+        return self.skip_ms / 1000.0 + self.sequential_page_s
+
+    @property
+    def random_page_s(self) -> float:
+        """Seconds for one random page access (seek + rotation + transfer)."""
+        return (
+            (self.avg_seek_ms + self.avg_rotational_ms) / 1000.0
+            + self.sequential_page_s
+        )
+
+    def cost(self, stats: IoStats) -> CostBreakdown:
+        """Simulated-seconds breakdown for one counter window."""
+        cpu = (
+            stats.tuples_scanned * self.cpu_per_tuple_us
+            + stats.tuples_built * self.cpu_per_tuple_build_us
+            + stats.sma_entries_read * self.cpu_per_sma_entry_us
+        ) / 1_000_000.0
+        return CostBreakdown(
+            sequential_io_s=stats.sequential_page_reads * self.sequential_page_s,
+            skip_io_s=stats.skip_page_reads * self.skip_page_s,
+            random_io_s=stats.random_page_reads * self.random_page_s,
+            write_io_s=stats.page_writes * self.sequential_page_s,
+            cpu_s=cpu,
+            stats=stats.snapshot(),
+        )
+
+    def seconds(self, stats: IoStats) -> float:
+        """Total simulated seconds for one counter window."""
+        return self.cost(stats).total_s
+
+    def scan_seconds(self, pages: int, tuples: int) -> float:
+        """Closed-form cost of a full sequential scan (planner helper)."""
+        return (
+            pages * self.sequential_page_s
+            + tuples * self.cpu_per_tuple_us / 1_000_000.0
+        )
+
+    def sma_seconds(
+        self,
+        sma_pages: int,
+        sma_entries: int,
+        fetch_seq_pages: int,
+        fetch_skip_pages: int,
+        fetch_tuples: int,
+    ) -> float:
+        """Closed-form cost of an SMA-based evaluation (planner helper).
+
+        The SMA-files are scanned sequentially in full; fetched buckets
+        split into runs (sequential within a run, one skip charge per
+        gap), and fetched tuples pay the per-tuple CPU charge.
+        """
+        return (
+            sma_pages * self.sequential_page_s
+            + sma_entries * self.cpu_per_sma_entry_us / 1_000_000.0
+            + fetch_seq_pages * self.sequential_page_s
+            + fetch_skip_pages * self.skip_page_s
+            + fetch_tuples * self.cpu_per_tuple_us / 1_000_000.0
+        )
+
+    def scaled(self, **overrides: float) -> "DiskModel":
+        """A copy with some parameters replaced (ablation helper)."""
+        return replace(self, **overrides)
+
+
+#: Model instance matching the paper's testbed; used by default everywhere.
+PAPER_DISK = DiskModel()
+
+
+#: A roughly 2020s NVMe-class model, for the "what would this look like
+#: today" ablation (sequential ≈ 3 GB/s, tiny repositioning costs, modern
+#: CPU charges).  The SMA-vs-scan *ratios* compress but the ordering of
+#: plans is unchanged — zone maps still win, which is why every modern
+#: engine ships them.
+MODERN_DISK = DiskModel(
+    sequential_mb_per_s=3000.0,
+    skip_ms=0.01,
+    avg_seek_ms=0.04,
+    avg_rotational_ms=0.04,
+    cpu_per_tuple_us=0.05,
+    cpu_per_tuple_build_us=0.04,
+    cpu_per_sma_entry_us=0.002,
+)

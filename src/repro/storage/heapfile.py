@@ -1,0 +1,313 @@
+"""File-backed heap files: sequences of buckets of fixed-width records.
+
+The on-disk format is deliberately simple and matches the paper's model:
+
+* the data file is a sequence of fixed-size pages;
+* each page starts with a small header whose first 4 bytes hold the
+  page's record count (little-endian uint32), followed by packed
+  fixed-width records — records never span pages;
+* a *bucket* is ``pages_per_bucket`` consecutive pages; the order of
+  buckets in the file is the physical order SMA-file entries mirror.
+
+A JSON sidecar (``<path>.meta.json``) persists the schema, layout and
+record count; a numpy sidecar (``<path>.counts.npy``) persists per-bucket
+record counts so they are known without touching data pages.
+
+All reads go through a :class:`~repro.storage.buffer.BufferPool`, which
+does the warm/cold caching and the sequential/random accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import BucketLayout, DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE
+from repro.storage.schema import Schema
+
+_COUNT_STRUCT = struct.Struct("<I")
+_META_SUFFIX = ".meta.json"
+_COUNTS_SUFFIX = ".counts.npy"
+
+
+class HeapFile:
+    """A bucketed, file-backed relation store.
+
+    Use :meth:`create` for a new file or :meth:`open` for an existing
+    one; the constructor is internal.  Instances are context managers.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        schema: Schema,
+        layout: BucketLayout,
+        pool: BufferPool,
+        bucket_counts: np.ndarray,
+    ):
+        self.path = path
+        self.schema = schema
+        self.layout = layout
+        self.pool = pool
+        self.file_id = os.path.abspath(path)
+        self._bucket_counts = bucket_counts.astype(np.int64, copy=True)
+        self._handle = open(path, "r+b")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        schema: Schema,
+        pool: BufferPool,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pages_per_bucket: int = 1,
+        page_header: int = DEFAULT_PAGE_HEADER,
+    ) -> "HeapFile":
+        """Create a new, empty heap file at *path*."""
+        if os.path.exists(path):
+            raise StorageError(f"{path} already exists")
+        layout = BucketLayout(
+            record_width=schema.record_width,
+            page_size=page_size,
+            pages_per_bucket=pages_per_bucket,
+            page_header=page_header,
+        )
+        with open(path, "wb"):
+            pass
+        heap = cls(path, schema, layout, pool, np.zeros(0, dtype=np.int64))
+        heap.flush()
+        return heap
+
+    @classmethod
+    def open(cls, path: str, pool: BufferPool) -> "HeapFile":
+        """Open an existing heap file created by :meth:`create`."""
+        meta_path = path + _META_SUFFIX
+        if not os.path.exists(meta_path):
+            raise StorageError(f"no heap-file metadata at {meta_path}")
+        with open(meta_path, "r", encoding="utf-8") as f:
+            meta = json.load(f)
+        schema = Schema.from_dict(meta["schema"])
+        layout = BucketLayout(
+            record_width=schema.record_width,
+            page_size=meta["page_size"],
+            pages_per_bucket=meta["pages_per_bucket"],
+            page_header=meta["page_header"],
+        )
+        counts = np.load(path + _COUNTS_SUFFIX)
+        return cls(path, schema, layout, pool, counts)
+
+    def flush(self) -> None:
+        """Persist metadata sidecars and flush the data file."""
+        self._handle.flush()
+        meta = {
+            "schema": self.schema.to_dict(),
+            "page_size": self.layout.page_size,
+            "pages_per_bucket": self.layout.pages_per_bucket,
+            "page_header": self.layout.page_header,
+            "num_records": int(self._bucket_counts.sum()),
+        }
+        with open(self.path + _META_SUFFIX, "w", encoding="utf-8") as f:
+            json.dump(meta, f)
+        np.save(self.path + _COUNTS_SUFFIX, self._bucket_counts)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "HeapFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._bucket_counts)
+
+    @property
+    def num_records(self) -> int:
+        return int(self._bucket_counts.sum())
+
+    @property
+    def num_pages(self) -> int:
+        return self.num_buckets * self.layout.pages_per_bucket
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk size of the data file."""
+        return self.num_pages * self.layout.page_size
+
+    def bucket_count(self, bucket_no: int) -> int:
+        """Record count of bucket *bucket_no* (no page access needed)."""
+        self._check_bucket(bucket_no)
+        return int(self._bucket_counts[bucket_no])
+
+    def bucket_counts(self) -> np.ndarray:
+        """Read-only view of all per-bucket record counts."""
+        view = self._bucket_counts.view()
+        view.flags.writeable = False
+        return view
+
+    def _check_bucket(self, bucket_no: int) -> None:
+        if not 0 <= bucket_no < self.num_buckets:
+            raise StorageError(
+                f"bucket {bucket_no} out of range [0, {self.num_buckets})"
+            )
+
+    # ------------------------------------------------------------------
+    # page primitives
+    # ------------------------------------------------------------------
+
+    def _page_bytes(self, records: np.ndarray) -> bytes:
+        header = _COUNT_STRUCT.pack(len(records)).ljust(self.layout.page_header, b"\x00")
+        body = records.tobytes()
+        page = header + body
+        return page.ljust(self.layout.page_size, b"\x00")
+
+    def _write_page(self, page_no: int, records: np.ndarray) -> None:
+        if len(records) > self.layout.tuples_per_page:
+            raise StorageError(
+                f"{len(records)} records exceed page capacity "
+                f"{self.layout.tuples_per_page}"
+            )
+        payload = self._page_bytes(records)
+        self._handle.seek(page_no * self.layout.page_size)
+        self._handle.write(payload)
+        self.pool.note_write(self.file_id, page_no, payload)
+
+    def _load_page(self, page_no: int) -> bytes:
+        self._handle.seek(page_no * self.layout.page_size)
+        payload = self._handle.read(self.layout.page_size)
+        if len(payload) != self.layout.page_size:
+            raise StorageError(
+                f"short read of page {page_no} in {self.path}: "
+                f"{len(payload)}/{self.layout.page_size} bytes"
+            )
+        return payload
+
+    def _read_page(self, page_no: int) -> np.ndarray:
+        payload = self.pool.read_page(
+            self.file_id, page_no, lambda: self._load_page(page_no)
+        )
+        (count,) = _COUNT_STRUCT.unpack_from(payload, 0)
+        start = self.layout.page_header
+        end = start + count * self.layout.record_width
+        return np.frombuffer(payload[start:end], dtype=self.schema.record_dtype)
+
+    # ------------------------------------------------------------------
+    # bucket operations
+    # ------------------------------------------------------------------
+
+    def read_bucket(self, bucket_no: int) -> np.ndarray:
+        """All records of bucket *bucket_no* as a read-only record batch."""
+        self._check_bucket(bucket_no)
+        first = bucket_no * self.layout.pages_per_bucket
+        parts = [
+            self._read_page(first + j)
+            for j in range(self.layout.pages_per_bucket)
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def write_bucket(self, bucket_no: int, records: np.ndarray) -> None:
+        """Replace the contents of bucket *bucket_no* with *records*.
+
+        Used by SMA maintenance tests and by the loader's final partial
+        bucket.  The bucket must already exist (use :meth:`append_batch`
+        to grow the file).
+        """
+        self._check_bucket(bucket_no)
+        if records.dtype != self.schema.record_dtype:
+            raise StorageError("record dtype does not match schema")
+        if len(records) > self.layout.tuples_per_bucket:
+            raise StorageError(
+                f"{len(records)} records exceed bucket capacity "
+                f"{self.layout.tuples_per_bucket}"
+            )
+        tpp = self.layout.tuples_per_page
+        first = bucket_no * self.layout.pages_per_bucket
+        for j in range(self.layout.pages_per_bucket):
+            chunk = records[j * tpp : (j + 1) * tpp]
+            self._write_page(first + j, chunk)
+        self._bucket_counts[bucket_no] = len(records)
+
+    def append_batch(self, records: np.ndarray) -> None:
+        """Append a record batch, packing buckets densely in order.
+
+        This is the bulkload path: the physical order of appends is the
+        physical order of buckets, which is exactly the order SMA-file
+        entries will mirror (time-of-creation clustering falls out of
+        appending new data at the end).
+        """
+        if records.dtype != self.schema.record_dtype:
+            raise StorageError("record dtype does not match schema")
+        if len(records) == 0:
+            return
+        per_bucket = self.layout.tuples_per_bucket
+        offset = 0
+
+        # Top up a partially filled trailing bucket first.
+        if self.num_buckets and self._bucket_counts[-1] < per_bucket:
+            last = self.num_buckets - 1
+            existing = self.read_bucket(last).copy()
+            room = per_bucket - len(existing)
+            take = min(room, len(records))
+            merged = np.concatenate([existing, records[:take]])
+            self.write_bucket(last, merged)
+            offset = take
+
+        # Then write whole new buckets.
+        while offset < len(records):
+            chunk = records[offset : offset + per_bucket]
+            bucket_no = self.num_buckets
+            self._bucket_counts = np.append(self._bucket_counts, 0)
+            tpp = self.layout.tuples_per_page
+            first = bucket_no * self.layout.pages_per_bucket
+            for j in range(self.layout.pages_per_bucket):
+                page_chunk = chunk[j * tpp : (j + 1) * tpp]
+                self._write_page(first + j, page_chunk)
+            self._bucket_counts[bucket_no] = len(chunk)
+            offset += len(chunk)
+
+    def append_rows(self, rows: list) -> None:
+        """Convenience: append Python row tuples (slow path for tests)."""
+        self.append_batch(self.schema.batch_from_rows(rows))
+
+    def iter_buckets(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(bucket_no, records)`` in physical order."""
+        for bucket_no in range(self.num_buckets):
+            yield bucket_no, self.read_bucket(bucket_no)
+
+    def read_all(self) -> np.ndarray:
+        """Every record in physical order (testing/verification helper)."""
+        if self.num_buckets == 0:
+            return self.schema.empty_batch()
+        return np.concatenate([records for _, records in self.iter_buckets()])
+
+    def delete_files(self) -> None:
+        """Remove the data file and its sidecars from disk."""
+        self.close()
+        self.pool.invalidate(self.file_id)
+        for suffix in ("", _META_SUFFIX, _COUNTS_SUFFIX):
+            target = self.path + suffix
+            if os.path.exists(target):
+                os.remove(target)

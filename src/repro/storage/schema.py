@@ -1,0 +1,173 @@
+"""Relation schemas: named, typed, fixed-width columns.
+
+A :class:`Schema` is an ordered sequence of :class:`Column` objects.  It
+knows its numpy structured record dtype, the record byte width (which
+drives tuples-per-page arithmetic throughout the system), and how to
+build record batches from Python row data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.types import DataType, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One named, typed column of a relation."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.dtype}"
+
+
+class Schema:
+    """An ordered collection of columns with fixed-width binary layout."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self._columns: tuple[Column, ...] = tuple(columns)
+        if not self._columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [c.name for c in self._columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._index = {c.name: i for i, c in enumerate(self._columns)}
+        # `align=False` keeps the record packed, matching the byte
+        # arithmetic the paper uses for tuples-per-page.
+        self._record_dtype = np.dtype(
+            [(c.name, c.dtype.numpy_dtype) for c in self._columns], align=False
+        )
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(Column(name, dtype) for name, dtype in pairs)
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def record_dtype(self) -> np.dtype:
+        """numpy structured dtype of one record."""
+        return self._record_dtype
+
+    @property
+    def record_width(self) -> int:
+        """Byte width of one packed record."""
+        return self._record_dtype.itemsize
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(str(c) for c in self._columns)
+        return f"Schema({cols})"
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises :class:`SchemaError` if absent."""
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {list(self.names)}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """Ordinal position of column *name*."""
+        self.column(name)
+        return self._index[name]
+
+    def dtype_of(self, name: str) -> DataType:
+        """The :class:`DataType` of column *name*."""
+        return self.column(name).dtype
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only *names*, in the given order."""
+        return Schema(self.column(n) for n in names)
+
+    def empty_batch(self, capacity: int = 0) -> np.ndarray:
+        """An empty (or zeroed, length-*capacity*) record batch."""
+        return np.zeros(capacity, dtype=self._record_dtype)
+
+    def batch_from_rows(self, rows: Sequence[Sequence[object]]) -> np.ndarray:
+        """Build a record batch from Python row tuples.
+
+        Values are coerced per column type (dates to day numbers, strings
+        to padded bytes).  This is the slow, convenient path used by tests
+        and small examples; bulk generators build numpy arrays directly.
+        """
+        batch = self.empty_batch(len(rows))
+        width = len(self._columns)
+        for row_index, row in enumerate(rows):
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {row_index} has {len(row)} values, schema has {width}"
+                )
+            record = batch[row_index]
+            for col, value in zip(self._columns, row):
+                record[col.name] = coerce_value(col.dtype, value)
+        return batch
+
+    def to_dict(self) -> list[dict]:
+        """JSON-serializable description, for heap-file metadata."""
+        return [
+            {"name": c.name, "kind": c.dtype.kind.value, "length": c.dtype.length}
+            for c in self._columns
+        ]
+
+    @classmethod
+    def from_dict(cls, described: list[dict]) -> "Schema":
+        """Rebuild a schema from :meth:`to_dict` output."""
+        from repro.storage.types import DataType, TypeKind
+
+        return cls(
+            Column(d["name"], DataType(TypeKind(d["kind"]), d.get("length", 0)))
+            for d in described
+        )
+
+    def batch_from_columns(self, **arrays: np.ndarray) -> np.ndarray:
+        """Build a record batch from per-column numpy arrays (fast path)."""
+        missing = set(self.names) - set(arrays)
+        if missing:
+            raise SchemaError(f"missing columns {sorted(missing)}")
+        extra = set(arrays) - set(self.names)
+        if extra:
+            raise SchemaError(f"unknown columns {sorted(extra)}")
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise SchemaError(f"column arrays have differing lengths {lengths}")
+        (n,) = lengths
+        batch = self.empty_batch(n)
+        for name, array in arrays.items():
+            batch[name] = array
+        return batch

@@ -1,0 +1,108 @@
+"""I/O and CPU accounting.
+
+Every page access in the system flows through an :class:`IoStats`
+instance, classified as sequential or random (a read is sequential when
+it targets the page immediately after the previous read of the same
+file).  The simulated-disk cost model (:mod:`repro.storage.disk`)
+converts these counters into 1998-era seconds, which is how we reproduce
+the paper's absolute-scale numbers on modern hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class IoStats:
+    """Mutable counters for one measurement window."""
+
+    sequential_page_reads: int = 0
+    skip_page_reads: int = 0
+    random_page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    tuples_scanned: int = 0
+    tuples_built: int = 0
+    sma_entries_read: int = 0
+    buckets_fetched: int = 0
+    buckets_skipped: int = 0
+
+    @property
+    def page_reads(self) -> int:
+        """Total physical page reads (sequential + skip + random)."""
+        return (
+            self.sequential_page_reads
+            + self.skip_page_reads
+            + self.random_page_reads
+        )
+
+    @property
+    def page_accesses(self) -> int:
+        """Logical page accesses: physical reads plus buffer hits."""
+        return self.page_reads + self.buffer_hits
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "IoStats":
+        """An immutable-by-convention copy of the current counters."""
+        return IoStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __add__(self, other: "IoStats") -> "IoStats":
+        if not isinstance(other, IoStats):
+            return NotImplemented
+        return IoStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "IoStats") -> "IoStats":
+        """Counter delta — used to isolate one query's cost via snapshots."""
+        if not isinstance(other, IoStats):
+            return NotImplemented
+        return IoStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "IoStats") -> None:
+        """Accumulate *other* into this instance in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class CostBreakdown:
+    """Simulated-time decomposition of one measurement window (seconds)."""
+
+    sequential_io_s: float = 0.0
+    skip_io_s: float = 0.0
+    random_io_s: float = 0.0
+    write_io_s: float = 0.0
+    cpu_s: float = 0.0
+    stats: IoStats = field(default_factory=IoStats)
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.sequential_io_s
+            + self.skip_io_s
+            + self.random_io_s
+            + self.write_io_s
+            + self.cpu_s
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total_s:.3f}s "
+            f"(seq {self.sequential_io_s:.3f}, skip {self.skip_io_s:.3f}, "
+            f"rnd {self.random_io_s:.3f}, wr {self.write_io_s:.3f}, "
+            f"cpu {self.cpu_s:.3f})"
+        )

@@ -1,0 +1,74 @@
+"""Tables: a named schema bound to a heap file, plus clustering metadata.
+
+A :class:`Table` is the unit SMAs index.  It records which column (if
+any) the physical bucket order is (approximately) clustered on — the
+paper's implicit time-of-creation clustering — purely as *advisory*
+metadata: correctness never depends on it, but the planner's ambivalence
+estimates and the experiment harness report it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import BucketLayout
+from repro.storage.schema import Schema
+
+
+class Table:
+    """A named relation stored in a heap file."""
+
+    def __init__(self, name: str, heap: HeapFile, clustered_on: str | None = None):
+        self.name = name
+        self.heap = heap
+        if clustered_on is not None:
+            heap.schema.column(clustered_on)  # validate
+        self.clustered_on = clustered_on
+
+    @property
+    def schema(self) -> Schema:
+        return self.heap.schema
+
+    @property
+    def layout(self) -> BucketLayout:
+        return self.heap.layout
+
+    @property
+    def num_buckets(self) -> int:
+        return self.heap.num_buckets
+
+    @property
+    def num_records(self) -> int:
+        return self.heap.num_records
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    @property
+    def size_bytes(self) -> int:
+        return self.heap.size_bytes
+
+    def read_bucket(self, bucket_no: int) -> np.ndarray:
+        return self.heap.read_bucket(bucket_no)
+
+    def iter_buckets(self) -> Iterator[tuple[int, np.ndarray]]:
+        return self.heap.iter_buckets()
+
+    def append_batch(self, records: np.ndarray) -> None:
+        self.heap.append_batch(records)
+
+    def append_rows(self, rows: list) -> None:
+        self.heap.append_rows(rows)
+
+    def read_all(self) -> np.ndarray:
+        return self.heap.read_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, records={self.num_records}, "
+            f"buckets={self.num_buckets}, clustered_on={self.clustered_on!r})"
+        )

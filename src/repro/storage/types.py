@@ -1,0 +1,196 @@
+"""Column data types and their fixed-width binary representation.
+
+The storage engine stores fixed-width records (as TPC-D-era systems did),
+so every type maps to a numpy scalar dtype of known byte width:
+
+========  =================  =====================================
+type      numpy dtype        notes
+========  =================  =====================================
+INT32     ``<i4``            4-byte signed integer
+INT64     ``<i8``            8-byte signed integer
+FLOAT64   ``<f8``            8-byte IEEE double (paper's "8 bytes
+                             for all other aggregate values")
+DATE      ``<i4``            days since 1970-01-01 (paper: "a
+                             single date field can be stored in
+                             32 bits")
+CHAR(n)   ``S<n>``           fixed-width byte string, space padded
+BOOL      ``?``              1 byte
+========  =================  =====================================
+
+Dates are exposed to callers as :class:`datetime.date`; internally they
+are int32 day numbers so min/max/grading are plain integer comparisons.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+_EPOCH = datetime.date(1970, 1, 1).toordinal()
+
+
+class TypeKind(enum.Enum):
+    """The storable column type kinds."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    DATE = "date"
+    CHAR = "char"
+    BOOL = "bool"
+
+
+_FIXED_NUMPY = {
+    TypeKind.INT32: "<i4",
+    TypeKind.INT64: "<i8",
+    TypeKind.FLOAT64: "<f8",
+    TypeKind.DATE: "<i4",
+    TypeKind.BOOL: "?",
+}
+
+_FIXED_WIDTH = {
+    TypeKind.INT32: 4,
+    TypeKind.INT64: 8,
+    TypeKind.FLOAT64: 8,
+    TypeKind.DATE: 4,
+    TypeKind.BOOL: 1,
+}
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A concrete column type: a :class:`TypeKind` plus parameters.
+
+    Only ``CHAR`` carries a parameter (its byte length).  Instances are
+    immutable and hashable so they can key dictionaries and appear in
+    schema equality checks.
+    """
+
+    kind: TypeKind
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is TypeKind.CHAR:
+            if self.length <= 0:
+                raise SchemaError(f"CHAR length must be positive, got {self.length}")
+        elif self.length != 0:
+            raise SchemaError(f"{self.kind.value} does not take a length parameter")
+
+    @property
+    def numpy_dtype(self) -> str:
+        """The numpy dtype string used to store this type."""
+        if self.kind is TypeKind.CHAR:
+            return f"S{self.length}"
+        return _FIXED_NUMPY[self.kind]
+
+    @property
+    def width(self) -> int:
+        """Byte width of one value of this type."""
+        if self.kind is TypeKind.CHAR:
+            return self.length
+        return _FIXED_WIDTH[self.kind]
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types on which sum/avg aggregates are meaningful."""
+        return self.kind in (TypeKind.INT32, TypeKind.INT64, TypeKind.FLOAT64)
+
+    @property
+    def is_orderable(self) -> bool:
+        """True for types on which min/max and range predicates work."""
+        return self.kind is not TypeKind.BOOL
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.CHAR:
+            return f"CHAR({self.length})"
+        return self.kind.value.upper()
+
+
+# Singleton instances for the parameterless types.
+INT32 = DataType(TypeKind.INT32)
+INT64 = DataType(TypeKind.INT64)
+FLOAT64 = DataType(TypeKind.FLOAT64)
+DATE = DataType(TypeKind.DATE)
+BOOL = DataType(TypeKind.BOOL)
+
+
+def char(length: int) -> DataType:
+    """Build a ``CHAR(length)`` type."""
+    return DataType(TypeKind.CHAR, length)
+
+
+def date_to_int(value: datetime.date) -> int:
+    """Convert a :class:`datetime.date` to its stored int32 day number."""
+    return value.toordinal() - _EPOCH
+
+
+def int_to_date(day_number: int) -> datetime.date:
+    """Convert a stored int32 day number back to a :class:`datetime.date`."""
+    return datetime.date.fromordinal(int(day_number) + _EPOCH)
+
+
+def coerce_value(dtype: DataType, value: object) -> object:
+    """Coerce a Python value to the storable representation of *dtype*.
+
+    Dates become day numbers, strings become padded bytes, numerics are
+    validated.  Raises :class:`SchemaError` on incompatible values.
+    """
+    kind = dtype.kind
+    if kind is TypeKind.DATE:
+        if isinstance(value, datetime.date):
+            return date_to_int(value)
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, str):
+            return date_to_int(datetime.date.fromisoformat(value))
+        raise SchemaError(f"cannot store {value!r} as DATE")
+    if kind is TypeKind.CHAR:
+        if isinstance(value, bytes):
+            raw = value
+        elif isinstance(value, str):
+            raw = value.encode("ascii", errors="replace")
+        else:
+            raise SchemaError(f"cannot store {value!r} as {dtype}")
+        if len(raw) > dtype.length:
+            raise SchemaError(
+                f"value of length {len(raw)} does not fit in {dtype}"
+            )
+        return raw
+    if kind in (TypeKind.INT32, TypeKind.INT64):
+        if isinstance(value, (bool,)):
+            raise SchemaError(f"cannot store bool as {dtype}")
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        raise SchemaError(f"cannot store {value!r} as {dtype}")
+    if kind is TypeKind.FLOAT64:
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise SchemaError(f"cannot store {value!r} as FLOAT64")
+    if kind is TypeKind.BOOL:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise SchemaError(f"cannot store {value!r} as BOOL")
+    raise SchemaError(f"unknown type kind {kind!r}")
+
+
+def python_value(dtype: DataType, stored: object) -> object:
+    """Convert a stored value back to its user-facing Python form."""
+    kind = dtype.kind
+    if kind is TypeKind.DATE:
+        return int_to_date(int(stored))
+    if kind is TypeKind.CHAR:
+        if isinstance(stored, bytes):
+            return stored.rstrip(b"\x00").decode("ascii", errors="replace")
+        return str(stored)
+    if kind in (TypeKind.INT32, TypeKind.INT64):
+        return int(stored)
+    if kind is TypeKind.FLOAT64:
+        return float(stored)
+    if kind is TypeKind.BOOL:
+        return bool(stored)
+    raise SchemaError(f"unknown type kind {kind!r}")

@@ -1,0 +1,56 @@
+"""TPC-D substrate: schemas, dbgen, clustering layouts, paper workloads."""
+
+from repro.tpcd.dbgen import GenConfig, generate_tables
+from repro.tpcd.distributions import (
+    CLUSTERINGS,
+    CURRENT_DATE,
+    DATE_RANGE_DAYS,
+    END_DATE,
+    START_DATE,
+    contaminate_buckets,
+    diagonal_distribution,
+    physical_order,
+)
+from repro.tpcd.loader import LoadedLineitem, load_lineitem, load_table, load_tpcd
+from repro.tpcd.queries import (
+    QUERY1_BASE_DATE,
+    QUERY1_GROUPING,
+    charge_expr,
+    disc_price_expr,
+    query1,
+    query1_sma_definitions,
+    query6,
+    query6_sma_definitions,
+    revenue_expr,
+)
+from repro.tpcd.schema import ALL_SCHEMAS, BASE_CARDINALITIES, LINEITEM, ORDERS
+
+__all__ = [
+    "ALL_SCHEMAS",
+    "BASE_CARDINALITIES",
+    "CLUSTERINGS",
+    "CURRENT_DATE",
+    "DATE_RANGE_DAYS",
+    "END_DATE",
+    "GenConfig",
+    "LINEITEM",
+    "LoadedLineitem",
+    "ORDERS",
+    "QUERY1_BASE_DATE",
+    "QUERY1_GROUPING",
+    "START_DATE",
+    "charge_expr",
+    "contaminate_buckets",
+    "diagonal_distribution",
+    "disc_price_expr",
+    "generate_tables",
+    "load_lineitem",
+    "load_table",
+    "load_tpcd",
+    "physical_order",
+    "query1",
+    "query1_sma_definitions",
+    "query6",
+    "query6_sma_definitions",
+    "revenue_expr",
+]

@@ -1,0 +1,269 @@
+"""TPC-D data generation (dbgen re-implementation, vectorised).
+
+Generates all eight TPC-D relations at a configurable scale factor with
+numpy, matching the schema, key structure, value ranges and date windows
+the paper's arithmetic depends on.  Text columns draw from small word
+pools — their *content* is irrelevant to every experiment, their *width*
+is honoured by the schemas.
+
+Determinism: everything flows from one ``numpy.random.Generator`` seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tpcd import schema as tpcd_schema
+from repro.tpcd.distributions import CURRENT_INT, END_INT, START_INT
+
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_CONTAINERS = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"]
+_TYPES = ["STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "ECONOMY BRUSHED STEEL"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_WORDS = [
+    "final", "pending", "express", "regular", "quick", "bold", "even",
+    "silent", "ironic", "careful", "furious", "blithe", "special", "dogged",
+]
+
+#: Maximum lead time between order date and ship/receipt dates; orders
+#: are drawn so every derived date stays inside the TPC-D window.
+_MAX_LEAD_DAYS = 152
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Scale and seed for one generated database instance."""
+
+    scale_factor: float = 0.01
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise ReproError(f"scale_factor must be positive, got {self.scale_factor}")
+
+    def cardinality(self, table: str) -> int:
+        base = tpcd_schema.BASE_CARDINALITIES[table]
+        if table in ("NATION", "REGION"):
+            return base
+        return max(1, int(round(base * self.scale_factor)))
+
+
+def _comments(rng: np.random.Generator, n: int, width: int) -> np.ndarray:
+    """Fixed-width pseudo comments from the word pool."""
+    first = rng.integers(0, len(_WORDS), size=n)
+    second = rng.integers(0, len(_WORDS), size=n)
+    pool = np.array(
+        [f"{a} {b} requests" for a in _WORDS for b in _WORDS], dtype=f"S{width}"
+    )
+    return pool[first * len(_WORDS) + second]
+
+
+def _pick(rng: np.random.Generator, pool: list[str], n: int, width: int) -> np.ndarray:
+    values = np.array(pool, dtype=f"S{width}")
+    return values[rng.integers(0, len(pool), size=n)]
+
+
+def generate_region(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    n = len(_REGIONS)
+    return tpcd_schema.REGION.batch_from_columns(
+        R_REGIONKEY=np.arange(n, dtype=np.int32),
+        R_NAME=np.array(_REGIONS, dtype="S25"),
+        R_COMMENT=_comments(rng, n, 20),
+    )
+
+
+def generate_nation(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    n = len(_NATIONS)
+    return tpcd_schema.NATION.batch_from_columns(
+        N_NATIONKEY=np.arange(n, dtype=np.int32),
+        N_NAME=np.array([name for name, _ in _NATIONS], dtype="S25"),
+        N_REGIONKEY=np.array([region for _, region in _NATIONS], dtype=np.int32),
+        N_COMMENT=_comments(rng, n, 20),
+    )
+
+
+def generate_supplier(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    n = config.cardinality("SUPPLIER")
+    keys = np.arange(1, n + 1, dtype=np.int32)
+    return tpcd_schema.SUPPLIER.batch_from_columns(
+        S_SUPPKEY=keys,
+        S_NAME=np.char.add(b"Supplier#", keys.astype("S16")).astype("S25"),
+        S_ADDRESS=_comments(rng, n, 20),
+        S_NATIONKEY=rng.integers(0, len(_NATIONS), size=n).astype(np.int32),
+        S_PHONE=np.array([b"11-123-456-7890"] * n, dtype="S15"),
+        S_ACCTBAL=rng.uniform(-999.99, 9999.99, size=n),
+        S_COMMENT=_comments(rng, n, 20),
+    )
+
+
+def generate_customer(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    n = config.cardinality("CUSTOMER")
+    keys = np.arange(1, n + 1, dtype=np.int32)
+    return tpcd_schema.CUSTOMER.batch_from_columns(
+        C_CUSTKEY=keys,
+        C_NAME=np.char.add(b"Customer#", keys.astype("S9")).astype("S18"),
+        C_ADDRESS=_comments(rng, n, 20),
+        C_NATIONKEY=rng.integers(0, len(_NATIONS), size=n).astype(np.int32),
+        C_PHONE=np.array([b"22-123-456-7890"] * n, dtype="S15"),
+        C_ACCTBAL=rng.uniform(-999.99, 9999.99, size=n),
+        C_MKTSEGMENT=_pick(rng, _SEGMENTS, n, 10),
+        C_COMMENT=_comments(rng, n, 20),
+    )
+
+
+def generate_part(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    n = config.cardinality("PART")
+    keys = np.arange(1, n + 1, dtype=np.int32)
+    return tpcd_schema.PART.batch_from_columns(
+        P_PARTKEY=keys,
+        P_NAME=_comments(rng, n, 33),
+        P_MFGR=_pick(rng, [f"Manufacturer#{i}" for i in range(1, 6)], n, 25),
+        P_BRAND=_pick(rng, [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)], n, 10),
+        P_TYPE=_pick(rng, _TYPES, n, 25),
+        P_SIZE=rng.integers(1, 51, size=n).astype(np.int32),
+        P_CONTAINER=_pick(rng, _CONTAINERS, n, 10),
+        P_RETAILPRICE=900.0 + (keys % 1000) * 1.0 + rng.uniform(0, 100, size=n),
+        P_COMMENT=_comments(rng, n, 14),
+    )
+
+
+def generate_partsupp(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    num_parts = config.cardinality("PART")
+    per_part = 4
+    n = num_parts * per_part
+    part_keys = np.repeat(np.arange(1, num_parts + 1, dtype=np.int32), per_part)
+    num_suppliers = config.cardinality("SUPPLIER")
+    supp_keys = (
+        rng.integers(1, num_suppliers + 1, size=n).astype(np.int32)
+    )
+    return tpcd_schema.PARTSUPP.batch_from_columns(
+        PS_PARTKEY=part_keys,
+        PS_SUPPKEY=supp_keys,
+        PS_AVAILQTY=rng.integers(1, 10_000, size=n).astype(np.int32),
+        PS_SUPPLYCOST=rng.uniform(1.0, 1000.0, size=n),
+        PS_COMMENT=_comments(rng, n, 20),
+    )
+
+
+def generate_orders(config: GenConfig, rng: np.random.Generator) -> np.ndarray:
+    n = config.cardinality("ORDERS")
+    keys = np.arange(1, n + 1, dtype=np.int32)
+    num_customers = config.cardinality("CUSTOMER")
+    order_dates = rng.integers(
+        START_INT, END_INT - _MAX_LEAD_DAYS + 1, size=n
+    ).astype(np.int32)
+    return tpcd_schema.ORDERS.batch_from_columns(
+        O_ORDERKEY=keys,
+        O_CUSTKEY=rng.integers(1, num_customers + 1, size=n).astype(np.int32),
+        O_ORDERSTATUS=_pick(rng, ["F", "O", "P"], n, 1),
+        O_TOTALPRICE=rng.uniform(1000.0, 450_000.0, size=n),
+        O_ORDERDATE=order_dates,
+        O_ORDERPRIORITY=_pick(rng, _PRIORITIES, n, 15),
+        O_CLERK=_pick(rng, [f"Clerk#{i:09d}" for i in range(1, 101)], n, 15),
+        O_SHIPPRIORITY=np.zeros(n, dtype=np.int32),
+        O_COMMENT=_comments(rng, n, 23),
+    )
+
+
+def generate_lineitem(
+    config: GenConfig,
+    rng: np.random.Generator,
+    orders: np.ndarray | None = None,
+) -> np.ndarray:
+    """LINEITEM derived from ORDERS (1–7 lines per order, avg 4).
+
+    If *orders* is None a fresh ORDERS batch is generated internally
+    (and discarded) so LINEITEM can be produced standalone.
+    """
+    if orders is None:
+        orders = generate_orders(config, rng)
+    per_order = rng.integers(1, 8, size=len(orders))
+    n = int(per_order.sum())
+    order_keys = np.repeat(orders["O_ORDERKEY"], per_order)
+    order_dates = np.repeat(orders["O_ORDERDATE"], per_order).astype(np.int64)
+
+    starts = np.concatenate([[0], np.cumsum(per_order)[:-1]])
+    line_numbers = (np.arange(n) - np.repeat(starts, per_order) + 1).astype(np.int32)
+
+    quantity = rng.integers(1, 51, size=n).astype(np.float64)
+    unit_price = rng.uniform(900.0, 2100.0, size=n)
+    ship_date = order_dates + rng.integers(1, 122, size=n)
+    commit_date = order_dates + rng.integers(30, 91, size=n)
+    receipt_date = ship_date + rng.integers(1, 31, size=n)
+
+    # Return flag per TPC-D: 'R' or 'A' when the item was received
+    # before the current date, 'N' otherwise.
+    received = receipt_date <= CURRENT_INT
+    returnflag = np.where(
+        received,
+        np.where(rng.random(n) < 0.5, b"R", b"A"),
+        b"N",
+    ).astype("S1")
+    linestatus = np.where(ship_date > CURRENT_INT, b"O", b"F").astype("S1")
+
+    num_parts = config.cardinality("PART")
+    num_suppliers = config.cardinality("SUPPLIER")
+    return tpcd_schema.LINEITEM.batch_from_columns(
+        L_ORDERKEY=order_keys,
+        L_PARTKEY=rng.integers(1, num_parts + 1, size=n).astype(np.int32),
+        L_SUPPKEY=rng.integers(1, num_suppliers + 1, size=n).astype(np.int32),
+        L_LINENUMBER=line_numbers,
+        L_QUANTITY=quantity,
+        L_EXTENDEDPRICE=np.round(quantity * unit_price, 2),
+        L_DISCOUNT=rng.integers(0, 11, size=n) / 100.0,
+        L_TAX=rng.integers(0, 9, size=n) / 100.0,
+        L_RETURNFLAG=returnflag,
+        L_LINESTATUS=linestatus,
+        L_SHIPDATE=ship_date.astype(np.int32),
+        L_COMMITDATE=commit_date.astype(np.int32),
+        L_RECEIPTDATE=receipt_date.astype(np.int32),
+        L_SHIPINSTRUCT=_pick(rng, _INSTRUCTIONS, n, 25),
+        L_SHIPMODE=_pick(rng, _MODES, n, 10),
+        L_COMMENT=_comments(rng, n, 27),
+    )
+
+
+_GENERATORS = {
+    "REGION": generate_region,
+    "NATION": generate_nation,
+    "SUPPLIER": generate_supplier,
+    "CUSTOMER": generate_customer,
+    "PART": generate_part,
+    "PARTSUPP": generate_partsupp,
+    "ORDERS": generate_orders,
+}
+
+
+def generate_tables(
+    config: GenConfig, tables: tuple[str, ...]
+) -> dict[str, np.ndarray]:
+    """Generate the requested tables, sharing ORDERS with LINEITEM."""
+    rng = np.random.default_rng(config.seed)
+    batches: dict[str, np.ndarray] = {}
+    want_lineitem = "LINEITEM" in tables
+    for name in tables:
+        if name == "LINEITEM":
+            continue
+        try:
+            batches[name] = _GENERATORS[name](config, rng)
+        except KeyError:
+            raise ReproError(f"unknown TPC-D table {name!r}") from None
+    if want_lineitem:
+        orders = batches.get("ORDERS")
+        batches["LINEITEM"] = generate_lineitem(config, rng, orders)
+    return batches

@@ -1,0 +1,149 @@
+"""Date distributions and physical clustering controls.
+
+Three physical layouts of LINEITEM matter for the paper's experiments:
+
+* ``sorted`` — LINEITEM sorted on L_SHIPDATE, the paper's "optimal case"
+  for the headline Query 1 numbers;
+* ``toc`` — *time-of-creation* order, the paper's implicit clustering:
+  tuples arrive in the warehouse a normally distributed lag after their
+  ship date, so physical order is *approximately* shipdate order — the
+  diagonal data distribution of Figure 2;
+* ``uniform`` — random physical order (no clustering; every bucket spans
+  the full date range, the worst case for SMAs).
+
+Plus the Figure 5 knob: :func:`contaminate_buckets` starts from sorted
+data and plants one out-of-range tuple into a chosen fraction of
+buckets, making *exactly* that fraction ambivalent for any mid-range
+shipdate predicate — scattered uniformly, which is what produces the
+skip-heavy I/O pattern behind the paper's break-even curve.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.storage.types import date_to_int
+
+#: TPC-D date window: orders span 1992-01-01 .. 1998-12-01 minus lead time.
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 12, 1)
+CURRENT_DATE = datetime.date(1995, 6, 17)
+
+START_INT = date_to_int(START_DATE)
+END_INT = date_to_int(END_DATE)
+CURRENT_INT = date_to_int(CURRENT_DATE)
+
+#: The paper's data cube arithmetic: "Every date attribute of LINEITEM
+#: ... has a range of seven years or 2556 days."
+DATE_RANGE_DAYS = 2556
+
+Clustering = str  # "sorted" | "toc" | "uniform"
+CLUSTERINGS = ("sorted", "toc", "uniform")
+
+
+def check_clustering(clustering: str) -> str:
+    if clustering not in CLUSTERINGS:
+        raise ReproError(
+            f"unknown clustering {clustering!r}; pick one of {CLUSTERINGS}"
+        )
+    return clustering
+
+
+def introduction_lag_days(
+    rng: np.random.Generator, n: int, mean: float = 14.0, std: float = 5.0
+) -> np.ndarray:
+    """Days between an event and its entry into the warehouse.
+
+    "In practice, there will be an average time needed before the data
+    is entered into the database and the real intervals needed will
+    exhibit a normal distribution around this average time."  (Section
+    2.2).  Negative draws clamp to zero — data cannot be entered before
+    it exists.
+    """
+    lag = rng.normal(mean, std, size=n)
+    return np.maximum(lag, 0.0)
+
+
+def diagonal_distribution(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    lag_mean: float = 14.0,
+    lag_std: float = 5.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample Figure 2's diagonal data distribution.
+
+    Returns ``(event_dates, introduction_dates)`` as int day numbers:
+    event dates uniform over the TPC-D window, introduction dates the
+    event date plus a normal lag.  All points lie on or right of the
+    diagonal; physical (introduction) order approximates event order.
+    """
+    events = rng.integers(START_INT, END_INT + 1, size=n)
+    intro = events + np.round(introduction_lag_days(rng, n, lag_mean, lag_std))
+    return events.astype(np.int64), intro.astype(np.int64)
+
+
+def physical_order(
+    records: np.ndarray,
+    clustering: str,
+    rng: np.random.Generator,
+    *,
+    date_column: str = "L_SHIPDATE",
+    lag_mean: float = 14.0,
+    lag_std: float = 5.0,
+) -> np.ndarray:
+    """Reorder a record batch into the requested physical layout."""
+    check_clustering(clustering)
+    if clustering == "sorted":
+        order = np.argsort(records[date_column], kind="stable")
+    elif clustering == "toc":
+        lag = np.round(introduction_lag_days(rng, len(records), lag_mean, lag_std))
+        introduction = records[date_column].astype(np.int64) + lag.astype(np.int64)
+        order = np.argsort(introduction, kind="stable")
+    else:  # uniform
+        order = rng.permutation(len(records))
+    return records[order]
+
+
+def contaminate_buckets(
+    records: np.ndarray,
+    tuples_per_bucket: int,
+    fraction: float,
+    rng: np.random.Generator,
+    *,
+    date_column: str = "L_SHIPDATE",
+) -> tuple[np.ndarray, int]:
+    """Plant one far-away tuple into ``fraction`` of the buckets.
+
+    *records* must already be sorted on *date_column* and is modified as
+    a copy: the chosen buckets are paired up and the first tuple of each
+    pair member is swapped, so each receives a date from the other end
+    of the file.  For any predicate constant well inside the date range,
+    exactly the contaminated buckets grade ambivalent (plus at most one
+    boundary bucket).  Returns ``(new_records, buckets_contaminated)``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ReproError(f"fraction must be in [0, 1], got {fraction}")
+    records = records.copy()
+    num_buckets = (len(records) + tuples_per_bucket - 1) // tuples_per_bucket
+    k = int(round(num_buckets * fraction))
+    if k < 2:
+        return records, 0
+    chosen = np.sort(rng.choice(num_buckets, size=k, replace=False))
+    # Pair the first half with the second half so every swap crosses a
+    # large date distance (sorted input ⇒ far buckets have far dates).
+    half = k // 2
+    for low, high in zip(chosen[:half], chosen[k - half :]):
+        i = int(low) * tuples_per_bucket
+        j = int(high) * tuples_per_bucket
+        records[[i, j]] = records[[j, i]]
+    # With an odd k the middle bucket is swapped against the last one.
+    if k % 2 == 1:
+        middle = int(chosen[half]) * tuples_per_bucket
+        last = int(chosen[-1]) * tuples_per_bucket + 1
+        if last < len(records):
+            records[[middle, last]] = records[[last, middle]]
+    return records, k

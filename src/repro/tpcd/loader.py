@@ -1,0 +1,160 @@
+"""One-call TPC-D loading: generate → physically order → load → index.
+
+The loader is what examples, tests and every experiment use to stand up
+a database instance.  It owns the physical-layout knobs (clustering
+strategy, bucket size, Figure 5 contamination) so experiments stay
+declarative.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builder import SmaBuildReport, build_sma_set
+from repro.core.definition import SmaDefinition
+from repro.core.sma_set import SmaSet
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.tpcd import schema as tpcd_schema
+from repro.tpcd.dbgen import GenConfig, generate_tables
+from repro.tpcd.distributions import contaminate_buckets, physical_order
+from repro.tpcd.queries import query1_sma_definitions
+
+#: Append granularity: bounds builder memory without affecting layout.
+_CHUNK_RECORDS = 262_144
+
+
+@dataclass
+class LoadedLineitem:
+    """A loaded LINEITEM with its (optionally) built SMA set."""
+
+    table: Table
+    sma_set: SmaSet | None = None
+    build_reports: list[SmaBuildReport] = field(default_factory=list)
+    contaminated_buckets: int = 0
+
+
+def load_table(
+    catalog: Catalog,
+    name: str,
+    records: np.ndarray,
+    *,
+    pages_per_bucket: int = 1,
+    clustered_on: str | None = None,
+) -> Table:
+    """Create *name* in *catalog* and bulk-append *records* in chunks."""
+    schema = tpcd_schema.ALL_SCHEMAS[name]
+    table = catalog.create_table(
+        name,
+        schema,
+        pages_per_bucket=pages_per_bucket,
+        clustered_on=clustered_on,
+    )
+    for start in range(0, len(records), _CHUNK_RECORDS):
+        table.append_batch(records[start : start + _CHUNK_RECORDS])
+    table.heap.flush()
+    return table
+
+
+def load_lineitem(
+    catalog: Catalog,
+    *,
+    scale_factor: float = 0.01,
+    clustering: str = "sorted",
+    seed: int = 42,
+    pages_per_bucket: int = 1,
+    contaminate_fraction: float = 0.0,
+    sma_definitions: list[SmaDefinition] | None = None,
+    sma_set_name: str = "q1",
+    build_smas: bool = True,
+    separate_scans: bool = False,
+    table_name: str = "LINEITEM",
+    lag_mean: float = 14.0,
+    lag_std: float = 5.0,
+) -> LoadedLineitem:
+    """Generate, order, load and (optionally) SMA-index LINEITEM.
+
+    ``contaminate_fraction > 0`` requires ``clustering="sorted"`` and
+    plants foreign tuples into that fraction of buckets (the Figure 5
+    knob).  ``lag_mean``/``lag_std`` shape the time-of-creation lag for
+    ``clustering="toc"``.  Default SMA definitions are the paper's
+    Figure 4 set.
+    """
+    config = GenConfig(scale_factor=scale_factor, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    records = generate_tables(config, ("LINEITEM",))["LINEITEM"]
+    records = physical_order(
+        records, clustering, rng, lag_mean=lag_mean, lag_std=lag_std
+    )
+
+    contaminated = 0
+    if contaminate_fraction > 0.0:
+        schema = tpcd_schema.LINEITEM
+        from repro.storage.page import BucketLayout
+
+        layout = BucketLayout(
+            record_width=schema.record_width, pages_per_bucket=pages_per_bucket
+        )
+        records, contaminated = contaminate_buckets(
+            records, layout.tuples_per_bucket, contaminate_fraction, rng
+        )
+
+    table = load_table(
+        catalog,
+        table_name,
+        records,
+        pages_per_bucket=pages_per_bucket,
+        clustered_on="L_SHIPDATE" if clustering in ("sorted", "toc") else None,
+    )
+
+    loaded = LoadedLineitem(table=table, contaminated_buckets=contaminated)
+    if build_smas:
+        definitions = (
+            sma_definitions
+            if sma_definitions is not None
+            else query1_sma_definitions(table_name)
+        )
+        directory = os.path.join(catalog.sma_dir(table_name), sma_set_name)
+        sma_set, reports = build_sma_set(
+            table,
+            definitions,
+            directory=directory,
+            name=sma_set_name,
+            separate_scans=separate_scans,
+        )
+        catalog.register_sma_set(table_name, sma_set)
+        loaded.sma_set = sma_set
+        loaded.build_reports = reports
+    return loaded
+
+
+def load_tpcd(
+    catalog: Catalog,
+    *,
+    scale_factor: float = 0.01,
+    seed: int = 42,
+    tables: tuple[str, ...] = ("ORDERS", "LINEITEM"),
+    clustering: str = "sorted",
+) -> dict[str, Table]:
+    """Load several TPC-D tables (LINEITEM gets the clustering layout)."""
+    config = GenConfig(scale_factor=scale_factor, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    batches = generate_tables(config, tables)
+    loaded: dict[str, Table] = {}
+    for name, records in batches.items():
+        clustered_on = None
+        if name == "LINEITEM":
+            records = physical_order(records, clustering, rng)
+            if clustering in ("sorted", "toc"):
+                clustered_on = "L_SHIPDATE"
+        elif name == "ORDERS" and clustering in ("sorted", "toc"):
+            order = np.argsort(records["O_ORDERDATE"], kind="stable")
+            records = records[order]
+            clustered_on = "O_ORDERDATE"
+        loaded[name] = load_table(
+            catalog, name, records, clustered_on=clustered_on
+        )
+    return loaded

@@ -1,0 +1,135 @@
+"""The paper's workloads: TPC-D Query 1 (Figure 3), its eight SMA
+definitions (Figure 4), and TPC-D Query 6 as a second, selection-heavy
+workload exercising multi-SMA conjunctive grading.
+
+Expression trees for the derived sums are built by shared helpers so the
+query side and the SMA-definition side are *structurally identical* —
+that is how the planner matches them.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.aggregates import average, count_star, maximum, minimum, total
+from repro.core.definition import SmaDefinition
+from repro.lang.expr import ScalarExpr, col, const, mul, sub, add
+from repro.lang.predicate import and_, cmp
+from repro.query.query import AggregateQuery, OutputAggregate
+
+#: The fixed date of Query 1's WHERE clause: DATE '1998-12-01'.
+QUERY1_BASE_DATE = datetime.date(1998, 12, 1)
+
+
+def disc_price_expr() -> ScalarExpr:
+    """``L_EXTENDEDPRICE * (1 - L_DISCOUNT)``"""
+    return mul(col("L_EXTENDEDPRICE"), sub(const(1), col("L_DISCOUNT")))
+
+
+def charge_expr() -> ScalarExpr:
+    """``L_EXTENDEDPRICE * (1 - L_DISCOUNT) * (1 + L_TAX)``"""
+    return mul(disc_price_expr(), add(const(1), col("L_TAX")))
+
+
+def revenue_expr() -> ScalarExpr:
+    """``L_EXTENDEDPRICE * L_DISCOUNT`` (Query 6's aggregate)."""
+    return mul(col("L_EXTENDEDPRICE"), col("L_DISCOUNT"))
+
+
+def query1(
+    delta: int = 90,
+    table: str = "LINEITEM",
+    cutoff: datetime.date | None = None,
+) -> AggregateQuery:
+    """TPC-D Query 1 exactly as in Figure 3, parameterized by [delta].
+
+    An explicit *cutoff* overrides the delta arithmetic — the Figure 5
+    sweep uses this to place the predicate at a chosen quantile.
+    """
+    if cutoff is None:
+        cutoff = QUERY1_BASE_DATE - datetime.timedelta(days=delta)
+    return AggregateQuery(
+        table=table,
+        aggregates=(
+            OutputAggregate("SUM_QTY", total(col("L_QUANTITY"))),
+            OutputAggregate("SUM_BASE_PRICE", total(col("L_EXTENDEDPRICE"))),
+            OutputAggregate("SUM_DISC_PRICE", total(disc_price_expr())),
+            OutputAggregate("SUM_CHARGE", total(charge_expr())),
+            OutputAggregate("AVG_QTY", average(col("L_QUANTITY"))),
+            OutputAggregate("AVG_PRICE", average(col("L_EXTENDEDPRICE"))),
+            OutputAggregate("AVG_DISC", average(col("L_DISCOUNT"))),
+            OutputAggregate("COUNT_ORDER", count_star()),
+        ),
+        where=cmp("L_SHIPDATE", "<=", cutoff),
+        group_by=("L_RETURNFLAG", "L_LINESTATUS"),
+        order_by=("L_RETURNFLAG", "L_LINESTATUS"),
+    )
+
+
+#: Query 1's grouping, abbreviated L_RETFLAG / L_LINESTAT in Figure 4.
+QUERY1_GROUPING = ("L_RETURNFLAG", "L_LINESTATUS")
+
+
+def query1_sma_definitions(table: str = "LINEITEM") -> list[SmaDefinition]:
+    """The eight SMA definitions of Figure 4, verbatim.
+
+    ``min`` and ``max`` on L_SHIPDATE are ungrouped (selection SMAs);
+    the six others group by L_RETURNFLAG, L_LINESTATUS and expand into
+    four SMA-files each — 26 SMA-files total, as the paper counts.
+    """
+    grouping = QUERY1_GROUPING
+    return [
+        SmaDefinition("max", table, maximum(col("L_SHIPDATE"))),
+        SmaDefinition("min", table, minimum(col("L_SHIPDATE"))),
+        SmaDefinition("count", table, count_star(), grouping),
+        SmaDefinition("qty", table, total(col("L_QUANTITY")), grouping),
+        SmaDefinition("dis", table, total(col("L_DISCOUNT")), grouping),
+        SmaDefinition("ext", table, total(col("L_EXTENDEDPRICE")), grouping),
+        SmaDefinition("extdis", table, total(disc_price_expr()), grouping),
+        SmaDefinition("extdistax", table, total(charge_expr()), grouping),
+    ]
+
+
+def query6(
+    *,
+    from_date: datetime.date = datetime.date(1994, 1, 1),
+    discount: float = 0.06,
+    quantity: float = 24.0,
+    table: str = "LINEITEM",
+) -> AggregateQuery:
+    """TPC-D Query 6: forecasting revenue change.
+
+    A selection on three attributes with an ungrouped sum — the
+    conjunctive-grading showcase: every atom contributes its own bucket
+    partitioning and they combine with the Section 3.1 ``and`` algebra.
+    """
+    to_date = datetime.date(from_date.year + 1, from_date.month, from_date.day)
+    return AggregateQuery(
+        table=table,
+        aggregates=(
+            OutputAggregate("REVENUE", total(revenue_expr())),
+            OutputAggregate("MATCHES", count_star()),
+        ),
+        where=and_(
+            cmp("L_SHIPDATE", ">=", from_date),
+            cmp("L_SHIPDATE", "<", to_date),
+            cmp("L_DISCOUNT", ">=", round(discount - 0.01, 2)),
+            cmp("L_DISCOUNT", "<=", round(discount + 0.01, 2)),
+            cmp("L_QUANTITY", "<", quantity),
+        ),
+    )
+
+
+def query6_sma_definitions(table: str = "LINEITEM") -> list[SmaDefinition]:
+    """SMAs serving Query 6: bounds on all three restricted attributes
+    plus the ungrouped revenue sum and count."""
+    return [
+        SmaDefinition("ship_min", table, minimum(col("L_SHIPDATE"))),
+        SmaDefinition("ship_max", table, maximum(col("L_SHIPDATE"))),
+        SmaDefinition("disc_min", table, minimum(col("L_DISCOUNT"))),
+        SmaDefinition("disc_max", table, maximum(col("L_DISCOUNT"))),
+        SmaDefinition("qty_min", table, minimum(col("L_QUANTITY"))),
+        SmaDefinition("qty_max", table, maximum(col("L_QUANTITY"))),
+        SmaDefinition("revenue", table, total(revenue_expr())),
+        SmaDefinition("cnt", table, count_star()),
+    ]

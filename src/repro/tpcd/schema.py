@@ -1,0 +1,125 @@
+"""TPC-D table schemas (fixed-width adaptation).
+
+All eight TPC-D relations, with column types chosen so the byte
+arithmetic the paper relies on comes out right.  Text columns are
+fixed-width CHAR (the storage engine stores fixed-width records); the
+LINEITEM comment is CHAR(27), tuned so the record is 124 bytes wide and
+a 4 KB page holds 32 tuples — matching the paper's ≈ 733.33 MB LINEITEM
+at SF = 1 (6.0 M tuples / 32 per page ≈ 187.7 k pages).  This width
+substitution is documented in DESIGN.md; none of the experiments read
+comment *content*.
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import Schema
+from repro.storage.types import DATE, FLOAT64, INT32, char
+
+LINEITEM = Schema.of(
+    ("L_ORDERKEY", INT32),
+    ("L_PARTKEY", INT32),
+    ("L_SUPPKEY", INT32),
+    ("L_LINENUMBER", INT32),
+    ("L_QUANTITY", FLOAT64),
+    ("L_EXTENDEDPRICE", FLOAT64),
+    ("L_DISCOUNT", FLOAT64),
+    ("L_TAX", FLOAT64),
+    ("L_RETURNFLAG", char(1)),
+    ("L_LINESTATUS", char(1)),
+    ("L_SHIPDATE", DATE),
+    ("L_COMMITDATE", DATE),
+    ("L_RECEIPTDATE", DATE),
+    ("L_SHIPINSTRUCT", char(25)),
+    ("L_SHIPMODE", char(10)),
+    ("L_COMMENT", char(27)),
+)
+
+ORDERS = Schema.of(
+    ("O_ORDERKEY", INT32),
+    ("O_CUSTKEY", INT32),
+    ("O_ORDERSTATUS", char(1)),
+    ("O_TOTALPRICE", FLOAT64),
+    ("O_ORDERDATE", DATE),
+    ("O_ORDERPRIORITY", char(15)),
+    ("O_CLERK", char(15)),
+    ("O_SHIPPRIORITY", INT32),
+    ("O_COMMENT", char(23)),
+)
+
+CUSTOMER = Schema.of(
+    ("C_CUSTKEY", INT32),
+    ("C_NAME", char(18)),
+    ("C_ADDRESS", char(20)),
+    ("C_NATIONKEY", INT32),
+    ("C_PHONE", char(15)),
+    ("C_ACCTBAL", FLOAT64),
+    ("C_MKTSEGMENT", char(10)),
+    ("C_COMMENT", char(20)),
+)
+
+PART = Schema.of(
+    ("P_PARTKEY", INT32),
+    ("P_NAME", char(33)),
+    ("P_MFGR", char(25)),
+    ("P_BRAND", char(10)),
+    ("P_TYPE", char(25)),
+    ("P_SIZE", INT32),
+    ("P_CONTAINER", char(10)),
+    ("P_RETAILPRICE", FLOAT64),
+    ("P_COMMENT", char(14)),
+)
+
+SUPPLIER = Schema.of(
+    ("S_SUPPKEY", INT32),
+    ("S_NAME", char(25)),
+    ("S_ADDRESS", char(20)),
+    ("S_NATIONKEY", INT32),
+    ("S_PHONE", char(15)),
+    ("S_ACCTBAL", FLOAT64),
+    ("S_COMMENT", char(20)),
+)
+
+PARTSUPP = Schema.of(
+    ("PS_PARTKEY", INT32),
+    ("PS_SUPPKEY", INT32),
+    ("PS_AVAILQTY", INT32),
+    ("PS_SUPPLYCOST", FLOAT64),
+    ("PS_COMMENT", char(20)),
+)
+
+NATION = Schema.of(
+    ("N_NATIONKEY", INT32),
+    ("N_NAME", char(25)),
+    ("N_REGIONKEY", INT32),
+    ("N_COMMENT", char(20)),
+)
+
+REGION = Schema.of(
+    ("R_REGIONKEY", INT32),
+    ("R_NAME", char(25)),
+    ("R_COMMENT", char(20)),
+)
+
+#: All eight relations by their TPC-D names.
+ALL_SCHEMAS: dict[str, Schema] = {
+    "LINEITEM": LINEITEM,
+    "ORDERS": ORDERS,
+    "CUSTOMER": CUSTOMER,
+    "PART": PART,
+    "SUPPLIER": SUPPLIER,
+    "PARTSUPP": PARTSUPP,
+    "NATION": NATION,
+    "REGION": REGION,
+}
+
+#: Base cardinalities at scale factor 1 (TPC-D 1.x).
+BASE_CARDINALITIES: dict[str, int] = {
+    "CUSTOMER": 150_000,
+    "ORDERS": 1_500_000,
+    "LINEITEM": 6_001_215,  # approximate: ~4 lineitems per order
+    "PART": 200_000,
+    "SUPPLIER": 10_000,
+    "PARTSUPP": 800_000,
+    "NATION": 25,
+    "REGION": 5,
+}

@@ -1,0 +1,93 @@
+"""Tests for the bitmap-index baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitmap import BitmapIndex
+from repro.errors import StorageError
+from repro.lang.predicate import CmpOp
+
+
+@pytest.fixture
+def index(catalog, sales_table, tmp_path):
+    return BitmapIndex.build(
+        sales_table, "flag", str(tmp_path / "flag.bmp")
+    )
+
+
+class TestBuild:
+    def test_one_bitmap_per_value(self, index):
+        assert index.cardinality == 2
+        assert sorted(index.values) == [b"A", b"R"]
+
+    def test_bit_per_tuple_per_value(self, index, sales_table):
+        expected = index.cardinality * ((sales_table.num_records + 7) // 8)
+        assert index.size_bytes == expected
+
+    def test_build_charges_scan(self, catalog, sales_table, tmp_path):
+        catalog.reset_stats()
+        BitmapIndex.build(sales_table, "flag", str(tmp_path / "b2.bmp"))
+        assert catalog.stats.tuples_built == sales_table.num_records
+
+    def test_high_cardinality_refused(self, catalog, sales_table, tmp_path):
+        with pytest.raises(StorageError, match="distinct"):
+            BitmapIndex.build(
+                sales_table, "id", str(tmp_path / "id.bmp"),
+                max_cardinality=16,
+            )
+
+    def test_empty_table(self, catalog, tmp_path):
+        from tests.conftest import SALES_SCHEMA
+
+        empty = catalog.create_table("EMPTY", SALES_SCHEMA)
+        index = BitmapIndex.build(empty, "flag", str(tmp_path / "e.bmp"))
+        assert index.count(CmpOp.EQ, b"A") == 0
+
+
+class TestQueries:
+    def test_count_equality(self, index, sales_table):
+        everything = sales_table.read_all()
+        assert index.count(CmpOp.EQ, b"A") == (everything["flag"] == b"A").sum()
+
+    def test_count_never_touches_relation(self, catalog, index):
+        catalog.go_cold()
+        catalog.reset_stats()
+        index.count(CmpOp.EQ, b"A")
+        assert catalog.stats.buckets_fetched == 0
+        assert catalog.stats.tuples_scanned == 0
+
+    @pytest.mark.parametrize("op", list(CmpOp))
+    def test_all_operators_match_brute_force(self, index, sales_table, op):
+        everything = sales_table.read_all()
+        compare = {
+            CmpOp.EQ: np.equal, CmpOp.NE: np.not_equal, CmpOp.LT: np.less,
+            CmpOp.LE: np.less_equal, CmpOp.GT: np.greater,
+            CmpOp.GE: np.greater_equal,
+        }[op]
+        assert index.count(op, b"A") == compare(everything["flag"], b"A").sum()
+
+    def test_positions(self, index, sales_table):
+        positions = index.positions(CmpOp.EQ, b"R")
+        everything = sales_table.read_all()
+        np.testing.assert_array_equal(
+            positions, np.flatnonzero(everything["flag"] == b"R")
+        )
+
+    def test_absent_value(self, index):
+        assert index.count(CmpOp.EQ, b"Z") == 0
+
+    def test_reads_charged_per_value_bitmap(self, catalog, index):
+        catalog.go_cold()
+        catalog.reset_stats()
+        index.count(CmpOp.EQ, b"A")
+        single = catalog.stats.page_reads
+        catalog.go_cold()
+        catalog.reset_stats()
+        index.count(CmpOp.NE, b"Z")  # touches both bitmaps
+        assert catalog.stats.page_reads >= single
+
+    def test_delete_files(self, index):
+        import os
+
+        index.delete_files()
+        assert not os.path.exists(index.path)

@@ -1,0 +1,102 @@
+"""Tests for the data-cube baseline and the paper's space arithmetic."""
+
+import pytest
+
+from repro.baselines.datacube import (
+    CubeMissError,
+    DataCube,
+    cube_bytes,
+    cube_cells,
+    paper_cube_comparison,
+)
+from repro.core.aggregates import average, count_star, total
+from repro.errors import ReproError
+from repro.lang.expr import col
+from repro.query.query import OutputAggregate
+
+
+class TestSpaceModel:
+    def test_cells_is_product(self):
+        assert cube_cells([10, 4, 3]) == 120
+
+    def test_zero_cardinality_rejected(self):
+        with pytest.raises(ReproError):
+            cube_cells([10, 0])
+
+    def test_paper_one_date_dimension(self):
+        # "479.25 KB = 2556^1 * 4 * 48 B"
+        assert cube_bytes([2556, 4]) == 2556 * 4 * 48
+        assert cube_bytes([2556, 4]) / 1024 == pytest.approx(479.25)
+
+    def test_paper_two_date_dimensions(self):
+        # "1196.25 MB = 2556^2 * 4 * 48 B"
+        assert cube_bytes([2556, 2556, 4]) / 1024**2 == pytest.approx(
+            1196.25, rel=1e-3
+        )
+
+    def test_paper_three_date_dimensions(self):
+        # "2985.95 GB = 2556^3 * 4 * 48 B"
+        assert cube_bytes([2556] * 3 + [4]) / 1024**3 == pytest.approx(
+            2985.95, rel=1e-3
+        )
+
+    def test_paper_comparison_sequence(self):
+        reports = paper_cube_comparison()
+        assert len(reports) == 3
+        assert reports[0].total_bytes < reports[1].total_bytes < reports[2].total_bytes
+        assert "KB" in reports[0].human or "KiB" in reports[0].human
+
+
+class TestMaterializedCube:
+    @pytest.fixture
+    def cube(self, sales_table):
+        return DataCube.build(
+            sales_table,
+            ("flag",),
+            (
+                OutputAggregate("s", total(col("qty"))),
+                OutputAggregate("n", count_star()),
+            ),
+        )
+
+    def test_rollup_matches_brute_force(self, cube, sales_table):
+        columns, rows = cube.query(("flag",))
+        everything = sales_table.read_all()
+        assert columns == ["flag", "s", "n"]
+        for flag, qty_sum, count in rows:
+            mask = everything["flag"] == flag.encode()
+            assert qty_sum == pytest.approx(everything["qty"][mask].sum())
+            assert count == mask.sum()
+
+    def test_slice(self, cube, sales_table):
+        _, rows = cube.query((), slice_equals={"flag": "A"})
+        everything = sales_table.read_all()
+        mask = everything["flag"] == b"A"
+        assert rows[0][1] == mask.sum()
+
+    def test_unforeseen_dimension_raises(self, cube):
+        # The paper's inflexibility argument, as an exception.
+        with pytest.raises(CubeMissError, match="not a cube dimension"):
+            cube.query(("flag",), slice_equals={"ship": 0})
+
+    def test_unknown_group_by_raises(self, cube):
+        with pytest.raises(CubeMissError):
+            cube.query(("qty",))
+
+    def test_allocated_bytes_match_formula(self, cube):
+        assert cube.allocated_bytes == cube_bytes(
+            cube.dimension_cardinalities(), cube.entry_bytes
+        )
+
+    def test_avg_must_not_be_materialized(self, sales_table):
+        with pytest.raises(ReproError):
+            DataCube(
+                ("flag",), (OutputAggregate("a", average(col("qty"))),)
+            )
+
+    def test_needs_dimensions(self):
+        with pytest.raises(ReproError):
+            DataCube((), (OutputAggregate("n", count_star()),))
+
+    def test_entry_bytes_default(self, cube):
+        assert cube.entry_bytes == 16  # two aggregates x 8 bytes

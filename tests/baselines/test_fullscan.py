@@ -1,0 +1,37 @@
+"""Tests for the raw sequential-scan helpers."""
+
+import datetime
+
+import numpy as np
+
+from repro.baselines.fullscan import scan_collect, scan_count
+from repro.lang import cmp
+from repro.storage.types import date_to_int
+
+from tests.conftest import BASE_DATE
+
+
+class TestScanCount:
+    def test_counts_matching_tuples(self, sales_table):
+        cutoff = BASE_DATE + datetime.timedelta(days=10)
+        count = scan_count(sales_table, cmp("ship", "<=", cutoff))
+        everything = sales_table.read_all()
+        assert count == (everything["ship"] <= date_to_int(cutoff)).sum()
+
+    def test_charges_every_tuple_and_bucket(self, catalog, sales_table):
+        catalog.reset_stats()
+        scan_count(sales_table, cmp("qty", "=", 0.0))
+        assert catalog.stats.tuples_scanned == sales_table.num_records
+        assert catalog.stats.buckets_fetched == sales_table.num_buckets
+
+
+class TestScanCollect:
+    def test_collects_matching_tuples(self, sales_table):
+        collected = scan_collect(sales_table, cmp("flag", "=", "A"))
+        assert (collected["flag"] == b"A").all()
+        assert len(collected) == 1000
+
+    def test_empty_result(self, sales_table):
+        collected = scan_collect(sales_table, cmp("qty", "=", 1e9))
+        assert len(collected) == 0
+        assert collected.dtype == sales_table.schema.record_dtype

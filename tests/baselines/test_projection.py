@@ -1,0 +1,76 @@
+"""Tests for the projection-index baseline."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.baselines.projection import ProjectionIndex
+from repro.lang import cmp
+from repro.storage.types import date_to_int
+
+from tests.conftest import BASE_DATE
+
+
+@pytest.fixture
+def index(catalog, sales_table, tmp_path):
+    return ProjectionIndex.build(
+        sales_table, "ship", str(tmp_path / "ship.proj")
+    )
+
+
+class TestBuild:
+    def test_one_value_per_tuple(self, index, sales_table):
+        assert index.num_entries == sales_table.num_records
+
+    def test_values_in_physical_order(self, index, sales_table):
+        np.testing.assert_array_equal(
+            index.values(charge=False), sales_table.read_all()["ship"]
+        )
+
+    def test_size_is_tuples_times_width(self, index, sales_table):
+        assert index.size_bytes == sales_table.num_records * 4
+
+    def test_build_charges_scan_and_writes(self, catalog, sales_table, tmp_path):
+        catalog.reset_stats()
+        built = ProjectionIndex.build(
+            sales_table, "qty", str(tmp_path / "qty.proj")
+        )
+        assert catalog.stats.tuples_built == sales_table.num_records
+        assert catalog.stats.page_writes >= built.num_pages
+
+
+class TestQuerying:
+    def test_matching_positions(self, index, sales_table):
+        cutoff = BASE_DATE + datetime.timedelta(days=10)
+        predicate = cmp("ship", "<=", cutoff).bind(sales_table.schema)
+        positions = index.matching_positions(predicate)
+        everything = sales_table.read_all()
+        expected = np.flatnonzero(everything["ship"] <= date_to_int(cutoff))
+        np.testing.assert_array_equal(positions, expected)
+
+    def test_wrong_column_rejected(self, index, sales_table):
+        predicate = cmp("qty", "=", 1.0).bind(sales_table.schema)
+        with pytest.raises(ValueError):
+            index.matching_positions(predicate)
+
+    def test_scan_charges_index_pages_only(self, catalog, index, sales_table):
+        catalog.go_cold()
+        catalog.reset_stats()
+        index.values()
+        # Index pages are ~1/30 of the relation pages for 4-byte values.
+        assert catalog.stats.page_reads == index.num_pages
+        assert index.num_pages < sales_table.num_pages
+
+    def test_sma_is_coarser_than_projection(self, index, sales_sma_set):
+        """The generalization relationship: one SMA entry per *bucket*,
+        one projection entry per *tuple*."""
+        min_file = sales_sma_set.files_of("smin")[()]
+        assert min_file.num_entries < index.num_entries
+        assert min_file.size_bytes < index.size_bytes
+
+    def test_delete_files(self, index):
+        import os
+
+        index.delete_files()
+        assert not os.path.exists(index.path)

@@ -1,0 +1,71 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    ScratchCatalog,
+    format_table,
+    human_bytes,
+    human_seconds,
+)
+
+
+class TestHumanRendering:
+    def test_bytes_units(self):
+        assert human_bytes(512) == "512.00 B"
+        assert human_bytes(4096) == "4.00 KiB"
+        assert human_bytes(33.776 * 2**20).endswith("MiB")
+        assert human_bytes(3 * 2**40).endswith("TiB")
+
+    def test_seconds_units(self):
+        assert human_seconds(128) == "128 s"
+        assert human_seconds(4.9) == "4.90 s"
+        assert human_seconds(0.0019) == "1.90 ms"
+
+
+class TestFormatTable:
+    def test_aligned_output(self):
+        text = format_table(
+            ["name", "pages"], [("min", 184), ("count", 736)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "184" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult(
+            exp_id="E0",
+            title="demo",
+            headers=["k", "v"],
+            rows=[("x", 1)],
+            paper_reference="Section 0",
+            notes=["a note"],
+            metrics={"speed": 2.0},
+        )
+        rendered = result.render()
+        for piece in ("E0", "demo", "Section 0", "a note", "speed"):
+            assert piece in rendered
+
+    def test_metric_lookup(self):
+        result = ExperimentResult("E0", "t", ["a"], [], metrics={"m": 1.5})
+        assert result.metric("m") == 1.5
+        with pytest.raises(KeyError, match="have"):
+            result.metric("missing")
+
+
+class TestScratchCatalog:
+    def test_creates_and_cleans_up(self):
+        import os
+
+        with ScratchCatalog() as catalog:
+            root = catalog.root_dir
+            assert os.path.isdir(root)
+        assert not os.path.exists(root)

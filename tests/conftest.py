@@ -1,0 +1,122 @@
+"""Shared fixtures for the whole test suite."""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.storage import Catalog, DATE, FLOAT64, INT32, Schema, char
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    """A fresh catalog in a temporary directory."""
+    cat = Catalog(str(tmp_path / "db"))
+    yield cat
+    cat.close()
+
+
+#: A small, typed schema used across many unit tests.
+SALES_SCHEMA = Schema.of(
+    ("id", INT32),
+    ("ship", DATE),
+    ("qty", FLOAT64),
+    ("flag", char(1)),
+)
+
+BASE_DATE = datetime.date(1997, 1, 1)
+
+
+def sales_rows(n: int = 2000, days_per_step: int = 50):
+    """Deterministic, date-clustered rows for the SALES_SCHEMA."""
+    return [
+        (
+            i,
+            BASE_DATE + datetime.timedelta(days=i // days_per_step),
+            float(i % 7),
+            "AR"[i % 2],
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def sales_table(catalog):
+    """A loaded, date-clustered table of 2000 rows."""
+    table = catalog.create_table("SALES", SALES_SCHEMA, clustered_on="ship")
+    table.append_rows(sales_rows())
+    return table
+
+
+@pytest.fixture
+def sales_sma_set(catalog, sales_table, tmp_path):
+    """min/max/count/sum SMAs on the sales table."""
+    from repro.core import (
+        SmaDefinition,
+        build_sma_set,
+        count_star,
+        maximum,
+        minimum,
+        total,
+    )
+    from repro.lang import col
+
+    definitions = [
+        SmaDefinition("smin", "SALES", minimum(col("ship"))),
+        SmaDefinition("smax", "SALES", maximum(col("ship"))),
+        SmaDefinition("cnt", "SALES", count_star(), ("flag",)),
+        SmaDefinition("sqty", "SALES", total(col("qty")), ("flag",)),
+    ]
+    sma_set, _ = build_sma_set(
+        sales_table, definitions, directory=str(tmp_path / "db" / "SALES.smas")
+    )
+    catalog.register_sma_set("SALES", sma_set)
+    return sma_set
+
+
+@pytest.fixture(scope="session")
+def lineitem_env(tmp_path_factory):
+    """Session-scoped TPC-D LINEITEM (sorted, SF=0.005) with Q1 SMAs.
+
+    Shared read-only by many query/integration tests — none of them may
+    mutate the table.  Stats are reset per use via ``catalog.reset_stats``.
+    """
+    from repro.tpcd import load_lineitem
+
+    root = tmp_path_factory.mktemp("lineitem-db")
+    cat = Catalog(str(root), buffer_pages=8192)
+    loaded = load_lineitem(cat, scale_factor=0.005, clustering="sorted")
+    yield cat, loaded
+    cat.close()
+
+
+def assert_rows_equal(rows_a, rows_b, rel=1e-9):
+    """Compare query result rows with float tolerance."""
+    assert len(rows_a) == len(rows_b), (rows_a, rows_b)
+    for ra, rb in zip(rows_a, rows_b):
+        assert len(ra) == len(rb), (ra, rb)
+        for a, b in zip(ra, rb):
+            if isinstance(a, float) and isinstance(b, float):
+                assert a == pytest.approx(b, rel=rel, abs=1e-9), (ra, rb)
+            else:
+                assert a == b, (ra, rb)
+
+
+def brute_force_partition_check(table, sma_set, predicate):
+    """Assert a partitioning is sound against tuple-level evaluation."""
+    bound = predicate.bind(table.schema)
+    partitioning = sma_set.partition(bound, charge=False)
+    for bucket_no in range(table.num_buckets):
+        records = table.read_bucket(bucket_no)
+        satisfied = bound.evaluate(records)
+        if partitioning.qualifying[bucket_no]:
+            assert len(records) > 0 and bool(satisfied.all()), (
+                f"bucket {bucket_no} marked qualifying but not all tuples satisfy"
+            )
+        if partitioning.disqualifying[bucket_no]:
+            assert not bool(satisfied.any()), (
+                f"bucket {bucket_no} marked disqualifying but some tuple satisfies"
+            )
+    return partitioning

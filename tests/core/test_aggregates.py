@@ -1,0 +1,108 @@
+"""Unit tests for aggregate specs."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import (
+    AggregateKind,
+    AggregateSpec,
+    average,
+    check_materializable,
+    count_star,
+    maximum,
+    minimum,
+    total,
+)
+from repro.errors import SmaDefinitionError
+from repro.lang.expr import col, const, mul, sub
+from repro.storage.schema import Schema
+from repro.storage.types import DATE, FLOAT64, INT32, char
+
+SCHEMA = Schema.of(("d", DATE), ("x", FLOAT64), ("n", INT32), ("s", char(3)))
+
+
+class TestConstruction:
+    def test_count_star_takes_no_argument(self):
+        assert count_star().argument is None
+        with pytest.raises(SmaDefinitionError):
+            AggregateSpec(AggregateKind.COUNT, col("x"))
+
+    def test_other_kinds_require_argument(self):
+        with pytest.raises(SmaDefinitionError):
+            AggregateSpec(AggregateKind.SUM, None)
+
+    def test_structural_equality(self):
+        expr = mul(col("x"), sub(const(1), col("x")))
+        assert total(expr) == total(mul(col("x"), sub(const(1), col("x"))))
+        assert total(expr) != total(col("x"))
+        assert minimum(col("d")) != maximum(col("d"))
+
+
+class TestValidation:
+    def test_sum_requires_numeric(self):
+        total(col("x")).validate(SCHEMA)
+        with pytest.raises(SmaDefinitionError):
+            total(col("d")).validate(SCHEMA)
+        with pytest.raises(SmaDefinitionError):
+            average(col("s")).validate(SCHEMA)
+
+    def test_minmax_require_orderable(self):
+        minimum(col("d")).validate(SCHEMA)
+        minimum(col("s")).validate(SCHEMA)  # CHAR is orderable
+
+    def test_avg_not_materializable(self):
+        with pytest.raises(SmaDefinitionError):
+            check_materializable(average(col("x")))
+
+    def test_others_materializable(self):
+        for spec in (minimum(col("d")), maximum(col("d")), total(col("x")), count_star()):
+            check_materializable(spec)
+
+
+class TestValueDtype:
+    def test_count_is_4_bytes(self):
+        # "For counts and dates, 4 bytes are needed."
+        assert count_star().value_dtype(SCHEMA).itemsize == 4
+
+    def test_date_minmax_is_4_bytes(self):
+        assert minimum(col("d")).value_dtype(SCHEMA).itemsize == 4
+
+    def test_sums_are_8_bytes(self):
+        # "For all other aggregate values we used 8 bytes."
+        assert total(col("x")).value_dtype(SCHEMA).itemsize == 8
+        assert total(col("n")).value_dtype(SCHEMA).itemsize == 8
+
+    def test_integer_sum_promotes_to_int64(self):
+        assert total(col("n")).value_dtype(SCHEMA).kind == "i"
+        assert total(col("x")).value_dtype(SCHEMA).kind == "f"
+
+    def test_char_minmax_keeps_width(self):
+        assert minimum(col("s")).value_dtype(SCHEMA) == np.dtype("S3")
+
+    def test_avg_has_no_dtype(self):
+        with pytest.raises(SmaDefinitionError):
+            average(col("x")).value_dtype(SCHEMA)
+
+
+class TestCompute:
+    def test_min_max_sum_count(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert minimum(col("x")).compute(values) == 1.0
+        assert maximum(col("x")).compute(values) == 3.0
+        assert total(col("x")).compute(values) == 6.0
+        assert count_star().compute(values) == 3
+
+    def test_integer_sum_uses_int64(self):
+        values = np.array([2**30, 2**30, 2**30], dtype=np.int32)
+        assert total(col("n")).compute(values) == 3 * 2**30
+
+    def test_empty_min_rejected(self):
+        with pytest.raises(SmaDefinitionError):
+            minimum(col("x")).compute(np.array([]))
+
+    def test_count_of_empty_is_zero(self):
+        assert count_star().compute(np.array([])) == 0
+
+    def test_str_rendering(self):
+        assert str(count_star()) == "count(*)"
+        assert str(total(col("x"))) == "sum(x)"

@@ -1,0 +1,160 @@
+"""Tests for bulkloading SMA sets: correctness against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SmaDefinition,
+    build_sma_set,
+    count_star,
+    maximum,
+    minimum,
+    total,
+)
+from repro.errors import SmaDefinitionError
+from repro.lang.expr import col, const, mul, sub
+
+from tests.conftest import SALES_SCHEMA
+
+
+def definitions():
+    return [
+        SmaDefinition("smin", "SALES", minimum(col("ship"))),
+        SmaDefinition("smax", "SALES", maximum(col("ship"))),
+        SmaDefinition("cnt", "SALES", count_star(), ("flag",)),
+        SmaDefinition("sqty", "SALES", total(col("qty")), ("flag",)),
+        SmaDefinition(
+            "derived", "SALES",
+            total(mul(col("qty"), sub(const(1), col("qty")))), ("flag",),
+        ),
+    ]
+
+
+@pytest.fixture
+def built(catalog, sales_table, tmp_path):
+    sma_set, reports = build_sma_set(
+        sales_table, definitions(), directory=str(tmp_path / "smas")
+    )
+    return sales_table, sma_set, reports
+
+
+class TestCorrectness:
+    def test_ungrouped_minmax_per_bucket(self, built):
+        table, sma_set, _ = built
+        mins = sma_set.files_of("smin")[()].values(charge=False)
+        maxs = sma_set.files_of("smax")[()].values(charge=False)
+        for bucket_no in range(table.num_buckets):
+            records = table.read_bucket(bucket_no)
+            assert mins[bucket_no] == records["ship"].min()
+            assert maxs[bucket_no] == records["ship"].max()
+
+    def test_grouped_counts_per_bucket(self, built):
+        table, sma_set, _ = built
+        for key, sma in sma_set.files_of("cnt").items():
+            counts = sma.values(charge=False)
+            for bucket_no in range(table.num_buckets):
+                records = table.read_bucket(bucket_no)
+                expected = int((records["flag"] == key[0].encode()).sum())
+                assert counts[bucket_no] == expected
+
+    def test_grouped_sums_per_bucket(self, built):
+        table, sma_set, _ = built
+        for key, sma in sma_set.files_of("sqty").items():
+            sums = sma.values(charge=False)
+            for bucket_no in range(table.num_buckets):
+                records = table.read_bucket(bucket_no)
+                mask = records["flag"] == key[0].encode()
+                assert sums[bucket_no] == pytest.approx(records["qty"][mask].sum())
+
+    def test_derived_expression_sums(self, built):
+        table, sma_set, _ = built
+        files = sma_set.files_of("derived")
+        total_sma = sum(f.values(charge=False).sum() for f in files.values())
+        everything = table.read_all()
+        expected = (everything["qty"] * (1 - everything["qty"])).sum()
+        assert total_sma == pytest.approx(expected)
+
+    def test_one_file_per_group(self, built):
+        _, sma_set, _ = built
+        assert set(sma_set.files_of("cnt")) == {("A",), ("R",)}
+        assert set(sma_set.files_of("smin")) == {()}
+
+    def test_entry_count_equals_bucket_count(self, built):
+        table, sma_set, _ = built
+        for sma in sma_set.all_files():
+            assert sma.num_entries == table.num_buckets
+
+    def test_sum_and_count_files_have_no_validity(self, built):
+        _, sma_set, _ = built
+        for name in ("cnt", "sqty", "derived"):
+            for sma in sma_set.files_of(name).values():
+                assert sma.valid_mask() is None
+
+
+class TestReports:
+    def test_one_report_per_definition(self, built):
+        _, sma_set, reports = built
+        assert [r.definition_name for r in reports] == [d.name for d in definitions()]
+
+    def test_report_sizes_match_files(self, built):
+        _, sma_set, reports = built
+        for report in reports:
+            files = sma_set.files_of(report.definition_name)
+            assert report.num_files == len(files)
+            assert report.pages == sum(f.num_pages for f in files.values())
+
+    def test_shared_scan_flag(self, built):
+        _, _, reports = built
+        assert all(r.shared_scan for r in reports)
+
+
+class TestSeparateScans:
+    def test_separate_scans_build_identical_files(
+        self, catalog, sales_table, tmp_path
+    ):
+        together, _ = build_sma_set(
+            sales_table, definitions(), directory=str(tmp_path / "a")
+        )
+        separate, reports = build_sma_set(
+            sales_table, definitions(), directory=str(tmp_path / "b"),
+            separate_scans=True,
+        )
+        for name in ("smin", "smax", "cnt", "sqty"):
+            for key in together.files_of(name):
+                np.testing.assert_array_equal(
+                    together.files_of(name)[key].values(charge=False),
+                    separate.files_of(name)[key].values(charge=False),
+                )
+        assert not any(r.shared_scan for r in reports)
+
+    def test_separate_scans_charge_one_pass_each(
+        self, catalog, sales_table, tmp_path
+    ):
+        catalog.reset_stats()
+        _, reports = build_sma_set(
+            sales_table, definitions()[:2], directory=str(tmp_path / "c"),
+            separate_scans=True,
+        )
+        for report in reports:
+            assert report.stats.tuples_built == sales_table.num_records
+
+
+class TestValidationErrors:
+    def test_empty_definitions_rejected(self, catalog, sales_table, tmp_path):
+        with pytest.raises(SmaDefinitionError):
+            build_sma_set(sales_table, [], directory=str(tmp_path / "x"))
+
+    def test_duplicate_names_rejected(self, catalog, sales_table, tmp_path):
+        dupes = [definitions()[0], definitions()[0]]
+        with pytest.raises(SmaDefinitionError, match="duplicate"):
+            build_sma_set(sales_table, dupes, directory=str(tmp_path / "x"))
+
+    def test_wrong_table_rejected(self, catalog, sales_table, tmp_path):
+        wrong = SmaDefinition("m", "OTHER", minimum(col("ship")))
+        with pytest.raises(SmaDefinitionError, match="OTHER"):
+            build_sma_set(sales_table, [wrong], directory=str(tmp_path / "x"))
+
+    def test_unknown_column_rejected(self, catalog, sales_table, tmp_path):
+        bad = SmaDefinition("m", "SALES", minimum(col("ghost")))
+        with pytest.raises(Exception):
+            build_sma_set(sales_table, [bad], directory=str(tmp_path / "x"))

@@ -1,0 +1,86 @@
+"""Unit tests for SMA definitions and the paper's restrictions."""
+
+import pytest
+
+from repro.core.aggregates import average, count_star, maximum, total
+from repro.core.definition import SmaDefinition
+from repro.errors import SmaDefinitionError
+from repro.lang.expr import col
+from repro.storage.schema import Schema
+from repro.storage.types import DATE, FLOAT64, char
+
+SCHEMA = Schema.of(("ship", DATE), ("qty", FLOAT64), ("flag", char(1)))
+
+
+class TestRestrictions:
+    def test_avg_rejected(self):
+        # The paper allows only min, max, sum, count in SMA definitions.
+        with pytest.raises(SmaDefinitionError):
+            SmaDefinition("bad", "T", average(col("qty")))
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(SmaDefinitionError):
+            SmaDefinition("bad", "T", count_star(), ("flag", "flag"))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SmaDefinitionError):
+            SmaDefinition("not a name", "T", count_star())
+
+    def test_keywordish_names_allowed(self):
+        # The paper itself names SMAs min/max/count.
+        SmaDefinition("min", "T", maximum(col("ship")))
+
+
+class TestValidation:
+    def test_valid_definition(self):
+        SmaDefinition("qty", "T", total(col("qty")), ("flag",)).validate(SCHEMA)
+
+    def test_unknown_aggregate_column(self):
+        with pytest.raises(Exception):
+            SmaDefinition("x", "T", total(col("ghost"))).validate(SCHEMA)
+
+    def test_unknown_group_column(self):
+        with pytest.raises(Exception):
+            SmaDefinition("x", "T", count_star(), ("ghost",)).validate(SCHEMA)
+
+    def test_sum_of_date_rejected(self):
+        with pytest.raises(SmaDefinitionError):
+            SmaDefinition("x", "T", total(col("ship"))).validate(SCHEMA)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        definition = SmaDefinition("qty", "T", total(col("qty")), ("flag",))
+        assert definition.matches(total(col("qty")), ("flag",))
+
+    def test_grouping_must_match(self):
+        definition = SmaDefinition("qty", "T", total(col("qty")), ("flag",))
+        assert not definition.matches(total(col("qty")), ())
+
+    def test_aggregate_must_match(self):
+        definition = SmaDefinition("qty", "T", total(col("qty")))
+        assert not definition.matches(maximum(col("qty")), ())
+
+    def test_grouped_flag(self):
+        assert SmaDefinition("a", "T", count_star(), ("flag",)).grouped
+        assert not SmaDefinition("b", "T", count_star()).grouped
+
+
+class TestRendering:
+    def test_sql_round_trip_text(self):
+        definition = SmaDefinition("qty", "LINEITEM", total(col("L_QUANTITY")),
+                                   ("L_RETURNFLAG", "L_LINESTATUS"))
+        text = definition.sql()
+        assert text.splitlines() == [
+            "define sma qty",
+            "select sum(L_QUANTITY)",
+            "from LINEITEM",
+            "group by L_RETURNFLAG, L_LINESTATUS",
+        ]
+
+    def test_sql_parses_back(self):
+        from repro.sql import parse_statement
+
+        definition = SmaDefinition("qty", "LINEITEM", total(col("L_QUANTITY")),
+                                   ("L_RETURNFLAG",))
+        assert parse_statement(definition.sql()) == definition

@@ -1,0 +1,229 @@
+"""Rule-by-rule unit tests for the Section 3.1 grading functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.grade import (
+    partition_column_column,
+    partition_column_const,
+    partition_count_sma,
+)
+from repro.errors import SmaStateError
+from repro.lang.predicate import CmpOp
+
+# Three buckets: values [0..9], [10..19], [20..29].
+MINS = np.array([0, 10, 20])
+MAXS = np.array([9, 19, 29])
+
+
+def grades(p):
+    return ["qda"[0 if p.qualifying[i] else 1 if p.disqualifying[i] else 2]
+            for i in range(p.num_buckets)]
+
+
+class TestColumnConstRules:
+    def test_le_rule(self):
+        # A <= c: q when max <= c; d when min > c.
+        p = partition_column_const(CmpOp.LE, 15, 3, mins=MINS, maxs=MAXS)
+        assert grades(p) == ["q", "a", "d"]
+
+    def test_le_boundary_inclusive(self):
+        p = partition_column_const(CmpOp.LE, 9, 3, mins=MINS, maxs=MAXS)
+        assert grades(p) == ["q", "d", "d"]
+
+    def test_lt_rule(self):
+        p = partition_column_const(CmpOp.LT, 10, 3, mins=MINS, maxs=MAXS)
+        assert grades(p) == ["q", "d", "d"]
+
+    def test_ge_rule(self):
+        p = partition_column_const(CmpOp.GE, 10, 3, mins=MINS, maxs=MAXS)
+        assert grades(p) == ["d", "q", "q"]
+
+    def test_gt_rule(self):
+        p = partition_column_const(CmpOp.GT, 19, 3, mins=MINS, maxs=MAXS)
+        assert grades(p) == ["d", "d", "q"]
+
+    def test_eq_rule(self):
+        # d when c < min or c > max; else ambivalent.
+        p = partition_column_const(CmpOp.EQ, 15, 3, mins=MINS, maxs=MAXS)
+        assert grades(p) == ["d", "a", "d"]
+
+    def test_eq_constant_bucket_qualifies(self):
+        # Our documented refinement: min == max == c ⇒ every tuple is c.
+        p = partition_column_const(
+            CmpOp.EQ, 7, 3, mins=np.array([7, 0, 8]), maxs=np.array([7, 9, 8])
+        )
+        assert grades(p) == ["q", "a", "d"]
+
+    def test_ne_rule(self):
+        p = partition_column_const(
+            CmpOp.NE, 7, 3, mins=np.array([7, 0, 8]), maxs=np.array([7, 9, 8])
+        )
+        assert grades(p) == ["d", "a", "q"]
+
+    def test_only_max_available(self):
+        # With max only, A <= c can prove q but never d.
+        p = partition_column_const(CmpOp.LE, 15, 3, maxs=MAXS)
+        assert grades(p) == ["q", "a", "a"]
+
+    def test_only_min_available(self):
+        p = partition_column_const(CmpOp.LE, 15, 3, mins=MINS)
+        assert grades(p) == ["a", "a", "d"]
+
+    def test_no_bounds_rejected(self):
+        with pytest.raises(SmaStateError):
+            partition_column_const(CmpOp.LE, 15, 3)
+
+    def test_undefined_entries_are_ambivalent(self):
+        # "The else case is also applied if the max/min aggregates are
+        # not defined."
+        valid = np.array([True, False, True])
+        p = partition_column_const(
+            CmpOp.LE, 15, 3, mins=MINS, maxs=MAXS, valid=valid
+        )
+        assert grades(p) == ["q", "a", "d"]
+
+    def test_empty_buckets_disqualify(self):
+        empty = np.array([False, True, False])
+        p = partition_column_const(
+            CmpOp.LE, 15, 3, mins=MINS, maxs=MAXS, empty=empty
+        )
+        assert grades(p) == ["q", "d", "d"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SmaStateError):
+            partition_column_const(CmpOp.LE, 15, 4, mins=MINS, maxs=MAXS)
+
+    def test_bytes_domain(self):
+        mins = np.array([b"aa", b"mm"], dtype="S2")
+        maxs = np.array([b"ll", b"zz"], dtype="S2")
+        # b"lz" >= every value of bucket 0; below bucket 1's minimum.
+        p = partition_column_const(CmpOp.LE, b"lz", 2, mins=mins, maxs=maxs)
+        assert grades(p) == ["q", "d"]
+        # b"pp" sits inside bucket 1's range: ambivalent.
+        p = partition_column_const(CmpOp.LE, b"pp", 2, mins=mins, maxs=maxs)
+        assert grades(p) == ["q", "a"]
+
+
+class TestColumnColumnRules:
+    # Per-bucket bounds for attributes A and B of the same relation.
+    A_MIN = np.array([0, 10, 5])
+    A_MAX = np.array([4, 14, 25])
+    B_MIN = np.array([5, 0, 0])
+    B_MAX = np.array([9, 5, 4])
+
+    def test_le_rule(self):
+        # q when max(A) <= min(B); d when min(A) > max(B).  Bucket 2's
+        # A range [5, 25] lies entirely above B's [0, 4]: disqualify.
+        p = partition_column_column(
+            CmpOp.LE, 3,
+            mins_a=self.A_MIN, maxs_a=self.A_MAX,
+            mins_b=self.B_MIN, maxs_b=self.B_MAX,
+        )
+        assert grades(p) == ["q", "d", "d"]
+
+    def test_le_overlap_is_ambivalent(self):
+        p = partition_column_column(
+            CmpOp.LE, 1,
+            mins_a=np.array([5]), maxs_a=np.array([25]),
+            mins_b=np.array([0]), maxs_b=np.array([40]),
+        )
+        assert grades(p) == ["a"]
+
+    def test_lt_rule_strictness(self):
+        a_min = np.array([0]); a_max = np.array([5])
+        b_min = np.array([5]); b_max = np.array([9])
+        le = partition_column_column(
+            CmpOp.LE, 1, mins_a=a_min, maxs_a=a_max, mins_b=b_min, maxs_b=b_max
+        )
+        lt = partition_column_column(
+            CmpOp.LT, 1, mins_a=a_min, maxs_a=a_max, mins_b=b_min, maxs_b=b_max
+        )
+        assert grades(le) == ["q"]
+        assert grades(lt) == ["a"]
+
+    def test_ge_gt_flipped(self):
+        # Bucket 2 has min(A)=5 >= max(B)=4, so it qualifies for A >= B.
+        p = partition_column_column(
+            CmpOp.GE, 3,
+            mins_a=self.A_MIN, maxs_a=self.A_MAX,
+            mins_b=self.B_MIN, maxs_b=self.B_MAX,
+        )
+        assert grades(p) == ["d", "q", "q"]
+
+    def test_eq_disjoint_ranges_disqualify(self):
+        # All three buckets have disjoint A/B ranges: no tuple can have
+        # A = B anywhere.
+        p = partition_column_column(
+            CmpOp.EQ, 3,
+            mins_a=self.A_MIN, maxs_a=self.A_MAX,
+            mins_b=self.B_MIN, maxs_b=self.B_MAX,
+        )
+        assert grades(p) == ["d", "d", "d"]
+
+    def test_eq_overlapping_ranges_ambivalent(self):
+        p = partition_column_column(
+            CmpOp.EQ, 1,
+            mins_a=np.array([0]), maxs_a=np.array([9]),
+            mins_b=np.array([5]), maxs_b=np.array([14]),
+        )
+        assert grades(p) == ["a"]
+
+    def test_eq_all_constant_qualifies(self):
+        p = partition_column_column(
+            CmpOp.EQ, 1,
+            mins_a=np.array([3]), maxs_a=np.array([3]),
+            mins_b=np.array([3]), maxs_b=np.array([3]),
+        )
+        assert grades(p) == ["q"]
+
+    def test_ne_rule(self):
+        p = partition_column_column(
+            CmpOp.NE, 2,
+            mins_a=np.array([0, 3]), maxs_a=np.array([4, 3]),
+            mins_b=np.array([5, 3]), maxs_b=np.array([9, 3]),
+        )
+        assert grades(p) == ["q", "d"]
+
+    def test_partial_bounds_give_partial_knowledge(self):
+        # Only max(A) and min(B): the q-rule of <= still fires.
+        p = partition_column_column(
+            CmpOp.LE, 1, maxs_a=np.array([4]), mins_b=np.array([5])
+        )
+        assert grades(p) == ["q"]
+
+    def test_no_vectors_rejected(self):
+        with pytest.raises(SmaStateError):
+            partition_column_column(CmpOp.LE, 2)
+
+
+class TestCountSmaRules:
+    def test_qualify_when_all_present_values_satisfy(self):
+        counts = {
+            1: np.array([2, 0, 1]),
+            5: np.array([3, 0, 0]),
+            9: np.array([0, 4, 1]),
+        }
+        p = partition_count_sma(CmpOp.LE, 5, 3, counts)
+        # bucket0: values {1,5} all <= 5 -> q; bucket1: only 9 -> d;
+        # bucket2: {1,9} mixed -> a.
+        assert grades(p) == ["q", "d", "a"]
+
+    def test_equality_predicate(self):
+        counts = {1: np.array([2, 0]), 2: np.array([0, 3])}
+        p = partition_count_sma(CmpOp.EQ, 2, 2, counts)
+        assert grades(p) == ["d", "q"]
+
+    def test_empty_bucket_disqualifies(self):
+        counts = {1: np.array([0]), 2: np.array([0])}
+        p = partition_count_sma(CmpOp.LE, 5, 1, counts)
+        assert grades(p) == ["d"]
+
+    def test_ne_predicate(self):
+        counts = {3: np.array([1, 0]), 4: np.array([0, 2])}
+        p = partition_count_sma(CmpOp.NE, 3, 2, counts)
+        assert grades(p) == ["d", "q"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SmaStateError):
+            partition_count_sma(CmpOp.LE, 5, 3, {1: np.array([1, 2])})

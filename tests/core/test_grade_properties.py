@@ -1,0 +1,160 @@
+"""Property-based soundness tests for the grading rules (E6).
+
+The fundamental invariant of Section 3.1: whatever the data and
+predicate, a bucket graded *qualifying* contains only satisfying tuples
+and a bucket graded *disqualifying* contains none.  We generate random
+bucketized integer data and random predicates and check the grading
+against tuple-level ground truth.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grade import (
+    partition_column_column,
+    partition_column_const,
+    partition_count_sma,
+)
+from repro.lang.predicate import CmpOp
+
+OPS = st.sampled_from(list(CmpOp))
+
+
+def _buckets(values, bucket_size):
+    return [
+        values[i : i + bucket_size]
+        for i in range(0, len(values), bucket_size)
+    ]
+
+
+@st.composite
+def bucketized(draw, max_buckets=12, max_bucket_size=8, lo=-20, hi=20):
+    bucket_size = draw(st.integers(1, max_bucket_size))
+    num = draw(st.integers(1, max_buckets)) * bucket_size
+    values = np.array(draw(
+        st.lists(st.integers(lo, hi), min_size=num, max_size=num)
+    ))
+    return values, bucket_size
+
+
+def _evaluate(op, a, b):
+    return {
+        CmpOp.EQ: a == b, CmpOp.NE: a != b, CmpOp.LT: a < b,
+        CmpOp.LE: a <= b, CmpOp.GT: a > b, CmpOp.GE: a >= b,
+    }[op]
+
+
+@given(data=bucketized(), op=OPS, constant=st.integers(-25, 25))
+@settings(max_examples=200)
+def test_column_const_grading_is_sound(data, op, constant):
+    values, bucket_size = data
+    buckets = _buckets(values, bucket_size)
+    mins = np.array([b.min() for b in buckets])
+    maxs = np.array([b.max() for b in buckets])
+    partitioning = partition_column_const(
+        op, constant, len(buckets), mins=mins, maxs=maxs
+    )
+    for i, bucket in enumerate(buckets):
+        satisfied = _evaluate(op, bucket, constant)
+        if partitioning.qualifying[i]:
+            assert satisfied.all()
+        if partitioning.disqualifying[i]:
+            assert not satisfied.any()
+
+
+@given(data=bucketized(), op=OPS, constant=st.integers(-25, 25))
+@settings(max_examples=150)
+def test_one_sided_bounds_are_sound(data, op, constant):
+    """Grading with only a min (or only a max) SMA must stay sound."""
+    values, bucket_size = data
+    buckets = _buckets(values, bucket_size)
+    mins = np.array([b.min() for b in buckets])
+    maxs = np.array([b.max() for b in buckets])
+    for kwargs in ({"mins": mins}, {"maxs": maxs}):
+        partitioning = partition_column_const(
+            op, constant, len(buckets), **kwargs
+        )
+        for i, bucket in enumerate(buckets):
+            satisfied = _evaluate(op, bucket, constant)
+            if partitioning.qualifying[i]:
+                assert satisfied.all()
+            if partitioning.disqualifying[i]:
+                assert not satisfied.any()
+
+
+@given(data_a=bucketized(max_buckets=8), op=OPS, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=150)
+def test_column_column_grading_is_sound(data_a, op, seed):
+    values_a, bucket_size = data_a
+    rng = np.random.default_rng(seed)
+    values_b = rng.integers(-20, 21, size=len(values_a))
+    buckets_a = _buckets(values_a, bucket_size)
+    buckets_b = _buckets(values_b, bucket_size)
+    partitioning = partition_column_column(
+        op,
+        len(buckets_a),
+        mins_a=np.array([b.min() for b in buckets_a]),
+        maxs_a=np.array([b.max() for b in buckets_a]),
+        mins_b=np.array([b.min() for b in buckets_b]),
+        maxs_b=np.array([b.max() for b in buckets_b]),
+    )
+    for i, (ba, bb) in enumerate(zip(buckets_a, buckets_b)):
+        satisfied = _evaluate(op, ba, bb)
+        if partitioning.qualifying[i]:
+            assert satisfied.all()
+        if partitioning.disqualifying[i]:
+            assert not satisfied.any()
+
+
+@given(data=bucketized(lo=0, hi=6), op=OPS, constant=st.integers(-2, 8))
+@settings(max_examples=150)
+def test_count_sma_grading_is_sound_and_maximal(data, op, constant):
+    """Count-SMA grading is sound — and *exact*: a bucket stays
+    ambivalent only when it genuinely mixes satisfying and
+    non-satisfying tuples."""
+    values, bucket_size = data
+    buckets = _buckets(values, bucket_size)
+    domain = np.unique(values)
+    value_counts = {
+        int(v): np.array([(b == v).sum() for b in buckets]) for v in domain
+    }
+    partitioning = partition_count_sma(op, constant, len(buckets), value_counts)
+    for i, bucket in enumerate(buckets):
+        satisfied = _evaluate(op, bucket, constant)
+        if partitioning.qualifying[i]:
+            assert satisfied.all() and len(bucket)
+        if partitioning.disqualifying[i]:
+            assert not satisfied.any()
+        # Exactness: per-value counts give complete knowledge, so the
+        # only buckets left ambivalent are the genuinely mixed ones
+        # (some tuples satisfy, some do not — those must be fetched).
+        if partitioning.ambivalent[i]:
+            assert satisfied.any() and not satisfied.all()
+
+
+@given(data=bucketized(), op=OPS, constant=st.integers(-25, 25))
+@settings(max_examples=100)
+def test_negation_duality(data, op, constant):
+    """grade(not p) == grade(p) with q and d swapped."""
+    values, bucket_size = data
+    buckets = _buckets(values, bucket_size)
+    mins = np.array([b.min() for b in buckets])
+    maxs = np.array([b.max() for b in buckets])
+    straight = partition_column_const(op, constant, len(buckets), mins=mins, maxs=maxs)
+    negated = partition_column_const(
+        op.negated, constant, len(buckets), mins=mins, maxs=maxs
+    )
+    # Inverting the straight partitioning must be sound for the negated
+    # predicate; it may know *less* than direct grading but never more
+    # than ground truth allows.
+    inverted = straight.invert()
+    for i, bucket in enumerate(buckets):
+        satisfied = _evaluate(op.negated, bucket, constant)
+        if inverted.qualifying[i]:
+            assert satisfied.all()
+        if inverted.disqualifying[i]:
+            assert not satisfied.any()
+        if negated.qualifying[i]:
+            assert satisfied.all()
+        if negated.disqualifying[i]:
+            assert not satisfied.any()

@@ -1,0 +1,141 @@
+"""Tests for two-level (hierarchical) SMAs."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalMinMax
+from repro.errors import SmaStateError
+from repro.lang import cmp
+
+from tests.conftest import BASE_DATE
+
+
+@pytest.fixture
+def hierarchy(catalog, sales_table, sales_sma_set, tmp_path):
+    return HierarchicalMinMax.build(
+        "ship",
+        sales_sma_set.files_of("smin")[()],
+        sales_sma_set.files_of("smax")[()],
+        catalog.pool,
+        str(tmp_path / "hier"),
+        entries_per_block=3,
+    )
+
+
+def predicate(offset, op="<="):
+    return cmp("ship", op, BASE_DATE + datetime.timedelta(days=offset))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("offset", [-5, 0, 3, 17, 20, 39, 100])
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">", "=", "<>"])
+    def test_identical_to_flat_grading(
+        self, hierarchy, sales_table, offset, op
+    ):
+        bound = predicate(offset, op).bind(sales_table.schema)
+        flat = hierarchy.flat_partition(bound, sales_table.num_buckets)
+        hier = hierarchy.partition(bound, sales_table.num_buckets)
+        assert flat == hier
+
+    def test_identical_after_deletions(
+        self, catalog, sales_table, sales_sma_set, tmp_path
+    ):
+        from repro.core import SmaMaintainer
+
+        maintainer = SmaMaintainer(sales_table, [sales_sma_set])
+        maintainer.delete_where(predicate(4))
+        hierarchy = HierarchicalMinMax.build(
+            "ship",
+            sales_sma_set.files_of("smin")[()],
+            sales_sma_set.files_of("smax")[()],
+            catalog.pool,
+            str(tmp_path / "hier2"),
+            entries_per_block=3,
+        )
+        for offset in (2, 6, 20):
+            bound = predicate(offset).bind(sales_table.schema)
+            assert hierarchy.partition(bound, sales_table.num_buckets) == (
+                hierarchy.flat_partition(bound, sales_table.num_buckets)
+            )
+
+
+class TestIoSavings:
+    def test_settled_blocks_skip_level1(
+        self, catalog, hierarchy, sales_table
+    ):
+        bound = predicate(3).bind(sales_table.schema)  # low selectivity
+        catalog.go_cold()
+        catalog.reset_stats()
+        hierarchy.partition(bound, sales_table.num_buckets)
+        hier_entries = catalog.stats.sma_entries_read
+
+        catalog.go_cold()
+        catalog.reset_stats()
+        hierarchy.flat_partition(bound, sales_table.num_buckets)
+        flat_entries = catalog.stats.sma_entries_read
+
+        assert hier_entries < flat_entries
+
+    def test_level2_is_small(self, hierarchy, sales_sma_set):
+        level1_pages = (
+            sales_sma_set.files_of("smin")[()].num_pages
+            + sales_sma_set.files_of("smax")[()].num_pages
+        )
+        assert hierarchy.level2_pages <= level1_pages
+
+
+class TestConstruction:
+    def test_block_values_are_block_extrema(self, hierarchy, sales_sma_set):
+        mins = sales_sma_set.files_of("smin")[()].values(charge=False)
+        level2 = hierarchy.level2_min.values(charge=False)
+        block = hierarchy.entries_per_block
+        for i, value in enumerate(level2):
+            assert value == mins[i * block : (i + 1) * block].min()
+
+    def test_default_block_is_one_page_of_entries(
+        self, catalog, sales_table, sales_sma_set, tmp_path
+    ):
+        hierarchy = HierarchicalMinMax.build(
+            "ship",
+            sales_sma_set.files_of("smin")[()],
+            sales_sma_set.files_of("smax")[()],
+            catalog.pool,
+            str(tmp_path / "hier3"),
+        )
+        assert hierarchy.entries_per_block == (
+            sales_sma_set.files_of("smin")[()].entries_per_page
+        )
+
+    def test_wrong_column_rejected(self, hierarchy, sales_table):
+        bound = cmp("qty", "<=", 3.0).bind(sales_table.schema)
+        with pytest.raises(SmaStateError, match="indexes"):
+            hierarchy.partition(bound, sales_table.num_buckets)
+
+    def test_wrong_bucket_count_rejected(self, hierarchy, sales_table):
+        bound = predicate(5).bind(sales_table.schema)
+        with pytest.raises(SmaStateError):
+            hierarchy.partition(bound, sales_table.num_buckets + 1)
+
+    def test_mismatched_levels_rejected(
+        self, catalog, sales_table, sales_sma_set, tmp_path
+    ):
+        import numpy as np
+
+        from repro.core.sma_file import SmaFile
+
+        short = SmaFile.build(
+            str(tmp_path / "short.sma"), np.zeros(3, dtype="<i4"), catalog.pool
+        )
+        with pytest.raises(SmaStateError, match="disagree"):
+            HierarchicalMinMax.build(
+                "ship", sales_sma_set.files_of("smin")[()], short,
+                catalog.pool, str(tmp_path / "h"),
+            )
+
+    def test_delete_files(self, hierarchy):
+        import os
+
+        hierarchy.delete_files()
+        assert not os.path.exists(hierarchy.level2_min.path)

@@ -1,0 +1,104 @@
+"""Hierarchies attached to an SmaSet: transparent, equivalent, cheaper."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SmaStateError
+from repro.lang import and_, cmp
+
+from tests.conftest import BASE_DATE, brute_force_partition_check
+
+
+def mid(offset=20):
+    return BASE_DATE + datetime.timedelta(days=offset)
+
+
+class TestAttachment:
+    def test_build_and_lookup(self, sales_table, sales_sma_set):
+        hierarchy = sales_sma_set.build_hierarchy("ship", entries_per_block=3)
+        assert sales_sma_set.hierarchy_for("ship") is hierarchy
+        assert sales_sma_set.hierarchy_for("qty") is None
+
+    def test_requires_ungrouped_minmax(self, sales_table, sales_sma_set):
+        with pytest.raises(SmaStateError, match="min and max"):
+            sales_sma_set.build_hierarchy("qty")
+
+    def test_drop(self, sales_table, sales_sma_set):
+        sales_sma_set.build_hierarchy("ship", entries_per_block=3)
+        sales_sma_set.drop_hierarchy("ship")
+        assert sales_sma_set.hierarchy_for("ship") is None
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">", "=", "<>"])
+    def test_partition_unchanged_by_hierarchy(
+        self, sales_table, sales_sma_set, op
+    ):
+        predicate = cmp("ship", op, mid())
+        flat = sales_sma_set.partition(predicate, charge=False)
+        sales_sma_set.build_hierarchy("ship", entries_per_block=3)
+        hier = sales_sma_set.partition(predicate, charge=False)
+        assert flat == hier
+        sales_sma_set.drop_hierarchy("ship")
+
+    def test_soundness_with_hierarchy(self, sales_table, sales_sma_set):
+        sales_sma_set.build_hierarchy("ship", entries_per_block=4)
+        brute_force_partition_check(
+            sales_table, sales_sma_set,
+            and_(cmp("ship", ">=", mid(3)), cmp("ship", "<=", mid(30))),
+        )
+
+    def test_mixed_atoms(self, sales_table, sales_sma_set):
+        """Hierarchy column + flat column in one predicate."""
+        sales_sma_set.build_hierarchy("ship", entries_per_block=4)
+        brute_force_partition_check(
+            sales_table, sales_sma_set,
+            and_(cmp("ship", "<=", mid()), cmp("id", ">=", 0)),
+        )
+
+
+class TestIoSaving:
+    def test_partition_reads_fewer_entries(
+        self, catalog, sales_table, sales_sma_set
+    ):
+        predicate = cmp("ship", "<=", mid(2))
+        catalog.go_cold()
+        catalog.reset_stats()
+        sales_sma_set.partition(predicate)
+        flat_entries = catalog.stats.sma_entries_read
+
+        sales_sma_set.build_hierarchy("ship", entries_per_block=3)
+        catalog.go_cold()
+        catalog.reset_stats()
+        sales_sma_set.partition(predicate)
+        hier_entries = catalog.stats.sma_entries_read
+        assert hier_entries < flat_entries
+
+
+class TestMaintenanceInvalidation:
+    def test_dml_drops_stale_hierarchies(self, sales_table, sales_sma_set):
+        from repro.core import SmaMaintainer
+        from tests.conftest import SALES_SCHEMA
+
+        sales_sma_set.build_hierarchy("ship", entries_per_block=3)
+        maintainer = SmaMaintainer(sales_table, [sales_sma_set])
+        fresh = SALES_SCHEMA.batch_from_rows(
+            [(50_000, mid(500), 1.0, "A")]
+        )
+        maintainer.insert(fresh)
+        assert sales_sma_set.hierarchy_for("ship") is None
+        # Grading after the insert is still exact without the hierarchy.
+        brute_force_partition_check(
+            sales_table, sales_sma_set, cmp("ship", ">=", mid(400))
+        )
+
+    def test_rebuild_after_dml_is_consistent(self, sales_table, sales_sma_set):
+        from repro.core import SmaMaintainer
+
+        maintainer = SmaMaintainer(sales_table, [sales_sma_set])
+        maintainer.delete_where(cmp("ship", "<=", mid(2)))
+        sales_sma_set.build_hierarchy("ship", entries_per_block=3)
+        brute_force_partition_check(
+            sales_table, sales_sma_set, cmp("ship", "<=", mid(5))
+        )

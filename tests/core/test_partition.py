@@ -1,0 +1,103 @@
+"""Unit tests for the bucket-partitioning algebra of Section 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import BucketPartitioning, Grade
+from repro.errors import SmaStateError
+
+
+def part(q, d):
+    return BucketPartitioning(np.array(q, dtype=bool), np.array(d, dtype=bool))
+
+
+class TestConstruction:
+    def test_counts(self):
+        p = part([1, 0, 0, 0], [0, 1, 1, 0])
+        assert p.num_qualifying == 1
+        assert p.num_disqualifying == 2
+        assert p.num_ambivalent == 1
+        assert p.fraction_ambivalent == 0.25
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SmaStateError):
+            part([1, 0], [1, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SmaStateError):
+            BucketPartitioning(np.zeros(2, bool), np.zeros(3, bool))
+
+    def test_constructors(self):
+        assert BucketPartitioning.all_qualifying(3).num_qualifying == 3
+        assert BucketPartitioning.all_disqualifying(3).num_disqualifying == 3
+        assert BucketPartitioning.all_ambivalent(3).num_ambivalent == 3
+
+    def test_grade(self):
+        p = part([1, 0, 0], [0, 1, 0])
+        assert p.grade(0) is Grade.QUALIFIES
+        assert p.grade(1) is Grade.DISQUALIFIES
+        assert p.grade(2) is Grade.AMBIVALENT
+        with pytest.raises(SmaStateError):
+            p.grade(3)
+
+    def test_fraction_of_empty(self):
+        assert BucketPartitioning.all_ambivalent(0).fraction_ambivalent == 0.0
+
+
+class TestAlgebra:
+    """The paper's table: and → (q∩q, d∪d); or → (q∪q, d∩d); not → swap."""
+
+    def test_and(self):
+        p1 = part([1, 1, 0, 0], [0, 0, 1, 0])
+        p2 = part([1, 0, 0, 0], [0, 1, 0, 0])
+        combined = p1 & p2
+        np.testing.assert_array_equal(combined.qualifying, [1, 0, 0, 0])
+        np.testing.assert_array_equal(combined.disqualifying, [0, 1, 1, 0])
+
+    def test_or(self):
+        p1 = part([1, 0, 0, 0], [0, 1, 1, 0])
+        p2 = part([0, 1, 0, 0], [1, 0, 1, 0])
+        combined = p1 | p2
+        np.testing.assert_array_equal(combined.qualifying, [1, 1, 0, 0])
+        np.testing.assert_array_equal(combined.disqualifying, [0, 0, 1, 0])
+
+    def test_invert(self):
+        p = part([1, 0, 0], [0, 1, 0])
+        inverted = p.invert()
+        assert inverted.grade(0) is Grade.DISQUALIFIES
+        assert inverted.grade(1) is Grade.QUALIFIES
+        assert inverted.grade(2) is Grade.AMBIVALENT
+
+    def test_double_invert_is_identity(self):
+        p = part([1, 0, 0], [0, 1, 0])
+        assert p.invert().invert() == p
+
+    def test_and_with_true_is_identity(self):
+        p = part([1, 0, 0], [0, 1, 0])
+        assert (p & BucketPartitioning.all_qualifying(3)) == p
+
+    def test_or_with_false_is_identity(self):
+        p = part([1, 0, 0], [0, 1, 0])
+        assert (p | BucketPartitioning.all_disqualifying(3)) == p
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SmaStateError):
+            part([1], [0]) & part([1, 0], [0, 0])
+
+
+class TestRefine:
+    def test_knowledge_accumulates(self):
+        from_min = part([0, 0, 0], [1, 0, 0])
+        from_max = part([0, 1, 0], [0, 0, 0])
+        refined = from_min.refine(from_max)
+        assert refined.grade(0) is Grade.DISQUALIFIES
+        assert refined.grade(1) is Grade.QUALIFIES
+        assert refined.grade(2) is Grade.AMBIVALENT
+
+    def test_conflict_detected(self):
+        with pytest.raises(SmaStateError, match="out of sync"):
+            part([1, 0], [0, 0]).refine(part([0, 0], [1, 0]))
+
+    def test_refine_with_ambivalent_is_identity(self):
+        p = part([1, 0, 0], [0, 1, 0])
+        assert p.refine(BucketPartitioning.all_ambivalent(3)) == p

@@ -1,0 +1,129 @@
+"""Tests for semi-join SMAs (Section 4)."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.semijoin import collect_bounds, reduction_predicate, semijoin
+from repro.errors import PlanningError
+from repro.lang.predicate import CmpOp
+from repro.storage import DATE, Schema
+from repro.storage.types import date_to_int
+
+from tests.conftest import BASE_DATE
+
+
+@pytest.fixture
+def s_table(catalog):
+    table = catalog.create_table("S", Schema.of(("b", DATE)))
+    table.append_rows(
+        [(BASE_DATE + datetime.timedelta(days=k),) for k in range(10, 20)]
+    )
+    return table
+
+
+class TestBounds:
+    def test_min_max_collected(self, s_table):
+        bounds = collect_bounds(s_table, "b")
+        assert bounds.low == BASE_DATE + datetime.timedelta(days=10)
+        assert bounds.high == BASE_DATE + datetime.timedelta(days=19)
+        assert bounds.tuples_seen == 10
+        assert bounds.values is None
+
+    def test_values_kept_on_request(self, s_table):
+        bounds = collect_bounds(s_table, "b", keep_values=True)
+        assert bounds.values is not None
+        assert len(bounds.values) == 10
+
+    def test_empty_relation(self, catalog):
+        table = catalog.create_table("EMPTY", Schema.of(("b", DATE)))
+        bounds = collect_bounds(table, "b")
+        assert bounds.is_empty
+
+
+class TestReductionPredicate:
+    def test_lt_uses_max(self, s_table):
+        bounds = collect_bounds(s_table, "b")
+        predicate = reduction_predicate("a", "<", bounds)
+        assert str(predicate) == "a < DATE '1997-01-20'"
+
+    def test_ge_uses_min(self, s_table):
+        bounds = collect_bounds(s_table, "b")
+        predicate = reduction_predicate("a", CmpOp.GE, bounds)
+        assert "1997-01-11" in str(predicate)
+
+    def test_eq_uses_range(self, s_table):
+        bounds = collect_bounds(s_table, "b")
+        predicate = reduction_predicate("a", "=", bounds)
+        assert ">=" in str(predicate) and "<=" in str(predicate)
+
+    def test_ne_rejected(self, s_table):
+        bounds = collect_bounds(s_table, "b")
+        with pytest.raises(PlanningError):
+            reduction_predicate("a", "<>", bounds)
+
+    def test_empty_bounds_rejected(self, catalog):
+        table = catalog.create_table("EMPTY", Schema.of(("b", DATE)))
+        with pytest.raises(PlanningError, match="empty"):
+            reduction_predicate("a", "<", collect_bounds(table, "b"))
+
+
+class TestSemiJoin:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_matches_brute_force(
+        self, sales_table, sales_sma_set, s_table, op
+    ):
+        reduced, _ = semijoin(
+            sales_table, "ship", op, s_table, "b", sma_set=sales_sma_set
+        )
+        everything = sales_table.read_all()
+        s_values = s_table.read_all()["b"]
+        compare = {
+            "<": np.less, "<=": np.less_equal, ">": np.greater,
+            ">=": np.greater_equal, "=": np.equal,
+        }[op]
+        expected = compare(
+            everything["ship"][:, None], s_values[None, :]
+        ).any(axis=1)
+        assert len(reduced) == int(expected.sum())
+
+    def test_sma_reduction_skips_buckets(
+        self, catalog, sales_table, sales_sma_set, s_table
+    ):
+        catalog.reset_stats()
+        semijoin(sales_table, "ship", "<", s_table, "b", sma_set=sales_sma_set)
+        with_sma = catalog.stats.snapshot()
+        catalog.reset_stats()
+        semijoin(sales_table, "ship", "<", s_table, "b")
+        without = catalog.stats.snapshot()
+        assert with_sma.buckets_fetched < without.buckets_fetched
+        assert with_sma.buckets_skipped > 0
+
+    def test_empty_s_gives_empty_result(self, catalog, sales_table):
+        empty = catalog.create_table("EMPTY", Schema.of(("b", DATE)))
+        result, _ = semijoin(sales_table, "ship", "<", empty, "b")
+        assert len(result) == 0
+
+    def test_eq_does_exact_membership(self, sales_table, sales_sma_set, catalog):
+        # S holds a date that is inside LINEITEM's range but with gaps:
+        # range reduction alone would overmatch.
+        sparse = catalog.create_table("SPARSE", Schema.of(("b", DATE)))
+        sparse.append_rows(
+            [
+                (BASE_DATE + datetime.timedelta(days=2),),
+                (BASE_DATE + datetime.timedelta(days=30),),
+            ]
+        )
+        result, _ = semijoin(
+            sales_table, "ship", "=", sparse, "b", sma_set=sales_sma_set
+        )
+        everything = sales_table.read_all()
+        expected = np.isin(
+            everything["ship"],
+            [
+                date_to_int(BASE_DATE + datetime.timedelta(days=2)),
+                date_to_int(BASE_DATE + datetime.timedelta(days=30)),
+            ],
+        ).sum()
+        assert len(result) == expected

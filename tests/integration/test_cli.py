@@ -1,0 +1,150 @@
+"""Tests for the command-line interface and catalog discovery."""
+
+import pytest
+
+from repro.cli import main
+from repro.storage import Catalog
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "clidb")
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestLoad:
+    def test_load_default(self, db, capsys):
+        code, out, _ = run(capsys, "load", "--db", db, "--sf", "0.002")
+        assert code == 0
+        assert "loaded LINEITEM" in out
+        assert "26 files" in out
+
+    def test_load_refuses_twice(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        code, _, err = run(capsys, "load", "--db", db, "--sf", "0.002")
+        assert code == 1
+        assert "already contains" in err
+
+    def test_load_specific_tables(self, db, capsys):
+        code, out, _ = run(
+            capsys, "load", "--db", db, "--sf", "0.002",
+            "--tables", "NATION,REGION",
+        )
+        assert code == 0
+        assert "NATION" in out and "REGION" in out
+
+
+class TestQuery:
+    @pytest.fixture
+    def loaded(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        return db
+
+    def test_query_auto(self, loaded, capsys):
+        code, out, _ = run(
+            capsys, "query", "--db", loaded,
+            "SELECT COUNT(*) AS n FROM LINEITEM "
+            "WHERE L_SHIPDATE <= DATE '1998-12-01'",
+        )
+        assert code == 0
+        assert "strategy:" in out
+        assert "page reads" in out
+
+    def test_query_forced_scan(self, loaded, capsys):
+        code, out, _ = run(
+            capsys, "query", "--db", loaded, "--mode", "scan",
+            "SELECT COUNT(*) AS n FROM LINEITEM",
+        )
+        assert code == 0
+        assert "gaggr" in out
+
+    def test_query_results_match_across_modes(self, loaded, capsys):
+        sql = (
+            "SELECT L_RETURNFLAG, COUNT(*) AS n FROM LINEITEM "
+            "WHERE L_SHIPDATE <= DATE '1995-06-17' "
+            "GROUP BY L_RETURNFLAG ORDER BY L_RETURNFLAG"
+        )
+        _, out_sma, _ = run(capsys, "query", "--db", loaded, "--mode", "sma", sql)
+        _, out_scan, _ = run(capsys, "query", "--db", loaded, "--mode", "scan", sql)
+        rows_of = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith(("A", "N", "R"))
+        ]
+        assert rows_of(out_sma) == rows_of(out_scan)
+
+
+class TestDefineAndInfo:
+    def test_define_inline(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        code, out, _ = run(
+            capsys, "define", "--db", db, "--set", "bounds",
+            "--sql", "define sma qlo select min(L_QUANTITY) from LINEITEM",
+        )
+        assert code == 0
+        assert "built sma qlo" in out
+
+    def test_define_from_file(self, db, tmp_path, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        script = tmp_path / "defs.sql"
+        script.write_text(
+            "define sma qhi select max(L_QUANTITY) from LINEITEM;"
+        )
+        code, out, _ = run(
+            capsys, "define", "--db", db, "--set", "b2", "--file", str(script)
+        )
+        assert code == 0
+        assert "qhi" in out
+
+    def test_define_needs_exactly_one_source(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        code, _, err = run(capsys, "define", "--db", db)
+        assert code == 1
+        assert "exactly one" in err
+
+    def test_info_lists_everything(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        code, out, _ = run(capsys, "info", "--db", db)
+        assert code == 0
+        assert "table LINEITEM" in out
+        assert "sma set 'q1'" in out
+        assert "define" not in out  # rendered as one-liners, not SQL
+
+
+class TestBenchFilter:
+    def test_unknown_id_errors(self, capsys):
+        code, _, err = run(capsys, "bench", "--only", "E99")
+        assert code == 1
+        assert "no experiment matches" in err
+
+    def test_single_cheap_experiment(self, capsys):
+        code, out, _ = run(capsys, "bench", "--only", "E5")
+        assert code == 0
+        assert "E5" in out
+
+    def test_bench_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        code, out, _ = run(
+            capsys, "bench", "--only", "E5", "--out", str(target)
+        )
+        assert code == 0
+        assert "wrote 1 experiment" in out
+        assert "E5" in target.read_text()
+
+
+class TestDiscovery:
+    def test_discover_restores_tables_and_sets(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        catalog = Catalog.discover(db)
+        assert catalog.has_table("LINEITEM")
+        assert catalog.sma_set("LINEITEM", "q1").num_files == 26
+        assert catalog.table("LINEITEM").clustered_on == "L_SHIPDATE"
+        catalog.close()
+
+    def test_discover_empty_directory(self, tmp_path):
+        catalog = Catalog.discover(str(tmp_path / "fresh"))
+        assert list(catalog.tables()) == []
+        catalog.close()

@@ -1,0 +1,58 @@
+"""Cross-'process' persistence: reopen a catalog and its SMA sets."""
+
+import numpy as np
+
+from repro.core.sma_set import SmaSet
+from repro.query.session import Session
+from repro.storage import Catalog
+from repro.tpcd.loader import load_lineitem
+from repro.tpcd.queries import query1
+
+from tests.conftest import assert_rows_equal
+
+
+class TestReopen:
+    def test_table_and_smas_survive(self, tmp_path):
+        root = str(tmp_path / "db")
+        with Catalog(root) as catalog:
+            loaded = load_lineitem(catalog, scale_factor=0.002)
+            original_rows = Session(catalog).execute(query1(), mode="sma").rows
+            sma_dir = loaded.sma_set.directory
+            records = loaded.table.num_records
+
+        # A "new process": fresh catalog object over the same directory.
+        with Catalog(root) as reopened:
+            table = reopened.open_table("LINEITEM", clustered_on="L_SHIPDATE")
+            assert table.num_records == records
+            sma_set = SmaSet.open(sma_dir, table)
+            reopened.register_sma_set("LINEITEM", sma_set)
+            rows = Session(reopened).execute(query1(), mode="sma").rows
+            assert_rows_equal(rows, original_rows)
+
+    def test_data_identical_after_reopen(self, tmp_path):
+        root = str(tmp_path / "db")
+        with Catalog(root) as catalog:
+            loaded = load_lineitem(
+                catalog, scale_factor=0.002, build_smas=False
+            )
+            before = loaded.table.read_all().copy()
+        with Catalog(root) as reopened:
+            after = reopened.open_table("LINEITEM").read_all()
+            np.testing.assert_array_equal(before, after)
+
+    def test_sma_files_bitwise_stable(self, tmp_path):
+        root = str(tmp_path / "db")
+        with Catalog(root) as catalog:
+            loaded = load_lineitem(catalog, scale_factor=0.002)
+            values_before = {
+                (name, key): sma.values(charge=False).copy()
+                for name in loaded.sma_set.definitions
+                for key, sma in loaded.sma_set.files_of(name).items()
+            }
+            sma_dir = loaded.sma_set.directory
+        with Catalog(root) as reopened:
+            table = reopened.open_table("LINEITEM")
+            sma_set = SmaSet.open(sma_dir, table)
+            for (name, key), before in values_before.items():
+                after = sma_set.files_of(name)[key].values(charge=False)
+                np.testing.assert_array_equal(before, after)

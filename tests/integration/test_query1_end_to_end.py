@@ -1,0 +1,87 @@
+"""End-to-end Query 1: full pipeline, all three plans, result equality."""
+
+import pytest
+
+from repro.query.session import Session
+from repro.tpcd.queries import query1
+
+from tests.conftest import assert_rows_equal
+
+
+@pytest.fixture
+def session(lineitem_env):
+    catalog, _ = lineitem_env
+    return Session(catalog)
+
+
+class TestResults:
+    def test_four_groups(self, session):
+        result = session.execute(query1(), mode="sma")
+        assert len(result.rows) == 4
+        flags = [(row[0], row[1]) for row in result.rows]
+        assert flags == sorted(flags)  # ORDER BY respected
+
+    def test_sma_equals_scan(self, session):
+        sma = session.execute(query1(), mode="sma", cold=True)
+        scan = session.execute(query1(), mode="scan", cold=True)
+        assert sma.columns == scan.columns
+        assert_rows_equal(sma.rows, scan.rows, rel=1e-9)
+
+    def test_auto_mode_picks_sma_and_matches(self, session):
+        auto = session.execute(query1(), cold=True)
+        assert auto.plan.strategy == "sma_gaggr"
+        forced = session.execute(query1(), mode="sma", cold=True)
+        assert_rows_equal(auto.rows, forced.rows)
+
+    def test_counts_add_up(self, session, lineitem_env):
+        _, loaded = lineitem_env
+        result = session.execute(query1(delta=-2000), mode="sma")
+        # With a cutoff beyond every shipdate, the whole relation counts.
+        assert sum(row[-1] for row in result.rows) == loaded.table.num_records
+
+    def test_different_deltas_give_different_counts(self, session):
+        small = session.execute(query1(delta=300), mode="sma")
+        large = session.execute(query1(delta=30), mode="sma")
+        assert sum(r[-1] for r in small.rows) < sum(r[-1] for r in large.rows)
+
+    def test_avg_consistency(self, session):
+        result = session.execute(query1(), mode="sma")
+        columns = result.columns
+        for row in result.rows:
+            qty_sum = row[columns.index("SUM_QTY")]
+            count = row[columns.index("COUNT_ORDER")]
+            avg_qty = row[columns.index("AVG_QTY")]
+            assert avg_qty == pytest.approx(qty_sum / count)
+
+
+class TestCosts:
+    def test_sma_reads_far_fewer_pages(self, session, lineitem_env):
+        _, loaded = lineitem_env
+        scan = session.execute(query1(), mode="scan", cold=True)
+        sma = session.execute(query1(), mode="sma", cold=True)
+        assert sma.stats.page_reads < scan.stats.page_reads / 5
+        assert scan.stats.page_reads >= loaded.table.num_pages
+
+    def test_simulated_speedup(self, session):
+        scan = session.execute(query1(), mode="scan", cold=True)
+        warm = session.execute(query1(), mode="sma", cold=True)
+        warm = session.execute(query1(), mode="sma")
+        assert scan.simulated_seconds / warm.simulated_seconds > 20
+
+    def test_sql_text_path_equivalent(self, session):
+        text = """
+        SELECT L_RETURNFLAG, L_LINESTATUS,
+            SUM(L_QUANTITY) AS SUM_QTY,
+            SUM(L_EXTENDEDPRICE) AS SUM_BASE_PRICE,
+            SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)) AS SUM_DISC_PRICE,
+            SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)*(1+L_TAX)) AS SUM_CHARGE,
+            AVG(L_QUANTITY) AS AVG_QTY, AVG(L_EXTENDEDPRICE) AS AVG_PRICE,
+            AVG(L_DISCOUNT) AS AVG_DISC, COUNT(*) AS COUNT_ORDER
+        FROM LINEITEM
+        WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY L_RETURNFLAG, L_LINESTATUS
+        ORDER BY L_RETURNFLAG, L_LINESTATUS
+        """
+        via_sql = session.sql(text, mode="sma")
+        via_ast = session.execute(query1(), mode="sma")
+        assert_rows_equal(via_sql.rows, via_ast.rows)

@@ -1,0 +1,61 @@
+"""Opt-in larger-scale smoke run (set REPRO_SLOW=1 to enable).
+
+The regular suite runs at SF ≤ 0.05 for speed; this module repeats the
+headline checks at SF = 0.1 (~600k tuples, ~73 MB LINEITEM) to guard
+against anything that only breaks at scale (int32 overflows, buffer
+thrash, quadratic loops).
+"""
+
+import os
+
+import pytest
+
+from repro.query.session import Session
+from repro.storage import Catalog
+from repro.tpcd.loader import load_lineitem
+from repro.tpcd.queries import query1
+
+from tests.conftest import assert_rows_equal
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="set REPRO_SLOW=1 to run the SF=0.1 scale smoke tests",
+)
+
+
+@pytest.fixture(scope="module")
+def big_env(tmp_path_factory):
+    root = tmp_path_factory.mktemp("big-db")
+    catalog = Catalog(str(root), buffer_pages=2048)
+    loaded = load_lineitem(catalog, scale_factor=0.1, clustering="sorted")
+    yield catalog, loaded
+    catalog.close()
+
+
+class TestAtScale:
+    def test_query1_equivalence(self, big_env):
+        catalog, _ = big_env
+        session = Session(catalog)
+        sma = session.execute(query1(), mode="sma", cold=True)
+        scan = session.execute(query1(), mode="scan", cold=True)
+        assert_rows_equal(sma.rows, scan.rows)
+
+    def test_speedup_holds(self, big_env):
+        catalog, _ = big_env
+        session = Session(catalog)
+        scan = session.execute(query1(), mode="scan", cold=True)
+        session.execute(query1(), mode="sma", cold=True)
+        warm = session.execute(query1(), mode="sma")
+        assert scan.simulated_seconds / warm.simulated_seconds > 40
+
+    def test_space_fraction_converges_to_paper(self, big_env):
+        _, loaded = big_env
+        fraction = loaded.sma_set.total_bytes / loaded.table.size_bytes
+        assert abs(fraction - 0.046) < 0.01  # paper: 4.6%
+
+    def test_sums_do_not_overflow(self, big_env):
+        catalog, _ = big_env
+        session = Session(catalog)
+        result = session.execute(query1(delta=-2000), mode="sma")
+        for row in result.rows:
+            assert row[2] > 0  # SUM_QTY stays positive/finite

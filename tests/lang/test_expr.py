@@ -1,0 +1,137 @@
+"""Unit tests for scalar expressions."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.lang.expr import (
+    ArithOp,
+    BinOp,
+    ColumnRef,
+    Const,
+    Neg,
+    add,
+    col,
+    const,
+    div,
+    mul,
+    sub,
+)
+from repro.storage.schema import Schema
+from repro.storage.types import DATE, FLOAT64, INT32, INT64, TypeKind, char
+
+SCHEMA = Schema.of(
+    ("price", FLOAT64), ("disc", FLOAT64), ("n", INT32), ("ship", DATE),
+    ("tag", char(3)),
+)
+
+
+def batch(**overrides):
+    base = dict(
+        price=np.array([100.0, 200.0]),
+        disc=np.array([0.1, 0.25]),
+        n=np.array([3, 4], dtype=np.int32),
+        ship=np.array([10, 20], dtype=np.int32),
+        tag=np.array([b"ab", b"cd"], dtype="S3"),
+    )
+    base.update(overrides)
+    return SCHEMA.batch_from_columns(**base)
+
+
+class TestEvaluation:
+    def test_column_ref(self):
+        np.testing.assert_array_equal(col("n").evaluate(batch()), [3, 4])
+
+    def test_const_broadcasts(self):
+        np.testing.assert_array_equal(const(7).evaluate(batch()), [7, 7])
+
+    def test_date_const_stored_as_day_number(self):
+        values = const(datetime.date(1970, 1, 11)).evaluate(batch())
+        np.testing.assert_array_equal(values, [10, 10])
+
+    def test_query1_disc_price(self):
+        expr = mul(col("price"), sub(const(1), col("disc")))
+        np.testing.assert_allclose(expr.evaluate(batch()), [90.0, 150.0])
+
+    def test_division_promotes_to_float(self):
+        values = div(col("n"), const(2)).evaluate(batch())
+        np.testing.assert_allclose(values, [1.5, 2.0])
+
+    def test_negation(self):
+        np.testing.assert_array_equal(Neg(col("n")).evaluate(batch()), [-3, -4])
+
+    def test_nested_arithmetic(self):
+        expr = add(mul(col("n"), const(10)), Neg(col("n")))
+        np.testing.assert_array_equal(expr.evaluate(batch()), [27, 36])
+
+
+class TestTyping:
+    def test_column_type(self):
+        assert col("ship").result_type(SCHEMA).kind is TypeKind.DATE
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            col("ghost").result_type(SCHEMA)
+
+    def test_int_float_promotion(self):
+        assert mul(col("n"), col("price")).result_type(SCHEMA) == FLOAT64
+
+    def test_int_int_stays_integer(self):
+        assert add(col("n"), const(1)).result_type(SCHEMA) == INT64
+
+    def test_division_always_float(self):
+        assert div(col("n"), col("n")).result_type(SCHEMA) == FLOAT64
+
+    def test_date_plus_int_is_date(self):
+        assert add(col("ship"), const(30)).result_type(SCHEMA).kind is TypeKind.DATE
+
+    def test_date_minus_date_is_int(self):
+        assert sub(col("ship"), col("ship")).result_type(SCHEMA) == INT64
+
+    def test_date_times_int_rejected(self):
+        with pytest.raises(SchemaError):
+            mul(col("ship"), const(2)).result_type(SCHEMA)
+
+    def test_arithmetic_on_char_rejected(self):
+        with pytest.raises(SchemaError):
+            add(col("tag"), const(1)).result_type(SCHEMA)
+
+    def test_negating_char_rejected(self):
+        with pytest.raises(SchemaError):
+            Neg(col("tag")).result_type(SCHEMA)
+
+    def test_literal_types(self):
+        assert const(1).result_type(SCHEMA) == INT64
+        assert const(1.5).result_type(SCHEMA) == FLOAT64
+        assert const("ab").result_type(SCHEMA).kind is TypeKind.CHAR
+        assert const(datetime.date(2020, 1, 1)).result_type(SCHEMA).kind is TypeKind.DATE
+
+    def test_bool_literal_rejected(self):
+        with pytest.raises(SchemaError):
+            const(True).result_type(SCHEMA)
+
+
+class TestStructure:
+    def test_structural_equality(self):
+        left = mul(col("price"), sub(const(1), col("disc")))
+        right = mul(col("price"), sub(const(1), col("disc")))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_trees_unequal(self):
+        assert mul(col("price"), col("disc")) != mul(col("disc"), col("price"))
+
+    def test_columns_collected(self):
+        expr = mul(col("price"), sub(const(1), col("disc")))
+        assert expr.columns() == {"price", "disc"}
+        assert const(1).columns() == frozenset()
+
+    def test_str_rendering(self):
+        expr = mul(col("price"), sub(const(1), col("disc")))
+        assert str(expr) == "(price * (1 - disc))"
+
+    def test_op_symbols(self):
+        assert ArithOp.ADD.value == "+"
+        assert str(BinOp(ArithOp.DIV, col("n"), const(2))) == "(n / 2)"

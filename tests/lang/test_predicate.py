@@ -1,0 +1,197 @@
+"""Unit tests for predicates: evaluation, binding, combinators."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.lang.expr import col
+from repro.lang.predicate import (
+    And,
+    CmpOp,
+    ColumnColumnCmp,
+    ColumnConstCmp,
+    Not,
+    Or,
+    TruePredicate,
+    and_,
+    atoms,
+    cmp,
+    not_,
+    or_,
+)
+from repro.storage.schema import Schema
+from repro.storage.types import DATE, FLOAT64, INT32, char
+
+SCHEMA = Schema.of(
+    ("a", INT32), ("b", INT32), ("ship", DATE), ("q", FLOAT64), ("flag", char(1))
+)
+
+
+def batch():
+    return SCHEMA.batch_from_columns(
+        a=np.array([1, 5, 9], dtype=np.int32),
+        b=np.array([2, 5, 3], dtype=np.int32),
+        ship=np.array([0, 10, 20], dtype=np.int32),
+        q=np.array([1.0, 2.0, 3.0]),
+        flag=np.array([b"A", b"R", b"A"], dtype="S1"),
+    )
+
+
+class TestAtomicEvaluation:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", [False, True, False]),
+            ("<>", [True, False, True]),
+            ("<", [True, False, False]),
+            ("<=", [True, True, False]),
+            (">", [False, False, True]),
+            (">=", [False, True, True]),
+        ],
+    )
+    def test_column_const(self, op, expected):
+        np.testing.assert_array_equal(cmp("a", op, 5).evaluate(batch()), expected)
+
+    def test_column_column(self):
+        np.testing.assert_array_equal(
+            cmp("a", "<", col("b")).evaluate(batch()), [True, False, False]
+        )
+        np.testing.assert_array_equal(
+            cmp("a", "=", col("b")).evaluate(batch()), [False, True, False]
+        )
+
+    def test_char_comparison(self):
+        np.testing.assert_array_equal(
+            cmp("flag", "=", b"A").evaluate(batch()), [True, False, True]
+        )
+
+    def test_true_predicate(self):
+        np.testing.assert_array_equal(
+            TruePredicate().evaluate(batch()), [True, True, True]
+        )
+
+
+class TestBinding:
+    def test_date_constant_coerced(self):
+        bound = cmp("ship", "<=", datetime.date(1970, 1, 11)).bind(SCHEMA)
+        assert bound.constant == 10
+        np.testing.assert_array_equal(bound.evaluate(batch()), [True, True, False])
+
+    def test_string_constant_coerced_to_bytes(self):
+        bound = cmp("flag", "=", "A").bind(SCHEMA)
+        assert bound.constant == b"A"
+
+    def test_int_constant_vs_float_column(self):
+        bound = cmp("q", ">", 1).bind(SCHEMA)
+        assert isinstance(bound.constant, float)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            cmp("ghost", "=", 1).bind(SCHEMA)
+
+    def test_incomparable_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            cmp("flag", "=", col("a")).bind(SCHEMA)
+
+    def test_numeric_columns_comparable(self):
+        cmp("a", "<", col("q")).bind(SCHEMA)  # must not raise
+
+    def test_bind_recurses_through_boolean_nodes(self):
+        bound = and_(
+            cmp("ship", "<=", datetime.date(1970, 1, 11)), cmp("a", ">", 0)
+        ).bind(SCHEMA)
+        assert isinstance(bound, And)
+        assert bound.operands[0].constant == 10
+
+
+class TestCombinators:
+    def test_and_evaluation(self):
+        predicate = and_(cmp("a", ">", 1), cmp("b", "<", 5))
+        np.testing.assert_array_equal(
+            predicate.evaluate(batch()), [False, False, True]
+        )
+
+    def test_or_evaluation(self):
+        predicate = or_(cmp("a", "=", 1), cmp("b", "=", 3))
+        np.testing.assert_array_equal(
+            predicate.evaluate(batch()), [True, False, True]
+        )
+
+    def test_not_evaluation(self):
+        predicate = Not(cmp("a", "=", 5))
+        np.testing.assert_array_equal(
+            predicate.evaluate(batch()), [True, False, True]
+        )
+
+    def test_and_flattens(self):
+        nested = and_(cmp("a", ">", 0), and_(cmp("b", ">", 0), cmp("q", ">", 0)))
+        assert isinstance(nested, And)
+        assert len(nested.operands) == 3
+
+    def test_or_flattens(self):
+        nested = or_(or_(cmp("a", ">", 0), cmp("b", ">", 0)), cmp("q", ">", 0))
+        assert isinstance(nested, Or)
+        assert len(nested.operands) == 3
+
+    def test_single_operand_returns_itself(self):
+        atom = cmp("a", ">", 0)
+        assert and_(atom) is atom
+        assert or_(atom) is atom
+
+    def test_empty_and_is_true(self):
+        assert isinstance(and_(), TruePredicate)
+
+    def test_binary_nodes_need_two_operands(self):
+        with pytest.raises(SchemaError):
+            And((cmp("a", ">", 0),))
+        with pytest.raises(SchemaError):
+            Or((cmp("a", ">", 0),))
+
+
+class TestNotSimplification:
+    def test_not_atomic_flips_operator(self):
+        flipped = not_(cmp("a", "<", 5))
+        assert isinstance(flipped, ColumnConstCmp)
+        assert flipped.op is CmpOp.GE
+
+    def test_not_column_column(self):
+        flipped = not_(cmp("a", "=", col("b")))
+        assert isinstance(flipped, ColumnColumnCmp)
+        assert flipped.op is CmpOp.NE
+
+    def test_double_negation_cancels(self):
+        inner = or_(cmp("a", ">", 0), cmp("b", ">", 0))
+        assert not_(Not(inner)) is inner
+
+    def test_negated_operator_table_is_complementary(self):
+        data = batch()
+        for op in CmpOp:
+            straight = cmp("a", op, 5).evaluate(data)
+            negated = cmp("a", op.negated, 5).evaluate(data)
+            np.testing.assert_array_equal(straight, ~negated)
+
+    def test_flipped_operator_table(self):
+        data = batch()
+        for op in CmpOp:
+            left = cmp("a", op, col("b")).evaluate(data)
+            right = cmp("b", op.flipped, col("a")).evaluate(data)
+            np.testing.assert_array_equal(left, right)
+
+
+class TestIntrospection:
+    def test_columns(self):
+        predicate = and_(cmp("a", ">", 0), cmp("ship", "<", col("b")))
+        assert predicate.columns() == {"a", "ship", "b"}
+
+    def test_atoms_enumeration(self):
+        predicate = or_(
+            and_(cmp("a", ">", 0), cmp("b", "<", 9)), Not(cmp("q", "=", 1.0))
+        )
+        found = {str(a) for a in atoms(predicate)}
+        assert found == {"a > 0", "b < 9", "q = 1.0"}
+
+    def test_str_rendering(self):
+        predicate = and_(cmp("a", ">", 0), cmp("flag", "=", "A"))
+        assert str(predicate) == "(a > 0 AND flag = 'A')"

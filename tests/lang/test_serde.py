@@ -1,0 +1,94 @@
+"""Round-trip tests for expression/predicate/group-key serialization."""
+
+import datetime
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.lang.expr import add, col, const, div, mul, sub, Neg
+from repro.lang.predicate import TruePredicate, and_, cmp, not_, or_, Not
+from repro.lang.serde import (
+    expr_from_json,
+    expr_to_json,
+    group_key_from_json,
+    group_key_to_json,
+    predicate_from_json,
+    predicate_to_json,
+)
+
+
+def roundtrip_expr(expr):
+    return expr_from_json(json.loads(json.dumps(expr_to_json(expr))))
+
+
+def roundtrip_pred(predicate):
+    return predicate_from_json(
+        json.loads(json.dumps(predicate_to_json(predicate)))
+    )
+
+
+class TestExpressions:
+    def test_query1_charge_expression(self):
+        expr = mul(
+            mul(col("EP"), sub(const(1), col("D"))), add(const(1), col("T"))
+        )
+        assert roundtrip_expr(expr) == expr
+
+    def test_negation_and_division(self):
+        expr = div(Neg(col("x")), const(2.5))
+        assert roundtrip_expr(expr) == expr
+
+    def test_date_constant(self):
+        expr = const(datetime.date(1998, 12, 1))
+        assert roundtrip_expr(expr) == expr
+
+    def test_string_and_bytes_constants(self):
+        assert roundtrip_expr(const("hello")) == const("hello")
+        assert roundtrip_expr(const(b"\x00\xff")) == const(b"\x00\xff")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SchemaError):
+            expr_from_json({"node": "mystery"})
+
+
+class TestPredicates:
+    def test_full_boolean_tree(self):
+        predicate = or_(
+            and_(cmp("a", "<=", 5), Not(cmp("b", "=", col("c")))),
+            cmp("ship", ">", datetime.date(1995, 6, 17)),
+        )
+        assert roundtrip_pred(predicate) == predicate
+
+    def test_true_predicate(self):
+        assert roundtrip_pred(TruePredicate()) == TruePredicate()
+
+    def test_every_operator(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            predicate = cmp("x", op, 3)
+            assert roundtrip_pred(predicate) == predicate
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SchemaError):
+            predicate_from_json({"node": "mystery"})
+
+
+class TestGroupKeys:
+    def test_mixed_key(self):
+        key = ("A", 3, 2.5, datetime.date(2000, 1, 1))
+        assert group_key_from_json(group_key_to_json(key)) == key
+
+    def test_empty_key(self):
+        assert group_key_from_json(group_key_to_json(())) == ()
+
+    @given(
+        st.tuples(
+            st.text(max_size=8),
+            st.integers(-10**9, 10**9),
+            st.floats(allow_nan=False, allow_infinity=False),
+        )
+    )
+    def test_property_roundtrip(self, key):
+        encoded = json.dumps(group_key_to_json(key))
+        assert group_key_from_json(json.loads(encoded)) == key

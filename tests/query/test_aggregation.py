@@ -1,0 +1,135 @@
+"""Tests for the shared AggregationState machine."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import average, count_star, maximum, minimum, total
+from repro.lang.expr import col
+from repro.query.aggregation import AggregationState
+from repro.query.query import OutputAggregate
+from repro.storage.schema import Schema
+from repro.storage.types import DATE, FLOAT64, char
+
+SCHEMA = Schema.of(("g", char(1)), ("x", FLOAT64), ("d", DATE))
+
+
+def batch(groups, xs, ds=None):
+    n = len(groups)
+    return SCHEMA.batch_from_columns(
+        g=np.array(groups, dtype="S1"),
+        x=np.array(xs, dtype=np.float64),
+        d=np.array(ds if ds is not None else [0] * n, dtype=np.int32),
+    )
+
+
+def aggs(*specs):
+    return tuple(OutputAggregate(f"a{i}", s) for i, s in enumerate(specs))
+
+
+class TestTupleConsumption:
+    def test_grouped_sum_and_count(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(total(col("x")), count_star()))
+        state.consume_batch(batch([b"A", b"B", b"A"], [1.0, 2.0, 3.0]))
+        state.consume_batch(batch([b"B"], [5.0]))
+        columns, rows = state.finalize()
+        assert columns == ["g", "a0", "a1"]
+        assert rows == [("A", 4.0, 2), ("B", 7.0, 2)]
+
+    def test_avg_is_sum_over_count(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(average(col("x"))))
+        state.consume_batch(batch([b"A", b"A", b"A"], [1.0, 2.0, 6.0]))
+        _, rows = state.finalize()
+        assert rows == [("A", 3.0)]
+
+    def test_min_max(self):
+        state = AggregationState(
+            SCHEMA, ("g",), aggs(minimum(col("x")), maximum(col("x")))
+        )
+        state.consume_batch(batch([b"A", b"A"], [5.0, 2.0]))
+        state.consume_batch(batch([b"A"], [9.0]))
+        _, rows = state.finalize()
+        assert rows == [("A", 2.0, 9.0)]
+
+    def test_date_minmax_converted_back_to_dates(self):
+        state = AggregationState(SCHEMA, (), aggs(minimum(col("d"))))
+        state.consume_batch(batch([b"A", b"A"], [0.0, 0.0], [10, 3]))
+        _, rows = state.finalize()
+        assert rows == [(datetime.date(1970, 1, 4),)]
+
+    def test_empty_batches_ignored(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(count_star()))
+        state.consume_batch(batch([], []))
+        _, rows = state.finalize()
+        assert rows == []
+
+    def test_multiple_groups_sorted_deterministically(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(count_star()))
+        state.consume_batch(batch([b"C", b"A", b"B"], [0.0, 0.0, 0.0]))
+        _, rows = state.finalize()
+        assert [r[0] for r in rows] == ["A", "B", "C"]
+
+
+class TestSmaAdvancement:
+    def test_mixed_sources_accumulate(self):
+        state = AggregationState(
+            SCHEMA, ("g",), aggs(total(col("x")), average(col("x")), count_star())
+        )
+        # SMA contribution: sum 10 over 4 tuples for group A.
+        state.advance_count(("A",), 4)
+        state.advance_sum(("A",), 0, 10.0)
+        state.advance_sum(("A",), 1, 10.0)  # avg tracks its own sum
+        # Tuple contribution: 2 more tuples totalling 6.
+        state.consume_batch(batch([b"A", b"A"], [2.0, 4.0]))
+        _, rows = state.finalize()
+        assert rows == [("A", 16.0, 16.0 / 6.0, 6)]
+
+    def test_min_max_from_sma(self):
+        state = AggregationState(
+            SCHEMA, ("g",), aggs(minimum(col("x")), maximum(col("x")))
+        )
+        state.advance_count(("A",), 3)
+        state.advance_min(("A",), 0, 7.0)
+        state.advance_max(("A",), 1, 7.0)
+        state.consume_batch(batch([b"A"], [9.0]))
+        _, rows = state.finalize()
+        assert rows == [("A", 7.0, 9.0)]
+
+    def test_zero_count_advance_is_noop(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(count_star()))
+        state.advance_count(("A",), 0)
+        _, rows = state.finalize()
+        assert rows == []
+
+
+class TestEdgeSemantics:
+    def test_grouped_empty_input_yields_no_rows(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(total(col("x"))))
+        _, rows = state.finalize()
+        assert rows == []
+
+    def test_ungrouped_empty_input_yields_one_row(self):
+        state = AggregationState(
+            SCHEMA, (), aggs(count_star(), total(col("x")), average(col("x")))
+        )
+        _, rows = state.finalize()
+        assert rows == [(0, None, None)]
+
+    def test_groups_with_zero_count_dropped(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(total(col("x"))))
+        state.advance_sum(("GHOST",), 0, 0.0)  # sum advanced, never counted
+        _, rows = state.finalize()
+        assert rows == []
+
+    def test_char_group_keys_are_strings(self):
+        state = AggregationState(SCHEMA, ("g",), aggs(count_star()))
+        state.consume_batch(batch([b"Z"], [0.0]))
+        _, rows = state.finalize()
+        assert rows == [("Z", 1)]
+
+    def test_python_scalars_in_output(self):
+        state = AggregationState(SCHEMA, (), aggs(total(col("x"))))
+        state.consume_batch(batch([b"A"], [2.5]))
+        _, rows = state.finalize()
+        assert isinstance(rows[0][0], float)

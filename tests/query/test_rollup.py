@@ -1,0 +1,116 @@
+"""Roll-up matching: a finer-grouped SMA answers a coarser query.
+
+"In order to be useful, a SMA has to reflect the grouping of the query
+or a finer grouping" (Section 2.3).  The Q1 SMA set — grouped by
+(L_RETURNFLAG, L_LINESTATUS) — must therefore answer queries grouped by
+only one of those columns, or by none, with identical results.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core import SmaDefinition, build_sma_set, count_star, maximum, minimum, total
+from repro.core.aggregates import average
+from repro.lang import cmp, col
+from repro.query.query import AggregateQuery, OutputAggregate
+from repro.query.session import Session
+from repro.query.sma_gaggr import sma_covers
+
+from tests.conftest import BASE_DATE, assert_rows_equal
+
+
+@pytest.fixture
+def fine_set(catalog, sales_table, tmp_path):
+    """SMAs grouped by (flag, qty) — finer than any test query below."""
+    definitions = [
+        SmaDefinition("smin", "SALES", minimum(col("ship"))),
+        SmaDefinition("smax", "SALES", maximum(col("ship"))),
+        SmaDefinition("cnt", "SALES", count_star(), ("flag", "qty")),
+        SmaDefinition("sid", "SALES", total(col("id")), ("flag", "qty")),
+    ]
+    sma_set, _ = build_sma_set(
+        sales_table, definitions, directory=str(tmp_path / "fine"), name="fine"
+    )
+    catalog.register_sma_set("SALES", sma_set)
+    return sma_set
+
+
+def query(group_by):
+    return AggregateQuery(
+        table="SALES",
+        aggregates=(
+            OutputAggregate("s", total(col("id"))),
+            OutputAggregate("a", average(col("id"))),
+            OutputAggregate("n", count_star()),
+        ),
+        where=cmp("ship", "<=", BASE_DATE + datetime.timedelta(days=25)),
+        group_by=group_by,
+        order_by=group_by,
+    )
+
+
+class TestLookup:
+    def test_exact_match_preferred(self, sales_table, sales_sma_set):
+        files, projection = sales_sma_set.rollup_aggregate_files(
+            total(col("qty")), ("flag",)
+        )
+        assert projection == (0,)
+        assert set(files) == {("A",), ("R",)}
+
+    def test_finer_grouping_found(self, sales_table, fine_set):
+        found = fine_set.rollup_aggregate_files(count_star(), ("flag",))
+        assert found is not None
+        files, projection = found
+        assert projection == (0,)
+        assert all(len(key) == 2 for key in files)
+
+    def test_reordered_coarse_columns(self, sales_table, fine_set):
+        found = fine_set.rollup_aggregate_files(count_star(), ("qty",))
+        assert found is not None
+        _, projection = found
+        assert projection == (1,)
+
+    def test_ungrouped_query_from_grouped_sma(self, sales_table, fine_set):
+        found = fine_set.rollup_aggregate_files(count_star(), ())
+        assert found is not None
+        _, projection = found
+        assert projection == ()
+
+    def test_coarser_sma_cannot_serve_finer_query(
+        self, sales_table, sales_sma_set
+    ):
+        # cnt is grouped by (flag,): cannot serve a (flag, qty) query.
+        assert sales_sma_set.rollup_aggregate_files(
+            count_star(), ("flag", "qty")
+        ) is None
+
+    def test_covers_via_rollup(self, sales_table, fine_set):
+        assert sma_covers(fine_set, query(("flag",)).aggregates, ("flag",))
+        assert sma_covers(fine_set, query(()).aggregates, ())
+
+    def test_project_group_key(self, fine_set):
+        assert fine_set.project_group_key(("A", 3.0), (0,)) == ("A",)
+        assert fine_set.project_group_key(("A", 3.0), (1, 0)) == (3.0, "A")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("group_by", [("flag",), ("qty",), ()])
+    def test_rollup_equals_scan(self, catalog, sales_table, fine_set, group_by):
+        session = Session(catalog)
+        via_sma = session.execute(query(group_by), mode="sma", sma_set="fine")
+        via_scan = session.execute(query(group_by), mode="scan")
+        assert via_sma.columns == via_scan.columns
+        assert_rows_equal(via_sma.rows, via_scan.rows)
+
+    def test_rollup_still_skips_buckets(self, catalog, sales_table, fine_set):
+        session = Session(catalog)
+        result = session.execute(query(("flag",)), mode="sma", sma_set="fine")
+        assert result.stats.buckets_fetched < sales_table.num_buckets / 2
+
+    def test_exact_grouping_also_served(self, catalog, sales_table, fine_set):
+        session = Session(catalog)
+        fine_query = query(("flag", "qty"))
+        via_sma = session.execute(fine_query, mode="sma", sma_set="fine")
+        via_scan = session.execute(fine_query, mode="scan")
+        assert_rows_equal(via_sma.rows, via_scan.rows)

@@ -1,0 +1,74 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Group") == [
+            (TokenKind.KEYWORD, "SELECT"),
+            (TokenKind.KEYWORD, "FROM"),
+            (TokenKind.KEYWORD, "GROUP"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("L_SHIPDATE lineitem") == [
+            (TokenKind.IDENT, "L_SHIPDATE"),
+            (TokenKind.IDENT, "lineitem"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5") == [
+            (TokenKind.NUMBER, "42"),
+            (TokenKind.NUMBER, "3.14"),
+            (TokenKind.NUMBER, ".5"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'it''s'") == [(TokenKind.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_two_char_symbols_win_over_one_char(self):
+        assert kinds("<= >= <>") == [
+            (TokenKind.SYMBOL, "<="),
+            (TokenKind.SYMBOL, ">="),
+            (TokenKind.SYMBOL, "<>"),
+        ]
+
+    def test_arithmetic_symbols(self):
+        assert [t for _, t in kinds("( ) , * + - / ;")] == [
+            "(", ")", ",", "*", "+", "-", "/", ";",
+        ]
+
+    def test_line_comments_skipped(self):
+        assert kinds("select -- a comment\nfoo") == [
+            (TokenKind.KEYWORD, "SELECT"),
+            (TokenKind.IDENT, "foo"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            tokenize("select @")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.END
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_helper_predicates(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_symbol("(")

@@ -1,0 +1,242 @@
+"""Unit tests for the SQL parser: define sma and the SELECT subset."""
+
+import datetime
+
+import pytest
+
+from repro.core.aggregates import AggregateKind
+from repro.core.definition import SmaDefinition
+from repro.errors import ParseError, SmaDefinitionError
+from repro.lang.expr import col, const, mul, sub
+from repro.lang.predicate import And, CmpOp, ColumnColumnCmp, ColumnConstCmp, Or
+from repro.query.query import AggregateQuery, ScanQuery
+from repro.sql.parser import parse_definitions, parse_statement
+
+
+class TestDefineSma:
+    def test_simple_ungrouped(self):
+        definition = parse_statement(
+            "define sma min select min(L_SHIPDATE) from LINEITEM"
+        )
+        assert isinstance(definition, SmaDefinition)
+        assert definition.name == "min"
+        assert definition.aggregate.kind is AggregateKind.MIN
+        assert definition.group_by == ()
+
+    def test_grouped_with_expression(self):
+        definition = parse_statement(
+            "define sma extdis select sum(EP*(1-DIS)) from L "
+            "group by RF, LS"
+        )
+        assert definition.aggregate.argument == mul(
+            col("EP"), sub(const(1), col("DIS"))
+        )
+        assert definition.group_by == ("RF", "LS")
+
+    def test_count_star(self):
+        definition = parse_statement(
+            "define sma count select count(*) from L group by RF"
+        )
+        assert definition.aggregate.kind is AggregateKind.COUNT
+
+    def test_multiple_select_entries_rejected(self):
+        # "The select clause may contain only a single entry."
+        with pytest.raises(SmaDefinitionError, match="single entry"):
+            parse_statement(
+                "define sma bad select min(a), max(a) from T"
+            )
+
+    def test_joins_rejected(self):
+        # "we allow only for a single entry within the from clause"
+        with pytest.raises(SmaDefinitionError, match="single relation"):
+            parse_statement("define sma bad select min(a) from R, S")
+
+    def test_order_specification_rejected(self):
+        with pytest.raises(SmaDefinitionError, match="order"):
+            parse_statement(
+                "define sma bad select min(a) from T order by a"
+            )
+
+    def test_avg_rejected(self):
+        with pytest.raises(SmaDefinitionError, match="avg"):
+            parse_statement("define sma bad select avg(a) from T")
+
+    def test_parse_definitions_script(self):
+        script = """
+            define sma a select min(x) from T;
+            define sma b select max(x) from T;
+        """
+        definitions = parse_definitions(script)
+        assert [d.name for d in definitions] == ["a", "b"]
+
+    def test_parse_definitions_rejects_select(self):
+        with pytest.raises(ParseError):
+            parse_definitions("select * from T")
+
+
+class TestSelect:
+    def test_scan_query_star(self):
+        statement = parse_statement("select * from T where a <= 5")
+        assert isinstance(statement, ScanQuery)
+        assert statement.columns == ()
+        assert isinstance(statement.where, ColumnConstCmp)
+
+    def test_scan_query_columns(self):
+        statement = parse_statement("select a, b from T")
+        assert statement.columns == ("a", "b")
+
+    def test_aggregate_query(self):
+        statement = parse_statement(
+            "select g, sum(x) as s, count(*) as n from T "
+            "where x > 0 group by g order by g"
+        )
+        assert isinstance(statement, AggregateQuery)
+        assert statement.group_by == ("g",)
+        assert statement.order_by == ("g",)
+        assert [a.name for a in statement.aggregates] == ["s", "n"]
+
+    def test_default_aggregate_names(self):
+        statement = parse_statement("select sum(x), count(*) from T")
+        assert [a.name for a in statement.aggregates] == ["SUM", "COUNT"]
+
+    def test_plain_column_must_be_grouped(self):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            parse_statement("select g, sum(x) from T")
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("select a from T group by a")
+
+    def test_order_direction_tokens_accepted(self):
+        statement = parse_statement(
+            "select g, count(*) from T group by g order by g asc"
+        )
+        assert statement.order_by == ("g",)
+        assert statement.order_desc == frozenset()
+
+    def test_order_desc_recorded(self):
+        statement = parse_statement(
+            "select g, h, count(*) as n from T group by g, h "
+            "order by g desc, h"
+        )
+        assert statement.order_by == ("g", "h")
+        assert statement.order_desc == frozenset({"g"})
+
+
+class TestPredicates:
+    def where(self, text):
+        return parse_statement(f"select * from T where {text}").where
+
+    def test_comparison_operators(self):
+        for op_text, op in [
+            ("=", CmpOp.EQ), ("<>", CmpOp.NE), ("!=", CmpOp.NE),
+            ("<", CmpOp.LT), ("<=", CmpOp.LE), (">", CmpOp.GT), (">=", CmpOp.GE),
+        ]:
+            predicate = self.where(f"a {op_text} 5")
+            assert predicate.op is op
+
+    def test_constant_on_left_flips(self):
+        predicate = self.where("5 < a")
+        assert predicate.op is CmpOp.GT
+        assert predicate.column == "a"
+
+    def test_column_column(self):
+        predicate = self.where("a <= b")
+        assert isinstance(predicate, ColumnColumnCmp)
+
+    def test_and_or_precedence(self):
+        predicate = self.where("a = 1 or b = 2 and c = 3")
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.operands[1], And)
+
+    def test_parentheses_override_precedence(self):
+        predicate = self.where("(a = 1 or b = 2) and c = 3")
+        assert isinstance(predicate, And)
+
+    def test_not(self):
+        predicate = self.where("not a < 5")
+        assert isinstance(predicate, ColumnConstCmp)
+        assert predicate.op is CmpOp.GE
+
+    def test_between(self):
+        predicate = self.where("a between 2 and 8")
+        assert isinstance(predicate, And)
+        assert predicate.operands[0].op is CmpOp.GE
+        assert predicate.operands[1].op is CmpOp.LE
+
+    def test_string_constant(self):
+        predicate = self.where("flag = 'A'")
+        assert predicate.constant == "A"
+
+    def test_negative_literal_folds_to_constant(self):
+        predicate = self.where("a >= -7")
+        assert predicate.constant == -7
+        predicate = self.where("a < -2.5")
+        assert predicate.constant == -2.5
+
+    def test_date_literal(self):
+        predicate = self.where("d <= DATE '1998-12-01'")
+        assert predicate.constant == datetime.date(1998, 12, 1)
+
+    def test_date_interval_arithmetic(self):
+        predicate = self.where(
+            "d <= DATE '1998-12-01' - INTERVAL '90' DAY"
+        )
+        assert predicate.constant == datetime.date(1998, 9, 2)
+
+    def test_chained_intervals(self):
+        predicate = self.where(
+            "d <= DATE '1998-12-01' - INTERVAL '30' DAY + INTERVAL '10' DAY"
+        )
+        assert predicate.constant == datetime.date(1998, 11, 11)
+
+    def test_invalid_date_literal(self):
+        with pytest.raises(ParseError, match="invalid date"):
+            self.where("d <= DATE 'yesterday'")
+
+    def test_const_vs_const_rejected(self):
+        with pytest.raises(ParseError, match="column"):
+            self.where("1 < 2")
+
+    def test_missing_operator(self):
+        with pytest.raises(ParseError):
+            self.where("a 5")
+
+
+class TestErrors:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_statement("select * from T extra")
+
+    def test_not_a_statement(self):
+        with pytest.raises(ParseError, match="DEFINE or SELECT"):
+            parse_statement("insert into T values (1)")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse_statement("select a")
+
+    def test_semicolon_allowed(self):
+        parse_statement("select * from T;")
+
+
+class TestRoundTripWithQuery1:
+    def test_query1_text_matches_builtin(self):
+        from repro.tpcd.queries import query1
+
+        text = """
+        SELECT L_RETURNFLAG, L_LINESTATUS,
+            SUM(L_QUANTITY) AS SUM_QTY,
+            SUM(L_EXTENDEDPRICE) AS SUM_BASE_PRICE,
+            SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)) AS SUM_DISC_PRICE,
+            SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)*(1+L_TAX)) AS SUM_CHARGE,
+            AVG(L_QUANTITY) AS AVG_QTY,
+            AVG(L_EXTENDEDPRICE) AS AVG_PRICE,
+            AVG(L_DISCOUNT) AS AVG_DISC,
+            COUNT(*) AS COUNT_ORDER
+        FROM LINEITEM
+        WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY L_RETURNFLAG, L_LINESTATUS
+        ORDER BY L_RETURNFLAG, L_LINESTATUS
+        """
+        assert parse_statement(text) == query1(delta=90)

@@ -1,0 +1,79 @@
+"""Property: a predicate's string rendering parses back to itself.
+
+``Predicate.__str__`` produces SQL-ish text (it appears in plan
+explanations and logs); parsing that text must reproduce the same tree,
+so what the user sees is exactly what executes.
+"""
+
+import datetime
+
+from hypothesis import given, strategies as st
+
+from repro.lang.predicate import and_, cmp, not_, or_
+from repro.sql.parser import parse_statement
+
+
+def parse_where(predicate) -> object:
+    return parse_statement(f"select * from T where {predicate}").where
+
+
+columns = st.sampled_from(["a", "b_col", "L_SHIPDATE"])
+operators = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def atoms(draw):
+    column = draw(columns)
+    op = draw(operators)
+    constant = draw(
+        st.one_of(
+            st.integers(-10**6, 10**6),
+            st.dates(datetime.date(1990, 1, 1), datetime.date(2005, 12, 31)),
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+                min_size=1, max_size=6,
+            ),
+        )
+    )
+    return cmp(column, op, constant)
+
+
+@given(atoms())
+def test_atom_roundtrip(atom):
+    assert parse_where(atom) == atom
+
+
+@given(st.lists(atoms(), min_size=2, max_size=4))
+def test_conjunction_roundtrip(parts):
+    predicate = and_(*parts)
+    assert parse_where(predicate) == predicate
+
+
+@given(st.lists(atoms(), min_size=2, max_size=4))
+def test_disjunction_roundtrip(parts):
+    predicate = or_(*parts)
+    assert parse_where(predicate) == predicate
+
+
+@given(atoms(), atoms(), atoms())
+def test_mixed_nesting_roundtrip(a, b, c):
+    predicate = or_(and_(a, b), c)
+    assert parse_where(predicate) == predicate
+
+
+@given(atoms())
+def test_negation_roundtrip(atom):
+    predicate = not_(atom)  # simplifies to the complementary atom
+    assert parse_where(predicate) == predicate
+
+
+def test_column_column_roundtrip():
+    from repro.lang.expr import col
+
+    predicate = cmp("a", "<=", col("b_col"))
+    assert parse_where(predicate) == predicate
+
+
+def test_float_constant_roundtrip():
+    predicate = cmp("a", ">=", 0.25)
+    assert parse_where(predicate) == predicate

@@ -1,0 +1,129 @@
+"""Unit tests for the LRU buffer pool and its read classification."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.stats import IoStats
+
+
+def loader(payload=b"x"):
+    return lambda: payload
+
+
+class TestCaching:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 0, loader(b"a"))
+        assert pool.stats.page_reads == 1
+        got = pool.read_page("f", 0, loader(b"SHOULD NOT LOAD"))
+        assert got == b"a"
+        assert pool.stats.buffer_hits == 1
+        assert pool.stats.page_reads == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.read_page("f", 0, loader())
+        pool.read_page("f", 1, loader())
+        pool.read_page("f", 2, loader())  # evicts page 0
+        assert ("f", 0) not in pool
+        assert ("f", 1) in pool and ("f", 2) in pool
+
+    def test_hit_refreshes_recency(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.read_page("f", 0, loader())
+        pool.read_page("f", 1, loader())
+        pool.read_page("f", 0, loader())  # page 0 is now MRU
+        pool.read_page("f", 2, loader())  # evicts page 1
+        assert ("f", 0) in pool
+        assert ("f", 1) not in pool
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BufferPool(capacity_pages=0)
+
+    def test_clear_is_the_cold_switch(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 0, loader())
+        pool.clear()
+        pool.read_page("f", 0, loader())
+        assert pool.stats.page_reads == 2
+        assert pool.stats.buffer_hits == 0
+
+    def test_invalidate_single_page(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 0, loader(b"old"))
+        pool.invalidate("f", 0)
+        assert pool.read_page("f", 0, loader(b"new")) == b"new"
+
+    def test_invalidate_whole_file(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.read_page("f", 0, loader())
+        pool.read_page("f", 1, loader())
+        pool.read_page("g", 0, loader())
+        pool.invalidate("f")
+        assert ("f", 0) not in pool and ("f", 1) not in pool
+        assert ("g", 0) in pool
+
+
+class TestClassification:
+    def test_first_read_is_random(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 3, loader())
+        assert pool.stats.random_page_reads == 1
+
+    def test_next_page_is_sequential(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 3, loader())
+        pool.read_page("f", 4, loader())
+        assert pool.stats.sequential_page_reads == 1
+
+    def test_forward_gap_is_skip(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 3, loader())
+        pool.read_page("f", 7, loader())
+        assert pool.stats.skip_page_reads == 1
+
+    def test_backward_jump_is_random(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 5, loader())
+        pool.read_page("f", 2, loader())
+        assert pool.stats.random_page_reads == 2
+
+    def test_files_tracked_independently(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.read_page("f", 0, loader())
+        pool.read_page("g", 5, loader())
+        pool.read_page("f", 1, loader())  # still sequential for f
+        assert pool.stats.sequential_page_reads == 1
+        assert pool.stats.random_page_reads == 2
+
+    def test_reset_sequence_tracking(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.read_page("f", 0, loader())
+        pool.reset_sequence_tracking()
+        pool.clear()
+        pool.read_page("f", 1, loader())  # would be sequential otherwise
+        assert pool.stats.random_page_reads == 2
+
+
+class TestWrites:
+    def test_note_write_charges_and_caches(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.note_write("f", 0, b"payload")
+        assert pool.stats.page_writes == 1
+        got = pool.read_page("f", 0, loader(b"SHOULD NOT LOAD"))
+        assert got == b"payload"
+        assert pool.stats.buffer_hits == 1
+
+    def test_note_write_respects_capacity(self):
+        pool = BufferPool(capacity_pages=2)
+        for page in range(5):
+            pool.note_write("f", page, b"p")
+        assert len(pool) == 2
+
+    def test_shared_stats_instance(self):
+        stats = IoStats()
+        pool = BufferPool(capacity_pages=2, stats=stats)
+        pool.read_page("f", 0, loader())
+        assert stats.page_reads == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the calibrated 1998 disk model."""
+
+import pytest
+
+from repro.storage.disk import DiskModel, MODERN_DISK, PAPER_DISK
+from repro.storage.stats import IoStats
+
+
+class TestPageTimes:
+    def test_sequential_page_time(self):
+        # 4096 B at 11.3 MB/s ≈ 0.3625 ms per page.
+        assert PAPER_DISK.sequential_page_s == pytest.approx(4096 / 11.3e6)
+
+    def test_random_slower_than_skip_slower_than_sequential(self):
+        assert (
+            PAPER_DISK.sequential_page_s
+            < PAPER_DISK.skip_page_s
+            < PAPER_DISK.random_page_s
+        )
+
+    def test_modern_disk_much_faster(self):
+        assert MODERN_DISK.sequential_page_s < PAPER_DISK.sequential_page_s / 100
+
+
+class TestCalibration:
+    """The constants must reproduce the paper's Section 2.4 anchors."""
+
+    def test_full_scan_of_sf1_lineitem_is_about_128s(self):
+        pages = 187_733
+        tuples = 6_001_215
+        seconds = PAPER_DISK.scan_seconds(pages, tuples)
+        assert seconds == pytest.approx(128, rel=0.05)
+
+    def test_warm_sma_run_is_about_1_9s(self):
+        # 26 SMA entries per bucket over 187.7k buckets, CPU only.
+        entries = 26 * 187_733
+        stats = IoStats(sma_entries_read=entries)
+        assert PAPER_DISK.seconds(stats) == pytest.approx(1.9, rel=0.05)
+
+    def test_cold_sma_run_is_about_4_9s(self):
+        entries = 26 * 187_733
+        stats = IoStats(sma_entries_read=entries, sequential_page_reads=8444)
+        assert PAPER_DISK.seconds(stats) == pytest.approx(4.9, rel=0.1)
+
+    def test_sma_build_pass_is_about_100_120s(self):
+        stats = IoStats(sequential_page_reads=187_733, tuples_built=6_001_215)
+        assert 90 <= PAPER_DISK.seconds(stats) <= 125
+
+
+class TestCostAccounting:
+    def test_cost_components(self):
+        stats = IoStats(
+            sequential_page_reads=100,
+            skip_page_reads=10,
+            random_page_reads=1,
+            page_writes=5,
+            tuples_scanned=1000,
+            sma_entries_read=5000,
+        )
+        cost = PAPER_DISK.cost(stats)
+        assert cost.sequential_io_s == pytest.approx(
+            100 * PAPER_DISK.sequential_page_s
+        )
+        assert cost.skip_io_s == pytest.approx(10 * PAPER_DISK.skip_page_s)
+        assert cost.random_io_s == pytest.approx(PAPER_DISK.random_page_s)
+        assert cost.write_io_s == pytest.approx(5 * PAPER_DISK.sequential_page_s)
+        assert cost.cpu_s == pytest.approx(
+            (1000 * 10.5 + 5000 * 0.39) / 1e6
+        )
+        assert cost.total_s == PAPER_DISK.seconds(stats)
+
+    def test_build_cpu_charged_separately(self):
+        scan = PAPER_DISK.seconds(IoStats(tuples_scanned=1_000_000))
+        build = PAPER_DISK.seconds(IoStats(tuples_built=1_000_000))
+        assert build < scan  # no predicate to evaluate during builds
+
+    def test_sma_seconds_closed_form(self):
+        value = PAPER_DISK.sma_seconds(
+            sma_pages=100, sma_entries=10_000,
+            fetch_seq_pages=50, fetch_skip_pages=5, fetch_tuples=2000,
+        )
+        expected = (
+            150 * PAPER_DISK.sequential_page_s
+            + 5 * PAPER_DISK.skip_page_s
+            + 10_000 * 0.39e-6
+            + 2000 * 10.5e-6
+        )
+        assert value == pytest.approx(expected)
+
+    def test_scaled_override(self):
+        faster = PAPER_DISK.scaled(sequential_mb_per_s=22.6)
+        assert faster.sequential_page_s == pytest.approx(
+            PAPER_DISK.sequential_page_s / 2
+        )
+        assert isinstance(faster, DiskModel)

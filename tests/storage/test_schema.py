@@ -1,0 +1,134 @@
+"""Unit tests for schemas and record batches."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DATE, FLOAT64, INT32, char
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(
+        ("id", INT32), ("ship", DATE), ("qty", FLOAT64), ("flag", char(2))
+    )
+
+
+class TestConstruction:
+    def test_record_width_is_packed(self, schema):
+        assert schema.record_width == 4 + 4 + 8 + 2
+
+    def test_names_in_order(self, schema):
+        assert schema.names == ("id", "ship", "qty", "flag")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INT32), ("a", INT32))
+
+    def test_invalid_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", INT32)
+        with pytest.raises(SchemaError):
+            Column("", INT32)
+
+    def test_underscored_names_allowed(self):
+        Column("L_SHIPDATE", DATE)  # must not raise
+
+    def test_equality_and_hash(self, schema):
+        other = Schema.of(
+            ("id", INT32), ("ship", DATE), ("qty", FLOAT64), ("flag", char(2))
+        )
+        assert schema == other
+        assert hash(schema) == hash(other)
+        assert schema != Schema.of(("id", INT32))
+
+    def test_contains_and_len(self, schema):
+        assert "qty" in schema
+        assert "missing" not in schema
+        assert len(schema) == 4
+
+
+class TestLookup:
+    def test_column_lookup(self, schema):
+        assert schema.column("qty").dtype == FLOAT64
+
+    def test_unknown_column_raises_with_candidates(self, schema):
+        with pytest.raises(SchemaError, match="qty"):
+            schema.column("QTY")
+
+    def test_position(self, schema):
+        assert schema.position("ship") == 1
+
+    def test_dtype_of(self, schema):
+        assert schema.dtype_of("flag") == char(2)
+
+    def test_project_orders_and_subsets(self, schema):
+        projected = schema.project(["qty", "id"])
+        assert projected.names == ("qty", "id")
+        assert projected.record_width == 12
+
+
+class TestBatches:
+    def test_batch_from_rows_coerces(self, schema):
+        batch = schema.batch_from_rows(
+            [(1, datetime.date(1970, 1, 5), 2.5, "AB")]
+        )
+        assert batch["id"][0] == 1
+        assert batch["ship"][0] == 4
+        assert batch["qty"][0] == 2.5
+        assert batch["flag"][0] == b"AB"
+
+    def test_batch_from_rows_wrong_arity(self, schema):
+        with pytest.raises(SchemaError, match="row 0"):
+            schema.batch_from_rows([(1, 2)])
+
+    def test_batch_from_columns(self, schema):
+        batch = schema.batch_from_columns(
+            id=np.arange(3, dtype=np.int32),
+            ship=np.zeros(3, dtype=np.int32),
+            qty=np.ones(3),
+            flag=np.array([b"A", b"B", b"C"], dtype="S2"),
+        )
+        assert len(batch) == 3
+        assert batch["qty"].sum() == 3.0
+
+    def test_batch_from_columns_missing(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            schema.batch_from_columns(id=np.arange(3, dtype=np.int32))
+
+    def test_batch_from_columns_extra(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.batch_from_columns(
+                id=np.arange(1, dtype=np.int32),
+                ship=np.zeros(1, dtype=np.int32),
+                qty=np.ones(1),
+                flag=np.array([b"A"], dtype="S2"),
+                bogus=np.ones(1),
+            )
+
+    def test_batch_from_columns_length_mismatch(self, schema):
+        with pytest.raises(SchemaError, match="lengths"):
+            schema.batch_from_columns(
+                id=np.arange(2, dtype=np.int32),
+                ship=np.zeros(3, dtype=np.int32),
+                qty=np.ones(3),
+                flag=np.array([b"A"] * 3, dtype="S2"),
+            )
+
+    def test_empty_batch(self, schema):
+        assert len(schema.empty_batch()) == 0
+        assert len(schema.empty_batch(5)) == 5
+
+
+class TestSerde:
+    def test_round_trip(self, schema):
+        rebuilt = Schema.from_dict(schema.to_dict())
+        assert rebuilt == schema
+        assert rebuilt.record_width == schema.record_width

@@ -1,0 +1,58 @@
+"""Unit tests for I/O counters and cost breakdowns."""
+
+from repro.storage.stats import CostBreakdown, IoStats
+
+
+class TestIoStats:
+    def test_page_reads_sums_three_classes(self):
+        stats = IoStats(
+            sequential_page_reads=5, skip_page_reads=2, random_page_reads=3
+        )
+        assert stats.page_reads == 10
+
+    def test_page_accesses_include_hits(self):
+        stats = IoStats(sequential_page_reads=5, buffer_hits=7)
+        assert stats.page_accesses == 12
+
+    def test_add(self):
+        total = IoStats(tuples_scanned=3) + IoStats(tuples_scanned=4, buffer_hits=1)
+        assert total.tuples_scanned == 7
+        assert total.buffer_hits == 1
+
+    def test_sub_gives_window_delta(self):
+        before = IoStats(sequential_page_reads=10, tuples_scanned=100)
+        after = IoStats(sequential_page_reads=25, tuples_scanned=160)
+        delta = after - before
+        assert delta.sequential_page_reads == 15
+        assert delta.tuples_scanned == 60
+
+    def test_snapshot_is_independent(self):
+        stats = IoStats(tuples_scanned=1)
+        snap = stats.snapshot()
+        stats.tuples_scanned = 99
+        assert snap.tuples_scanned == 1
+
+    def test_reset(self):
+        stats = IoStats(tuples_scanned=5, page_writes=2)
+        stats.reset()
+        assert stats.tuples_scanned == 0
+        assert stats.page_writes == 0
+
+    def test_merge_in_place(self):
+        stats = IoStats(buffer_hits=1)
+        stats.merge(IoStats(buffer_hits=2, page_writes=3))
+        assert stats.buffer_hits == 3
+        assert stats.page_writes == 3
+
+
+class TestCostBreakdown:
+    def test_total_sums_components(self):
+        cost = CostBreakdown(
+            sequential_io_s=1.0, skip_io_s=0.5, random_io_s=0.25,
+            write_io_s=0.125, cpu_s=0.0625,
+        )
+        assert cost.total_s == 1.9375
+
+    def test_str_contains_components(self):
+        rendered = str(CostBreakdown(cpu_s=1.0))
+        assert "cpu" in rendered and "seq" in rendered

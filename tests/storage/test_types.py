@@ -1,0 +1,157 @@
+"""Unit tests for column data types and value coercion."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.types import (
+    BOOL,
+    DATE,
+    DataType,
+    FLOAT64,
+    INT32,
+    INT64,
+    TypeKind,
+    char,
+    coerce_value,
+    date_to_int,
+    int_to_date,
+    python_value,
+)
+
+
+class TestDataTypeBasics:
+    def test_fixed_widths(self):
+        assert INT32.width == 4
+        assert INT64.width == 8
+        assert FLOAT64.width == 8
+        assert DATE.width == 4  # the paper stores dates in 32 bits
+        assert BOOL.width == 1
+
+    def test_char_width_is_its_length(self):
+        assert char(25).width == 25
+        assert char(1).width == 1
+
+    def test_numpy_dtypes(self):
+        assert np.dtype(INT32.numpy_dtype).itemsize == 4
+        assert np.dtype(DATE.numpy_dtype).kind == "i"
+        assert np.dtype(char(10).numpy_dtype) == np.dtype("S10")
+
+    def test_char_requires_positive_length(self):
+        with pytest.raises(SchemaError):
+            char(0)
+        with pytest.raises(SchemaError):
+            char(-3)
+
+    def test_fixed_types_reject_length(self):
+        with pytest.raises(SchemaError):
+            DataType(TypeKind.INT32, 4)
+
+    def test_numeric_classification(self):
+        assert INT32.is_numeric and INT64.is_numeric and FLOAT64.is_numeric
+        assert not DATE.is_numeric
+        assert not char(5).is_numeric
+        assert not BOOL.is_numeric
+
+    def test_orderable_classification(self):
+        assert DATE.is_orderable and char(3).is_orderable and INT32.is_orderable
+        assert not BOOL.is_orderable
+
+    def test_str_rendering(self):
+        assert str(INT32) == "INT32"
+        assert str(char(7)) == "CHAR(7)"
+
+    def test_equality_and_hash(self):
+        assert char(5) == char(5)
+        assert char(5) != char(6)
+        assert len({INT32, DataType(TypeKind.INT32)}) == 1
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_int(datetime.date(1970, 1, 1)) == 0
+
+    def test_round_trip(self):
+        for date in (
+            datetime.date(1992, 1, 1),
+            datetime.date(1998, 12, 1),
+            datetime.date(1969, 12, 31),
+            datetime.date(2026, 7, 7),
+        ):
+            assert int_to_date(date_to_int(date)) == date
+
+    def test_ordering_preserved(self):
+        early = date_to_int(datetime.date(1995, 6, 17))
+        late = date_to_int(datetime.date(1995, 6, 18))
+        assert early + 1 == late
+
+    def test_paper_date_range(self):
+        # "a range of seven years or 2556 days" — the TPC-D window.
+        span = date_to_int(datetime.date(1998, 12, 31)) - date_to_int(
+            datetime.date(1992, 1, 1)
+        )
+        assert span == 2556
+
+
+class TestCoerceValue:
+    def test_date_from_date(self):
+        assert coerce_value(DATE, datetime.date(1970, 1, 2)) == 1
+
+    def test_date_from_int(self):
+        assert coerce_value(DATE, 10) == 10
+
+    def test_date_from_iso_string(self):
+        assert coerce_value(DATE, "1970-01-03") == 2
+
+    def test_date_rejects_float(self):
+        with pytest.raises(SchemaError):
+            coerce_value(DATE, 1.5)
+
+    def test_char_pads_and_encodes(self):
+        assert coerce_value(char(5), "ab") == b"ab"
+        assert coerce_value(char(5), b"abc") == b"abc"
+
+    def test_char_rejects_overflow(self):
+        with pytest.raises(SchemaError):
+            coerce_value(char(2), "abc")
+
+    def test_char_rejects_non_string(self):
+        with pytest.raises(SchemaError):
+            coerce_value(char(2), 5)
+
+    def test_int_accepts_numpy_integers(self):
+        assert coerce_value(INT32, np.int64(7)) == 7
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce_value(INT32, True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(SchemaError):
+            coerce_value(INT64, 1.5)
+
+    def test_float_accepts_int(self):
+        assert coerce_value(FLOAT64, 3) == 3.0
+
+    def test_bool(self):
+        assert coerce_value(BOOL, True) is True
+        with pytest.raises(SchemaError):
+            coerce_value(BOOL, "yes")
+
+
+class TestPythonValue:
+    def test_date_back_to_date(self):
+        assert python_value(DATE, 0) == datetime.date(1970, 1, 1)
+
+    def test_char_strips_padding(self):
+        assert python_value(char(5), b"ab\x00\x00\x00") == "ab"
+
+    def test_numerics(self):
+        assert python_value(INT32, np.int32(5)) == 5
+        assert python_value(FLOAT64, np.float64(2.5)) == 2.5
+        assert isinstance(python_value(INT64, np.int64(5)), int)
+
+    def test_bool(self):
+        assert python_value(BOOL, np.bool_(True)) is True

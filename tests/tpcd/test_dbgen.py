@@ -1,0 +1,140 @@
+"""Tests for the TPC-D data generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tpcd.dbgen import GenConfig, generate_tables
+from repro.tpcd.distributions import CURRENT_INT, END_INT, START_INT
+
+
+@pytest.fixture(scope="module")
+def tables():
+    config = GenConfig(scale_factor=0.002, seed=7)
+    return generate_tables(
+        config,
+        (
+            "REGION", "NATION", "SUPPLIER", "CUSTOMER", "PART",
+            "PARTSUPP", "ORDERS", "LINEITEM",
+        ),
+    )
+
+
+class TestConfig:
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(ReproError):
+            GenConfig(scale_factor=0)
+
+    def test_cardinality_scaling(self):
+        config = GenConfig(scale_factor=0.01)
+        assert config.cardinality("CUSTOMER") == 1500
+        assert config.cardinality("ORDERS") == 15_000
+        assert config.cardinality("NATION") == 25  # fixed
+
+    def test_unknown_table(self):
+        config = GenConfig()
+        with pytest.raises(ReproError):
+            generate_tables(config, ("BOGUS",))
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        config = GenConfig(scale_factor=0.002, seed=11)
+        first = generate_tables(config, ("LINEITEM",))["LINEITEM"]
+        second = generate_tables(config, ("LINEITEM",))["LINEITEM"]
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seed_different_data(self):
+        a = generate_tables(
+            GenConfig(scale_factor=0.002, seed=1), ("LINEITEM",)
+        )["LINEITEM"]
+        b = generate_tables(
+            GenConfig(scale_factor=0.002, seed=2), ("LINEITEM",)
+        )["LINEITEM"]
+        assert not np.array_equal(a, b)
+
+
+class TestLineitem:
+    def test_about_four_lines_per_order(self, tables):
+        orders = tables["ORDERS"]
+        lineitem = tables["LINEITEM"]
+        ratio = len(lineitem) / len(orders)
+        assert 3.5 <= ratio <= 4.5
+
+    def test_orderkeys_reference_orders(self, tables):
+        orders = set(tables["ORDERS"]["O_ORDERKEY"].tolist())
+        assert set(tables["LINEITEM"]["L_ORDERKEY"].tolist()) <= orders
+
+    def test_line_numbers_start_at_one_per_order(self, tables):
+        lineitem = tables["LINEITEM"]
+        firsts = np.flatnonzero(
+            np.diff(lineitem["L_ORDERKEY"], prepend=-1) != 0
+        )
+        assert (lineitem["L_LINENUMBER"][firsts] == 1).all()
+
+    def test_date_causality(self, tables):
+        lineitem = tables["LINEITEM"]
+        assert (lineitem["L_RECEIPTDATE"] > lineitem["L_SHIPDATE"]).all()
+
+    def test_dates_inside_tpcd_window(self, tables):
+        lineitem = tables["LINEITEM"]
+        for column in ("L_SHIPDATE", "L_COMMITDATE", "L_RECEIPTDATE"):
+            assert (lineitem[column] >= START_INT).all()
+            assert (lineitem[column] <= END_INT).all()
+
+    def test_returnflag_rule(self, tables):
+        lineitem = tables["LINEITEM"]
+        received = lineitem["L_RECEIPTDATE"] <= CURRENT_INT
+        assert set(np.unique(lineitem["L_RETURNFLAG"][received])) <= {b"R", b"A"}
+        assert set(np.unique(lineitem["L_RETURNFLAG"][~received])) == {b"N"}
+
+    def test_linestatus_rule(self, tables):
+        lineitem = tables["LINEITEM"]
+        shipped_late = lineitem["L_SHIPDATE"] > CURRENT_INT
+        assert set(np.unique(lineitem["L_LINESTATUS"][shipped_late])) == {b"O"}
+        assert set(np.unique(lineitem["L_LINESTATUS"][~shipped_late])) == {b"F"}
+
+    def test_four_flag_combinations_exist(self, tables):
+        """Query 1 'results in four groups' — the generator must produce
+        all of them."""
+        lineitem = tables["LINEITEM"]
+        combos = set(
+            zip(
+                lineitem["L_RETURNFLAG"].tolist(),
+                lineitem["L_LINESTATUS"].tolist(),
+            )
+        )
+        assert combos == {(b"A", b"F"), (b"R", b"F"), (b"N", b"F"), (b"N", b"O")}
+
+    def test_value_ranges(self, tables):
+        lineitem = tables["LINEITEM"]
+        assert lineitem["L_QUANTITY"].min() >= 1
+        assert lineitem["L_QUANTITY"].max() <= 50
+        assert lineitem["L_DISCOUNT"].min() >= 0.0
+        assert lineitem["L_DISCOUNT"].max() <= 0.10 + 1e-9
+        assert lineitem["L_TAX"].max() <= 0.08 + 1e-9
+        assert (lineitem["L_EXTENDEDPRICE"] > 0).all()
+
+
+class TestOtherTables:
+    def test_fixed_tables(self, tables):
+        assert len(tables["REGION"]) == 5
+        assert len(tables["NATION"]) == 25
+
+    def test_nation_references_region(self, tables):
+        regions = set(tables["REGION"]["R_REGIONKEY"].tolist())
+        assert set(tables["NATION"]["N_REGIONKEY"].tolist()) <= regions
+
+    def test_orders_reference_customers(self, tables):
+        customers = set(tables["CUSTOMER"]["C_CUSTKEY"].tolist())
+        assert set(tables["ORDERS"]["O_CUSTKEY"].tolist()) <= customers
+
+    def test_partsupp_references(self, tables):
+        parts = set(tables["PART"]["P_PARTKEY"].tolist())
+        suppliers = set(tables["SUPPLIER"]["S_SUPPKEY"].tolist())
+        assert set(tables["PARTSUPP"]["PS_PARTKEY"].tolist()) <= parts
+        assert set(tables["PARTSUPP"]["PS_SUPPKEY"].tolist()) <= suppliers
+
+    def test_order_dates_leave_lead_time(self, tables):
+        orders = tables["ORDERS"]
+        assert orders["O_ORDERDATE"].max() <= END_INT - 121

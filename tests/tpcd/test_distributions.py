@@ -1,0 +1,129 @@
+"""Tests for clustering layouts and the Figure 5 contamination knob."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tpcd.dbgen import GenConfig, generate_tables
+from repro.tpcd.distributions import (
+    check_clustering,
+    contaminate_buckets,
+    diagonal_distribution,
+    introduction_lag_days,
+    physical_order,
+)
+
+
+@pytest.fixture(scope="module")
+def lineitem():
+    return generate_tables(
+        GenConfig(scale_factor=0.002, seed=3), ("LINEITEM",)
+    )["LINEITEM"]
+
+
+class TestDiagonal:
+    def test_points_right_of_diagonal(self):
+        rng = np.random.default_rng(1)
+        events, intro = diagonal_distribution(rng, 5000)
+        assert (intro >= events).all()
+
+    def test_high_correlation(self):
+        rng = np.random.default_rng(1)
+        events, intro = diagonal_distribution(rng, 5000)
+        assert np.corrcoef(events, intro)[0, 1] > 0.99
+
+    def test_lag_clamped_nonnegative(self):
+        rng = np.random.default_rng(1)
+        lag = introduction_lag_days(rng, 10_000, mean=1.0, std=10.0)
+        assert (lag >= 0).all()
+
+
+class TestPhysicalOrder:
+    def test_sorted_layout(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "sorted", rng)
+        assert (np.diff(ordered["L_SHIPDATE"]) >= 0).all()
+
+    def test_toc_layout_is_roughly_sorted(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "toc", rng)
+        # Not strictly sorted, but strongly rank-correlated with shipdate.
+        positions = np.arange(len(ordered))
+        dates = ordered["L_SHIPDATE"].astype(np.float64)
+        correlation = np.corrcoef(positions, dates)[0, 1]
+        assert 0.9 < correlation < 1.0
+        assert (np.diff(ordered["L_SHIPDATE"]) < 0).any()
+
+    def test_uniform_layout_is_shuffled(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "uniform", rng)
+        positions = np.arange(len(ordered))
+        dates = ordered["L_SHIPDATE"].astype(np.float64)
+        assert abs(np.corrcoef(positions, dates)[0, 1]) < 0.1
+
+    def test_layouts_preserve_multiset(self, lineitem):
+        rng = np.random.default_rng(0)
+        for clustering in ("sorted", "toc", "uniform"):
+            ordered = physical_order(lineitem, clustering, rng)
+            np.testing.assert_array_equal(
+                np.sort(ordered["L_ORDERKEY"]),
+                np.sort(lineitem["L_ORDERKEY"]),
+            )
+
+    def test_unknown_clustering_rejected(self, lineitem):
+        with pytest.raises(ReproError, match="unknown clustering"):
+            physical_order(lineitem, "zigzag", np.random.default_rng(0))
+        with pytest.raises(ReproError):
+            check_clustering("zigzag")
+
+
+class TestContamination:
+    def test_contaminates_requested_fraction(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "sorted", rng)
+        contaminated, planted = contaminate_buckets(ordered, 32, 0.2, rng)
+        num_buckets = (len(ordered) + 31) // 32
+        assert planted == round(num_buckets * 0.2)
+
+    def test_preserves_multiset(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "sorted", rng)
+        contaminated, _ = contaminate_buckets(ordered, 32, 0.3, rng)
+        np.testing.assert_array_equal(
+            np.sort(contaminated["L_SHIPDATE"]),
+            np.sort(ordered["L_SHIPDATE"]),
+        )
+
+    def test_zero_fraction_is_identity(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "sorted", rng)
+        same, planted = contaminate_buckets(ordered, 32, 0.0, rng)
+        assert planted == 0
+        np.testing.assert_array_equal(same, ordered)
+
+    def test_contaminated_buckets_span_wide_ranges(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "sorted", rng)
+        contaminated, planted = contaminate_buckets(ordered, 32, 0.3, rng)
+        num_buckets = len(contaminated) // 32
+        spans = np.array([
+            contaminated["L_SHIPDATE"][i * 32 : (i + 1) * 32].max()
+            - contaminated["L_SHIPDATE"][i * 32 : (i + 1) * 32].min()
+            for i in range(num_buckets)
+        ])
+        whole_range = (
+            ordered["L_SHIPDATE"].max() - ordered["L_SHIPDATE"].min()
+        )
+        wide = (spans > whole_range * 0.2).sum()
+        assert wide >= planted * 0.8
+
+    def test_invalid_fraction_rejected(self, lineitem):
+        with pytest.raises(ReproError):
+            contaminate_buckets(lineitem, 32, 1.5, np.random.default_rng(0))
+
+    def test_input_not_mutated(self, lineitem):
+        rng = np.random.default_rng(0)
+        ordered = physical_order(lineitem, "sorted", rng)
+        copy = ordered.copy()
+        contaminate_buckets(ordered, 32, 0.4, rng)
+        np.testing.assert_array_equal(ordered, copy)

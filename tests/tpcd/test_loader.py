@@ -1,0 +1,74 @@
+"""Tests for the one-call TPC-D loader."""
+
+import numpy as np
+import pytest
+
+from repro.tpcd.loader import load_lineitem, load_tpcd
+
+
+class TestLoadLineitem:
+    def test_loads_and_indexes(self, catalog):
+        loaded = load_lineitem(catalog, scale_factor=0.002)
+        assert loaded.table.num_records > 0
+        assert loaded.sma_set is not None
+        assert loaded.sma_set.num_files == 26  # the paper's count
+        assert catalog.sma_set("LINEITEM", "q1") is loaded.sma_set
+
+    def test_sorted_clustering_annotated(self, catalog):
+        loaded = load_lineitem(catalog, scale_factor=0.002, clustering="sorted")
+        assert loaded.table.clustered_on == "L_SHIPDATE"
+        everything = loaded.table.read_all()
+        assert (np.diff(everything["L_SHIPDATE"]) >= 0).all()
+
+    def test_uniform_clustering_not_annotated(self, catalog):
+        loaded = load_lineitem(
+            catalog, scale_factor=0.002, clustering="uniform"
+        )
+        assert loaded.table.clustered_on is None
+
+    def test_no_smas_mode(self, catalog):
+        loaded = load_lineitem(catalog, scale_factor=0.002, build_smas=False)
+        assert loaded.sma_set is None
+        assert loaded.build_reports == []
+
+    def test_pages_per_bucket(self, catalog):
+        loaded = load_lineitem(
+            catalog, scale_factor=0.002, pages_per_bucket=4, build_smas=False
+        )
+        assert loaded.table.layout.pages_per_bucket == 4
+
+    def test_contamination_counted(self, catalog):
+        loaded = load_lineitem(
+            catalog, scale_factor=0.002, contaminate_fraction=0.2,
+            build_smas=False,
+        )
+        expected = round(loaded.table.num_buckets * 0.2)
+        assert abs(loaded.contaminated_buckets - expected) <= 1
+
+    def test_deterministic_given_seed(self, tmp_path):
+        from repro.storage import Catalog
+
+        with Catalog(str(tmp_path / "a")) as cat_a, Catalog(
+            str(tmp_path / "b")
+        ) as cat_b:
+            first = load_lineitem(cat_a, scale_factor=0.002, build_smas=False)
+            second = load_lineitem(cat_b, scale_factor=0.002, build_smas=False)
+            np.testing.assert_array_equal(
+                first.table.read_all(), second.table.read_all()
+            )
+
+
+class TestLoadTpcd:
+    def test_loads_requested_tables(self, catalog):
+        loaded = load_tpcd(
+            catalog, scale_factor=0.002, tables=("ORDERS", "LINEITEM", "NATION")
+        )
+        assert set(loaded) == {"ORDERS", "LINEITEM", "NATION"}
+        assert catalog.has_table("ORDERS")
+
+    def test_orders_sorted_on_orderdate_when_clustered(self, catalog):
+        loaded = load_tpcd(
+            catalog, scale_factor=0.002, tables=("ORDERS",), clustering="sorted"
+        )
+        dates = loaded["ORDERS"].read_all()["O_ORDERDATE"]
+        assert (np.diff(dates) >= 0).all()

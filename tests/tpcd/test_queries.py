@@ -1,0 +1,113 @@
+"""Tests for the paper's workload definitions (Query 1, Figure 4, Query 6)."""
+
+import datetime
+
+import pytest
+
+from repro.core.aggregates import AggregateKind
+from repro.lang.predicate import And, ColumnConstCmp
+from repro.query.sma_gaggr import sma_covers
+from repro.tpcd.queries import (
+    QUERY1_GROUPING,
+    query1,
+    query1_sma_definitions,
+    query6,
+    query6_sma_definitions,
+)
+from repro.tpcd.schema import LINEITEM
+
+
+class TestQuery1:
+    def test_matches_figure_3(self):
+        query = query1(delta=90)
+        assert query.group_by == ("L_RETURNFLAG", "L_LINESTATUS")
+        assert query.order_by == ("L_RETURNFLAG", "L_LINESTATUS")
+        assert [a.name for a in query.aggregates] == [
+            "SUM_QTY", "SUM_BASE_PRICE", "SUM_DISC_PRICE", "SUM_CHARGE",
+            "AVG_QTY", "AVG_PRICE", "AVG_DISC", "COUNT_ORDER",
+        ]
+
+    def test_delta_arithmetic(self):
+        predicate = query1(delta=90).where
+        assert isinstance(predicate, ColumnConstCmp)
+        assert predicate.constant == datetime.date(1998, 9, 2)
+
+    def test_explicit_cutoff_overrides_delta(self):
+        cutoff = datetime.date(1995, 1, 1)
+        assert query1(cutoff=cutoff).where.constant == cutoff
+
+    def test_validates_against_lineitem(self):
+        query1().validate(LINEITEM)
+
+
+class TestFigure4Definitions:
+    def test_eight_definitions(self):
+        definitions = query1_sma_definitions()
+        assert [d.name for d in definitions] == [
+            "max", "min", "count", "qty", "dis", "ext", "extdis", "extdistax",
+        ]
+
+    def test_minmax_ungrouped_rest_grouped(self):
+        for definition in query1_sma_definitions():
+            if definition.name in ("min", "max"):
+                assert definition.group_by == ()
+            else:
+                assert definition.group_by == QUERY1_GROUPING
+
+    def test_kinds_match_figure_4(self):
+        by_name = {d.name: d for d in query1_sma_definitions()}
+        assert by_name["max"].aggregate.kind is AggregateKind.MAX
+        assert by_name["min"].aggregate.kind is AggregateKind.MIN
+        assert by_name["count"].aggregate.kind is AggregateKind.COUNT
+        for name in ("qty", "dis", "ext", "extdis", "extdistax"):
+            assert by_name[name].aggregate.kind is AggregateKind.SUM
+
+    def test_definitions_validate_against_lineitem(self):
+        for definition in query1_sma_definitions():
+            definition.validate(LINEITEM)
+
+    def test_expressions_match_query_aggregates(self):
+        """The crucial structural link: every Query 1 aggregate must be
+        servable from the Figure 4 set (26 SMA-files in total)."""
+
+        class FakeSet:
+            def __init__(self, definitions):
+                self.definitions = {d.name: d for d in definitions}
+
+            def rollup_aggregate_files(self, spec, group_by):
+                for definition in self.definitions.values():
+                    if definition.matches(spec, group_by):
+                        return {}, tuple(range(len(group_by)))
+                return None
+
+        fake = FakeSet(query1_sma_definitions())
+        assert sma_covers(fake, query1().aggregates, QUERY1_GROUPING)
+
+
+class TestQuery6:
+    def test_predicate_is_a_conjunction_of_atoms(self):
+        predicate = query6().where
+        assert isinstance(predicate, And)
+        assert len(predicate.operands) == 5
+        assert {a.column for a in predicate.operands} == {
+            "L_SHIPDATE", "L_DISCOUNT", "L_QUANTITY",
+        }
+
+    def test_one_year_window(self):
+        predicate = query6(from_date=datetime.date(1994, 1, 1)).where
+        dates = [
+            a.constant for a in predicate.operands
+            if a.column == "L_SHIPDATE"
+        ]
+        assert datetime.date(1994, 1, 1) in dates
+        assert datetime.date(1995, 1, 1) in dates
+
+    def test_validates_against_lineitem(self):
+        query6().validate(LINEITEM)
+
+    def test_definitions_cover_query6(self):
+        names = {d.name for d in query6_sma_definitions()}
+        assert {"ship_min", "ship_max", "disc_min", "disc_max",
+                "qty_min", "qty_max", "revenue", "cnt"} == names
+        for definition in query6_sma_definitions():
+            definition.validate(LINEITEM)

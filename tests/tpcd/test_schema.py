@@ -1,0 +1,52 @@
+"""Tests for the TPC-D schemas and their byte arithmetic."""
+
+from repro.storage.page import BucketLayout
+from repro.tpcd.schema import ALL_SCHEMAS, BASE_CARDINALITIES, LINEITEM
+
+
+class TestLineitemGeometry:
+    def test_record_width_is_124_bytes(self):
+        # Tuned so the paper's 733 MB / 6 M-tuple LINEITEM arithmetic
+        # comes out right (see DESIGN.md substitutions).
+        assert LINEITEM.record_width == 124
+
+    def test_32_tuples_per_4k_page(self):
+        layout = BucketLayout(record_width=LINEITEM.record_width)
+        assert layout.tuples_per_page == 32
+
+    def test_sf1_page_count_near_paper(self):
+        layout = BucketLayout(record_width=LINEITEM.record_width)
+        pages = layout.pages_for(BASE_CARDINALITIES["LINEITEM"])
+        assert abs(pages - 187_733) / 187_733 < 0.01
+
+    def test_sf1_size_near_733mb(self):
+        layout = BucketLayout(record_width=LINEITEM.record_width)
+        size_mb = layout.bytes_for(BASE_CARDINALITIES["LINEITEM"]) / 2**20
+        assert abs(size_mb - 733.33) / 733.33 < 0.01
+
+
+class TestAllSchemas:
+    def test_eight_relations(self):
+        assert set(ALL_SCHEMAS) == {
+            "LINEITEM", "ORDERS", "CUSTOMER", "PART",
+            "SUPPLIER", "PARTSUPP", "NATION", "REGION",
+        }
+
+    def test_key_columns_exist(self):
+        assert "O_ORDERKEY" in ALL_SCHEMAS["ORDERS"]
+        assert "L_ORDERKEY" in ALL_SCHEMAS["LINEITEM"]
+        assert "C_CUSTKEY" in ALL_SCHEMAS["CUSTOMER"]
+        assert "PS_PARTKEY" in ALL_SCHEMAS["PARTSUPP"]
+
+    def test_lineitem_has_three_dates(self):
+        from repro.storage.types import TypeKind
+
+        dates = [
+            c.name for c in LINEITEM
+            if c.dtype.kind is TypeKind.DATE
+        ]
+        assert dates == ["L_SHIPDATE", "L_COMMITDATE", "L_RECEIPTDATE"]
+
+    def test_cardinalities_scale(self):
+        assert BASE_CARDINALITIES["ORDERS"] == 10 * BASE_CARDINALITIES["CUSTOMER"]
+        assert BASE_CARDINALITIES["NATION"] == 25
