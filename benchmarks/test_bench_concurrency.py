@@ -1,0 +1,33 @@
+"""C1 — concurrent serving throughput at 1, 4 and 16 workers.
+
+Workers share one buffer pool; the closed-loop driver keeps every
+worker saturated.  Python's GIL bounds CPU parallelism, so the
+assertion is that throughput *holds* as workers grow (shared pool and
+admission control add no collapse), not that it scales linearly.
+"""
+
+from repro.bench.concurrency import exp_concurrency_throughput
+
+from conftest import run_once
+
+WORKER_COUNTS = (1, 4, 16)
+QUERIES_PER_CLIENT = 4
+
+
+def test_bench_concurrency_throughput(benchmark, bench_sf):
+    result = run_once(
+        benchmark,
+        exp_concurrency_throughput,
+        scale_factor=bench_sf,
+        worker_counts=WORKER_COUNTS,
+        queries_per_client=QUERIES_PER_CLIENT,
+    )
+    for workers in WORKER_COUNTS:
+        assert result.metric(f"completed_w{workers}") == (
+            workers * QUERIES_PER_CLIENT
+        )
+        assert result.metric(f"qps_w{workers}") > 0
+        assert 0.0 <= result.metric(f"hit_rate_w{workers}") <= 1.0
+    # Concurrency must not collapse throughput: 16 workers on the warm
+    # shared pool should stay within 3x of single-worker throughput.
+    assert result.metric("qps_w16") > result.metric("qps_w1") / 3

@@ -29,8 +29,13 @@ from repro.errors import (
     ExecutionError,
     ParseError,
     PlanningError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
     SchemaError,
+    ServerError,
+    ServerOverloadedError,
+    ServerShutdownError,
     SmaDefinitionError,
     SmaStateError,
     StorageError,
@@ -106,11 +111,16 @@ __all__ = [
     "PAPER_DISK",
     "ParseError",
     "PlanningError",
+    "QueryCancelledError",
     "QueryResult",
+    "QueryTimeoutError",
     "ReproError",
     "ScanQuery",
     "Schema",
     "SchemaError",
+    "ServerError",
+    "ServerOverloadedError",
+    "ServerShutdownError",
     "Session",
     "SmaDefinition",
     "SmaDefinitionError",

@@ -1302,6 +1302,8 @@ def exp_scaling_linearity(
     )
 
 
+from repro.bench.concurrency import exp_concurrency_throughput
+
 #: Every experiment, in the DESIGN.md index order — drives EXPERIMENTS.md
 #: regeneration and the full bench run.
 ALL_EXPERIMENTS = (
@@ -1323,4 +1325,5 @@ ALL_EXPERIMENTS = (
     exp_bitmap_vs_sma,
     exp_scaling_linearity,
     exp_versatility,
+    exp_concurrency_throughput,
 )

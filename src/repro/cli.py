@@ -11,6 +11,7 @@ define    build SMAs from a ``define sma`` script (file or inline)
 query     run one SELECT against a catalog, print rows + both clocks
 info      list tables, SMA sets and sizes of a catalog
 bench     run the paper experiments (all, or a comma-separated subset)
+serve     replay a concurrent workload through the query service
 ========  ============================================================
 
 Examples::
@@ -21,6 +22,7 @@ Examples::
     python -m repro define --db ./db --set bounds \
         --sql "define sma lo select min(L_SHIPDATE) from LINEITEM"
     python -m repro bench --only E4,F5
+    python -m repro serve --db ./db --workers 4 --clients 8 --report
 """
 
 from __future__ import annotations
@@ -159,6 +161,51 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import (
+        QueryService,
+        WorkloadDriver,
+        default_mix,
+        render_metrics,
+        render_workload,
+    )
+
+    if args.workers < 1 or args.queue < 1 or args.clients < 1 or args.queries < 1:
+        print("error: --workers, --queue, --clients and --queries must be >= 1",
+              file=sys.stderr)
+        return 1
+    catalog = _open_catalog(args.db, args.buffer_pages)
+    if not catalog.has_table("LINEITEM"):
+        print("error: catalog has no LINEITEM table; run `repro load` first",
+              file=sys.stderr)
+        catalog.close()
+        return 1
+    timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    with QueryService(
+        catalog,
+        workers=args.workers,
+        queue_depth=args.queue,
+        default_timeout_s=timeout,
+    ) as service:
+        driver = WorkloadDriver(service, default_mix())
+        if args.rate:
+            result = driver.run_open_loop(
+                rate_qps=args.rate, total=args.queries
+            )
+        else:
+            clients = args.clients
+            per_client = max(1, args.queries // clients)
+            result = driver.run_closed_loop(
+                clients=clients, queries_per_client=per_client
+            )
+    print(render_workload(result))
+    if args.report:
+        print()
+        print(render_metrics(result.metrics))
+    catalog.close()
+    return 0
+
+
 _EXPERIMENT_IDS = {
     "exp_sma_creation": "E1",
     "exp_space_overhead": "E2",
@@ -178,6 +225,7 @@ _EXPERIMENT_IDS = {
     "exp_scaling_linearity": "X5",
     "exp_bitmap_vs_sma": "X6",
     "exp_versatility": "X7",
+    "exp_concurrency_throughput": "C1",
 }
 
 
@@ -227,6 +275,27 @@ def build_parser() -> argparse.ArgumentParser:
                          "(e.g. E4,F5)")
     p_bench.add_argument("--out", help="also write the result tables to a file")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a concurrent workload through the query service"
+    )
+    add_db(p_serve)
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="worker threads (default 4)")
+    p_serve.add_argument("--queue", type=int, default=32,
+                         help="admission queue depth (default 32)")
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="closed-loop client threads (default 8)")
+    p_serve.add_argument("--queries", type=int, default=64,
+                         help="total queries to replay (default 64)")
+    p_serve.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate in queries/s "
+                         "(default: closed loop)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-query timeout in seconds (default: none)")
+    p_serve.add_argument("--report", action="store_true",
+                         help="print the full metrics report")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

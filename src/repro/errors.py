@@ -51,3 +51,32 @@ class PlanningError(ReproError):
 
 class ExecutionError(ReproError):
     """A physical operator failed during evaluation."""
+
+
+class ServerError(ReproError):
+    """Concurrent query service failure (admission, lifecycle, workers)."""
+
+
+class ServerOverloadedError(ServerError):
+    """The admission queue is full; the query was rejected, not queued.
+
+    Raised synchronously by ``submit`` so callers can shed load or retry
+    with backoff — the service never blocks or deadlocks on admission.
+    """
+
+
+class ServerShutdownError(ServerError):
+    """A query was submitted to a service that has been shut down."""
+
+
+class QueryCancelledError(ServerError):
+    """A query was cancelled while queued or cooperatively while running.
+
+    Running queries observe cancellation at their next page access — all
+    I/O funnels through the buffer pool, which checks the query context's
+    cancel event on every :meth:`~repro.storage.buffer.BufferPool.read_page`.
+    """
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """A query exceeded its deadline (queued or running)."""

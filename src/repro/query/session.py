@@ -38,8 +38,17 @@ class QueryResult:
         return self.cost.total_s
 
     def column(self, name: str) -> list:
-        """All values of one output column."""
-        index = self.columns.index(name)
+        """All values of one output column.
+
+        Raises :class:`KeyError` naming the available columns when *name*
+        is not one of them.
+        """
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no output column {name!r}; have {self.columns}"
+            ) from None
         return [row[index] for row in self.rows]
 
     def __str__(self) -> str:
@@ -92,19 +101,26 @@ class Session:
         runs); otherwise whatever previous queries cached stays warm.
         Planning happens *inside* the measured window — grading cost is
         part of SMA query cost, exactly as in the paper's operators.
+
+        The stats window is resolved through ``pool.stats``: the shared
+        catalog counters normally, the bound per-query window when the
+        caller (the query service) wrapped this thread in
+        :meth:`~repro.storage.buffer.BufferPool.query_context` — which is
+        what makes concurrent executions account independently.
         """
         if cold:
             self.catalog.go_cold()
         pool = self.catalog.pool
         pool.reset_sequence_tracking()
-        before = self.catalog.stats.snapshot()
+        window = pool.stats
+        before = window.snapshot()
         started = time.perf_counter()
 
         plan = self._plan(query, mode=mode, sma_set=sma_set)
         columns, rows = plan.run()
 
         wall = time.perf_counter() - started
-        delta = self.catalog.stats.snapshot() - before
+        delta = window.snapshot() - before
         if isinstance(query, AggregateQuery):
             rows = _sort_rows(rows, columns, query.order_by, query.order_desc)
         return QueryResult(

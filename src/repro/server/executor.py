@@ -1,0 +1,342 @@
+"""Admission-controlled worker-pool executor.
+
+The :class:`QueryExecutor` owns the threads and the bounded admission
+queue of the query service, and nothing else — *what* a ticket does is
+the ``run_fn`` callable injected by :class:`~repro.server.service.QueryService`,
+which keeps the lifecycle machinery independently testable.
+
+Admission is strictly non-blocking: :meth:`QueryExecutor.submit` either
+enqueues the ticket or raises
+:class:`~repro.errors.ServerOverloadedError` immediately.  An overloaded
+service therefore sheds load instead of building an unbounded backlog or
+deadlocking callers.
+
+Each :class:`QueryTicket` is a small future: callers ``wait``/``result``
+on it, may ``cancel`` it, and can inspect queue-wait and run times.
+Cancellation of a *queued* ticket is immediate (the worker skips it);
+cancellation of a *running* ticket is cooperative — the buffer pool
+checks the ticket's cancel event on every page access.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServerError,
+    ServerOverloadedError,
+    ServerShutdownError,
+)
+
+
+class TicketState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
+
+
+#: States in which a ticket has settled and ``result()`` will not block.
+SETTLED_STATES = frozenset(
+    {TicketState.DONE, TicketState.FAILED, TicketState.CANCELLED, TicketState.TIMED_OUT}
+)
+
+
+class QueryTicket:
+    """A submitted query's handle: state, timing, result/error, cancel."""
+
+    def __init__(self, ticket_id: int, payload: Any, *, deadline: float | None = None):
+        self.id = ticket_id
+        self.payload = payload
+        #: absolute ``time.monotonic()`` deadline, or None for no timeout
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._lock = threading.Lock()
+        self._state = TicketState.QUEUED
+        self._settled = threading.Event()
+        self.cancel_event = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def state(self) -> TicketState:
+        return self._state
+
+    def done(self) -> bool:
+        return self._settled.is_set()
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        """Seconds spent in the admission queue (None while still queued)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    # -- waiting -------------------------------------------------------
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._settled.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block for the outcome; re-raise the query's error if it has one."""
+        if not self.wait(timeout):
+            raise ServerError(
+                f"ticket {self.id} not settled within {timeout}s wait"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def error(self) -> BaseException | None:
+        """The settled error, if any (None while running or on success)."""
+        return self._error
+
+    # -- transitions ---------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Request cancellation.  Returns False if already settled.
+
+        A queued ticket is skipped by the worker; a running ticket
+        observes the event at its next page access.
+        """
+        with self._lock:
+            if self._settled.is_set():
+                return False
+            self.cancel_event.set()
+            return True
+
+    def _mark_running(self) -> bool:
+        """Worker-side claim.  Settles and returns False when the ticket
+        was cancelled or its deadline passed while still queued."""
+        now = time.monotonic()
+        with self._lock:
+            if self._settled.is_set():
+                return False
+            if self.cancel_event.is_set():
+                self._settle(
+                    TicketState.CANCELLED,
+                    error=QueryCancelledError(
+                        f"ticket {self.id} cancelled while queued"
+                    ),
+                    at=now,
+                )
+                return False
+            if self.deadline is not None and now > self.deadline:
+                self._settle(
+                    TicketState.TIMED_OUT,
+                    error=QueryTimeoutError(
+                        f"ticket {self.id} deadline passed after "
+                        f"{now - self.submitted_at:.3f}s in queue"
+                    ),
+                    at=now,
+                )
+                return False
+            self._state = TicketState.RUNNING
+            self.started_at = now
+            return True
+
+    def _finish(
+        self,
+        state: TicketState,
+        *,
+        result: Any = None,
+        error: BaseException | None = None,
+    ) -> None:
+        with self._lock:
+            if self._settled.is_set():  # pragma: no cover - double settle guard
+                return
+            self._settle(state, result=result, error=error, at=time.monotonic())
+
+    def _settle(
+        self,
+        state: TicketState,
+        *,
+        result: Any = None,
+        error: BaseException | None = None,
+        at: float,
+    ) -> None:
+        assert state in SETTLED_STATES
+        self._state = state
+        self._result = result
+        self._error = error
+        self.finished_at = at
+        self._settled.set()
+
+
+_STOP = object()
+
+
+class QueryExecutor:
+    """Fixed worker pool draining a bounded admission queue of tickets.
+
+    Parameters
+    ----------
+    run_fn:
+        Called as ``run_fn(ticket)`` on a worker thread; its return value
+        settles the ticket as DONE.  :class:`~repro.errors.QueryTimeoutError`
+        / :class:`~repro.errors.QueryCancelledError` settle it as
+        TIMED_OUT / CANCELLED, any other exception as FAILED.
+    skipped_fn:
+        Optional observer invoked for tickets that settled *without*
+        running (cancelled or expired while queued) — the service uses it
+        to keep its metrics complete.
+    workers:
+        Number of worker threads.
+    queue_depth:
+        Admission queue bound; ``submit`` beyond ``workers + queue_depth``
+        in-flight tickets raises :class:`~repro.errors.ServerOverloadedError`.
+    """
+
+    def __init__(
+        self,
+        run_fn: Callable[[QueryTicket], Any],
+        *,
+        workers: int = 4,
+        queue_depth: int = 32,
+        skipped_fn: Callable[[QueryTicket], None] | None = None,
+        name: str = "repro-server",
+    ):
+        if workers <= 0:
+            raise ServerError(f"workers must be positive, got {workers}")
+        if queue_depth <= 0:
+            raise ServerError(f"queue_depth must be positive, got {queue_depth}")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._run_fn = run_fn
+        self._skipped_fn = skipped_fn
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._shutdown = False
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QueryExecutor":
+        with self._state_lock:
+            if self._shutdown:
+                raise ServerShutdownError("executor already shut down")
+            if self._started:
+                return self
+            self._started = True
+            for i in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self._name}-worker-{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting work, then stop workers after the queue drains.
+
+        ``cancel_pending=True`` additionally cancels every ticket still
+        queued, so shutdown does not wait for a backlog to execute.
+        """
+        with self._state_lock:
+            first_call = not self._shutdown
+            self._shutdown = True
+            started = self._started
+        if first_call:
+            if cancel_pending:
+                # Workers will observe the cancel flag in _mark_running and
+                # settle the tickets without running them.
+                with self._queue.mutex:
+                    pending = [
+                        item for item in self._queue.queue
+                        if isinstance(item, QueryTicket)
+                    ]
+                for item in pending:
+                    item.cancel()
+            if started:
+                for _ in self._threads:
+                    # sentinels pass the queue bound via blocking put()
+                    self._queue.put(_STOP)
+        if wait and started:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True, cancel_pending=True)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: Any, *, timeout_s: float | None = None) -> QueryTicket:
+        """Admit *payload* or raise; never blocks on a full queue."""
+        with self._state_lock:
+            if self._shutdown:
+                raise ServerShutdownError("executor is shut down")
+            if not self._started:
+                raise ServerError("executor not started; call start() first")
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        ticket = QueryTicket(next(self._ids), payload, deadline=deadline)
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            raise ServerOverloadedError(
+                f"admission queue full ({self.queue_depth} queued); "
+                f"query rejected"
+            ) from None
+        return ticket
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._run_ticket(item)
+            finally:
+                self._queue.task_done()
+
+    def _run_ticket(self, ticket: QueryTicket) -> None:
+        if not ticket._mark_running():
+            if self._skipped_fn is not None:
+                self._skipped_fn(ticket)
+            return
+        try:
+            result = self._run_fn(ticket)
+        except QueryTimeoutError as exc:
+            ticket._finish(TicketState.TIMED_OUT, error=exc)
+        except QueryCancelledError as exc:
+            ticket._finish(TicketState.CANCELLED, error=exc)
+        except BaseException as exc:  # noqa: BLE001 - settle, never kill worker
+            ticket._finish(TicketState.FAILED, error=exc)
+        else:
+            ticket._finish(TicketState.DONE, result=result)

@@ -1,0 +1,200 @@
+"""Per-query service metrics: latency histograms, queue waits, I/O totals.
+
+The :class:`MetricsRegistry` is the single write target for everything
+the query service observes: admission outcomes, queue wait time,
+per-query latency (overall and per workload kind) and the per-query
+:class:`~repro.storage.stats.IoStats` deltas (buffer hit rate, buckets
+skipped vs fetched).  All recording methods are thread-safe; workers
+call them concurrently.
+
+:meth:`MetricsRegistry.snapshot` returns a plain nested dict — the
+programmatic surface — and :mod:`repro.server.report` renders that dict
+as the ``repro serve --report`` text dump.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+
+from repro.storage.stats import IoStats
+
+#: Percentiles reported by every latency snapshot.
+REPORTED_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+class LatencyRecorder:
+    """Streaming latency accumulator with a bounded, decimated sample.
+
+    Exact count/total/min/max are kept forever.  For percentiles a
+    sample of observations is retained; when it outgrows *max_samples*
+    it is decimated deterministically (every other retained sample is
+    dropped and the keep-stride doubles), so memory stays bounded while
+    the sample remains spread over the whole run rather than a recent
+    window.  Not thread-safe on its own — the registry locks around it.
+    """
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._stride = 1
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if (self.count - 1) % self._stride == 0:
+            insort(self._samples, seconds)
+            if len(self._samples) > self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained sample (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        rank = max(0, min(len(self._samples) - 1, round(q / 100.0 * (len(self._samples) - 1))))
+        return self._samples[rank]
+
+    def as_dict(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        out: dict[str, float] = {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min,
+            "max_s": self.max,
+        }
+        for q in REPORTED_PERCENTILES:
+            out[f"p{q:g}_s"] = self.percentile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe aggregation point for all query-service observations."""
+
+    def __init__(self, max_samples: int = 4096):
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.cancelled = 0
+        self._latency = LatencyRecorder(max_samples)
+        self._latency_by_kind: dict[str, LatencyRecorder] = {}
+        self._queue_wait = LatencyRecorder(max_samples)
+        self._io = IoStats()
+
+    # ------------------------------------------------------------------
+    # recording (called by the service / executor)
+    # ------------------------------------------------------------------
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_queue_wait(self, seconds: float) -> None:
+        with self._lock:
+            self._queue_wait.record(seconds)
+
+    def record_success(
+        self, kind: str, latency_s: float, stats: IoStats | None = None
+    ) -> None:
+        """One query completed: latency plus its exact I/O counter delta."""
+        with self._lock:
+            self.completed += 1
+            self._latency.record(latency_s)
+            recorder = self._latency_by_kind.get(kind)
+            if recorder is None:
+                recorder = self._latency_by_kind[kind] = LatencyRecorder(
+                    self._max_samples
+                )
+            recorder.record(latency_s)
+            if stats is not None:
+                self._io.merge(stats)
+
+    def record_failure(self, kind: str) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_timeout(self, kind: str) -> None:
+        with self._lock:
+            self.timed_out += 1
+
+    def record_cancelled(self, kind: str) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def io_totals(self) -> IoStats:
+        """Summed per-query I/O deltas of every completed query."""
+        with self._lock:
+            return self._io.snapshot()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything recorded so far.
+
+        Shape::
+
+            {
+              "queries": {submitted, completed, failed, rejected,
+                          timed_out, cancelled, in_flight},
+              "latency_s": {"overall": {...}, "by_kind": {kind: {...}}},
+              "queue_wait_s": {...},
+              "io": {<IoStats counters>, buffer_hit_rate,
+                     bucket_skip_rate},
+            }
+        """
+        with self._lock:
+            settled = (
+                self.completed + self.failed + self.timed_out + self.cancelled
+            )
+            io = self._io
+            return {
+                "queries": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "rejected": self.rejected,
+                    "timed_out": self.timed_out,
+                    "cancelled": self.cancelled,
+                    "in_flight": self.submitted - settled,
+                },
+                "latency_s": {
+                    "overall": self._latency.as_dict(),
+                    "by_kind": {
+                        kind: recorder.as_dict()
+                        for kind, recorder in sorted(self._latency_by_kind.items())
+                    },
+                },
+                "queue_wait_s": self._queue_wait.as_dict(),
+                "io": {
+                    **io.as_dict(),
+                    "buffer_hit_rate": io.buffer_hit_rate,
+                    "bucket_skip_rate": io.bucket_skip_rate,
+                },
+            }

@@ -1,0 +1,96 @@
+"""Text rendering of service metrics and workload results.
+
+This is the ``repro serve --report`` surface: a compact, monospace dump
+of the :class:`~repro.server.metrics.MetricsRegistry` snapshot plus the
+workload summary, built on the same table formatter the paper
+experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.workload import WorkloadResult
+
+
+def _latency_row(label: str, data: dict) -> tuple:
+    # Lazy import: repro.bench pulls in this package via the concurrency
+    # experiment, so a module-level bench import would be cyclic.
+    from repro.bench.harness import human_seconds
+
+    if not data or not data.get("count"):
+        return (label, 0, "-", "-", "-", "-", "-")
+    return (
+        label,
+        int(data["count"]),
+        human_seconds(data["mean_s"]),
+        human_seconds(data["p50_s"]),
+        human_seconds(data["p95_s"]),
+        human_seconds(data["p99_s"]),
+        human_seconds(data["max_s"]),
+    )
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Render one metrics snapshot (see ``MetricsRegistry.snapshot``)."""
+    from repro.bench.harness import format_table
+
+    lines: list[str] = ["== query service metrics =="]
+
+    queries = snapshot["queries"]
+    lines.append(
+        "queries: "
+        + ", ".join(f"{name} {queries[name]}" for name in (
+            "submitted", "completed", "failed", "rejected",
+            "timed_out", "cancelled", "in_flight",
+        ))
+    )
+
+    latency = snapshot["latency_s"]
+    rows = [_latency_row("all", latency["overall"])]
+    rows.extend(
+        _latency_row(kind, data) for kind, data in latency["by_kind"].items()
+    )
+    rows.append(_latency_row("queue wait", snapshot["queue_wait_s"]))
+    lines.append("")
+    lines.append(
+        format_table(
+            ["latency", "count", "mean", "p50", "p95", "p99", "max"], rows
+        )
+    )
+
+    io = snapshot["io"]
+    lines.append("")
+    lines.append("io (summed per-query deltas):")
+    lines.append(
+        f"  pages: {io['page_reads']} physical "
+        f"({io['sequential_page_reads']} seq / {io['skip_page_reads']} skip / "
+        f"{io['random_page_reads']} rnd), {io['buffer_hits']} buffer hits "
+        f"(hit rate {io['buffer_hit_rate']:.1%})"
+    )
+    lines.append(
+        f"  buckets: {io['buckets_fetched']} fetched, "
+        f"{io['buckets_skipped']} skipped "
+        f"(skip rate {io['bucket_skip_rate']:.1%})"
+    )
+    lines.append(
+        f"  tuples scanned: {io['tuples_scanned']}, "
+        f"SMA entries read: {io['sma_entries_read']}"
+    )
+    return "\n".join(lines)
+
+
+def render_workload(result: "WorkloadResult") -> str:
+    """One-paragraph workload summary (throughput + outcome counts)."""
+    from repro.bench.harness import human_seconds
+
+    lines = [
+        "== workload run ==",
+        f"{result.total} queries in {human_seconds(result.wall_seconds)} wall "
+        f"→ {result.throughput_qps:.1f} completed queries/s",
+        f"outcomes: {result.completed} completed, {result.rejected} rejected, "
+        f"{result.timed_out} timed out, {result.cancelled} cancelled, "
+        f"{result.failed} failed",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""The concurrent query service: many queries, one shared catalog.
+
+:class:`QueryService` is the serving façade the ROADMAP's north star
+asks for: it runs queries from many clients at once against a single
+:class:`~repro.storage.catalog.Catalog` (one shared buffer pool, one set
+of SMA indexes), with
+
+* **admission control** — a bounded queue in front of a fixed worker
+  pool; beyond the bound, ``submit`` raises
+  :class:`~repro.errors.ServerOverloadedError` instead of queueing
+  unboundedly (see :mod:`repro.server.executor`);
+* **per-query isolation** — every execution runs inside
+  :meth:`BufferPool.query_context`, so its
+  :class:`~repro.storage.stats.IoStats` delta and sequential-read
+  classification are exact even while other queries interleave page
+  accesses on the same pool;
+* **timeouts and cancellation** — cooperative, enforced at every page
+  access through the query context's deadline/cancel event;
+* **metrics** — every outcome lands in a
+  :class:`~repro.server.metrics.MetricsRegistry` (latency percentiles,
+  queue wait, buffer hit rate, buckets skipped vs fetched).
+
+Each worker thread owns a private :class:`~repro.query.session.Session`
+(planners are cheap and stateless; sessions are not shared across
+threads), while the catalog, pool and SMA sets are shared read-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServerOverloadedError,
+)
+from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.session import QueryResult, Session
+from repro.server.executor import QueryExecutor, QueryTicket, TicketState
+from repro.server.metrics import MetricsRegistry
+from repro.storage.catalog import Catalog
+from repro.storage.disk import DiskModel, PAPER_DISK
+from repro.storage.stats import IoStats
+
+
+@dataclass(frozen=True)
+class QueryJob:
+    """What one ticket carries: the query and its execution knobs."""
+
+    query: AggregateQuery | ScanQuery | str
+    mode: str = "auto"
+    sma_set: str | None = None
+    #: metrics bucket ("q1", "range_scan", ...); defaults by query class
+    kind: str = "query"
+
+
+class QueryService:
+    """Admission-controlled concurrent execution over one shared catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The shared database instance.  Served queries must be read-only;
+        loading/maintenance stays a single-threaded, out-of-band concern.
+    workers:
+        Worker thread count (concurrent query executions).
+    queue_depth:
+        Admission queue bound — tickets waiting beyond the running ones.
+    default_timeout_s:
+        Applied to submissions that don't pass their own ``timeout_s``.
+        ``None`` disables timeouts by default.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        workers: int = 4,
+        queue_depth: int = 32,
+        default_timeout_s: float | None = None,
+        disk_model: DiskModel = PAPER_DISK,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.catalog = catalog
+        self.disk_model = disk_model
+        self.default_timeout_s = default_timeout_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sessions = threading.local()
+        self._executor = QueryExecutor(
+            self._run_job,
+            workers=workers,
+            queue_depth=queue_depth,
+            skipped_fn=self._record_skipped,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._executor.workers
+
+    @property
+    def queue_depth(self) -> int:
+        return self._executor.queue_depth
+
+    def start(self) -> "QueryService":
+        self._executor.start()
+        return self
+
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        self._executor.shutdown(wait=wait, cancel_pending=cancel_pending)
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True, cancel_pending=True)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: AggregateQuery | ScanQuery | str,
+        *,
+        mode: str = "auto",
+        sma_set: str | None = None,
+        timeout_s: float | None = None,
+        kind: str | None = None,
+    ) -> QueryTicket:
+        """Admit one query; returns its ticket or raises
+        :class:`~repro.errors.ServerOverloadedError` when the queue is full.
+
+        *query* is a logical query object or a SQL SELECT string.
+        """
+        if kind is None:
+            kind = (
+                "aggregate"
+                if isinstance(query, AggregateQuery)
+                else "scan" if isinstance(query, ScanQuery) else "sql"
+            )
+        job = QueryJob(query=query, mode=mode, sma_set=sma_set, kind=kind)
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        try:
+            ticket = self._executor.submit(job, timeout_s=timeout)
+        except ServerOverloadedError:
+            self.metrics.record_rejected()
+            raise
+        self.metrics.record_submitted()
+        return ticket
+
+    def execute(
+        self,
+        query: AggregateQuery | ScanQuery | str,
+        *,
+        mode: str = "auto",
+        sma_set: str | None = None,
+        timeout_s: float | None = None,
+        kind: str | None = None,
+    ) -> QueryResult:
+        """Synchronous convenience: submit and wait for the result."""
+        ticket = self.submit(
+            query, mode=mode, sma_set=sma_set, timeout_s=timeout_s, kind=kind
+        )
+        return ticket.result()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _session(self) -> Session:
+        session = getattr(self._sessions, "session", None)
+        if session is None:
+            session = Session(self.catalog, self.disk_model)
+            self._sessions.session = session
+        return session
+
+    def _run_job(self, ticket: QueryTicket) -> QueryResult:
+        job: QueryJob = ticket.payload
+        wait = ticket.queue_wait_s
+        if wait is not None:
+            self.metrics.record_queue_wait(wait)
+        session = self._session()
+        window = IoStats()
+        pool = self.catalog.pool
+        try:
+            with pool.query_context(
+                window,
+                cancel_event=ticket.cancel_event,
+                deadline=ticket.deadline,
+            ):
+                if isinstance(job.query, str):
+                    result = session.sql(
+                        job.query, mode=job.mode, sma_set=job.sma_set
+                    )
+                else:
+                    result = session.execute(
+                        job.query, mode=job.mode, sma_set=job.sma_set
+                    )
+        except QueryTimeoutError:
+            self.metrics.record_timeout(job.kind)
+            raise
+        except QueryCancelledError:
+            self.metrics.record_cancelled(job.kind)
+            raise
+        except BaseException:
+            self.metrics.record_failure(job.kind)
+            raise
+        self.metrics.record_success(job.kind, result.wall_seconds, result.stats)
+        return result
+
+    def _record_skipped(self, ticket: QueryTicket) -> None:
+        """Metrics for tickets settled without running (queued-cancel/expire)."""
+        job: QueryJob = ticket.payload
+        if ticket.state is TicketState.TIMED_OUT:
+            self.metrics.record_timeout(job.kind)
+        else:
+            self.metrics.record_cancelled(job.kind)

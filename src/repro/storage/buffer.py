@@ -1,29 +1,113 @@
-"""LRU buffer pool with sequential/random I/O classification.
+"""Thread-safe LRU buffer pool with per-query accounting contexts.
 
 All page traffic in the system goes through a :class:`BufferPool`.  The
-pool serves three purposes:
+pool serves four purposes:
 
 * it is the *warm vs cold* switch — the paper's Section 2.4 reports both
   cold and warm runs of Query 1, which we reproduce by clearing the pool;
 * it classifies every physical read as sequential or random (a read is
   sequential when it targets the page directly after the previous
   physical read of the same file), feeding the simulated disk model;
-* it caps memory like the paper's 8 MB intertransaction buffer.
+* it caps memory like the paper's 8 MB intertransaction buffer;
+* it is the concurrency choke point of the query service: one lock
+  protects the LRU structures, and per-thread *query contexts* give each
+  in-flight query its own :class:`IoStats` window and its own
+  sequential-read tracker so concurrent queries cannot corrupt each
+  other's cost accounting.
+
+Concurrency model
+-----------------
+Every public method takes ``self._lock`` around the shared structures
+(the ``OrderedDict`` LRU, the shared sequence tracker, the cumulative
+counters).  ``loader()`` is invoked *inside* the lock on a miss: that
+serializes access to the underlying shared file handles (heap files and
+SMA-files seek+read on one handle), which is exactly what a real buffer
+manager's page latch would guarantee, and it means one physical load per
+miss even under contention.
+
+``pool.stats`` is a property.  Outside a query context it resolves to
+the pool's default :class:`IoStats` (the catalog-wide counters — fully
+backward compatible).  Inside ``with pool.query_context(stats):`` it
+resolves, *for the current thread only*, to the bound per-query stats.
+All charging code in the system reads ``pool.stats`` at operation time,
+so the whole execution stack is per-query isolated without touching any
+operator.
+
+A query context may also carry a cancellation event and a monotonic
+deadline; :meth:`read_page` checks them on every call, so a running
+query is cancelled cooperatively at its next page access — the natural
+quantum, since all I/O funnels through here.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
-from typing import Callable, Hashable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator
 
-from repro.errors import StorageError
+from repro.errors import QueryCancelledError, QueryTimeoutError, StorageError
 from repro.storage.stats import IoStats
 
 PageKey = tuple[Hashable, int]
 
 
+@dataclass
+class BufferCounters:
+    """Cumulative pool-lifetime counters (snapshot; see :meth:`BufferPool.counters`).
+
+    Unlike :class:`IoStats` windows, these accrue across *all* queries and
+    threads — the per-query deltas of every context-bound execution sum
+    exactly to the growth of these counters.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of logical reads served from the pool (0.0 when idle)."""
+        accesses = self.accesses
+        return self.hits / accesses if accesses else 0.0
+
+    def __sub__(self, other: "BufferCounters") -> "BufferCounters":
+        if not isinstance(other, BufferCounters):
+            return NotImplemented
+        return BufferCounters(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            writes=self.writes - other.writes,
+        )
+
+
+class _QueryBinding:
+    """Thread-local accounting window for one in-flight query."""
+
+    __slots__ = ("stats", "last_physical", "cancel_event", "deadline")
+
+    def __init__(
+        self,
+        stats: IoStats,
+        cancel_event: threading.Event | None,
+        deadline: float | None,
+    ):
+        self.stats = stats
+        self.last_physical: dict[Hashable, int] = {}
+        self.cancel_event = cancel_event
+        self.deadline = deadline
+
+
 class BufferPool:
-    """A fixed-capacity LRU cache of page payloads.
+    """A fixed-capacity, thread-safe LRU cache of page payloads.
 
     Parameters
     ----------
@@ -32,23 +116,100 @@ class BufferPool:
         8 MB intertransaction buffer — 2048 4 KB pages — which is the
         default here.
     stats:
-        The :class:`IoStats` instance charged for traffic through this
-        pool.  Callers typically snapshot/diff it around a query.
+        The default :class:`IoStats` instance charged for traffic through
+        this pool when no query context is bound.  Callers typically
+        snapshot/diff it around a query.
     """
 
     def __init__(self, capacity_pages: int = 2048, stats: IoStats | None = None):
         if capacity_pages <= 0:
             raise StorageError(f"capacity_pages must be positive, got {capacity_pages}")
         self.capacity_pages = capacity_pages
-        self.stats = stats if stats is not None else IoStats()
+        self._default_stats = stats if stats is not None else IoStats()
         self._cache: OrderedDict[PageKey, bytes] = OrderedDict()
         self._last_physical: dict[Hashable, int] = {}
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._writes = 0
+
+    # ------------------------------------------------------------------
+    # per-query contexts
+    # ------------------------------------------------------------------
+
+    def _binding(self) -> _QueryBinding | None:
+        return getattr(self._local, "binding", None)
+
+    @property
+    def stats(self) -> IoStats:
+        """The stats window charged by the current thread.
+
+        The bound per-query :class:`IoStats` inside a
+        :meth:`query_context`, the pool-default instance otherwise.
+        """
+        binding = self._binding()
+        return binding.stats if binding is not None else self._default_stats
+
+    @property
+    def default_stats(self) -> IoStats:
+        """The context-independent default window (the catalog's counters)."""
+        return self._default_stats
+
+    @contextmanager
+    def query_context(
+        self,
+        stats: IoStats | None = None,
+        *,
+        cancel_event: threading.Event | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[IoStats]:
+        """Bind a per-query accounting window to the current thread.
+
+        While active, every charge made from this thread lands on
+        *stats* (a fresh :class:`IoStats` when omitted) and
+        sequential/random classification runs against a private
+        tracker, so interleaved page reads of concurrent queries do not
+        turn each other's streams into phantom random I/O.
+
+        *cancel_event* and *deadline* (``time.monotonic()`` scale) make
+        the query cooperatively cancellable: the next
+        :meth:`read_page` after the event is set / the deadline passes
+        raises :class:`~repro.errors.QueryCancelledError` /
+        :class:`~repro.errors.QueryTimeoutError`.
+
+        Contexts nest per thread; the previous binding is restored on
+        exit.
+        """
+        binding = _QueryBinding(
+            stats if stats is not None else IoStats(), cancel_event, deadline
+        )
+        previous = self._binding()
+        self._local.binding = binding
+        try:
+            yield binding.stats
+        finally:
+            self._local.binding = previous
+
+    @staticmethod
+    def _check_live(binding: _QueryBinding) -> None:
+        if binding.cancel_event is not None and binding.cancel_event.is_set():
+            raise QueryCancelledError("query cancelled during page access")
+        if binding.deadline is not None and time.monotonic() > binding.deadline:
+            raise QueryTimeoutError("query deadline exceeded during page access")
+
+    # ------------------------------------------------------------------
+    # page traffic
+    # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def __contains__(self, key: PageKey) -> bool:
-        return key in self._cache
+        with self._lock:
+            return key in self._cache
 
     def read_page(
         self,
@@ -59,36 +220,49 @@ class BufferPool:
         """Return the payload of page *page_no* of file *file_id*.
 
         On a hit the page moves to the MRU end and a buffer hit is
-        charged.  On a miss, *loader* fetches the bytes, the read is
-        classified sequential or random against the last physical read of
-        the same file, and the LRU page is evicted if the pool is full.
+        charged.  On a miss, *loader* fetches the bytes (inside the pool
+        lock — see the module docstring), the read is classified
+        sequential or random against the last physical read of the same
+        file within the active accounting window, and the LRU page is
+        evicted if the pool is full.
         """
+        binding = self._binding()
+        if binding is not None:
+            self._check_live(binding)
+        stats = binding.stats if binding is not None else self._default_stats
         key: PageKey = (file_id, page_no)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.stats.buffer_hits += 1
-            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                stats.buffer_hits += 1
+                self._hits += 1
+                return cached
 
-        payload = loader()
-        last = self._last_physical.get(file_id)
-        if last is not None and page_no == last + 1:
-            self.stats.sequential_page_reads += 1
-        elif last is not None and page_no > last + 1:
-            # A forward gap in an otherwise ordered scan: the head skips
-            # over unread pages.  Cheaper than a full random access but
-            # far dearer than streaming — this is what makes the paper's
-            # Figure 5 break-even shape emerge (scattered ambivalent
-            # buckets cost skip latency each).
-            self.stats.skip_page_reads += 1
-        else:
-            self.stats.random_page_reads += 1
-        self._last_physical[file_id] = page_no
+            payload = loader()
+            tracker = (
+                binding.last_physical if binding is not None else self._last_physical
+            )
+            last = tracker.get(file_id)
+            if last is not None and page_no == last + 1:
+                stats.sequential_page_reads += 1
+            elif last is not None and page_no > last + 1:
+                # A forward gap in an otherwise ordered scan: the head skips
+                # over unread pages.  Cheaper than a full random access but
+                # far dearer than streaming — this is what makes the paper's
+                # Figure 5 break-even shape emerge (scattered ambivalent
+                # buckets cost skip latency each).
+                stats.skip_page_reads += 1
+            else:
+                stats.random_page_reads += 1
+            tracker[file_id] = page_no
+            self._misses += 1
 
-        self._cache[key] = payload
-        if len(self._cache) > self.capacity_pages:
-            self._cache.popitem(last=False)
-        return payload
+            self._cache[key] = payload
+            if len(self._cache) > self.capacity_pages:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+            return payload
 
     def note_write(self, file_id: Hashable, page_no: int, payload: bytes) -> None:
         """Record a page write: charge the write and refresh the cache.
@@ -98,30 +272,68 @@ class BufferPool:
         """
         self.stats.page_writes += 1
         key: PageKey = (file_id, page_no)
-        self._cache[key] = payload
-        self._cache.move_to_end(key)
-        if len(self._cache) > self.capacity_pages:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._writes += 1
+            self._cache[key] = payload
+            self._cache.move_to_end(key)
+            if len(self._cache) > self.capacity_pages:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # cumulative counters
+    # ------------------------------------------------------------------
+
+    def counters(self) -> BufferCounters:
+        """Snapshot the cumulative hit/miss/eviction/write counters.
+
+        These accrue across every thread and query context for the
+        lifetime of the pool; diff two snapshots to get the traffic of a
+        window.  Per-query :class:`IoStats` deltas partition this total:
+        the sum of all bound windows' ``buffer_hits`` equals the growth
+        of ``hits``, and their physical ``page_reads`` the growth of
+        ``misses``.
+        """
+        with self._lock:
+            return BufferCounters(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                writes=self._writes,
+            )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
 
     def invalidate(self, file_id: Hashable, page_no: int | None = None) -> None:
         """Drop one page, or every page of a file when *page_no* is None."""
-        if page_no is not None:
-            self._cache.pop((file_id, page_no), None)
-            return
-        doomed = [key for key in self._cache if key[0] == file_id]
-        for key in doomed:
-            del self._cache[key]
-        self._last_physical.pop(file_id, None)
+        with self._lock:
+            if page_no is not None:
+                self._cache.pop((file_id, page_no), None)
+                return
+            doomed = [key for key in self._cache if key[0] == file_id]
+            for key in doomed:
+                del self._cache[key]
+            self._last_physical.pop(file_id, None)
 
     def clear(self) -> None:
         """Empty the pool — the 'cold' switch for cold/warm experiments."""
-        self._cache.clear()
-        self._last_physical.clear()
+        with self._lock:
+            self._cache.clear()
+            self._last_physical.clear()
 
     def reset_sequence_tracking(self) -> None:
         """Forget read positions so the next read of each file is random.
 
         Used between queries: the first page a fresh scan touches costs a
         seek even if the previous query happened to end right before it.
+        Inside a query context only the context's private tracker is
+        reset.
         """
-        self._last_physical.clear()
+        binding = self._binding()
+        if binding is not None:
+            binding.last_physical.clear()
+            return
+        with self._lock:
+            self._last_physical.clear()

@@ -77,6 +77,29 @@ class IoStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view of every counter plus the derived totals.
+
+        The metrics registry and the ``repro serve --report`` dump use
+        this so snapshots stay JSON-friendly.
+        """
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["page_reads"] = self.page_reads
+        out["page_accesses"] = self.page_accesses
+        return out
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of logical page accesses served from the pool."""
+        accesses = self.page_accesses
+        return self.buffer_hits / accesses if accesses else 0.0
+
+    @property
+    def bucket_skip_rate(self) -> float:
+        """Fraction of examined buckets skipped thanks to SMA grading."""
+        examined = self.buckets_fetched + self.buckets_skipped
+        return self.buckets_skipped / examined if examined else 0.0
+
 
 @dataclass
 class CostBreakdown:

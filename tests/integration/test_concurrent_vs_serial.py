@@ -1,0 +1,68 @@
+"""Integration smoke test: concurrent serving matches serial execution.
+
+ISSUE satellite: fire at least 16 queries across at least 4 worker
+threads against the shared LINEITEM catalog and assert every result is
+identical to running the same query serially through a plain Session —
+same rows, same columns.  Also closes the accounting loop end-to-end:
+the per-query I/O windows the service hands back must sum to the buffer
+pool's cumulative hit/miss growth over the concurrent phase.
+"""
+
+from repro.query.session import Session
+from repro.server import QueryService, WorkloadDriver, default_mix
+
+
+CLIENTS = 4
+QUERIES_PER_CLIENT = 5  # 20 queries >= the 16-query floor
+
+
+class TestConcurrentMatchesSerial:
+    def test_workload_rows_identical_to_serial(self, lineitem_env):
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        mix = default_mix()
+        serial = Session(catalog)
+        reference = {
+            entry.name: serial.execute(entry.query).rows for entry in mix
+        }
+
+        before = catalog.pool.counters()
+        with QueryService(catalog, workers=4, queue_depth=64) as service:
+            driver = WorkloadDriver(service, mix)
+            result = driver.run_closed_loop(
+                clients=CLIENTS,
+                queries_per_client=QUERIES_PER_CLIENT,
+                keep_results=True,
+            )
+        delta = catalog.pool.counters() - before
+
+        assert result.total == CLIENTS * QUERIES_PER_CLIENT
+        assert result.completed == result.total
+        assert result.failed == result.rejected == result.timed_out == 0
+
+        # Byte-identical results: exact tuple equality, no float tolerance.
+        for outcome in result.outcomes:
+            assert outcome.result is not None, outcome
+            assert outcome.result.rows == reference[outcome.name], outcome.name
+
+        # Per-query windows partition the pool's cumulative counters.
+        windows = [o.result.stats for o in result.outcomes]
+        assert sum(w.buffer_hits for w in windows) == delta.hits
+        assert sum(w.page_reads for w in windows) == delta.misses
+
+    def test_sixteen_queries_share_warm_pool(self, lineitem_env):
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        mix = default_mix()
+        with QueryService(catalog, workers=4, queue_depth=64) as service:
+            driver = WorkloadDriver(service, mix)
+            driver.run_closed_loop(clients=4, queries_per_client=1)  # warm
+            result = driver.run_closed_loop(clients=4, queries_per_client=4)
+        assert result.completed == 16
+        snapshot = service.metrics.snapshot()
+        assert snapshot["queries"]["completed"] == 20
+        # Warmed pool: the repeat queries hit the buffer, and SMA grading
+        # still skips buckets under concurrency.
+        assert snapshot["io"]["buffer_hit_rate"] > 0.5
+        assert snapshot["io"]["buckets_skipped"] > 0
+        assert snapshot["latency_s"]["overall"]["count"] == 20

@@ -65,7 +65,10 @@ class TestExecution:
     def test_column_accessor(self, session):
         result = session.execute(simple_query())
         assert result.column("flag") == ["A", "R"]
-        with pytest.raises(ValueError):
+
+    def test_column_accessor_names_available_columns(self, session):
+        result = session.execute(simple_query())
+        with pytest.raises(KeyError, match=r"'missing'.*'flag'"):
             result.column("missing")
 
     def test_stats_are_a_window_delta(self, session, catalog):

@@ -1,0 +1,165 @@
+"""Unit tests for the admission-controlled worker-pool executor.
+
+The run function here is a stub — these tests pin down the lifecycle
+machinery (admission bound, rejection, cancellation, queued timeouts,
+shutdown) independent of query execution.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServerError,
+    ServerOverloadedError,
+    ServerShutdownError,
+)
+from repro.server.executor import QueryExecutor, TicketState
+
+
+class Gate:
+    """A run_fn that blocks every ticket until released, recording calls."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+        self.ran: list = []
+        self._lock = threading.Lock()
+
+    def __call__(self, ticket):
+        self.entered.set()
+        assert self.release.wait(10.0), "gate never released"
+        with self._lock:
+            self.ran.append(ticket.payload)
+        return ("done", ticket.payload)
+
+
+def test_runs_and_returns_results():
+    with QueryExecutor(lambda t: t.payload * 2, workers=2, queue_depth=8) as ex:
+        tickets = [ex.submit(i) for i in range(6)]
+        assert [t.result(10.0) for t in tickets] == [0, 2, 4, 6, 8, 10]
+        assert all(t.state is TicketState.DONE for t in tickets)
+        assert all(t.queue_wait_s >= 0 for t in tickets)
+
+
+def test_submit_requires_start():
+    executor = QueryExecutor(lambda t: None, workers=1, queue_depth=1)
+    with pytest.raises(ServerError):
+        executor.submit("x")
+
+
+def test_rejects_when_queue_full_and_recovers():
+    gate = Gate()
+    with QueryExecutor(gate, workers=1, queue_depth=2) as ex:
+        first = ex.submit("running")
+        assert gate.entered.wait(10.0)  # worker busy, queue empty
+        queued = [ex.submit("q1"), ex.submit("q2")]
+        with pytest.raises(ServerOverloadedError):
+            ex.submit("overflow")
+        gate.release.set()
+        assert first.result(10.0) == ("done", "running")
+        for ticket in queued:
+            ticket.result(10.0)
+    assert gate.ran == ["running", "q1", "q2"]
+
+
+def test_cancel_queued_ticket_never_runs():
+    gate = Gate()
+    with QueryExecutor(gate, workers=1, queue_depth=4) as ex:
+        ex.submit("running")
+        assert gate.entered.wait(10.0)
+        victim = ex.submit("victim")
+        assert victim.cancel() is True
+        gate.release.set()
+        with pytest.raises(QueryCancelledError):
+            victim.result(10.0)
+        assert victim.state is TicketState.CANCELLED
+    assert "victim" not in gate.ran
+
+
+def test_cancel_after_settle_returns_false():
+    with QueryExecutor(lambda t: t.payload, workers=1, queue_depth=4) as ex:
+        ticket = ex.submit("x")
+        ticket.result(10.0)
+        assert ticket.cancel() is False
+
+
+def test_queued_deadline_expires_without_running():
+    gate = Gate()
+    with QueryExecutor(gate, workers=1, queue_depth=4) as ex:
+        ex.submit("running")
+        assert gate.entered.wait(10.0)
+        doomed = ex.submit("doomed", timeout_s=0.02)
+        time.sleep(0.1)  # let the deadline pass while queued
+        gate.release.set()
+        with pytest.raises(QueryTimeoutError):
+            doomed.result(10.0)
+        assert doomed.state is TicketState.TIMED_OUT
+    assert "doomed" not in gate.ran
+
+
+def test_run_fn_exception_settles_failed():
+    def boom(ticket):
+        raise RuntimeError("kaput")
+
+    with QueryExecutor(boom, workers=1, queue_depth=4) as ex:
+        ticket = ex.submit("x")
+        with pytest.raises(RuntimeError, match="kaput"):
+            ticket.result(10.0)
+        assert ticket.state is TicketState.FAILED
+        # The worker survived the exception.
+        again = ex.submit("y")
+        with pytest.raises(RuntimeError):
+            again.result(10.0)
+
+
+def test_skipped_fn_sees_queued_cancellations():
+    gate = Gate()
+    skipped = []
+    ex = QueryExecutor(
+        gate, workers=1, queue_depth=4, skipped_fn=lambda t: skipped.append(t.payload)
+    )
+    with ex:
+        ex.submit("running")
+        assert gate.entered.wait(10.0)
+        victim = ex.submit("victim")
+        victim.cancel()
+        gate.release.set()
+        victim.wait(10.0)
+    assert skipped == ["victim"]
+
+
+def test_submit_after_shutdown_raises():
+    executor = QueryExecutor(lambda t: t.payload, workers=1, queue_depth=2)
+    executor.start()
+    executor.shutdown(wait=True)
+    with pytest.raises(ServerShutdownError):
+        executor.submit("late")
+
+
+def test_shutdown_cancel_pending_does_not_hang():
+    gate = Gate()
+    executor = QueryExecutor(gate, workers=1, queue_depth=8)
+    executor.start()
+    executor.submit("running")
+    assert gate.entered.wait(10.0)
+    pending = [executor.submit(f"p{i}") for i in range(4)]
+    # Cancel the backlog while the worker is still blocked, then release
+    # and join — the pending tickets must settle without running.
+    executor.shutdown(wait=False, cancel_pending=True)
+    gate.release.set()
+    executor.shutdown(wait=True)
+    for ticket in pending:
+        assert ticket.done()
+    # The running one finished; the pending ones were cancelled unrun.
+    assert gate.ran == ["running"]
+
+
+def test_invalid_sizing():
+    with pytest.raises(ServerError):
+        QueryExecutor(lambda t: None, workers=0, queue_depth=1)
+    with pytest.raises(ServerError):
+        QueryExecutor(lambda t: None, workers=1, queue_depth=0)

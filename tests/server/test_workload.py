@@ -1,0 +1,122 @@
+"""Tests for the workload driver (closed and open loop) on a real catalog."""
+
+import datetime
+
+import pytest
+
+from repro.core import count_star, total
+from repro.errors import ReproError
+from repro.lang import cmp, col
+from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+from repro.query.session import Session
+from repro.server import (
+    QueryService,
+    WorkloadDriver,
+    WorkloadQuery,
+    expand_mix,
+    render_workload,
+)
+
+from ..conftest import BASE_DATE
+
+
+def sales_mix() -> list[WorkloadQuery]:
+    aggregate = AggregateQuery(
+        table="SALES",
+        aggregates=(
+            OutputAggregate("N", count_star()),
+            OutputAggregate("SQ", total(col("qty"))),
+        ),
+        where=cmp("ship", "<=", BASE_DATE + datetime.timedelta(days=25)),
+        group_by=("flag",),
+        order_by=("flag",),
+    )
+    scan = ScanQuery(
+        table="SALES",
+        where=cmp("ship", "<=", BASE_DATE + datetime.timedelta(days=2)),
+        columns=("id", "qty"),
+    )
+    return [
+        WorkloadQuery("agg", aggregate, weight=2),
+        WorkloadQuery("scan", scan, weight=1),
+    ]
+
+
+@pytest.fixture
+def served_catalog(catalog, sales_table, sales_sma_set):
+    return catalog
+
+
+class TestMix:
+    def test_expand_mix_respects_weights(self):
+        mix = sales_mix()
+        expanded = expand_mix(mix)
+        assert len(expanded) == 3
+        assert [e.name for e in expanded] == ["agg", "agg", "scan"]
+
+    def test_empty_mix_rejected(self, served_catalog):
+        with QueryService(served_catalog) as service:
+            with pytest.raises(ReproError):
+                WorkloadDriver(service, [])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadQuery("bad", "SELECT 1", weight=0)
+
+    def test_schedule_is_deterministic(self, served_catalog):
+        with QueryService(served_catalog) as service:
+            driver = WorkloadDriver(service, sales_mix())
+            assert [e.name for e in driver.schedule(7)] == [
+                "agg", "agg", "scan", "agg", "agg", "scan", "agg",
+            ]
+
+
+class TestClosedLoop:
+    def test_completes_all_and_matches_serial(self, served_catalog):
+        serial = Session(served_catalog)
+        mix = sales_mix()
+        reference = {
+            entry.name: serial.execute(entry.query).rows for entry in mix
+        }
+        with QueryService(served_catalog, workers=4, queue_depth=64) as service:
+            driver = WorkloadDriver(service, mix)
+            result = driver.run_closed_loop(
+                clients=4, queries_per_client=4, keep_results=True
+            )
+        assert result.total == 16
+        assert result.completed == 16
+        assert result.rejected == result.failed == result.timed_out == 0
+        assert result.throughput_qps > 0
+        for outcome in result.outcomes:
+            assert outcome.error is None
+            assert outcome.result.rows == reference[outcome.name]
+
+    def test_render_workload_summary(self, served_catalog):
+        with QueryService(served_catalog, workers=2) as service:
+            driver = WorkloadDriver(service, sales_mix())
+            result = driver.run_closed_loop(clients=2, queries_per_client=2)
+        text = render_workload(result)
+        assert "4 queries" in text
+        assert "queries/s" in text
+
+    def test_invalid_args(self, served_catalog):
+        with QueryService(served_catalog) as service:
+            driver = WorkloadDriver(service, sales_mix())
+            with pytest.raises(ReproError):
+                driver.run_closed_loop(clients=0, queries_per_client=1)
+
+
+class TestOpenLoop:
+    def test_fixed_rate_run_completes(self, served_catalog):
+        with QueryService(served_catalog, workers=2, queue_depth=32) as service:
+            driver = WorkloadDriver(service, sales_mix())
+            result = driver.run_open_loop(rate_qps=200.0, total=10)
+        assert result.total == 10
+        assert result.completed + result.rejected == 10
+        assert result.completed > 0
+
+    def test_invalid_args(self, served_catalog):
+        with QueryService(served_catalog) as service:
+            driver = WorkloadDriver(service, sales_mix())
+            with pytest.raises(ReproError):
+                driver.run_open_loop(rate_qps=0, total=5)

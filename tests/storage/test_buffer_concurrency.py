@@ -1,0 +1,202 @@
+"""Concurrency tests for the thread-safe buffer pool and query contexts.
+
+The load-bearing property (ISSUE satellite): with every thread running
+inside its own ``query_context``, the per-query :class:`IoStats` deltas
+*partition* the pool's cumulative counters — their sum equals the growth
+of the pool-lifetime hit/miss counts exactly, no charge lost or
+double-counted under contention.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.storage.buffer import BufferPool
+from repro.storage.stats import IoStats
+
+
+def payload_for(file_id, page_no) -> bytes:
+    return f"{file_id}:{page_no}".encode()
+
+
+def loader_for(file_id, page_no):
+    return lambda: payload_for(file_id, page_no)
+
+
+class TestQueryContextResolution:
+    def test_stats_property_resolves_binding(self):
+        pool = BufferPool(capacity_pages=4)
+        default = pool.stats
+        window = IoStats()
+        with pool.query_context(window) as bound:
+            assert bound is window
+            assert pool.stats is window
+        assert pool.stats is default
+        assert pool.default_stats is default
+
+    def test_context_makes_fresh_stats_when_omitted(self):
+        pool = BufferPool(capacity_pages=4)
+        with pool.query_context() as window:
+            pool.read_page("f", 0, loader_for("f", 0))
+            assert window.page_reads == 1
+        assert pool.default_stats.page_reads == 0
+
+    def test_contexts_nest_and_restore(self):
+        pool = BufferPool(capacity_pages=4)
+        outer, inner = IoStats(), IoStats()
+        with pool.query_context(outer):
+            with pool.query_context(inner):
+                assert pool.stats is inner
+            assert pool.stats is outer
+
+    def test_reset_sequence_tracking_scoped_to_binding(self):
+        pool = BufferPool(capacity_pages=8)
+        pool.read_page("f", 0, loader_for("f", 0))  # shared tracker at 0
+        with pool.query_context() as window:
+            pool.reset_sequence_tracking()  # resets only the (empty) binding
+            pool.read_page("g", 0, loader_for("g", 0))
+            assert window.random_page_reads == 1
+        # The shared tracker survived the context's reset.
+        pool.read_page("f", 1, loader_for("f", 1))
+        assert pool.default_stats.sequential_page_reads == 1
+
+
+class TestCooperativeCancellation:
+    def test_cancel_event_raises_on_next_read(self):
+        pool = BufferPool(capacity_pages=4)
+        cancel = threading.Event()
+        with pool.query_context(cancel_event=cancel):
+            pool.read_page("f", 0, loader_for("f", 0))
+            cancel.set()
+            with pytest.raises(QueryCancelledError):
+                pool.read_page("f", 1, loader_for("f", 1))
+
+    def test_past_deadline_raises_timeout(self):
+        pool = BufferPool(capacity_pages=4)
+        with pool.query_context(deadline=0.0):  # monotonic 0 is long past
+            with pytest.raises(QueryTimeoutError):
+                pool.read_page("f", 0, loader_for("f", 0))
+
+    def test_timeout_is_a_cancellation(self):
+        assert issubclass(QueryTimeoutError, QueryCancelledError)
+
+
+class TestCumulativeCounters:
+    def test_counters_track_hits_misses_evictions_writes(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.read_page("f", 0, loader_for("f", 0))
+        pool.read_page("f", 0, loader_for("f", 0))
+        pool.read_page("f", 1, loader_for("f", 1))
+        pool.read_page("f", 2, loader_for("f", 2))  # evicts page 0
+        pool.note_write("f", 3, b"w")               # evicts page 1
+        counters = pool.counters()
+        assert counters.hits == 1
+        assert counters.misses == 3
+        assert counters.evictions == 2
+        assert counters.writes == 1
+        assert counters.accesses == 4
+        assert counters.hit_rate == pytest.approx(0.25)
+
+    def test_counters_diff(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.read_page("f", 0, loader_for("f", 0))
+        before = pool.counters()
+        pool.read_page("f", 0, loader_for("f", 0))
+        delta = pool.counters() - before
+        assert (delta.hits, delta.misses) == (1, 0)
+
+    def test_hit_rate_idle_pool(self):
+        assert BufferPool(capacity_pages=1).counters().hit_rate == 0.0
+
+
+class TestConcurrentPartitioning:
+    """The satellite property test: per-query deltas sum to pool counters."""
+
+    THREADS = 8
+    ROUNDS = 40
+
+    def _worker(self, pool, barrier, thread_no, windows, payload_errors):
+        window = IoStats()
+        windows[thread_no] = window
+        with pool.query_context(window):
+            barrier.wait()
+            # Each thread scans its own file sequentially (forcing misses
+            # and evictions) and re-reads a shared file (forcing hits and
+            # contention on the same LRU entries).
+            own = f"file-{thread_no}"
+            for page in range(self.ROUNDS):
+                got = pool.read_page(own, page, loader_for(own, page))
+                if got != payload_for(own, page):
+                    payload_errors.append((own, page, got))
+                got = pool.read_page("shared", page % 4,
+                                     loader_for("shared", page % 4))
+                if got != payload_for("shared", page % 4):
+                    payload_errors.append(("shared", page % 4, got))
+
+    def test_per_query_deltas_sum_to_pool_counters(self):
+        pool = BufferPool(capacity_pages=64)
+        # Pre-warm the shared pages so they mostly hit.
+        for page in range(4):
+            pool.read_page("shared", page, loader_for("shared", page))
+        before = pool.counters()
+
+        barrier = threading.Barrier(self.THREADS)
+        windows = [None] * self.THREADS
+        payload_errors: list = []
+        threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(pool, barrier, i, windows, payload_errors),
+            )
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not payload_errors, payload_errors[:5]
+        delta = pool.counters() - before
+        total_hits = sum(w.buffer_hits for w in windows)
+        total_misses = sum(w.page_reads for w in windows)
+        assert total_hits == delta.hits
+        assert total_misses == delta.misses
+        # Every logical access accounted for, exactly once.
+        assert total_hits + total_misses == 2 * self.THREADS * self.ROUNDS
+        # The LRU never overflows its capacity under contention.
+        assert len(pool) <= pool.capacity_pages
+
+    def test_sequence_isolation_under_interleaving(self):
+        """Interleaved physical reads of two queries must not turn each
+        other's sequential streams into phantom random I/O."""
+        pool = BufferPool(capacity_pages=1)  # every read is physical
+        steps = 10
+        turn = threading.Semaphore(1)
+        other_turn = threading.Semaphore(0)
+        windows = {"a": IoStats(), "b": IoStats()}
+
+        def scanner(name, pages, mine, theirs):
+            with pool.query_context(windows[name]):
+                for page in pages:
+                    mine.acquire()
+                    pool.read_page("f", page, loader_for("f", page))
+                    theirs.release()
+
+        # a scans 0..9 sequentially; b jumps around the same file.
+        a = threading.Thread(
+            target=scanner, args=("a", list(range(steps)), turn, other_turn)
+        )
+        b = threading.Thread(
+            target=scanner,
+            args=("b", [100 * (i + 1) for i in range(steps)], other_turn, turn),
+        )
+        a.start(); b.start()
+        a.join(); b.join()
+
+        # a: first read positions (random), the rest stream sequentially.
+        assert windows["a"].sequential_page_reads == steps - 1
+        assert windows["a"].random_page_reads == 1
+        # b: forward jumps are skips after the initial positioning.
+        assert windows["b"].random_page_reads == 1
+        assert windows["b"].skip_page_reads == steps - 1
