@@ -4,9 +4,18 @@ Scale is controlled by the ``REPRO_BENCH_SF`` environment variable
 (default 0.02 ≈ 120k LINEITEM tuples, a few seconds per experiment).
 Every paper table/figure has one benchmark; each prints its paper-style
 result table (visible with ``pytest benchmarks/ --benchmark-only -s``).
+
+Every experiment run through :func:`run_once` additionally writes a
+machine-readable ``BENCH_<exp_id>.json`` next to the repo root (or into
+``REPRO_BENCH_OUT`` when set): metric name/value/unit triples plus the
+run configuration and git revision, so CI can archive benchmark results
+as artifacts and compare across commits.
 """
 
+import json
 import os
+import subprocess
+from pathlib import Path
 
 import pytest
 
@@ -16,11 +25,72 @@ def bench_sf() -> float:
     return float(os.environ.get("REPRO_BENCH_SF", "0.02"))
 
 
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 - best effort; not in a checkout, no git
+        return "unknown"
+
+
+def _metric_unit(name: str) -> str:
+    """Best-effort unit from the metric naming conventions used here."""
+    if name.startswith("qps") or "_qps" in name:
+        return "queries/s"
+    if "speedup" in name or name.endswith("_ratio"):
+        return "x"
+    if "rate" in name or "fraction" in name:
+        return "fraction"
+    if "wall" in name or name.endswith("_s") or "seconds" in name:
+        return "s"
+    if "bytes" in name:
+        return "bytes"
+    if "completed" in name or name.startswith("num_") or name.endswith("_count"):
+        return "count"
+    return "value"
+
+
+def write_bench_json(result, config: dict) -> Path:
+    """Serialize one ExperimentResult to ``BENCH_<exp_id>.json``."""
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent.parent)
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{result.exp_id}.json"
+    document = {
+        "experiment": result.exp_id,
+        "title": result.title,
+        "git_rev": _git_rev(),
+        "config": {
+            key: value
+            for key, value in sorted(config.items())
+            if isinstance(value, (int, float, str, bool, list, tuple))
+        },
+        "metrics": [
+            {"name": name, "value": value, "unit": _metric_unit(name)}
+            for name, value in sorted(result.metrics.items())
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2, default=list) + "\n")
+    return path
+
+
 def run_once(benchmark, experiment, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Prints the paper-style table and writes ``BENCH_<exp_id>.json``.
+    """
     result = benchmark.pedantic(
         lambda: experiment(**kwargs), rounds=1, iterations=1
     )
     print()
     print(result.render())
+    written = write_bench_json(result, kwargs)
+    print(f"wrote {written}")
     return result

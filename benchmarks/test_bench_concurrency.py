@@ -1,17 +1,28 @@
-"""C1 — concurrent serving throughput at 1, 4 and 16 workers.
+"""C1/C2 — concurrency benchmarks over the shared striped buffer pool.
 
-Workers share one buffer pool; the closed-loop driver keeps every
-worker saturated.  Python's GIL bounds CPU parallelism, so the
-assertion is that throughput *holds* as workers grow (shared pool and
-admission control add no collapse), not that it scales linearly.
+C1: concurrent serving throughput at 1, 4 and 16 workers.  Workers
+share one buffer pool; the closed-loop driver keeps every worker
+saturated.  Python's GIL bounds CPU parallelism, so the assertion is
+that throughput *holds* as workers grow (shared pool and admission
+control add no collapse), not that it scales linearly.
+
+C2: morsel-driven intra-query scan parallelism — Query 1 forced-scan
+wall time and mix throughput at 1/2/4/8 scan workers x 1/4/16 clients,
+with results verified byte-identical to serial inside the experiment.
 """
 
-from repro.bench.concurrency import exp_concurrency_throughput
+from repro.bench.concurrency import (
+    exp_concurrency_throughput,
+    exp_scan_parallelism,
+)
 
 from conftest import run_once
 
 WORKER_COUNTS = (1, 4, 16)
 QUERIES_PER_CLIENT = 4
+
+SCAN_WORKER_COUNTS = (1, 2, 4, 8)
+CLIENT_COUNTS = (1, 4, 16)
 
 
 def test_bench_concurrency_throughput(benchmark, bench_sf):
@@ -31,3 +42,26 @@ def test_bench_concurrency_throughput(benchmark, bench_sf):
     # Concurrency must not collapse throughput: 16 workers on the warm
     # shared pool should stay within 3x of single-worker throughput.
     assert result.metric("qps_w16") > result.metric("qps_w1") / 3
+
+
+def test_bench_scan_parallelism(benchmark, bench_sf):
+    result = run_once(
+        benchmark,
+        exp_scan_parallelism,
+        scale_factor=bench_sf,
+        scan_worker_counts=SCAN_WORKER_COUNTS,
+        client_counts=CLIENT_COUNTS,
+        queries_per_client=2,
+        repeats=2,
+    )
+    # The experiment itself raises if any parallel result diverges from
+    # serial or any query is lost; here we sanity-check the metrics.
+    for scan_workers in SCAN_WORKER_COUNTS:
+        assert result.metric(f"scan_wall_sw{scan_workers}") > 0
+        assert result.metric(f"scan_speedup_sw{scan_workers}") > 0
+        for clients in CLIENT_COUNTS:
+            assert result.metric(f"qps_sw{scan_workers}_c{clients}") > 0
+    assert result.metric("scan_speedup_sw1") == 1.0
+    # Morsel dispatch must not collapse the scan: even GIL-bound, 4
+    # workers should stay within 2x of the serial wall time.
+    assert result.metric("scan_speedup_sw4") > 0.5

@@ -1302,7 +1302,10 @@ def exp_scaling_linearity(
     )
 
 
-from repro.bench.concurrency import exp_concurrency_throughput
+from repro.bench.concurrency import (
+    exp_concurrency_throughput,
+    exp_scan_parallelism,
+)
 
 #: Every experiment, in the DESIGN.md index order — drives EXPERIMENTS.md
 #: regeneration and the full bench run.
@@ -1326,4 +1329,5 @@ ALL_EXPERIMENTS = (
     exp_scaling_linearity,
     exp_versatility,
     exp_concurrency_throughput,
+    exp_scan_parallelism,
 )

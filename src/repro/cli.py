@@ -35,8 +35,10 @@ from repro.query.session import Session
 from repro.storage.catalog import Catalog
 
 
-def _open_catalog(path: str, buffer_pages: int) -> Catalog:
-    return Catalog.discover(path, buffer_pages=buffer_pages)
+def _open_catalog(
+    path: str, buffer_pages: int, stripes: int | None = None
+) -> Catalog:
+    return Catalog.discover(path, buffer_pages=buffer_pages, stripes=stripes)
 
 
 def cmd_load(args: argparse.Namespace) -> int:
@@ -94,8 +96,8 @@ def cmd_define(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    catalog = _open_catalog(args.db, args.buffer_pages)
-    session = Session(catalog)
+    catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
+    session = Session(catalog, scan_workers=args.scan_workers)
     result = session.sql(args.sql, mode=args.mode, cold=args.cold)
     print(result)
     print()
@@ -174,7 +176,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: --workers, --queue, --clients and --queries must be >= 1",
               file=sys.stderr)
         return 1
-    catalog = _open_catalog(args.db, args.buffer_pages)
+    catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
     if not catalog.has_table("LINEITEM"):
         print("error: catalog has no LINEITEM table; run `repro load` first",
               file=sys.stderr)
@@ -186,6 +188,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_depth=args.queue,
         default_timeout_s=timeout,
+        scan_workers=args.scan_workers,
     ) as service:
         driver = WorkloadDriver(service, default_mix())
         if args.rate:
@@ -226,6 +229,7 @@ _EXPERIMENT_IDS = {
     "exp_bitmap_vs_sma": "X6",
     "exp_versatility": "X7",
     "exp_concurrency_throughput": "C1",
+    "exp_scan_parallelism": "C2",
 }
 
 
@@ -239,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_db(p: argparse.ArgumentParser) -> None:
         p.add_argument("--db", required=True, help="catalog directory")
         p.add_argument("--buffer-pages", type=int, default=2048)
+        p.add_argument("--stripes", type=int, default=None,
+                       help="buffer pool lock stripes (default: sized "
+                       "automatically from --buffer-pages)")
 
     p_load = sub.add_parser("load", help="generate and load TPC-D data")
     add_db(p_load)
@@ -264,6 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("sql", help="SELECT statement")
     p_query.add_argument("--mode", choices=("auto", "sma", "scan"), default="auto")
     p_query.add_argument("--cold", action="store_true")
+    p_query.add_argument("--scan-workers", type=int, default=1,
+                         help="morsel-scan threads for this query (default 1)")
     p_query.set_defaults(func=cmd_query)
 
     p_info = sub.add_parser("info", help="describe a catalog")
@@ -291,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--rate", type=float, default=None,
                          help="open-loop arrival rate in queries/s "
                          "(default: closed loop)")
+    p_serve.add_argument("--scan-workers", type=int, default=1,
+                         help="morsel-scan threads per running query "
+                         "(default 1: serial scans)")
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="per-query timeout in seconds (default: none)")
     p_serve.add_argument("--report", action="store_true",

@@ -27,13 +27,22 @@ from repro.storage.types import TypeKind, int_to_date
 
 
 class _GroupState:
-    """Mutable accumulator for one group."""
+    """Mutable accumulator for one group.
+
+    SUM/AVG contributions are kept as an *ordered list* of per-batch
+    partial sums and folded left-to-right at finalize time.  The fold
+    reproduces exactly the floating-point result of a running ``+=`` in
+    contribution order — which means a morsel-parallel execution that
+    concatenates its workers' contribution lists in morsel (= bucket)
+    order finalizes to results byte-identical to the serial plan.
+    """
 
     __slots__ = ("count", "sums", "mins", "maxs")
 
     def __init__(self, num_aggregates: int):
         self.count = 0
-        self.sums = [0] * num_aggregates  # SUM and AVG running totals
+        #: per-aggregate ordered lists of SUM/AVG contributions
+        self.sums: list[list] = [[] for _ in range(num_aggregates)]
         self.mins: list[object] = [None] * num_aggregates
         self.maxs: list[object] = [None] * num_aggregates
 
@@ -99,7 +108,7 @@ class AggregationState:
                 if mask is not None:
                     values = values[mask]
                 if kind in (AggregateKind.SUM, AggregateKind.AVG):
-                    state.sums[i] += values.sum()
+                    state.sums[i].append(values.sum())
                 elif kind is AggregateKind.MIN:
                     low = values.min()
                     if state.mins[i] is None or low < state.mins[i]:
@@ -118,7 +127,7 @@ class AggregationState:
             self._state(key).count += int(count)
 
     def advance_sum(self, key: GroupKey, index: int, total: object) -> None:
-        self._state(key).sums[index] += total
+        self._state(key).sums[index].append(total)
 
     def advance_min(self, key: GroupKey, index: int, value: object) -> None:
         state = self._state(key)
@@ -131,8 +140,45 @@ class AggregationState:
             state.maxs[index] = value
 
     # ------------------------------------------------------------------
+    # merging partial states (morsel-parallel scans)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "AggregationState") -> None:
+        """Fold *other* (a partial state over disjoint tuples) into self.
+
+        Contribution order is preserved: *other*'s per-group SUM/AVG
+        contributions append after the ones already held here.  Merging
+        per-morsel partials in morsel order therefore reconstructs the
+        exact contribution sequence a serial execution would have built,
+        and :meth:`finalize` returns byte-identical results.
+        """
+        if other.aggregates != self.aggregates or other.group_by != self.group_by:
+            raise ExecutionError("cannot merge aggregation states of different queries")
+        for key, partial in other._groups.items():
+            state = self._state(key)
+            state.count += partial.count
+            for i in range(len(self.aggregates)):
+                state.sums[i].extend(partial.sums[i])
+                low = partial.mins[i]
+                if low is not None and (state.mins[i] is None or low < state.mins[i]):
+                    state.mins[i] = low
+                high = partial.maxs[i]
+                if high is not None and (state.maxs[i] is None or high > state.maxs[i]):
+                    state.maxs[i] = high
+
+    # ------------------------------------------------------------------
     # finalize (phase three)
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fold_sum(contributions: list) -> object:
+        # Left fold from int 0: operation-for-operation what the old
+        # running ``+=`` accumulator computed, so finalized sums are
+        # bit-identical to pre-contribution-list behaviour.
+        total: object = 0
+        for part in contributions:
+            total = total + part
+        return total
 
     def _finalize_value(self, state: _GroupState, index: int) -> object:
         kind = self.aggregates[index].spec.kind
@@ -141,12 +187,12 @@ class AggregationState:
         if kind is AggregateKind.SUM:
             if state.count == 0:
                 return None
-            total = state.sums[index]
+            total = self._fold_sum(state.sums[index])
             return total.item() if isinstance(total, np.generic) else total
         if kind is AggregateKind.AVG:
             if state.count == 0:
                 return None
-            total = state.sums[index]
+            total = self._fold_sum(state.sums[index])
             return float(total) / state.count
         store = state.mins if kind is AggregateKind.MIN else state.maxs
         value = store[index]

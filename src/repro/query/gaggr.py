@@ -2,14 +2,21 @@
 
 The plain (SMA-less) pipeline breaker: consume the child operator fully,
 group tuples, advance aggregates, finalize averages.  Used as the
-baseline side of every runtime experiment.
+baseline side of every runtime experiment.  :class:`ParallelGAggr` is
+the morsel-driven variant the planner builds when scan parallelism is
+enabled: workers fold disjoint bucket ranges into partial
+:class:`AggregationState` instances that merge deterministically, so the
+result is byte-identical to the serial fold.
 """
 
 from __future__ import annotations
 
+from repro.lang.predicate import Predicate
 from repro.query.aggregation import AggregationState
 from repro.query.iterators import Operator
+from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
 from repro.query.query import OutputAggregate
+from repro.storage.table import Table
 
 
 class GAggr:
@@ -30,4 +37,55 @@ class GAggr:
         state = AggregationState(self.child.schema, self.group_by, self.aggregates)
         for batch in self.child.batches():
             state.consume_batch(batch)
+        return state.finalize()
+
+
+class ParallelGAggr:
+    """Morsel-parallel grouping-aggregation over a full-table scan.
+
+    Result-equivalent to ``GAggr(Filter(SeqScan(table), predicate))``:
+    each worker scans a morsel of buckets in order, filters, and folds
+    into a partial state; partials merge in morsel order (see
+    :meth:`AggregationState.merge` for why that is byte-exact).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        predicate: Predicate,
+        group_by: tuple[str, ...],
+        aggregates: tuple[OutputAggregate, ...],
+        parallelism: ScanParallelism,
+    ):
+        self.table = table
+        self.predicate = predicate.bind(table.schema)
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.parallelism = parallelism
+
+    def _morsel_task(self, morsel: list[int]):
+        def task() -> AggregationState:
+            stats = self.table.heap.pool.stats  # worker's child window
+            partial = AggregationState(
+                self.table.schema, self.group_by, self.aggregates
+            )
+            for bucket_no in morsel:
+                records = self.table.read_bucket(bucket_no)
+                stats.buckets_fetched += 1
+                stats.tuples_scanned += len(records)
+                mask = self.predicate.evaluate(records)
+                partial.consume_batch(records if mask.all() else records[mask])
+            return partial
+
+        return task
+
+    def execute(self) -> tuple[list[str], list[tuple]]:
+        state = AggregationState(self.table.schema, self.group_by, self.aggregates)
+        morsels = make_morsels(
+            range(self.table.num_buckets), self.parallelism.morsel_buckets
+        )
+        tasks = [self._morsel_task(morsel) for morsel in morsels]
+        pool = self.table.heap.pool
+        for partial in run_morsels(pool, tasks, self.parallelism.workers):
+            state.merge(partial)
         return state.finalize()

@@ -19,6 +19,7 @@ from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
 from repro.errors import ExecutionError
 from repro.lang.predicate import Predicate
+from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 
@@ -157,3 +158,68 @@ class SmaScan(Operator):
             else:
                 mask = self.predicate.evaluate(records)
                 yield records[mask]
+
+
+class MorselScan(Operator):
+    """Morsel-parallel selection scan, batch-equivalent to the serial plans.
+
+    Covers both shapes the planner builds for tuple-returning queries:
+    without a partitioning it behaves like ``Filter(SeqScan(table))``;
+    with one it behaves like :class:`SmaScan` (disqualifying buckets
+    skipped, qualifying buckets returned unfiltered, ambivalent buckets
+    filtered tuple-wise).  The bucket list is chunked into morsels that
+    scan workers fetch and filter concurrently; batches are yielded in
+    bucket order, so downstream results are byte-identical to serial.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        predicate: Predicate,
+        parallelism: ScanParallelism,
+        partitioning: BucketPartitioning | None = None,
+    ):
+        self.table = table
+        self.predicate = predicate.bind(table.schema)
+        self.parallelism = parallelism
+        self.partitioning = partitioning
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    def _morsel_task(self, morsel: list[int]):
+        qualifying = (
+            self.partitioning.qualifying if self.partitioning is not None else None
+        )
+
+        def task() -> list[np.ndarray]:
+            # pool.stats must resolve on the *worker* thread: inside the
+            # dispatcher it is the worker's private child window.
+            stats = self.table.heap.pool.stats
+            out: list[np.ndarray] = []
+            for bucket_no in morsel:
+                records = self.table.read_bucket(bucket_no)
+                stats.buckets_fetched += 1
+                stats.tuples_scanned += len(records)
+                if qualifying is not None and qualifying[bucket_no]:
+                    out.append(records)
+                else:
+                    mask = self.predicate.evaluate(records)
+                    out.append(records if mask.all() else records[mask])
+            return out
+
+        return task
+
+    def batches(self) -> Iterator[np.ndarray]:
+        pool = self.table.heap.pool
+        if self.partitioning is None:
+            bucket_nos = list(range(self.table.num_buckets))
+        else:
+            fetched = ~self.partitioning.disqualifying
+            pool.stats.buckets_skipped += self.partitioning.num_disqualifying
+            bucket_nos = [int(b) for b in np.flatnonzero(fetched)]
+        morsels = make_morsels(bucket_nos, self.parallelism.morsel_buckets)
+        tasks = [self._morsel_task(morsel) for morsel in morsels]
+        for part in run_morsels(pool, tasks, self.parallelism.workers):
+            yield from part

@@ -1,0 +1,145 @@
+"""Morsel-driven intra-query scan parallelism.
+
+A query's bucket list — *after* SMA grading, so disqualifying buckets
+are already gone and qualifying buckets never touch the heap — is split
+into fixed-size *morsels* (contiguous runs of bucket numbers) dispatched
+to a small worker pool, in the spirit of morsel-driven parallelism
+(Leis et al., SIGMOD 2014) adapted to this engine's bucket-batch
+iterators.
+
+Determinism is the design constraint: every morsel produces a *partial*
+result (filtered batches, or partial per-group aggregates) and the
+dispatcher merges partials **in morsel order**, so the parallel plan is
+byte-identical to the serial plan — same rows, same floating-point
+aggregate bits (see :meth:`AggregationState.merge`).
+
+Accounting: each worker runs inside its own
+:meth:`~repro.storage.buffer.BufferPool.query_context` child window
+carrying the parent query's cancel event and deadline.  After all
+morsels settle, the dispatcher merges every child window into the
+calling thread's window in morsel order — the per-query
+:class:`~repro.storage.stats.IoStats` delta stays exact, and windows of
+concurrent queries keep partitioning the pool's cumulative counters.
+Sequential/skip/random classification runs per worker context, which
+models each worker as its own disk stream: a morsel's first page costs
+one positioning access, the rest of the morsel streams.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import ExecutionError
+from repro.storage.buffer import BufferPool
+from repro.storage.stats import IoStats
+
+T = TypeVar("T")
+
+#: Buckets per morsel.  Small enough to load-balance skewed bucket
+#: costs across workers, large enough that each worker's page stream
+#: is mostly sequential.
+DEFAULT_MORSEL_BUCKETS = 8
+
+
+@dataclass(frozen=True)
+class ScanParallelism:
+    """Knobs for morsel-driven scans: worker count and morsel size."""
+
+    workers: int = 1
+    morsel_buckets: int = DEFAULT_MORSEL_BUCKETS
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExecutionError(f"scan workers must be >= 1, got {self.workers}")
+        if self.morsel_buckets < 1:
+            raise ExecutionError(
+                f"morsel_buckets must be >= 1, got {self.morsel_buckets}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers > 1
+
+    @classmethod
+    def serial(cls) -> "ScanParallelism":
+        return cls(workers=1)
+
+
+def resolve_parallelism(
+    value: "ScanParallelism | int | None",
+) -> ScanParallelism | None:
+    """Normalize a workers-count / config / None into a config or None."""
+    if value is None:
+        return None
+    if isinstance(value, int):
+        return ScanParallelism(workers=value)
+    return value
+
+
+def make_morsels(
+    bucket_nos: Sequence[int], morsel_buckets: int = DEFAULT_MORSEL_BUCKETS
+) -> list[list[int]]:
+    """Chunk *bucket_nos* (already in scan order) into fixed-size morsels."""
+    if morsel_buckets < 1:
+        raise ExecutionError(f"morsel_buckets must be >= 1, got {morsel_buckets}")
+    buckets = [int(b) for b in bucket_nos]
+    return [
+        buckets[start : start + morsel_buckets]
+        for start in range(0, len(buckets), morsel_buckets)
+    ]
+
+
+def run_morsels(
+    pool: BufferPool,
+    tasks: Sequence[Callable[[], T]],
+    workers: int,
+    *,
+    name: str = "repro-scan",
+) -> list[T]:
+    """Run *tasks* (one per morsel) on *workers* threads; results in order.
+
+    Each task executes inside its own buffer-pool query context (a fresh
+    :class:`IoStats` child window, inheriting the calling context's
+    cancel event and deadline).  Once every task has settled, the child
+    windows are merged into the calling thread's window **in task
+    order** — including windows of failed tasks, whose physical reads
+    already reached the pool's cumulative counters and must not escape
+    the query's delta.  The first exception in task order is re-raised.
+    """
+    if not tasks:
+        return []
+    if workers <= 1 or len(tasks) == 1:
+        # Serial degenerate case: run inline on the caller's own window.
+        return [task() for task in tasks]
+
+    cancel_event, deadline = pool.binding_controls()
+    parent = pool.stats
+    windows = [IoStats() for _ in tasks]
+    results: list[T | None] = [None] * len(tasks)
+    errors: list[BaseException | None] = [None] * len(tasks)
+
+    def run_one(index: int) -> None:
+        task = tasks[index]
+        try:
+            with pool.query_context(
+                windows[index], cancel_event=cancel_event, deadline=deadline
+            ):
+                results[index] = task()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in order below
+            errors[index] = exc
+
+    with ThreadPoolExecutor(
+        max_workers=min(workers, len(tasks)), thread_name_prefix=name
+    ) as executor:
+        futures = [executor.submit(run_one, i) for i in range(len(tasks))]
+        for future in futures:
+            future.result()  # run_one never raises; this is just a join
+
+    for window in windows:
+        parent.merge(window)
+    for error in errors:
+        if error is not None:
+            raise error
+    return [result for result in results]  # all set: no error, every task ran

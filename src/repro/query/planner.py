@@ -28,8 +28,9 @@ from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
 from repro.errors import PlanningError
 from repro.lang.predicate import Predicate, atoms
-from repro.query.gaggr import GAggr
-from repro.query.iterators import Filter, Project, SeqScan, SmaScan
+from repro.query.gaggr import GAggr, ParallelGAggr
+from repro.query.iterators import Filter, MorselScan, Project, SeqScan, SmaScan
+from repro.query.parallel import ScanParallelism, resolve_parallelism
 from repro.query.query import AggregateQuery, ScanQuery
 from repro.query.sma_gaggr import SmaGAggr, sma_covers, sma_requirements
 from repro.storage.catalog import Catalog
@@ -93,9 +94,22 @@ def fetch_io_profile(
 class Planner:
     """Chooses and builds physical plans against one catalog."""
 
-    def __init__(self, catalog: Catalog, disk_model: DiskModel = PAPER_DISK):
+    def __init__(
+        self,
+        catalog: Catalog,
+        disk_model: DiskModel = PAPER_DISK,
+        parallelism: ScanParallelism | int | None = None,
+    ):
         self.catalog = catalog
         self.disk_model = disk_model
+        #: morsel-parallel scan config; None or workers=1 keeps every
+        #: plan on the serial operators.
+        self.parallelism = resolve_parallelism(parallelism)
+
+    @property
+    def _parallel(self) -> ScanParallelism | None:
+        p = self.parallelism
+        return p if p is not None and p.enabled else None
 
     # ------------------------------------------------------------------
     # candidate selection
@@ -161,9 +175,17 @@ class Planner:
 
         def scan_plan(reason: str, info_extra: dict | None = None) -> Plan:
             info = PlanInfo(strategy="gaggr", reason=reason, **(info_extra or {}))
-            operator = GAggr(
-                Filter(SeqScan(table), predicate), query.group_by, query.aggregates
-            )
+            parallel = self._parallel
+            if parallel is not None:
+                operator = ParallelGAggr(
+                    table, predicate, query.group_by, query.aggregates, parallel
+                )
+            else:
+                operator = GAggr(
+                    Filter(SeqScan(table), predicate),
+                    query.group_by,
+                    query.aggregates,
+                )
             return Plan(info, operator.execute)
 
         if mode == "scan":
@@ -211,6 +233,7 @@ class Planner:
             query.aggregates,
             chosen_set,
             partitioning=partitioning,
+            parallelism=self._parallel,
         )
         return Plan(info, operator.execute)
 
@@ -289,6 +312,9 @@ class Planner:
 
         def scan_plan(reason: str) -> Plan:
             info = PlanInfo(strategy="seq_scan", reason=reason)
+            parallel = self._parallel
+            if parallel is not None:
+                return Plan(info, finish(MorselScan(table, predicate, parallel)))
             return Plan(info, finish(Filter(SeqScan(table), predicate)))
 
         if mode == "scan":
@@ -342,5 +368,13 @@ class Planner:
         )
         if mode == "auto" and est_scan < est_sma:
             return scan_plan("cost-based: scan is cheaper")
-        operator = SmaScan(table, predicate, chosen_set, partitioning=partitioning)
+        parallel = self._parallel
+        if parallel is not None:
+            operator = MorselScan(
+                table, predicate, parallel, partitioning=partitioning
+            )
+        else:
+            operator = SmaScan(
+                table, predicate, chosen_set, partitioning=partitioning
+            )
         return Plan(info, finish(operator))

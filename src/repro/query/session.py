@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import PlanningError
+from repro.query.parallel import DEFAULT_MORSEL_BUCKETS, ScanParallelism
 from repro.query.planner import Plan, PlanInfo, Planner
 from repro.query.query import AggregateQuery, ScanQuery
 from repro.storage.catalog import Catalog
@@ -79,13 +80,56 @@ def _sort_rows(
     return ordered
 
 
-class Session:
-    """Execute queries against a catalog with full cost accounting."""
+def assert_same_result(actual: QueryResult, expected: QueryResult) -> None:
+    """Assert two executions produced the same relation, byte for byte.
 
-    def __init__(self, catalog: Catalog, disk_model: DiskModel = PAPER_DISK):
+    Compares columns and rows only — accounting and timing legitimately
+    differ between runs.  Values must be *identical* (``1.0 != 1.0 + 1e-18``
+    fails): the morsel-parallel operators promise bit-equal floating
+    point results, and the integration tests hold them to it.
+    """
+    if actual.columns != expected.columns:
+        raise AssertionError(
+            f"column mismatch: {actual.columns} != {expected.columns}"
+        )
+    if len(actual.rows) != len(expected.rows):
+        raise AssertionError(
+            f"row count mismatch: {len(actual.rows)} != {len(expected.rows)}"
+        )
+    for i, (got, want) in enumerate(zip(actual.rows, expected.rows)):
+        if got != want:
+            raise AssertionError(f"row {i} differs: {got!r} != {want!r}")
+        for j, (a, b) in enumerate(zip(got, want)):
+            # Catch near-equal floats that compare == only after rounding
+            # display; repr equality is bit equality for Python floats.
+            if isinstance(a, float) and isinstance(b, float) and repr(a) != repr(b):
+                raise AssertionError(
+                    f"row {i} column {j} not bit-identical: {a!r} != {b!r}"
+                )
+
+
+class Session:
+    """Execute queries against a catalog with full cost accounting.
+
+    ``scan_workers`` > 1 enables morsel-driven intra-query parallelism:
+    the planner swaps the serial scan operators for their morsel
+    variants, whose results are byte-identical to serial execution.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        disk_model: DiskModel = PAPER_DISK,
+        *,
+        scan_workers: int = 1,
+        morsel_buckets: int = DEFAULT_MORSEL_BUCKETS,
+    ):
         self.catalog = catalog
         self.disk_model = disk_model
-        self.planner = Planner(catalog, disk_model)
+        self.parallelism = ScanParallelism(
+            workers=scan_workers, morsel_buckets=morsel_buckets
+        )
+        self.planner = Planner(catalog, disk_model, parallelism=self.parallelism)
 
     def execute(
         self,

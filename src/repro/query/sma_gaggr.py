@@ -24,6 +24,7 @@ from repro.core.sma_set import SmaSet
 from repro.errors import PlanningError
 from repro.lang.predicate import Predicate
 from repro.query.aggregation import AggregationState
+from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
 from repro.query.query import OutputAggregate
 from repro.storage.table import Table
 
@@ -70,6 +71,7 @@ class SmaGAggr:
         aggregates: tuple[OutputAggregate, ...],
         sma_set: SmaSet,
         partitioning: BucketPartitioning | None = None,
+        parallelism: ScanParallelism | None = None,
     ):
         self.table = table
         self.predicate = predicate.bind(table.schema)
@@ -77,6 +79,7 @@ class SmaGAggr:
         self.aggregates = aggregates
         self.sma_set = sma_set
         self._partitioning = partitioning
+        self.parallelism = parallelism
         if not sma_covers(sma_set, aggregates, group_by):
             raise PlanningError(
                 f"SMA set {sma_set.name!r} does not materialize all "
@@ -103,15 +106,47 @@ class SmaGAggr:
         stats.buckets_skipped += partitioning.num_disqualifying
 
         # Phase: ambivalent buckets — fetch, filter, group, advance.
-        for bucket_no in np.flatnonzero(partitioning.ambivalent):
-            records = self.table.read_bucket(int(bucket_no))
-            stats.buckets_fetched += 1
-            stats.tuples_scanned += len(records)
-            mask = self.predicate.evaluate(records)
-            state.consume_batch(records[mask])
+        # Only these morsels cost heap I/O (qualifying buckets were fully
+        # answered from SMA-files above), so this is the part worth
+        # parallelizing; with parallelism enabled, workers fold disjoint
+        # morsels into partial states merged in morsel order.
+        ambivalent = [int(b) for b in np.flatnonzero(partitioning.ambivalent)]
+        if (
+            self.parallelism is not None
+            and self.parallelism.enabled
+            and len(ambivalent) > 1
+        ):
+            morsels = make_morsels(ambivalent, self.parallelism.morsel_buckets)
+            tasks = [self._morsel_task(morsel) for morsel in morsels]
+            pool = self.table.heap.pool
+            for partial in run_morsels(pool, tasks, self.parallelism.workers):
+                state.merge(partial)
+        else:
+            for bucket_no in ambivalent:
+                records = self.table.read_bucket(bucket_no)
+                stats.buckets_fetched += 1
+                stats.tuples_scanned += len(records)
+                mask = self.predicate.evaluate(records)
+                state.consume_batch(records[mask])
 
         # Phase: post-processing (averages) happens inside finalize().
         return state.finalize()
+
+    def _morsel_task(self, morsel: list[int]):
+        def task() -> AggregationState:
+            stats = self.table.heap.pool.stats  # worker's child window
+            partial = AggregationState(
+                self.table.schema, self.group_by, self.aggregates
+            )
+            for bucket_no in morsel:
+                records = self.table.read_bucket(bucket_no)
+                stats.buckets_fetched += 1
+                stats.tuples_scanned += len(records)
+                mask = self.predicate.evaluate(records)
+                partial.consume_batch(records[mask])
+            return partial
+
+        return task
 
     def _advance_from_smas(
         self, state: AggregationState, qualifying: np.ndarray

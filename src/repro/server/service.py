@@ -70,6 +70,12 @@ class QueryService:
     default_timeout_s:
         Applied to submissions that don't pass their own ``timeout_s``.
         ``None`` disables timeouts by default.
+    scan_workers:
+        Morsel-scan threads *per running query* (intra-query
+        parallelism); 1 keeps executions serial.  Total scan threads can
+        reach ``workers * scan_workers``.
+    morsel_buckets:
+        Buckets per morsel when ``scan_workers`` > 1.
     """
 
     def __init__(
@@ -81,10 +87,14 @@ class QueryService:
         default_timeout_s: float | None = None,
         disk_model: DiskModel = PAPER_DISK,
         metrics: MetricsRegistry | None = None,
+        scan_workers: int = 1,
+        morsel_buckets: int | None = None,
     ):
         self.catalog = catalog
         self.disk_model = disk_model
         self.default_timeout_s = default_timeout_s
+        self.scan_workers = scan_workers
+        self.morsel_buckets = morsel_buckets
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._sessions = threading.local()
         self._executor = QueryExecutor(
@@ -175,7 +185,10 @@ class QueryService:
     def _session(self) -> Session:
         session = getattr(self._sessions, "session", None)
         if session is None:
-            session = Session(self.catalog, self.disk_model)
+            kwargs: dict = {"scan_workers": self.scan_workers}
+            if self.morsel_buckets is not None:
+                kwargs["morsel_buckets"] = self.morsel_buckets
+            session = Session(self.catalog, self.disk_model, **kwargs)
             self._sessions.session = session
         return session
 

@@ -1,4 +1,4 @@
-"""Thread-safe LRU buffer pool with per-query accounting contexts.
+"""Striped, thread-safe LRU buffer pool with single-flight page loads.
 
 All page traffic in the system goes through a :class:`BufferPool`.  The
 pool serves four purposes:
@@ -9,29 +9,50 @@ pool serves four purposes:
   sequential when it targets the page directly after the previous
   physical read of the same file), feeding the simulated disk model;
 * it caps memory like the paper's 8 MB intertransaction buffer;
-* it is the concurrency choke point of the query service: one lock
-  protects the LRU structures, and per-thread *query contexts* give each
-  in-flight query its own :class:`IoStats` window and its own
-  sequential-read tracker so concurrent queries cannot corrupt each
-  other's cost accounting.
+* it is the concurrency core of the query service: the page map and LRU
+  lists are *striped* across N independent locks, physical loads run
+  outside every lock behind per-page single-flight latches, and
+  per-thread *query contexts* give each in-flight query its own
+  :class:`IoStats` window and its own sequential-read tracker so
+  concurrent queries cannot corrupt each other's cost accounting.
 
 Concurrency model
 -----------------
-Every public method takes ``self._lock`` around the shared structures
-(the ``OrderedDict`` LRU, the shared sequence tracker, the cumulative
-counters).  ``loader()`` is invoked *inside* the lock on a miss: that
-serializes access to the underlying shared file handles (heap files and
-SMA-files seek+read on one handle), which is exactly what a real buffer
-manager's page latch would guarantee, and it means one physical load per
-miss even under contention.
+The cache is partitioned into ``stripes`` shards, each with its own lock,
+its own LRU ``OrderedDict`` and its own share of the page capacity.  A
+page's stripe is a deterministic function of its key, chosen so that
+consecutive pages of one file land on *different* stripes — a scan's
+page stream spreads across every lock instead of hammering one.
+
+Disk reads never happen under a stripe lock.  On a miss the reading
+thread becomes the page's *load leader*: it publishes a latch in the
+stripe's in-flight table, drops the lock, runs ``loader()``, then
+re-acquires the lock to install the page and wake any *followers* that
+arrived while the load was in progress.  Followers block on the latch
+(holding no locks), so concurrent readers of one missing page coalesce
+onto a single physical read instead of duplicating I/O — and readers of
+*other* pages are never serialized behind it.
+
+Counter semantics under single-flight (see also
+:mod:`repro.storage.stats`): the leader charges the one physical read
+(miss, classified sequential/skip/random against its own tracker); every
+follower charges a buffer hit, because its bytes came from memory.  Per
+logical access exactly one charge is made, so per-query windows still
+partition the cumulative :meth:`counters` exactly.
+
+``invalidate``/``clear``/``note_write`` are stripe-aware and bump a
+per-stripe *generation*; a leader only installs its payload if the
+stripe generation is unchanged since the load began, so an invalidated
+page can never be resurrected by an in-flight read that started before
+the invalidation.
 
 ``pool.stats`` is a property.  Outside a query context it resolves to
 the pool's default :class:`IoStats` (the catalog-wide counters — fully
-backward compatible).  Inside ``with pool.query_context(stats):`` it
-resolves, *for the current thread only*, to the bound per-query stats.
-All charging code in the system reads ``pool.stats`` at operation time,
-so the whole execution stack is per-query isolated without touching any
-operator.
+backward compatible; charges to it are serialized on a dedicated lock).
+Inside ``with pool.query_context(stats):`` it resolves, *for the current
+thread only*, to the bound per-query stats.  All charging code in the
+system reads ``pool.stats`` at operation time, so the whole execution
+stack is per-query isolated without touching any operator.
 
 A query context may also carry a cancellation event and a monotonic
 deadline; :meth:`read_page` checks them on every call, so a running
@@ -53,6 +74,12 @@ from repro.storage.stats import IoStats
 
 PageKey = tuple[Hashable, int]
 
+#: Auto-striping granularity: one stripe per this many capacity pages,
+#: capped at :data:`MAX_AUTO_STRIPES`.  Small pools (unit-test sized)
+#: resolve to a single stripe, which preserves exact global LRU order.
+PAGES_PER_AUTO_STRIPE = 128
+MAX_AUTO_STRIPES = 16
+
 
 @dataclass
 class BufferCounters:
@@ -60,7 +87,9 @@ class BufferCounters:
 
     Unlike :class:`IoStats` windows, these accrue across *all* queries and
     threads — the per-query deltas of every context-bound execution sum
-    exactly to the growth of these counters.
+    exactly to the growth of these counters.  Under single-flight loading
+    a coalesced follower counts as a *hit* (its bytes came from memory);
+    only the load leader counts the miss.
     """
 
     hits: int = 0
@@ -106,8 +135,39 @@ class _QueryBinding:
         self.deadline = deadline
 
 
+class _PageLoad:
+    """Single-flight latch for one in-flight physical page load."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: bytes | None = None
+        self.error: BaseException | None = None
+
+
+class _Stripe:
+    """One shard of the pool: a lock, an LRU map, in-flight loads, counters."""
+
+    __slots__ = (
+        "lock", "cache", "capacity", "loads", "generation",
+        "hits", "misses", "evictions", "writes",
+    )
+
+    def __init__(self, capacity: int):
+        self.lock = threading.Lock()
+        self.cache: OrderedDict[PageKey, bytes] = OrderedDict()
+        self.capacity = capacity
+        self.loads: dict[PageKey, _PageLoad] = {}
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writes = 0
+
+
 class BufferPool:
-    """A fixed-capacity, thread-safe LRU cache of page payloads.
+    """A fixed-capacity, thread-safe, lock-striped LRU cache of page payloads.
 
     Parameters
     ----------
@@ -119,21 +179,68 @@ class BufferPool:
         The default :class:`IoStats` instance charged for traffic through
         this pool when no query context is bound.  Callers typically
         snapshot/diff it around a query.
+    stripes:
+        Number of lock stripes.  ``None`` (the default) picks one stripe
+        per :data:`PAGES_PER_AUTO_STRIPE` capacity pages, capped at
+        :data:`MAX_AUTO_STRIPES` — production-sized pools stripe, tiny
+        test pools keep a single stripe and therefore exact global LRU
+        behaviour.  An explicit value is clamped so every stripe owns at
+        least one page.
     """
 
-    def __init__(self, capacity_pages: int = 2048, stats: IoStats | None = None):
+    def __init__(
+        self,
+        capacity_pages: int = 2048,
+        stats: IoStats | None = None,
+        *,
+        stripes: int | None = None,
+    ):
         if capacity_pages <= 0:
             raise StorageError(f"capacity_pages must be positive, got {capacity_pages}")
+        if stripes is not None and stripes <= 0:
+            raise StorageError(f"stripes must be positive, got {stripes}")
         self.capacity_pages = capacity_pages
+        if stripes is None:
+            stripes = max(1, min(MAX_AUTO_STRIPES, capacity_pages // PAGES_PER_AUTO_STRIPE))
+        stripes = min(stripes, capacity_pages)
+        base, extra = divmod(capacity_pages, stripes)
+        self._stripes = [
+            _Stripe(base + (1 if i < extra else 0)) for i in range(stripes)
+        ]
         self._default_stats = stats if stats is not None else IoStats()
-        self._cache: OrderedDict[PageKey, bytes] = OrderedDict()
+        # Serializes charges to the default window and the shared
+        # sequential-read tracker (per-context windows/trackers are
+        # thread-private and need no lock).
+        self._default_lock = threading.Lock()
         self._last_physical: dict[Hashable, int] = {}
-        self._lock = threading.RLock()
         self._local = threading.local()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._writes = 0
+
+    # ------------------------------------------------------------------
+    # striping
+    # ------------------------------------------------------------------
+
+    @property
+    def num_stripes(self) -> int:
+        return len(self._stripes)
+
+    def _stripe_for(self, key: PageKey) -> _Stripe:
+        # Mix the file identity with the raw page number so consecutive
+        # pages of one file round-robin across stripes — a sequential
+        # scan spreads over every lock instead of convoying on one.
+        file_id, page_no = key
+        return self._stripes[(hash(file_id) + page_no) % len(self._stripes)]
+
+    def stripe_lengths(self) -> list[int]:
+        """Pages currently held per stripe (diagnostics and tests)."""
+        out = []
+        for stripe in self._stripes:
+            with stripe.lock:
+                out.append(len(stripe.cache))
+        return out
+
+    def stripe_capacities(self) -> list[int]:
+        """Per-stripe page capacity; sums to ``capacity_pages``."""
+        return [stripe.capacity for stripe in self._stripes]
 
     # ------------------------------------------------------------------
     # per-query contexts
@@ -180,7 +287,9 @@ class BufferPool:
         :class:`~repro.errors.QueryTimeoutError`.
 
         Contexts nest per thread; the previous binding is restored on
-        exit.
+        exit.  Morsel scan workers bind their *own* window (merged into
+        the parent query's window by the dispatcher) with the parent's
+        cancel event and deadline — see :meth:`binding_controls`.
         """
         binding = _QueryBinding(
             stats if stats is not None else IoStats(), cancel_event, deadline
@@ -192,6 +301,18 @@ class BufferPool:
         finally:
             self._local.binding = previous
 
+    def binding_controls(self) -> tuple[threading.Event | None, float | None]:
+        """The (cancel_event, deadline) of the current thread's context.
+
+        ``(None, None)`` outside any context.  Scan-parallel dispatchers
+        propagate these to worker threads so a cancelled or timed-out
+        query stops all its morsel workers at their next page access.
+        """
+        binding = self._binding()
+        if binding is None:
+            return None, None
+        return binding.cancel_event, binding.deadline
+
     @staticmethod
     def _check_live(binding: _QueryBinding) -> None:
         if binding.cancel_event is not None and binding.cancel_event.is_set():
@@ -200,16 +321,62 @@ class BufferPool:
             raise QueryTimeoutError("query deadline exceeded during page access")
 
     # ------------------------------------------------------------------
+    # charging (window side; cumulative counters live on the stripes)
+    # ------------------------------------------------------------------
+
+    def _charge_hit(self, binding: _QueryBinding | None, stats: IoStats) -> None:
+        if binding is None:
+            with self._default_lock:
+                stats.buffer_hits += 1
+        else:
+            stats.buffer_hits += 1
+
+    def _classify_physical(
+        self,
+        binding: _QueryBinding | None,
+        stats: IoStats,
+        file_id: Hashable,
+        page_no: int,
+    ) -> None:
+        """Charge one physical read, classified against the right tracker."""
+        if binding is None:
+            with self._default_lock:
+                self._classify_into(stats, self._last_physical, file_id, page_no)
+        else:
+            self._classify_into(stats, binding.last_physical, file_id, page_no)
+
+    @staticmethod
+    def _classify_into(
+        stats: IoStats,
+        tracker: dict[Hashable, int],
+        file_id: Hashable,
+        page_no: int,
+    ) -> None:
+        last = tracker.get(file_id)
+        if last is not None and page_no == last + 1:
+            stats.sequential_page_reads += 1
+        elif last is not None and page_no > last + 1:
+            # A forward gap in an otherwise ordered scan: the head skips
+            # over unread pages.  Cheaper than a full random access but
+            # far dearer than streaming — this is what makes the paper's
+            # Figure 5 break-even shape emerge (scattered ambivalent
+            # buckets cost skip latency each).
+            stats.skip_page_reads += 1
+        else:
+            stats.random_page_reads += 1
+        tracker[file_id] = page_no
+
+    # ------------------------------------------------------------------
     # page traffic
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._cache)
+        return sum(self.stripe_lengths())
 
     def __contains__(self, key: PageKey) -> bool:
-        with self._lock:
-            return key in self._cache
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            return key in stripe.cache
 
     def read_page(
         self,
@@ -219,49 +386,81 @@ class BufferPool:
     ) -> bytes:
         """Return the payload of page *page_no* of file *file_id*.
 
-        On a hit the page moves to the MRU end and a buffer hit is
-        charged.  On a miss, *loader* fetches the bytes (inside the pool
-        lock — see the module docstring), the read is classified
-        sequential or random against the last physical read of the same
-        file within the active accounting window, and the LRU page is
-        evicted if the pool is full.
+        On a hit the page moves to the MRU end of its stripe and a buffer
+        hit is charged.  On a miss, the calling thread either becomes the
+        page's load leader — running *loader* outside every lock, then
+        installing the page (evicting its stripe's LRU page if the stripe
+        is full) — or coalesces onto an in-flight load of the same page
+        and charges a buffer hit once the leader's bytes arrive.
         """
         binding = self._binding()
         if binding is not None:
             self._check_live(binding)
         stats = binding.stats if binding is not None else self._default_stats
         key: PageKey = (file_id, page_no)
-        with self._lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                stats.buffer_hits += 1
-                self._hits += 1
-                return cached
+        stripe = self._stripe_for(key)
 
-            payload = loader()
-            tracker = (
-                binding.last_physical if binding is not None else self._last_physical
-            )
-            last = tracker.get(file_id)
-            if last is not None and page_no == last + 1:
-                stats.sequential_page_reads += 1
-            elif last is not None and page_no > last + 1:
-                # A forward gap in an otherwise ordered scan: the head skips
-                # over unread pages.  Cheaper than a full random access but
-                # far dearer than streaming — this is what makes the paper's
-                # Figure 5 break-even shape emerge (scattered ambivalent
-                # buckets cost skip latency each).
-                stats.skip_page_reads += 1
-            else:
-                stats.random_page_reads += 1
-            tracker[file_id] = page_no
-            self._misses += 1
+        while True:
+            load: _PageLoad | None = None
+            with stripe.lock:
+                cached = stripe.cache.get(key)
+                if cached is not None:
+                    stripe.cache.move_to_end(key)
+                    stripe.hits += 1
+                    self._charge_hit(binding, stats)
+                    return cached
+                load = stripe.loads.get(key)
+                if load is None:
+                    load = _PageLoad()
+                    stripe.loads[key] = load
+                    generation = stripe.generation
+                    leader = True
+                else:
+                    leader = False
 
-            self._cache[key] = payload
-            if len(self._cache) > self.capacity_pages:
-                self._cache.popitem(last=False)
-                self._evictions += 1
+            if not leader:
+                # Follower: wait latch-only (no locks held), then account
+                # the access as a hit — the bytes came from memory.
+                load.event.wait()
+                if load.error is not None:
+                    # The leader's load failed; retry from the top (this
+                    # thread may become the new leader).
+                    continue
+                with stripe.lock:
+                    stripe.hits += 1
+                    if key in stripe.cache:
+                        stripe.cache.move_to_end(key)
+                self._charge_hit(binding, stats)
+                payload = load.payload
+                assert payload is not None
+                return payload
+
+            # Leader: physical load outside every lock.
+            try:
+                payload = loader()
+            except BaseException as exc:
+                with stripe.lock:
+                    if stripe.loads.get(key) is load:
+                        del stripe.loads[key]
+                    load.error = exc
+                    load.event.set()
+                raise
+
+            self._classify_physical(binding, stats, file_id, page_no)
+            with stripe.lock:
+                stripe.misses += 1
+                if stripe.loads.get(key) is load:
+                    del stripe.loads[key]
+                if stripe.generation == generation:
+                    # Install only if no invalidate/clear/write raced the
+                    # load — a stale payload must not resurrect.
+                    stripe.cache[key] = payload
+                    stripe.cache.move_to_end(key)
+                    while len(stripe.cache) > stripe.capacity:
+                        stripe.cache.popitem(last=False)
+                        stripe.evictions += 1
+                load.payload = payload
+                load.event.set()
             return payload
 
     def note_write(self, file_id: Hashable, page_no: int, payload: bytes) -> None:
@@ -269,16 +468,26 @@ class BufferPool:
 
         The freshly written page is installed in the pool (write-through)
         so a subsequent read is a hit, as it would be in a real system.
+        Any in-flight load of this stripe is denied installation (its
+        payload may predate the write).
         """
-        self.stats.page_writes += 1
+        binding = self._binding()
+        stats = binding.stats if binding is not None else self._default_stats
+        if binding is None:
+            with self._default_lock:
+                stats.page_writes += 1
+        else:
+            stats.page_writes += 1
         key: PageKey = (file_id, page_no)
-        with self._lock:
-            self._writes += 1
-            self._cache[key] = payload
-            self._cache.move_to_end(key)
-            if len(self._cache) > self.capacity_pages:
-                self._cache.popitem(last=False)
-                self._evictions += 1
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            stripe.writes += 1
+            stripe.generation += 1
+            stripe.cache[key] = payload
+            stripe.cache.move_to_end(key)
+            while len(stripe.cache) > stripe.capacity:
+                stripe.cache.popitem(last=False)
+                stripe.evictions += 1
 
     # ------------------------------------------------------------------
     # cumulative counters
@@ -287,40 +496,56 @@ class BufferPool:
     def counters(self) -> BufferCounters:
         """Snapshot the cumulative hit/miss/eviction/write counters.
 
-        These accrue across every thread and query context for the
-        lifetime of the pool; diff two snapshots to get the traffic of a
-        window.  Per-query :class:`IoStats` deltas partition this total:
-        the sum of all bound windows' ``buffer_hits`` equals the growth
-        of ``hits``, and their physical ``page_reads`` the growth of
-        ``misses``.
+        These accrue across every thread, stripe and query context for
+        the lifetime of the pool; diff two snapshots to get the traffic
+        of a window.  Per-query :class:`IoStats` deltas partition this
+        total: the sum of all bound windows' ``buffer_hits`` equals the
+        growth of ``hits``, and their physical ``page_reads`` the growth
+        of ``misses``.  (The snapshot locks stripes one at a time; take
+        it at a quiescent point for an exact cut.)
         """
-        with self._lock:
-            return BufferCounters(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
-                writes=self._writes,
-            )
+        totals = BufferCounters()
+        for stripe in self._stripes:
+            with stripe.lock:
+                totals.hits += stripe.hits
+                totals.misses += stripe.misses
+                totals.evictions += stripe.evictions
+                totals.writes += stripe.writes
+        return totals
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
 
     def invalidate(self, file_id: Hashable, page_no: int | None = None) -> None:
-        """Drop one page, or every page of a file when *page_no* is None."""
-        with self._lock:
-            if page_no is not None:
-                self._cache.pop((file_id, page_no), None)
-                return
-            doomed = [key for key in self._cache if key[0] == file_id]
-            for key in doomed:
-                del self._cache[key]
+        """Drop one page, or every page of a file when *page_no* is None.
+
+        Bumps the generation of every touched stripe so concurrent loads
+        that started before the invalidation cannot install stale bytes.
+        """
+        if page_no is not None:
+            key: PageKey = (file_id, page_no)
+            stripe = self._stripe_for(key)
+            with stripe.lock:
+                stripe.cache.pop(key, None)
+                stripe.generation += 1
+            return
+        for stripe in self._stripes:
+            with stripe.lock:
+                doomed = [key for key in stripe.cache if key[0] == file_id]
+                for key in doomed:
+                    del stripe.cache[key]
+                stripe.generation += 1
+        with self._default_lock:
             self._last_physical.pop(file_id, None)
 
     def clear(self) -> None:
         """Empty the pool — the 'cold' switch for cold/warm experiments."""
-        with self._lock:
-            self._cache.clear()
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.cache.clear()
+                stripe.generation += 1
+        with self._default_lock:
             self._last_physical.clear()
 
     def reset_sequence_tracking(self) -> None:
@@ -335,5 +560,5 @@ class BufferPool:
         if binding is not None:
             binding.last_physical.clear()
             return
-        with self._lock:
+        with self._default_lock:
             self._last_physical.clear()

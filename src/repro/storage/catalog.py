@@ -29,11 +29,19 @@ class Catalog:
 
     MANIFEST = "catalog.json"
 
-    def __init__(self, root_dir: str, *, buffer_pages: int = 2048):
+    def __init__(
+        self,
+        root_dir: str,
+        *,
+        buffer_pages: int = 2048,
+        stripes: int | None = None,
+    ):
         os.makedirs(root_dir, exist_ok=True)
         self.root_dir = root_dir
         self.stats = IoStats()
-        self.pool = BufferPool(capacity_pages=buffer_pages, stats=self.stats)
+        self.pool = BufferPool(
+            capacity_pages=buffer_pages, stats=self.stats, stripes=stripes
+        )
         self._tables: dict[str, Table] = {}
         self._sma_sets: dict[str, dict[str, "SmaSet"]] = {}
 
@@ -70,12 +78,18 @@ class Catalog:
             json.dump(manifest, f, indent=1)
 
     @classmethod
-    def discover(cls, root_dir: str, *, buffer_pages: int = 2048) -> "Catalog":
+    def discover(
+        cls,
+        root_dir: str,
+        *,
+        buffer_pages: int = 2048,
+        stripes: int | None = None,
+    ) -> "Catalog":
         """Re-open a persisted catalog: every table and SMA set listed in
         its manifest comes back registered and query-ready."""
         from repro.core.sma_set import SmaSet
 
-        catalog = cls(root_dir, buffer_pages=buffer_pages)
+        catalog = cls(root_dir, buffer_pages=buffer_pages, stripes=stripes)
         manifest = catalog._load_manifest()
         for name, info in manifest.get("tables", {}).items():
             catalog.open_table(name, clustered_on=info.get("clustered_on"))

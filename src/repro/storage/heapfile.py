@@ -57,7 +57,11 @@ class HeapFile:
         self.pool = pool
         self.file_id = os.path.abspath(path)
         self._bucket_counts = bucket_counts.astype(np.int64, copy=True)
-        self._handle = open(path, "r+b")
+        # Unbuffered: writes reach the OS immediately and positional
+        # reads (os.pread) see them — required because the buffer pool
+        # runs loaders *outside* its stripe locks, so page loads of one
+        # file may execute concurrently on this shared handle.
+        self._handle = open(path, "r+b", buffering=0)
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -194,8 +198,20 @@ class HeapFile:
         self.pool.note_write(self.file_id, page_no, payload)
 
     def _load_page(self, page_no: int) -> bytes:
-        self._handle.seek(page_no * self.layout.page_size)
-        payload = self._handle.read(self.layout.page_size)
+        # Positional read: no shared file-position state, so concurrent
+        # single-flight loads of different pages never interfere.
+        fd = self._handle.fileno()
+        offset = page_no * self.layout.page_size
+        want = self.layout.page_size
+        chunks: list[bytes] = []
+        while want > 0:
+            chunk = os.pread(fd, want, offset)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            offset += len(chunk)
+            want -= len(chunk)
+        payload = b"".join(chunks)
         if len(payload) != self.layout.page_size:
             raise StorageError(
                 f"short read of page {page_no} in {self.path}: "

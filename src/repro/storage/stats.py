@@ -6,6 +6,24 @@ it targets the page immediately after the previous read of the same
 file).  The simulated-disk cost model (:mod:`repro.storage.disk`)
 converts these counters into 1998-era seconds, which is how we reproduce
 the paper's absolute-scale numbers on modern hardware.
+
+Counter semantics under concurrency
+-----------------------------------
+The buffer pool loads missing pages *single-flight*: when several
+threads miss the same page at once, exactly one of them (the load
+leader) performs the physical read and charges it — one of
+``sequential_page_reads`` / ``skip_page_reads`` / ``random_page_reads``
+in its window, one miss in the pool's cumulative counters.  Every
+coalesced *follower* charges ``buffer_hits`` instead, because its bytes
+were served from memory.  Each logical access therefore produces exactly
+one charge, never zero or two, and the per-query windows of concurrent
+executions always *partition* the pool's cumulative
+:meth:`~repro.storage.buffer.BufferPool.counters` growth: summed window
+``buffer_hits`` equal the hit growth and summed window ``page_reads``
+equal the miss growth.  Morsel-parallel scans preserve the same
+invariant by giving each scan worker a private window that the
+dispatcher merges into the query's window, in morsel order, before the
+query settles.
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ the per-query I/O windows the service hands back must sum to the buffer
 pool's cumulative hit/miss growth over the concurrent phase.
 """
 
-from repro.query.session import Session
+from repro.query.session import Session, assert_same_result
 from repro.server import QueryService, WorkloadDriver, default_mix
 
 
@@ -23,7 +23,7 @@ class TestConcurrentMatchesSerial:
         mix = default_mix()
         serial = Session(catalog)
         reference = {
-            entry.name: serial.execute(entry.query).rows for entry in mix
+            entry.name: serial.execute(entry.query) for entry in mix
         }
 
         before = catalog.pool.counters()
@@ -43,7 +43,7 @@ class TestConcurrentMatchesSerial:
         # Byte-identical results: exact tuple equality, no float tolerance.
         for outcome in result.outcomes:
             assert outcome.result is not None, outcome
-            assert outcome.result.rows == reference[outcome.name], outcome.name
+            assert_same_result(outcome.result, reference[outcome.name])
 
         # Per-query windows partition the pool's cumulative counters.
         windows = [o.result.stats for o in result.outcomes]

@@ -1,0 +1,123 @@
+"""Parallel scans must be byte-identical to serial execution (ISSUE PR 2).
+
+Acceptance criterion: a 4-worker morsel-parallel scan produces results
+byte-identical to serial execution for Query 1 and the baseline queries,
+across every plan shape (plain GAggr, SMA_GAggr, seq scan, SMA scan).
+Also closes the accounting loop: with intra-query parallelism on, the
+per-query windows (now containing merged morsel-worker charges) still
+partition the buffer pool's cumulative counters.
+"""
+
+import pytest
+
+from repro.query.session import Session, assert_same_result
+from repro.server import QueryService, WorkloadDriver, default_mix
+
+QUERY_1 = (
+    "SELECT L_RETURNFLAG, L_LINESTATUS, "
+    "SUM(L_QUANTITY) AS SUM_QTY, "
+    "SUM(L_EXTENDEDPRICE) AS SUM_BASE_PRICE, "
+    "AVG(L_QUANTITY) AS AVG_QTY, "
+    "AVG(L_EXTENDEDPRICE) AS AVG_PRICE, "
+    "AVG(L_DISCOUNT) AS AVG_DISC, "
+    "COUNT(*) AS COUNT_ORDER "
+    "FROM LINEITEM WHERE L_SHIPDATE <= DATE '1998-09-02' "
+    "GROUP BY L_RETURNFLAG, L_LINESTATUS "
+    "ORDER BY L_RETURNFLAG, L_LINESTATUS"
+)
+
+RANGE_SCAN = (
+    "SELECT L_ORDERKEY, L_QUANTITY, L_SHIPDATE FROM LINEITEM "
+    "WHERE L_SHIPDATE >= DATE '1998-06-01'"
+)
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("mode", ["auto", "sma", "scan"])
+    def test_query1_identical_at_four_workers(self, lineitem_env, mode):
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        serial = Session(catalog)
+        parallel = Session(catalog, scan_workers=4)
+        expected = serial.sql(QUERY_1, mode=mode)
+        actual = parallel.sql(QUERY_1, mode=mode)
+        # Same plan family chosen, then byte-identical rows.
+        assert actual.plan.strategy == expected.plan.strategy
+        assert_same_result(actual, expected)
+
+    @pytest.mark.parametrize("mode", ["auto", "scan"])
+    def test_range_scan_identical_at_four_workers(self, lineitem_env, mode):
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        serial = Session(catalog)
+        parallel = Session(catalog, scan_workers=4)
+        expected = serial.sql(RANGE_SCAN, mode=mode)
+        actual = parallel.sql(RANGE_SCAN, mode=mode)
+        assert len(expected.rows) > 0  # the comparison must not be vacuous
+        assert_same_result(actual, expected)
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_worker_count_never_changes_query1(self, lineitem_env, workers):
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        expected = Session(catalog).sql(QUERY_1)
+        actual = Session(catalog, scan_workers=workers).sql(QUERY_1)
+        assert_same_result(actual, expected)
+
+    def test_tiny_morsels_identical(self, lineitem_env):
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        expected = Session(catalog).sql(QUERY_1, mode="scan")
+        actual = Session(catalog, scan_workers=4, morsel_buckets=1).sql(
+            QUERY_1, mode="scan"
+        )
+        assert_same_result(actual, expected)
+
+    def test_parallel_accounting_matches_serial_totals(self, lineitem_env):
+        """Morsel workers charge the same logical I/O a serial scan
+        would: equal buckets fetched, tuples scanned and total page
+        accesses (hits + physical reads) on a warm pool."""
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        serial = Session(catalog)
+        parallel = Session(catalog, scan_workers=4)
+        serial.sql(QUERY_1, mode="scan")  # warm the pool
+        expected = serial.sql(QUERY_1, mode="scan")
+        actual = parallel.sql(QUERY_1, mode="scan")
+        assert actual.stats.buckets_fetched == expected.stats.buckets_fetched
+        assert actual.stats.tuples_scanned == expected.stats.tuples_scanned
+        total = lambda s: s.buffer_hits + s.page_reads  # noqa: E731
+        assert total(actual.stats) == total(expected.stats)
+
+
+class TestParallelServiceAccounting:
+    def test_windows_partition_counters_with_scan_workers(self, lineitem_env):
+        """Inter-query (4 service workers) x intra-query (4 scan
+        workers) concurrency: every query's window still partitions the
+        pool's cumulative hit/miss growth exactly."""
+        catalog, _ = lineitem_env
+        catalog.reset_stats()
+        mix = default_mix()
+        reference = {
+            entry.name: Session(catalog).execute(entry.query) for entry in mix
+        }
+
+        before = catalog.pool.counters()
+        with QueryService(
+            catalog, workers=4, queue_depth=64, scan_workers=4
+        ) as service:
+            driver = WorkloadDriver(service, mix)
+            result = driver.run_closed_loop(
+                clients=4, queries_per_client=4, keep_results=True
+            )
+        delta = catalog.pool.counters() - before
+
+        assert result.completed == result.total == 16
+        assert result.failed == result.rejected == result.timed_out == 0
+        for outcome in result.outcomes:
+            assert outcome.result is not None, outcome
+            assert_same_result(outcome.result, reference[outcome.name])
+
+        windows = [o.result.stats for o in result.outcomes]
+        assert sum(w.buffer_hits for w in windows) == delta.hits
+        assert sum(w.page_reads for w in windows) == delta.misses
