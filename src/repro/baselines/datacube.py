@@ -18,10 +18,8 @@ Two pieces:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.aggregates import AggregateKind
 from repro.core.grouping import bucket_groups

@@ -24,7 +24,6 @@ import numpy as np
 from repro.baselines.btree import BPlusTree
 from repro.baselines.datacube import DataCube, cube_bytes, paper_cube_comparison
 from repro.baselines.projection import ProjectionIndex
-from repro.core.builder import build_sma_set
 from repro.core.definition import SmaDefinition
 from repro.core.hierarchy import HierarchicalMinMax
 from repro.core.maintenance import SmaMaintainer

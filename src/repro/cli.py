@@ -9,6 +9,7 @@ command   does
 load      generate TPC-D data into a catalog directory (+ Q1 SMAs)
 define    build SMAs from a ``define sma`` script (file or inline)
 query     run one SELECT against a catalog, print rows + both clocks
+explain   plan one SELECT without running it, print the full plan
 info      list tables, SMA sets and sizes of a catalog
 bench     run the paper experiments (all, or a comma-separated subset)
 serve     replay a concurrent workload through the query service
@@ -18,6 +19,8 @@ Examples::
 
     python -m repro load --db ./db --sf 0.01 --clustering sorted
     python -m repro query --db ./db "SELECT COUNT(*) AS n FROM LINEITEM \
+        WHERE L_SHIPDATE <= DATE '1998-09-02'"
+    python -m repro explain --db ./db "SELECT COUNT(*) AS n FROM LINEITEM \
         WHERE L_SHIPDATE <= DATE '1998-09-02'"
     python -m repro define --db ./db --set bounds \
         --sql "define sma lo select min(L_SHIPDATE) from LINEITEM"
@@ -109,6 +112,31 @@ def cmd_query(args: argparse.Namespace) -> int:
           f"{result.stats.buffer_hits} hits, "
           f"{result.stats.tuples_scanned} tuples scanned, "
           f"{result.stats.sma_entries_read} SMA entries")
+    catalog.close()
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.errors import ParseError
+    from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
+    from repro.sql.parser import parse_statement
+
+    try:
+        statement = parse_statement(args.sql)
+    except ParseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if isinstance(statement, ExplainQuery):  # "EXPLAIN SELECT ..." also works
+        statement = statement.query
+    if not isinstance(statement, (AggregateQuery, ScanQuery)):
+        print("error: explain takes a SELECT statement", file=sys.stderr)
+        return 1
+    catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
+    session = Session(catalog, scan_workers=args.scan_workers)
+    explanation = session.explain(
+        statement, mode=args.mode, sma_set=args.sma_set
+    )
+    print(explanation.render())
     catalog.close()
     return 0
 
@@ -274,6 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--scan-workers", type=int, default=1,
                          help="morsel-scan threads for this query (default 1)")
     p_query.set_defaults(func=cmd_query)
+
+    p_explain = sub.add_parser(
+        "explain", help="plan one SELECT without running it"
+    )
+    add_db(p_explain)
+    p_explain.add_argument("sql", help="SELECT statement (an EXPLAIN prefix "
+                           "is accepted and ignored)")
+    p_explain.add_argument("--mode", choices=("auto", "sma", "scan"),
+                           default="auto")
+    p_explain.add_argument("--sma-set", default=None,
+                           help="restrict the planner to one SMA set")
+    p_explain.add_argument("--scan-workers", type=int, default=1,
+                           help="morsel-scan threads the plan would use "
+                           "(default 1)")
+    p_explain.set_defaults(func=cmd_explain)
 
     p_info = sub.add_parser("info", help="describe a catalog")
     add_db(p_info)

@@ -23,7 +23,6 @@ from repro.errors import SchemaError
 from repro.lang.expr import ColumnRef
 from repro.lang.values import display_constant, storage_constant
 from repro.storage.schema import Schema
-from repro.storage.types import TypeKind
 
 
 class CmpOp(enum.Enum):

@@ -1,31 +1,59 @@
-"""Query engine: physical algebra, SMA-aware planning, session façade."""
+"""Query engine: logical/physical plan IR, SMA-aware planning, session façade."""
 
 from repro.query.aggregation import AggregationState
 from repro.query.gaggr import GAggr
 from repro.query.iterators import Filter, Operator, Project, SeqScan, SmaScan
-from repro.query.planner import Plan, PlanInfo, Planner, fetch_io_profile
-from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+from repro.query.logical import LogicalPlan, build_logical, normalize_predicate
+from repro.query.physical import PhysicalPlan, PlanNode
+from repro.query.planner import (
+    AccessPath,
+    Explanation,
+    GradingSummary,
+    Plan,
+    PlanInfo,
+    Planner,
+    fetch_io_profile,
+)
+from repro.query.query import (
+    AggregateQuery,
+    ExplainQuery,
+    OutputAggregate,
+    PlanRunner,
+    QueryRows,
+    ScanQuery,
+)
 from repro.query.session import QueryResult, Session
 from repro.query.sma_gaggr import SmaGAggr, sma_covers, sma_requirements
 
 __all__ = [
+    "AccessPath",
     "AggregateQuery",
     "AggregationState",
+    "Explanation",
+    "ExplainQuery",
     "Filter",
     "GAggr",
+    "GradingSummary",
+    "LogicalPlan",
     "Operator",
     "OutputAggregate",
+    "PhysicalPlan",
     "Plan",
     "PlanInfo",
+    "PlanNode",
+    "PlanRunner",
     "Planner",
     "Project",
     "QueryResult",
+    "QueryRows",
     "ScanQuery",
     "SeqScan",
     "Session",
     "SmaGAggr",
     "SmaScan",
+    "build_logical",
     "fetch_io_profile",
+    "normalize_predicate",
     "sma_covers",
     "sma_requirements",
 ]

@@ -15,7 +15,7 @@ from repro.lang.predicate import Predicate
 from repro.query.aggregation import AggregationState
 from repro.query.iterators import Operator
 from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
-from repro.query.query import OutputAggregate
+from repro.query.query import OutputAggregate, QueryRows
 from repro.storage.table import Table
 
 
@@ -32,7 +32,7 @@ class GAggr:
         self.group_by = group_by
         self.aggregates = aggregates
 
-    def execute(self) -> tuple[list[str], list[tuple]]:
+    def execute(self) -> QueryRows:
         """Compute the full result (the operator's init phase)."""
         state = AggregationState(self.child.schema, self.group_by, self.aggregates)
         for batch in self.child.batches():
@@ -79,7 +79,7 @@ class ParallelGAggr:
 
         return task
 
-    def execute(self) -> tuple[list[str], list[tuple]]:
+    def execute(self) -> QueryRows:
         state = AggregationState(self.table.schema, self.group_by, self.aggregates)
         morsels = make_morsels(
             range(self.table.num_buckets), self.parallelism.morsel_buckets

@@ -1,0 +1,256 @@
+"""The logical plan layer: normalized query descriptions before costing.
+
+:class:`LogicalPlan` is what the access-path enumerator consumes — one
+normalized shape for both query classes, built from
+:class:`~repro.query.query.AggregateQuery` / :class:`ScanQuery` (and
+therefore from the SQL parser) by :func:`build_logical`.  Building a
+logical plan applies the rule-based rewrites that must run *before*
+grading:
+
+* **predicate normalization** — negations pushed down to the atomic
+  comparisons (the grading rules of Section 3.1 are stated on atoms and
+  their complements), AND/OR trees flattened, ``TRUE`` operands folded
+  away, duplicate operands removed;
+* **bound tightening** (constant-fold) — redundant same-column range
+  atoms inside a conjunction collapse to the strongest bound
+  (``a < 5 AND a <= 7`` → ``a < 5``), so grading consults each SMA once
+  with the tightest constant;
+* **projection pushdown** — the minimal column set execution must read
+  (selected columns plus predicate columns) is computed here and carried
+  on the plan, so physical operators and EXPLAIN agree on what a scan
+  actually needs.
+
+All rewrites are semantics-preserving: ``evaluate()`` results, grading
+outcomes and I/O charges are identical before and after (grading charges
+per consulted SMA-file per column, which none of the rules change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanningError
+from repro.lang.predicate import (
+    And,
+    ColumnConstCmp,
+    CmpOp,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    and_,
+    not_,
+    or_,
+)
+from repro.query.query import (
+    AggregateQuery,
+    OutputAggregate,
+    ScanQuery,
+)
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A validated, normalized logical query — input to the enumerator."""
+
+    kind: str  # "aggregate" | "scan"
+    table: str
+    predicate: Predicate  # bound to the table schema, normalized
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[OutputAggregate, ...] = ()
+    columns: tuple[str, ...] = ()  # scan projection; empty means all
+    order_by: tuple[str, ...] = ()
+    order_desc: frozenset[str] = frozenset()
+    #: projection pushdown result: every column execution must read
+    required_columns: frozenset[str] = frozenset()
+    #: the original query object (execution parameters live here)
+    source: AggregateQuery | ScanQuery | None = field(compare=False, default=None)
+
+    def render(self) -> str:
+        """A SQL-ish one-line rendering for EXPLAIN output."""
+        if self.kind == "aggregate":
+            select = ", ".join(
+                list(self.group_by) + [str(a) for a in self.aggregates]
+            )
+        else:
+            select = ", ".join(self.columns) if self.columns else "*"
+        parts = [f"SELECT {select} FROM {self.table}"]
+        if not isinstance(self.predicate, TruePredicate):
+            parts.append(f"WHERE {self.predicate}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.order_by:
+            rendered = [
+                name + (" DESC" if name in self.order_desc else "")
+                for name in self.order_by
+            ]
+            parts.append("ORDER BY " + ", ".join(rendered))
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# ----------------------------------------------------------------------
+# predicate rewrites
+# ----------------------------------------------------------------------
+
+
+def to_nnf(predicate: Predicate) -> Predicate:
+    """Push negations down to the atoms (negation normal form).
+
+    Atomic complements come from :func:`~repro.lang.predicate.not_`
+    (``not (a < c)`` ⇔ ``a >= c``); AND/OR distribute by De Morgan.
+    """
+    if isinstance(predicate, Not):
+        inner = predicate.operand
+        if isinstance(inner, And):
+            return or_(*(to_nnf(not_(op)) for op in inner.operands))
+        if isinstance(inner, Or):
+            return and_(*(to_nnf(not_(op)) for op in inner.operands))
+        # not_ simplifies atoms and double negation; anything left (e.g.
+        # NOT TRUE) stays as an explicit Not node.
+        simplified = not_(inner)
+        if isinstance(simplified, Not):
+            return simplified
+        return to_nnf(simplified)
+    if isinstance(predicate, And):
+        return and_(*(to_nnf(op) for op in predicate.operands))
+    if isinstance(predicate, Or):
+        return or_(*(to_nnf(op) for op in predicate.operands))
+    return predicate
+
+
+def _dedup(operands: tuple[Predicate, ...]) -> list[Predicate]:
+    seen: list[Predicate] = []
+    for operand in operands:
+        if operand not in seen:
+            seen.append(operand)
+    return seen
+
+
+_UPPER_OPS = (CmpOp.LT, CmpOp.LE)
+_LOWER_OPS = (CmpOp.GT, CmpOp.GE)
+
+
+def _tighten_bounds(operands: list[Predicate]) -> list[Predicate]:
+    """Collapse redundant same-column range atoms inside a conjunction.
+
+    Among upper bounds on one column the smallest constant wins (ties
+    break toward the strict operator); symmetrically for lower bounds.
+    Incomparable constants (mixed types) leave both atoms in place.
+    """
+    kept: list[Predicate] = []
+    best: dict[tuple[str, str], int] = {}  # (column, side) -> index in kept
+
+    def side_of(op: CmpOp) -> str | None:
+        if op in _UPPER_OPS:
+            return "upper"
+        if op in _LOWER_OPS:
+            return "lower"
+        return None
+
+    def stronger(new: ColumnConstCmp, old: ColumnConstCmp, side: str) -> bool:
+        if new.constant == old.constant:
+            return new.op in (CmpOp.LT, CmpOp.GT)  # strict beats inclusive
+        if side == "upper":
+            return bool(new.constant < old.constant)
+        return bool(new.constant > old.constant)
+
+    for operand in operands:
+        side = (
+            side_of(operand.op)
+            if isinstance(operand, ColumnConstCmp)
+            else None
+        )
+        if side is None:
+            kept.append(operand)
+            continue
+        key = (operand.column, side)
+        existing = best.get(key)
+        if existing is None:
+            best[key] = len(kept)
+            kept.append(operand)
+            continue
+        try:
+            if stronger(operand, kept[existing], side):
+                kept[existing] = operand
+        except TypeError:
+            kept.append(operand)  # incomparable constants: keep both
+    return kept
+
+
+def normalize_predicate(predicate: Predicate) -> Predicate:
+    """Apply every rewrite rule: NNF, flattening, folding, tightening."""
+    normalized = to_nnf(predicate)
+    return _simplify(normalized)
+
+
+def _simplify(predicate: Predicate) -> Predicate:
+    if isinstance(predicate, And):
+        flat: list[Predicate] = []
+        for operand in predicate.operands:
+            simplified = _simplify(operand)
+            if isinstance(simplified, TruePredicate):
+                continue  # TRUE is the AND identity
+            if isinstance(simplified, And):
+                flat.extend(simplified.operands)
+            else:
+                flat.append(simplified)
+        return and_(*_tighten_bounds(_dedup(tuple(flat))))
+    if isinstance(predicate, Or):
+        flat = []
+        for operand in predicate.operands:
+            simplified = _simplify(operand)
+            if isinstance(simplified, TruePredicate):
+                return TruePredicate()  # TRUE absorbs the whole OR
+            if isinstance(simplified, Or):
+                flat.extend(simplified.operands)
+            else:
+                flat.append(simplified)
+        return or_(*_dedup(tuple(flat)))
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+
+
+def build_logical(
+    query: AggregateQuery | ScanQuery, schema: Schema
+) -> LogicalPlan:
+    """Validate *query* against *schema* and build its logical plan."""
+    if not isinstance(query, (AggregateQuery, ScanQuery)):
+        raise PlanningError(
+            f"cannot build a logical plan for {type(query).__name__}"
+        )
+    query.validate(schema)
+    predicate = normalize_predicate(query.where.bind(schema))
+    if isinstance(query, AggregateQuery):
+        required = set(predicate.columns()) | set(query.group_by)
+        for aggregate in query.aggregates:
+            required |= set(aggregate.spec.columns())
+        return LogicalPlan(
+            kind="aggregate",
+            table=query.table,
+            predicate=predicate,
+            group_by=query.group_by,
+            aggregates=query.aggregates,
+            order_by=query.order_by,
+            order_desc=query.order_desc,
+            required_columns=frozenset(required),
+            source=query,
+        )
+    if isinstance(query, ScanQuery):
+        selected = query.columns if query.columns else tuple(schema.names)
+        required = set(predicate.columns()) | set(selected)
+        return LogicalPlan(
+            kind="scan",
+            table=query.table,
+            predicate=predicate,
+            columns=query.columns,
+            required_columns=frozenset(required),
+            source=query,
+        )

@@ -1,9 +1,20 @@
 """Plan generation in the presence of SMAs (Section 3).
 
-The planner decides, per query, between the plain sequential plan and
-the SMA plan.  Grading is cheap (it touches only SMA-files, ~0.1 % of
-the data), so the planner *actually grades* and then compares the two
-closed-form costs from the disk model:
+The planner turns a logical plan into a physical one in three explicit
+steps:
+
+1. **build** the :class:`~repro.query.logical.LogicalPlan` (predicate
+   normalization, projection pushdown — :mod:`repro.query.logical`);
+2. **enumerate** access paths: every candidate SMA set is graded
+   against the predicate and costed through one shared routine, next to
+   the sequential-scan alternative, and the global minimum wins
+   (``mode="sma"``/``"scan"`` restrict the enumeration instead of
+   bypassing it);
+3. **bind** the winning path to physical operators
+   (:mod:`repro.query.physical`), where the serial-vs-morsel decision
+   is made in exactly one place.
+
+The two closed-form costs come from the disk model:
 
 * ``cost_scan``: read every page sequentially, charge every tuple;
 * ``cost_sma``: read all needed SMA-files sequentially, charge every SMA
@@ -12,14 +23,16 @@ closed-form costs from the disk model:
   skip charge for every gap in the fetch sequence.
 
 The paper's ≈ 25 % break-even of Figure 5 is *not* hard-coded anywhere;
-it emerges from these two formulas.  When the planner mis-predicts (it
-cannot, much — grading is exact), the worst case is the paper's own
-observation: the discarded grading work costs < 2 % of the scan.
+it emerges from these two formulas (read it off ``EXPLAIN`` at two
+selectivities — see EXPERIMENTS.md).  Grading is cheap (it touches only
+SMA-files, ~0.1 % of the data), so the planner *actually grades* every
+candidate; when scan wins, the discarded grading work costs < 2 % of
+the scan — the paper's own worst case.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,14 +41,93 @@ from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
 from repro.errors import PlanningError
 from repro.lang.predicate import Predicate, atoms
-from repro.query.gaggr import GAggr, ParallelGAggr
-from repro.query.iterators import Filter, MorselScan, Project, SeqScan, SmaScan
+from repro.query.logical import LogicalPlan, build_logical
 from repro.query.parallel import ScanParallelism, resolve_parallelism
-from repro.query.query import AggregateQuery, ScanQuery
-from repro.query.sma_gaggr import SmaGAggr, sma_covers, sma_requirements
+from repro.query.physical import (
+    PhysicalPlan,
+    PlanNode,
+    bind_aggregate_plan,
+    bind_scan_plan,
+)
+from repro.query.query import AggregateQuery, QueryRows, ScanQuery
+from repro.query.sma_gaggr import sma_covers, sma_requirements
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskModel, PAPER_DISK
 from repro.storage.table import Table
+
+_MODES = ("auto", "sma", "scan")
+
+
+@dataclass(frozen=True)
+class GradingSummary:
+    """The three-way bucket grading of one SMA set for one predicate."""
+
+    num_buckets: int
+    num_qualifying: int
+    num_disqualifying: int
+    num_ambivalent: int
+
+    @classmethod
+    def of(cls, partitioning: BucketPartitioning) -> "GradingSummary":
+        return cls(
+            num_buckets=partitioning.num_buckets,
+            num_qualifying=partitioning.num_qualifying,
+            num_disqualifying=partitioning.num_disqualifying,
+            num_ambivalent=partitioning.num_ambivalent,
+        )
+
+    def _fraction(self, part: int) -> float:
+        return part / self.num_buckets if self.num_buckets else 0.0
+
+    @property
+    def fraction_qualifying(self) -> float:
+        return self._fraction(self.num_qualifying)
+
+    @property
+    def fraction_disqualifying(self) -> float:
+        return self._fraction(self.num_disqualifying)
+
+    @property
+    def fraction_ambivalent(self) -> float:
+        return self._fraction(self.num_ambivalent)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_buckets} buckets: "
+            f"{self.fraction_qualifying:.1%} qualifying, "
+            f"{self.fraction_ambivalent:.1%} ambivalent, "
+            f"{self.fraction_disqualifying:.1%} disqualifying"
+        )
+
+
+@dataclass
+class AccessPath:
+    """One costed alternative the enumerator produced."""
+
+    strategy: str  # "sma_gaggr" | "gaggr" | "sma_scan" | "seq_scan"
+    est_seconds: float | None
+    sma_set: SmaSet | None = None
+    partitioning: BucketPartitioning | None = None
+    grading: GradingSummary | None = None
+    chosen: bool = False
+    note: str = ""
+
+    @property
+    def sma_set_name(self) -> str | None:
+        return self.sma_set.name if self.sma_set is not None else None
+
+    def describe(self) -> str:
+        label = self.strategy
+        if self.sma_set is not None:
+            label += f" via {self.sma_set.name!r}"
+        cost = (
+            f"est {self.est_seconds:.3f}s"
+            if self.est_seconds is not None
+            else "not costed"
+        )
+        marker = "-> " if self.chosen else "   "
+        suffix = f"  ({self.note})" if self.note else ""
+        return f"{marker}{label:<28} {cost}{suffix}"
 
 
 @dataclass
@@ -64,14 +156,51 @@ class PlanInfo:
 
 
 @dataclass
+class Explanation:
+    """Everything EXPLAIN shows: tree, costs, grading, alternatives."""
+
+    query: str  # the normalized logical form
+    mode: str
+    info: PlanInfo
+    tree: PlanNode
+    alternatives: tuple[AccessPath, ...]
+    grading: GradingSummary | None
+
+    @property
+    def strategy(self) -> str:
+        return self.info.strategy
+
+    def render(self) -> str:
+        lines = [self.query, f"mode: {self.mode}", "", "physical plan:"]
+        lines.extend("  " + line for line in self.tree.render().splitlines())
+        lines.append("")
+        lines.append(str(self.info))
+        if self.grading is not None:
+            lines.append(f"grading: {self.grading}")
+        if self.alternatives:
+            lines.append("alternatives:")
+            lines.extend(
+                "  " + path.describe() for path in self.alternatives
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
 class Plan:
     """An executable plan: call :meth:`run` to produce (columns, rows)."""
 
     info: PlanInfo
-    _runner: object  # zero-argument callable
+    physical: PhysicalPlan
+    explanation: Explanation | None = field(repr=False, default=None)
 
-    def run(self) -> tuple[list[str], list[tuple]]:
-        return self._runner()
+    def run(self) -> QueryRows:
+        return self.physical.run()
+
+    def explain(self) -> Explanation:
+        return self.explanation
 
 
 def fetch_io_profile(
@@ -106,11 +235,6 @@ class Planner:
         #: plan on the serial operators.
         self.parallelism = resolve_parallelism(parallelism)
 
-    @property
-    def _parallel(self) -> ScanParallelism | None:
-        p = self.parallelism
-        return p if p is not None and p.enabled else None
-
     # ------------------------------------------------------------------
     # candidate selection
     # ------------------------------------------------------------------
@@ -130,8 +254,10 @@ class Planner:
         predicate: Predicate,
         aggregate_specs: list[AggregateSpec],
         group_by: tuple[str, ...],
-    ) -> tuple[int, int]:
-        """Pages/entries of every SMA-file the SMA plan would read."""
+    ) -> tuple[int, int, int]:
+        """Pages, entries and file count of every SMA-file the SMA plan
+        would read (selection SMAs for grading plus, for aggregate
+        queries, the aggregate SMAs the roll-up needs)."""
         files: dict[int, object] = {}
 
         def note(sma) -> None:
@@ -152,8 +278,161 @@ class Planner:
         return pages, entries, len(files)
 
     # ------------------------------------------------------------------
-    # aggregate queries
+    # shared costing
     # ------------------------------------------------------------------
+
+    def _est_scan(self, table: Table) -> float:
+        """Closed-form scan cost, plus one positioning seek to start."""
+        model = self.disk_model
+        return (
+            model.scan_seconds(table.num_pages, table.num_records)
+            + model.random_page_s
+        )
+
+    def _est_sma(
+        self,
+        table: Table,
+        sma_set: SmaSet,
+        predicate: Predicate,
+        fetched: np.ndarray,
+        aggregate_specs: list[AggregateSpec],
+        group_by: tuple[str, ...],
+    ) -> float:
+        """Closed-form SMA-plan cost for fetching *fetched* buckets.
+
+        One routine for both operators: SMA_GAggr fetches the ambivalent
+        buckets, SMA_Scan everything not disqualifying.  Every SMA-file
+        opened costs one positioning seek on top of its sequential read.
+        """
+        model = self.disk_model
+        sma_pages, sma_entries, num_files = self._sma_pages_entries(
+            sma_set, predicate, aggregate_specs, group_by
+        )
+        seq_pages, skip_pages = fetch_io_profile(
+            fetched, table.layout.pages_per_bucket
+        )
+        counts = np.asarray(table.heap.bucket_counts())
+        fetch_tuples = int(counts[fetched].sum())
+        return (
+            model.sma_seconds(
+                sma_pages, sma_entries, seq_pages, skip_pages, fetch_tuples
+            )
+            + num_files * model.random_page_s
+        )
+
+    # ------------------------------------------------------------------
+    # access-path enumeration
+    # ------------------------------------------------------------------
+
+    def _enumerate(
+        self,
+        table: Table,
+        logical: LogicalPlan,
+        mode: str,
+        sma_set: str | SmaSet | None,
+    ) -> list[AccessPath]:
+        """Grade and cost every alternative the mode allows.
+
+        Returns at least one path; SMA candidates are graded (charging
+        their SMA-file reads — the planner really does this work) and
+        costed through :meth:`_est_sma`; the scan alternative is always
+        present unless ``mode="sma"`` excludes it.
+        """
+        aggregate = logical.kind == "aggregate"
+        scan_strategy = "gaggr" if aggregate else "seq_scan"
+        sma_strategy = "sma_gaggr" if aggregate else "sma_scan"
+        specs = sma_requirements(logical.aggregates) if aggregate else []
+
+        paths: list[AccessPath] = []
+        if mode != "scan":
+            for candidate in self._usable_sets(table, logical, sma_set):
+                partitioning = candidate.partition(logical.predicate)
+                fetched = (
+                    partitioning.ambivalent
+                    if aggregate
+                    else ~partitioning.disqualifying
+                )
+                est = self._est_sma(
+                    table,
+                    candidate,
+                    logical.predicate,
+                    fetched,
+                    specs,
+                    logical.group_by,
+                )
+                paths.append(
+                    AccessPath(
+                        strategy=sma_strategy,
+                        est_seconds=est,
+                        sma_set=candidate,
+                        partitioning=partitioning,
+                        grading=GradingSummary.of(partitioning),
+                    )
+                )
+        if mode != "sma":
+            # Forced scans skip grading entirely, so their cost estimate
+            # is reported but never competed against an SMA path.
+            paths.append(
+                AccessPath(
+                    strategy=scan_strategy,
+                    est_seconds=self._est_scan(table),
+                    note="full sequential scan",
+                )
+            )
+        return paths
+
+    def _usable_sets(
+        self,
+        table: Table,
+        logical: LogicalPlan,
+        sma_set: str | SmaSet | None,
+    ) -> list[SmaSet]:
+        """Candidate SMA sets that can serve this logical plan at all."""
+        candidates = self._candidate_sets(table, sma_set)
+        if logical.kind == "aggregate":
+            return [
+                candidate
+                for candidate in candidates
+                if sma_covers(candidate, logical.aggregates, logical.group_by)
+            ]
+        referenced = {
+            column
+            for atom in atoms(logical.predicate)
+            for column in atom.columns()
+        }
+        return [
+            candidate
+            for candidate in candidates
+            if any(candidate.column_bounds(column) for column in referenced)
+        ]
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        query: AggregateQuery | ScanQuery,
+        *,
+        mode: str = "auto",
+        sma_set: str | SmaSet | None = None,
+    ) -> Plan:
+        """Build a plan for any supported query shape.
+
+        *mode* is ``auto`` (cost-based), ``sma`` (force an SMA plan —
+        raises if impossible; the cheapest covering set still wins) or
+        ``scan`` (force the sequential plan).
+        """
+        if mode not in _MODES:
+            raise PlanningError(f"unknown planning mode {mode!r}")
+        if not isinstance(query, (AggregateQuery, ScanQuery)):
+            raise PlanningError(f"cannot plan {type(query).__name__}")
+        table = self.catalog.table(query.table)
+        logical = build_logical(query, table.schema)
+
+        paths = self._enumerate(table, logical, mode, sma_set)
+        chosen = self._choose(table, logical, mode, paths)
+        return self._finish(table, logical, mode, chosen, paths)
 
     def plan_aggregate(
         self,
@@ -162,118 +441,8 @@ class Planner:
         mode: str = "auto",
         sma_set: str | SmaSet | None = None,
     ) -> Plan:
-        """Build a plan for an aggregation query.
-
-        *mode* is ``auto`` (cost-based), ``sma`` (force the SMA plan —
-        raises if impossible) or ``scan`` (force the sequential plan).
-        """
-        if mode not in ("auto", "sma", "scan"):
-            raise PlanningError(f"unknown planning mode {mode!r}")
-        table = self.catalog.table(query.table)
-        query.validate(table.schema)
-        predicate = query.where.bind(table.schema)
-
-        def scan_plan(reason: str, info_extra: dict | None = None) -> Plan:
-            info = PlanInfo(strategy="gaggr", reason=reason, **(info_extra or {}))
-            parallel = self._parallel
-            if parallel is not None:
-                operator = ParallelGAggr(
-                    table, predicate, query.group_by, query.aggregates, parallel
-                )
-            else:
-                operator = GAggr(
-                    Filter(SeqScan(table), predicate),
-                    query.group_by,
-                    query.aggregates,
-                )
-            return Plan(info, operator.execute)
-
-        if mode == "scan":
-            return scan_plan("forced by caller")
-
-        covering = [
-            candidate
-            for candidate in self._candidate_sets(table, sma_set)
-            if sma_covers(candidate, query.aggregates, query.group_by)
-        ]
-        if not covering:
-            if mode == "sma":
-                raise PlanningError(
-                    f"no SMA set on {table.name!r} covers this query's aggregates"
-                )
-            return scan_plan("no covering SMA set")
-
-        chosen_set = covering[0]
-        partitioning = chosen_set.partition(predicate)
-        est_sma, est_scan = self._estimate_gaggr(
-            table, chosen_set, predicate, query, partitioning
-        )
-        info = PlanInfo(
-            strategy="sma_gaggr",
-            reason="cost-based" if mode == "auto" else "forced by caller",
-            sma_set_name=chosen_set.name,
-            fraction_ambivalent=partitioning.fraction_ambivalent,
-            est_sma_seconds=est_sma,
-            est_scan_seconds=est_scan,
-        )
-        if mode == "auto" and est_scan < est_sma:
-            return scan_plan(
-                "cost-based: scan is cheaper",
-                {
-                    "sma_set_name": chosen_set.name,
-                    "fraction_ambivalent": partitioning.fraction_ambivalent,
-                    "est_sma_seconds": est_sma,
-                    "est_scan_seconds": est_scan,
-                },
-            )
-        operator = SmaGAggr(
-            table,
-            predicate,
-            query.group_by,
-            query.aggregates,
-            chosen_set,
-            partitioning=partitioning,
-            parallelism=self._parallel,
-        )
-        return Plan(info, operator.execute)
-
-    def _estimate_gaggr(
-        self,
-        table: Table,
-        sma_set: SmaSet,
-        predicate: Predicate,
-        query: AggregateQuery,
-        partitioning: BucketPartitioning,
-    ) -> tuple[float, float]:
-        model = self.disk_model
-        # One positioning seek to start the scan; one per SMA-file opened.
-        est_scan = (
-            model.scan_seconds(table.num_pages, table.num_records)
-            + model.random_page_s
-        )
-        sma_pages, sma_entries, num_files = self._sma_pages_entries(
-            sma_set,
-            predicate,
-            sma_requirements(query.aggregates),
-            query.group_by,
-        )
-        ambivalent = partitioning.ambivalent
-        seq_pages, skip_pages = fetch_io_profile(
-            ambivalent, table.layout.pages_per_bucket
-        )
-        counts = np.asarray(table.heap.bucket_counts())
-        fetch_tuples = int(counts[ambivalent].sum())
-        est_sma = (
-            model.sma_seconds(
-                sma_pages, sma_entries, seq_pages, skip_pages, fetch_tuples
-            )
-            + num_files * model.random_page_s
-        )
-        return est_sma, est_scan
-
-    # ------------------------------------------------------------------
-    # scan queries
-    # ------------------------------------------------------------------
+        """Build a plan for an aggregation query (see :meth:`plan`)."""
+        return self.plan(query, mode=mode, sma_set=sma_set)
 
     def plan_scan(
         self,
@@ -282,99 +451,145 @@ class Planner:
         mode: str = "auto",
         sma_set: str | SmaSet | None = None,
     ) -> Plan:
-        """Build a plan for a tuple-returning selection."""
-        if mode not in ("auto", "sma", "scan"):
-            raise PlanningError(f"unknown planning mode {mode!r}")
-        table = self.catalog.table(query.table)
-        query.validate(table.schema)
-        predicate = query.where.bind(table.schema)
+        """Build a plan for a tuple-returning selection (see :meth:`plan`)."""
+        return self.plan(query, mode=mode, sma_set=sma_set)
 
-        def finish(operator) -> object:
-            if query.columns:
-                operator = Project(operator, query.columns)
+    # ------------------------------------------------------------------
+    # choosing and finishing
+    # ------------------------------------------------------------------
 
-            def runner() -> tuple[list[str], list[tuple]]:
-                from repro.storage.types import python_value
-
-                schema = operator.schema
-                dtypes = [schema.dtype_of(name) for name in schema.names]
-                columns = list(schema.names)
-                rows = [
-                    tuple(
-                        python_value(dtype, value)
-                        for dtype, value in zip(dtypes, record)
-                    )
-                    for record in operator.rows()
-                ]
-                return columns, rows
-
-            return runner
-
-        def scan_plan(reason: str) -> Plan:
-            info = PlanInfo(strategy="seq_scan", reason=reason)
-            parallel = self._parallel
-            if parallel is not None:
-                return Plan(info, finish(MorselScan(table, predicate, parallel)))
-            return Plan(info, finish(Filter(SeqScan(table), predicate)))
+    def _choose(
+        self,
+        table: Table,
+        logical: LogicalPlan,
+        mode: str,
+        paths: list[AccessPath],
+    ) -> AccessPath:
+        sma_paths = [path for path in paths if path.sma_set is not None]
+        scan_paths = [path for path in paths if path.sma_set is None]
 
         if mode == "scan":
-            return scan_plan("forced by caller")
-
-        candidates = self._candidate_sets(table, sma_set)
-        referenced = {
-            column for atom in atoms(predicate) for column in atom.columns()
-        }
-        usable = [
-            candidate
-            for candidate in candidates
-            if any(candidate.column_bounds(column) for column in referenced)
-        ]
-        if not usable:
-            if mode == "sma":
-                raise PlanningError(
-                    f"no SMA set on {table.name!r} can grade this predicate"
+            chosen = scan_paths[0]
+            chosen.note = "forced by caller"
+            chosen.chosen = True
+            return chosen
+        if mode == "sma":
+            if not sma_paths:
+                detail = (
+                    "covers this query's aggregates"
+                    if logical.kind == "aggregate"
+                    else "can grade this predicate"
                 )
-            return scan_plan("no applicable selection SMA")
-
-        chosen_set = usable[0]
-        partitioning = chosen_set.partition(predicate)
-        model = self.disk_model
-        est_scan = (
-            model.scan_seconds(table.num_pages, table.num_records)
-            + model.random_page_s
-        )
-        fetched = ~partitioning.disqualifying
-        seq_pages, skip_pages = fetch_io_profile(
-            fetched, table.layout.pages_per_bucket
-        )
-        counts = np.asarray(table.heap.bucket_counts())
-        fetch_tuples = int(counts[fetched].sum())
-        sma_pages, sma_entries, num_files = self._sma_pages_entries(
-            chosen_set, predicate, [], ()
-        )
-        est_sma = (
-            model.sma_seconds(
-                sma_pages, sma_entries, seq_pages, skip_pages, fetch_tuples
+                raise PlanningError(
+                    f"no SMA set on {table.name!r} {detail}"
+                )
+            chosen = min(sma_paths, key=lambda path: path.est_seconds)
+            chosen.note = (
+                "forced by caller"
+                if len(sma_paths) == 1
+                else "forced by caller; cheapest covering set"
             )
-            + num_files * model.random_page_s
+            chosen.chosen = True
+            return chosen
+
+        # auto: global minimum; ties go to the SMA path (matching the
+        # historical `scan < sma` strict comparison).
+        if not sma_paths:
+            chosen = scan_paths[0]
+            chosen.note = (
+                "no covering SMA set"
+                if logical.kind == "aggregate"
+                else "no applicable selection SMA"
+            )
+            chosen.chosen = True
+            return chosen
+        best_sma = min(sma_paths, key=lambda path: path.est_seconds)
+        scan = scan_paths[0]
+        if scan.est_seconds < best_sma.est_seconds:
+            scan.note = "cost-based: scan is cheaper"
+            scan.chosen = True
+            return scan
+        best_sma.note = (
+            "cost-based"
+            if len(sma_paths) == 1
+            else f"cost-based: cheapest of {len(sma_paths)} covering sets"
         )
+        best_sma.chosen = True
+        return best_sma
+
+    def _finish(
+        self,
+        table: Table,
+        logical: LogicalPlan,
+        mode: str,
+        chosen: AccessPath,
+        paths: list[AccessPath],
+    ) -> Plan:
+        # PlanInfo stays symmetric across strategies: whenever any SMA
+        # candidate was graded, both estimates and its grading fractions
+        # are reported — also on the scan side of a cost-based loss.
+        sma_paths = [path for path in paths if path.sma_set is not None]
+        best_sma = (
+            min(sma_paths, key=lambda path: path.est_seconds)
+            if sma_paths
+            else None
+        )
+        reference = chosen if chosen.sma_set is not None else best_sma
         info = PlanInfo(
-            strategy="sma_scan",
-            reason="cost-based" if mode == "auto" else "forced by caller",
-            sma_set_name=chosen_set.name,
-            fraction_ambivalent=partitioning.fraction_ambivalent,
-            est_sma_seconds=est_sma,
-            est_scan_seconds=est_scan,
+            strategy=chosen.strategy,
+            reason=chosen.note,
+            sma_set_name=reference.sma_set_name if reference else None,
+            fraction_ambivalent=(
+                reference.grading.fraction_ambivalent if reference else None
+            ),
+            est_sma_seconds=reference.est_seconds if reference else None,
+            est_scan_seconds=(
+                next(
+                    (
+                        path.est_seconds
+                        for path in paths
+                        if path.sma_set is None
+                    ),
+                    self._est_scan(table) if reference else None,
+                )
+            ),
         )
-        if mode == "auto" and est_scan < est_sma:
-            return scan_plan("cost-based: scan is cheaper")
-        parallel = self._parallel
-        if parallel is not None:
-            operator = MorselScan(
-                table, predicate, parallel, partitioning=partitioning
+        if reference is None:
+            info.est_scan_seconds = None
+
+        if logical.kind == "aggregate":
+            physical = bind_aggregate_plan(
+                table,
+                logical,
+                chosen.strategy,
+                self.parallelism,
+                sma_set=chosen.sma_set,
+                partitioning=chosen.partitioning,
             )
         else:
-            operator = SmaScan(
-                table, predicate, chosen_set, partitioning=partitioning
+            physical = bind_scan_plan(
+                table,
+                logical,
+                chosen.strategy,
+                self.parallelism,
+                sma_set=chosen.sma_set,
+                partitioning=chosen.partitioning,
             )
-        return Plan(info, finish(operator))
+
+        ordered = sorted(
+            paths,
+            key=lambda path: (
+                path.est_seconds if path.est_seconds is not None else float("inf")
+            ),
+        )
+        explanation = Explanation(
+            query=logical.render(),
+            mode=mode,
+            info=info,
+            tree=physical.root,
+            alternatives=tuple(ordered),
+            # When a scan wins the cost race, the grading that informed
+            # the decision (of the best rejected SMA path) still shows.
+            grading=chosen.grading or (reference.grading if reference else None),
+        )
+        return Plan(info=info, physical=physical, explanation=explanation)

@@ -11,11 +11,20 @@ Two shapes cover the paper's workloads:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.aggregates import AggregateSpec
 from repro.errors import PlanningError
 from repro.lang.predicate import Predicate, TruePredicate
 from repro.storage.schema import Schema
+
+#: The shape every executed plan produces: (column names, result rows).
+QueryRows = tuple[list[str], list[tuple]]
+
+#: A bound, zero-argument plan executor.  Physical operators expose their
+#: ``execute`` method with this signature and :class:`PhysicalPlan` wraps
+#: exactly one of them as its runner.
+PlanRunner = Callable[[], QueryRows]
 
 
 @dataclass(frozen=True)
@@ -90,3 +99,10 @@ class ScanQuery:
         if not self.columns:
             return schema
         return schema.project(self.columns)
+
+
+@dataclass(frozen=True)
+class ExplainQuery:
+    """``EXPLAIN SELECT ...`` — plan the wrapped query without running it."""
+
+    query: AggregateQuery | ScanQuery

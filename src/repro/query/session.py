@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import PlanningError
 from repro.query.parallel import DEFAULT_MORSEL_BUCKETS, ScanParallelism
-from repro.query.planner import Plan, PlanInfo, Planner
-from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.planner import Explanation, Plan, PlanInfo, Planner
+from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskModel, PAPER_DISK
 from repro.storage.stats import CostBreakdown, IoStats
@@ -184,11 +184,7 @@ class Session:
         mode: str,
         sma_set: str | None,
     ) -> Plan:
-        if isinstance(query, AggregateQuery):
-            return self.planner.plan_aggregate(query, mode=mode, sma_set=sma_set)
-        if isinstance(query, ScanQuery):
-            return self.planner.plan_scan(query, mode=mode, sma_set=sma_set)
-        raise PlanningError(f"cannot plan {type(query).__name__}")
+        return self.planner.plan(query, mode=mode, sma_set=sma_set)
 
     def explain(
         self,
@@ -196,9 +192,44 @@ class Session:
         *,
         mode: str = "auto",
         sma_set: str | None = None,
-    ) -> PlanInfo:
-        """Plan without running (SMA grading I/O is still charged)."""
-        return self._plan(query, mode=mode, sma_set=sma_set).info
+    ) -> Explanation:
+        """Plan without running (SMA grading I/O is still charged).
+
+        Returns the full :class:`~repro.query.planner.Explanation`:
+        physical plan tree, per-alternative cost estimates, grading
+        breakdown and the chosen-vs-rejected access paths.
+        """
+        return self._plan(query, mode=mode, sma_set=sma_set).explanation
+
+    def _explain_result(
+        self,
+        statement: ExplainQuery,
+        *,
+        mode: str,
+        sma_set: str | None,
+        cold: bool,
+    ) -> QueryResult:
+        """Run ``EXPLAIN SELECT ...``: plan only, rows are the plan text."""
+        if cold:
+            self.catalog.go_cold()
+        pool = self.catalog.pool
+        pool.reset_sequence_tracking()
+        window = pool.stats
+        before = window.snapshot()
+        started = time.perf_counter()
+        plan = self._plan(statement.query, mode=mode, sma_set=sma_set)
+        wall = time.perf_counter() - started
+        delta = window.snapshot() - before
+        lines = plan.explanation.render().splitlines()
+        return QueryResult(
+            columns=["QUERY PLAN"],
+            rows=[(line,) for line in lines],
+            stats=delta,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(delta),
+            plan=plan.info,
+            warm=not cold,
+        )
 
     # ------------------------------------------------------------------
     # SQL text entry points
@@ -212,10 +243,19 @@ class Session:
         sma_set: str | None = None,
         cold: bool = False,
     ) -> QueryResult:
-        """Parse and execute one SELECT statement."""
+        """Parse and execute one SELECT (or EXPLAIN SELECT) statement.
+
+        ``EXPLAIN SELECT ...`` plans without executing and returns the
+        rendered plan as rows of a single ``QUERY PLAN`` column, exactly
+        like the direct statements return their relation.
+        """
         from repro.sql.parser import parse_statement
 
         statement = parse_statement(text)
+        if isinstance(statement, ExplainQuery):
+            return self._explain_result(
+                statement, mode=mode, sma_set=sma_set, cold=cold
+            )
         if not isinstance(statement, (AggregateQuery, ScanQuery)):
             raise PlanningError(
                 "Session.sql executes SELECT statements; use "

@@ -25,7 +25,7 @@ from repro.errors import PlanningError
 from repro.lang.predicate import Predicate
 from repro.query.aggregation import AggregationState
 from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
-from repro.query.query import OutputAggregate
+from repro.query.query import OutputAggregate, QueryRows
 from repro.storage.table import Table
 
 
@@ -92,7 +92,7 @@ class SmaGAggr:
             self._partitioning = self.sma_set.partition(self.predicate)
         return self._partitioning
 
-    def execute(self) -> tuple[list[str], list[tuple]]:
+    def execute(self) -> QueryRows:
         """Compute the full result (the operator's init phase)."""
         state = AggregationState(self.table.schema, self.group_by, self.aggregates)
         partitioning = self.partitioning

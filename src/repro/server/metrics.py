@@ -101,6 +101,7 @@ class MetricsRegistry:
         self._latency_by_kind: dict[str, LatencyRecorder] = {}
         self._queue_wait = LatencyRecorder(max_samples)
         self._io = IoStats()
+        self._plans: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # recording (called by the service / executor)
@@ -119,9 +120,14 @@ class MetricsRegistry:
             self._queue_wait.record(seconds)
 
     def record_success(
-        self, kind: str, latency_s: float, stats: IoStats | None = None
+        self,
+        kind: str,
+        latency_s: float,
+        stats: IoStats | None = None,
+        strategy: str | None = None,
     ) -> None:
-        """One query completed: latency plus its exact I/O counter delta."""
+        """One query completed: latency, its exact I/O counter delta, and
+        the planner strategy that served it ("sma_gaggr", "seq_scan", ...)."""
         with self._lock:
             self.completed += 1
             self._latency.record(latency_s)
@@ -133,6 +139,8 @@ class MetricsRegistry:
             recorder.record(latency_s)
             if stats is not None:
                 self._io.merge(stats)
+            if strategy is not None:
+                self._plans[strategy] = self._plans.get(strategy, 0) + 1
 
     def record_failure(self, kind: str) -> None:
         with self._lock:
@@ -167,6 +175,7 @@ class MetricsRegistry:
               "queue_wait_s": {...},
               "io": {<IoStats counters>, buffer_hit_rate,
                      bucket_skip_rate},
+              "plans": {strategy: completed count},
             }
         """
         with self._lock:
@@ -197,4 +206,5 @@ class MetricsRegistry:
                     "buffer_hit_rate": io.buffer_hit_rate,
                     "bucket_skip_rate": io.bucket_skip_rate,
                 },
+                "plans": dict(sorted(self._plans.items())),
             }

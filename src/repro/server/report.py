@@ -78,6 +78,16 @@ def render_metrics(snapshot: dict) -> str:
         f"  tuples scanned: {io['tuples_scanned']}, "
         f"SMA entries read: {io['sma_entries_read']}"
     )
+
+    plans = snapshot.get("plans") or {}
+    if plans:
+        lines.append("")
+        lines.append("plans (completed queries by chosen strategy):")
+        lines.append(
+            "  " + ", ".join(
+                f"{strategy} {count}" for strategy, count in plans.items()
+            )
+        )
     return "\n".join(lines)
 
 

@@ -31,11 +31,13 @@ import threading
 from dataclasses import dataclass
 
 from repro.errors import (
+    PlanningError,
     QueryCancelledError,
     QueryTimeoutError,
     ServerOverloadedError,
 )
-from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.planner import Explanation
+from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
 from repro.query.session import QueryResult, Session
 from repro.server.executor import QueryExecutor, QueryTicket, TicketState
 from repro.server.metrics import MetricsRegistry
@@ -178,6 +180,31 @@ class QueryService:
         )
         return ticket.result()
 
+    def explain(
+        self,
+        query: AggregateQuery | ScanQuery | str,
+        *,
+        mode: str = "auto",
+        sma_set: str | None = None,
+    ) -> Explanation:
+        """Plan *query* without executing it (runs on the caller's thread,
+        bypassing admission — planning only grades SMA-files).
+
+        SQL strings may, but need not, carry the ``EXPLAIN`` prefix.
+        """
+        if isinstance(query, str):
+            from repro.sql.parser import parse_statement
+
+            statement = parse_statement(query)
+            if isinstance(statement, ExplainQuery):
+                statement = statement.query
+            if not isinstance(statement, (AggregateQuery, ScanQuery)):
+                raise PlanningError(
+                    "QueryService.explain takes a SELECT statement"
+                )
+            query = statement
+        return self._session().explain(query, mode=mode, sma_set=sma_set)
+
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
@@ -223,7 +250,12 @@ class QueryService:
         except BaseException:
             self.metrics.record_failure(job.kind)
             raise
-        self.metrics.record_success(job.kind, result.wall_seconds, result.stats)
+        self.metrics.record_success(
+            job.kind,
+            result.wall_seconds,
+            result.stats,
+            strategy=result.plan.strategy,
+        )
         return result
 
     def _record_skipped(self, ticket: QueryTicket) -> None:

@@ -26,7 +26,7 @@ KEYWORDS = frozenset(
     {
         "DEFINE", "SMA", "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY",
         "AND", "OR", "NOT", "AS", "MIN", "MAX", "SUM", "COUNT", "AVG",
-        "DATE", "INTERVAL", "DAY", "BETWEEN", "DESC", "ASC",
+        "DATE", "INTERVAL", "DAY", "BETWEEN", "DESC", "ASC", "EXPLAIN",
     }
 )
 

@@ -43,7 +43,12 @@ from repro.lang.predicate import (
     not_,
     or_,
 )
-from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+from repro.query.query import (
+    AggregateQuery,
+    ExplainQuery,
+    OutputAggregate,
+    ScanQuery,
+)
 from repro.sql.lexer import Token, TokenKind, tokenize
 
 _AGG_KEYWORDS = {
@@ -131,11 +136,13 @@ class _Parser:
     def parse_statement(self):
         if self.current.is_keyword("DEFINE"):
             statement = self.parse_define_sma()
+        elif self.current.is_keyword("EXPLAIN"):
+            statement = self.parse_explain()
         elif self.current.is_keyword("SELECT"):
             statement = self.parse_select()
         else:
             raise ParseError(
-                f"expected DEFINE or SELECT, found {self.current}",
+                f"expected DEFINE, EXPLAIN or SELECT, found {self.current}",
                 self.current.position,
             )
         if not self.at_end():
@@ -176,6 +183,16 @@ class _Parser:
                 "avg cannot be materialized; define sum and count instead"
             )
         return SmaDefinition(name, table, spec, group_by)
+
+    def parse_explain(self) -> ExplainQuery:
+        """``EXPLAIN SELECT ...`` — plan the statement without running it."""
+        self.expect_keyword("EXPLAIN")
+        if not self.current.is_keyword("SELECT"):
+            raise ParseError(
+                f"EXPLAIN supports only SELECT statements, found {self.current}",
+                self.current.position,
+            )
+        return ExplainQuery(self.parse_select())
 
     def parse_select(self):
         self.expect_keyword("SELECT")

@@ -12,7 +12,7 @@ import json
 import os
 from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import CatalogError, StorageError
+from repro.errors import CatalogError
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile
 from repro.storage.page import DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE

@@ -2,7 +2,6 @@
 
 import datetime
 
-import numpy as np
 
 from repro.baselines.fullscan import scan_collect, scan_count
 from repro.lang import cmp

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import datetime
 
-import numpy as np
 import pytest
 
 from repro.storage import Catalog, DATE, FLOAT64, INT32, Schema, char

@@ -14,8 +14,6 @@ from repro.core import (
 from repro.errors import SmaDefinitionError
 from repro.lang.expr import col, const, mul, sub
 
-from tests.conftest import SALES_SCHEMA
-
 
 def definitions():
     return [

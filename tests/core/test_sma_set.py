@@ -2,7 +2,6 @@
 
 import datetime
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -15,7 +14,7 @@ from repro.core import (
     total,
 )
 from repro.errors import CatalogError
-from repro.lang import and_, cmp, col, not_, or_
+from repro.lang import and_, cmp, col, or_
 
 from tests.conftest import BASE_DATE, brute_force_partition_check
 

@@ -77,6 +77,57 @@ class TestQuery:
         assert rows_of(out_sma) == rows_of(out_scan)
 
 
+class TestExplain:
+    @pytest.fixture
+    def loaded(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        return db
+
+    SQL = (
+        "SELECT L_RETURNFLAG, COUNT(*) AS n FROM LINEITEM "
+        "WHERE L_SHIPDATE <= DATE '1998-09-02' GROUP BY L_RETURNFLAG"
+    )
+
+    def test_explain_prints_full_plan(self, loaded, capsys):
+        code, out, _ = run(capsys, "explain", "--db", loaded, self.SQL)
+        assert code == 0
+        assert "physical plan:" in out
+        assert "strategy:" in out
+        assert "alternatives:" in out
+        assert "estimated cost:" in out
+
+    def test_explain_prefix_accepted(self, loaded, capsys):
+        code, out, _ = run(
+            capsys, "explain", "--db", loaded, "EXPLAIN " + self.SQL
+        )
+        assert code == 0
+        assert "physical plan:" in out
+
+    def test_explain_forced_scan(self, loaded, capsys):
+        code, out, _ = run(
+            capsys, "explain", "--db", loaded, "--mode", "scan", self.SQL
+        )
+        assert code == 0
+        assert "forced by caller" in out
+
+    def test_explain_rejects_non_select(self, loaded, capsys):
+        code, _, err = run(
+            capsys, "explain", "--db", loaded,
+            "define sma x select min(L_QUANTITY) from LINEITEM",
+        )
+        assert code == 1
+        assert "SELECT" in err
+
+    def test_query_subcommand_handles_explain_sql(self, loaded, capsys):
+        # "repro query" with an EXPLAIN statement plans without running.
+        code, out, _ = run(
+            capsys, "query", "--db", loaded, "EXPLAIN " + self.SQL
+        )
+        assert code == 0
+        assert "QUERY PLAN" in out
+        assert "physical plan:" in out
+
+
 class TestDefineAndInfo:
     def test_define_inline(self, db, capsys):
         run(capsys, "load", "--db", db, "--sf", "0.002")

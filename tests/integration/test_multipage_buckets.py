@@ -3,7 +3,6 @@ bucket-size knob): build, grade, query, maintain."""
 
 import datetime
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -8,10 +8,8 @@ Random tables, random predicates, random DML — the invariants:
 """
 
 import datetime
-import os
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import (

@@ -9,8 +9,6 @@ from repro.errors import SchemaError
 from repro.lang.expr import (
     ArithOp,
     BinOp,
-    ColumnRef,
-    Const,
     Neg,
     add,
     col,

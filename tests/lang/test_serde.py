@@ -8,7 +8,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import SchemaError
 from repro.lang.expr import add, col, const, div, mul, sub, Neg
-from repro.lang.predicate import TruePredicate, and_, cmp, not_, or_, Not
+from repro.lang.predicate import TruePredicate, and_, cmp, or_, Not
 from repro.lang.serde import (
     expr_from_json,
     expr_to_json,

@@ -3,7 +3,6 @@
 import datetime
 
 import numpy as np
-import pytest
 
 from repro.core.aggregates import average, count_star, maximum, minimum, total
 from repro.lang.expr import col

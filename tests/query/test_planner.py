@@ -160,6 +160,92 @@ class TestAggregatePlanning:
         )
 
 
+@pytest.fixture
+def competing_sets(catalog, tmp_path):
+    """Two covering SMA sets where the one registered FIRST is strictly
+    more expensive: 'fat' materializes its aggregates at a needlessly
+    fine grouping (flag, cat), so serving a GROUP BY flag query reads
+    more SMA-files (and pays more positioning seeks) than 'lean'."""
+    from repro.core import (
+        SmaDefinition, build_sma_set, count_star, maximum, minimum, total,
+    )
+    from repro.storage import DATE, FLOAT64, INT32, Schema, char
+
+    schema = Schema.of(
+        ("id", INT32),
+        ("ship", DATE),
+        ("qty", FLOAT64),
+        ("flag", char(1)),
+        ("cat", char(1)),
+    )
+    table = catalog.create_table("SALES", schema, clustered_on="ship")
+    table.append_rows(
+        [
+            (
+                i,
+                BASE_DATE + datetime.timedelta(days=i // 500),
+                float(i % 7),
+                "AR"[i % 2],
+                "XY"[i % 3 % 2],
+            )
+            for i in range(20_000)
+        ]
+    )
+
+    def definitions(group_by):
+        return [
+            SmaDefinition("smin", "SALES", minimum(col("ship"))),
+            SmaDefinition("smax", "SALES", maximum(col("ship"))),
+            SmaDefinition("cnt", "SALES", count_star(), group_by),
+            SmaDefinition("sqty", "SALES", total(col("qty")), group_by),
+        ]
+
+    fat, _ = build_sma_set(
+        table, definitions(("flag", "cat")),
+        directory=str(tmp_path / "fat"), name="fat",
+    )
+    catalog.register_sma_set("SALES", fat)  # registered first
+    lean, _ = build_sma_set(
+        table, definitions(("flag",)),
+        directory=str(tmp_path / "lean"), name="lean",
+    )
+    catalog.register_sma_set("SALES", lean)
+    return table
+
+
+class TestCheapestCoveringSet:
+    """Regression: the planner must pick the CHEAPEST covering SMA set,
+    not the first registered one (the old ``covering[0]`` behavior)."""
+
+    def test_auto_picks_cheapest_not_first(self, catalog, competing_sets):
+        plan = Planner(catalog).plan_aggregate(query())
+        assert plan.info.strategy == "sma_gaggr"
+        assert plan.info.sma_set_name == "lean"
+        assert "cheapest of 2" in plan.info.reason
+
+    def test_forced_sma_also_picks_cheapest(self, catalog, competing_sets):
+        plan = Planner(catalog).plan_aggregate(query(), mode="sma")
+        assert plan.info.sma_set_name == "lean"
+        assert "cheapest covering set" in plan.info.reason
+
+    def test_both_sets_costed_in_alternatives(self, catalog, competing_sets):
+        explanation = Planner(catalog).plan_aggregate(query()).explanation
+        by_set = {
+            path.sma_set_name: path
+            for path in explanation.alternatives
+            if path.sma_set_name is not None
+        }
+        assert set(by_set) == {"fat", "lean"}
+        assert by_set["lean"].est_seconds < by_set["fat"].est_seconds
+        assert by_set["lean"].chosen and not by_set["fat"].chosen
+
+    def test_explicit_set_restriction_still_honored(
+        self, catalog, competing_sets
+    ):
+        plan = Planner(catalog).plan_aggregate(query(), sma_set="fat")
+        assert plan.info.sma_set_name == "fat"
+
+
 class TestScanPlanning:
     def test_auto_picks_sma_scan_for_selective_predicate(
         self, catalog, sales_table, sales_sma_set

@@ -124,6 +124,23 @@ class TestMetricsRegistry:
         assert snapshot["queries"]["completed"] == 4000
         assert snapshot["io"]["buffer_hits"] == 4000
 
+    def test_plan_strategy_counters(self):
+        registry = MetricsRegistry()
+        registry.record_success("q1", 0.1, strategy="sma_gaggr")
+        registry.record_success("q1", 0.1, strategy="sma_gaggr")
+        registry.record_success("scan", 0.2, strategy="seq_scan")
+        registry.record_success("legacy", 0.1)  # no strategy: not counted
+        plans = registry.snapshot()["plans"]
+        assert plans == {"seq_scan": 1, "sma_gaggr": 2}
+        assert sum(plans.values()) <= registry.snapshot()["queries"]["completed"]
+
+    def test_render_metrics_shows_plan_strategies(self):
+        registry = MetricsRegistry()
+        registry.record_success("q1", 0.1, strategy="sma_gaggr")
+        text = render_metrics(registry.snapshot())
+        assert "plans" in text
+        assert "sma_gaggr 1" in text
+
     def test_render_metrics_mentions_key_fields(self):
         registry = MetricsRegistry()
         registry.record_submitted()

@@ -180,3 +180,37 @@ class TestMetricsSurface:
         assert 0.0 <= snapshot["io"]["buffer_hit_rate"] <= 1.0
         # SMA grading actually skipped buckets for the selective query.
         assert snapshot["io"]["buckets_skipped"] > 0
+
+    def test_plan_strategies_recorded(self, served_catalog):
+        with QueryService(served_catalog, workers=2) as service:
+            service.execute(count_query(days=3), mode="sma")
+            service.execute(count_query(days=3), mode="sma")
+            service.execute(count_query(days=3), mode="scan")
+        plans = service.metrics.snapshot()["plans"]
+        assert plans == {"gaggr": 1, "sma_gaggr": 2}
+
+
+class TestServiceExplain:
+    def test_explain_query_object(self, served_catalog):
+        with QueryService(served_catalog, workers=1) as service:
+            explanation = service.explain(count_query(days=3), mode="sma")
+        assert explanation.strategy == "sma_gaggr"
+        assert "physical plan:" not in explanation.render().splitlines()[0]
+        assert "SmaGAggr" in explanation.render()
+
+    def test_explain_sql_with_and_without_prefix(self, served_catalog):
+        sql = (
+            "SELECT flag, COUNT(*) AS n FROM SALES "
+            "WHERE ship <= DATE '1997-01-04' GROUP BY flag"
+        )
+        with QueryService(served_catalog, workers=1) as service:
+            bare = service.explain(sql)
+            prefixed = service.explain("EXPLAIN " + sql)
+        assert bare.render() == prefixed.render()
+
+    def test_explain_does_not_count_as_query(self, served_catalog):
+        with QueryService(served_catalog, workers=1) as service:
+            service.explain(count_query(days=3))
+        snapshot = service.metrics.snapshot()
+        assert snapshot["queries"]["submitted"] == 0
+        assert snapshot["queries"]["completed"] == 0

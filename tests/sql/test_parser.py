@@ -9,7 +9,7 @@ from repro.core.definition import SmaDefinition
 from repro.errors import ParseError, SmaDefinitionError
 from repro.lang.expr import col, const, mul, sub
 from repro.lang.predicate import And, CmpOp, ColumnColumnCmp, ColumnConstCmp, Or
-from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
 from repro.sql.parser import parse_definitions, parse_statement
 
 
@@ -203,13 +203,36 @@ class TestPredicates:
             self.where("a 5")
 
 
+class TestExplain:
+    def test_explain_wraps_select(self):
+        statement = parse_statement("explain select * from T where a < 5")
+        assert isinstance(statement, ExplainQuery)
+        assert isinstance(statement.query, ScanQuery)
+        assert statement.query.table == "T"
+
+    def test_explain_aggregate(self):
+        statement = parse_statement(
+            "EXPLAIN SELECT g, COUNT(*) AS n FROM T GROUP BY g"
+        )
+        assert isinstance(statement, ExplainQuery)
+        assert isinstance(statement.query, AggregateQuery)
+
+    def test_explain_requires_select(self):
+        with pytest.raises(ParseError, match="EXPLAIN supports only SELECT"):
+            parse_statement("explain define sma x select min(a) from T")
+
+    def test_explain_alone_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("explain")
+
+
 class TestErrors:
     def test_trailing_garbage_rejected(self):
         with pytest.raises(ParseError, match="trailing"):
             parse_statement("select * from T extra")
 
     def test_not_a_statement(self):
-        with pytest.raises(ParseError, match="DEFINE or SELECT"):
+        with pytest.raises(ParseError, match="DEFINE, EXPLAIN or SELECT"):
             parse_statement("insert into T values (1)")
 
     def test_missing_from(self):

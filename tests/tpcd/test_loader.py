@@ -1,7 +1,6 @@
 """Tests for the one-call TPC-D loader."""
 
 import numpy as np
-import pytest
 
 from repro.tpcd.loader import load_lineitem, load_tpcd
 

@@ -2,7 +2,6 @@
 
 import datetime
 
-import pytest
 
 from repro.core.aggregates import AggregateKind
 from repro.lang.predicate import And, ColumnConstCmp
