@@ -81,6 +81,21 @@ def write_bench_json(result, config: dict) -> Path:
     return path
 
 
+def bench_trace_log(exp_id: str):
+    """An EventLog writing ``TRACE_<exp_id>.jsonl`` beside the BENCH json.
+
+    The caller must close it; closing prints nothing, the file is the
+    artifact (archived by CI together with the ``BENCH_*.json`` files).
+    """
+    from repro.obs import EventLog
+
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent.parent)
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return EventLog(str(out_dir / f"TRACE_{exp_id}.jsonl"))
+
+
 def run_once(benchmark, experiment, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 

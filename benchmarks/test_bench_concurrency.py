@@ -16,7 +16,7 @@ from repro.bench.concurrency import (
     exp_scan_parallelism,
 )
 
-from conftest import run_once
+from conftest import bench_trace_log, run_once
 
 WORKER_COUNTS = (1, 4, 16)
 QUERIES_PER_CLIENT = 4
@@ -26,13 +26,19 @@ CLIENT_COUNTS = (1, 4, 16)
 
 
 def test_bench_concurrency_throughput(benchmark, bench_sf):
-    result = run_once(
-        benchmark,
-        exp_concurrency_throughput,
-        scale_factor=bench_sf,
-        worker_counts=WORKER_COUNTS,
-        queries_per_client=QUERIES_PER_CLIENT,
-    )
+    trace_log = bench_trace_log("C1")
+    try:
+        result = run_once(
+            benchmark,
+            exp_concurrency_throughput,
+            scale_factor=bench_sf,
+            worker_counts=WORKER_COUNTS,
+            queries_per_client=QUERIES_PER_CLIENT,
+            event_log=trace_log,
+        )
+    finally:
+        trace_log.close()
+    assert trace_log.stats()["written"] > 0  # trace artifact is non-empty
     for workers in WORKER_COUNTS:
         assert result.metric(f"completed_w{workers}") == (
             workers * QUERIES_PER_CLIENT
@@ -45,15 +51,21 @@ def test_bench_concurrency_throughput(benchmark, bench_sf):
 
 
 def test_bench_scan_parallelism(benchmark, bench_sf):
-    result = run_once(
-        benchmark,
-        exp_scan_parallelism,
-        scale_factor=bench_sf,
-        scan_worker_counts=SCAN_WORKER_COUNTS,
-        client_counts=CLIENT_COUNTS,
-        queries_per_client=2,
-        repeats=2,
-    )
+    trace_log = bench_trace_log("C2")
+    try:
+        result = run_once(
+            benchmark,
+            exp_scan_parallelism,
+            scale_factor=bench_sf,
+            scan_worker_counts=SCAN_WORKER_COUNTS,
+            client_counts=CLIENT_COUNTS,
+            queries_per_client=2,
+            repeats=2,
+            event_log=trace_log,
+        )
+    finally:
+        trace_log.close()
+    assert trace_log.stats()["written"] > 0  # trace artifact is non-empty
     # The experiment itself raises if any parallel result diverges from
     # serial or any query is lost; here we sanity-check the metrics.
     for scan_workers in SCAN_WORKER_COUNTS:

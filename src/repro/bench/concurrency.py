@@ -27,24 +27,43 @@ from repro.tpcd.loader import load_lineitem
 from repro.tpcd.queries import query1
 
 
+def _tracer_for(event_log):
+    """A real tracer when a trace artifact is wanted, else None (no-op)."""
+    if event_log is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
 def exp_concurrency_throughput(
     scale_factor: float = 0.005,
     worker_counts: tuple[int, ...] = (1, 4, 16),
     queries_per_client: int = 6,
+    event_log=None,
 ) -> ExperimentResult:
-    """Closed-loop throughput at several worker counts, shared catalog."""
+    """Closed-loop throughput at several worker counts, shared catalog.
+
+    ``event_log`` (an :class:`repro.obs.EventLog`) turns on tracing: every
+    service run emits query events and full span trees into the JSONL
+    artifact (``repro bench --trace-file``).
+    """
     rows: list[tuple] = []
     metrics: dict[str, float] = {}
     with ScratchCatalog() as catalog:
         load_lineitem(catalog, scale_factor=scale_factor, clustering="sorted")
         mix = default_mix("LINEITEM")
         for workers in worker_counts:
+            if event_log is not None:
+                event_log.emit("experiment", exp="C1", workers=workers)
             registry = MetricsRegistry()
             with QueryService(
                 catalog,
                 workers=workers,
                 queue_depth=max(32, 2 * workers),
                 metrics=registry,
+                tracer=_tracer_for(event_log),
+                events=event_log,
             ) as service:
                 driver = WorkloadDriver(service, mix)
                 result = driver.run_closed_loop(
@@ -94,6 +113,7 @@ def exp_scan_parallelism(
     client_counts: tuple[int, ...] = (1, 4, 16),
     queries_per_client: int = 3,
     repeats: int = 3,
+    event_log=None,
 ) -> ExperimentResult:
     """C2 — morsel-driven scan parallelism on the striped buffer pool.
 
@@ -141,6 +161,11 @@ def exp_scan_parallelism(
             qps: dict[int, float] = {}
             hit_rate = 0.0
             for clients in client_counts:
+                if event_log is not None:
+                    event_log.emit(
+                        "experiment", exp="C2",
+                        scan_workers=scan_workers, clients=clients,
+                    )
                 registry = MetricsRegistry()
                 with QueryService(
                     catalog,
@@ -148,6 +173,8 @@ def exp_scan_parallelism(
                     queue_depth=max(32, 2 * clients),
                     metrics=registry,
                     scan_workers=scan_workers,
+                    tracer=_tracer_for(event_log),
+                    events=event_log,
                 ) as service:
                     driver = WorkloadDriver(service, mix)
                     run = driver.run_closed_loop(

@@ -10,6 +10,7 @@ load      generate TPC-D data into a catalog directory (+ Q1 SMAs)
 define    build SMAs from a ``define sma`` script (file or inline)
 query     run one SELECT against a catalog, print rows + both clocks
 explain   plan one SELECT without running it, print the full plan
+trace     run one SELECT with tracing on, print the span tree
 info      list tables, SMA sets and sizes of a catalog
 bench     run the paper experiments (all, or a comma-separated subset)
 serve     replay a concurrent workload through the query service
@@ -141,6 +142,46 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, render_span_tree
+
+    catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
+    tracer = Tracer()
+    session = Session(catalog, scan_workers=args.scan_workers, tracer=tracer)
+    result = session.sql(
+        args.sql, mode=args.mode, sma_set=args.sma_set, cold=args.cold
+    )
+    root = tracer.last_trace()
+    if root is None:
+        print("error: no trace captured", file=sys.stderr)
+        catalog.close()
+        return 1
+    print(render_span_tree(root))
+    print()
+    print(f"rows: {len(result.rows)}; "
+          f"wall {human_seconds(result.wall_seconds)}; "
+          f"simulated {human_seconds(result.simulated_seconds)}; "
+          f"strategy {result.plan.strategy}")
+    # Acceptance check: io-carrying leaf spans never nest and cover every
+    # charge site, so their deltas must sum exactly to the query totals.
+    leaf = root.io_total()
+    total = result.stats
+    exact = (
+        leaf.page_reads == total.page_reads
+        and leaf.buffer_hits == total.buffer_hits
+        and leaf.tuples_scanned == total.tuples_scanned
+        and leaf.buckets_skipped == total.buckets_skipped
+    )
+    print(f"io reconciliation: leaf spans {leaf.page_reads} reads / "
+          f"{leaf.buffer_hits} hits / {leaf.tuples_scanned} tuples / "
+          f"{leaf.buckets_skipped} skipped buckets; query totals "
+          f"{total.page_reads} / {total.buffer_hits} / "
+          f"{total.tuples_scanned} / {total.buckets_skipped} "
+          f"-> {'exact' if exact else 'MISMATCH'}")
+    catalog.close()
+    return 0 if exact else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     catalog = _open_catalog(args.db, args.buffer_pages)
     for table in catalog.tables():
@@ -159,7 +200,17 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_artifact_path(template: str, exp_id: str) -> str:
+    """``traces.jsonl`` + ``C1`` -> ``traces_C1.jsonl`` (one per experiment)."""
+    stem, dot, suffix = template.rpartition(".")
+    if dot:
+        return f"{stem}_{exp_id}.{suffix}"
+    return f"{template}_{exp_id}"
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro.bench.experiments import ALL_EXPERIMENTS
 
     wanted = None
@@ -168,13 +219,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ran = 0
     renderings: list[str] = []
     for experiment in ALL_EXPERIMENTS:
+        probe_id = _EXPERIMENT_IDS.get(experiment.__name__)
         if wanted is not None:
             # Cheap pre-filter on the function's exp id without running:
             # ids are stable and documented, so map via a dry attribute.
-            probe_id = _EXPERIMENT_IDS.get(experiment.__name__)
             if probe_id is None or probe_id not in wanted:
                 continue
-        result = experiment()
+        kwargs = {}
+        event_log = None
+        if (
+            args.trace_file
+            and "event_log" in inspect.signature(experiment).parameters
+        ):
+            from repro.obs import EventLog
+
+            path = _trace_artifact_path(
+                args.trace_file, probe_id or experiment.__name__
+            )
+            event_log = EventLog(path)
+            kwargs["event_log"] = event_log
+        try:
+            result = experiment(**kwargs)
+        finally:
+            if event_log is not None:
+                event_log.close()
+                stats = event_log.stats()
+                print(f"trace artifact: {stats['written']} events "
+                      f"({stats['dropped']} dropped) -> {path}")
         rendered = result.render()
         renderings.append(rendered)
         print()
@@ -211,24 +282,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         catalog.close()
         return 1
     timeout = args.timeout if args.timeout and args.timeout > 0 else None
+
+    event_log = None
+    tracer = None
+    if args.trace_file:
+        from repro.obs import EventLog, Tracer
+
+        event_log = EventLog(args.trace_file)
+        tracer = Tracer()
+    slow_query_s = args.slow_ms / 1000.0 if args.slow_ms else None
     with QueryService(
         catalog,
         workers=args.workers,
         queue_depth=args.queue,
         default_timeout_s=timeout,
         scan_workers=args.scan_workers,
+        tracer=tracer,
+        events=event_log,
+        slow_query_s=slow_query_s,
     ) as service:
-        driver = WorkloadDriver(service, default_mix())
-        if args.rate:
-            result = driver.run_open_loop(
-                rate_qps=args.rate, total=args.queries
-            )
-        else:
-            clients = args.clients
-            per_client = max(1, args.queries // clients)
-            result = driver.run_closed_loop(
-                clients=clients, queries_per_client=per_client
-            )
+        server = None
+        if args.metrics_port is not None:
+            from repro.obs import MetricsServer
+
+            server = MetricsServer(
+                service.observed_snapshot, port=args.metrics_port
+            ).start()
+            print(f"metrics: {server.url}/metrics  "
+                  f"(also /healthz, /snapshot)")
+        try:
+            driver = WorkloadDriver(service, default_mix())
+            if args.rate:
+                result = driver.run_open_loop(
+                    rate_qps=args.rate, total=args.queries
+                )
+            else:
+                clients = args.clients
+                per_client = max(1, args.queries // clients)
+                result = driver.run_closed_loop(
+                    clients=clients, queries_per_client=per_client
+                )
+            if server is not None and args.linger:
+                import time
+
+                print(f"lingering {args.linger:g}s so the metrics "
+                      f"endpoint stays scrapeable ...")
+                time.sleep(args.linger)
+        finally:
+            if server is not None:
+                server.close()
+    if event_log is not None:
+        event_log.close()
+        stats = event_log.stats()
+        print(f"trace events: {stats['written']} written "
+              f"({stats['dropped']} dropped) -> {args.trace_file}")
     print(render_workload(result))
     if args.report:
         print()
@@ -318,6 +425,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default 1)")
     p_explain.set_defaults(func=cmd_explain)
 
+    p_trace = sub.add_parser(
+        "trace", help="run one SELECT with tracing on, print the span tree"
+    )
+    add_db(p_trace)
+    p_trace.add_argument("sql", help="SELECT statement")
+    p_trace.add_argument("--mode", choices=("auto", "sma", "scan"),
+                         default="auto")
+    p_trace.add_argument("--sma-set", default=None,
+                         help="restrict the planner to one SMA set")
+    p_trace.add_argument("--cold", action="store_true")
+    p_trace.add_argument("--scan-workers", type=int, default=1,
+                         help="morsel-scan threads for this query (default 1)")
+    p_trace.set_defaults(func=cmd_trace)
+
     p_info = sub.add_parser("info", help="describe a catalog")
     add_db(p_info)
     p_info.set_defaults(func=cmd_info)
@@ -326,6 +447,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--only", help="comma-separated experiment ids "
                          "(e.g. E4,F5)")
     p_bench.add_argument("--out", help="also write the result tables to a file")
+    p_bench.add_argument("--trace-file",
+                         help="JSONL trace artifact template; experiments "
+                         "that serve queries (C1, C2) write one file each, "
+                         "e.g. traces.jsonl -> traces_C1.jsonl")
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -350,6 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-query timeout in seconds (default: none)")
     p_serve.add_argument("--report", action="store_true",
                          help="print the full metrics report")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve /metrics, /healthz and /snapshot on "
+                         "this port while the workload runs (0 picks a "
+                         "free port)")
+    p_serve.add_argument("--trace-file",
+                         help="write structured JSONL events (query "
+                         "start/finish, span trees, slow queries) to this "
+                         "file")
+    p_serve.add_argument("--slow-ms", type=float, default=None,
+                         help="log a slow_query event with captured EXPLAIN "
+                         "for queries slower than this many milliseconds")
+    p_serve.add_argument("--linger", type=float, default=0.0,
+                         help="keep the metrics endpoint up this many "
+                         "seconds after the workload finishes")
     p_serve.set_defaults(func=cmd_serve)
     return parser
 

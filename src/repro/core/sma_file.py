@@ -181,7 +181,7 @@ class SmaFile:
     def _charge_pages(self, first_page: int, last_page: int) -> None:
         """Account buffer traffic for pages [first_page, last_page]."""
         for page_no in range(first_page, last_page + 1):
-            self.pool.read_page(self.file_id, page_no, lambda: b"")
+            self.pool.read_page(self.file_id, page_no, lambda: b"", kind="sma")
 
     def values(self, *, charge: bool = True) -> np.ndarray:
         """The full per-bucket value vector (a sequential SMA-file scan).

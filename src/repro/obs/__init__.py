@@ -1,0 +1,37 @@
+"""Observability: tracing, structured events, metrics exposition.
+
+Three pieces, designed to never get in the query path's way:
+
+* :mod:`repro.obs.trace` — span trees with cross-thread context
+  propagation and exact per-span :class:`~repro.storage.stats.IoStats`
+  deltas; disabled via the shared :data:`~repro.obs.trace.NO_TRACER`.
+* :mod:`repro.obs.events` — bounded-queue JSONL event log; ``emit`` is
+  ``put_nowait`` + drop counter, serialization happens on one writer
+  thread.
+* :mod:`repro.obs.exposition` — Prometheus text rendering of the
+  metrics snapshot and the ``/metrics`` / ``/healthz`` / ``/snapshot``
+  HTTP endpoint.
+"""
+
+from repro.obs.events import EventLog
+from repro.obs.exposition import MetricsServer, render_prometheus
+from repro.obs.trace import (
+    NO_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    render_span_tree,
+    resolve_tracer,
+)
+
+__all__ = [
+    "EventLog",
+    "MetricsServer",
+    "NO_TRACER",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "render_prometheus",
+    "render_span_tree",
+    "resolve_tracer",
+]

@@ -1,0 +1,413 @@
+"""Prometheus-style exposition of service metrics + the HTTP endpoint.
+
+:func:`render_prometheus` turns a
+:meth:`~repro.server.metrics.MetricsRegistry.snapshot` dict into the
+Prometheus text format (version 0.0.4): ``# HELP``/``# TYPE`` headers,
+counters/gauges with escaped labels, and cumulative ``_bucket{le=...}``
+histograms from the registry's fixed-bucket latency histograms.
+
+:class:`MetricsServer` serves that text from a stdlib
+``ThreadingHTTPServer`` on a daemon thread:
+
+==============  ========================================================
+``/metrics``    Prometheus text exposition
+``/healthz``    liveness JSON (status, uptime)
+``/snapshot``   the full snapshot dict as JSON
+==============  ========================================================
+
+Everything is read-only and cheap: each request takes one snapshot under
+the registry lock; no request ever touches the query path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["MetricsServer", "render_prometheus"]
+
+
+def _escape_label(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Lines:
+    """Accumulates exposition lines, writing HELP/TYPE once per metric."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._described: set[str] = set()
+
+    def sample(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: dict[str, object] | None = None,
+        help_text: str = "",
+        kind: str = "gauge",
+        sample_suffix: str = "",
+    ) -> None:
+        if name not in self._described:
+            self._described.add(name)
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} {kind}")
+        label_str = ""
+        if labels:
+            inner = ",".join(
+                f'{key}="{_escape_label(value)}"' for key, value in labels.items()
+            )
+            label_str = "{" + inner + "}"
+        self.lines.append(f"{name}{sample_suffix}{label_str} {_fmt(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        hist: dict,
+        *,
+        labels: dict[str, object] | None = None,
+        help_text: str = "",
+    ) -> None:
+        """One Prometheus histogram from a FixedHistogram.as_dict()."""
+        if name not in self._described:
+            self._described.add(name)
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} histogram")
+        base = dict(labels or {})
+        for bucket in hist.get("buckets", ()):
+            le = bucket["le"]
+            bucket_labels = dict(base)
+            bucket_labels["le"] = le if isinstance(le, str) else _fmt(le)
+            inner = ",".join(
+                f'{key}="{_escape_label(value)}"'
+                for key, value in bucket_labels.items()
+            )
+            self.lines.append(f"{name}_bucket{{{inner}}} {_fmt(bucket['count'])}")
+        label_str = ""
+        if base:
+            inner = ",".join(
+                f'{key}="{_escape_label(value)}"' for key, value in base.items()
+            )
+            label_str = "{" + inner + "}"
+        self.lines.append(f"{name}_sum{label_str} {_fmt(hist.get('sum', 0.0))}")
+        self.lines.append(f"{name}_count{label_str} {_fmt(hist.get('count', 0))}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
+    """Render one metrics snapshot as Prometheus text format 0.0.4.
+
+    *snapshot* is the :meth:`MetricsRegistry.snapshot` dict, optionally
+    augmented by the caller with an ``"events"`` sub-dict (the event
+    log's stats) — the service's ``/metrics`` endpoint does this.
+    """
+    out = _Lines()
+    ns = namespace
+
+    service = snapshot.get("service", {})
+    if service:
+        out.sample(
+            f"{ns}_uptime_seconds",
+            service.get("uptime_s", 0.0),
+            help_text="Seconds since the metrics registry was created.",
+        )
+        out.sample(
+            f"{ns}_start_time_seconds",
+            service.get("started_at", 0.0),
+            help_text="Unix time the service started.",
+        )
+
+    queries = snapshot.get("queries", {})
+    for outcome in (
+        "submitted", "completed", "failed", "rejected", "timed_out", "cancelled",
+    ):
+        if outcome in queries:
+            out.sample(
+                f"{ns}_queries_total",
+                queries[outcome],
+                labels={"outcome": outcome},
+                help_text="Queries by admission/execution outcome.",
+                kind="counter",
+            )
+    if "in_flight" in queries:
+        out.sample(
+            f"{ns}_queries_in_flight",
+            queries["in_flight"],
+            help_text="Queries admitted but not yet settled.",
+        )
+    for kind, outcomes in sorted(queries.get("by_kind", {}).items()):
+        for outcome, count in sorted(outcomes.items()):
+            out.sample(
+                f"{ns}_queries_by_kind_total",
+                count,
+                labels={"kind": kind, "outcome": outcome},
+                help_text="Per-workload-kind queries by outcome.",
+                kind="counter",
+            )
+
+    for metric, key, help_text in (
+        ("query_latency_seconds", "latency_hist", "Query latency histogram."),
+        ("queue_wait_seconds", "queue_wait_hist", "Admission queue wait histogram."),
+    ):
+        hist = snapshot.get(key)
+        if hist:
+            out.histogram(f"{ns}_{metric}", hist, help_text=help_text)
+
+    io = snapshot.get("io", {})
+    if io:
+        for klass in ("sequential", "skip", "random"):
+            out.sample(
+                f"{ns}_io_page_reads_total",
+                io.get(f"{klass}_page_reads", 0),
+                labels={"class": klass},
+                help_text="Physical page reads by access class.",
+                kind="counter",
+            )
+        for file_kind in ("sma", "heap"):
+            out.sample(
+                f"{ns}_io_file_page_reads_total",
+                io.get(f"{file_kind}_page_reads", 0),
+                labels={"file": file_kind},
+                help_text="Physical page reads split by file kind "
+                "(SMA-file vs relation heap).",
+                kind="counter",
+            )
+        physical = io.get("page_reads", 0)
+        out.sample(
+            f"{ns}_io_sma_page_fraction",
+            (io.get("sma_page_reads", 0) / physical) if physical else 0.0,
+            help_text="Fraction of physical reads spent on SMA-files "
+            "(the paper's SMA pages vs relation pages ratio).",
+        )
+        out.sample(
+            f"{ns}_io_buffer_hits_total",
+            io.get("buffer_hits", 0),
+            help_text="Logical page reads served from the buffer pool.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_io_buffer_hit_rate",
+            io.get("buffer_hit_rate", 0.0),
+            help_text="Buffer hits over logical page accesses.",
+        )
+        out.sample(
+            f"{ns}_io_page_writes_total",
+            io.get("page_writes", 0),
+            help_text="Page writes.",
+            kind="counter",
+        )
+        for action in ("fetched", "skipped"):
+            out.sample(
+                f"{ns}_io_buckets_total",
+                io.get(f"buckets_{action}", 0),
+                labels={"action": action},
+                help_text="Buckets fetched vs skipped by SMA grading.",
+                kind="counter",
+            )
+        out.sample(
+            f"{ns}_io_bucket_skip_rate",
+            io.get("bucket_skip_rate", 0.0),
+            help_text="Buckets skipped over buckets examined.",
+        )
+        out.sample(
+            f"{ns}_io_tuples_scanned_total",
+            io.get("tuples_scanned", 0),
+            help_text="Tuples inspected by scans.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_io_sma_entries_read_total",
+            io.get("sma_entries_read", 0),
+            help_text="SMA entries read (grading + roll-up).",
+            kind="counter",
+        )
+
+    for strategy, count in sorted(snapshot.get("plans", {}).items()):
+        out.sample(
+            f"{ns}_plans_total",
+            count,
+            labels={"strategy": strategy},
+            help_text="Completed queries by chosen plan strategy.",
+            kind="counter",
+        )
+
+    for table, grading in sorted(snapshot.get("grading", {}).items()):
+        for grade in ("qualifying", "ambivalent", "disqualifying"):
+            out.sample(
+                f"{ns}_grading_fraction",
+                grading.get(f"mean_{grade}", 0.0),
+                labels={"table": table, "grade": grade},
+                help_text="Mean grading fraction over completed SMA-graded "
+                "queries (the paper's Figure 5 axis; break-even near "
+                "0.25 ambivalent).",
+            )
+            out.sample(
+                f"{ns}_grading_last_fraction",
+                grading.get(f"last_{grade}", 0.0),
+                labels={"table": table, "grade": grade},
+                help_text="Grading fraction of the most recent SMA-graded query.",
+            )
+        out.sample(
+            f"{ns}_grading_queries_total",
+            grading.get("queries", 0),
+            labels={"table": table},
+            help_text="SMA-graded queries per table.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_ambivalent_warnings_total",
+            grading.get("warnings", 0),
+            labels={"table": table},
+            help_text="Times the ambivalent fraction crossed the "
+            "configured break-even threshold.",
+            kind="counter",
+        )
+
+    events = snapshot.get("events", {})
+    if events:
+        out.sample(
+            f"{ns}_events_written_total",
+            events.get("written", 0),
+            help_text="Events persisted by the JSONL writer.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_events_dropped_total",
+            events.get("dropped", 0),
+            help_text="Events dropped because the bounded queue was full.",
+            kind="counter",
+        )
+
+    return out.render()
+
+
+class MetricsServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/snapshot`` on a thread.
+
+    Parameters
+    ----------
+    snapshot_fn:
+        Zero-argument callable returning the current snapshot dict
+        (typically ``service.observed_snapshot`` so event-log stats ride
+        along).
+    port:
+        TCP port; 0 picks a free one (read :attr:`port` after start).
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], dict],
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        namespace: str = "repro",
+    ):
+        self._snapshot_fn = snapshot_fn
+        self._namespace = namespace
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args: object) -> None:  # silence stderr
+                return None
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    server._route(self)
+                except BrokenPipeError:  # pragma: no cover - client went away
+                    pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._started:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(
+                self._snapshot_fn(), namespace=self._namespace
+            ).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/healthz":
+            snapshot = self._snapshot_fn()
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "uptime_s": snapshot.get("service", {}).get("uptime_s"),
+                    "in_flight": snapshot.get("queries", {}).get("in_flight"),
+                },
+                default=str,
+            ).encode("utf-8")
+            content_type = "application/json"
+        elif path == "/snapshot":
+            body = json.dumps(self._snapshot_fn(), default=str).encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = b'{"error": "not found"}'
+            handler.send_response(404)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+            return
+        handler.send_response(200)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)

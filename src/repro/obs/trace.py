@@ -1,0 +1,481 @@
+"""Lightweight tracing: spans, context propagation, I/O-delta annotation.
+
+A :class:`Tracer` produces :class:`Span` trees for individual queries:
+admission, queue wait, planning (logical rewrite, per-set grading,
+access-path costing) and execution (SMA roll-up, ambivalent-bucket
+fetches, per-morsel scans, aggregate merge) each become one span.  The
+design constraints, in order:
+
+* **zero cost when disabled** — the module-level :data:`NO_TRACER` is a
+  no-op tracer whose ``span()`` returns one shared, allocation-free
+  context manager; instrumentation sites either call it unconditionally
+  (per-phase sites, a few calls per query) or guard with the single
+  ``tracer.enabled`` branch (per-morsel sites);
+* **explicit cross-thread propagation** — the current span lives in a
+  thread-local; code that fans work out to other threads captures
+  ``tracer.current()`` once and passes it as ``parent=`` (the morsel
+  dispatcher in :mod:`repro.query.parallel` does this for scan workers,
+  :class:`~repro.server.service.QueryService` does it for executor
+  workers via :meth:`Tracer.activate`);
+* **exact I/O attribution** — a span opened with ``stats=window``
+  snapshots the :class:`~repro.storage.stats.IoStats` window on entry
+  and stores the delta on exit.  Instrumentation points are chosen so
+  that the io-carrying spans of one query never nest and jointly cover
+  every counter charge: the *leaf* deltas of a trace sum exactly to the
+  query's total (`repro trace` prints the reconciliation).
+
+Span timestamps use ``time.perf_counter()`` — one process-wide monotonic
+clock, so spans started on different threads order correctly within a
+trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.storage.stats import IoStats
+
+__all__ = [
+    "NO_TRACER",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+    "resolve_tracer",
+]
+
+
+class Span:
+    """One named, timed segment of a trace (a node of the span tree)."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "end_s",
+        "attrs",
+        "io",
+        "children",
+        "thread_name",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = 0.0
+        self.end_s: float | None = None
+        self.attrs: dict[str, object] = {}
+        #: the span's own IoStats delta (set only on io-carrying spans)
+        self.io: IoStats | None = None
+        #: child spans; appends are GIL-atomic, order is start order only
+        #: after :meth:`sorted_children`
+        self.children: list["Span"] = []
+        self.thread_name = threading.current_thread().name
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach key/value attributes (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first in start order."""
+        yield self
+        for child in self.sorted_children():
+            yield from child.walk()
+
+    def sorted_children(self) -> list["Span"]:
+        """Children ordered by start time (cross-thread appends race)."""
+        return sorted(self.children, key=lambda s: (s.start_s, s.span_id))
+
+    def io_spans(self) -> list["Span"]:
+        """Every span in this subtree carrying an IoStats delta.
+
+        By construction these never nest, so summing their deltas gives
+        the exact I/O of the subtree (see :func:`io_total`).
+        """
+        return [span for span in self.walk() if span.io is not None]
+
+    def io_total(self) -> IoStats:
+        """Sum of all io-carrying descendant deltas (the subtree's I/O)."""
+        total = IoStats()
+        for span in self.io_spans():
+            total.merge(span.io)
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by the event log's trace records)."""
+        out: dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread": self.thread_name,
+        }
+        if self.attrs:
+            out["attrs"] = {key: _jsonable(value) for key, value in self.attrs.items()}
+        if self.io is not None:
+            out["io"] = self.io.as_dict()
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.sorted_children()]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration_s * 1e3:.2f}ms)"
+        )
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _SpanContext:
+    """Context manager for one live span; restores the previous current."""
+
+    __slots__ = ("_tracer", "_span", "_stats", "_before", "_previous")
+
+    def __init__(self, tracer: "Tracer", span: Span, stats: IoStats | None):
+        self._tracer = tracer
+        self._span = span
+        self._stats = stats
+        self._before: IoStats | None = None
+        self._previous: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._previous = self._tracer.current()
+        self._tracer._set_current(self._span)
+        self._span.start_s = self._tracer.clock()
+        if self._stats is not None:
+            self._before = self._stats.snapshot()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        span = self._span
+        span.end_s = self._tracer.clock()
+        if self._stats is not None and self._before is not None:
+            span.io = self._stats.snapshot() - self._before
+        self._tracer._set_current(self._previous)
+        if span.parent_id is None:
+            self._tracer._finish_trace(span)
+
+
+class Tracer:
+    """Produces span trees; finished root spans go to the sinks.
+
+    Parameters
+    ----------
+    on_trace:
+        Callables invoked with each finished *root* span (its whole tree
+        is complete by then).  Sinks must not raise; exceptions are
+        swallowed so tracing can never fail a query.
+    keep:
+        Number of finished traces retained in :attr:`traces` (a deque)
+        for ad-hoc inspection — the ``repro trace`` CLI reads the last.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        on_trace: list[Callable[[Span], None]] | None = None,
+        keep: int = 16,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.clock = clock
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._sinks: list[Callable[[Span], None]] = list(on_trace or [])
+        self.traces: deque[Span] = deque(maxlen=keep)
+        self._finished = 0
+
+    # -- context -------------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The current thread's active span, or None."""
+        return getattr(self._local, "span", None)
+
+    def _set_current(self, span: Span | None) -> None:
+        self._local.span = span
+
+    def activate(self, span: Span) -> "_Activation":
+        """Make *span* the current thread's active span without owning
+        its lifetime — used to adopt a root span created on another
+        thread (the service's submit side) onto a worker thread."""
+        return _Activation(self, span)
+
+    # -- spans ---------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        root: bool = False,
+        stats: IoStats | None = None,
+        attrs: dict[str, object] | None = None,
+    ) -> _SpanContext:
+        """Open a span as a context manager.
+
+        Parent resolution: an explicit ``parent=`` wins; otherwise the
+        thread's current span; ``root=True`` forces a fresh trace even
+        under an active span.  When *stats* is given, the window is
+        snapshotted on entry/exit and the delta stored as ``span.io``.
+        """
+        span = self.begin(name, parent=parent, root=root)
+        if attrs:
+            span.attrs.update(attrs)
+        return _SpanContext(self, span, stats)
+
+    def begin(
+        self, name: str, *, parent: Span | None = None, root: bool = False
+    ) -> Span:
+        """Create a started span without binding it to this thread.
+
+        The caller owns its lifetime: call :meth:`finish` when done.
+        Used where a span outlives the creating scope (the service's
+        per-query root span, created at submit and finished on a worker).
+        """
+        if parent is None and not root:
+            parent = self.current()
+        span_id = next(self._ids)
+        span = Span(
+            name,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        span.start_s = self.clock()
+        if parent is not None:
+            parent.children.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """End a span created with :meth:`begin`; emits root spans."""
+        if span.end_s is None:
+            span.end_s = self.clock()
+        if span.parent_id is None:
+            self._finish_trace(span)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        parent: Span | None,
+        duration_s: float,
+        attrs: dict[str, object] | None = None,
+    ) -> Span:
+        """Record an already-elapsed segment (e.g. measured queue wait)
+        as a finished span ending now."""
+        span = self.begin(name, parent=parent, root=parent is None)
+        now = self.clock()
+        span.start_s = now - max(0.0, duration_s)
+        span.end_s = now
+        if attrs:
+            span.attrs.update(attrs)
+        if span.parent_id is None:
+            self._finish_trace(span)
+        return span
+
+    # -- sinks ---------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        self._sinks.append(sink)
+
+    @property
+    def finished_traces(self) -> int:
+        return self._finished
+
+    def last_trace(self) -> Span | None:
+        """The most recently finished root span, or None."""
+        return self.traces[-1] if self.traces else None
+
+    def _finish_trace(self, root: Span) -> None:
+        self.traces.append(root)
+        self._finished += 1
+        for sink in self._sinks:
+            try:
+                sink(root)
+            except Exception:  # noqa: BLE001 - tracing must never fail a query
+                pass
+
+
+class _Activation:
+    """Binds an externally owned span as the thread's current span."""
+
+    __slots__ = ("_tracer", "_span", "_previous")
+
+    def __init__(self, tracer: Tracer, span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._previous: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._previous = self._tracer.current()
+        self._tracer._set_current(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._set_current(self._previous)
+
+
+# ----------------------------------------------------------------------
+# the disabled tracer
+# ----------------------------------------------------------------------
+
+
+class _NoopSpan:
+    """Absorbs every span operation; one shared instance, never mutated."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    duration_s = 0.0
+    io = None
+    children: list = []
+    attrs: dict = {}
+
+    def annotate(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def io_spans(self) -> list:
+        return []
+
+    def io_total(self) -> IoStats:
+        return IoStats()
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+class _NoopSpanContext:
+    """Allocation-free no-op context manager returned by NoopTracer.span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP_CM = _NoopSpanContext()
+
+
+class NoopTracer:
+    """The disabled tracer: every operation is a cheap no-op.
+
+    All instrumentation in the engine holds a tracer reference that
+    defaults to the shared :data:`NO_TRACER`.  Hot paths guard on the
+    single ``enabled`` attribute; the remaining call sites pay two
+    attribute lookups and an empty context manager per *phase* (never
+    per page), which benchmarks as unmeasurable against query cost.
+    """
+
+    enabled = False
+
+    def current(self) -> None:
+        return None
+
+    def span(self, name: str, **kwargs: object) -> _NoopSpanContext:
+        return _NOOP_CM
+
+    def begin(self, name: str, **kwargs: object) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def finish(self, span: object) -> None:
+        return None
+
+    def record_span(self, name: str, **kwargs: object) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def activate(self, span: object) -> _NoopSpanContext:
+        return _NOOP_CM
+
+    def add_sink(self, sink: object) -> None:
+        return None
+
+    def last_trace(self) -> None:
+        return None
+
+
+NO_TRACER = NoopTracer()
+
+
+def resolve_tracer(tracer: "Tracer | NoopTracer | None") -> "Tracer | NoopTracer":
+    """Normalize an optional tracer into a usable one (None → NO_TRACER)."""
+    return tracer if tracer is not None else NO_TRACER
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def _span_line(span: Span) -> str:
+    label = f"{span.name}  {span.duration_s * 1e3:.2f}ms"
+    details: list[str] = []
+    for key, value in span.attrs.items():
+        details.append(f"{key}={value}")
+    if span.io is not None:
+        io = span.io
+        details.append(
+            f"io: {io.page_reads} reads "
+            f"({io.sma_page_reads} sma / {io.heap_page_reads} heap), "
+            f"{io.buffer_hits} hits, {io.tuples_scanned} tuples"
+        )
+    if details:
+        label += "  [" + "; ".join(details) + "]"
+    return label
+
+
+def render_span_tree(root: Span) -> str:
+    """Multi-line rendering of one trace (box-drawing connectors)."""
+    lines = [_span_line(root)]
+
+    def walk(span: Span, prefix: str) -> None:
+        children = span.sorted_children()
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            connector = "└─ " if last else "├─ "
+            continuation = "   " if last else "│  "
+            lines.append(prefix + connector + _span_line(child))
+            walk(child, prefix + continuation)
+
+    walk(root, "")
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ result is byte-identical to the serial fold.
 from __future__ import annotations
 
 from repro.lang.predicate import Predicate
+from repro.obs.trace import NO_TRACER
 from repro.query.aggregation import AggregationState
 from repro.query.iterators import Operator
 from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
@@ -56,12 +57,14 @@ class ParallelGAggr:
         group_by: tuple[str, ...],
         aggregates: tuple[OutputAggregate, ...],
         parallelism: ScanParallelism,
+        tracer=NO_TRACER,
     ):
         self.table = table
         self.predicate = predicate.bind(table.schema)
         self.group_by = group_by
         self.aggregates = aggregates
         self.parallelism = parallelism
+        self.tracer = tracer
 
     def _morsel_task(self, morsel: list[int]):
         def task() -> AggregationState:
@@ -86,6 +89,14 @@ class ParallelGAggr:
         )
         tasks = [self._morsel_task(morsel) for morsel in morsels]
         pool = self.table.heap.pool
-        for partial in run_morsels(pool, tasks, self.parallelism.workers):
-            state.merge(partial)
+        partials = run_morsels(
+            pool,
+            tasks,
+            self.parallelism.workers,
+            tracer=self.tracer,
+            span_name="scan_morsel",
+        )
+        with self.tracer.span("merge", attrs={"partials": len(partials)}):
+            for partial in partials:
+                state.merge(partial)
         return state.finalize()

@@ -19,6 +19,7 @@ from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
 from repro.errors import ExecutionError
 from repro.lang.predicate import Predicate
+from repro.obs.trace import NO_TRACER
 from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
 from repro.storage.schema import Schema
 from repro.storage.table import Table
@@ -178,11 +179,13 @@ class MorselScan(Operator):
         predicate: Predicate,
         parallelism: ScanParallelism,
         partitioning: BucketPartitioning | None = None,
+        tracer=NO_TRACER,
     ):
         self.table = table
         self.predicate = predicate.bind(table.schema)
         self.parallelism = parallelism
         self.partitioning = partitioning
+        self.tracer = tracer
 
     @property
     def schema(self) -> Schema:
@@ -217,9 +220,22 @@ class MorselScan(Operator):
             bucket_nos = list(range(self.table.num_buckets))
         else:
             fetched = ~self.partitioning.disqualifying
-            pool.stats.buckets_skipped += self.partitioning.num_disqualifying
+            # The skip charge lands on the calling thread, so it needs
+            # its own io-carrying span (worker spans only see fetches).
+            with self.tracer.span(
+                "bucket_select",
+                stats=pool.stats,
+                attrs={"skipped": self.partitioning.num_disqualifying},
+            ):
+                pool.stats.buckets_skipped += self.partitioning.num_disqualifying
             bucket_nos = [int(b) for b in np.flatnonzero(fetched)]
         morsels = make_morsels(bucket_nos, self.parallelism.morsel_buckets)
         tasks = [self._morsel_task(morsel) for morsel in morsels]
-        for part in run_morsels(pool, tasks, self.parallelism.workers):
+        for part in run_morsels(
+            pool,
+            tasks,
+            self.parallelism.workers,
+            tracer=self.tracer,
+            span_name="scan_morsel",
+        ):
             yield from part

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import ExecutionError
+from repro.obs.trace import NO_TRACER
 from repro.storage.buffer import BufferPool
 from repro.storage.stats import IoStats
 
@@ -97,6 +98,8 @@ def run_morsels(
     workers: int,
     *,
     name: str = "repro-scan",
+    tracer=NO_TRACER,
+    span_name: str = "morsel",
 ) -> list[T]:
     """Run *tasks* (one per morsel) on *workers* threads; results in order.
 
@@ -107,12 +110,32 @@ def run_morsels(
     order** — including windows of failed tasks, whose physical reads
     already reached the pool's cumulative counters and must not escape
     the query's delta.  The first exception in task order is re-raised.
+
+    With an enabled *tracer*, every task gets a ``span_name`` span
+    parented to the span current on the *calling* thread at dispatch
+    time — this is the cross-thread propagation seam for the scan pool.
+    A parallel task's span takes its private child window as its I/O
+    delta (exact: nobody else charges that window), so the dispatcher
+    itself must never be wrapped in an io-carrying span — the merge
+    below would double-count.
     """
     if not tasks:
         return []
+    parent_span = tracer.current() if tracer.enabled else None
     if workers <= 1 or len(tasks) == 1:
         # Serial degenerate case: run inline on the caller's own window.
-        return [task() for task in tasks]
+        if parent_span is None:
+            return [task() for task in tasks]
+        out = []
+        for index, task in enumerate(tasks):
+            with tracer.span(
+                span_name,
+                parent=parent_span,
+                stats=pool.stats,
+                attrs={"morsel": index, "mode": "serial"},
+            ):
+                out.append(task())
+        return out
 
     cancel_event, deadline = pool.binding_controls()
     parent = pool.stats
@@ -126,7 +149,16 @@ def run_morsels(
             with pool.query_context(
                 windows[index], cancel_event=cancel_event, deadline=deadline
             ):
-                results[index] = task()
+                if parent_span is not None:
+                    with tracer.span(
+                        span_name,
+                        parent=parent_span,
+                        stats=windows[index],
+                        attrs={"morsel": index},
+                    ):
+                        results[index] = task()
+                else:
+                    results[index] = task()
         except BaseException as exc:  # noqa: BLE001 - re-raised in order below
             errors[index] = exc
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.trace import NO_TRACER
 from repro.query.gaggr import GAggr, ParallelGAggr
 from repro.query.iterators import (
     Filter,
@@ -176,6 +177,30 @@ def _materialize_rows(operator: Operator) -> PlanRunner:
     return runner
 
 
+def _traced_runner(
+    runner: PlanRunner, tracer, name: str, table: Table
+) -> PlanRunner:
+    """Wrap a *serial, monolithic* runner in one io-carrying span.
+
+    Only used for operators with no internal instrumentation (GAggr,
+    SeqScan, SmaScan pipelines): the single span is then the leaf that
+    accounts the whole execution.  Parallel operators must NOT be
+    wrapped this way — their per-morsel spans carry the I/O, and the
+    dispatcher merges worker windows into the calling window, which an
+    enclosing io span would double-count.
+    """
+    if not tracer.enabled:
+        return runner
+
+    def traced() -> QueryRows:
+        # pool.stats resolves on the executing thread at run time, so
+        # the span charges the right per-query window under the service.
+        with tracer.span(name, stats=table.heap.pool.stats):
+            return runner()
+
+    return traced
+
+
 # ----------------------------------------------------------------------
 # binding: access path -> operators + node tree
 # ----------------------------------------------------------------------
@@ -189,6 +214,7 @@ def bind_aggregate_plan(
     *,
     sma_set=None,
     partitioning=None,
+    tracer=NO_TRACER,
 ) -> PhysicalPlan:
     """Bind an aggregate access path ("sma_gaggr" or "gaggr")."""
     mode, parallel = scan_binding(parallelism)
@@ -202,6 +228,7 @@ def bind_aggregate_plan(
             sma_set,
             partitioning=partitioning,
             parallelism=parallel,
+            tracer=tracer,
         )
         fetch = PlanNode(
             "BucketFetch",
@@ -226,7 +253,12 @@ def bind_aggregate_plan(
     if strategy == "gaggr":
         if parallel is not None:
             operator = ParallelGAggr(
-                table, predicate, logical.group_by, logical.aggregates, parallel
+                table,
+                predicate,
+                logical.group_by,
+                logical.aggregates,
+                parallel,
+                tracer=tracer,
             )
             root = PlanNode(
                 "ParallelGAggr",
@@ -255,6 +287,10 @@ def bind_aggregate_plan(
                     ),
                 ),
             )
+            return PhysicalPlan(
+                root,
+                _traced_runner(operator.execute, tracer, "scan_aggregate", table),
+            )
         return PhysicalPlan(root, operator.execute)
     raise ValueError(f"unknown aggregate strategy {strategy!r}")
 
@@ -267,6 +303,7 @@ def bind_scan_plan(
     *,
     sma_set=None,
     partitioning=None,
+    tracer=NO_TRACER,
 ) -> PhysicalPlan:
     """Bind a tuple-returning access path ("sma_scan" or "seq_scan")."""
     mode, parallel = scan_binding(parallelism)
@@ -274,7 +311,7 @@ def bind_scan_plan(
     if strategy == "sma_scan":
         if parallel is not None:
             operator: Operator = MorselScan(
-                table, predicate, parallel, partitioning=partitioning
+                table, predicate, parallel, partitioning=partitioning, tracer=tracer
             )
         else:
             operator = SmaScan(
@@ -293,7 +330,7 @@ def bind_scan_plan(
         )
     elif strategy == "seq_scan":
         if parallel is not None:
-            operator = MorselScan(table, predicate, parallel)
+            operator = MorselScan(table, predicate, parallel, tracer=tracer)
             root = PlanNode(
                 "MorselScan",
                 props=(
@@ -319,4 +356,9 @@ def bind_scan_plan(
             props=(("columns", ", ".join(logical.columns)),),
             children=(root,),
         )
-    return PhysicalPlan(root, _materialize_rows(operator))
+    runner = _materialize_rows(operator)
+    if parallel is None:
+        # Serial pipelines have no internal spans: one leaf span covers
+        # the whole scan.  Morsel plans get per-worker spans instead.
+        runner = _traced_runner(runner, tracer, strategy, table)
+    return PhysicalPlan(root, runner)

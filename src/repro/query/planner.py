@@ -41,6 +41,7 @@ from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
 from repro.errors import PlanningError
 from repro.lang.predicate import Predicate, atoms
+from repro.obs.trace import NO_TRACER
 from repro.query.logical import LogicalPlan, build_logical
 from repro.query.parallel import ScanParallelism, resolve_parallelism
 from repro.query.physical import (
@@ -140,6 +141,11 @@ class PlanInfo:
     fraction_ambivalent: float | None = None
     est_sma_seconds: float | None = None
     est_scan_seconds: float | None = None
+    #: the planned table and the full grading mix — fed into the
+    #: per-table grading gauges of the metrics exposition.
+    table: str | None = None
+    fraction_qualifying: float | None = None
+    fraction_disqualifying: float | None = None
 
     def __str__(self) -> str:
         lines = [f"strategy: {self.strategy} ({self.reason})"]
@@ -228,12 +234,14 @@ class Planner:
         catalog: Catalog,
         disk_model: DiskModel = PAPER_DISK,
         parallelism: ScanParallelism | int | None = None,
+        tracer=NO_TRACER,
     ):
         self.catalog = catalog
         self.disk_model = disk_model
         #: morsel-parallel scan config; None or workers=1 keeps every
         #: plan on the serial operators.
         self.parallelism = resolve_parallelism(parallelism)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # candidate selection
@@ -346,27 +354,45 @@ class Planner:
         paths: list[AccessPath] = []
         if mode != "scan":
             for candidate in self._usable_sets(table, logical, sma_set):
-                partitioning = candidate.partition(logical.predicate)
+                # The grade span is io-carrying: grading really reads the
+                # selection SMA-files, and nothing else during planning
+                # charges the window, so this leaf accounts all plan I/O.
+                with self.tracer.span(
+                    "grade",
+                    stats=self.catalog.pool.stats,
+                    attrs={"sma_set": candidate.name},
+                ) as grade_span:
+                    partitioning = candidate.partition(logical.predicate)
+                    grading = GradingSummary.of(partitioning)
+                    grade_span.annotate(
+                        qualifying=partitioning.num_qualifying,
+                        ambivalent=partitioning.num_ambivalent,
+                        disqualifying=partitioning.num_disqualifying,
+                    )
                 fetched = (
                     partitioning.ambivalent
                     if aggregate
                     else ~partitioning.disqualifying
                 )
-                est = self._est_sma(
-                    table,
-                    candidate,
-                    logical.predicate,
-                    fetched,
-                    specs,
-                    logical.group_by,
-                )
+                with self.tracer.span(
+                    "cost_access_path", attrs={"sma_set": candidate.name}
+                ) as cost_span:
+                    est = self._est_sma(
+                        table,
+                        candidate,
+                        logical.predicate,
+                        fetched,
+                        specs,
+                        logical.group_by,
+                    )
+                    cost_span.annotate(est_seconds=est)
                 paths.append(
                     AccessPath(
                         strategy=sma_strategy,
                         est_seconds=est,
                         sma_set=candidate,
                         partitioning=partitioning,
-                        grading=GradingSummary.of(partitioning),
+                        grading=grading,
                     )
                 )
         if mode != "sma":
@@ -428,7 +454,10 @@ class Planner:
         if not isinstance(query, (AggregateQuery, ScanQuery)):
             raise PlanningError(f"cannot plan {type(query).__name__}")
         table = self.catalog.table(query.table)
-        logical = build_logical(query, table.schema)
+        with self.tracer.span(
+            "logical_rewrite", attrs={"table": table.name}
+        ):
+            logical = build_logical(query, table.schema)
 
         paths = self._enumerate(table, logical, mode, sma_set)
         chosen = self._choose(table, logical, mode, paths)
@@ -538,9 +567,16 @@ class Planner:
         info = PlanInfo(
             strategy=chosen.strategy,
             reason=chosen.note,
+            table=table.name,
             sma_set_name=reference.sma_set_name if reference else None,
             fraction_ambivalent=(
                 reference.grading.fraction_ambivalent if reference else None
+            ),
+            fraction_qualifying=(
+                reference.grading.fraction_qualifying if reference else None
+            ),
+            fraction_disqualifying=(
+                reference.grading.fraction_disqualifying if reference else None
             ),
             est_sma_seconds=reference.est_seconds if reference else None,
             est_scan_seconds=(
@@ -565,6 +601,7 @@ class Planner:
                 self.parallelism,
                 sma_set=chosen.sma_set,
                 partitioning=chosen.partitioning,
+                tracer=self.tracer,
             )
         else:
             physical = bind_scan_plan(
@@ -574,6 +611,7 @@ class Planner:
                 self.parallelism,
                 sma_set=chosen.sma_set,
                 partitioning=chosen.partitioning,
+                tracer=self.tracer,
             )
 
         ordered = sorted(

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import PlanningError
+from repro.obs.trace import resolve_tracer
 from repro.query.parallel import DEFAULT_MORSEL_BUCKETS, ScanParallelism
 from repro.query.planner import Explanation, Plan, PlanInfo, Planner
 from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
@@ -123,13 +124,19 @@ class Session:
         *,
         scan_workers: int = 1,
         morsel_buckets: int = DEFAULT_MORSEL_BUCKETS,
+        tracer=None,
     ):
         self.catalog = catalog
         self.disk_model = disk_model
         self.parallelism = ScanParallelism(
             workers=scan_workers, morsel_buckets=morsel_buckets
         )
-        self.planner = Planner(catalog, disk_model, parallelism=self.parallelism)
+        #: observability: None resolves to the shared no-op tracer, so
+        #: un-instrumented callers pay nothing.
+        self.tracer = resolve_tracer(tracer)
+        self.planner = Planner(
+            catalog, disk_model, parallelism=self.parallelism, tracer=self.tracer
+        )
 
     def execute(
         self,
@@ -160,8 +167,15 @@ class Session:
         before = window.snapshot()
         started = time.perf_counter()
 
-        plan = self._plan(query, mode=mode, sma_set=sma_set)
-        columns, rows = plan.run()
+        tracer = self.tracer
+        # Root when standalone (`repro trace`), child of the service's
+        # per-query root span when running on an executor worker.
+        with tracer.span("execute", attrs={"mode": mode}) as exec_span:
+            with tracer.span("plan"):
+                plan = self._plan(query, mode=mode, sma_set=sma_set)
+            with tracer.span("run", attrs={"strategy": plan.info.strategy}):
+                columns, rows = plan.run()
+            exec_span.annotate(strategy=plan.info.strategy)
 
         wall = time.perf_counter() - started
         delta = window.snapshot() - before
@@ -217,7 +231,9 @@ class Session:
         window = pool.stats
         before = window.snapshot()
         started = time.perf_counter()
-        plan = self._plan(statement.query, mode=mode, sma_set=sma_set)
+        with self.tracer.span("execute", attrs={"mode": mode, "explain": True}):
+            with self.tracer.span("plan"):
+                plan = self._plan(statement.query, mode=mode, sma_set=sma_set)
         wall = time.perf_counter() - started
         delta = window.snapshot() - before
         lines = plan.explanation.render().splitlines()

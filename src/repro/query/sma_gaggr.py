@@ -23,6 +23,7 @@ from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
 from repro.errors import PlanningError
 from repro.lang.predicate import Predicate
+from repro.obs.trace import NO_TRACER
 from repro.query.aggregation import AggregationState
 from repro.query.parallel import ScanParallelism, make_morsels, run_morsels
 from repro.query.query import OutputAggregate, QueryRows
@@ -72,6 +73,7 @@ class SmaGAggr:
         sma_set: SmaSet,
         partitioning: BucketPartitioning | None = None,
         parallelism: ScanParallelism | None = None,
+        tracer=NO_TRACER,
     ):
         self.table = table
         self.predicate = predicate.bind(table.schema)
@@ -80,6 +82,7 @@ class SmaGAggr:
         self.sma_set = sma_set
         self._partitioning = partitioning
         self.parallelism = parallelism
+        self.tracer = tracer
         if not sma_covers(sma_set, aggregates, group_by):
             raise PlanningError(
                 f"SMA set {sma_set.name!r} does not materialize all "
@@ -94,6 +97,7 @@ class SmaGAggr:
 
     def execute(self) -> QueryRows:
         """Compute the full result (the operator's init phase)."""
+        tracer = self.tracer
         state = AggregationState(self.table.schema, self.group_by, self.aggregates)
         partitioning = self.partitioning
         qualifying = partitioning.qualifying
@@ -101,9 +105,19 @@ class SmaGAggr:
 
         # Phase: advance result aggregates from the aggregate SMAs for
         # every qualifying bucket.  Each SMA-file is read exactly once.
-        if qualifying.any():
-            self._advance_from_smas(state, qualifying)
-        stats.buckets_skipped += partitioning.num_disqualifying
+        # The span also covers the disqualifying-skip charge, so the
+        # operator's io-carrying spans jointly cover its whole window.
+        with tracer.span(
+            "sma_rollup",
+            stats=stats,
+            attrs={
+                "qualifying": partitioning.num_qualifying,
+                "disqualifying": partitioning.num_disqualifying,
+            },
+        ):
+            if qualifying.any():
+                self._advance_from_smas(state, qualifying)
+            stats.buckets_skipped += partitioning.num_disqualifying
 
         # Phase: ambivalent buckets — fetch, filter, group, advance.
         # Only these morsels cost heap I/O (qualifying buckets were fully
@@ -119,15 +133,28 @@ class SmaGAggr:
             morsels = make_morsels(ambivalent, self.parallelism.morsel_buckets)
             tasks = [self._morsel_task(morsel) for morsel in morsels]
             pool = self.table.heap.pool
-            for partial in run_morsels(pool, tasks, self.parallelism.workers):
-                state.merge(partial)
+            partials = run_morsels(
+                pool,
+                tasks,
+                self.parallelism.workers,
+                tracer=tracer,
+                span_name="ambivalent_fetch",
+            )
+            with tracer.span("merge", attrs={"partials": len(partials)}):
+                for partial in partials:
+                    state.merge(partial)
         else:
-            for bucket_no in ambivalent:
-                records = self.table.read_bucket(bucket_no)
-                stats.buckets_fetched += 1
-                stats.tuples_scanned += len(records)
-                mask = self.predicate.evaluate(records)
-                state.consume_batch(records[mask])
+            with tracer.span(
+                "ambivalent_fetch",
+                stats=stats,
+                attrs={"buckets": len(ambivalent), "mode": "serial"},
+            ):
+                for bucket_no in ambivalent:
+                    records = self.table.read_bucket(bucket_no)
+                    stats.buckets_fetched += 1
+                    stats.tuples_scanned += len(records)
+                    mask = self.predicate.evaluate(records)
+                    state.consume_batch(records[mask])
 
         # Phase: post-processing (averages) happens inside finalize().
         return state.finalize()

@@ -29,7 +29,13 @@ from repro.server.executor import (
     QueryTicket,
     TicketState,
 )
-from repro.server.metrics import LatencyRecorder, MetricsRegistry
+from repro.server.metrics import (
+    DEFAULT_AMBIVALENT_BREAK_EVEN,
+    FixedHistogram,
+    GradingGauges,
+    LatencyRecorder,
+    MetricsRegistry,
+)
 from repro.server.report import render_metrics, render_workload
 from repro.server.service import QueryJob, QueryService
 from repro.server.workload import (
@@ -42,6 +48,9 @@ from repro.server.workload import (
 )
 
 __all__ = [
+    "DEFAULT_AMBIVALENT_BREAK_EVEN",
+    "FixedHistogram",
+    "GradingGauges",
     "LatencyRecorder",
     "MetricsRegistry",
     "QueryCancelledError",

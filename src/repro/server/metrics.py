@@ -15,12 +15,108 @@ as the ``repro serve --report`` text dump.
 from __future__ import annotations
 
 import threading
-from bisect import insort
+import time
+from bisect import bisect_left, insort
 
 from repro.storage.stats import IoStats
 
 #: Percentiles reported by every latency snapshot.
 REPORTED_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+#: Default fixed histogram bounds for latency-like metrics (seconds).
+#: Chosen to straddle both in-memory microbenchmarks and simulated-disk
+#: scale queries; rendered as cumulative Prometheus ``le`` buckets.
+DEFAULT_LATENCY_BOUNDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: The paper's Figure 5 break-even: above ~25 % ambivalent buckets an
+#: SMA plan stops beating the plain scan.  Overridable per registry.
+DEFAULT_AMBIVALENT_BREAK_EVEN = 0.25
+
+
+class FixedHistogram:
+    """Fixed-bound histogram (Prometheus-style cumulative buckets).
+
+    Unlike :class:`LatencyRecorder` (exact percentiles over a decimated
+    sample), this is the constant-memory, mergeable-across-scrapes shape
+    the ``/metrics`` endpoint wants.  Not thread-safe on its own — the
+    registry locks around it.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds!r}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # final slot: +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def as_dict(self) -> dict:
+        """Cumulative buckets, ending in the mandatory ``+Inf`` bucket."""
+        buckets = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            buckets.append({"le": bound, "count": running})
+        buckets.append({"le": "+Inf", "count": self.count})
+        return {"buckets": buckets, "sum": self.sum, "count": self.count}
+
+
+class GradingGauges:
+    """Per-table grading-mix telemetry (the Figure 5 watch-dog).
+
+    Tracks the mean and most-recent qualifying/ambivalent/disqualifying
+    fractions over completed SMA-graded queries, plus how many times the
+    ambivalent fraction *crossed* the break-even threshold from below
+    (each crossing is one warning — a steady over-threshold workload
+    warns once, not per query).  Not thread-safe on its own.
+    """
+
+    __slots__ = (
+        "queries", "warnings", "_sums", "_last", "_over_threshold",
+    )
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.warnings = 0
+        self._sums = [0.0, 0.0, 0.0]
+        self._last = [0.0, 0.0, 0.0]
+        self._over_threshold = False
+
+    def record(
+        self,
+        qualifying: float,
+        ambivalent: float,
+        disqualifying: float,
+        threshold: float,
+    ) -> bool:
+        """Fold one query's grading in; True when this one crossed over."""
+        self.queries += 1
+        fractions = (qualifying, ambivalent, disqualifying)
+        for i, fraction in enumerate(fractions):
+            self._sums[i] += fraction
+            self._last[i] = fraction
+        crossed = ambivalent >= threshold and not self._over_threshold
+        self._over_threshold = ambivalent >= threshold
+        if crossed:
+            self.warnings += 1
+        return crossed
+
+    def as_dict(self) -> dict:
+        n = self.queries or 1
+        names = ("qualifying", "ambivalent", "disqualifying")
+        out: dict = {"queries": self.queries, "warnings": self.warnings}
+        for i, name in enumerate(names):
+            out[f"mean_{name}"] = self._sums[i] / n
+            out[f"last_{name}"] = self._last[i]
+        return out
 
 
 class LatencyRecorder:
@@ -88,9 +184,18 @@ class LatencyRecorder:
 class MetricsRegistry:
     """Thread-safe aggregation point for all query-service observations."""
 
-    def __init__(self, max_samples: int = 4096):
+    def __init__(
+        self,
+        max_samples: int = 4096,
+        *,
+        ambivalent_break_even: float = DEFAULT_AMBIVALENT_BREAK_EVEN,
+        latency_bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS,
+    ):
         self._lock = threading.Lock()
         self._max_samples = max_samples
+        self.ambivalent_break_even = ambivalent_break_even
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -100,8 +205,24 @@ class MetricsRegistry:
         self._latency = LatencyRecorder(max_samples)
         self._latency_by_kind: dict[str, LatencyRecorder] = {}
         self._queue_wait = LatencyRecorder(max_samples)
+        self._latency_hist = FixedHistogram(latency_bounds)
+        self._queue_wait_hist = FixedHistogram(latency_bounds)
         self._io = IoStats()
         self._plans: dict[str, int] = {}
+        #: per-kind outcome counters — {kind: {outcome: count}}
+        self._by_kind: dict[str, dict[str, int]] = {}
+        #: per-table grading gauges — {table: GradingGauges}
+        self._grading: dict[str, GradingGauges] = {}
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def _bump_kind(self, kind: str, outcome: str) -> None:
+        outcomes = self._by_kind.get(kind)
+        if outcomes is None:
+            outcomes = self._by_kind[kind] = {}
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
 
     # ------------------------------------------------------------------
     # recording (called by the service / executor)
@@ -118,6 +239,7 @@ class MetricsRegistry:
     def record_queue_wait(self, seconds: float) -> None:
         with self._lock:
             self._queue_wait.record(seconds)
+            self._queue_wait_hist.observe(seconds)
 
     def record_success(
         self,
@@ -131,28 +253,54 @@ class MetricsRegistry:
         with self._lock:
             self.completed += 1
             self._latency.record(latency_s)
+            self._latency_hist.observe(latency_s)
             recorder = self._latency_by_kind.get(kind)
             if recorder is None:
                 recorder = self._latency_by_kind[kind] = LatencyRecorder(
                     self._max_samples
                 )
             recorder.record(latency_s)
+            self._bump_kind(kind, "completed")
             if stats is not None:
                 self._io.merge(stats)
             if strategy is not None:
                 self._plans[strategy] = self._plans.get(strategy, 0) + 1
 
+    def record_grading(
+        self,
+        table: str,
+        qualifying: float,
+        ambivalent: float,
+        disqualifying: float,
+    ) -> bool:
+        """Fold one SMA-graded query's fractions into the table's gauges.
+
+        Returns True when this query pushed the table's ambivalent
+        fraction across the break-even threshold from below — callers
+        turn that into a warning event.
+        """
+        with self._lock:
+            gauges = self._grading.get(table)
+            if gauges is None:
+                gauges = self._grading[table] = GradingGauges()
+            return gauges.record(
+                qualifying, ambivalent, disqualifying, self.ambivalent_break_even
+            )
+
     def record_failure(self, kind: str) -> None:
         with self._lock:
             self.failed += 1
+            self._bump_kind(kind, "failed")
 
     def record_timeout(self, kind: str) -> None:
         with self._lock:
             self.timed_out += 1
+            self._bump_kind(kind, "timed_out")
 
     def record_cancelled(self, kind: str) -> None:
         with self._lock:
             self.cancelled += 1
+            self._bump_kind(kind, "cancelled")
 
     # ------------------------------------------------------------------
     # reading
@@ -169,13 +317,19 @@ class MetricsRegistry:
         Shape::
 
             {
+              "service": {started_at, uptime_s, ambivalent_break_even},
               "queries": {submitted, completed, failed, rejected,
-                          timed_out, cancelled, in_flight},
+                          timed_out, cancelled, in_flight,
+                          by_kind: {kind: {outcome: count}}},
               "latency_s": {"overall": {...}, "by_kind": {kind: {...}}},
               "queue_wait_s": {...},
+              "latency_hist": {buckets, sum, count},
+              "queue_wait_hist": {buckets, sum, count},
               "io": {<IoStats counters>, buffer_hit_rate,
                      bucket_skip_rate},
               "plans": {strategy: completed count},
+              "grading": {table: {queries, warnings,
+                                  mean_/last_ x 3 fractions}},
             }
         """
         with self._lock:
@@ -184,6 +338,11 @@ class MetricsRegistry:
             )
             io = self._io
             return {
+                "service": {
+                    "started_at": self.started_at,
+                    "uptime_s": self.uptime_s,
+                    "ambivalent_break_even": self.ambivalent_break_even,
+                },
                 "queries": {
                     "submitted": self.submitted,
                     "completed": self.completed,
@@ -192,6 +351,10 @@ class MetricsRegistry:
                     "timed_out": self.timed_out,
                     "cancelled": self.cancelled,
                     "in_flight": self.submitted - settled,
+                    "by_kind": {
+                        kind: dict(sorted(outcomes.items()))
+                        for kind, outcomes in sorted(self._by_kind.items())
+                    },
                 },
                 "latency_s": {
                     "overall": self._latency.as_dict(),
@@ -201,10 +364,16 @@ class MetricsRegistry:
                     },
                 },
                 "queue_wait_s": self._queue_wait.as_dict(),
+                "latency_hist": self._latency_hist.as_dict(),
+                "queue_wait_hist": self._queue_wait_hist.as_dict(),
                 "io": {
                     **io.as_dict(),
                     "buffer_hit_rate": io.buffer_hit_rate,
                     "bucket_skip_rate": io.bucket_skip_rate,
                 },
                 "plans": dict(sorted(self._plans.items())),
+                "grading": {
+                    table: gauges.as_dict()
+                    for table, gauges in sorted(self._grading.items())
+                },
             }

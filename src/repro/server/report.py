@@ -8,6 +8,7 @@ experiments use.
 
 from __future__ import annotations
 
+import datetime
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,6 +39,16 @@ def render_metrics(snapshot: dict) -> str:
 
     lines: list[str] = ["== query service metrics =="]
 
+    service = snapshot.get("service") or {}
+    if service:
+        started = datetime.datetime.fromtimestamp(
+            service["started_at"], tz=datetime.timezone.utc
+        )
+        lines.append(
+            f"service: started {started.isoformat(timespec='seconds')}, "
+            f"uptime {service['uptime_s']:.1f}s"
+        )
+
     queries = snapshot["queries"]
     lines.append(
         "queries: "
@@ -46,6 +57,12 @@ def render_metrics(snapshot: dict) -> str:
             "timed_out", "cancelled", "in_flight",
         ))
     )
+    by_kind = queries.get("by_kind") or {}
+    for kind, outcomes in by_kind.items():
+        lines.append(
+            f"  {kind}: "
+            + ", ".join(f"{name} {count}" for name, count in outcomes.items())
+        )
 
     latency = snapshot["latency_s"]
     rows = [_latency_row("all", latency["overall"])]
@@ -69,6 +86,14 @@ def render_metrics(snapshot: dict) -> str:
         f"{io['random_page_reads']} rnd), {io['buffer_hits']} buffer hits "
         f"(hit rate {io['buffer_hit_rate']:.1%})"
     )
+    sma_reads = io.get("sma_page_reads", 0)
+    heap_reads = io.get("heap_page_reads", 0)
+    if sma_reads or heap_reads:
+        total = sma_reads + heap_reads
+        lines.append(
+            f"  files: {sma_reads} SMA-file / {heap_reads} heap page reads "
+            f"(SMA fraction {sma_reads / total:.1%})"
+        )
     lines.append(
         f"  buckets: {io['buckets_fetched']} fetched, "
         f"{io['buckets_skipped']} skipped "

@@ -28,6 +28,7 @@ threads), while the catalog, pool and SMA sets are shared read-only.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -36,6 +37,8 @@ from repro.errors import (
     QueryTimeoutError,
     ServerOverloadedError,
 )
+from repro.obs.events import EventLog
+from repro.obs.trace import Span, resolve_tracer
 from repro.query.planner import Explanation
 from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
 from repro.query.session import QueryResult, Session
@@ -44,6 +47,10 @@ from repro.server.metrics import MetricsRegistry
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskModel, PAPER_DISK
 from repro.storage.stats import IoStats
+
+
+# Stateless, so one shared instance is safe across threads.
+_NO_CM = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,9 @@ class QueryJob:
     sma_set: str | None = None
     #: metrics bucket ("q1", "range_scan", ...); defaults by query class
     kind: str = "query"
+    #: per-query root span (created at submit, finished by the worker) —
+    #: None when tracing is disabled
+    trace: Span | None = None
 
 
 class QueryService:
@@ -78,6 +88,20 @@ class QueryService:
         reach ``workers * scan_workers``.
     morsel_buckets:
         Buckets per morsel when ``scan_workers`` > 1.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When given, every
+        submission gets a per-query root span (created at submit time so
+        it covers the queue wait) that the worker thread adopts; finished
+        span trees go to the tracer's sinks and, when *events* is also
+        set, into the event log as ``trace`` records.
+    events:
+        Optional :class:`~repro.obs.events.EventLog` receiving structured
+        query start/finish, slow-query, warning and lifecycle events.
+        Emission never blocks the query path.
+    slow_query_s:
+        Wall-clock threshold above which a completed query additionally
+        emits a ``slow_query`` event carrying its captured EXPLAIN.
+        None disables slow-query capture.
     """
 
     def __init__(
@@ -91,6 +115,9 @@ class QueryService:
         metrics: MetricsRegistry | None = None,
         scan_workers: int = 1,
         morsel_buckets: int | None = None,
+        tracer=None,
+        events: EventLog | None = None,
+        slow_query_s: float | None = None,
     ):
         self.catalog = catalog
         self.disk_model = disk_model
@@ -98,6 +125,13 @@ class QueryService:
         self.scan_workers = scan_workers
         self.morsel_buckets = morsel_buckets
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = resolve_tracer(tracer)
+        self.events = events
+        self.slow_query_s = slow_query_s
+        if events is not None and self.tracer.enabled:
+            self.tracer.add_sink(
+                lambda root: events.emit("trace", trace=root.to_dict())
+            )
         self._sessions = threading.local()
         self._executor = QueryExecutor(
             self._run_job,
@@ -120,10 +154,34 @@ class QueryService:
 
     def start(self) -> "QueryService":
         self._executor.start()
+        if self.events is not None:
+            self.events.emit(
+                "server_start",
+                workers=self.workers,
+                queue_depth=self.queue_depth,
+                scan_workers=self.scan_workers,
+                started_at=self.metrics.started_at,
+            )
         return self
 
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
         self._executor.shutdown(wait=wait, cancel_pending=cancel_pending)
+        if self.events is not None:
+            self.events.emit(
+                "server_stop", queries=self.metrics.snapshot()["queries"]
+            )
+
+    def observed_snapshot(self) -> dict:
+        """The metrics snapshot plus the event log's own stats.
+
+        This is what the ``/metrics`` and ``/snapshot`` endpoints serve,
+        so drop counters of the observability pipeline are themselves
+        observable.
+        """
+        snapshot = self.metrics.snapshot()
+        if self.events is not None:
+            snapshot["events"] = self.events.stats()
+        return snapshot
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -155,14 +213,30 @@ class QueryService:
                 if isinstance(query, AggregateQuery)
                 else "scan" if isinstance(query, ScanQuery) else "sql"
             )
-        job = QueryJob(query=query, mode=mode, sma_set=sma_set, kind=kind)
+        trace = None
+        if self.tracer.enabled:
+            # Root span opens at submit so its duration covers the queue
+            # wait; the worker thread adopts and finishes it.
+            trace = self.tracer.begin("query", root=True)
+            trace.annotate(kind=kind, mode=mode, query=str(query))
+        job = QueryJob(
+            query=query, mode=mode, sma_set=sma_set, kind=kind, trace=trace
+        )
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         try:
             ticket = self._executor.submit(job, timeout_s=timeout)
         except ServerOverloadedError:
             self.metrics.record_rejected()
+            if self.events is not None:
+                self.events.emit("query_rejected", kind=kind, query=str(query))
             raise
         self.metrics.record_submitted()
+        if trace is not None:
+            trace.annotate(ticket=ticket.id)
+        if self.events is not None:
+            self.events.emit(
+                "query_start", ticket=ticket.id, kind=kind, query=str(query)
+            )
         return ticket
 
     def execute(
@@ -203,7 +277,9 @@ class QueryService:
                     "QueryService.explain takes a SELECT statement"
                 )
             query = statement
-        return self._session().explain(query, mode=mode, sma_set=sma_set)
+        return self._explain_session().explain(
+            query, mode=mode, sma_set=sma_set
+        )
 
     # ------------------------------------------------------------------
     # worker side
@@ -215,8 +291,25 @@ class QueryService:
             kwargs: dict = {"scan_workers": self.scan_workers}
             if self.morsel_buckets is not None:
                 kwargs["morsel_buckets"] = self.morsel_buckets
-            session = Session(self.catalog, self.disk_model, **kwargs)
+            session = Session(
+                self.catalog, self.disk_model, tracer=self.tracer, **kwargs
+            )
             self._sessions.session = session
+        return session
+
+    def _explain_session(self) -> Session:
+        """Untraced session for planning-only inspection.
+
+        ``explain`` (including the slow-query capture) must not trace:
+        with no enclosing query root, every planner span would become its
+        own root and flood the trace sinks.
+        """
+        session = getattr(self._sessions, "explain_session", None)
+        if session is None:
+            session = Session(
+                self.catalog, self.disk_model, scan_workers=self.scan_workers
+            )
+            self._sessions.explain_session = session
         return session
 
     def _run_job(self, ticket: QueryTicket) -> QueryResult:
@@ -224,44 +317,131 @@ class QueryService:
         wait = ticket.queue_wait_s
         if wait is not None:
             self.metrics.record_queue_wait(wait)
+        trace = job.trace
+        if trace is not None and wait is not None:
+            self.tracer.record_span(
+                "queue_wait", parent=trace, duration_s=wait
+            )
         session = self._session()
         window = IoStats()
         pool = self.catalog.pool
+        outcome = "completed"
         try:
-            with pool.query_context(
-                window,
-                cancel_event=ticket.cancel_event,
-                deadline=ticket.deadline,
-            ):
-                if isinstance(job.query, str):
-                    result = session.sql(
-                        job.query, mode=job.mode, sma_set=job.sma_set
-                    )
-                else:
-                    result = session.execute(
-                        job.query, mode=job.mode, sma_set=job.sma_set
-                    )
+            # Adopt the submit-side root span on this worker thread, so
+            # everything the session opens parents under it.
+            with self.tracer.activate(trace) if trace is not None else _NO_CM:
+                with pool.query_context(
+                    window,
+                    cancel_event=ticket.cancel_event,
+                    deadline=ticket.deadline,
+                ):
+                    if isinstance(job.query, str):
+                        result = session.sql(
+                            job.query, mode=job.mode, sma_set=job.sma_set
+                        )
+                    else:
+                        result = session.execute(
+                            job.query, mode=job.mode, sma_set=job.sma_set
+                        )
         except QueryTimeoutError:
+            outcome = "timed_out"
             self.metrics.record_timeout(job.kind)
             raise
         except QueryCancelledError:
+            outcome = "cancelled"
             self.metrics.record_cancelled(job.kind)
             raise
         except BaseException:
+            outcome = "failed"
             self.metrics.record_failure(job.kind)
             raise
+        finally:
+            if trace is not None:
+                trace.annotate(outcome=outcome)
+                self.tracer.finish(trace)
         self.metrics.record_success(
             job.kind,
             result.wall_seconds,
             result.stats,
             strategy=result.plan.strategy,
         )
+        self._observe_success(ticket, job, result)
         return result
+
+    def _observe_success(
+        self, ticket: QueryTicket, job: QueryJob, result: QueryResult
+    ) -> None:
+        """Post-success telemetry: finish event, grading gauges, slow log."""
+        info = result.plan
+        crossed = False
+        if info.table is not None and info.fraction_ambivalent is not None:
+            crossed = self.metrics.record_grading(
+                info.table,
+                info.fraction_qualifying or 0.0,
+                info.fraction_ambivalent,
+                info.fraction_disqualifying or 0.0,
+            )
+        if self.events is None:
+            return
+        self.events.emit(
+            "query_finish",
+            ticket=ticket.id,
+            kind=job.kind,
+            outcome="completed",
+            latency_s=result.wall_seconds,
+            simulated_s=result.simulated_seconds,
+            strategy=info.strategy,
+            io=result.stats.as_dict(),
+        )
+        if crossed:
+            self.events.emit(
+                "ambivalent_warning",
+                table=info.table,
+                fraction_ambivalent=info.fraction_ambivalent,
+                break_even=self.metrics.ambivalent_break_even,
+                sma_set=info.sma_set_name,
+            )
+        if (
+            self.slow_query_s is not None
+            and result.wall_seconds >= self.slow_query_s
+        ):
+            # Re-plan outside the (already closed) query context to
+            # capture EXPLAIN; the grading re-reads charge the catalog's
+            # default window, not any query's.
+            try:
+                explanation = self.explain(
+                    job.query, mode=job.mode, sma_set=job.sma_set
+                )
+                plan_text = explanation.render()
+            except Exception as exc:  # noqa: BLE001 - capture is best-effort
+                plan_text = f"<explain failed: {exc}>"
+            self.events.emit(
+                "slow_query",
+                ticket=ticket.id,
+                kind=job.kind,
+                latency_s=result.wall_seconds,
+                threshold_s=self.slow_query_s,
+                query=str(job.query),
+                explain=plan_text,
+            )
 
     def _record_skipped(self, ticket: QueryTicket) -> None:
         """Metrics for tickets settled without running (queued-cancel/expire)."""
         job: QueryJob = ticket.payload
         if ticket.state is TicketState.TIMED_OUT:
+            outcome = "timed_out"
             self.metrics.record_timeout(job.kind)
         else:
+            outcome = "cancelled"
             self.metrics.record_cancelled(job.kind)
+        if job.trace is not None:
+            job.trace.annotate(outcome=outcome, skipped=True)
+            self.tracer.finish(job.trace)
+        if self.events is not None:
+            self.events.emit(
+                "query_finish",
+                ticket=ticket.id,
+                kind=job.kind,
+                outcome=outcome,
+                skipped=True,
+            )

@@ -337,13 +337,14 @@ class BufferPool:
         stats: IoStats,
         file_id: Hashable,
         page_no: int,
+        kind: str,
     ) -> None:
         """Charge one physical read, classified against the right tracker."""
         if binding is None:
             with self._default_lock:
-                self._classify_into(stats, self._last_physical, file_id, page_no)
+                self._classify_into(stats, self._last_physical, file_id, page_no, kind)
         else:
-            self._classify_into(stats, binding.last_physical, file_id, page_no)
+            self._classify_into(stats, binding.last_physical, file_id, page_no, kind)
 
     @staticmethod
     def _classify_into(
@@ -351,6 +352,7 @@ class BufferPool:
         tracker: dict[Hashable, int],
         file_id: Hashable,
         page_no: int,
+        kind: str,
     ) -> None:
         last = tracker.get(file_id)
         if last is not None and page_no == last + 1:
@@ -364,6 +366,10 @@ class BufferPool:
             stats.skip_page_reads += 1
         else:
             stats.random_page_reads += 1
+        if kind == "sma":
+            stats.sma_page_reads += 1
+        else:
+            stats.heap_page_reads += 1
         tracker[file_id] = page_no
 
     # ------------------------------------------------------------------
@@ -383,6 +389,8 @@ class BufferPool:
         file_id: Hashable,
         page_no: int,
         loader: Callable[[], bytes],
+        *,
+        kind: str = "heap",
     ) -> bytes:
         """Return the payload of page *page_no* of file *file_id*.
 
@@ -392,6 +400,10 @@ class BufferPool:
         installing the page (evicting its stripe's LRU page if the stripe
         is full) — or coalesces onto an in-flight load of the same page
         and charges a buffer hit once the leader's bytes arrive.
+
+        *kind* labels the backing file (``"heap"`` or ``"sma"``) so
+        physical reads split into ``heap_page_reads``/``sma_page_reads``
+        — the paper's "SMA pages vs relation pages" ratio.
         """
         binding = self._binding()
         if binding is not None:
@@ -446,7 +458,7 @@ class BufferPool:
                     load.event.set()
                 raise
 
-            self._classify_physical(binding, stats, file_id, page_no)
+            self._classify_physical(binding, stats, file_id, page_no, kind)
             with stripe.lock:
                 stripe.misses += 1
                 if stripe.loads.get(key) is load:

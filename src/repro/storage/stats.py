@@ -38,6 +38,13 @@ class IoStats:
     sequential_page_reads: int = 0
     skip_page_reads: int = 0
     random_page_reads: int = 0
+    #: physical reads split by *file kind* — SMA-files vs relation heap
+    #: files.  Each physical read increments exactly one access-class
+    #: counter above AND exactly one of these two, so
+    #: ``sma_page_reads + heap_page_reads == page_reads`` always holds;
+    #: ``page_reads`` stays the access-class sum for compatibility.
+    sma_page_reads: int = 0
+    heap_page_reads: int = 0
     page_writes: int = 0
     buffer_hits: int = 0
     tuples_scanned: int = 0

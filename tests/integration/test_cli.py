@@ -128,6 +128,56 @@ class TestExplain:
         assert "physical plan:" in out
 
 
+class TestTrace:
+    @pytest.fixture
+    def loaded(self, db, capsys):
+        run(capsys, "load", "--db", db, "--sf", "0.002")
+        return db
+
+    SQL = (
+        "SELECT L_RETURNFLAG, COUNT(*) AS n FROM LINEITEM "
+        "WHERE L_SHIPDATE <= DATE '1998-09-02' GROUP BY L_RETURNFLAG"
+    )
+
+    def test_trace_prints_tree_and_reconciles(self, loaded, capsys):
+        code, out, _ = run(capsys, "trace", "--db", loaded, self.SQL)
+        assert code == 0
+        assert out.startswith("execute")
+        for name in ("plan", "grade", "cost_access_path", "run"):
+            assert name in out
+        assert "io reconciliation:" in out
+        assert "-> exact" in out
+        assert "MISMATCH" not in out
+
+    def test_trace_parallel_scan_reconciles(self, loaded, capsys):
+        code, out, _ = run(
+            capsys, "trace", "--db", loaded, "--mode", "scan",
+            "--scan-workers", "4", self.SQL,
+        )
+        assert code == 0
+        assert "scan_morsel" in out
+        assert "-> exact" in out
+
+    def test_trace_serve_events(self, loaded, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "events.jsonl")
+        code, out, _ = run(
+            capsys, "serve", "--db", loaded, "--workers", "2",
+            "--clients", "2", "--queries", "6", "--trace-file", path,
+            "--report",
+        )
+        assert code == 0
+        assert "trace events:" in out
+        events = [json.loads(line) for line in open(path, encoding="utf-8")]
+        kinds = {event["event"] for event in events}
+        assert {"server_start", "query_start", "trace",
+                "query_finish", "server_stop"} <= kinds
+        # the report grew the uptime header and per-kind outcome lines
+        assert "service: started" in out
+        assert "completed" in out
+
+
 class TestDefineAndInfo:
     def test_define_inline(self, db, capsys):
         run(capsys, "load", "--db", db, "--sf", "0.002")

@@ -1,0 +1,96 @@
+"""Tests for the non-blocking JSONL event log."""
+
+import io
+import json
+import threading
+import time
+
+from repro.obs import EventLog
+
+
+class TestEventLog:
+    def test_writes_jsonl_with_seq_and_ts(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path) as log:
+            assert log.emit("query_start", ticket=1, kind="q1")
+            assert log.emit("query_finish", ticket=1, outcome="completed")
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert [ev["event"] for ev in lines] == ["query_start", "query_finish"]
+        assert [ev["seq"] for ev in lines] == [1, 2]
+        assert all(ev["ts"] > 0 for ev in lines)
+        assert lines[0]["kind"] == "q1"
+
+    def test_accepts_open_stream(self):
+        stream = io.StringIO()
+        log = EventLog(stream)
+        log.emit("hello", n=1)
+        log.close()
+        assert json.loads(stream.getvalue())["event"] == "hello"
+
+    def test_non_json_values_stringified(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path) as log:
+            log.emit("odd", when=object())
+        (event,) = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert isinstance(event["when"], str)
+
+    def test_emit_never_blocks_and_counts_drops(self):
+        """A stalled writer fills the queue; emits keep returning fast."""
+
+        class StallingStream(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.release = threading.Event()
+
+            def write(self, text):
+                self.release.wait(5.0)
+                return super().write(text)
+
+        stream = StallingStream()
+        log = EventLog(stream, maxsize=4)
+        started = time.perf_counter()
+        results = [log.emit("e", i=i) for i in range(50)]
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0, "emit blocked on a full queue"
+        assert not all(results), "overflow emits must report False"
+        assert log.stats()["dropped"] > 0
+        stream.release.set()
+        log.close()
+        stats = log.stats()
+        assert stats["queued"] == 0
+        # every emit was either written or counted as dropped — none lost
+        assert stats["written"] + stats["dropped"] == 50
+
+    def test_emit_after_close_returns_false(self, tmp_path):
+        log = EventLog(str(tmp_path / "events.jsonl"))
+        log.close()
+        assert log.emit("late") is False
+
+    def test_close_flushes_queued_events(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+        for i in range(100):
+            log.emit("e", i=i)
+        log.close()
+        lines = open(path, encoding="utf-8").readlines()
+        assert len(lines) + log.stats()["dropped"] == 100
+
+    def test_concurrent_emitters_unique_seq(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, maxsize=4096)
+
+        def emitter(base):
+            for i in range(50):
+                log.emit("e", i=base + i)
+
+        threads = [
+            threading.Thread(target=emitter, args=(t * 50,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        events = [json.loads(line) for line in open(path, encoding="utf-8")]
+        seqs = [ev["seq"] for ev in events]
+        assert len(seqs) == len(set(seqs)) == 400

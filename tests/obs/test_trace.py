@@ -1,0 +1,223 @@
+"""Unit tests for the tracer: context, threading, I/O windows, rendering."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import NO_TRACER, Span, Tracer, render_span_tree, resolve_tracer
+from repro.obs.trace import _NOOP_CM, _NOOP_SPAN
+from repro.storage.stats import IoStats
+
+
+class TestSpanBasics:
+    def test_nesting_follows_thread_current(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert child in root.children
+        assert grandchild in child.children
+        assert grandchild.trace_id == root.trace_id
+        assert [s.name for s in root.walk()] == ["root", "child", "grandchild"]
+
+    def test_current_restored_after_exit(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("root") as root:
+            assert tracer.current() is root
+            with tracer.span("child") as child:
+                assert tracer.current() is child
+            assert tracer.current() is root
+        assert tracer.current() is None
+
+    def test_explicit_parent_beats_current(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b"):
+            with tracer.span("adopted", parent=a) as adopted:
+                pass
+        assert adopted in a.children
+
+    def test_root_forces_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("fresh", root=True) as fresh:
+                pass
+        assert fresh.parent_id is None
+        assert fresh not in outer.children
+        assert fresh.trace_id != outer.trace_id
+
+    def test_io_window_delta(self):
+        tracer = Tracer()
+        stats = IoStats()
+        stats.sequential_page_reads += 3
+        with tracer.span("io", stats=stats) as span:
+            stats.sequential_page_reads += 5
+            stats.heap_page_reads += 5
+            stats.tuples_scanned += 40
+        assert span.io.page_reads == 5
+        assert span.io.heap_page_reads == 5
+        assert span.io.tuples_scanned == 40
+        # the pre-existing counts stayed out of the window
+        assert stats.sequential_page_reads == 8
+
+    def test_io_total_sums_leaves(self):
+        tracer = Tracer()
+        stats = IoStats()
+        with tracer.span("root") as root:
+            with tracer.span("a", stats=stats):
+                stats.sequential_page_reads += 2
+            with tracer.span("b", stats=stats):
+                stats.random_page_reads += 3
+        assert len(root.io_spans()) == 2
+        assert root.io_total().page_reads == 5
+
+    def test_begin_finish_external_lifetime(self):
+        tracer = Tracer()
+        span = tracer.begin("query", root=True)
+        assert tracer.current() is None  # begin does not bind the thread
+        tracer.finish(span)
+        assert span.end_s is not None
+        assert tracer.last_trace() is span
+
+    def test_record_span_backdates_start(self):
+        tracer = Tracer()
+        root = tracer.begin("query", root=True)
+        span = tracer.record_span("queue_wait", parent=root, duration_s=0.5)
+        assert span in root.children
+        assert span.duration_s > 0.49
+
+    def test_finished_roots_reach_sinks(self):
+        seen = []
+        tracer = Tracer(on_trace=[seen.append])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in seen] == ["root"]
+
+    def test_sink_exceptions_are_swallowed(self):
+        def bad_sink(root):
+            raise RuntimeError("sink broke")
+
+        tracer = Tracer(on_trace=[bad_sink])
+        with tracer.span("root"):
+            pass
+        assert tracer.finished_traces == 1
+
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+
+        tracer = Tracer()
+        stats = IoStats()
+        with tracer.span("root", attrs={"mode": "auto"}) as root:
+            with tracer.span("leaf", stats=stats):
+                stats.buffer_hits += 1
+        data = json.loads(json.dumps(root.to_dict()))
+        assert data["name"] == "root"
+        assert data["attrs"]["mode"] == "auto"
+        assert data["children"][0]["io"]["buffer_hits"] == 1
+
+
+class TestCrossThread:
+    def test_activate_adopts_span_on_worker_thread(self):
+        tracer = Tracer()
+        root = tracer.begin("query", root=True)
+        names = []
+
+        def worker():
+            with tracer.activate(root):
+                with tracer.span("inner") as inner:
+                    names.append(inner.thread_name)
+            assert tracer.current() is None
+
+        thread = threading.Thread(target=worker, name="adoptee")
+        thread.start()
+        thread.join()
+        tracer.finish(root)
+        assert [s.name for s in root.children] == ["inner"]
+        assert names == ["adoptee"]
+
+    def test_explicit_parent_propagates_to_pool_threads(self):
+        """The morsel-dispatch pattern: capture current once, fan out."""
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            parent = tracer.current()
+
+            def run_morsel(i):
+                with tracer.span("morsel", parent=parent, attrs={"i": i}):
+                    pass
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                for future in [pool.submit(run_morsel, i) for i in range(8)]:
+                    future.result()
+        assert sorted(s.attrs["i"] for s in root.children) == list(range(8))
+
+    def test_sixteen_threads_interleaved_traces_stay_separate(self):
+        """16 threads each build their own trace; no span leaks across."""
+        tracer = Tracer(keep=32)
+        barrier = threading.Barrier(16)
+
+        def one_trace(i):
+            barrier.wait()
+            with tracer.span(f"root-{i}") as root:
+                for j in range(5):
+                    with tracer.span(f"child-{i}-{j}"):
+                        pass
+            return root
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            roots = [f.result() for f in [pool.submit(one_trace, i) for i in range(16)]]
+        assert tracer.finished_traces == 16
+        for i, root in enumerate(roots):
+            spans = list(root.walk())
+            assert len(spans) == 6
+            # every span's name carries the owning trace's index
+            assert all(s.name.split("-")[1] == str(i) for s in spans)
+            assert all(s.trace_id == root.trace_id for s in spans)
+
+
+class TestNoop:
+    def test_resolve_tracer(self):
+        assert resolve_tracer(None) is NO_TRACER
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+
+    def test_noop_span_is_shared_and_inert(self):
+        cm = NO_TRACER.span("anything", stats=IoStats(), attrs={"a": 1})
+        assert cm is _NOOP_CM
+        with cm as span:
+            assert span is _NOOP_SPAN
+            span.annotate(ignored=True)
+        assert span.attrs == {}
+        assert span.io_total().page_reads == 0
+        assert NO_TRACER.begin("x") is _NOOP_SPAN
+        assert NO_TRACER.current() is None
+        assert NO_TRACER.last_trace() is None
+        assert not NO_TRACER.enabled
+
+
+class TestRendering:
+    def test_render_span_tree_shape(self):
+        tracer = Tracer()
+        stats = IoStats()
+        with tracer.span("execute", attrs={"mode": "auto"}) as root:
+            with tracer.span("plan"):
+                with tracer.span("grade", stats=stats):
+                    stats.sequential_page_reads += 2
+                    stats.sma_page_reads += 2
+            with tracer.span("run"):
+                pass
+        text = render_span_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("execute")
+        assert "mode=auto" in lines[0]
+        assert any("├─ plan" in line for line in lines)
+        assert any("└─ run" in line for line in lines)
+        assert any("io: 2 reads (2 sma / 0 heap)" in line for line in lines)
+
+    def test_span_type_annotation_surface(self):
+        # the public names exist and Span exposes the documented slots
+        span = Span("x", trace_id=1, span_id=1, parent_id=None)
+        assert span.duration_s == 0.0
+        assert span.io is None

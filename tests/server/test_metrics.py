@@ -74,6 +74,9 @@ class TestMetricsRegistry:
             "timed_out": 1,
             "cancelled": 0,
             "in_flight": 0,
+            "by_kind": {
+                "q1": {"completed": 1, "failed": 1, "timed_out": 1},
+            },
         }
 
     def test_io_totals_merge_per_query_deltas(self):
