@@ -26,6 +26,7 @@ inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
 
 from repro.errors import (
     CatalogError,
+    ChecksumError,
     ExecutionError,
     ParseError,
     PlanningError,
@@ -37,8 +38,11 @@ from repro.errors import (
     ServerOverloadedError,
     ServerShutdownError,
     SmaDefinitionError,
+    SmaIntegrityError,
     SmaStateError,
     StorageError,
+    TornWriteError,
+    TransientIOError,
 )
 from repro.core import (
     AggregateKind,
@@ -96,6 +100,7 @@ __all__ = [
     "BucketPartitioning",
     "Catalog",
     "CatalogError",
+    "ChecksumError",
     "Column",
     "DATE",
     "DiskModel",
@@ -125,11 +130,14 @@ __all__ = [
     "SmaDefinition",
     "SmaDefinitionError",
     "SmaFile",
+    "SmaIntegrityError",
     "SmaMaintainer",
     "SmaSet",
     "SmaStateError",
     "StorageError",
     "Table",
+    "TornWriteError",
+    "TransientIOError",
     "and_",
     "average",
     "build_sma_set",

@@ -41,17 +41,26 @@ def exp_concurrency_throughput(
     worker_counts: tuple[int, ...] = (1, 4, 16),
     queries_per_client: int = 6,
     event_log=None,
+    fault_injector=None,
 ) -> ExperimentResult:
     """Closed-loop throughput at several worker counts, shared catalog.
 
     ``event_log`` (an :class:`repro.obs.EventLog`) turns on tracing: every
     service run emits query events and full span trees into the JSONL
     artifact (``repro bench --trace-file``).
+
+    ``fault_injector`` (``repro bench --faults``) attaches a
+    :class:`repro.storage.faults.FaultInjector` to the shared pool for
+    the whole run: queries may then fail with typed storage errors or
+    retry transparently — never return wrong rows — and completed counts
+    reflect the survivors.
     """
     rows: list[tuple] = []
     metrics: dict[str, float] = {}
     with ScratchCatalog() as catalog:
         load_lineitem(catalog, scale_factor=scale_factor, clustering="sorted")
+        if fault_injector is not None:
+            catalog.install_fault_injector(fault_injector)
         mix = default_mix("LINEITEM")
         for workers in worker_counts:
             if event_log is not None:
@@ -114,6 +123,7 @@ def exp_scan_parallelism(
     queries_per_client: int = 3,
     repeats: int = 3,
     event_log=None,
+    fault_injector=None,
 ) -> ExperimentResult:
     """C2 — morsel-driven scan parallelism on the striped buffer pool.
 
@@ -157,6 +167,10 @@ def exp_scan_parallelism(
             walls[scan_workers] = best
 
         base_wall = walls[scan_worker_counts[0]]
+        # Faults apply to the concurrent-service grid only: the scan
+        # speedup above is a timing baseline and must stay fault-free.
+        if fault_injector is not None:
+            catalog.install_fault_injector(fault_injector)
         for scan_workers in scan_worker_counts:
             qps: dict[int, float] = {}
             hit_rate = 0.0
@@ -180,7 +194,7 @@ def exp_scan_parallelism(
                     run = driver.run_closed_loop(
                         clients=clients, queries_per_client=queries_per_client
                     )
-                if run.completed != run.total:
+                if fault_injector is None and run.completed != run.total:
                     raise AssertionError(
                         f"lost queries at scan_workers={scan_workers}, "
                         f"clients={clients}: {run.completed}/{run.total}"

@@ -14,6 +14,7 @@ trace     run one SELECT with tracing on, print the span tree
 info      list tables, SMA sets and sizes of a catalog
 bench     run the paper experiments (all, or a comma-separated subset)
 serve     replay a concurrent workload through the query service
+verify    check page checksums + SMA contents; --repair rebuilds SMAs
 ========  ============================================================
 
 Examples::
@@ -27,6 +28,8 @@ Examples::
         --sql "define sma lo select min(L_SHIPDATE) from LINEITEM"
     python -m repro bench --only E4,F5
     python -m repro serve --db ./db --workers 4 --clients 8 --report
+    python -m repro verify --db ./db --repair
+    python -m repro serve --db ./db --faults "transient:path=.heap,p=0.05"
 """
 
 from __future__ import annotations
@@ -200,6 +203,44 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.verify import verify_catalog
+
+    catalog = _open_catalog(args.db, args.buffer_pages)
+    events = None
+    if args.events:
+        from repro.obs import EventLog
+
+        events = EventLog(args.events)
+    try:
+        report = verify_catalog(catalog, repair=args.repair, events=events)
+    finally:
+        if events is not None:
+            events.close()
+        catalog.close()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _build_injector(args: argparse.Namespace):
+    """A FaultInjector from --faults/--fault-seed, or None."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.storage.faults import FaultInjector, parse_fault_specs
+
+    specs = parse_fault_specs(args.faults)
+    return FaultInjector(seed=args.fault_seed, specs=specs)
+
+
+def _report_faults(injector, args: argparse.Namespace) -> None:
+    if injector is None:
+        return
+    print(f"faults: {injector.fired_count()} injected ({injector.describe()})")
+    if getattr(args, "fault_events", None):
+        injector.write_jsonl(args.fault_events)
+        print(f"fault events -> {args.fault_events}")
+
+
 def _trace_artifact_path(template: str, exp_id: str) -> str:
     """``traces.jsonl`` + ``C1`` -> ``traces_C1.jsonl`` (one per experiment)."""
     stem, dot, suffix = template.rpartition(".")
@@ -216,6 +257,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     wanted = None
     if args.only:
         wanted = {piece.strip().upper() for piece in args.only.split(",")}
+    injector = _build_injector(args)
     ran = 0
     renderings: list[str] = []
     for experiment in ALL_EXPERIMENTS:
@@ -226,6 +268,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if probe_id is None or probe_id not in wanted:
                 continue
         kwargs = {}
+        if (
+            injector is not None
+            and "fault_injector" in inspect.signature(experiment).parameters
+        ):
+            kwargs["fault_injector"] = injector
         event_log = None
         if (
             args.trace_file
@@ -255,6 +302,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: no experiment matches {sorted(wanted)}; "
               f"ids: {sorted(set(_EXPERIMENT_IDS.values()))}", file=sys.stderr)
         return 1
+    _report_faults(injector, args)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:
             f.write("\n\n".join(renderings) + "\n")
@@ -290,6 +338,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         event_log = EventLog(args.trace_file)
         tracer = Tracer()
+    injector = _build_injector(args)
+    if injector is not None:
+        catalog.install_fault_injector(injector)
+        if event_log is not None:
+            def _on_retry(file_id, page_no, attempt, exc,
+                          _log=event_log):  # noqa: ANN001
+                _log.emit(
+                    "read_retry",
+                    file=str(file_id),
+                    page=page_no,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
+            catalog.pool.on_retry = _on_retry
     slow_query_s = args.slow_ms / 1000.0 if args.slow_ms else None
     with QueryService(
         catalog,
@@ -340,6 +402,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.report:
         print()
         print(render_metrics(result.metrics))
+    _report_faults(injector, args)
     catalog.close()
     return 0
 
@@ -443,6 +506,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_db(p_info)
     p_info.set_defaults(func=cmd_info)
 
+    def add_faults(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--faults",
+                       help="semicolon-separated fault specs injected into "
+                       "the buffer pool, e.g. "
+                       "'transient:path=.heap,p=0.05;bit_flip:path=.sma,"
+                       "count=1' (kinds: transient, short_read, latency, "
+                       "bit_flip, torn_write)")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="deterministic fault schedule seed (default 0)")
+        p.add_argument("--fault-events",
+                       help="write every injected fault as JSONL to this file")
+
     p_bench = sub.add_parser("bench", help="run the paper experiments")
     p_bench.add_argument("--only", help="comma-separated experiment ids "
                          "(e.g. E4,F5)")
@@ -451,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSONL trace artifact template; experiments "
                          "that serve queries (C1, C2) write one file each, "
                          "e.g. traces.jsonl -> traces_C1.jsonl")
+    add_faults(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -489,7 +565,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--linger", type=float, default=0.0,
                          help="keep the metrics endpoint up this many "
                          "seconds after the workload finishes")
+    add_faults(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_verify = sub.add_parser(
+        "verify", help="check heap page checksums and SMA contents "
+        "against a fresh recompute"
+    )
+    add_db(p_verify)
+    p_verify.add_argument("--repair", action="store_true",
+                          help="rebuild damaged SMAs from the heap and "
+                          "migrate unchecksummed heap files in place")
+    p_verify.add_argument("--events",
+                          help="write verify_issue/verify_repair events "
+                          "as JSONL to this file")
+    p_verify.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -24,14 +24,25 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import numpy as np
 
-from repro.errors import SmaStateError, StorageError
+from repro.errors import (
+    SmaIntegrityError,
+    SmaStateError,
+    StorageError,
+    TornWriteError,
+    TransientIOError,
+)
 from repro.storage.buffer import BufferPool
+from repro.storage.checksum import checksum as compute_checksum
+from repro.storage.checksum import default_algorithm
 from repro.storage.page import DEFAULT_PAGE_SIZE
 
 _META_SUFFIX = ".meta.json"
+#: Current SMA-file meta format: v2 adds a whole-body checksum.
+FORMAT_VERSION = 2
 
 
 class SmaFile:
@@ -44,6 +55,7 @@ class SmaFile:
         valid: np.ndarray | None,
         pool: BufferPool,
         page_size: int,
+        checksum_algo: str | None = None,
     ):
         if values.ndim != 1:
             raise StorageError("SMA values must be a 1-D array")
@@ -52,6 +64,16 @@ class SmaFile:
         self.path = path
         self.pool = pool
         self.page_size = page_size
+        #: Body-checksum algorithm, or None for legacy/unchecksummed files.
+        self.checksum_algo = checksum_algo
+        #: Why the file failed verification at :meth:`open`, or None when
+        #: healthy.  A corrupt file keeps its declared geometry (entry
+        #: count, page count) so planning can cost it, but every value
+        #: access raises :class:`~repro.errors.SmaIntegrityError` — the
+        #: planner then quarantines the definition and falls back to the
+        #: heap scan.  SMA-files are derived data; a wrong answer is the
+        #: only unacceptable outcome.
+        self.corrupt_reason: str | None = None
         self.file_id = os.path.abspath(path)
         self._values = values
         self._valid = valid
@@ -85,6 +107,7 @@ class SmaFile:
             None if valid is None else np.ascontiguousarray(valid, dtype=bool),
             pool,
             page_size,
+            checksum_algo=default_algorithm(),
         )
         sma._write_all()
         sma._save_meta()
@@ -92,13 +115,41 @@ class SmaFile:
 
     @classmethod
     def open(cls, path: str, pool: BufferPool) -> "SmaFile":
-        """Open an SMA-file previously created by :meth:`build`."""
+        """Open an SMA-file previously created by :meth:`build`.
+
+        Integrity-tolerant: a body that fails its checksum or is shorter
+        than the declared entry count still opens — with placeholder
+        values, ``corrupt_reason`` set, and every value access raising
+        :class:`~repro.errors.SmaIntegrityError` — so the catalog stays
+        usable and the planner can quarantine + fall back.  A garbled
+        meta sidecar still fails loudly (there is no declared geometry
+        to preserve).
+        """
         with open(path + _META_SUFFIX, "r", encoding="utf-8") as f:
             meta = json.load(f)
         dtype = np.dtype(meta["dtype"])
         count = meta["num_entries"]
-        with open(path, "rb") as f:
-            raw = f.read()
+        page_size = meta["page_size"]
+        algo = meta.get("checksum_algo")
+        stored = meta.get("checksum")
+        raw = cls._read_body(path, pool, page_size)
+        corrupt: str | None = None
+        if algo is not None and stored is not None:
+            actual = compute_checksum(raw, algo)
+            if actual != stored:
+                corrupt = (
+                    f"body checksum mismatch: stored {stored:#010x}, "
+                    f"computed {actual:#010x} ({algo})"
+                )
+        expected_len = count * dtype.itemsize + (count if meta["has_validity"] else 0)
+        if len(raw) < expected_len:
+            corrupt = corrupt or (
+                f"truncated body: {len(raw)}/{expected_len} bytes "
+                f"for {count} declared entries"
+            )
+            # Pad so the declared geometry survives; the garbage values
+            # are unreachable behind the corrupt gate.
+            raw = raw.ljust(expected_len, b"\x00")
         values = np.frombuffer(raw[: count * dtype.itemsize], dtype=dtype).copy()
         valid = None
         if meta["has_validity"]:
@@ -106,7 +157,41 @@ class SmaFile:
             valid = np.frombuffer(
                 raw[valid_offset : valid_offset + count], dtype=np.bool_
             ).copy()
-        return cls(path, values, valid, pool, meta["page_size"])
+        sma = cls(path, values, valid, pool, page_size, checksum_algo=algo)
+        sma.corrupt_reason = corrupt
+        return sma
+
+    @staticmethod
+    def _read_body(path: str, pool: BufferPool, page_size: int) -> bytes:
+        """Physically read the body, page-wise under the fault injector.
+
+        Transient faults are retried with the pool's retry policy,
+        charging ``read_retries`` exactly like the buffer pool's
+        single-flight leader does for heap pages.
+        """
+        injector = pool.fault_injector
+        with open(path, "rb") as f:
+            raw = f.read()
+        if injector is None:
+            return raw
+        num_pages = max(1, (len(raw) + page_size - 1) // page_size)
+        policy = pool.retry_policy
+        pages: list[bytes] = []
+        for page_no in range(num_pages):
+            attempt = 1
+            while True:
+                try:
+                    injector.before_read(path, page_no, "sma")
+                    break
+                except TransientIOError:
+                    if attempt >= policy.max_attempts:
+                        raise
+                    pool.note_retry()
+                    time.sleep(policy.backoff_s(attempt))
+                    attempt += 1
+            chunk = raw[page_no * page_size : (page_no + 1) * page_size]
+            pages.append(injector.filter_read(path, page_no, chunk))
+        return b"".join(pages)
 
     def _serialize(self) -> bytes:
         body = self._values.tobytes()
@@ -114,10 +199,26 @@ class SmaFile:
             body += self._valid.tobytes()
         return body
 
-    def _write_all(self) -> None:
-        body = self._serialize()
+    def _write_body(self, body: bytes) -> None:
+        """Persist the full body, honouring injected torn writes."""
+        injector = self.pool.fault_injector
+        if injector is not None:
+            cut = injector.torn_write_length(self.path, 0, len(body))
+            if cut is not None:
+                with open(self.path, "wb") as f:
+                    f.write(body[:cut])
+                self.pool.invalidate(self.file_id)
+                raise TornWriteError(
+                    f"injected torn write: {cut}/{len(body)} bytes of "
+                    f"SMA body reached {self.path}",
+                    path=self.path, page_no=0,
+                )
         with open(self.path, "wb") as f:
             f.write(body)
+
+    def _write_all(self) -> None:
+        body = self._serialize()
+        self._write_body(body)
         for page_no in range(self.num_pages):
             self.pool.stats.page_writes += 1
             self.pool.invalidate(self.file_id, page_no)
@@ -128,7 +229,11 @@ class SmaFile:
             "num_entries": int(len(self._values)),
             "has_validity": self._valid is not None,
             "page_size": self.page_size,
+            "format_version": FORMAT_VERSION if self.checksum_algo else 1,
         }
+        if self.checksum_algo:
+            meta["checksum_algo"] = self.checksum_algo
+            meta["checksum"] = compute_checksum(self._serialize(), self.checksum_algo)
         with open(self.path + _META_SUFFIX, "w", encoding="utf-8") as f:
             json.dump(meta, f)
 
@@ -175,6 +280,31 @@ class SmaFile:
         return self.page_size // self.value_width
 
     # ------------------------------------------------------------------
+    # integrity gate
+    # ------------------------------------------------------------------
+
+    @property
+    def is_corrupt(self) -> bool:
+        return self.corrupt_reason is not None
+
+    def _check_integrity(self) -> None:
+        if self.corrupt_reason is not None:
+            raise SmaIntegrityError(
+                f"SMA-file {self.path} failed verification: "
+                f"{self.corrupt_reason}",
+                path=self.path,
+            )
+
+    def ensure_readable(self) -> None:
+        """Raise :class:`~repro.errors.SmaIntegrityError` if corrupt.
+
+        The planner probes required SMA-files with this before binding a
+        plan to them, so a damaged file causes heap fallback at planning
+        time instead of a failure mid-execution.
+        """
+        self._check_integrity()
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 
@@ -190,6 +320,7 @@ class SmaFile:
         unit per entry unless ``charge=False`` (used by the planner for
         free re-reads it has already accounted, and by tests).
         """
+        self._check_integrity()
         if charge and self.num_pages:
             self._charge_pages(0, self.num_pages - 1)
             self.pool.stats.sma_entries_read += self.num_entries
@@ -199,6 +330,7 @@ class SmaFile:
 
     def valid_mask(self, *, charge: bool = False) -> np.ndarray | None:
         """Validity vector, or None when every entry is defined."""
+        self._check_integrity()
         if self._valid is None:
             return None
         if charge:
@@ -209,6 +341,7 @@ class SmaFile:
 
     def value_at(self, index: int, *, charge: bool = True) -> object:
         """Random access to one entry (charges a single-page access)."""
+        self._check_integrity()
         if not 0 <= index < self.num_entries:
             raise SmaStateError(f"entry {index} out of range [0, {self.num_entries})")
         if charge:
@@ -219,6 +352,7 @@ class SmaFile:
 
     def read_range(self, first: int, last: int, *, charge: bool = True) -> np.ndarray:
         """Entries [first, last] inclusive (hierarchical SMAs drill down)."""
+        self._check_integrity()
         if not 0 <= first <= last < self.num_entries:
             raise SmaStateError(
                 f"range [{first}, {last}] out of [0, {self.num_entries})"
@@ -234,6 +368,7 @@ class SmaFile:
 
     def valid_range(self, first: int, last: int) -> np.ndarray | None:
         """Validity of entries [first, last], or None if all defined."""
+        self._check_integrity()
         if self._valid is None:
             return None
         if not 0 <= first <= last < self.num_entries:
@@ -262,6 +397,7 @@ class SmaFile:
 
     def set_entry(self, index: int, value: object, valid: bool = True) -> None:
         """Overwrite one entry in place — the one-page update of §2.1."""
+        self._check_integrity()
         if not 0 <= index < self.num_entries:
             raise SmaStateError(f"entry {index} out of range [0, {self.num_entries})")
         self._values[index] = value
@@ -276,7 +412,14 @@ class SmaFile:
     def append_entries(
         self, values: np.ndarray, valid: np.ndarray | None = None
     ) -> None:
-        """Extend the file when new buckets are appended to the relation."""
+        """Extend the file when new buckets are appended to the relation.
+
+        The body rewrite happens *before* the meta sidecar update, so a
+        crash (or injected torn write) in between leaves the old
+        checksum against the new partial body — detectable on reopen and
+        repairable by rebuilding from the heap.
+        """
+        self._check_integrity()
         if values.dtype != self._values.dtype:
             raise SmaStateError(
                 f"appended dtype {values.dtype} != file dtype {self._values.dtype}"
@@ -299,8 +442,7 @@ class SmaFile:
         # validity region when present.
         old_pages = self.num_pages
         body = self._serialize()
-        with open(self.path, "wb") as f:
-            f.write(body)
+        self._write_body(body)
         first_touched = max(0, old_pages - 1)
         for page_no in range(first_touched, self.num_pages):
             self.pool.stats.page_writes += 1

@@ -73,6 +73,11 @@ class SmaSet:
         #: optional second-level SMAs by column (Section 4); consulted
         #: by partition() before falling back to the flat min/max files.
         self._hierarchies: dict[str, object] = {}
+        #: definitions withdrawn from service after failing integrity
+        #: verification (name -> reason).  Quarantined definitions are
+        #: skipped by every grading/lookup path — queries degrade to the
+        #: heap scan — until ``repro verify --repair`` rebuilds them.
+        self.quarantined: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # registration & persistence
@@ -188,6 +193,41 @@ class SmaSet:
     def all_files(self) -> list[SmaFile]:
         return [sma for files in self._files.values() for sma in files.values()]
 
+    # ------------------------------------------------------------------
+    # quarantine (integrity degradation)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, definition_name: str, reason: str) -> None:
+        """Withdraw a definition from service until it is rebuilt."""
+        if definition_name not in self.definitions:
+            raise CatalogError(
+                f"no SMA {definition_name!r} in set {self.name!r}"
+            )
+        self.quarantined.setdefault(definition_name, reason)
+
+    def is_quarantined(self, definition_name: str) -> bool:
+        return definition_name in self.quarantined
+
+    def definition_for_path(self, path: str | None) -> str | None:
+        """Which definition owns the SMA-file at *path* (None if unknown)."""
+        if path is None:
+            return None
+        target = os.path.abspath(path)
+        for name, files in self._files.items():
+            for sma in files.values():
+                if os.path.abspath(sma.path) == target:
+                    return name
+        return None
+
+    def replace_files(self, definition_name: str, files: dict[GroupKey, SmaFile]) -> None:
+        """Swap in freshly rebuilt files and lift any quarantine."""
+        if definition_name not in self.definitions:
+            raise CatalogError(
+                f"no SMA {definition_name!r} in set {self.name!r}"
+            )
+        self._files[definition_name] = dict(files)
+        self.quarantined.pop(definition_name, None)
+
     @property
     def num_files(self) -> int:
         return len(self.all_files())
@@ -210,8 +250,14 @@ class SmaSet:
     def aggregate_files(
         self, spec: AggregateSpec, group_by: tuple[str, ...]
     ) -> dict[GroupKey, SmaFile] | None:
-        """SMA-files materializing *spec* under exactly *group_by*, or None."""
+        """SMA-files materializing *spec* under exactly *group_by*, or None.
+
+        Quarantined definitions are invisible here (and in every other
+        lookup): a damaged SMA must never serve a query.
+        """
         for name, definition in self.definitions.items():
+            if name in self.quarantined:
+                continue
             if definition.matches(spec, group_by):
                 return self._files[name]
         return None
@@ -240,6 +286,8 @@ class SmaSet:
             return exact, tuple(range(len(group_by)))
         candidates: list[SmaDefinition] = []
         for definition in self.definitions.values():
+            if definition.name in self.quarantined:
+                continue
             if definition.aggregate != spec:
                 continue
             if set(group_by) <= set(definition.group_by):
@@ -259,6 +307,8 @@ class SmaSet:
         self, spec: AggregateSpec, group_by: tuple[str, ...]
     ) -> SmaDefinition | None:
         for definition in self.definitions.values():
+            if definition.name in self.quarantined:
+                continue
             if definition.matches(spec, group_by):
                 return definition
         return None
@@ -478,7 +528,7 @@ class SmaSet:
         candidates = [
             name
             for name, definition in self.definitions.items()
-            if definition.aggregate == spec
+            if definition.aggregate == spec and name not in self.quarantined
         ]
         if not candidates:
             return None, None
@@ -514,6 +564,8 @@ class SmaSet:
     ) -> dict[object, np.ndarray] | None:
         """Per-value count vectors from a count SMA grouped solely by *column*."""
         for name, definition in self.definitions.items():
+            if name in self.quarantined:
+                continue
             if (
                 definition.aggregate.kind is AggregateKind.COUNT
                 and definition.group_by == (column,)

@@ -1,0 +1,306 @@
+"""Offline integrity verification and repair (``repro verify``).
+
+SMA-files are *derived* data: everything in them can be recomputed from
+the heap.  So the verifier's contract is asymmetric —
+
+* heap pages are ground truth: a page failing its CRC is reported as
+  **unrepairable** (restore from backup; we will not guess at bytes);
+* SMA damage of any kind (bad body checksum, truncated file, entry
+  count drifting from the bucket count, values disagreeing with a fresh
+  recompute) is **repairable**: ``--repair`` rebuilds the definition
+  from the heap via the bulkload path and re-verifies it.
+
+Verification recomputes every definition with the same accumulator the
+builder uses, so "verified" means *byte-for-byte what a fresh build
+would produce*, not merely "checksums match".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aggregates import AggregateKind
+from repro.core.builder import _accumulate, _materialize
+from repro.errors import ChecksumError
+from repro.storage.catalog import Catalog
+
+__all__ = ["VerifyIssue", "VerifyReport", "verify_catalog"]
+
+
+@dataclass
+class VerifyIssue:
+    """One detected integrity problem."""
+
+    kind: str  #: heap_page | heap_unchecksummed | sma_corrupt | ...
+    table: str
+    target: str  #: file path or definition name the issue is about
+    detail: str
+    repairable: bool
+    repaired: bool = False
+
+    def render(self) -> str:
+        if self.repaired:
+            status = "REPAIRED"
+        elif self.repairable:
+            status = "repairable"
+        else:
+            status = "UNREPAIRABLE"
+        return (
+            f"[{status}] {self.kind} {self.table}/{self.target}: {self.detail}"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Everything one ``verify_catalog`` pass found (and fixed)."""
+
+    issues: list[VerifyIssue] = field(default_factory=list)
+    tables_checked: int = 0
+    heap_pages_checked: int = 0
+    sma_files_checked: int = 0
+    definitions_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing is outstanding (clean, or fully repaired)."""
+        return all(issue.repaired for issue in self.issues)
+
+    @property
+    def repaired_count(self) -> int:
+        return sum(1 for issue in self.issues if issue.repaired)
+
+    def render(self) -> str:
+        lines = [
+            f"checked {self.tables_checked} table(s), "
+            f"{self.heap_pages_checked} heap page(s), "
+            f"{self.definitions_checked} SMA definition(s), "
+            f"{self.sma_files_checked} SMA-file(s)"
+        ]
+        for issue in self.issues:
+            lines.append(issue.render())
+        if not self.issues:
+            lines.append("no integrity issues found")
+        elif self.ok:
+            lines.append(f"all {len(self.issues)} issue(s) repaired")
+        else:
+            outstanding = len(self.issues) - self.repaired_count
+            lines.append(f"{outstanding} issue(s) outstanding")
+        return "\n".join(lines)
+
+
+def _emit(events, issue: VerifyIssue) -> None:
+    if events is not None:
+        events.emit(
+            "verify_issue",
+            kind=issue.kind,
+            table=issue.table,
+            target=issue.target,
+            detail=issue.detail,
+            repairable=issue.repairable,
+            repaired=issue.repaired,
+        )
+
+
+def _verify_heap(catalog: Catalog, report: VerifyReport, events) -> None:
+    for table in catalog.tables():
+        heap = table.heap
+        if heap.checksum_algo is None:
+            issue = VerifyIssue(
+                kind="heap_unchecksummed",
+                table=table.name,
+                target=heap.path,
+                detail="format v1 heap file has no page checksums "
+                "(repair migrates it in place)",
+                repairable=True,
+            )
+            report.issues.append(issue)
+            _emit(events, issue)
+            continue
+        for page_no in range(heap.num_pages):
+            report.heap_pages_checked += 1
+            try:
+                heap.read_page_raw(page_no)
+            except ChecksumError as exc:
+                issue = VerifyIssue(
+                    kind="heap_page",
+                    table=table.name,
+                    target=f"{heap.path}:{page_no}",
+                    detail=str(exc),
+                    repairable=False,
+                )
+                report.issues.append(issue)
+                _emit(events, issue)
+
+
+def _expected_groups(accumulator) -> dict:
+    """Mirror ``_materialize``: an empty table still gets the () group."""
+    return accumulator.groups or {(): accumulator.arrays_for(())}
+
+
+def _group_is_trivial(kind: AggregateKind, sma) -> bool:
+    """A group file a fresh build would not create, holding no data.
+
+    The maintainer can leave behind a group whose entries were all
+    withdrawn: count/sum files of zeros, or min/max files with every
+    entry invalid.  Those are harmless — they contribute nothing to any
+    query — so verification tolerates them.
+    """
+    values = sma.values(charge=False)
+    if kind in (AggregateKind.COUNT, AggregateKind.SUM):
+        return not np.any(values)
+    mask = sma.valid_mask()
+    return mask is not None and not mask.any()
+
+
+def _compare_definition(
+    table, definition, files, accumulator
+) -> str | None:
+    """Why *files* differ from a fresh recompute, or None when they agree."""
+    expected = _expected_groups(accumulator)
+    kind = definition.aggregate.kind
+    num_buckets = table.num_buckets
+    for key, sma in files.items():
+        if sma.num_entries != num_buckets:
+            return (
+                f"group {key!r} has {sma.num_entries} entries, "
+                f"table has {num_buckets} buckets"
+            )
+        if key not in expected:
+            if _group_is_trivial(kind, sma):
+                continue
+            return f"group {key!r} holds data but no heap tuple produces it"
+    for key, (exp_values, exp_valid) in expected.items():
+        sma = files.get(key)
+        if sma is None:
+            return f"group {key!r} is missing"
+        values = sma.values(charge=False)
+        mask = sma.valid_mask()
+        actual_valid = (
+            np.ones(sma.num_entries, dtype=bool) if mask is None else mask
+        )
+        if kind in (AggregateKind.COUNT, AggregateKind.SUM):
+            # The builder drops validity for count/sum (0 is absent /
+            # the additive identity), so only values matter.
+            if not np.array_equal(values, exp_values):
+                return f"group {key!r} values differ from recompute"
+        else:
+            if not np.array_equal(actual_valid, exp_valid):
+                return f"group {key!r} validity differs from recompute"
+            if not np.array_equal(
+                values[exp_valid], exp_values[exp_valid]
+            ):
+                return f"group {key!r} values differ from recompute"
+    return None
+
+
+def _verify_sma_sets(
+    catalog: Catalog, report: VerifyReport, events, *, repair: bool
+) -> None:
+    from repro.errors import SmaIntegrityError
+
+    for table in catalog.tables():
+        report.tables_checked += 1
+        for sma_set in catalog.sma_sets(table.name):
+            definitions = list(sma_set.definitions.values())
+            if not definitions:
+                continue
+            accumulators = _accumulate(table, definitions)
+            to_rebuild: list[str] = []
+            for definition in definitions:
+                report.definitions_checked += 1
+                files = sma_set.files_of(definition.name)
+                report.sma_files_checked += len(files)
+                detail: str | None = None
+                kind = "sma_content"
+                corrupt = [
+                    sma for sma in files.values() if sma.is_corrupt
+                ]
+                if corrupt:
+                    kind = "sma_corrupt"
+                    detail = "; ".join(
+                        str(sma.corrupt_reason) for sma in corrupt
+                    )
+                else:
+                    try:
+                        detail = _compare_definition(
+                            table,
+                            definition,
+                            files,
+                            accumulators[definition.name],
+                        )
+                    except SmaIntegrityError as exc:
+                        kind = "sma_corrupt"
+                        detail = str(exc)
+                if detail is None:
+                    continue
+                issue = VerifyIssue(
+                    kind=kind,
+                    table=table.name,
+                    target=f"{sma_set.name}/{definition.name}",
+                    detail=detail,
+                    repairable=True,
+                )
+                report.issues.append(issue)
+                if repair:
+                    to_rebuild.append(definition.name)
+                    issue.repaired = True  # rebuilt + re-verified below
+                _emit(events, issue)
+            if repair and to_rebuild:
+                _rebuild(catalog, table, sma_set, to_rebuild, report, events)
+
+
+def _rebuild(
+    catalog: Catalog, table, sma_set, names: list[str], report, events
+) -> None:
+    """Rebuild *names* from the heap, swap them in, re-verify."""
+    for name in names:
+        definition = sma_set.definitions[name]
+        old_files = sma_set.files_of(name)
+        page_size = next(
+            (sma.page_size for sma in old_files.values()),
+            table.layout.page_size,
+        )
+        for sma in old_files.values():
+            sma.delete_files()
+        accumulator = _accumulate(table, [definition])[name]
+        files = _materialize(sma_set, accumulator, page_size)
+        sma_set.replace_files(name, files)
+        detail = _compare_definition(table, definition, files, accumulator)
+        if detail is not None:  # pragma: no cover - rebuild must verify
+            for issue in report.issues:
+                if issue.target.endswith(f"/{name}"):
+                    issue.repaired = False
+            continue
+        catalog.integrity.record_repair(
+            table=table.name, sma_set=sma_set.name, definition=name
+        )
+        if events is not None:
+            events.emit(
+                "verify_repair",
+                table=table.name,
+                sma_set=sma_set.name,
+                definition=name,
+            )
+    sma_set.save()
+
+
+def verify_catalog(
+    catalog: Catalog, *, repair: bool = False, events=None
+) -> VerifyReport:
+    """Sweep every heap page and SMA definition of *catalog*.
+
+    With ``repair=True``, rebuildable damage (any SMA issue, v1 heap
+    files lacking checksums) is fixed in place; heap pages failing their
+    CRC are ground truth and stay unrepairable.
+    """
+    report = VerifyReport()
+    _verify_heap(catalog, report, events)
+    if repair:
+        for issue in report.issues:
+            if issue.kind == "heap_unchecksummed":
+                catalog.table(issue.table).heap.migrate_to_checksums()
+                issue.repaired = True
+    _verify_sma_sets(catalog, report, events, repair=repair)
+    return report

@@ -20,6 +20,56 @@ class StorageError(ReproError):
     """Heap-file, page, or buffer-pool level failure."""
 
 
+class TransientIOError(StorageError):
+    """A read failed in a way that is expected to succeed on retry.
+
+    The buffer pool's single-flight leader retries these with bounded
+    backoff (see :class:`~repro.storage.faults.RetryPolicy`); only after
+    the retry budget is exhausted does the error propagate to queries.
+    """
+
+
+class ChecksumError(StorageError):
+    """A page failed checksum verification on load — corruption detected.
+
+    Carries ``path`` and ``page_no`` so callers (and ``repro verify``)
+    can pinpoint the damaged page.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 page_no: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.page_no = page_no
+
+
+class TornWriteError(StorageError):
+    """A write was cut short, leaving a partially written page on disk.
+
+    Raised by the fault injector to simulate a crash mid-write; the
+    on-disk state is genuinely torn so recovery paths can be exercised.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 page_no: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.page_no = page_no
+
+
+class SmaIntegrityError(StorageError):
+    """An SMA-file failed integrity verification (checksum/truncation).
+
+    SMA-files are derived, redundant data: the correct response is never
+    a wrong answer but quarantine + heap fallback + rebuild.  Carries
+    ``path`` so the planner can map the file back to its definition.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+
 class CatalogError(ReproError):
     """Unknown or duplicate catalog object (table, SMA set, index)."""
 

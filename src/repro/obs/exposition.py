@@ -239,6 +239,13 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
             help_text="SMA entries read (grading + roll-up).",
             kind="counter",
         )
+        out.sample(
+            f"{ns}_io_read_retries_total",
+            io.get("read_retries", 0),
+            help_text="Transient read faults retried inside the "
+            "single-flight loader.",
+            kind="counter",
+        )
 
     for strategy, count in sorted(snapshot.get("plans", {}).items()):
         out.sample(
@@ -280,6 +287,30 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
             "configured break-even threshold.",
             kind="counter",
         )
+
+    integrity = snapshot.get("integrity")
+    if integrity is not None:
+        out.sample(
+            f"{ns}_sma_quarantined_total",
+            integrity.get("sma_quarantined", 0),
+            help_text="SMA definitions quarantined after failed integrity "
+            "checks (queries fell back to heap scans).",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_sma_repaired_total",
+            integrity.get("sma_repaired", 0),
+            help_text="Quarantined SMA definitions rebuilt from the heap.",
+            kind="counter",
+        )
+        for table, count in sorted(integrity.get("by_table", {}).items()):
+            out.sample(
+                f"{ns}_sma_quarantined_by_table_total",
+                count,
+                labels={"table": table},
+                help_text="SMA quarantines per table.",
+                kind="counter",
+            )
 
     events = snapshot.get("events", {})
     if events:

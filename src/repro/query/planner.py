@@ -39,7 +39,7 @@ import numpy as np
 from repro.core.aggregates import AggregateSpec
 from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
-from repro.errors import PlanningError
+from repro.errors import PlanningError, SmaIntegrityError
 from repro.lang.predicate import Predicate, atoms
 from repro.obs.trace import NO_TRACER
 from repro.query.logical import LogicalPlan, build_logical
@@ -354,21 +354,12 @@ class Planner:
         paths: list[AccessPath] = []
         if mode != "scan":
             for candidate in self._usable_sets(table, logical, sma_set):
-                # The grade span is io-carrying: grading really reads the
-                # selection SMA-files, and nothing else during planning
-                # charges the window, so this leaf accounts all plan I/O.
-                with self.tracer.span(
-                    "grade",
-                    stats=self.catalog.pool.stats,
-                    attrs={"sma_set": candidate.name},
-                ) as grade_span:
-                    partitioning = candidate.partition(logical.predicate)
-                    grading = GradingSummary.of(partitioning)
-                    grade_span.annotate(
-                        qualifying=partitioning.num_qualifying,
-                        ambivalent=partitioning.num_ambivalent,
-                        disqualifying=partitioning.num_disqualifying,
-                    )
+                partitioning = self._grade_candidate(candidate, logical)
+                if partitioning is None:
+                    # Integrity quarantine drained this candidate during
+                    # grading; the scan alternative below still serves.
+                    continue
+                grading = GradingSummary.of(partitioning)
                 fetched = (
                     partitioning.ambivalent
                     if aggregate
@@ -413,13 +404,34 @@ class Planner:
         logical: LogicalPlan,
         sma_set: str | SmaSet | None,
     ) -> list[SmaSet]:
-        """Candidate SMA sets that can serve this logical plan at all."""
+        """Candidate SMA sets that can serve this logical plan at all.
+
+        Usability checks run under the integrity screen: an SMA-file that
+        fails verification gets its definition quarantined and the check
+        retried without it, so a damaged SMA degrades the candidate (or
+        removes it — leaving the heap-scan path) instead of failing the
+        query.
+        """
         candidates = self._candidate_sets(table, sma_set)
         if logical.kind == "aggregate":
+            def covers(candidate: SmaSet) -> bool:
+                if not sma_covers(candidate, logical.aggregates, logical.group_by):
+                    return False
+                # Probe the aggregate files the roll-up would bind to:
+                # corruption must surface here — where quarantine turns
+                # it into a heap fallback — not mid-execution.
+                for spec in sma_requirements(logical.aggregates):
+                    found = candidate.rollup_aggregate_files(spec, logical.group_by)
+                    if found is None:
+                        return False
+                    for sma in found[0].values():
+                        sma.ensure_readable()
+                return True
+
             return [
                 candidate
                 for candidate in candidates
-                if sma_covers(candidate, logical.aggregates, logical.group_by)
+                if self._screen(candidate, lambda c=candidate: covers(c))
             ]
         referenced = {
             column
@@ -429,8 +441,84 @@ class Planner:
         return [
             candidate
             for candidate in candidates
-            if any(candidate.column_bounds(column) for column in referenced)
+            if self._screen(
+                candidate,
+                lambda c=candidate: any(
+                    c.column_bounds(column) for column in referenced
+                ),
+            )
         ]
+
+    # ------------------------------------------------------------------
+    # integrity screening (quarantine + heap fallback)
+    # ------------------------------------------------------------------
+
+    def _screen(self, candidate: SmaSet, check) -> bool:
+        """Run *check*, quarantining any SMA that fails verification.
+
+        Retries after each quarantine so the candidate's surviving
+        definitions still get their chance; returns False when the check
+        cannot succeed (the planner then plans without this set).
+        """
+        for _ in range(len(candidate.definitions) + 1):
+            try:
+                return bool(check())
+            except SmaIntegrityError as exc:
+                if not self._note_quarantine(candidate, exc):
+                    return False
+        return False
+
+    def _grade_candidate(
+        self, candidate: SmaSet, logical: LogicalPlan
+    ) -> BucketPartitioning | None:
+        """Grade one candidate, quarantining corrupt selection SMAs.
+
+        Returns None when quarantines left the candidate unable to serve
+        the query (aggregate coverage lost) — the caller falls back to
+        the scan path, which is always enumerated.
+        """
+        for _ in range(len(candidate.definitions) + 1):
+            try:
+                # The grade span is io-carrying: grading really reads the
+                # selection SMA-files, and nothing else during planning
+                # charges the window, so this leaf accounts all plan I/O.
+                with self.tracer.span(
+                    "grade",
+                    stats=self.catalog.pool.stats,
+                    attrs={"sma_set": candidate.name},
+                ) as grade_span:
+                    partitioning = candidate.partition(logical.predicate)
+                    grade_span.annotate(
+                        qualifying=partitioning.num_qualifying,
+                        ambivalent=partitioning.num_ambivalent,
+                        disqualifying=partitioning.num_disqualifying,
+                    )
+                    return partitioning
+            except SmaIntegrityError as exc:
+                if not self._note_quarantine(candidate, exc):
+                    raise
+                if logical.kind == "aggregate" and not sma_covers(
+                    candidate, logical.aggregates, logical.group_by
+                ):
+                    return None
+        return None
+
+    def _note_quarantine(self, candidate: SmaSet, exc: SmaIntegrityError) -> bool:
+        """Quarantine the definition owning the failed file; False if the
+        error cannot be mapped to a (not yet quarantined) definition."""
+        path = getattr(exc, "path", None)
+        name = candidate.definition_for_path(path)
+        if name is None or candidate.is_quarantined(name):
+            return False
+        candidate.quarantine(name, str(exc))
+        self.catalog.integrity.record_quarantine(
+            table=candidate.table.name,
+            sma_set=candidate.name,
+            definition=name,
+            path=path,
+            reason=str(exc),
+        )
+        return True
 
     # ------------------------------------------------------------------
     # planning

@@ -213,6 +213,10 @@ class MetricsRegistry:
         self._by_kind: dict[str, dict[str, int]] = {}
         #: per-table grading gauges — {table: GradingGauges}
         self._grading: dict[str, GradingGauges] = {}
+        self._sma_quarantined = 0
+        self._sma_repaired = 0
+        #: per-table quarantine counts — {table: count}
+        self._quarantined_by_table: dict[str, int] = {}
 
     @property
     def uptime_s(self) -> float:
@@ -302,6 +306,19 @@ class MetricsRegistry:
             self.cancelled += 1
             self._bump_kind(kind, "cancelled")
 
+    def record_quarantine(self, table: str, sma_set: str) -> None:
+        """One SMA definition failed integrity checks and was sidelined;
+        the planner fell back to the heap for that slice of the plan."""
+        with self._lock:
+            self._sma_quarantined += 1
+            self._quarantined_by_table[table] = (
+                self._quarantined_by_table.get(table, 0) + 1
+            )
+
+    def record_repair(self, table: str, sma_set: str) -> None:
+        with self._lock:
+            self._sma_repaired += 1
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -330,6 +347,8 @@ class MetricsRegistry:
               "plans": {strategy: completed count},
               "grading": {table: {queries, warnings,
                                   mean_/last_ x 3 fractions}},
+              "integrity": {sma_quarantined, sma_repaired,
+                            by_table: {table: count}},
             }
         """
         with self._lock:
@@ -375,5 +394,10 @@ class MetricsRegistry:
                 "grading": {
                     table: gauges.as_dict()
                     for table, gauges in sorted(self._grading.items())
+                },
+                "integrity": {
+                    "sma_quarantined": self._sma_quarantined,
+                    "sma_repaired": self._sma_repaired,
+                    "by_table": dict(sorted(self._quarantined_by_table.items())),
                 },
             }

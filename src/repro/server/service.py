@@ -139,6 +139,10 @@ class QueryService:
             queue_depth=queue_depth,
             skipped_fn=self._record_skipped,
         )
+        # Surface planner quarantines as metrics + events.  The catalog
+        # outlives this service, so shutdown() must unsubscribe — stale
+        # listeners would push events into closed logs.
+        catalog.integrity.add_listener(self._on_integrity_event)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -165,11 +169,25 @@ class QueryService:
         return self
 
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        self.catalog.integrity.remove_listener(self._on_integrity_event)
         self._executor.shutdown(wait=wait, cancel_pending=cancel_pending)
         if self.events is not None:
             self.events.emit(
                 "server_stop", queries=self.metrics.snapshot()["queries"]
             )
+
+    def _on_integrity_event(self, event: str, info: dict) -> None:
+        """Integrity-monitor listener: count + publish quarantines/repairs."""
+        if event == "sma_quarantined":
+            self.metrics.record_quarantine(
+                info.get("table", ""), info.get("sma_set", "")
+            )
+        elif event == "sma_repaired":
+            self.metrics.record_repair(
+                info.get("table", ""), info.get("sma_set", "")
+            )
+        if self.events is not None:
+            self.events.emit(event, **info)
 
     def observed_snapshot(self) -> dict:
         """The metrics snapshot plus the event log's own stats.

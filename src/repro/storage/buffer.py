@@ -69,7 +69,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterator
 
-from repro.errors import QueryCancelledError, QueryTimeoutError, StorageError
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    StorageError,
+    TransientIOError,
+)
+from repro.storage.faults import RetryPolicy
 from repro.storage.stats import IoStats
 
 PageKey = tuple[Hashable, int]
@@ -96,6 +102,9 @@ class BufferCounters:
     misses: int = 0
     evictions: int = 0
     writes: int = 0
+    #: transient-fault read retries performed by load leaders; grows in
+    #: lockstep with the summed ``read_retries`` of all stats windows.
+    retries: int = 0
 
     @property
     def accesses(self) -> int:
@@ -115,6 +124,7 @@ class BufferCounters:
             misses=self.misses - other.misses,
             evictions=self.evictions - other.evictions,
             writes=self.writes - other.writes,
+            retries=self.retries - other.retries,
         )
 
 
@@ -214,6 +224,18 @@ class BufferPool:
         self._default_lock = threading.Lock()
         self._last_physical: dict[Hashable, int] = {}
         self._local = threading.local()
+        #: Optional :class:`~repro.storage.faults.FaultInjector` consulted
+        #: by HeapFile/SmaFile on every physical read/write through this
+        #: pool.  None in production; set by tests, ``--faults``, and the
+        #: workload driver.
+        self.fault_injector = None
+        #: Backoff schedule for transient read faults inside the
+        #: single-flight leader (and SmaFile's open-time body read).
+        self.retry_policy = RetryPolicy()
+        #: Optional callback ``(file_id, page_no, attempt, error)`` fired
+        #: on each retry — the serve CLI wires this to the event log.
+        self.on_retry: Callable[[Hashable, int, int, BaseException], None] | None = None
+        self._retries = 0
 
     # ------------------------------------------------------------------
     # striping
@@ -447,9 +469,12 @@ class BufferPool:
                 assert payload is not None
                 return payload
 
-            # Leader: physical load outside every lock.
+            # Leader: physical load outside every lock, with bounded
+            # retry-with-backoff for transient faults.  Followers wait on
+            # the latch and never double-charge — retries are the
+            # leader's alone.
             try:
-                payload = loader()
+                payload = self._run_loader(loader, file_id, page_no)
             except BaseException as exc:
                 with stripe.lock:
                     if stripe.loads.get(key) is load:
@@ -474,6 +499,49 @@ class BufferPool:
                 load.payload = payload
                 load.event.set()
             return payload
+
+    def _run_loader(
+        self, loader: Callable[[], bytes], file_id: Hashable, page_no: int
+    ) -> bytes:
+        """Run a physical load, retrying transient faults with backoff.
+
+        Each retry is charged to the caller's window *immediately* (and
+        to the pool's cumulative retry counter), so accounting reconciles
+        exactly even when the load ultimately fails.
+        """
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                return loader()
+            except TransientIOError as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                self.note_retry()
+                if self.on_retry is not None:
+                    try:
+                        self.on_retry(file_id, page_no, attempt, exc)
+                    except Exception:
+                        pass  # observability must never fail the read
+                time.sleep(policy.backoff_s(attempt))
+                attempt += 1
+
+    def note_retry(self) -> None:
+        """Charge one transient-read retry to the current window.
+
+        Also bumps the pool's cumulative retry counter, keeping the
+        window-partitioning invariant: summed window ``read_retries``
+        always equal the growth of ``counters().retries``.
+        """
+        binding = self._binding()
+        if binding is not None:
+            binding.stats.read_retries += 1
+            with self._default_lock:
+                self._retries += 1
+        else:
+            with self._default_lock:
+                self._default_stats.read_retries += 1
+                self._retries += 1
 
     def note_write(self, file_id: Hashable, page_no: int, payload: bytes) -> None:
         """Record a page write: charge the write and refresh the cache.
@@ -523,6 +591,8 @@ class BufferPool:
                 totals.misses += stripe.misses
                 totals.evictions += stripe.evictions
                 totals.writes += stripe.writes
+        with self._default_lock:
+            totals.retries = self._retries
         return totals
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro.errors import CatalogError
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile
+from repro.storage.integrity import IntegrityMonitor
 from repro.storage.page import DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE
 from repro.storage.schema import Schema
 from repro.storage.stats import IoStats
@@ -42,8 +43,17 @@ class Catalog:
         self.pool = BufferPool(
             capacity_pages=buffer_pages, stats=self.stats, stripes=stripes
         )
+        #: Integrity accounting: the planner records SMA quarantines here
+        #: and services subscribe for events/metrics (see
+        #: :mod:`repro.storage.integrity`).
+        self.integrity = IntegrityMonitor()
         self._tables: dict[str, Table] = {}
         self._sma_sets: dict[str, dict[str, "SmaSet"]] = {}
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.storage.faults.FaultInjector` (or None)
+        to this catalog's buffer pool; all files see it immediately."""
+        self.pool.fault_injector = injector
 
     # ------------------------------------------------------------------
     # manifest & discovery
@@ -84,12 +94,19 @@ class Catalog:
         *,
         buffer_pages: int = 2048,
         stripes: int | None = None,
+        fault_injector=None,
     ) -> "Catalog":
         """Re-open a persisted catalog: every table and SMA set listed in
-        its manifest comes back registered and query-ready."""
+        its manifest comes back registered and query-ready.
+
+        ``fault_injector`` attaches before anything opens, so SMA body
+        reads during discovery already run under injected faults — the
+        chaos suite uses this to corrupt files "in flight"."""
         from repro.core.sma_set import SmaSet
 
         catalog = cls(root_dir, buffer_pages=buffer_pages, stripes=stripes)
+        if fault_injector is not None:
+            catalog.install_fault_injector(fault_injector)
         manifest = catalog._load_manifest()
         for name, info in manifest.get("tables", {}).items():
             catalog.open_table(name, clustered_on=info.get("clustered_on"))

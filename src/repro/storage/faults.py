@@ -1,0 +1,319 @@
+"""Deterministic, seedable storage fault injection.
+
+A :class:`FaultInjector` sits under the physical I/O paths — heap page
+loads/writes and SMA-file body reads/writes — and injects five kinds of
+faults by (path, page, operation) predicate:
+
+``transient``
+    Raise :class:`~repro.errors.TransientIOError` before the read; the
+    buffer pool's single-flight leader retries these with backoff.
+``short_read``
+    Truncate the payload returned by a read.
+``latency``
+    Sleep before the read completes (I/O latency spike).
+``bit_flip``
+    Flip one deterministic bit of the payload returned by a read —
+    silent corruption that only checksums can catch.
+``torn_write``
+    Cut a write short on disk and raise
+    :class:`~repro.errors.TornWriteError` (simulated crash mid-write).
+
+Determinism: all firing decisions are pure functions of ``(seed, spec
+index, file basename, page, per-key occurrence count)``.  Using the
+*basename* means two catalogs built in different temp directories see
+identical fault schedules, which is what makes differential testing
+against a fault-free oracle possible.  The injector is thread-safe and
+records every fired fault for later inspection / JSONL artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import StorageError, TornWriteError, TransientIOError
+
+FAULT_KINDS = ("transient", "short_read", "latency", "bit_flip", "torn_write")
+
+#: Operations the injector distinguishes in ``op`` predicates.
+READ_OPS = ("read",)
+WRITE_OPS = ("write",)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient read faults.
+
+    ``max_attempts`` counts total tries (first attempt included); the
+    sleep before retry *n* is ``base_backoff_s * multiplier ** (n - 1)``.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.0005
+    multiplier: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        return self.base_backoff_s * self.multiplier ** max(attempt - 1, 0)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: what to inject, and which accesses it matches.
+
+    ``path`` is a substring match against the file's basename (or full
+    path); ``page`` pins a single page number (None = any page);
+    ``probability`` fires the rule on that fraction of matching accesses
+    (decided deterministically from the seed, never ``random``);
+    ``skip`` lets the first N matching accesses through untouched;
+    ``max_count`` caps the total number of firings.
+    """
+
+    kind: str
+    path: str | None = None
+    page: int | None = None
+    probability: float = 1.0
+    max_count: int | None = None
+    skip: int = 0
+    latency_s: float = 0.002
+    truncate_to: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise StorageError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+    def matches(self, path: str, page_no: int) -> bool:
+        if self.path is not None:
+            name = os.path.basename(path)
+            if self.path not in name and self.path not in path:
+                return False
+        if self.page is not None and self.page != page_no:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Thread-safe, deterministic fault scheduler over a set of specs.
+
+    Install on a buffer pool (``injector.install(pool)`` or
+    ``pool.fault_injector = injector``); HeapFile and SmaFile consult the
+    pool's injector on every physical read/write.
+    """
+
+    def __init__(self, seed: int = 0, specs: tuple[FaultSpec, ...] | list[FaultSpec] = ()):
+        self.seed = int(seed)
+        self.specs = tuple(specs)
+        self._lock = threading.Lock()
+        self._occurrences: dict[tuple[int, str, int], int] = {}
+        self._fired_per_spec: dict[int, int] = {}
+        self._events: list[dict] = []
+
+    # -- wiring ----------------------------------------------------------
+
+    def install(self, pool) -> "FaultInjector":
+        """Attach to a buffer pool; all files on that pool see faults."""
+        pool.fault_injector = self
+        return self
+
+    # -- deterministic decision core ------------------------------------
+
+    def _decide(self, idx: int, spec: FaultSpec, path: str, page_no: int) -> bool:
+        """One atomic match-and-count decision for spec ``idx``.
+
+        The per-key occurrence counter advances on every *matching*
+        access whether or not the fault fires, so ``skip`` and
+        ``probability`` see a stable per-(file, page) sequence no matter
+        how accesses interleave across threads.
+        """
+        name = os.path.basename(path)
+        with self._lock:
+            key = (idx, name, page_no)
+            occurrence = self._occurrences.get(key, 0)
+            self._occurrences[key] = occurrence + 1
+            if occurrence < spec.skip:
+                return False
+            if (spec.max_count is not None
+                    and self._fired_per_spec.get(idx, 0) >= spec.max_count):
+                return False
+            if spec.probability < 1.0:
+                fraction = self._hash(idx, name, page_no, occurrence) / 2**32
+                if fraction >= spec.probability:
+                    return False
+            self._fired_per_spec[idx] = self._fired_per_spec.get(idx, 0) + 1
+            self._events.append({
+                "kind": spec.kind,
+                "file": name,
+                "page": page_no,
+                "occurrence": occurrence,
+                "spec": idx,
+            })
+            return True
+
+    def _hash(self, idx: int, name: str, page_no: int, occurrence: int) -> int:
+        token = f"{self.seed}|{idx}|{name}|{page_no}|{occurrence}".encode()
+        return zlib.crc32(token) & 0xFFFFFFFF
+
+    # -- read-path hooks -------------------------------------------------
+
+    def before_read(self, path: str, page_no: int, kind: str = "heap") -> None:
+        """Latency spikes and transient errors, applied pre-read."""
+        for idx, spec in enumerate(self.specs):
+            if spec.kind == "latency" and spec.matches(path, page_no):
+                if self._decide(idx, spec, path, page_no):
+                    time.sleep(spec.latency_s)
+            elif spec.kind == "transient" and spec.matches(path, page_no):
+                if self._decide(idx, spec, path, page_no):
+                    raise TransientIOError(
+                        f"injected transient I/O error reading page "
+                        f"{page_no} of {os.path.basename(path)}"
+                    )
+
+    def filter_read(self, path: str, page_no: int, payload: bytes) -> bytes:
+        """Short reads and bit flips, applied to the returned payload."""
+        for idx, spec in enumerate(self.specs):
+            if not spec.matches(path, page_no) or not payload:
+                continue
+            if spec.kind == "short_read":
+                if self._decide(idx, spec, path, page_no):
+                    keep = (spec.truncate_to if spec.truncate_to is not None
+                            else len(payload) // 2)
+                    payload = payload[:max(0, min(keep, len(payload)))]
+            elif spec.kind == "bit_flip":
+                if self._decide(idx, spec, path, page_no):
+                    h = self._hash(idx, os.path.basename(path), page_no, -1)
+                    offset = h % len(payload)
+                    bit = (h >> 8) % 8
+                    flipped = bytearray(payload)
+                    flipped[offset] ^= 1 << bit
+                    payload = bytes(flipped)
+        return payload
+
+    # -- write-path hook -------------------------------------------------
+
+    def torn_write_length(self, path: str, page_no: int, size: int) -> int | None:
+        """Bytes to actually write if this write should tear, else None."""
+        for idx, spec in enumerate(self.specs):
+            if spec.kind != "torn_write" or not spec.matches(path, page_no):
+                continue
+            if self._decide(idx, spec, path, page_no):
+                if size <= 0:
+                    return 0
+                return self._hash(idx, os.path.basename(path), page_no, -2) % size
+        return None
+
+    def tear(self, path: str, page_no: int, offset: int, payload: bytes,
+             write_fn) -> None:
+        """Apply a torn write: persist a prefix, then raise TornWriteError.
+
+        ``write_fn(offset, data)`` performs the actual persistence so the
+        on-disk state is genuinely torn — recovery code has something
+        real to recover from.
+        """
+        cut = self.torn_write_length(path, page_no, len(payload))
+        if cut is None:
+            write_fn(offset, payload)
+            return
+        write_fn(offset, payload[:cut])
+        raise TornWriteError(
+            f"injected torn write: {cut}/{len(payload)} bytes of page "
+            f"{page_no} reached {os.path.basename(path)}",
+            path=path, page_no=page_no,
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def fired_events(self) -> list[dict]:
+        """Snapshot of every fault fired so far (in firing order)."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def fired_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump fired faults as JSONL (CI chaos artifact); returns count."""
+        events = self.fired_events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for seq, event in enumerate(events):
+                handle.write(json.dumps({"seq": seq, **event}) + "\n")
+        return len(events)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for spec in self.specs:
+            bits = [spec.kind]
+            if spec.path is not None:
+                bits.append(f"path={spec.path}")
+            if spec.page is not None:
+                bits.append(f"page={spec.page}")
+            if spec.probability < 1.0:
+                bits.append(f"p={spec.probability}")
+            if spec.max_count is not None:
+                bits.append(f"count={spec.max_count}")
+            parts.append(":".join(bits))
+        return " ".join(parts)
+
+
+def parse_fault_specs(text: str) -> list[FaultSpec]:
+    """Parse a CLI ``--faults`` string into FaultSpecs.
+
+    Grammar: specs separated by ``;``, each ``kind[:key=value,...]``::
+
+        transient:path=.heap,p=0.3,count=5;bit_flip:path=.sma,page=0
+
+    Keys: ``path``, ``page``, ``p``/``probability``, ``count``/
+    ``max_count``, ``skip``, ``latency``, ``truncate``.
+    """
+    specs: list[FaultSpec] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        kind, _, rest = chunk.partition(":")
+        kind = kind.strip()
+        kwargs: dict = {}
+        if rest.strip():
+            for pair in rest.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise StorageError(
+                        f"bad fault spec {chunk!r}: expected key=value, got {pair!r}"
+                    )
+                key, value = key.strip(), value.strip()
+                if key == "path":
+                    kwargs["path"] = value
+                elif key == "page":
+                    kwargs["page"] = int(value)
+                elif key in ("p", "probability"):
+                    kwargs["probability"] = float(value)
+                elif key in ("count", "max_count"):
+                    kwargs["max_count"] = int(value)
+                elif key == "skip":
+                    kwargs["skip"] = int(value)
+                elif key == "latency":
+                    kwargs["latency_s"] = float(value)
+                elif key == "truncate":
+                    kwargs["truncate_to"] = int(value)
+                else:
+                    raise StorageError(
+                        f"bad fault spec {chunk!r}: unknown key {key!r}"
+                    )
+        specs.append(FaultSpec(kind=kind, **kwargs))
+    if not specs:
+        raise StorageError(f"no fault specs found in {text!r}")
+    return specs
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "parse_fault_specs",
+]

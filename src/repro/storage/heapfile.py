@@ -4,14 +4,23 @@ The on-disk format is deliberately simple and matches the paper's model:
 
 * the data file is a sequence of fixed-size pages;
 * each page starts with a small header whose first 4 bytes hold the
-  page's record count (little-endian uint32), followed by packed
-  fixed-width records — records never span pages;
+  page's record count (little-endian uint32); format v2 files store a
+  32-bit page checksum at header bytes [4:8] (computed with that field
+  zeroed), followed by packed fixed-width records — records never span
+  pages;
 * a *bucket* is ``pages_per_bucket`` consecutive pages; the order of
   buckets in the file is the physical order SMA-file entries mirror.
 
-A JSON sidecar (``<path>.meta.json``) persists the schema, layout and
-record count; a numpy sidecar (``<path>.counts.npy``) persists per-bucket
-record counts so they are known without touching data pages.
+A JSON sidecar (``<path>.meta.json``) persists the schema, layout,
+record count, format version and checksum algorithm; a numpy sidecar
+(``<path>.counts.npy``) persists per-bucket record counts so they are
+known without touching data pages.
+
+Checksums are verified on every *physical* load (the buffer pool's
+single-flight loader); cache hits serve already-verified bytes.  Format
+v1 files (no ``format_version`` in the meta sidecar) open and read
+unverified; ``migrate_to_checksums`` — or ``repro verify --repair`` —
+upgrades them in place.
 
 All reads go through a :class:`~repro.storage.buffer.BufferPool`, which
 does the warm/cold caching and the sequential/random accounting.
@@ -26,14 +35,21 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError, TornWriteError
 from repro.storage.buffer import BufferPool
+from repro.storage.checksum import checksum as compute_checksum
+from repro.storage.checksum import default_algorithm
 from repro.storage.page import BucketLayout, DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE
 from repro.storage.schema import Schema
 
 _COUNT_STRUCT = struct.Struct("<I")
+_CRC_STRUCT = struct.Struct("<I")
+#: Byte range of the page checksum inside the page header (v2 format).
+_CRC_OFFSET = 4
 _META_SUFFIX = ".meta.json"
 _COUNTS_SUFFIX = ".counts.npy"
+#: Current on-disk format: v2 = checksummed pages; v1 = legacy, none.
+FORMAT_VERSION = 2
 
 
 class HeapFile:
@@ -50,11 +66,15 @@ class HeapFile:
         layout: BucketLayout,
         pool: BufferPool,
         bucket_counts: np.ndarray,
+        checksum_algo: str | None = None,
     ):
         self.path = path
         self.schema = schema
         self.layout = layout
         self.pool = pool
+        #: Page-checksum algorithm, or None for legacy v1 files (pages
+        #: are then read unverified — see :meth:`migrate_to_checksums`).
+        self.checksum_algo = checksum_algo
         self.file_id = os.path.abspath(path)
         self._bucket_counts = bucket_counts.astype(np.int64, copy=True)
         # Unbuffered: writes reach the OS immediately and positional
@@ -79,7 +99,12 @@ class HeapFile:
         pages_per_bucket: int = 1,
         page_header: int = DEFAULT_PAGE_HEADER,
     ) -> "HeapFile":
-        """Create a new, empty heap file at *path*."""
+        """Create a new, empty heap file at *path* (v2, checksummed).
+
+        Checksums need 8 header bytes (count + CRC); a smaller custom
+        header — or ``REPRO_PAGE_CHECKSUMS=0`` — creates an unchecksummed
+        file.
+        """
         if os.path.exists(path):
             raise StorageError(f"{path} already exists")
         layout = BucketLayout(
@@ -88,9 +113,11 @@ class HeapFile:
             pages_per_bucket=pages_per_bucket,
             page_header=page_header,
         )
+        algo = default_algorithm() if page_header >= 8 else None
         with open(path, "wb"):
             pass
-        heap = cls(path, schema, layout, pool, np.zeros(0, dtype=np.int64))
+        heap = cls(path, schema, layout, pool, np.zeros(0, dtype=np.int64),
+                   checksum_algo=algo)
         heap.flush()
         return heap
 
@@ -110,7 +137,10 @@ class HeapFile:
             page_header=meta["page_header"],
         )
         counts = np.load(path + _COUNTS_SUFFIX)
-        return cls(path, schema, layout, pool, counts)
+        # v1 files carry no format_version: their pages have no checksum
+        # and are read unverified.
+        algo = meta.get("checksum_algo") if meta.get("format_version", 1) >= 2 else None
+        return cls(path, schema, layout, pool, counts, checksum_algo=algo)
 
     def flush(self) -> None:
         """Persist metadata sidecars and flush the data file."""
@@ -121,16 +151,34 @@ class HeapFile:
             "pages_per_bucket": self.layout.pages_per_bucket,
             "page_header": self.layout.page_header,
             "num_records": int(self._bucket_counts.sum()),
+            "format_version": FORMAT_VERSION if self.checksum_algo else 1,
         }
+        if self.checksum_algo:
+            meta["checksum_algo"] = self.checksum_algo
         with open(self.path + _META_SUFFIX, "w", encoding="utf-8") as f:
             json.dump(meta, f)
         np.save(self.path + _COUNTS_SUFFIX, self._bucket_counts)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed (or begun)."""
+        return self._closed
+
     def close(self) -> None:
-        if not self._closed:
+        """Flush sidecars and release the OS handle.  Idempotent.
+
+        This is the *public* lifecycle contract: callers (including
+        tests) never touch the underlying handle.  Any number of calls
+        after the first are no-ops, and later page reads raise a plain
+        ``ValueError``/``OSError`` from the closed descriptor.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
             self.flush()
+        finally:
             self._handle.close()
-            self._closed = True
 
     def __enter__(self) -> "HeapFile":
         return self
@@ -180,11 +228,24 @@ class HeapFile:
     # page primitives
     # ------------------------------------------------------------------
 
+    def _page_checksum(self, payload: bytes) -> int:
+        """Checksum of a full page with the CRC field itself zeroed."""
+        blank = bytearray(payload)
+        blank[_CRC_OFFSET:_CRC_OFFSET + 4] = b"\x00\x00\x00\x00"
+        return compute_checksum(bytes(blank), self.checksum_algo)
+
     def _page_bytes(self, records: np.ndarray) -> bytes:
         header = _COUNT_STRUCT.pack(len(records)).ljust(self.layout.page_header, b"\x00")
         body = records.tobytes()
-        page = header + body
-        return page.ljust(self.layout.page_size, b"\x00")
+        page = (header + body).ljust(self.layout.page_size, b"\x00")
+        if self.checksum_algo is None:
+            return page
+        crc = self._page_checksum(page)
+        return (
+            page[:_CRC_OFFSET]
+            + _CRC_STRUCT.pack(crc)
+            + page[_CRC_OFFSET + 4:]
+        )
 
     def _write_page(self, page_no: int, records: np.ndarray) -> None:
         if len(records) > self.layout.tuples_per_page:
@@ -193,13 +254,34 @@ class HeapFile:
                 f"{self.layout.tuples_per_page}"
             )
         payload = self._page_bytes(records)
-        self._handle.seek(page_no * self.layout.page_size)
-        self._handle.write(payload)
+        self._persist_page(page_no, payload)
         self.pool.note_write(self.file_id, page_no, payload)
 
-    def _load_page(self, page_no: int) -> bytes:
+    def _persist_page(self, page_no: int, payload: bytes) -> None:
+        injector = self.pool.fault_injector
+        if injector is not None:
+            cut = injector.torn_write_length(self.path, page_no, len(payload))
+            if cut is not None:
+                # Genuinely tear the write: persist only a prefix, drop
+                # any cached copy (it would mask the on-disk damage),
+                # then surface the simulated crash.
+                self._handle.seek(page_no * self.layout.page_size)
+                self._handle.write(payload[:cut])
+                self.pool.invalidate(self.file_id, page_no)
+                raise TornWriteError(
+                    f"injected torn write: {cut}/{len(payload)} bytes of "
+                    f"page {page_no} reached {self.path}",
+                    path=self.path, page_no=page_no,
+                )
+        self._handle.seek(page_no * self.layout.page_size)
+        self._handle.write(payload)
+
+    def _load_page(self, page_no: int, *, verify: bool = True) -> bytes:
         # Positional read: no shared file-position state, so concurrent
         # single-flight loads of different pages never interfere.
+        injector = self.pool.fault_injector
+        if injector is not None:
+            injector.before_read(self.path, page_no, "heap")
         fd = self._handle.fileno()
         offset = page_no * self.layout.page_size
         want = self.layout.page_size
@@ -212,12 +294,67 @@ class HeapFile:
             offset += len(chunk)
             want -= len(chunk)
         payload = b"".join(chunks)
+        if injector is not None:
+            payload = injector.filter_read(self.path, page_no, payload)
         if len(payload) != self.layout.page_size:
             raise StorageError(
                 f"short read of page {page_no} in {self.path}: "
                 f"{len(payload)}/{self.layout.page_size} bytes"
             )
+        if verify and self.checksum_algo is not None:
+            (stored,) = _CRC_STRUCT.unpack_from(payload, _CRC_OFFSET)
+            actual = self._page_checksum(payload)
+            if stored != actual:
+                raise ChecksumError(
+                    f"checksum mismatch on page {page_no} of {self.path}: "
+                    f"stored {stored:#010x}, computed {actual:#010x} "
+                    f"({self.checksum_algo})",
+                    path=self.path, page_no=page_no,
+                )
         return payload
+
+    def read_page_raw(self, page_no: int, *, verify: bool = True) -> bytes:
+        """Read one page's raw bytes directly from disk (verification API).
+
+        Bypasses the buffer pool and charges nothing — ``repro verify``
+        uses this to sweep every on-disk page regardless of cache state.
+        """
+        if not 0 <= page_no < self.num_pages:
+            raise StorageError(
+                f"page {page_no} out of range [0, {self.num_pages})"
+            )
+        return self._load_page(page_no, verify=verify)
+
+    def migrate_to_checksums(self, algo: str | None = None) -> int:
+        """Upgrade a legacy v1 file to checksummed v2 pages, in place.
+
+        Rewrites every page with a checksum under *algo* (default: the
+        environment's default algorithm) and persists the new format in
+        the meta sidecar.  Returns the number of pages rewritten.
+        Already-v2 files are a no-op.
+        """
+        if self.checksum_algo is not None:
+            return 0
+        if self.layout.page_header < 8:
+            raise StorageError(
+                f"page header of {self.path} is {self.layout.page_header} "
+                f"bytes; checksums need at least 8"
+            )
+        self.checksum_algo = algo or default_algorithm() or "crc32"
+        rewritten = 0
+        for page_no in range(self.num_pages):
+            raw = self._load_page(page_no, verify=False)
+            crc = self._page_checksum(raw)
+            payload = (
+                raw[:_CRC_OFFSET]
+                + _CRC_STRUCT.pack(crc)
+                + raw[_CRC_OFFSET + 4:]
+            )
+            self._persist_page(page_no, payload)
+            self.pool.note_write(self.file_id, page_no, payload)
+            rewritten += 1
+        self.flush()
+        return rewritten
 
     def _read_page(self, page_no: int) -> np.ndarray:
         payload = self.pool.read_page(

@@ -1,0 +1,103 @@
+"""Catalog-wide integrity accounting: quarantines, repairs, listeners.
+
+One :class:`IntegrityMonitor` hangs off every catalog.  The planner
+records each SMA quarantine here; ``repro verify --repair`` records
+repairs.  Interested parties (the query service wiring events + metrics,
+tests) subscribe with :meth:`add_listener` and must unsubscribe on
+shutdown — catalogs outlive individual services.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+#: Listener signature: ``fn(event_name, info_dict)`` where event_name is
+#: ``"sma_quarantined"`` or ``"sma_repaired"``.
+IntegrityListener = Callable[[str, dict], None]
+
+#: Bounded history so long-lived catalogs cannot grow without limit.
+_MAX_RECORDS = 256
+
+
+class IntegrityMonitor:
+    """Thread-safe counters + pub/sub for integrity events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._listeners: list[IntegrityListener] = []
+        self._quarantines = 0
+        self._repairs = 0
+        self._by_table: dict[str, int] = {}
+        self._records: list[dict] = []
+
+    # -- subscription ----------------------------------------------------
+
+    def add_listener(self, listener: IntegrityListener) -> None:
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener: IntegrityListener) -> None:
+        """Unsubscribe; unknown listeners are ignored (idempotent)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    # -- recording -------------------------------------------------------
+
+    def record_quarantine(self, *, table: str, sma_set: str, definition: str,
+                          path: str | None = None, reason: str = "") -> None:
+        info = {
+            "table": table,
+            "sma_set": sma_set,
+            "definition": definition,
+            "path": path,
+            "reason": reason,
+        }
+        with self._lock:
+            self._quarantines += 1
+            self._by_table[table] = self._by_table.get(table, 0) + 1
+            self._append_record("sma_quarantined", info)
+            listeners = list(self._listeners)
+        self._notify(listeners, "sma_quarantined", info)
+
+    def record_repair(self, *, table: str, sma_set: str, definition: str) -> None:
+        info = {"table": table, "sma_set": sma_set, "definition": definition}
+        with self._lock:
+            self._repairs += 1
+            self._append_record("sma_repaired", info)
+            listeners = list(self._listeners)
+        self._notify(listeners, "sma_repaired", info)
+
+    def _append_record(self, event: str, info: dict) -> None:
+        self._records.append({"event": event, "ts": time.time(), **info})
+        if len(self._records) > _MAX_RECORDS:
+            del self._records[: len(self._records) - _MAX_RECORDS]
+
+    @staticmethod
+    def _notify(listeners: list[IntegrityListener], event: str, info: dict) -> None:
+        for listener in listeners:
+            try:
+                listener(event, dict(info))
+            except Exception:
+                pass  # a broken observer must never fail a query
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "sma_quarantined": self._quarantines,
+                "sma_repaired": self._repairs,
+                "by_table": dict(self._by_table),
+                "recent": [dict(r) for r in self._records[-16:]],
+            }
+
+    @property
+    def quarantine_count(self) -> int:
+        with self._lock:
+            return self._quarantines

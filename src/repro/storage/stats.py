@@ -47,6 +47,11 @@ class IoStats:
     heap_page_reads: int = 0
     page_writes: int = 0
     buffer_hits: int = 0
+    #: transient-fault read retries performed by the single-flight load
+    #: leader on this window's behalf.  Retries are charged immediately
+    #: (even when the load ultimately fails), so summed window
+    #: ``read_retries`` always equal the pool's cumulative retry growth.
+    read_retries: int = 0
     tuples_scanned: int = 0
     tuples_built: int = 0
     sma_entries_read: int = 0

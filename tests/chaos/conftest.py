@@ -1,0 +1,80 @@
+"""Harness for the chaos/differential suite.
+
+The core idea: build two byte-identical catalogs, run the same query
+battery against both — one fault-free (the oracle), one under a seeded
+fault schedule — and demand that every faulted execution either matches
+the oracle byte-for-byte, raises a typed :class:`~repro.errors.
+StorageError`, or degrades through a *recorded* quarantine.  Silently
+wrong answers are the one outcome that must never happen.
+
+Fault schedules are pure functions of their seed and the access
+sequence (the injector keys on file basenames, not absolute paths), so
+every run of this suite sees the exact same faults — no flakes, and a
+failing seed reproduces forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.session import Session
+from repro.storage import Catalog
+
+from tests.conftest import SALES_SCHEMA, sales_rows
+
+#: Query-1-style battery over the SALES fixture schema: grouped
+#: aggregation with a range predicate (the paper's headline query
+#: shape), ungrouped aggregates, full-group rollups, and raw scans.
+CHAOS_QUERIES = [
+    "SELECT flag, SUM(qty) AS s, COUNT(*) AS n FROM SALES "
+    "WHERE ship <= DATE '1997-01-21' GROUP BY flag ORDER BY flag",
+    "SELECT COUNT(*) AS n FROM SALES WHERE ship <= DATE '1997-02-01'",
+    "SELECT flag, COUNT(*) AS n FROM SALES GROUP BY flag ORDER BY flag",
+    "SELECT MIN(ship) AS lo, MAX(ship) AS hi FROM SALES",
+    "SELECT SUM(qty) AS s FROM SALES WHERE ship > DATE '1997-02-10'",
+    "SELECT id, qty FROM SALES WHERE ship = DATE '1997-01-05'",
+]
+
+
+def build_sales_db(root: str) -> None:
+    """Build one persisted SALES catalog (table + min/max/count/sum SMAs).
+
+    Deterministic: identical inputs, identical file basenames — so two
+    builds in different temp directories see identical fault schedules.
+    """
+    from repro.core import (
+        SmaDefinition,
+        build_sma_set,
+        count_star,
+        maximum,
+        minimum,
+        total,
+    )
+    from repro.lang import col
+
+    catalog = Catalog(root)
+    table = catalog.create_table("SALES", SALES_SCHEMA, clustered_on="ship")
+    table.append_rows(sales_rows())
+    definitions = [
+        SmaDefinition("smin", "SALES", minimum(col("ship"))),
+        SmaDefinition("smax", "SALES", maximum(col("ship"))),
+        SmaDefinition("cnt", "SALES", count_star(), ("flag",)),
+        SmaDefinition("sqty", "SALES", total(col("qty")), ("flag",)),
+    ]
+    sma_set, _ = build_sma_set(
+        table, definitions, directory=catalog.sma_dir("SALES")
+    )
+    catalog.register_sma_set("SALES", sma_set)
+    catalog.close()
+
+
+@pytest.fixture(scope="session")
+def oracle_results(tmp_path_factory):
+    """Fault-free answers for CHAOS_QUERIES over the standard catalog."""
+    root = str(tmp_path_factory.mktemp("oracle") / "db")
+    build_sales_db(root)
+    catalog = Catalog.discover(root)
+    session = Session(catalog)
+    results = [session.sql(q) for q in CHAOS_QUERIES]
+    yield results
+    catalog.close()

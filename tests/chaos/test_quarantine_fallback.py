@@ -1,0 +1,105 @@
+"""Acceptance #4, end to end: bit-flipped SMA → detect on load →
+transparent heap fallback (correct answer) → quarantine event + metrics
++ Prometheus counter → ``verify --repair`` rebuilds → SMA path verifies
+clean and serves again.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.verify import verify_catalog
+from repro.obs import EventLog, render_prometheus
+from repro.query.session import Session, assert_same_result
+from repro.server import QueryService
+from repro.storage import Catalog
+
+from tests.chaos.conftest import CHAOS_QUERIES, build_sales_db
+
+#: The grouped-aggregation query: needs the sqty (SUM) and cnt (COUNT)
+#: SMA rollups, so corrupting sqty forces a genuine heap fallback.
+AGG_QUERY = CHAOS_QUERIES[0]
+
+
+def _flip_byte(path: str, offset: int = 11) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0x40]))
+
+
+def test_quarantine_fallback_repair_cycle(tmp_path, oracle_results):
+    root = str(tmp_path / "db")
+    build_sales_db(root)
+    _flip_byte(os.path.join(root, "SALES.smas", "sqty__A.sma"))
+
+    catalog = Catalog.discover(root)
+    events_path = tmp_path / "events.jsonl"
+    event_log = EventLog(str(events_path))
+    oracle = oracle_results[0]
+    try:
+        with QueryService(catalog, workers=2, events=event_log) as service:
+            result = service.execute(AGG_QUERY)
+            # Degraded but CORRECT: the heap is ground truth.
+            assert_same_result(result, oracle)
+            # The damaged definition is out of service ...
+            quarantined = {
+                name
+                for sma_set in catalog.sma_sets("SALES")
+                for name in sma_set.quarantined
+            }
+            assert "sqty" in quarantined
+            assert catalog.integrity.quarantine_count >= 1
+            # ... and every telemetry surface saw it.
+            snapshot = service.metrics.snapshot()
+            assert snapshot["integrity"]["sma_quarantined"] >= 1
+            assert snapshot["integrity"]["by_table"].get("SALES", 0) >= 1
+            text = render_prometheus(snapshot)
+            sample = next(
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_sma_quarantined_total ")
+            )
+            assert float(sample.split()[-1]) >= 1
+        event_log.close()
+        assert "sma_quarantined" in events_path.read_text()
+
+        # verify flags it; --repair rebuilds from the heap.
+        report = verify_catalog(catalog)
+        assert not report.ok
+        repaired = verify_catalog(catalog, repair=True)
+        assert repaired.ok
+        assert catalog.integrity.snapshot()["sma_repaired"] >= 1
+
+        # The SMA path is back: quarantine lifted, clean verify, same
+        # answer, and the plan uses SMAs again.
+        assert not any(
+            sma_set.quarantined for sma_set in catalog.sma_sets("SALES")
+        )
+        assert verify_catalog(catalog).ok
+        session = Session(catalog)
+        healed = session.sql(AGG_QUERY)
+        assert_same_result(healed, oracle)
+        assert healed.plan.sma_set_name == oracle.plan.sma_set_name
+        assert healed.plan.sma_set_name is not None
+    finally:
+        catalog.close()
+
+
+def test_fallback_strategy_differs_until_repair(tmp_path, oracle_results):
+    """The fallback is a genuinely different (heap) plan, not luck."""
+    root = str(tmp_path / "db")
+    build_sales_db(root)
+    _flip_byte(os.path.join(root, "SALES.smas", "sqty__A.sma"))
+    catalog = Catalog.discover(root)
+    try:
+        session = Session(catalog)
+        degraded = session.sql(AGG_QUERY)
+        assert_same_result(degraded, oracle_results[0])
+        # The oracle plan binds the SMA set; the degraded plan lost its
+        # aggregate coverage and runs off the heap alone.
+        assert oracle_results[0].plan.sma_set_name is not None
+        assert degraded.plan.sma_set_name is None
+    finally:
+        catalog.close()

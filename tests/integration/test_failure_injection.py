@@ -32,7 +32,10 @@ class TestTruncatedHeapFile:
         reopened = HeapFile.open(path, BufferPool(capacity_pages=16))
         with pytest.raises(StorageError, match="short read"):
             reopened.read_bucket(reopened.num_buckets - 1)
-        reopened._handle.close()
+        # Public idempotent lifecycle: no poking at private handles.
+        reopened.close()
+        reopened.close()
+        assert reopened.closed
 
 
 class TestCorruptSidecars:

@@ -143,6 +143,49 @@ class TestServicePropagation:
             assert "execute" in {s.name for s in root.walk()}
             assert_exact_attribution(root, result.stats)
 
+    def test_sixteen_workers_under_transient_faults(self, catalog,
+                                                    sales_table,
+                                                    sales_sma_set):
+        """Retry charges survive the executor hop and reconcile exactly.
+
+        Transient heap faults force load leaders into the pool's retry
+        loop while 16 workers share the catalog; the summed per-query
+        ``read_retries`` must equal the pool counter growth, alongside
+        the usual hit/miss partition.
+        """
+        from repro.storage.faults import FaultInjector, FaultSpec, RetryPolicy
+
+        injector = FaultInjector(
+            seed=7,
+            specs=(FaultSpec("transient", path=".heap", probability=0.5),),
+        )
+        old_policy = catalog.pool.retry_policy
+        catalog.install_fault_injector(injector)
+        catalog.pool.retry_policy = RetryPolicy(
+            max_attempts=10, base_backoff_s=0.0
+        )
+        catalog.pool.clear()  # force physical loads through the faults
+        baseline = catalog.pool.counters()
+        try:
+            with QueryService(
+                catalog, workers=16, queue_depth=64
+            ) as service:
+                tickets = [
+                    service.submit(agg_query(days=10 + i % 5), mode="scan")
+                    for i in range(32)
+                ]
+                results = [ticket.result() for ticket in tickets]
+        finally:
+            catalog.install_fault_injector(None)
+            catalog.pool.retry_policy = old_policy
+
+        delta = catalog.pool.counters() - baseline
+        assert injector.fired_count() > 0
+        assert delta.retries > 0
+        assert delta.retries == sum(r.stats.read_retries for r in results)
+        assert delta.misses == sum(r.stats.page_reads for r in results)
+        assert delta.hits == sum(r.stats.buffer_hits for r in results)
+
     def test_queue_wait_recorded_as_span(self, catalog, sales_table,
                                          sales_sma_set):
         roots = []
