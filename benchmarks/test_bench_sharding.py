@@ -1,0 +1,43 @@
+"""C3 — sharded scatter-gather serving throughput.
+
+Partitions a loaded LINEITEM into 1/2/4 shard catalogs, launches the
+worker processes + router, and replays the standard mix closed-loop at
+16 clients per shard count.  Queries are made I/O-bound with a
+deterministic simulated per-heap-page disk wait (PR 5's fault
+injector), so scatter across worker *processes* overlaps the waits and
+completed-queries/s must rise monotonically with shard count.
+
+C3 runs at its own small fixed scale factor rather than ``bench_sf``:
+the simulated disk wait dominates the wall time, so data volume only
+stretches the run without changing what is measured.
+"""
+
+from repro.bench.sharding import exp_shard_scaling
+
+from conftest import bench_trace_log, run_once
+
+SHARD_COUNTS = (1, 2, 4)
+CLIENTS = 16
+
+
+def test_bench_shard_scaling(benchmark):
+    trace_log = bench_trace_log("C3")
+    try:
+        result = run_once(
+            benchmark,
+            exp_shard_scaling,
+            shard_counts=SHARD_COUNTS,
+            clients=CLIENTS,
+            event_log=trace_log,
+        )
+    finally:
+        trace_log.close()
+    assert trace_log.stats()["written"] > 0  # trace artifact is non-empty
+    for num_shards in SHARD_COUNTS:
+        # queries_per_client=1: every client completes exactly one query.
+        assert result.metric(f"completed_s{num_shards}") == CLIENTS
+        assert result.metric(f"qps_s{num_shards}") > 0
+    # C3 acceptance: throughput rises monotonically 1 -> 2 -> 4 shards
+    # (byte-identity vs single-node is asserted inside the experiment).
+    qps = [result.metric(f"qps_s{n}") for n in SHARD_COUNTS]
+    assert qps[0] < qps[1] < qps[2], f"QPS not monotonic in shards: {qps}"

@@ -1305,6 +1305,7 @@ from repro.bench.concurrency import (
     exp_concurrency_throughput,
     exp_scan_parallelism,
 )
+from repro.bench.sharding import exp_shard_scaling
 
 #: Every experiment, in the DESIGN.md index order — drives EXPERIMENTS.md
 #: regeneration and the full bench run.
@@ -1329,4 +1330,5 @@ ALL_EXPERIMENTS = (
     exp_versatility,
     exp_concurrency_throughput,
     exp_scan_parallelism,
+    exp_shard_scaling,
 )

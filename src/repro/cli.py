@@ -3,19 +3,23 @@
 A small operational surface over the library so the reproduction can be
 driven without writing Python:
 
-========  ============================================================
-command   does
-========  ============================================================
-load      generate TPC-D data into a catalog directory (+ Q1 SMAs)
-define    build SMAs from a ``define sma`` script (file or inline)
-query     run one SELECT against a catalog, print rows + both clocks
-explain   plan one SELECT without running it, print the full plan
-trace     run one SELECT with tracing on, print the span tree
-info      list tables, SMA sets and sizes of a catalog
-bench     run the paper experiments (all, or a comma-separated subset)
-serve     replay a concurrent workload through the query service
-verify    check page checksums + SMA contents; --repair rebuilds SMAs
-========  ============================================================
+============  ========================================================
+command       does
+============  ========================================================
+load          generate TPC-D data into a catalog directory (+ Q1 SMAs)
+define        build SMAs from a ``define sma`` script (file or inline)
+query         run one SELECT against a catalog, print rows + both clocks
+explain       plan one SELECT without running it, print the full plan
+              (against a sharded root: the routing + per-shard plans)
+trace         run one SELECT with tracing on, print the span tree
+info          list tables, SMA sets and sizes of a catalog
+bench         run the paper experiments (all, or a subset)
+serve         replay a concurrent workload through the query service;
+              with ``--shards N`` scatter-gather across worker processes
+shard-init    partition a catalog into N shard catalogs + manifest
+shard-worker  serve one shard catalog over a local socket
+verify        check page checksums + SMA contents; --repair rebuilds SMAs
+============  ========================================================
 
 Examples::
 
@@ -30,6 +34,8 @@ Examples::
     python -m repro serve --db ./db --workers 4 --clients 8 --report
     python -m repro verify --db ./db --repair
     python -m repro serve --db ./db --faults "transient:path=.heap,p=0.05"
+    python -m repro shard-init --db ./db --out ./db-sharded --shards 4
+    python -m repro serve --db ./db-sharded --shards 4 --clients 16 --report
 """
 
 from __future__ import annotations
@@ -135,6 +141,16 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if not isinstance(statement, (AggregateQuery, ScanQuery)):
         print("error: explain takes a SELECT statement", file=sys.stderr)
         return 1
+    from repro.shard.manifest import ShardManifest
+
+    if ShardManifest.exists(args.db):
+        from repro.shard.explain import render_routing
+
+        print(render_routing(
+            args.db, statement, mode=args.mode, sma_set=args.sma_set,
+            scan_workers=args.scan_workers, buffer_pages=args.buffer_pages,
+        ))
+        return 0
     catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
     session = Session(catalog, scan_workers=args.scan_workers)
     explanation = session.explain(
@@ -310,6 +326,147 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard_init(args: argparse.Namespace) -> int:
+    from repro.shard.partitioner import shard_init
+
+    manifest = shard_init(
+        args.db, args.out, args.shards, buffer_pages=args.buffer_pages
+    )
+    print(f"sharded {args.db} -> {args.out}: {manifest.num_shards} shards")
+    for table, spans in sorted(manifest.tables.items()):
+        ranges = ", ".join(f"[{lo}, {hi})" for lo, hi in spans)
+        print(f"  {table}: {ranges}")
+    return 0
+
+
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.shard.worker import ShardWorker, run_worker_forever
+
+    events = None
+    if args.events:
+        from repro.obs import EventLog
+
+        events = EventLog(args.events)
+    injector = _build_injector(args)
+    worker = ShardWorker(
+        args.shard_id,
+        args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue,
+        scan_workers=args.scan_workers,
+        buffer_pages=args.buffer_pages,
+        fault_injector=injector,
+        events=events,
+    )
+    # Graceful drain on SIGTERM (how launch_local_shards stops workers):
+    # close() finishes in-flight queries and flushes the event log.
+    signal.signal(signal.SIGTERM, lambda _sig, _frm: worker.close())
+    try:
+        run_worker_forever(worker)
+    finally:
+        if events is not None:
+            events.close()
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: worker processes + scatter-gather router."""
+    from repro.server import (
+        WorkloadDriver,
+        default_mix,
+        render_metrics,
+        render_workload,
+    )
+    from repro.shard import ShardManifest, ShardRouter, launch_local_shards
+    from repro.shard.router import stop_local_shards
+
+    manifest = ShardManifest.load(args.db)
+    if args.shards != manifest.num_shards:
+        print(f"error: sharded root {args.db} holds {manifest.num_shards} "
+              f"shard(s), not {args.shards}; re-run `repro shard-init`",
+              file=sys.stderr)
+        return 1
+    timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    event_log = None
+    if args.trace_file:
+        from repro.obs import EventLog
+
+        event_log = EventLog(args.trace_file)
+    processes = launch_local_shards(
+        args.db,
+        manifest=manifest,
+        workers=args.workers,
+        scan_workers=args.scan_workers,
+        queue_depth=args.queue,
+        buffer_pages=args.buffer_pages,
+        events_dir=args.shard_events,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+    )
+    try:
+        with ShardRouter(
+            [handle.endpoint for handle in processes],
+            manifest=manifest,
+            workers=args.workers,
+            queue_depth=args.queue,
+            default_timeout_s=timeout,
+            events=event_log,
+        ) as router:
+            for shard_id, info in sorted(router.health().items()):
+                state = ("up" if info.get("up")
+                         else f"DOWN ({info.get('error')})")
+                print(f"shard {shard_id}: {state}")
+            server = None
+            if args.metrics_port is not None:
+                from repro.obs import MetricsServer
+
+                server = MetricsServer(
+                    router.observed_snapshot, port=args.metrics_port
+                ).start()
+                print(f"metrics: {server.url}/metrics  "
+                      f"(also /healthz, /snapshot)")
+            try:
+                driver = WorkloadDriver(router, default_mix())
+                if args.rate:
+                    result = driver.run_open_loop(
+                        rate_qps=args.rate, total=args.queries
+                    )
+                else:
+                    per_client = max(1, args.queries // args.clients)
+                    result = driver.run_closed_loop(
+                        clients=args.clients, queries_per_client=per_client
+                    )
+                if server is not None and args.linger:
+                    import time
+
+                    print(f"lingering {args.linger:g}s so the metrics "
+                          f"endpoint stays scrapeable ...")
+                    time.sleep(args.linger)
+            finally:
+                if server is not None:
+                    server.close()
+            fanout = router.scoreboard.snapshot()["fanout"]
+    finally:
+        stop_local_shards(processes)
+    if event_log is not None:
+        event_log.close()
+        stats = event_log.stats()
+        print(f"trace events: {stats['written']} written "
+              f"({stats['dropped']} dropped) -> {args.trace_file}")
+    print(render_workload(result))
+    print(f"fan-out: {fanout['scatter_queries']} scattered, "
+          f"{fanout['subqueries_sent']} subqueries, "
+          f"{fanout['gather_merges']} partial-state merges")
+    if args.report:
+        print()
+        print(render_metrics(result.metrics))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import (
         QueryService,
@@ -323,6 +480,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: --workers, --queue, --clients and --queries must be >= 1",
               file=sys.stderr)
         return 1
+    if args.shards:
+        return _serve_sharded(args)
     catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
     if not catalog.has_table("LINEITEM"):
         print("error: catalog has no LINEITEM table; run `repro load` first",
@@ -428,6 +587,7 @@ _EXPERIMENT_IDS = {
     "exp_versatility": "X7",
     "exp_concurrency_throughput": "C1",
     "exp_scan_parallelism": "C2",
+    "exp_shard_scaling": "C3",
 }
 
 
@@ -565,8 +725,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--linger", type=float, default=0.0,
                          help="keep the metrics endpoint up this many "
                          "seconds after the workload finishes")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="treat --db as a sharded root (from `repro "
+                         "shard-init`): launch this many local shard worker "
+                         "processes and scatter-gather through the router")
+    p_serve.add_argument("--shard-events",
+                         help="with --shards: directory for per-shard JSONL "
+                         "event logs (shard-<k>.jsonl)")
     add_faults(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_shard_init = sub.add_parser(
+        "shard-init",
+        help="partition a catalog into N shard catalogs + manifest",
+    )
+    add_db(p_shard_init)
+    p_shard_init.add_argument("--out", required=True,
+                              help="sharded root directory to create")
+    p_shard_init.add_argument("--shards", type=int, required=True,
+                              help="number of shards")
+    p_shard_init.set_defaults(func=cmd_shard_init)
+
+    p_shard_worker = sub.add_parser(
+        "shard-worker",
+        help="serve one shard catalog over a local socket (router backend)",
+    )
+    add_db(p_shard_worker)
+    p_shard_worker.add_argument("--shard-id", type=int, required=True)
+    p_shard_worker.add_argument("--host", default="127.0.0.1")
+    p_shard_worker.add_argument("--port", type=int, default=0,
+                                help="listen port (default 0: pick a free "
+                                "port; the bound address is announced on "
+                                "stdout)")
+    p_shard_worker.add_argument("--workers", type=int, default=2,
+                                help="query worker threads (default 2)")
+    p_shard_worker.add_argument("--queue", type=int, default=32,
+                                help="admission queue depth (default 32)")
+    p_shard_worker.add_argument("--scan-workers", type=int, default=1,
+                                help="morsel-scan threads per query "
+                                "(default 1)")
+    p_shard_worker.add_argument("--events",
+                                help="write this shard's JSONL events here")
+    add_faults(p_shard_worker)
+    p_shard_worker.set_defaults(func=cmd_shard_worker)
 
     p_verify = sub.add_parser(
         "verify", help="check heap page checksums and SMA contents "

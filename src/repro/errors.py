@@ -119,6 +119,27 @@ class ServerShutdownError(ServerError):
     """A query was submitted to a service that has been shut down."""
 
 
+class ShardError(ServerError):
+    """Sharded serving tier failure (partitioning, wire protocol, workers)."""
+
+
+class ShardUnavailableError(ShardError):
+    """A shard worker could not be reached (after connection retries).
+
+    A scatter-gathered query refuses to return a partial relation: if any
+    shard is down the whole query fails with this typed error rather than
+    silently dropping that shard's bucket range.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None):
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ShardProtocolError(ShardError):
+    """Malformed or truncated frame on the router <-> worker wire."""
+
+
 class QueryCancelledError(ServerError):
     """A query was cancelled while queued or cooperatively while running.
 

@@ -154,3 +154,86 @@ def group_key_to_json(key: tuple) -> list:
 def group_key_from_json(items: list) -> tuple:
     """Rebuild a group key from :func:`group_key_to_json` output."""
     return tuple(_value_from_json(v) for v in items)
+
+
+# ----------------------------------------------------------------------
+# aggregate specs and whole queries (the shard wire format)
+# ----------------------------------------------------------------------
+
+
+def aggregate_spec_to_json(spec) -> dict:
+    """Serialize an :class:`~repro.core.aggregates.AggregateSpec`."""
+    return {
+        "kind": spec.kind.value,
+        "argument": (
+            None if spec.argument is None else expr_to_json(spec.argument)
+        ),
+    }
+
+
+def aggregate_spec_from_json(node: dict):
+    """Rebuild an :class:`~repro.core.aggregates.AggregateSpec`."""
+    from repro.core.aggregates import AggregateKind, AggregateSpec
+
+    argument = (
+        None if node["argument"] is None else expr_from_json(node["argument"])
+    )
+    return AggregateSpec(AggregateKind(node["kind"]), argument)
+
+
+def query_to_json(query) -> dict:
+    """Serialize an AggregateQuery or ScanQuery for the shard protocol.
+
+    Deserializing on the far side rebuilds a structurally *equal* query
+    (all parts are frozen dataclasses), which is what lets per-shard
+    :class:`~repro.query.aggregation.AggregationState` partials merge.
+    """
+    from repro.query.query import AggregateQuery, ScanQuery
+
+    if isinstance(query, AggregateQuery):
+        return {
+            "type": "aggregate",
+            "table": query.table,
+            "aggregates": [
+                {"name": a.name, "spec": aggregate_spec_to_json(a.spec)}
+                for a in query.aggregates
+            ],
+            "where": predicate_to_json(query.where),
+            "group_by": list(query.group_by),
+            "order_by": list(query.order_by),
+            "order_desc": sorted(query.order_desc),
+        }
+    if isinstance(query, ScanQuery):
+        return {
+            "type": "scan",
+            "table": query.table,
+            "where": predicate_to_json(query.where),
+            "columns": list(query.columns),
+        }
+    raise SchemaError(f"cannot serialize query {query!r}")
+
+
+def query_from_json(node: dict):
+    """Rebuild a query from :func:`query_to_json` output."""
+    from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+
+    kind = node["type"]
+    if kind == "aggregate":
+        return AggregateQuery(
+            table=node["table"],
+            aggregates=tuple(
+                OutputAggregate(a["name"], aggregate_spec_from_json(a["spec"]))
+                for a in node["aggregates"]
+            ),
+            where=predicate_from_json(node["where"]),
+            group_by=tuple(node["group_by"]),
+            order_by=tuple(node["order_by"]),
+            order_desc=frozenset(node["order_desc"]),
+        )
+    if kind == "scan":
+        return ScanQuery(
+            table=node["table"],
+            where=predicate_from_json(node["where"]),
+            columns=tuple(node["columns"]),
+        )
+    raise SchemaError(f"unknown query type {kind!r}")

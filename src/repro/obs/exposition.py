@@ -22,6 +22,7 @@ the registry lock; no request ever touches the query path.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
@@ -312,6 +313,59 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
                 kind="counter",
             )
 
+    shard = snapshot.get("shard")
+    if shard:
+        fanout = shard.get("fanout", {})
+        for counter, help_text in (
+            ("scatter_queries", "Queries scattered across shard workers."),
+            ("subqueries_sent", "Per-shard subqueries dispatched."),
+            (
+                "gather_merges",
+                "Partial aggregation states merged at gather time.",
+            ),
+        ):
+            out.sample(
+                f"{ns}_shard_{counter}_total",
+                fanout.get(counter, 0),
+                help_text=help_text,
+                kind="counter",
+            )
+        per_shard = shard.get("shards", {})
+        for shard_id in sorted(per_shard, key=lambda key: int(key)):
+            info = per_shard[shard_id]
+            labels = {"shard": shard_id}
+            out.sample(
+                f"{ns}_shard_up",
+                1 if info.get("up") else 0,
+                labels=labels,
+                help_text="Shard liveness (1 when the last contact "
+                "succeeded).",
+            )
+            out.sample(
+                f"{ns}_shard_requests_total",
+                info.get("requests", 0),
+                labels=labels,
+                help_text="Subqueries sent to this shard.",
+                kind="counter",
+            )
+            out.sample(
+                f"{ns}_shard_failures_total",
+                info.get("failures", 0),
+                labels=labels,
+                help_text="Subqueries that failed on this shard.",
+                kind="counter",
+            )
+            latency = info.get("latency_s") or {}
+            if latency.get("count"):
+                for stat in ("mean_s", "p95_s", "max_s"):
+                    if stat in latency:
+                        out.sample(
+                            f"{ns}_shard_latency_seconds",
+                            latency[stat],
+                            labels={**labels, "stat": stat[:-2]},
+                            help_text="Per-shard subquery latency summary.",
+                        )
+
     events = snapshot.get("events", {})
     if events:
         out.sample(
@@ -389,9 +443,13 @@ class MetricsServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "MetricsServer":
+        """Start serving; logs the *bound* address (useful with port 0)."""
         if not self._started:
             self._started = True
             self._thread.start()
+            logging.getLogger("repro.obs").info(
+                "metrics server listening on %s", self.url
+            )
         return self
 
     def close(self) -> None:

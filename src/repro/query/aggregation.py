@@ -52,9 +52,11 @@ class AggregationState:
 
     def __init__(
         self,
-        schema: Schema,
+        schema: Schema | None,
         group_by: tuple[str, ...],
         aggregates: tuple[OutputAggregate, ...],
+        *,
+        is_date_result: list[bool] | None = None,
     ):
         self.schema = schema
         self.group_by = group_by
@@ -62,14 +64,33 @@ class AggregationState:
         self._groups: dict[GroupKey, _GroupState] = {}
         # min/max over DATE columns accumulate as int day numbers and
         # convert back at finalize; remember which outputs need that.
-        self._is_date_result = []
-        for aggregate in aggregates:
-            is_date = False
-            if aggregate.spec.kind in (AggregateKind.MIN, AggregateKind.MAX):
-                assert aggregate.spec.argument is not None
-                result = aggregate.spec.argument.result_type(schema)
-                is_date = result.kind is TypeKind.DATE
-            self._is_date_result.append(is_date)
+        # A schema-less state (shard router reconstructing partials from
+        # the wire) must receive the flags explicitly instead.
+        if is_date_result is not None:
+            self._is_date_result = list(is_date_result)
+        else:
+            if schema is None:
+                raise ExecutionError(
+                    "a schema-less AggregationState needs explicit "
+                    "is_date_result flags"
+                )
+            self._is_date_result = []
+            for aggregate in aggregates:
+                is_date = False
+                if aggregate.spec.kind in (AggregateKind.MIN, AggregateKind.MAX):
+                    assert aggregate.spec.argument is not None
+                    result = aggregate.spec.argument.result_type(schema)
+                    is_date = result.kind is TypeKind.DATE
+                self._is_date_result.append(is_date)
+
+    @property
+    def is_date_result(self) -> list[bool]:
+        """Which outputs convert int day numbers to dates at finalize."""
+        return list(self._is_date_result)
+
+    def group_items(self):
+        """Iterate ``(group_key, _GroupState)`` pairs (serde/testing API)."""
+        return self._groups.items()
 
     def _state(self, key: GroupKey) -> _GroupState:
         state = self._groups.get(key)
@@ -138,6 +159,31 @@ class AggregationState:
         state = self._state(key)
         if state.maxs[index] is None or value > state.maxs[index]:
             state.maxs[index] = value
+
+    def load_group(
+        self,
+        key: GroupKey,
+        count: int,
+        sums: list[list],
+        mins: list[object],
+        maxs: list[object],
+    ) -> None:
+        """Install one deserialized group (shard wire reconstruction).
+
+        ``sums`` holds the per-aggregate ordered contribution lists
+        exactly as the worker built them; they are extended, not summed,
+        so a later :meth:`merge` + :meth:`finalize` stays byte-exact.
+        """
+        state = self._state(key)
+        state.count += int(count)
+        for i in range(len(self.aggregates)):
+            state.sums[i].extend(sums[i])
+            low = mins[i]
+            if low is not None and (state.mins[i] is None or low < state.mins[i]):
+                state.mins[i] = low
+            high = maxs[i]
+            if high is not None and (state.maxs[i] is None or high > state.maxs[i]):
+                state.maxs[i] = high
 
     # ------------------------------------------------------------------
     # merging partial states (morsel-parallel scans)

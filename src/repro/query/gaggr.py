@@ -33,12 +33,16 @@ class GAggr:
         self.group_by = group_by
         self.aggregates = aggregates
 
-    def execute(self) -> QueryRows:
-        """Compute the full result (the operator's init phase)."""
+    def collect_state(self) -> AggregationState:
+        """Advance a full :class:`AggregationState` without finalizing."""
         state = AggregationState(self.child.schema, self.group_by, self.aggregates)
         for batch in self.child.batches():
             state.consume_batch(batch)
-        return state.finalize()
+        return state
+
+    def execute(self) -> QueryRows:
+        """Compute the full result (the operator's init phase)."""
+        return self.collect_state().finalize()
 
 
 class ParallelGAggr:
@@ -82,7 +86,8 @@ class ParallelGAggr:
 
         return task
 
-    def execute(self) -> QueryRows:
+    def collect_state(self) -> AggregationState:
+        """Advance a full :class:`AggregationState` without finalizing."""
         state = AggregationState(self.table.schema, self.group_by, self.aggregates)
         morsels = make_morsels(
             range(self.table.num_buckets), self.parallelism.morsel_buckets
@@ -99,4 +104,7 @@ class ParallelGAggr:
         with self.tracer.span("merge", attrs={"partials": len(partials)}):
             for partial in partials:
                 state.merge(partial)
-        return state.finalize()
+        return state
+
+    def execute(self) -> QueryRows:
+        return self.collect_state().finalize()

@@ -15,7 +15,9 @@ EXPLAIN always shows which execution mode was bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
+from repro.errors import ExecutionError
 from repro.obs.trace import NO_TRACER
 from repro.query.gaggr import GAggr, ParallelGAggr
 from repro.query.iterators import (
@@ -80,13 +82,33 @@ class PlanNode:
 
 @dataclass(frozen=True)
 class PhysicalPlan:
-    """An executable plan: a node tree plus its bound runner."""
+    """An executable plan: a node tree plus its bound runner(s).
+
+    ``state_runner`` is the partial-execution seam: aggregate plans
+    additionally bind their operator's ``collect_state``, which yields
+    the un-finalized :class:`~repro.query.aggregation.AggregationState`
+    shard workers ship to the router for order-preserving merging.
+    Tuple-returning plans leave it None.
+    """
 
     root: PlanNode
     runner: PlanRunner
+    state_runner: "Callable[[], object] | None" = None
 
     def run(self) -> QueryRows:
         return self.runner()
+
+    @property
+    def supports_partial(self) -> bool:
+        return self.state_runner is not None
+
+    def run_state(self):
+        """Run to an un-finalized aggregation state (shard workers)."""
+        if self.state_runner is None:
+            raise ExecutionError(
+                "this plan does not support partial (state) execution"
+            )
+        return self.state_runner()
 
     def render(self) -> str:
         return self.root.render()
@@ -201,6 +223,18 @@ def _traced_runner(
     return traced
 
 
+def _traced_state_runner(state_runner, tracer, name: str, table: Table):
+    """Same single-span wrapping for a serial ``collect_state`` runner."""
+    if not tracer.enabled:
+        return state_runner
+
+    def traced():
+        with tracer.span(name, stats=table.heap.pool.stats):
+            return state_runner()
+
+    return traced
+
+
 # ----------------------------------------------------------------------
 # binding: access path -> operators + node tree
 # ----------------------------------------------------------------------
@@ -249,7 +283,9 @@ def bind_aggregate_plan(
             props=_aggregate_props(logical) + (("sma_set", sma_set.name),),
             children=(_grade_node(partitioning, sma_set), fetch),
         )
-        return PhysicalPlan(root, operator.execute)
+        return PhysicalPlan(
+            root, operator.execute, state_runner=operator.collect_state
+        )
     if strategy == "gaggr":
         if parallel is not None:
             operator = ParallelGAggr(
@@ -290,8 +326,13 @@ def bind_aggregate_plan(
             return PhysicalPlan(
                 root,
                 _traced_runner(operator.execute, tracer, "scan_aggregate", table),
+                state_runner=_traced_state_runner(
+                    operator.collect_state, tracer, "scan_aggregate", table
+                ),
             )
-        return PhysicalPlan(root, operator.execute)
+        return PhysicalPlan(
+            root, operator.execute, state_runner=operator.collect_state
+        )
     raise ValueError(f"unknown aggregate strategy {strategy!r}")
 
 

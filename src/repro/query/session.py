@@ -64,6 +64,19 @@ class QueryResult:
         return "\n".join(lines)
 
 
+@dataclass
+class PartialQueryResult(QueryResult):
+    """One shard's contribution to a scatter-gathered aggregate query.
+
+    ``state`` is the un-finalized
+    :class:`~repro.query.aggregation.AggregationState` the worker built
+    over its bucket range; ``rows`` stays empty — the router merges the
+    per-shard states in shard order and finalizes once.
+    """
+
+    state: object | None = field(default=None)
+
+
 def _sort_rows(
     rows: list[tuple],
     columns: list[str],
@@ -189,6 +202,56 @@ class Session:
             cost=self.disk_model.cost(delta),
             plan=plan.info,
             warm=not cold,
+        )
+
+    def execute_partial(
+        self,
+        query: AggregateQuery,
+        *,
+        mode: str = "auto",
+        sma_set: str | None = None,
+        cold: bool = False,
+    ) -> PartialQueryResult:
+        """Plan and run *query* up to its un-finalized aggregation state.
+
+        The shard-worker entry point: identical to :meth:`execute`
+        (planning inside the measured window, full cost accounting) but
+        stops before ``finalize()`` so the caller can merge this state
+        with other shards' partials order-preservingly.
+        """
+        if not isinstance(query, AggregateQuery):
+            raise PlanningError(
+                "partial execution applies to aggregate queries only"
+            )
+        if cold:
+            self.catalog.go_cold()
+        pool = self.catalog.pool
+        pool.reset_sequence_tracking()
+        window = pool.stats
+        before = window.snapshot()
+        started = time.perf_counter()
+
+        tracer = self.tracer
+        with tracer.span(
+            "execute", attrs={"mode": mode, "partial": True}
+        ) as exec_span:
+            with tracer.span("plan"):
+                plan = self._plan(query, mode=mode, sma_set=sma_set)
+            with tracer.span("run", attrs={"strategy": plan.info.strategy}):
+                state = plan.physical.run_state()
+            exec_span.annotate(strategy=plan.info.strategy)
+
+        wall = time.perf_counter() - started
+        delta = window.snapshot() - before
+        return PartialQueryResult(
+            columns=list(query.output_columns),
+            rows=[],
+            stats=delta,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(delta),
+            plan=plan.info,
+            warm=not cold,
+            state=state,
         )
 
     def _plan(

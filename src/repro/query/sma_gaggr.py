@@ -95,18 +95,25 @@ class SmaGAggr:
             self._partitioning = self.sma_set.partition(self.predicate)
         return self._partitioning
 
-    def execute(self) -> QueryRows:
-        """Compute the full result (the operator's init phase)."""
+    def collect_state(self) -> AggregationState:
+        """Advance a full :class:`AggregationState` without finalizing.
+
+        Contributions advance in strict bucket order — bucket ``b``'s
+        SMA entries (qualifying) or filtered tuples (ambivalent) land
+        before anything of bucket ``b+1``.  That makes the per-group
+        contribution sequence a pure function of the bucket range, so
+        any contiguous split of the range (morsels here, shard workers
+        in :mod:`repro.shard`) merges back byte-identically.
+        """
         tracer = self.tracer
         state = AggregationState(self.table.schema, self.group_by, self.aggregates)
         partitioning = self.partitioning
-        qualifying = partitioning.qualifying
         stats = self.table.heap.pool.stats
 
-        # Phase: advance result aggregates from the aggregate SMAs for
-        # every qualifying bucket.  Each SMA-file is read exactly once.
-        # The span also covers the disqualifying-skip charge, so the
-        # operator's io-carrying spans jointly cover its whole window.
+        # Phase: read every aggregate SMA-file exactly once into the
+        # per-bucket advancement table.  The span also covers the
+        # disqualifying-skip charge, so the operator's io-carrying spans
+        # jointly cover its whole window.
         with tracer.span(
             "sma_rollup",
             stats=stats,
@@ -115,23 +122,36 @@ class SmaGAggr:
                 "disqualifying": partitioning.num_disqualifying,
             },
         ):
-            if qualifying.any():
-                self._advance_from_smas(state, qualifying)
+            entries = (
+                self._load_sma_entries()
+                if partitioning.qualifying.any()
+                else _SmaEntries([], [])
+            )
             stats.buckets_skipped += partitioning.num_disqualifying
 
-        # Phase: ambivalent buckets — fetch, filter, group, advance.
-        # Only these morsels cost heap I/O (qualifying buckets were fully
-        # answered from SMA-files above), so this is the part worth
-        # parallelizing; with parallelism enabled, workers fold disjoint
-        # morsels into partial states merged in morsel order.
+        # Phase: walk buckets in physical order — qualifying buckets
+        # advance from the SMA entries, ambivalent buckets are fetched,
+        # filtered and consumed.  Only ambivalent buckets cost heap I/O,
+        # so with parallelism enabled the bucket range splits into
+        # contiguous sub-ranges balanced by ambivalent-bucket count;
+        # partials merge in range order.
         ambivalent = [int(b) for b in np.flatnonzero(partitioning.ambivalent)]
         if (
             self.parallelism is not None
             and self.parallelism.enabled
             and len(ambivalent) > 1
         ):
-            morsels = make_morsels(ambivalent, self.parallelism.morsel_buckets)
-            tasks = [self._morsel_task(morsel) for morsel in morsels]
+            chunks = make_morsels(ambivalent, self.parallelism.morsel_buckets)
+            ranges: list[tuple[int, int]] = []
+            start = 0
+            for chunk in chunks:
+                ranges.append((start, chunk[-1] + 1))
+                start = chunk[-1] + 1
+            if start < self.table.num_buckets:
+                ranges.append((start, self.table.num_buckets))
+            tasks = [
+                self._range_task(lo, hi, entries) for lo, hi in ranges
+            ]
             pool = self.table.heap.pool
             partials = run_morsels(
                 pool,
@@ -149,35 +169,50 @@ class SmaGAggr:
                 stats=stats,
                 attrs={"buckets": len(ambivalent), "mode": "serial"},
             ):
-                for bucket_no in ambivalent:
-                    records = self.table.read_bucket(bucket_no)
-                    stats.buckets_fetched += 1
-                    stats.tuples_scanned += len(records)
-                    mask = self.predicate.evaluate(records)
-                    state.consume_batch(records[mask])
+                self._advance_range(state, 0, self.table.num_buckets, entries)
 
-        # Phase: post-processing (averages) happens inside finalize().
-        return state.finalize()
+        return state
 
-    def _morsel_task(self, morsel: list[int]):
+    def execute(self) -> QueryRows:
+        """Compute the full result (the operator's init phase).
+
+        Post-processing (averages) happens inside ``finalize()``.
+        """
+        return self.collect_state().finalize()
+
+    def _range_task(self, lo: int, hi: int, entries: "_SmaEntries"):
         def task() -> AggregationState:
-            stats = self.table.heap.pool.stats  # worker's child window
             partial = AggregationState(
                 self.table.schema, self.group_by, self.aggregates
             )
-            for bucket_no in morsel:
-                records = self.table.read_bucket(bucket_no)
-                stats.buckets_fetched += 1
-                stats.tuples_scanned += len(records)
-                mask = self.predicate.evaluate(records)
-                partial.consume_batch(records[mask])
+            self._advance_range(partial, lo, hi, entries)
             return partial
 
         return task
 
-    def _advance_from_smas(
-        self, state: AggregationState, qualifying: np.ndarray
+    def _advance_range(
+        self,
+        state: AggregationState,
+        lo: int,
+        hi: int,
+        entries: "_SmaEntries",
     ) -> None:
+        """Advance *state* over buckets ``[lo, hi)`` in bucket order."""
+        stats = self.table.heap.pool.stats  # caller's (or worker's) window
+        qualifying = self.partitioning.qualifying
+        ambivalent = self.partitioning.ambivalent
+        for bucket_no in range(lo, hi):
+            if qualifying[bucket_no]:
+                entries.advance(state, bucket_no)
+            elif ambivalent[bucket_no]:
+                records = self.table.read_bucket(bucket_no)
+                stats.buckets_fetched += 1
+                stats.tuples_scanned += len(records)
+                mask = self.predicate.evaluate(records)
+                state.consume_batch(records[mask])
+
+    def _load_sma_entries(self) -> "_SmaEntries":
+        """Read every needed SMA-file once into per-bucket value arrays."""
         value_cache: dict[int, np.ndarray] = {}
         valid_cache: dict[int, np.ndarray | None] = {}
 
@@ -190,17 +225,18 @@ class SmaGAggr:
         found = self.sma_set.rollup_aggregate_files(count_star(), self.group_by)
         assert found is not None  # guaranteed by sma_covers
         count_files, projection = found
+        counts = []
         for key, sma in count_files.items():
-            counts, _ = read(sma)
-            state.advance_count(
-                self.sma_set.project_group_key(key, projection),
-                int(counts[qualifying].sum()),
+            values, _ = read(sma)
+            counts.append(
+                (self.sma_set.project_group_key(key, projection), values)
             )
 
+        aggs = []
         for index, aggregate in enumerate(self.aggregates):
             spec = aggregate.spec
             if spec.kind is AggregateKind.COUNT:
-                continue  # served by the shared per-group count above
+                continue  # served by the shared per-group count
             lookup = spec
             if spec.kind is AggregateKind.AVG:
                 lookup = AggregateSpec(AggregateKind.SUM, spec.argument)
@@ -209,14 +245,40 @@ class SmaGAggr:
             files, projection = found
             for key, sma in files.items():
                 values, valid = read(sma)
-                selected = qualifying if valid is None else (qualifying & valid)
-                if not selected.any():
-                    continue
-                chosen = values[selected]
                 coarse = self.sma_set.project_group_key(key, projection)
-                if lookup.kind is AggregateKind.SUM:
-                    state.advance_sum(coarse, index, chosen.sum())
-                elif lookup.kind is AggregateKind.MIN:
-                    state.advance_min(coarse, index, chosen.min())
-                elif lookup.kind is AggregateKind.MAX:
-                    state.advance_max(coarse, index, chosen.max())
+                aggs.append((index, lookup.kind, coarse, values, valid))
+        return _SmaEntries(counts, aggs)
+
+
+class _SmaEntries:
+    """Per-bucket advancement table for qualifying buckets.
+
+    ``counts`` holds ``(group_key, per-bucket counts)`` pairs; ``aggs``
+    holds ``(output index, kind, group_key, values, valid)`` tuples.
+    :meth:`advance` applies one bucket's entries — per-bucket
+    granularity keeps contributions bit-identical to a heap scan of the
+    same (fully qualifying) bucket, whatever strategy other shards or
+    morsels pick.
+    """
+
+    __slots__ = ("counts", "aggs")
+
+    def __init__(self, counts: list, aggs: list):
+        self.counts = counts
+        self.aggs = aggs
+
+    def advance(self, state: AggregationState, bucket_no: int) -> None:
+        for key, counts in self.counts:
+            count = counts[bucket_no]
+            if count:
+                state.advance_count(key, int(count))
+        for index, kind, key, values, valid in self.aggs:
+            if valid is not None and not valid[bucket_no]:
+                continue
+            value = values[bucket_no]
+            if kind is AggregateKind.SUM:
+                state.advance_sum(key, index, value)
+            elif kind is AggregateKind.MIN:
+                state.advance_min(key, index, value)
+            elif kind is AggregateKind.MAX:
+                state.advance_max(key, index, value)

@@ -65,6 +65,9 @@ class QueryJob:
     #: per-query root span (created at submit, finished by the worker) —
     #: None when tracing is disabled
     trace: Span | None = None
+    #: stop aggregate queries before finalize and return the raw
+    #: :class:`~repro.query.session.PartialQueryResult` (shard workers)
+    partial: bool = False
 
 
 class QueryService:
@@ -219,11 +222,15 @@ class QueryService:
         sma_set: str | None = None,
         timeout_s: float | None = None,
         kind: str | None = None,
+        partial: bool = False,
     ) -> QueryTicket:
         """Admit one query; returns its ticket or raises
         :class:`~repro.errors.ServerOverloadedError` when the queue is full.
 
         *query* is a logical query object or a SQL SELECT string.
+        ``partial=True`` runs aggregate queries only up to their
+        un-finalized aggregation state (the shard-worker execution
+        path); scan queries execute normally.
         """
         if kind is None:
             kind = (
@@ -238,7 +245,12 @@ class QueryService:
             trace = self.tracer.begin("query", root=True)
             trace.annotate(kind=kind, mode=mode, query=str(query))
         job = QueryJob(
-            query=query, mode=mode, sma_set=sma_set, kind=kind, trace=trace
+            query=query,
+            mode=mode,
+            sma_set=sma_set,
+            kind=kind,
+            trace=trace,
+            partial=partial,
         )
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         try:
@@ -353,13 +365,22 @@ class QueryService:
                     cancel_event=ticket.cancel_event,
                     deadline=ticket.deadline,
                 ):
-                    if isinstance(job.query, str):
+                    query = job.query
+                    if job.partial and isinstance(query, str):
+                        from repro.sql.parser import parse_statement
+
+                        query = parse_statement(query)
+                    if job.partial and isinstance(query, AggregateQuery):
+                        result = session.execute_partial(
+                            query, mode=job.mode, sma_set=job.sma_set
+                        )
+                    elif isinstance(query, str):
                         result = session.sql(
-                            job.query, mode=job.mode, sma_set=job.sma_set
+                            query, mode=job.mode, sma_set=job.sma_set
                         )
                     else:
                         result = session.execute(
-                            job.query, mode=job.mode, sma_set=job.sma_set
+                            query, mode=job.mode, sma_set=job.sma_set
                         )
         except QueryTimeoutError:
             outcome = "timed_out"

@@ -1,0 +1,29 @@
+"""Sharded scatter-gather serving tier.
+
+A single-node catalog is split at ``repro shard-init`` time into N shard
+catalogs, each owning a contiguous bucket range of every table plus the
+matching slices of every SMA-file (:mod:`repro.shard.partitioner`).
+Shard workers (:mod:`repro.shard.worker`) are separate processes, each
+with its own buffer pool and query service, speaking a length-prefixed
+JSON protocol (:mod:`repro.shard.protocol`) over local sockets.  The
+router (:mod:`repro.shard.router`) admits queries, scatters per-shard
+subplans concurrently, gathers the un-finalized
+:class:`~repro.query.aggregation.AggregationState` partials and merges
+them in shard (= bucket range) order — which, by the engine's
+contribution-order invariant, makes scatter-gathered results
+byte-identical to single-node execution.
+"""
+
+from repro.shard.manifest import ShardManifest
+from repro.shard.partitioner import shard_init
+from repro.shard.router import ShardClient, ShardRouter, launch_local_shards
+from repro.shard.worker import ShardWorker
+
+__all__ = [
+    "ShardClient",
+    "ShardManifest",
+    "ShardRouter",
+    "ShardWorker",
+    "launch_local_shards",
+    "shard_init",
+]

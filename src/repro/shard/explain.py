@@ -1,0 +1,69 @@
+"""EXPLAIN for sharded roots: routing + per-shard plan choice.
+
+``repro explain --db <sharded-root>`` renders which shards a query
+scatters to, which bucket range of the source table each one owns, and
+the access path each shard's own planner picks for its slice — shards
+plan independently, so a selective predicate can be ``sma_gaggr`` on one
+shard and the heap scan on another.
+
+Planning happens in-process (each shard catalog opens read-only for the
+duration); no workers need to be running to EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.session import Session
+from repro.shard.manifest import ShardManifest
+from repro.storage.catalog import Catalog
+
+
+def render_routing(
+    root: str,
+    query: AggregateQuery | ScanQuery,
+    *,
+    mode: str = "auto",
+    sma_set: str | None = None,
+    scan_workers: int = 1,
+    buffer_pages: int = 2048,
+) -> str:
+    """Render the routing section plus per-shard strategies for *query*."""
+    manifest = ShardManifest.load(root)
+    table = query.table
+    spans = [
+        manifest.bucket_range(table, shard_id)
+        for shard_id in range(manifest.num_shards)
+    ]
+    total_buckets = max((hi for _lo, hi in spans), default=0)
+    lines = [
+        f"Routing: scatter_gather across {manifest.num_shards} shards",
+        f"  table={table} buckets={total_buckets} "
+        f"partitioning=contiguous-bucket-ranges",
+    ]
+    for shard_id in range(manifest.num_shards):
+        lo, hi = spans[shard_id]
+        rel = manifest.shard_dirs[shard_id]
+        if hi <= lo:
+            lines.append(
+                f"  shard {shard_id} ({rel}): buckets [{lo}, {hi}) -> empty"
+            )
+            continue
+        with Catalog.discover(
+            manifest.shard_path(root, shard_id), buffer_pages=buffer_pages
+        ) as catalog:
+            session = Session(catalog, scan_workers=scan_workers)
+            explanation = session.explain(query, mode=mode, sma_set=sma_set)
+        lines.append(
+            f"  shard {shard_id} ({rel}): buckets [{lo}, {hi}) -> "
+            f"{explanation.strategy}"
+        )
+    gather = (
+        "merge partial aggregation states in shard order (order-preserving)"
+        if isinstance(query, AggregateQuery)
+        else "concatenate shard rows in shard order"
+    )
+    lines.append(f"Gather: {gather}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_routing"]

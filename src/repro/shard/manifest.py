@@ -1,0 +1,88 @@
+"""The shard manifest: how one catalog was split across N shards.
+
+``repro shard-init`` writes ``shards.json`` at the sharded root; the
+router, the EXPLAIN routing section and ``repro serve --shards`` all
+read it back.  Presence of the file is what marks a directory as a
+sharded root rather than a plain catalog.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ShardError
+
+MANIFEST_FILE = "shards.json"
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Partitioning record for one sharded root directory.
+
+    ``tables`` maps each table name to its per-shard contiguous bucket
+    ranges as ``(lo, hi)`` half-open intervals over the *source* table's
+    bucket numbering; concatenated in shard order they cover
+    ``[0, num_buckets)`` exactly.  Ranges may be empty when there are
+    more shards than buckets.
+    """
+
+    num_shards: int
+    shard_dirs: tuple[str, ...]  # relative to the sharded root
+    tables: dict[str, tuple[tuple[int, int], ...]] = field(default_factory=dict)
+    source: str = ""
+
+    def shard_path(self, root: str, shard_id: int) -> str:
+        return os.path.join(root, self.shard_dirs[shard_id])
+
+    def bucket_range(self, table: str, shard_id: int) -> tuple[int, int]:
+        try:
+            return self.tables[table][shard_id]
+        except KeyError:
+            raise ShardError(
+                f"table {table!r} not in shard manifest; have "
+                f"{sorted(self.tables)}"
+            ) from None
+
+    def save(self, root: str) -> str:
+        path = os.path.join(root, MANIFEST_FILE)
+        payload = {
+            "num_shards": self.num_shards,
+            "shard_dirs": list(self.shard_dirs),
+            "tables": {
+                name: [list(span) for span in spans]
+                for name, spans in self.tables.items()
+            },
+            "source": self.source,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        return path
+
+    @classmethod
+    def load(cls, root: str) -> "ShardManifest":
+        path = os.path.join(root, MANIFEST_FILE)
+        if not os.path.exists(path):
+            raise ShardError(
+                f"{root} is not a sharded root (no {MANIFEST_FILE}); "
+                f"run `repro shard-init` first"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(
+            num_shards=int(payload["num_shards"]),
+            shard_dirs=tuple(payload["shard_dirs"]),
+            tables={
+                name: tuple((int(lo), int(hi)) for lo, hi in spans)
+                for name, spans in payload["tables"].items()
+            },
+            source=payload.get("source", ""),
+        )
+
+    @staticmethod
+    def exists(root: str) -> bool:
+        return os.path.exists(os.path.join(root, MANIFEST_FILE))
+
+
+__all__ = ["MANIFEST_FILE", "ShardManifest"]

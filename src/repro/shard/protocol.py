@@ -1,0 +1,80 @@
+"""Length-prefixed JSON framing for the router <-> worker wire.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  JSON (not a binary format) keeps the wire
+debuggable and dependency-free; framing makes message boundaries exact
+so a reader never has to guess where one JSON document ends.
+
+Float fidelity matters here: ``json.dumps`` emits ``repr(float)``
+(shortest round-tripping form) and ``json.loads`` parses it back to the
+bit-identical double, so per-shard aggregation partials survive the wire
+without perturbing the byte-identical merge guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import ShardProtocolError
+
+#: Frame header: unsigned 32-bit big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+#: Hard cap on one frame's payload (64 MiB) — a corrupt header must not
+#: make the reader try to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def send_message(sock: socket.socket, obj: object) -> None:
+    """Encode *obj* as one framed JSON message and send it fully."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ShardProtocolError(
+            f"refusing to send {len(payload)}-byte frame "
+            f"(cap {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly *size* bytes.
+
+    Returns None on a clean EOF at a message boundary (the peer closed
+    between frames); raises :class:`ShardProtocolError` on EOF
+    mid-message (a truncated frame).
+    """
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and not chunks:
+                return None
+            raise ShardProtocolError(
+                f"connection closed mid-frame ({size - remaining}/{size} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> object | None:
+    """Receive one framed JSON message; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ShardProtocolError(
+            f"frame header announces {length} bytes (cap {MAX_FRAME_BYTES})"
+        )
+    payload = _recv_exact(sock, length, at_boundary=False)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ShardProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+__all__ = ["MAX_FRAME_BYTES", "recv_message", "send_message"]

@@ -1,0 +1,717 @@
+"""Scatter-gather router over a fleet of shard workers.
+
+:class:`ShardRouter` fronts N shard workers with the exact service shape
+:class:`~repro.server.service.QueryService` exposes — ``submit`` with
+admission control, tickets, a metrics registry — so workload drivers and
+the serve CLI run unchanged against it.  Each admitted query is
+scattered to every shard concurrently; the gathered per-shard partials
+merge **in shard order**, which (shards own contiguous bucket ranges in
+that same order) reconstructs the single-node contribution order exactly
+and finalizes to byte-identical results.
+
+Failure policy: a scatter-gathered relation is all-or-nothing.  If any
+shard cannot answer — even after
+:class:`~repro.storage.faults.RetryPolicy` connection retries — the
+whole query fails with a typed error instead of silently returning the
+surviving shards' partial relation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import repro.errors as errors_module
+from repro.errors import (
+    PlanningError,
+    ReproError,
+    ServerOverloadedError,
+    ShardError,
+    ShardProtocolError,
+    ShardUnavailableError,
+)
+from repro.lang.serde import query_to_json
+from repro.obs.events import EventLog
+from repro.query.planner import PlanInfo
+from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.session import QueryResult, _sort_rows
+from repro.server.executor import QueryExecutor, QueryTicket, TicketState
+from repro.server.metrics import LatencyRecorder, MetricsRegistry
+from repro.shard.manifest import ShardManifest
+from repro.shard.protocol import recv_message, send_message
+from repro.shard.state_serde import rows_from_wire, state_from_wire, stats_from_wire
+from repro.storage.disk import PAPER_DISK, DiskModel
+from repro.storage.faults import RetryPolicy
+
+
+def _map_remote_error(info: dict, shard_id: int) -> ReproError:
+    """Rebuild a worker-side error as the matching typed exception."""
+    type_name = info.get("type", "ShardError")
+    message = f"shard {shard_id}: {info.get('message', 'unknown error')}"
+    cls = getattr(errors_module, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except TypeError:  # pragma: no cover - odd constructor signature
+            pass
+    return ShardError(message)
+
+
+@dataclass(frozen=True)
+class ShardEndpoint:
+    shard_id: int
+    host: str
+    port: int
+
+
+class ShardClient:
+    """Pooled framed-JSON client for one shard worker.
+
+    Connections are pooled per client; each in-flight request checks one
+    out (so concurrent subqueries to the same shard use separate
+    sockets).  Connection-level failures — refused connects, resets,
+    torn frames — retry under the shard *retry policy*: served queries
+    are read-only, so a replay is always safe.  Application-level errors
+    from the worker are typed and raise immediately, no retry.
+    """
+
+    def __init__(
+        self,
+        endpoint: ShardEndpoint,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        connect_timeout_s: float = 5.0,
+    ):
+        self.endpoint = endpoint
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.connect_timeout_s = connect_timeout_s
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def shard_id(self) -> int:
+        return self.endpoint.shard_id
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.endpoint.host, self.endpoint.port),
+            timeout=self.connect_timeout_s,
+        )
+        sock.settimeout(None)  # request latency is bounded worker-side
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ShardError(
+                    f"client for shard {self.shard_id} is closed"
+                )
+            if self._idle:
+                return self._idle.pop()
+        return self._connect()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    def request(self, payload: dict) -> dict:
+        """One request/reply round trip with bounded connection retries."""
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            sock: socket.socket | None = None
+            try:
+                sock = self._checkout()
+                send_message(sock, payload)
+                reply = recv_message(sock)
+                if reply is None:
+                    raise ShardProtocolError(
+                        f"shard {self.shard_id} closed the connection "
+                        f"before replying"
+                    )
+            except (OSError, ShardProtocolError) as exc:
+                if sock is not None:
+                    sock.close()
+                if attempt >= policy.max_attempts:
+                    raise ShardUnavailableError(
+                        f"shard {self.shard_id} unreachable after "
+                        f"{attempt} attempts: {exc}",
+                        shard_id=self.shard_id,
+                    ) from exc
+                time.sleep(policy.backoff_s(attempt))
+                attempt += 1
+                continue
+            self._checkin(sock)
+            if not isinstance(reply, dict):
+                raise ShardProtocolError(
+                    f"shard {self.shard_id} sent a non-object reply"
+                )
+            if not reply.get("ok", False):
+                raise _map_remote_error(
+                    reply.get("error", {}), self.shard_id
+                )
+            return reply
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            sock.close()
+
+
+class ShardScoreboard:
+    """Per-shard liveness/latency plus router fan-out counters."""
+
+    def __init__(self, num_shards: int):
+        self._lock = threading.Lock()
+        self._up = [True] * num_shards
+        self._requests = [0] * num_shards
+        self._failures = [0] * num_shards
+        self._latency = [LatencyRecorder() for _ in range(num_shards)]
+        self.scatter_queries = 0
+        self.subqueries_sent = 0
+        self.gather_merges = 0
+
+    def record_scatter(self, fan_out: int) -> None:
+        with self._lock:
+            self.scatter_queries += 1
+            self.subqueries_sent += fan_out
+
+    def record_shard_success(self, shard_id: int, latency_s: float) -> None:
+        with self._lock:
+            self._requests[shard_id] += 1
+            self._latency[shard_id].record(latency_s)
+            self._up[shard_id] = True
+
+    def record_shard_failure(self, shard_id: int, *, unavailable: bool) -> None:
+        with self._lock:
+            self._requests[shard_id] += 1
+            self._failures[shard_id] += 1
+            if unavailable:
+                self._up[shard_id] = False
+
+    def record_merge(self) -> None:
+        with self._lock:
+            self.gather_merges += 1
+
+    def mark_up(self, shard_id: int, up: bool) -> None:
+        with self._lock:
+            self._up[shard_id] = up
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "fanout": {
+                    "scatter_queries": self.scatter_queries,
+                    "subqueries_sent": self.subqueries_sent,
+                    "gather_merges": self.gather_merges,
+                },
+                "shards": {
+                    str(i): {
+                        "up": self._up[i],
+                        "requests": self._requests[i],
+                        "failures": self._failures[i],
+                        "latency_s": self._latency[i].as_dict(),
+                    }
+                    for i in range(len(self._up))
+                },
+            }
+
+
+@dataclass(frozen=True)
+class _RouterJob:
+    query: AggregateQuery | ScanQuery
+    mode: str = "auto"
+    sma_set: str | None = None
+    kind: str = "query"
+
+
+class ShardRouter:
+    """Admission-controlled scatter-gather execution over shard workers.
+
+    Duck-typed to :class:`~repro.server.service.QueryService`:
+    ``submit``/``execute`` with the same signatures, ``.metrics``,
+    ``observed_snapshot()`` — so
+    :class:`~repro.server.workload.WorkloadDriver` and the metrics
+    endpoint work unchanged on a sharded deployment.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[ShardEndpoint],
+        *,
+        manifest: ShardManifest | None = None,
+        workers: int = 4,
+        queue_depth: int = 32,
+        default_timeout_s: float | None = None,
+        disk_model: DiskModel = PAPER_DISK,
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
+        if not endpoints:
+            raise ShardError("a router needs at least one shard endpoint")
+        self.manifest = manifest
+        self.disk_model = disk_model
+        self.default_timeout_s = default_timeout_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
+        self.clients = [
+            ShardClient(endpoint, retry_policy=retry_policy)
+            for endpoint in sorted(endpoints, key=lambda e: e.shard_id)
+        ]
+        self.scoreboard = ShardScoreboard(len(self.clients))
+        self._executor = QueryExecutor(
+            self._run_job,
+            workers=workers,
+            queue_depth=queue_depth,
+            skipped_fn=self._record_skipped,
+            name="repro-router",
+        )
+        # Sized so every router worker can scatter to every shard at
+        # once — a full fan-out never waits on another query's fan-out.
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=max(1, workers * len(self.clients)),
+            thread_name_prefix="repro-scatter",
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.clients)
+
+    @property
+    def workers(self) -> int:
+        return self._executor.workers
+
+    @property
+    def queue_depth(self) -> int:
+        return self._executor.queue_depth
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardRouter":
+        self._executor.start()
+        if self.events is not None:
+            self.events.emit(
+                "router_start",
+                shards=self.num_shards,
+                workers=self.workers,
+                queue_depth=self.queue_depth,
+            )
+        return self
+
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        self._executor.shutdown(wait=wait, cancel_pending=cancel_pending)
+        self._scatter_pool.shutdown(wait=False)
+        for client in self.clients:
+            client.close()
+        if self.events is not None:
+            self.events.emit(
+                "router_stop", queries=self.metrics.snapshot()["queries"]
+            )
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True, cancel_pending=True)
+
+    # ------------------------------------------------------------------
+    # health & observability
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Ping every shard; marks the scoreboard and returns the map."""
+        out: dict = {}
+        for client in self.clients:
+            try:
+                reply = client.ping()
+                self.scoreboard.mark_up(client.shard_id, True)
+                out[client.shard_id] = {
+                    "up": True,
+                    "tables": reply.get("tables", {}),
+                }
+            except ReproError as exc:
+                self.scoreboard.mark_up(client.shard_id, False)
+                out[client.shard_id] = {"up": False, "error": str(exc)}
+        return out
+
+    def observed_snapshot(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["shard"] = self.scoreboard.snapshot()
+        if self.events is not None:
+            snapshot["events"] = self.events.stats()
+        return snapshot
+
+    def shard_metrics(self) -> dict[int, dict]:
+        """Each live shard's own service snapshot (best-effort)."""
+        out: dict[int, dict] = {}
+        for client in self.clients:
+            try:
+                out[client.shard_id] = client.request({"op": "metrics"})[
+                    "metrics"
+                ]
+            except ReproError:
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    # submission (QueryService-shaped)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: AggregateQuery | ScanQuery | str,
+        *,
+        mode: str = "auto",
+        sma_set: str | None = None,
+        timeout_s: float | None = None,
+        kind: str | None = None,
+    ) -> QueryTicket:
+        if isinstance(query, str):
+            from repro.query.query import ExplainQuery
+            from repro.sql.parser import parse_statement
+
+            statement = parse_statement(query)
+            if isinstance(statement, ExplainQuery):
+                raise PlanningError(
+                    "EXPLAIN is served by `repro explain`, not the router"
+                )
+            if not isinstance(statement, (AggregateQuery, ScanQuery)):
+                raise PlanningError(
+                    "the shard router serves SELECT statements only"
+                )
+            query = statement
+        if kind is None:
+            kind = "aggregate" if isinstance(query, AggregateQuery) else "scan"
+        job = _RouterJob(query=query, mode=mode, sma_set=sma_set, kind=kind)
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        try:
+            ticket = self._executor.submit(job, timeout_s=timeout)
+        except ServerOverloadedError:
+            self.metrics.record_rejected()
+            if self.events is not None:
+                self.events.emit(
+                    "query_rejected", kind=kind, query=str(query)
+                )
+            raise
+        self.metrics.record_submitted()
+        if self.events is not None:
+            self.events.emit(
+                "query_start", ticket=ticket.id, kind=kind, query=str(query)
+            )
+        return ticket
+
+    def execute(
+        self,
+        query: AggregateQuery | ScanQuery | str,
+        *,
+        mode: str = "auto",
+        sma_set: str | None = None,
+        timeout_s: float | None = None,
+        kind: str | None = None,
+    ) -> QueryResult:
+        return self.submit(
+            query, mode=mode, sma_set=sma_set, timeout_s=timeout_s, kind=kind
+        ).result()
+
+    # ------------------------------------------------------------------
+    # scatter / gather
+    # ------------------------------------------------------------------
+
+    def _subquery(self, client: ShardClient, request: dict) -> tuple[dict, float]:
+        started = time.perf_counter()
+        try:
+            reply = client.request(request)
+        except ReproError as exc:
+            self.scoreboard.record_shard_failure(
+                client.shard_id,
+                unavailable=isinstance(exc, ShardUnavailableError),
+            )
+            if self.events is not None:
+                self.events.emit(
+                    "shard_error",
+                    shard_id=client.shard_id,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+            raise
+        elapsed = time.perf_counter() - started
+        self.scoreboard.record_shard_success(client.shard_id, elapsed)
+        return reply, elapsed
+
+    def _run_job(self, ticket: QueryTicket) -> QueryResult:
+        job: _RouterJob = ticket.payload
+        wait = ticket.queue_wait_s
+        if wait is not None:
+            self.metrics.record_queue_wait(wait)
+        remaining = None
+        if ticket.deadline is not None:
+            remaining = max(0.001, ticket.deadline - time.monotonic())
+        request = {
+            "op": "execute",
+            "query": query_to_json(job.query),
+            "mode": job.mode,
+            "sma_set": job.sma_set,
+            "kind": job.kind,
+            "timeout_s": remaining,
+        }
+        started = time.perf_counter()
+        self.scoreboard.record_scatter(self.num_shards)
+        futures = [
+            self._scatter_pool.submit(self._subquery, client, request)
+            for client in self.clients
+        ]
+        replies: list[dict] = []
+        first_error: BaseException | None = None
+        for future in futures:  # gather in shard order
+            try:
+                reply, _elapsed = future.result()
+                replies.append(reply["result"])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        try:
+            if first_error is not None:
+                # Partial-result refusal: one failed shard fails the query.
+                raise first_error
+            result = self._gather(job, replies, started)
+        except ReproError:
+            self.metrics.record_failure(job.kind)
+            raise
+        self.metrics.record_success(
+            job.kind,
+            result.wall_seconds,
+            result.stats,
+            strategy=result.plan.strategy,
+        )
+        if self.events is not None:
+            self.events.emit(
+                "query_finish",
+                ticket=ticket.id,
+                kind=job.kind,
+                outcome="completed",
+                latency_s=result.wall_seconds,
+                simulated_s=result.simulated_seconds,
+                strategy=result.plan.strategy,
+                io=result.stats.as_dict(),
+            )
+        return result
+
+    def _gather(
+        self, job: _RouterJob, replies: list[dict], started: float
+    ) -> QueryResult:
+        """Merge per-shard partials (already in shard order) into one result."""
+        query = job.query
+        stats = stats_from_wire(replies[0]["stats"])
+        for reply in replies[1:]:
+            stats.merge(stats_from_wire(reply["stats"]))
+        per_shard = [reply["strategy"] for reply in replies]
+        columns = list(replies[0]["columns"])
+        if isinstance(query, AggregateQuery):
+            merged = state_from_wire(replies[0]["state"])
+            for reply in replies[1:]:
+                merged.merge(state_from_wire(reply["state"]))
+            self.scoreboard.record_merge()
+            columns, rows = merged.finalize()
+            rows = _sort_rows(rows, columns, query.order_by, query.order_desc)
+        else:
+            rows = []
+            for reply in replies:
+                rows.extend(rows_from_wire(reply["rows"]))
+        wall = time.perf_counter() - started
+        info = PlanInfo(
+            strategy=f"scatter_gather[{'|'.join(per_shard)}]",
+            reason=(
+                f"scattered to {self.num_shards} shards; merged partials "
+                f"in shard (bucket-range) order"
+            ),
+            table=query.table,
+        )
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            stats=stats,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(stats),
+            plan=info,
+            warm=all(reply.get("warm", True) for reply in replies),
+        )
+
+    def _record_skipped(self, ticket: QueryTicket) -> None:
+        job: _RouterJob = ticket.payload
+        if ticket.state is TicketState.TIMED_OUT:
+            self.metrics.record_timeout(job.kind)
+        else:
+            self.metrics.record_cancelled(job.kind)
+
+
+# ----------------------------------------------------------------------
+# local subprocess fleet
+# ----------------------------------------------------------------------
+
+_LISTEN_RE = re.compile(
+    r"shard-worker (\d+) listening on ([\w.\-]+):(\d+)"
+)
+
+
+@dataclass
+class ShardProcess:
+    """Handle on one launched worker subprocess."""
+
+    shard_id: int
+    process: subprocess.Popen
+    endpoint: ShardEndpoint
+    _drain: threading.Thread | None = field(default=None, repr=False)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                self.process.kill()
+                self.process.wait()
+
+
+def _await_listen_line(
+    process: subprocess.Popen, shard_id: int, timeout_s: float
+) -> ShardEndpoint:
+    deadline = time.monotonic() + timeout_s
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise ShardError(
+                f"shard worker {shard_id} exited before listening "
+                f"(rc={process.poll()})"
+            )
+        match = _LISTEN_RE.search(line)
+        if match:
+            return ShardEndpoint(
+                shard_id=int(match.group(1)),
+                host=match.group(2),
+                port=int(match.group(3)),
+            )
+    raise ShardError(
+        f"shard worker {shard_id} did not report its port within {timeout_s}s"
+    )
+
+
+def _drain_output(process: subprocess.Popen) -> threading.Thread:
+    """Keep consuming the child's output so its pipe never fills up."""
+
+    def drain() -> None:
+        assert process.stdout is not None
+        for _line in process.stdout:
+            pass
+
+    thread = threading.Thread(target=drain, daemon=True)
+    thread.start()
+    return thread
+
+
+def launch_local_shards(
+    root: str,
+    *,
+    manifest: ShardManifest | None = None,
+    workers: int = 2,
+    scan_workers: int = 1,
+    queue_depth: int = 32,
+    buffer_pages: int = 2048,
+    events_dir: str | None = None,
+    faults: str | None = None,
+    fault_seed: int = 0,
+    startup_timeout_s: float = 30.0,
+) -> list[ShardProcess]:
+    """Spawn one worker subprocess per shard of the sharded root.
+
+    Each worker binds an ephemeral port and announces it on stdout; this
+    returns once every worker is reachable.  Callers own the processes —
+    ``stop()`` each (or use :func:`stop_local_shards`).
+    """
+    manifest = manifest or ShardManifest.load(root)
+    import repro as _repro_pkg
+
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(_repro_pkg.__file__)))
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    processes: list[ShardProcess] = []
+    try:
+        for shard_id in range(manifest.num_shards):
+            argv = [
+                sys.executable,
+                "-m",
+                "repro",
+                "shard-worker",
+                "--db", manifest.shard_path(root, shard_id),
+                "--shard-id", str(shard_id),
+                "--port", "0",
+                "--workers", str(workers),
+                "--scan-workers", str(scan_workers),
+                "--queue", str(queue_depth),
+                "--buffer-pages", str(buffer_pages),
+            ]
+            if events_dir is not None:
+                os.makedirs(events_dir, exist_ok=True)
+                argv += [
+                    "--events",
+                    os.path.join(events_dir, f"shard-{shard_id}.jsonl"),
+                ]
+            if faults is not None:
+                argv += ["--faults", faults, "--fault-seed", str(fault_seed)]
+            process = subprocess.Popen(
+                argv,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            endpoint = _await_listen_line(process, shard_id, startup_timeout_s)
+            drain = _drain_output(process)
+            processes.append(
+                ShardProcess(
+                    shard_id=shard_id,
+                    process=process,
+                    endpoint=endpoint,
+                    _drain=drain,
+                )
+            )
+    except BaseException:
+        stop_local_shards(processes)
+        raise
+    return processes
+
+
+def stop_local_shards(processes: list[ShardProcess]) -> None:
+    for handle in processes:
+        handle.stop()
+
+
+__all__ = [
+    "ShardClient",
+    "ShardEndpoint",
+    "ShardProcess",
+    "ShardRouter",
+    "ShardScoreboard",
+    "launch_local_shards",
+    "stop_local_shards",
+]

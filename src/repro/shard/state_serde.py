@@ -1,0 +1,147 @@
+"""Wire (de)serialization of partial results and I/O accounting.
+
+The shard wire format rides on :mod:`repro.lang.serde`'s tagged-value
+JSON, extended with two things the expression serde never needed:
+``null`` values (absent MIN/MAX accumulators, NULL result cells) and
+numpy scalars (per-batch ``values.sum()`` contributions are np.float64 /
+np.int64).  Numpy scalars are converted through ``.item()``: for float64
+that is the bit-identical Python float, and Python float ``+`` computes
+bitwise the same sum as np.float64 ``+``, so the router's left-fold over
+deserialized contributions reproduces single-node results exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ShardProtocolError
+from repro.lang.serde import (
+    _value_from_json,
+    _value_to_json,
+    aggregate_spec_from_json,
+    aggregate_spec_to_json,
+    group_key_from_json,
+    group_key_to_json,
+)
+from repro.query.aggregation import AggregationState
+from repro.query.query import OutputAggregate
+from repro.storage.stats import IoStats
+
+#: Constructor-settable IoStats counters; ``as_dict()`` adds derived
+#: totals (page_reads, page_accesses) that must not round-trip.
+_IO_FIELDS = frozenset(field.name for field in dataclasses.fields(IoStats))
+
+
+def value_to_wire(value: object) -> dict:
+    """One tagged JSON value; handles None and numpy scalars."""
+    if value is None:
+        return {"t": "null"}
+    if isinstance(value, np.generic):
+        value = value.item()
+    return _value_to_json(value)
+
+
+def value_from_wire(node: dict) -> object:
+    if node["t"] == "null":
+        return None
+    return _value_from_json(node)
+
+
+# ----------------------------------------------------------------------
+# AggregationState
+# ----------------------------------------------------------------------
+
+
+def state_to_wire(state: AggregationState) -> dict:
+    """Serialize an un-finalized partial state for the gather wire."""
+    groups = []
+    for key, group in state.group_items():
+        groups.append({
+            "key": group_key_to_json(key),
+            "count": group.count,
+            "sums": [
+                [value_to_wire(part) for part in contributions]
+                for contributions in group.sums
+            ],
+            "mins": [value_to_wire(v) for v in group.mins],
+            "maxs": [value_to_wire(v) for v in group.maxs],
+        })
+    return {
+        "group_by": list(state.group_by),
+        "aggregates": [
+            {"name": a.name, "spec": aggregate_spec_to_json(a.spec)}
+            for a in state.aggregates
+        ],
+        "is_date_result": state.is_date_result,
+        "groups": groups,
+    }
+
+
+def state_from_wire(node: dict) -> AggregationState:
+    """Rebuild a partial state; structurally equal to the worker's.
+
+    The aggregates tuple is rebuilt from the same serde the query itself
+    travelled through, so two shards' reconstructions compare equal and
+    :meth:`~repro.query.aggregation.AggregationState.merge` accepts them.
+    """
+    try:
+        aggregates = tuple(
+            OutputAggregate(a["name"], aggregate_spec_from_json(a["spec"]))
+            for a in node["aggregates"]
+        )
+        state = AggregationState(
+            None,
+            tuple(node["group_by"]),
+            aggregates,
+            is_date_result=[bool(flag) for flag in node["is_date_result"]],
+        )
+        for group in node["groups"]:
+            state.load_group(
+                group_key_from_json(group["key"]),
+                group["count"],
+                [
+                    [value_from_wire(part) for part in contributions]
+                    for contributions in group["sums"]
+                ],
+                [value_from_wire(v) for v in group["mins"]],
+                [value_from_wire(v) for v in group["maxs"]],
+            )
+        return state
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ShardProtocolError(f"malformed aggregation state: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# IoStats and scan rows
+# ----------------------------------------------------------------------
+
+
+def stats_to_wire(stats: IoStats) -> dict:
+    return stats.as_dict()
+
+
+def stats_from_wire(node: dict) -> IoStats:
+    kwargs = {key: value for key, value in node.items() if key in _IO_FIELDS}
+    return IoStats(**kwargs)
+
+
+def rows_to_wire(rows: list[tuple]) -> list[list[dict]]:
+    return [[value_to_wire(v) for v in row] for row in rows]
+
+
+def rows_from_wire(rows: list[list[dict]]) -> list[tuple]:
+    return [tuple(value_from_wire(v) for v in row) for row in rows]
+
+
+__all__ = [
+    "rows_from_wire",
+    "rows_to_wire",
+    "state_from_wire",
+    "state_to_wire",
+    "stats_from_wire",
+    "stats_to_wire",
+    "value_from_wire",
+    "value_to_wire",
+]

@@ -441,6 +441,30 @@ class HeapFile:
             self._bucket_counts[bucket_no] = len(chunk)
             offset += len(chunk)
 
+    def append_bucket(self, records: np.ndarray) -> None:
+        """Append *records* as one new bucket, never topping up the last.
+
+        :meth:`append_batch` merges into a partially filled trailing
+        bucket, which is right for bulkloads but wrong when bucket
+        boundaries must be preserved exactly — the shard partitioner
+        copies buckets between catalogs with this method so every SMA
+        entry keeps describing the same tuples on both sides.
+        """
+        if records.dtype != self.schema.record_dtype:
+            raise StorageError("record dtype does not match schema")
+        if len(records) > self.layout.tuples_per_bucket:
+            raise StorageError(
+                f"{len(records)} records exceed bucket capacity "
+                f"{self.layout.tuples_per_bucket}"
+            )
+        bucket_no = self.num_buckets
+        self._bucket_counts = np.append(self._bucket_counts, 0)
+        tpp = self.layout.tuples_per_page
+        first = bucket_no * self.layout.pages_per_bucket
+        for j in range(self.layout.pages_per_bucket):
+            self._write_page(first + j, records[j * tpp : (j + 1) * tpp])
+        self._bucket_counts[bucket_no] = len(records)
+
     def append_rows(self, rows: list) -> None:
         """Convenience: append Python row tuples (slow path for tests)."""
         self.append_batch(self.schema.batch_from_rows(rows))

@@ -61,6 +61,9 @@ class Table:
     def append_batch(self, records: np.ndarray) -> None:
         self.heap.append_batch(records)
 
+    def append_bucket(self, records: np.ndarray) -> None:
+        self.heap.append_bucket(records)
+
     def append_rows(self, rows: list) -> None:
         self.heap.append_rows(rows)
 

@@ -1,0 +1,73 @@
+"""Fixtures for the sharded serving tier.
+
+One session-scoped TPC-D LINEITEM catalog (SF=0.002, sorted, stock
+``q1`` SMA set) is partitioned into 1-, 2- and 4-shard roots once;
+tests open in-process :class:`ShardWorker` instances over the shard
+catalogs (real sockets, real wire protocol — just no subprocess spawn)
+and drive them through a real :class:`ShardRouter`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from types import SimpleNamespace
+
+import pytest
+
+from repro.shard.manifest import ShardManifest
+from repro.shard.partitioner import shard_init
+from repro.shard.router import ShardEndpoint, ShardRouter
+from repro.shard.worker import ShardWorker
+from repro.storage.catalog import Catalog
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="session")
+def shard_env(tmp_path_factory):
+    """Source catalog dir + {num_shards: sharded_root} map (read-only)."""
+    from repro.tpcd.loader import load_lineitem
+
+    root = tmp_path_factory.mktemp("shard-env")
+    source = root / "source"
+    with Catalog(str(source), buffer_pages=8192) as catalog:
+        load_lineitem(catalog, scale_factor=0.002, clustering="sorted")
+    sharded = {}
+    for num_shards in SHARD_COUNTS:
+        out = root / f"sharded-{num_shards}"
+        shard_init(str(source), str(out), num_shards)
+        sharded[num_shards] = str(out)
+    return SimpleNamespace(source=str(source), sharded=sharded)
+
+
+@contextlib.contextmanager
+def live_cluster(root: str, **router_kwargs):
+    """In-process workers + a started router over the sharded *root*."""
+    manifest = ShardManifest.load(root)
+    workers = []
+    router = None
+    try:
+        for shard_id in range(manifest.num_shards):
+            worker = ShardWorker(
+                shard_id, manifest.shard_path(root, shard_id), workers=2
+            )
+            workers.append(worker.start())
+        endpoints = [
+            ShardEndpoint(w.shard_id, w.host, w.port) for w in workers
+        ]
+        router = ShardRouter(
+            endpoints, manifest=manifest, **router_kwargs
+        ).start()
+        yield SimpleNamespace(
+            router=router, workers=workers, manifest=manifest
+        )
+    finally:
+        if router is not None:
+            router.shutdown(wait=True, cancel_pending=True)
+        for worker in workers:
+            worker.close()
+
+
+@pytest.fixture
+def cluster_factory():
+    return live_cluster

@@ -1,0 +1,121 @@
+"""Hypothesis: AggregationState.merge is associative + order-preserving.
+
+The scatter-gather guarantee reduces to one algebraic fact: for any
+contiguous split of a bucket range's contribution sequence into chunks,
+building a partial state per chunk and merging them back *in range
+order* — under any merge tree shape — finalizes bit-identically to the
+serial state built from the whole sequence.  Shards are exactly such
+chunks, so this is the property that makes the router's gather safe.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import count_star, maximum, minimum, total
+from repro.lang import col
+from repro.query.aggregation import AggregationState
+from repro.query.query import OutputAggregate
+
+#: One aggregate of every kind; shared so states compare merge-equal.
+AGGREGATES = (
+    OutputAggregate("s", total(col("x"))),
+    OutputAggregate("a_min", minimum(col("x"))),
+    OutputAggregate("a_max", maximum(col("x"))),
+    OutputAggregate("n", count_star()),
+)
+GROUP_BY = ("flag",)
+NOT_DATE = [False] * len(AGGREGATES)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+#: One bucket's contribution: (group key, count, SUM part, MIN, MAX).
+contribution = st.tuples(
+    st.sampled_from([("A",), ("B",), ("C",)]),
+    st.integers(min_value=1, max_value=50),
+    finite_floats,
+    finite_floats,
+    finite_floats,
+)
+
+
+def build_state(contributions) -> AggregationState:
+    """Advance a fresh state through *contributions* in sequence order."""
+    state = AggregationState(
+        None, GROUP_BY, AGGREGATES, is_date_result=NOT_DATE
+    )
+    for key, count, part, low, high in contributions:
+        state.advance_count(key, count)
+        state.advance_sum(key, 0, part)
+        state.advance_min(key, 1, low)
+        state.advance_max(key, 2, high)
+    return state
+
+
+def split_at(contributions, cuts):
+    """Contiguous chunks of *contributions* at sorted cut offsets."""
+    bounds = [0, *sorted(cuts), len(contributions)]
+    return [
+        contributions[lo:hi] for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+def finalized(state: AggregationState) -> str:
+    columns, rows = state.finalize()
+    return repr((columns, rows))  # repr equality = float bit equality
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    contributions=st.lists(contribution, min_size=1, max_size=40),
+    data=st.data(),
+)
+def test_contiguous_split_merges_to_serial(contributions, data):
+    """Any shard split, merged in range order, equals single-node."""
+    cuts = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(contributions)),
+            max_size=6,
+        )
+    )
+    serial = build_state(contributions)
+    merged = build_state([])
+    for chunk in split_at(contributions, cuts):
+        merged.merge(build_state(chunk))
+    assert finalized(merged) == finalized(serial)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    left=st.lists(contribution, max_size=15),
+    middle=st.lists(contribution, max_size=15),
+    right=st.lists(contribution, max_size=15),
+)
+def test_merge_associative(left, middle, right):
+    """(L + M) + R == L + (M + R), bit for bit."""
+    left_first = build_state([])
+    left_first.merge(build_state(left))
+    left_first.merge(build_state(middle))
+    left_first.merge(build_state(right))
+
+    right_first = build_state(left)
+    tail = build_state(middle)
+    tail.merge(build_state(right))
+    right_first.merge(tail)
+
+    assert finalized(left_first) == finalized(right_first)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    chunk_a=st.lists(contribution, min_size=1, max_size=15),
+    chunk_b=st.lists(contribution, min_size=1, max_size=15),
+)
+def test_merge_preserves_contribution_order(chunk_a, chunk_b):
+    """Merging [A then B] equals serially consuming A ++ B — the
+    bucket-major order invariant the router's shard-order gather relies
+    on (float addition is not commutative, so order is load-bearing)."""
+    merged = build_state(chunk_a)
+    merged.merge(build_state(chunk_b))
+    assert finalized(merged) == finalized(build_state(chunk_a + chunk_b))

@@ -1,0 +1,123 @@
+"""Partitioner + manifest: ranges, shard catalogs, SMA slices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardError
+from repro.shard.manifest import ShardManifest
+from repro.shard.partitioner import shard_init, shard_ranges
+from repro.storage.catalog import Catalog
+
+
+class TestShardRanges:
+    def test_cover_contiguously(self):
+        for buckets in (0, 1, 7, 383):
+            for shards in (1, 2, 3, 4, 7):
+                spans = shard_ranges(buckets, shards)
+                assert len(spans) == shards
+                assert spans[0][0] == 0
+                assert spans[-1][1] == buckets
+                for (_, hi), (lo, _) in zip(spans, spans[1:]):
+                    assert hi == lo  # contiguous, no gap, no overlap
+
+    def test_balanced(self):
+        spans = shard_ranges(383, 4)
+        sizes = [hi - lo for lo, hi in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_buckets(self):
+        spans = shard_ranges(2, 4)
+        sizes = [hi - lo for lo, hi in spans]
+        assert sum(sizes) == 2
+        assert all(size in (0, 1) for size in sizes)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardError):
+            shard_ranges(10, 0)
+
+
+class TestManifest:
+    def test_round_trip(self, shard_env):
+        manifest = ShardManifest.load(shard_env.sharded[2])
+        assert manifest.num_shards == 2
+        assert manifest.shard_dirs == ("shard-0000", "shard-0001")
+        spans = manifest.tables["LINEITEM"]
+        assert spans[0][0] == 0
+        assert spans[0][1] == spans[1][0]
+
+    def test_exists(self, shard_env, tmp_path):
+        assert ShardManifest.exists(shard_env.sharded[1])
+        assert not ShardManifest.exists(str(tmp_path))
+
+    def test_load_rejects_plain_directory(self, tmp_path):
+        with pytest.raises(ShardError, match="not a sharded root"):
+            ShardManifest.load(str(tmp_path))
+
+    def test_unknown_table_rejected(self, shard_env):
+        manifest = ShardManifest.load(shard_env.sharded[2])
+        with pytest.raises(ShardError, match="not in shard manifest"):
+            manifest.bucket_range("NOPE", 0)
+
+
+class TestShardCatalogs:
+    def test_refuses_reinit(self, shard_env):
+        with pytest.raises(ShardError, match="refusing to re-init"):
+            shard_init(shard_env.source, shard_env.sharded[2], 2)
+
+    def test_buckets_partition_the_table(self, shard_env):
+        manifest = ShardManifest.load(shard_env.sharded[4])
+        with Catalog.discover(shard_env.source) as source:
+            table = source.table("LINEITEM")
+            total_buckets = table.num_buckets
+            total_records = table.num_records
+        seen_buckets = 0
+        seen_records = 0
+        for shard_id in range(4):
+            lo, hi = manifest.bucket_range("LINEITEM", shard_id)
+            with Catalog.discover(
+                manifest.shard_path(shard_env.sharded[4], shard_id)
+            ) as shard_catalog:
+                shard_table = shard_catalog.table("LINEITEM")
+                assert shard_table.num_buckets == hi - lo
+                seen_buckets += shard_table.num_buckets
+                seen_records += shard_table.num_records
+        assert seen_buckets == total_buckets
+        assert seen_records == total_records
+
+    def test_bucket_contents_identical(self, shard_env):
+        """Shard bucket b-lo is byte-for-byte source bucket b."""
+        manifest = ShardManifest.load(shard_env.sharded[2])
+        lo, hi = manifest.bucket_range("LINEITEM", 1)
+        with Catalog.discover(shard_env.source) as source, Catalog.discover(
+            manifest.shard_path(shard_env.sharded[2], 1)
+        ) as shard_catalog:
+            source_table = source.table("LINEITEM")
+            shard_table = shard_catalog.table("LINEITEM")
+            for bucket_no in (lo, (lo + hi) // 2, hi - 1):
+                want = source_table.read_bucket(bucket_no)
+                got = shard_table.read_bucket(bucket_no - lo)
+                assert np.array_equal(want, got)
+
+    def test_sma_files_are_slices(self, shard_env):
+        """Shard SMA entry b-lo equals source SMA entry b for every def."""
+        manifest = ShardManifest.load(shard_env.sharded[4])
+        with Catalog.discover(shard_env.source) as source:
+            source_set = source.sma_set("LINEITEM", "q1")
+            for shard_id in range(4):
+                lo, hi = manifest.bucket_range("LINEITEM", shard_id)
+                with Catalog.discover(
+                    manifest.shard_path(shard_env.sharded[4], shard_id)
+                ) as shard_catalog:
+                    shard_set = shard_catalog.sma_set("LINEITEM", "q1")
+                    assert (
+                        shard_set.definitions.keys()
+                        == source_set.definitions.keys()
+                    )
+                    for name in source_set.definitions:
+                        source_files = source_set.files_of(name)
+                        shard_files = shard_set.files_of(name)
+                        assert shard_files.keys() == source_files.keys()
+                        for group_key, sma in source_files.items():
+                            want = sma.values(charge=False)[lo:hi]
+                            got = shard_files[group_key].values(charge=False)
+                            assert np.array_equal(want, got)

@@ -1,0 +1,138 @@
+"""Wire framing + partial-state serde fidelity."""
+
+import datetime
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.errors import ShardProtocolError
+from repro.query.session import Session
+from repro.shard.protocol import (
+    MAX_FRAME_BYTES,
+    recv_message,
+    send_message,
+)
+from repro.shard.state_serde import (
+    rows_from_wire,
+    rows_to_wire,
+    state_from_wire,
+    state_to_wire,
+    stats_from_wire,
+    stats_to_wire,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.stats import IoStats
+from repro.tpcd.queries import query1
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        message = {"op": "execute", "values": [1, 2.5, "x", None, True]}
+        send_message(a, message)
+        assert recv_message(b) == message
+
+    def test_multiple_frames_keep_boundaries(self, pair):
+        a, b = pair
+        send_message(a, {"n": 1})
+        send_message(a, {"n": 2})
+        assert recv_message(b) == {"n": 1}
+        assert recv_message(b) == {"n": 2}
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_message(b) is None
+
+    def test_mid_frame_eof_raises(self, pair):
+        a, b = pair
+        payload = json.dumps({"op": "ping"}).encode()
+        a.sendall(struct.pack(">I", len(payload)) + payload[:3])
+        a.close()
+        with pytest.raises(ShardProtocolError, match="mid-frame"):
+            recv_message(b)
+
+    def test_oversized_header_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ShardProtocolError, match="cap"):
+            recv_message(b)
+
+    def test_undecodable_payload_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 3) + b"{{{")
+        with pytest.raises(ShardProtocolError, match="undecodable"):
+            recv_message(b)
+
+    def test_float_bits_survive_the_wire(self, pair):
+        a, b = pair
+        values = [0.1 + 0.2, 1e300, -4.9e-324, 2.0 ** 53 + 2]
+        send_message(a, values)
+        got = recv_message(b)
+        assert [repr(v) for v in got] == [repr(v) for v in values]
+
+
+class TestStateSerde:
+    @pytest.fixture
+    def partial(self, shard_env):
+        """A real un-finalized Q1 partial state off the source catalog."""
+        with Catalog.discover(shard_env.source) as catalog:
+            session = Session(catalog)
+            result = session.execute_partial(query1(delta=90))
+        return result.state
+
+    def test_round_trip_finalizes_identically(self, partial):
+        wire = json.loads(json.dumps(state_to_wire(partial)))
+        rebuilt = state_from_wire(wire)
+        want_columns, want_rows = partial.finalize()
+        got_columns, got_rows = rebuilt.finalize()
+        assert got_columns == want_columns
+        assert len(got_rows) == len(want_rows)
+        for got, want in zip(got_rows, want_rows):
+            assert repr(got) == repr(want)  # repr equality = bit equality
+
+    def test_rebuilt_states_merge(self, partial):
+        """Two wire reconstructions are structurally merge-compatible."""
+        one = state_from_wire(state_to_wire(partial))
+        two = state_from_wire(state_to_wire(partial))
+        one.merge(two)  # must not raise 'different queries'
+        assert one.num_groups == partial.num_groups
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(ShardProtocolError, match="malformed"):
+            state_from_wire({"aggregates": [], "groups": "nope"})
+
+
+class TestStatsAndRows:
+    def test_stats_round_trip(self):
+        stats = IoStats(
+            sequential_page_reads=3, random_page_reads=1, buffer_hits=7,
+            tuples_scanned=100, buckets_skipped=4,
+        )
+        rebuilt = stats_from_wire(json.loads(json.dumps(stats_to_wire(stats))))
+        assert rebuilt == stats
+
+    def test_stats_derived_keys_dropped(self):
+        """as_dict() derived totals must not hit the constructor."""
+        wire = stats_to_wire(IoStats(sequential_page_reads=2, buffer_hits=1))
+        assert "page_reads" in wire  # derived key present on the wire
+        rebuilt = stats_from_wire(wire)
+        assert rebuilt.page_reads == 2  # recomputed, not double-counted
+
+    def test_rows_round_trip_with_dates(self):
+        rows = [
+            (1, "R", datetime.date(1998, 9, 2), 0.1 + 0.2, None),
+            (2, "A", datetime.date(1992, 1, 1), -0.0, True),
+        ]
+        got = rows_from_wire(json.loads(json.dumps(rows_to_wire(rows))))
+        assert repr(got) == repr(rows)

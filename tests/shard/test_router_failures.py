@@ -1,0 +1,65 @@
+"""Degradation: dead shards, typed remote errors, partial-result refusal."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    PlanningError,
+    ShardError,
+    ShardUnavailableError,
+)
+from repro.shard.router import ShardClient, ShardEndpoint, _map_remote_error
+from repro.storage.faults import RetryPolicy
+from repro.tpcd.queries import query1
+
+
+def test_dead_shard_refuses_partial_results(shard_env, cluster_factory):
+    """One dead shard fails the whole query — never a partial relation."""
+    with cluster_factory(shard_env.sharded[2]) as cluster:
+        cluster.router.submit(query1(delta=90)).result()  # cluster healthy
+        cluster.workers[1].close()
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            cluster.router.submit(query1(delta=90)).result()
+        assert excinfo.value.shard_id == 1
+        shard = cluster.router.observed_snapshot()["shard"]
+        assert shard["shards"]["1"]["up"] is False
+        assert shard["shards"]["1"]["failures"] >= 1
+        assert shard["shards"]["0"]["up"] is True
+        health = cluster.router.health()
+        assert health[0]["up"] is True
+        assert health[1]["up"] is False
+
+
+def test_unreachable_endpoint_retries_then_raises():
+    """Connection faults retry under the policy, then raise typed."""
+    client = ShardClient(
+        ShardEndpoint(3, "127.0.0.1", 1),  # nothing listens on port 1
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff_s=0.0),
+        connect_timeout_s=0.2,
+    )
+    with pytest.raises(ShardUnavailableError, match="after 2 attempts"):
+        client.request({"op": "ping"})
+    client.close()
+
+
+def test_remote_errors_map_to_typed_exceptions(shard_env, cluster_factory):
+    """Worker-side app errors surface as the matching error class."""
+    with cluster_factory(shard_env.sharded[1]) as cluster:
+        with pytest.raises(CatalogError, match="shard 0"):
+            cluster.router.submit(query1(table="NO_SUCH_TABLE")).result()
+
+
+def test_explain_statement_rejected_by_router(shard_env, cluster_factory):
+    with cluster_factory(shard_env.sharded[1]) as cluster:
+        with pytest.raises(PlanningError, match="EXPLAIN"):
+            cluster.router.submit("EXPLAIN SELECT COUNT(*) AS n FROM LINEITEM")
+
+
+def test_error_mapper_falls_back_to_shard_error():
+    mapped = _map_remote_error({"type": "ValueError", "message": "boom"}, 2)
+    assert isinstance(mapped, ShardError)
+    assert "shard 2" in str(mapped)
+    mapped = _map_remote_error(
+        {"type": "PlanningError", "message": "no table"}, 0
+    )
+    assert isinstance(mapped, PlanningError)

@@ -1,0 +1,99 @@
+"""End-to-end scatter-gather: byte-identical to single-node.
+
+The tentpole acceptance: the full TPC-D mix (Query-1-style grouped
+aggregations at three selectivities + a range scan), executed through
+the router over 1, 2 and 4 shard workers, must produce results
+*byte-identical* to single-node execution — across forced access paths
+too, since each shard plans its slice independently.
+"""
+
+import pytest
+
+from repro.query.session import Session, assert_same_result
+from repro.server.workload import default_mix
+from repro.storage.catalog import Catalog
+from repro.tpcd.queries import query1
+from tests.shard.conftest import SHARD_COUNTS
+
+
+@pytest.fixture(scope="module")
+def reference(shard_env):
+    """Single-node results for the full mix + forced-mode variants."""
+    out = {}
+    with Catalog.discover(shard_env.source, buffer_pages=8192) as catalog:
+        session = Session(catalog)
+        for entry in default_mix("LINEITEM"):
+            out[entry.name] = session.execute(
+                entry.query, mode=entry.mode, sma_set=entry.sma_set
+            )
+        for mode in ("auto", "sma", "scan"):
+            out[f"q1_{mode}"] = session.execute(query1(delta=90), mode=mode)
+    return out
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_mix_byte_identical(shard_env, cluster_factory, reference, num_shards):
+    with cluster_factory(shard_env.sharded[num_shards]) as cluster:
+        for entry in default_mix("LINEITEM"):
+            ticket = cluster.router.submit(
+                entry.query, mode=entry.mode, sma_set=entry.sma_set
+            )
+            assert_same_result(ticket.result(), reference[entry.name])
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_forced_modes_byte_identical(
+    shard_env, cluster_factory, reference, num_shards
+):
+    """Shards may take any access path; the gather must not care."""
+    with cluster_factory(shard_env.sharded[num_shards]) as cluster:
+        for mode in ("auto", "sma", "scan"):
+            ticket = cluster.router.submit(query1(delta=90), mode=mode)
+            result = ticket.result()
+            assert_same_result(result, reference[f"q1_{mode}"])
+            assert result.plan.strategy.startswith("scatter_gather[")
+
+
+def test_sql_string_accepted(shard_env, cluster_factory, reference):
+    with cluster_factory(shard_env.sharded[2]) as cluster:
+        ticket = cluster.router.submit(
+            "SELECT L_ORDERKEY, L_SHIPDATE, L_QUANTITY FROM LINEITEM "
+            "WHERE L_SHIPDATE >= DATE '1998-09-01' "
+            "AND L_SHIPDATE <= DATE '1998-10-31'"
+        )
+        assert_same_result(ticket.result(), reference["range_scan"])
+
+
+def test_health_and_fanout_counters(shard_env, cluster_factory):
+    with cluster_factory(shard_env.sharded[2]) as cluster:
+        health = cluster.router.health()
+        assert set(health) == {0, 1}
+        assert all(info["up"] for info in health.values())
+        total_buckets = sum(
+            info["tables"]["LINEITEM"] for info in health.values()
+        )
+        lo, hi = cluster.manifest.bucket_range("LINEITEM", 1)
+        assert total_buckets == hi  # ranges concatenate to the source
+
+        cluster.router.submit(query1(delta=90)).result()
+        snapshot = cluster.router.observed_snapshot()
+        shard = snapshot["shard"]
+        assert shard["fanout"]["scatter_queries"] == 1
+        assert shard["fanout"]["subqueries_sent"] == 2
+        assert shard["fanout"]["gather_merges"] == 1
+        for shard_id in ("0", "1"):
+            per_shard = shard["shards"][shard_id]
+            assert per_shard["up"] is True
+            assert per_shard["requests"] >= 1
+            assert per_shard["failures"] == 0
+
+
+def test_io_stats_gathered_across_shards(shard_env, cluster_factory):
+    """Router stats are the sum of shard IoStats — reads don't vanish."""
+    with Catalog.discover(shard_env.source, buffer_pages=8192) as catalog:
+        single = Session(catalog).execute(query1(delta=90), mode="scan")
+    with cluster_factory(shard_env.sharded[4]) as cluster:
+        sharded = cluster.router.submit(query1(delta=90), mode="scan").result()
+    # Forced scan reads every bucket exactly once in both worlds.
+    assert sharded.stats.tuples_scanned == single.stats.tuples_scanned
+    assert sharded.stats.buckets_fetched == single.stats.buckets_fetched
