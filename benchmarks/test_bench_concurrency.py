@@ -6,10 +6,16 @@ saturated.  Python's GIL bounds CPU parallelism, so the assertion is
 that throughput *holds* as workers grow (shared pool and admission
 control add no collapse), not that it scales linearly.
 
-C2: morsel-driven intra-query scan parallelism — Query 1 forced-scan
-wall time and mix throughput at 1/2/4/8 scan workers x 1/4/16 clients,
-with results verified byte-identical to serial inside the experiment.
+C2: intra-query scan parallelism across backends — Query 1 forced-scan
+cold wall time on a simulated device (1 ms/page latency fault) and mix
+throughput, at thread/process backends x 1/2/4/8 scan workers x 1/4/16
+clients, with results verified byte-identical to serial inside the
+experiment.  Speedup *floors* are asserted only when
+``REPRO_BENCH_ASSERT_SPEEDUP=1`` (artifact-refresh runs): CI smoke runs
+fail on result mismatch, never on timing.
 """
+
+import os
 
 from repro.bench.concurrency import (
     exp_concurrency_throughput,
@@ -21,8 +27,11 @@ from conftest import bench_trace_log, run_once
 WORKER_COUNTS = (1, 4, 16)
 QUERIES_PER_CLIENT = 4
 
+SCAN_BACKENDS = ("thread", "process")
 SCAN_WORKER_COUNTS = (1, 2, 4, 8)
 CLIENT_COUNTS = (1, 4, 16)
+
+ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
 
 
 def test_bench_concurrency_throughput(benchmark, bench_sf):
@@ -61,6 +70,7 @@ def test_bench_scan_parallelism(benchmark, bench_sf):
             client_counts=CLIENT_COUNTS,
             queries_per_client=2,
             repeats=2,
+            backends=SCAN_BACKENDS,
             event_log=trace_log,
         )
     finally:
@@ -68,12 +78,25 @@ def test_bench_scan_parallelism(benchmark, bench_sf):
     assert trace_log.stats()["written"] > 0  # trace artifact is non-empty
     # The experiment itself raises if any parallel result diverges from
     # serial or any query is lost; here we sanity-check the metrics.
-    for scan_workers in SCAN_WORKER_COUNTS:
-        assert result.metric(f"scan_wall_sw{scan_workers}") > 0
-        assert result.metric(f"scan_speedup_sw{scan_workers}") > 0
-        for clients in CLIENT_COUNTS:
-            assert result.metric(f"qps_sw{scan_workers}_c{clients}") > 0
-    assert result.metric("scan_speedup_sw1") == 1.0
-    # Morsel dispatch must not collapse the scan: even GIL-bound, 4
-    # workers should stay within 2x of the serial wall time.
-    assert result.metric("scan_speedup_sw4") > 0.5
+    # Unprefixed metrics are the process backend (the headline), the
+    # thread backend carries a "thread_" prefix.
+    for prefix in ("", "thread_"):
+        for scan_workers in SCAN_WORKER_COUNTS:
+            assert result.metric(f"scan_wall_{prefix}sw{scan_workers}") > 0
+            assert result.metric(f"scan_speedup_{prefix}sw{scan_workers}") > 0
+            for clients in CLIENT_COUNTS:
+                assert result.metric(f"qps_{prefix}sw{scan_workers}_c{clients}") > 0
+        assert result.metric(f"scan_speedup_{prefix}sw1") == 1.0
+    # Timing floors only on artifact-refresh runs: a loaded CI box must
+    # fail on wrong results, not on a slow scheduler.
+    if ASSERT_SPEEDUP:
+        # Device waits overlap across processes: 4 workers must clear
+        # the PR 7 acceptance floor on the simulated cold device.
+        assert result.metric("scan_speedup_sw4") >= 2.5
+        # Thread morsels overlap sleeping preads too; floor is looser
+        # because the GIL serializes the Python between preads.
+        assert result.metric("scan_speedup_thread_sw4") > 1.5
+    else:
+        # Even unasserted, dispatch overhead must never collapse the
+        # scan below half of serial.
+        assert result.metric("scan_speedup_sw4") > 0.5

@@ -103,6 +103,87 @@ def test_bucket_read_throughput(benchmark, tmp_path):
     heap.close()
 
 
+# ----------------------------------------------------------------------
+# per-bucket kernel breakdown: decode -> filter -> aggregate
+#
+# The scan inner loop costs one page decode (``frombuffer`` + header
+# unpack, skipped on a decode-cache hit), one vectorised predicate
+# evaluation, and one fused grouping-aggregation kernel per bucket.
+# These three benchmarks price each stage on the same bucket-sized
+# batch so a regression in any stage is attributable.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def kernel_heap(tmp_path_factory):
+    from repro.storage import BufferPool, HeapFile
+
+    pool = BufferPool(capacity_pages=4096)
+    heap = HeapFile.create(
+        str(tmp_path_factory.mktemp("kernel") / "t.heap"), LINEITEM, pool
+    )
+    rng = np.random.default_rng(3)
+    batch = np.zeros(64 * 64, dtype=LINEITEM.record_dtype)
+    batch["L_SHIPDATE"] = rng.integers(8000, 10_556, len(batch))
+    batch["L_QUANTITY"] = rng.integers(1, 51, len(batch)).astype(np.float64)
+    batch["L_EXTENDEDPRICE"] = rng.uniform(900, 105_000, len(batch))
+    batch["L_DISCOUNT"] = rng.integers(0, 11, len(batch)) / 100.0
+    batch["L_TAX"] = rng.integers(0, 9, len(batch)) / 100.0
+    flags = np.array([b"A", b"N", b"R"], dtype="S1")
+    batch["L_RETURNFLAG"] = flags[rng.integers(0, 3, len(batch))]
+    statuses = np.array([b"F", b"O"], dtype="S1")
+    batch["L_LINESTATUS"] = statuses[rng.integers(0, 2, len(batch))]
+    heap.append_batch(batch)
+    heap.flush()
+    yield heap
+    heap.close()
+
+
+def test_kernel_decode_per_bucket(benchmark, kernel_heap):
+    """Page payload -> record array (the decode-cache *miss* cost)."""
+    heap = kernel_heap
+    records = heap.read_bucket(0)  # prime page + decode caches
+    payload = heap._decode_cache[0][0][0]
+    decoded = benchmark(heap._decode_page, payload)
+    assert len(decoded) == len(records)
+
+
+def test_kernel_decode_cache_hit(benchmark, kernel_heap):
+    """Warm ``read_bucket``: pool hit + decode-cache hit (no decode)."""
+    heap = kernel_heap
+    heap.read_bucket(1)  # prime
+    before = heap.decode_hits
+    records = benchmark(heap.read_bucket, 1)
+    assert len(records) > 0
+    assert heap.decode_hits > before
+
+
+def test_kernel_filter_per_bucket(benchmark, kernel_heap):
+    """Vectorised range predicate over one bucket's records."""
+    predicate = cmp("L_SHIPDATE", "<=", 9500).bind(LINEITEM)
+    records = kernel_heap.read_bucket(0)
+    mask = benchmark(predicate.evaluate, records)
+    assert mask.dtype == bool
+
+
+def test_kernel_aggregate_per_bucket(benchmark, kernel_heap):
+    """Fused multi-group kernel: Query 1 aggregates over one bucket."""
+    from repro.query.aggregation import AggregationState
+    from repro.tpcd.queries import query1
+
+    q1 = query1()
+    records = kernel_heap.read_bucket(0)
+
+    def consume():
+        state = AggregationState(LINEITEM, q1.group_by, q1.aggregates)
+        state.consume_batch(records)
+        columns, rows = state.finalize()
+        return len(rows)
+
+    groups = benchmark(consume)
+    assert groups >= 1
+
+
 def test_sma_build_throughput(benchmark, tmp_path):
     """Accumulate the full Figure 4 SMA set over in-memory buckets."""
     from repro.core.builder import build_sma_set

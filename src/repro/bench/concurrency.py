@@ -116,122 +116,169 @@ def exp_concurrency_throughput(
     )
 
 
+#: Per-page device latency of the simulated cold device, chosen between
+#: the paper-calibrated DiskModel's sequential page cost (~0.36 ms) and
+#: its skip cost (~2.6 ms): every *physical* page read sleeps this long.
+DEVICE_LATENCY_S = 0.001
+
+
+def _device_injector(latency_s: float):
+    """A deterministic 'slow device': every heap page read costs
+    *latency_s* of wall time (FaultInjector ``latency`` rule)."""
+    from repro.storage.faults import FaultInjector, FaultSpec
+
+    return FaultInjector(
+        seed=0,
+        specs=(FaultSpec(kind="latency", path=".heap", latency_s=latency_s),),
+    )
+
+
 def exp_scan_parallelism(
     scale_factor: float = 0.005,
     scan_worker_counts: tuple[int, ...] = (1, 2, 4, 8),
     client_counts: tuple[int, ...] = (1, 4, 16),
     queries_per_client: int = 3,
     repeats: int = 3,
+    backends: tuple[str, ...] = ("thread", "process"),
+    device_latency_s: float = DEVICE_LATENCY_S,
     event_log=None,
     fault_injector=None,
 ) -> ExperimentResult:
-    """C2 — morsel-driven scan parallelism on the striped buffer pool.
+    """C2 — scan parallelism across backends (ISSUE PR 2 + PR 7).
 
-    Two measurements per scan-worker count (ISSUE PR 2):
+    Two measurements per (backend, scan-worker count) cell:
 
-    * *single-query scan speedup*: wall time of a forced full-scan
-      Query 1 (``mode="scan"`` — every bucket fetched, maximum scan
-      work) on a warm pool, best of *repeats*, relative to 1 worker;
+    * *cold-device scan speedup*: wall time of a forced full-scan
+      Query 1 (``mode="scan"`` — every bucket fetched) with the pool
+      dropped cold before each run and a deterministic simulated device
+      (``latency`` fault, *device_latency_s* per physical page read)
+      installed, best of *repeats*, relative to that backend's 1-worker
+      wall.  ``time.sleep`` releases the GIL and is per-process, so
+      both thread morsels and process workers genuinely overlap device
+      waits — this isolates scan-overlap capability from single-core
+      CPU contention (CI machines may expose just one core).
     * *service throughput grid*: closed-loop completed-queries/s of the
-      standard mix at 1/4/16 concurrent clients, with each running
-      query fanning its scans out to *scan_workers* morsel threads.
+      standard (warm, fault-free) mix at 1/4/16 concurrent clients,
+      each query fanning scans out to *scan_workers* morsels on the
+      given backend.
 
-    Results are asserted byte-identical to the serial execution.  Under
-    the GIL this engine is CPU-bound, so wall speedups are modest; the
-    experiment's point is that parallel scans *never lose correctness or
-    accounting exactness* and that the striped pool absorbs
-    ``workers x scan_workers`` threads without collapse.
+    The headline unprefixed ``scan_speedup_sw{n}`` metrics come from the
+    ``process`` backend when it is in *backends* (else the first entry);
+    other backends get ``scan_speedup_{backend}_sw{n}``.  All results
+    are asserted byte-identical to the serial execution.
     """
     q1 = query1()
     rows: list[tuple] = []
     metrics: dict[str, float] = {}
+    headline = "process" if "process" in backends else backends[0]
     with ScratchCatalog() as catalog:
         load_lineitem(catalog, scale_factor=scale_factor, clustering="sorted")
         mix = default_mix("LINEITEM")
 
         serial_session = Session(catalog)
-        reference = serial_session.execute(q1, mode="scan")  # also warms the pool
-        walls: dict[int, float] = {}
-        for scan_workers in scan_worker_counts:
-            session = Session(catalog, scan_workers=scan_workers)
-            best = float("inf")
-            for _ in range(repeats):
-                started = time.perf_counter()
-                result = session.execute(q1, mode="scan")
-                best = min(best, time.perf_counter() - started)
-                if result.rows != reference.rows:  # paranoia: C2 acceptance
-                    raise AssertionError(
-                        f"parallel scan (workers={scan_workers}) diverged "
-                        f"from serial result"
-                    )
-            walls[scan_workers] = best
+        reference = serial_session.execute(q1, mode="scan")
 
-        base_wall = walls[scan_worker_counts[0]]
-        # Faults apply to the concurrent-service grid only: the scan
-        # speedup above is a timing baseline and must stay fault-free.
-        if fault_injector is not None:
-            catalog.install_fault_injector(fault_injector)
-        for scan_workers in scan_worker_counts:
-            qps: dict[int, float] = {}
-            hit_rate = 0.0
-            for clients in client_counts:
-                if event_log is not None:
-                    event_log.emit(
-                        "experiment", exp="C2",
-                        scan_workers=scan_workers, clients=clients,
-                    )
-                registry = MetricsRegistry()
-                with QueryService(
-                    catalog,
-                    workers=clients,
-                    queue_depth=max(32, 2 * clients),
-                    metrics=registry,
-                    scan_workers=scan_workers,
-                    tracer=_tracer_for(event_log),
-                    events=event_log,
-                ) as service:
-                    driver = WorkloadDriver(service, mix)
-                    run = driver.run_closed_loop(
-                        clients=clients, queries_per_client=queries_per_client
-                    )
-                if fault_injector is None and run.completed != run.total:
-                    raise AssertionError(
-                        f"lost queries at scan_workers={scan_workers}, "
-                        f"clients={clients}: {run.completed}/{run.total}"
-                    )
-                qps[clients] = run.throughput_qps
-                hit_rate = run.metrics["io"]["buffer_hit_rate"]
-                metrics[f"qps_sw{scan_workers}_c{clients}"] = run.throughput_qps
-            speedup = base_wall / walls[scan_workers]
-            metrics[f"scan_wall_sw{scan_workers}"] = walls[scan_workers]
-            metrics[f"scan_speedup_sw{scan_workers}"] = speedup
-            rows.append(
-                (
-                    scan_workers,
-                    human_seconds(walls[scan_workers]),
-                    f"{speedup:.2f}x",
-                    *(f"{qps[c]:.1f}" for c in client_counts),
-                    f"{hit_rate:.1%}",
+        # Phase 1: cold scans against the simulated device.
+        catalog.install_fault_injector(_device_injector(device_latency_s))
+        walls: dict[tuple[str, int], float] = {}
+        for backend in backends:
+            for scan_workers in scan_worker_counts:
+                session = Session(
+                    catalog, scan_workers=scan_workers, scan_backend=backend
                 )
-            )
+                best = float("inf")
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = session.execute(q1, mode="scan", cold=True)
+                    best = min(best, time.perf_counter() - started)
+                    if result.rows != reference.rows:  # paranoia: C2 acceptance
+                        raise AssertionError(
+                            f"parallel scan (backend={backend}, "
+                            f"workers={scan_workers}) diverged from serial"
+                        )
+                walls[(backend, scan_workers)] = best
+
+        # Phase 2: warm service grid.  Faults apply here only when the
+        # caller supplies an injector (repro bench --faults); the scan
+        # speedup above always uses the clean simulated device.
+        catalog.install_fault_injector(fault_injector)
+        for backend in backends:
+            base_wall = walls[(backend, scan_worker_counts[0])]
+            prefix = "" if backend == headline else f"{backend}_"
+            for scan_workers in scan_worker_counts:
+                qps: dict[int, float] = {}
+                hit_rate = 0.0
+                for clients in client_counts:
+                    if event_log is not None:
+                        event_log.emit(
+                            "experiment", exp="C2", backend=backend,
+                            scan_workers=scan_workers, clients=clients,
+                        )
+                    registry = MetricsRegistry()
+                    with QueryService(
+                        catalog,
+                        workers=clients,
+                        queue_depth=max(32, 2 * clients),
+                        metrics=registry,
+                        scan_workers=scan_workers,
+                        scan_backend=backend,
+                        tracer=_tracer_for(event_log),
+                        events=event_log,
+                    ) as service:
+                        driver = WorkloadDriver(service, mix)
+                        run = driver.run_closed_loop(
+                            clients=clients,
+                            queries_per_client=queries_per_client,
+                        )
+                    if fault_injector is None and run.completed != run.total:
+                        raise AssertionError(
+                            f"lost queries at backend={backend}, "
+                            f"scan_workers={scan_workers}, clients={clients}: "
+                            f"{run.completed}/{run.total}"
+                        )
+                    qps[clients] = run.throughput_qps
+                    hit_rate = run.metrics["io"]["buffer_hit_rate"]
+                    metrics[f"qps_{prefix}sw{scan_workers}_c{clients}"] = (
+                        run.throughput_qps
+                    )
+                wall = walls[(backend, scan_workers)]
+                speedup = base_wall / wall
+                metrics[f"scan_wall_{prefix}sw{scan_workers}"] = wall
+                metrics[f"scan_speedup_{prefix}sw{scan_workers}"] = speedup
+                rows.append(
+                    (
+                        backend,
+                        scan_workers,
+                        human_seconds(wall),
+                        f"{speedup:.2f}x",
+                        *(f"{qps[c]:.1f}" for c in client_counts),
+                        f"{hit_rate:.1%}",
+                    )
+                )
+        from repro.query import procpool
+
+        procpool.dispose_pools(catalog.root_dir)
     return ExperimentResult(
         exp_id="C2",
-        title="Morsel-driven scan parallelism (striped pool, warm)",
+        title="Scan parallelism: backend x workers x clients "
+              "(cold simulated device + warm service grid)",
         headers=[
-            "scan workers", "Q1 scan wall", "speedup",
+            "backend", "scan workers", "Q1 cold scan wall", "speedup",
             *(f"q/s @{c} clients" for c in client_counts),
             "hit rate",
         ],
         rows=rows,
-        paper_reference="beyond the paper: ISSUE PR 2 (morsel-driven scans)",
+        paper_reference="beyond the paper: ISSUE PR 2/PR 7 (scan backends)",
         notes=[
-            "Q1 forced to mode=scan: every bucket fetched, so the scan "
-            "wall isolates morsel dispatch + merge overhead and gain",
+            "Q1 forced to mode=scan, pool dropped cold per run, every "
+            f"physical page read charged {DEVICE_LATENCY_S * 1e3:.1f} ms by a "
+            "deterministic latency fault: the wall isolates how well each "
+            "backend overlaps device waits (single-core CI safe)",
+            "speedups are per backend, relative to its own 1-worker wall; "
+            "unprefixed metrics = process backend when measured",
             "parallel results verified byte-identical to serial execution",
-            "pure-Python engine under the GIL: numpy kernels and pread "
-            "release the GIL, so speedups are real but sublinear; the "
-            "load-bearing claim is correctness + no lock collapse at "
-            "clients x scan_workers threads",
+            "service grid runs warm and fault-free: the load-bearing claim "
+            "there is correctness + no collapse at clients x scan_workers",
         ],
         metrics=metrics,
     )

@@ -110,7 +110,8 @@ def cmd_define(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
-    session = Session(catalog, scan_workers=args.scan_workers)
+    session = Session(catalog, scan_workers=args.scan_workers,
+                      scan_backend=args.scan_backend)
     result = session.sql(args.sql, mode=args.mode, cold=args.cold)
     print(result)
     print()
@@ -152,7 +153,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
         ))
         return 0
     catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
-    session = Session(catalog, scan_workers=args.scan_workers)
+    session = Session(catalog, scan_workers=args.scan_workers,
+                      scan_backend=args.scan_backend)
     explanation = session.explain(
         statement, mode=args.mode, sma_set=args.sma_set
     )
@@ -166,7 +168,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
     tracer = Tracer()
-    session = Session(catalog, scan_workers=args.scan_workers, tracer=tracer)
+    session = Session(catalog, scan_workers=args.scan_workers,
+                      scan_backend=args.scan_backend, tracer=tracer)
     result = session.sql(
         args.sql, mode=args.mode, sma_set=args.sma_set, cold=args.cold
     )
@@ -284,11 +287,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if probe_id is None or probe_id not in wanted:
                 continue
         kwargs = {}
-        if (
-            injector is not None
-            and "fault_injector" in inspect.signature(experiment).parameters
-        ):
+        parameters = inspect.signature(experiment).parameters
+        if injector is not None and "fault_injector" in parameters:
             kwargs["fault_injector"] = injector
+        if getattr(args, "scan_backend", None) and "backends" in parameters:
+            kwargs["backends"] = (args.scan_backend,)
         event_log = None
         if (
             args.trace_file
@@ -518,6 +521,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue,
         default_timeout_s=timeout,
         scan_workers=args.scan_workers,
+        scan_backend=args.scan_backend,
         tracer=tracer,
         events=event_log,
         slow_query_s=slow_query_s,
@@ -631,6 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--cold", action="store_true")
     p_query.add_argument("--scan-workers", type=int, default=1,
                          help="morsel-scan threads for this query (default 1)")
+    p_query.add_argument("--scan-backend", choices=("thread", "process"),
+                         default="thread",
+                         help="where morsels run: in-process threads or a "
+                         "persistent worker-process pool (default thread)")
     p_query.set_defaults(func=cmd_query)
 
     p_explain = sub.add_parser(
@@ -646,6 +654,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--scan-workers", type=int, default=1,
                            help="morsel-scan threads the plan would use "
                            "(default 1)")
+    p_explain.add_argument("--scan-backend", choices=("thread", "process"),
+                           default="thread",
+                           help="scan backend the plan would use "
+                           "(default thread)")
     p_explain.set_defaults(func=cmd_explain)
 
     p_trace = sub.add_parser(
@@ -660,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--cold", action="store_true")
     p_trace.add_argument("--scan-workers", type=int, default=1,
                          help="morsel-scan threads for this query (default 1)")
+    p_trace.add_argument("--scan-backend", choices=("thread", "process"),
+                         default="thread",
+                         help="where morsels run: in-process threads or a "
+                         "persistent worker-process pool (default thread)")
     p_trace.set_defaults(func=cmd_trace)
 
     p_info = sub.add_parser("info", help="describe a catalog")
@@ -686,6 +702,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSONL trace artifact template; experiments "
                          "that serve queries (C1, C2) write one file each, "
                          "e.g. traces.jsonl -> traces_C1.jsonl")
+    p_bench.add_argument("--scan-backend", choices=("thread", "process"),
+                         default=None,
+                         help="restrict backend-aware experiments (C2) to "
+                         "one scan backend (default: full backend grid)")
     add_faults(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
@@ -707,6 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--scan-workers", type=int, default=1,
                          help="morsel-scan threads per running query "
                          "(default 1: serial scans)")
+    p_serve.add_argument("--scan-backend", choices=("thread", "process"),
+                         default="thread",
+                         help="where morsels run: in-process threads or a "
+                         "persistent worker-process pool (default thread)")
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="per-query timeout in seconds (default: none)")
     p_serve.add_argument("--report", action="store_true",

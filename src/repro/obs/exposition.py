@@ -366,6 +366,42 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
                             help_text="Per-shard subquery latency summary.",
                         )
 
+    scan = snapshot.get("scan")
+    if scan:
+        out.sample(
+            f"{ns}_scan_backend",
+            1,
+            labels={"backend": str(scan.get("backend", "thread"))},
+            help_text="Configured scan backend (info metric; value is "
+            "always 1).",
+        )
+        out.sample(
+            f"{ns}_scan_workers",
+            scan.get("scan_workers", 1),
+            help_text="Morsel-scan workers per running query.",
+        )
+        pool = scan.get("pool")
+        if pool:
+            out.sample(
+                f"{ns}_scan_pool_processes",
+                pool.get("workers_spawned", 0),
+                help_text="Worker processes spawned by the scan "
+                "process pools.",
+            )
+            out.sample(
+                f"{ns}_scan_pool_tasks_total",
+                pool.get("tasks_dispatched", 0),
+                help_text="Morsel tasks completed by process workers.",
+                kind="counter",
+            )
+            out.sample(
+                f"{ns}_scan_pool_fallbacks_total",
+                pool.get("fallbacks", 0),
+                help_text="Process-backend dispatches that fell back to "
+                "threads after a worker crash.",
+                kind="counter",
+            )
+
     events = snapshot.get("events", {})
     if events:
         out.sample(

@@ -114,20 +114,16 @@ class AggregationState:
             argument_values.append(
                 None if spec.argument is None else spec.argument.evaluate(batch)
             )
-        single_group = len(keys) == 1
-        for j, key in enumerate(keys):
-            mask = None if single_group else (inverse == j)
-            size = len(batch) if mask is None else int(mask.sum())
-            state = self._state(key)
-            state.count += size
+        if len(keys) == 1:
+            # Single-group fast path: whole-array reductions, no masks.
+            state = self._state(keys[0])
+            state.count += len(batch)
             for i, aggregate in enumerate(self.aggregates):
                 kind = aggregate.spec.kind
                 if kind is AggregateKind.COUNT:
                     continue  # served by the shared per-group count
                 values = argument_values[i]
                 assert values is not None
-                if mask is not None:
-                    values = values[mask]
                 if kind in (AggregateKind.SUM, AggregateKind.AVG):
                     state.sums[i].append(values.sum())
                 elif kind is AggregateKind.MIN:
@@ -138,6 +134,43 @@ class AggregationState:
                     high = values.max()
                     if state.maxs[i] is None or high > state.maxs[i]:
                         state.maxs[i] = high
+            return
+        # Fused multi-group kernel: one stable sort of the group-inverse
+        # replaces G per-group boolean masks (O(G*N) mask scans become a
+        # single O(N log N) argsort plus one gather per aggregate).  The
+        # segment for group j holds the same elements the boolean mask
+        # would have gathered, in the same order, so ``seg.sum()`` is
+        # bit-identical to ``values[inverse == j].sum()``.
+        counts = np.bincount(inverse, minlength=len(keys))
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.cumsum(counts)
+        sorted_values = [
+            None if values is None else np.ascontiguousarray(values[order])
+            for values in argument_values
+        ]
+        start = 0
+        for j, key in enumerate(keys):
+            end = int(bounds[j])
+            state = self._state(key)
+            state.count += int(counts[j])
+            for i, aggregate in enumerate(self.aggregates):
+                kind = aggregate.spec.kind
+                if kind is AggregateKind.COUNT:
+                    continue  # served by the shared per-group count
+                values = sorted_values[i]
+                assert values is not None
+                seg = values[start:end]
+                if kind in (AggregateKind.SUM, AggregateKind.AVG):
+                    state.sums[i].append(seg.sum())
+                elif kind is AggregateKind.MIN:
+                    low = seg.min()
+                    if state.mins[i] is None or low < state.mins[i]:
+                        state.mins[i] = low
+                elif kind is AggregateKind.MAX:
+                    high = seg.max()
+                    if state.maxs[i] is None or high > state.maxs[i]:
+                        state.maxs[i] = high
+            start = end
 
     # ------------------------------------------------------------------
     # advancing from SMA entries (qualifying buckets in SMA_GAggr)

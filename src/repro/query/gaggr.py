@@ -92,6 +92,13 @@ class ParallelGAggr:
         morsels = make_morsels(
             range(self.table.num_buckets), self.parallelism.morsel_buckets
         )
+        if self.parallelism.use_processes and len(morsels) > 1:
+            partials = self._process_partials(morsels)
+            if partials is not None:
+                with self.tracer.span("merge", attrs={"partials": len(partials)}):
+                    for partial in partials:
+                        state.merge(partial)
+                return state
         tasks = [self._morsel_task(morsel) for morsel in morsels]
         pool = self.table.heap.pool
         partials = run_morsels(
@@ -105,6 +112,32 @@ class ParallelGAggr:
             for partial in partials:
                 state.merge(partial)
         return state
+
+    def _process_partials(self, morsels) -> list[AggregationState] | None:
+        """Morsel partials via the worker-process pool (None = fall back)."""
+        from repro.query import procpool
+
+        payloads = [
+            procpool.gaggr_task(
+                self.table, self.predicate, self.group_by, self.aggregates, morsel
+            )
+            for morsel in morsels
+        ]
+        try:
+            results = procpool.run_process_morsels(
+                self.table,
+                payloads,
+                self.parallelism.workers,
+                tracer=self.tracer,
+                span_name="scan_morsel",
+            )
+        except procpool.ProcPoolBrokenError:
+            procpool.note_fallback()
+            return None
+        return [
+            procpool.partial_from_wire(r["state"], self.aggregates, self.group_by)
+            for r in results
+        ]
 
     def execute(self) -> QueryRows:
         return self.collect_state().finalize()

@@ -230,6 +230,12 @@ class MorselScan(Operator):
                 pool.stats.buckets_skipped += self.partitioning.num_disqualifying
             bucket_nos = [int(b) for b in np.flatnonzero(fetched)]
         morsels = make_morsels(bucket_nos, self.parallelism.morsel_buckets)
+        if self.parallelism.use_processes and len(morsels) > 1:
+            parts = self._process_parts(morsels)
+            if parts is not None:
+                for part in parts:
+                    yield from part
+                return
         tasks = [self._morsel_task(morsel) for morsel in morsels]
         for part in run_morsels(
             pool,
@@ -239,3 +245,37 @@ class MorselScan(Operator):
             span_name="scan_morsel",
         ):
             yield from part
+
+    def _process_parts(self, morsels) -> list[list[np.ndarray]] | None:
+        """Filtered morsel batches via the process pool (None = fall back).
+
+        Batches travel back pickled — numpy record arrays round-trip
+        bit-exactly, so downstream results match the thread/serial scan
+        byte for byte.
+        """
+        from repro.query import procpool
+
+        qualifying = (
+            self.partitioning.qualifying if self.partitioning is not None else None
+        )
+        payloads = []
+        for morsel in morsels:
+            flags = [
+                bool(qualifying[b]) if qualifying is not None else False
+                for b in morsel
+            ]
+            payloads.append(
+                procpool.scan_task(self.table, self.predicate, morsel, flags)
+            )
+        try:
+            results = procpool.run_process_morsels(
+                self.table,
+                payloads,
+                self.parallelism.workers,
+                tracer=self.tracer,
+                span_name="scan_morsel",
+            )
+        except procpool.ProcPoolBrokenError:
+            procpool.note_fallback()
+            return None
+        return [result["batches"] for result in results]

@@ -43,13 +43,19 @@ T = TypeVar("T")
 #: is mostly sequential.
 DEFAULT_MORSEL_BUCKETS = 8
 
+#: Supported scan backends: "thread" dispatches morsels to an in-process
+#: thread pool; "process" ships them to a persistent worker-process pool
+#: (see :mod:`repro.query.procpool`) that sidesteps the GIL.
+SCAN_BACKENDS = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class ScanParallelism:
-    """Knobs for morsel-driven scans: worker count and morsel size."""
+    """Knobs for morsel-driven scans: workers, morsel size, backend."""
 
     workers: int = 1
     morsel_buckets: int = DEFAULT_MORSEL_BUCKETS
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -58,10 +64,18 @@ class ScanParallelism:
             raise ExecutionError(
                 f"morsel_buckets must be >= 1, got {self.morsel_buckets}"
             )
+        if self.backend not in SCAN_BACKENDS:
+            raise ExecutionError(
+                f"scan backend must be one of {SCAN_BACKENDS}, got {self.backend!r}"
+            )
 
     @property
     def enabled(self) -> bool:
         return self.workers > 1
+
+    @property
+    def use_processes(self) -> bool:
+        return self.enabled and self.backend == "process"
 
     @classmethod
     def serial(cls) -> "ScanParallelism":

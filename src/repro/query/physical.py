@@ -128,11 +128,18 @@ def scan_binding(
     """Resolve the execution mode every physical plan binds against.
 
     Returns ``(mode_label, effective_parallelism)`` where the label is
-    ``"serial"`` or ``"morsel(workers=N)"`` and the parallelism is None
-    whenever execution should use the serial operators.  This is the
-    only place in the engine where that decision is made.
+    ``"serial"``, ``"morsel(workers=N)"`` (thread backend) or
+    ``"morsel(workers=N, backend=process)"``, and the parallelism is
+    None whenever execution should use the serial operators.  This is
+    the only place in the engine where that decision is made.
     """
     if parallelism is not None and parallelism.enabled:
+        if parallelism.backend != "thread":
+            label = (
+                f"morsel(workers={parallelism.workers}, "
+                f"backend={parallelism.backend})"
+            )
+            return label, parallelism
         return f"morsel(workers={parallelism.workers})", parallelism
     return "serial", None
 

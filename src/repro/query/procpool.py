@@ -1,0 +1,560 @@
+"""Process-based scan backend: morsels executed in worker processes.
+
+Thread morsels (:mod:`repro.query.parallel`) keep every byte of work
+under the parent's GIL, so CPU-bound bucket work (page decode, predicate
+evaluation, grouping) does not actually overlap.  This module dispatches
+the same morsel subplans to a persistent :class:`ProcessPoolExecutor`
+whose workers re-open the catalog read-only via ``os.pread`` (each
+worker holds its own :class:`~repro.storage.catalog.Catalog`, buffer
+pool and fault injector), execute the shipped subplan, and return
+**un-finalized** :class:`~repro.query.aggregation.AggregationState`
+partials over the :mod:`repro.shard.state_serde` wire format — the same
+order-preserving merge as thread morsels and shard workers, so results
+stay byte-identical to the serial fold.
+
+Task payloads are pure data: bucket lists / bucket ranges, predicates
+and aggregate specs serialized with :mod:`repro.lang.serde`, and (for
+SMA plans) the pre-sliced per-bucket SMA advancement entries, so workers
+never re-read SMA files the parent already rolled up.
+
+Accounting contract (see :mod:`repro.storage.stats`): every worker task
+runs inside its *own* pool's ``query_context`` window and wires the
+window back with the payload; the dispatcher merges worker windows into
+the calling thread's window **in task order**, exactly once.  Physical
+reads performed by a worker process land in that worker's cumulative
+pool counters, never the parent's — the parent sees them only as the
+merged per-query delta.
+
+Worker pools are keyed by (catalog root, buffer pages, fault-injector
+signature) and persist across queries; ``go_cold`` bumps a cold epoch
+that makes workers drop their caches before the next task.  A crashed
+worker (``BrokenProcessPool``) disposes the pool and raises
+:class:`ProcPoolBrokenError`; operators catch it and fall back to the
+thread backend for the query at hand.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import ExecutionError, QueryCancelledError, QueryTimeoutError
+from repro.lang.serde import (
+    aggregate_spec_from_json,
+    aggregate_spec_to_json,
+    predicate_from_json,
+    predicate_to_json,
+)
+from repro.obs.trace import NO_TRACER
+from repro.shard.state_serde import (
+    state_from_wire,
+    state_to_wire,
+    stats_from_wire,
+    stats_to_wire,
+)
+from repro.storage.stats import IoStats
+
+#: Spawn at least this many workers per pool, so a later query asking
+#: for a few more workers does not force a full pool respawn.
+MIN_PROCESSES = 4
+
+#: Hard ceiling on worker processes per pool.
+MAX_PROCESSES = 16
+
+
+class ProcPoolBrokenError(ExecutionError):
+    """The worker-process pool died mid-dispatch (worker crash/kill)."""
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the spawned process)
+# ----------------------------------------------------------------------
+
+_WORKER_CATALOG = None
+_WORKER_EPOCH: int | None = None
+
+
+def _worker_init(root_dir: str, buffer_pages: int, fault_seed, fault_specs) -> None:
+    """Process initializer: re-open the catalog read-only via ``pread``.
+
+    The worker gets its own buffer pool (same capacity as the parent's)
+    and, when the parent runs under fault injection, an injector rebuilt
+    from the same (seed, specs) so simulated-device schedules apply to
+    worker reads too.
+    """
+    global _WORKER_CATALOG
+    from repro.storage.catalog import Catalog
+    from repro.storage.faults import FaultInjector
+
+    injector = None
+    if fault_specs:
+        injector = FaultInjector(seed=fault_seed, specs=tuple(fault_specs))
+    _WORKER_CATALOG = Catalog.discover(
+        root_dir,
+        buffer_pages=buffer_pages,
+        fault_injector=injector,
+        read_only=True,
+    )
+
+
+def _worker_run(task: dict) -> dict:
+    """Execute one shipped morsel subplan; return (payload, stats) wire."""
+    global _WORKER_EPOCH
+    catalog = _WORKER_CATALOG
+    assert catalog is not None, "worker initializer did not run"
+    epoch = task["cold_epoch"]
+    if epoch != _WORKER_EPOCH:
+        # The parent went cold since our last task: drop page + decode
+        # caches so this task's reads hit "disk" like the parent's would.
+        catalog.go_cold()
+        _WORKER_EPOCH = epoch
+    window = IoStats()
+    started = time.perf_counter()
+    with catalog.pool.query_context(window):
+        payload = _execute_task(catalog, task)
+    payload["stats"] = stats_to_wire(window)
+    payload["wall_s"] = time.perf_counter() - started
+    return payload
+
+
+def _task_plan(catalog, task):
+    table = catalog.table(task["table"])
+    predicate = predicate_from_json(task["predicate"]).bind(table.schema)
+    group_by = tuple(task["group_by"])
+    aggregates = tuple(
+        _rebuild_aggregate(node) for node in task["aggregates"]
+    )
+    return table, predicate, group_by, aggregates
+
+
+def _rebuild_aggregate(node: dict):
+    from repro.query.query import OutputAggregate
+
+    return OutputAggregate(node["name"], aggregate_spec_from_json(node["spec"]))
+
+
+def _execute_task(catalog, task: dict) -> dict:
+    kind = task["kind"]
+    if kind == "gaggr":
+        return _run_gaggr_task(catalog, task)
+    if kind == "sma_range":
+        return _run_sma_range_task(catalog, task)
+    if kind == "scan":
+        return _run_scan_task(catalog, task)
+    raise ExecutionError(f"unknown process-scan task kind {kind!r}")
+
+
+def _run_gaggr_task(catalog, task: dict) -> dict:
+    from repro.query.aggregation import AggregationState
+
+    table, predicate, group_by, aggregates = _task_plan(catalog, task)
+    stats = table.heap.pool.stats
+    partial = AggregationState(table.schema, group_by, aggregates)
+    for bucket_no in task["buckets"]:
+        records = table.read_bucket(bucket_no)
+        stats.buckets_fetched += 1
+        stats.tuples_scanned += len(records)
+        mask = predicate.evaluate(records)
+        partial.consume_batch(records if mask.all() else records[mask])
+    return {"state": state_to_wire(partial)}
+
+
+def _run_sma_range_task(catalog, task: dict) -> dict:
+    from repro.query.aggregation import AggregationState
+    from repro.query.sma_gaggr import _SmaEntries
+
+    table, predicate, group_by, aggregates = _task_plan(catalog, task)
+    stats = table.heap.pool.stats
+    partial = AggregationState(table.schema, group_by, aggregates)
+    # Entries and masks arrive pre-sliced to [lo, hi); advancement walks
+    # local indexes so qualifying SMA entries and ambivalent heap tuples
+    # interleave in exactly the serial bucket order.
+    entries = _SmaEntries(task["entry_counts"], task["entry_aggs"])
+    lo, hi = task["lo"], task["hi"]
+    qualifying = task["qualifying"]
+    ambivalent = task["ambivalent"]
+    for i in range(hi - lo):
+        if qualifying[i]:
+            entries.advance(partial, i)
+        elif ambivalent[i]:
+            records = table.read_bucket(lo + i)
+            stats.buckets_fetched += 1
+            stats.tuples_scanned += len(records)
+            mask = predicate.evaluate(records)
+            partial.consume_batch(records[mask])
+    return {"state": state_to_wire(partial)}
+
+
+def _run_scan_task(catalog, task: dict) -> dict:
+    table, predicate, _, _ = _task_plan(catalog, task)
+    stats = table.heap.pool.stats
+    out = []
+    for bucket_no, qualifying in zip(task["buckets"], task["qualifying"]):
+        records = table.read_bucket(bucket_no)
+        stats.buckets_fetched += 1
+        stats.tuples_scanned += len(records)
+        if qualifying:
+            out.append(records)
+        else:
+            mask = predicate.evaluate(records)
+            out.append(records if mask.all() else records[mask])
+    return {"batches": out}
+
+
+# ----------------------------------------------------------------------
+# task payload builders (parent side)
+# ----------------------------------------------------------------------
+
+
+def _plan_payload(table, predicate, group_by, aggregates) -> dict:
+    return {
+        "table": table.name,
+        "predicate": predicate_to_json(predicate),
+        "group_by": list(group_by),
+        "aggregates": [
+            {"name": a.name, "spec": aggregate_spec_to_json(a.spec)}
+            for a in aggregates
+        ],
+    }
+
+
+def gaggr_task(table, predicate, group_by, aggregates, buckets) -> dict:
+    payload = _plan_payload(table, predicate, group_by, aggregates)
+    payload.update(kind="gaggr", buckets=[int(b) for b in buckets])
+    return payload
+
+
+def sma_range_task(
+    table, predicate, group_by, aggregates, lo, hi,
+    qualifying, ambivalent, entries,
+) -> dict:
+    """Ship buckets [lo, hi) with masks and SMA entries sliced to the range."""
+    payload = _plan_payload(table, predicate, group_by, aggregates)
+    payload.update(
+        kind="sma_range",
+        lo=int(lo),
+        hi=int(hi),
+        qualifying=qualifying[lo:hi].copy(),
+        ambivalent=ambivalent[lo:hi].copy(),
+        entry_counts=[
+            (key, values[lo:hi].copy()) for key, values in entries.counts
+        ],
+        entry_aggs=[
+            (
+                index,
+                kind,
+                key,
+                values[lo:hi].copy(),
+                None if valid is None else valid[lo:hi].copy(),
+            )
+            for index, kind, key, values, valid in entries.aggs
+        ],
+    )
+    return payload
+
+
+def scan_task(table, predicate, buckets, qualifying) -> dict:
+    payload = _plan_payload(table, predicate, (), ())
+    payload.update(
+        kind="scan",
+        buckets=[int(b) for b in buckets],
+        qualifying=[bool(q) for q in qualifying],
+    )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pool registry (parent side)
+# ----------------------------------------------------------------------
+
+
+class ProcScanPool:
+    """One persistent worker-process pool for one (catalog, faults) pair."""
+
+    def __init__(self, key, root_dir, buffer_pages, fault_seed, fault_specs):
+        self.key = key
+        self.root_dir = root_dir
+        self.buffer_pages = buffer_pages
+        self.fault_seed = fault_seed
+        self.fault_specs = fault_specs
+        self.cold_epoch = 0
+        self.tasks_dispatched = 0
+        self._executor: ProcessPoolExecutor | None = None
+        self._max_workers = 0
+        self._lock = threading.Lock()
+
+    def _ensure(self, workers: int) -> ProcessPoolExecutor:
+        size = min(max(workers, MIN_PROCESSES), MAX_PROCESSES)
+        with self._lock:
+            if self._executor is None or self._max_workers < size:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=size,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=_worker_init,
+                    initargs=(
+                        self.root_dir,
+                        self.buffer_pages,
+                        self.fault_seed,
+                        self.fault_specs,
+                    ),
+                )
+                self._max_workers = size
+            return self._executor
+
+    @property
+    def spawned_workers(self) -> int:
+        return self._max_workers
+
+    def dispatch(
+        self,
+        tasks: list[dict],
+        workers: int,
+        *,
+        cancel_event=None,
+        deadline=None,
+    ) -> list[dict]:
+        """Run *tasks* with at most *workers* in flight; results in order.
+
+        Worker crashes raise :class:`ProcPoolBrokenError` (after the pool
+        is disposed, so the next query respawns it); task-level errors
+        re-raise in task order after every submitted task settles —
+        matching :func:`repro.query.parallel.run_morsels` semantics.
+        """
+        executor = self._ensure(workers)
+        for task in tasks:
+            task["cold_epoch"] = self.cold_epoch
+        results: list[dict | None] = [None] * len(tasks)
+        errors: list[BaseException | None] = [None] * len(tasks)
+        pending: dict = {}
+        next_index = 0
+
+        def submit_next() -> None:
+            nonlocal next_index
+            if next_index < len(tasks):
+                future = executor.submit(_worker_run, tasks[next_index])
+                pending[future] = next_index
+                next_index += 1
+
+        try:
+            for _ in range(min(max(workers, 1), len(tasks))):
+                submit_next()
+            while pending:
+                if cancel_event is not None and cancel_event.is_set():
+                    for future in pending:
+                        future.cancel()
+                    raise QueryCancelledError(
+                        "query cancelled during process scan"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    for future in pending:
+                        future.cancel()
+                    raise QueryTimeoutError(
+                        "query deadline passed during process scan"
+                    )
+                done, _ = wait(pending, timeout=0.25, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except BaseException as exc:  # noqa: BLE001 - reordered below
+                        errors[index] = exc
+                    else:
+                        self.tasks_dispatched += 1
+                    submit_next()
+        except BrokenProcessPool as exc:
+            # Submission and result retrieval can both surface a dead
+            # worker; either way the executor is unusable — dispose it so
+            # the next query respawns, and let the operator fall back.
+            self.dispose()
+            raise ProcPoolBrokenError(
+                "scan worker process died; falling back to threads"
+            ) from exc
+        for error in errors:
+            if error is not None:
+                raise error
+        return [result for result in results if result is not None]
+
+    def go_cold(self) -> None:
+        """Make workers drop page/decode caches before their next task."""
+        self.cold_epoch += 1
+
+    def dispose(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._max_workers = 0
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        with _REGISTRY_LOCK:
+            _POOLS.pop(self.key, None)
+
+
+_POOLS: dict[tuple, ProcScanPool] = {}
+_REGISTRY_LOCK = threading.Lock()
+_FALLBACKS = 0
+
+
+def _injector_signature(injector) -> tuple | None:
+    if injector is None:
+        return None
+    return (injector.seed, tuple(injector.specs))
+
+
+def get_pool(root_dir: str, buffer_pages: int, injector=None) -> ProcScanPool:
+    """The persistent pool for a catalog root (created on first use)."""
+    root = os.path.abspath(root_dir)
+    key = (root, int(buffer_pages), _injector_signature(injector))
+    with _REGISTRY_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            seed = injector.seed if injector is not None else 0
+            specs = tuple(injector.specs) if injector is not None else ()
+            pool = ProcScanPool(key, root, int(buffer_pages), seed, specs)
+            _POOLS[key] = pool
+        return pool
+
+
+def go_cold(root_dir: str) -> None:
+    """Advance the cold epoch of every pool attached to *root_dir*."""
+    root = os.path.abspath(root_dir)
+    with _REGISTRY_LOCK:
+        pools = [pool for key, pool in _POOLS.items() if key[0] == root]
+    for pool in pools:
+        pool.go_cold()
+
+
+def dispose_pools(root_dir: str) -> None:
+    """Dispose every pool attached to *root_dir* (catalog teardown)."""
+    root = os.path.abspath(root_dir)
+    with _REGISTRY_LOCK:
+        pools = [pool for key, pool in _POOLS.items() if key[0] == root]
+    for pool in pools:
+        pool.dispose()
+
+
+def note_fallback() -> None:
+    """Record one process → thread backend fallback (worker crash)."""
+    global _FALLBACKS
+    with _REGISTRY_LOCK:
+        _FALLBACKS += 1
+
+
+def pool_gauges(root_dir: str | None = None) -> dict:
+    """Live worker-pool gauges for /metrics and the snapshot endpoint."""
+    root = os.path.abspath(root_dir) if root_dir is not None else None
+    with _REGISTRY_LOCK:
+        pools = [
+            pool
+            for key, pool in _POOLS.items()
+            if root is None or key[0] == root
+        ]
+        fallbacks = _FALLBACKS
+    return {
+        "pools": len(pools),
+        "workers_spawned": sum(pool.spawned_workers for pool in pools),
+        "tasks_dispatched": sum(pool.tasks_dispatched for pool in pools),
+        "fallbacks": fallbacks,
+    }
+
+
+def shutdown_pools() -> None:
+    """Dispose every pool (atexit / test teardown)."""
+    with _REGISTRY_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        with pool._lock:
+            executor, pool._executor = pool._executor, None
+            pool._max_workers = 0
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# operator-facing dispatcher
+# ----------------------------------------------------------------------
+
+
+def run_process_morsels(
+    table,
+    payloads: list[dict],
+    workers: int,
+    *,
+    tracer=NO_TRACER,
+    span_name: str = "scan_morsel",
+) -> list[dict]:
+    """Dispatch morsel payloads; merge worker stats into the caller's window.
+
+    Returns worker result dicts in task order.  Each worker's IoStats
+    delta is merged into the calling thread's per-query window exactly
+    once, in task order, and — under an enabled tracer — exposed as one
+    io-carrying ``span_name`` span per morsel so PR 4's leaf-sum
+    reconciliation stays exact.  The dispatcher itself must never run
+    inside an io-carrying span (that would double-count the merge).
+
+    Raises :class:`ProcPoolBrokenError` when the pool died; callers
+    catch it, call :func:`note_fallback` and re-run on threads.
+    """
+    pool = table.heap.pool
+    # Workers attach to the *on-disk* heap via pread: persist the data
+    # handle and metadata sidecars first, so a freshly-loaded table is
+    # visible to them.  A no-op-sized write when the heap is clean.
+    table.heap.flush()
+    root_dir = os.path.dirname(os.path.abspath(table.heap.path))
+    proc = get_pool(root_dir, pool.capacity_pages, pool.fault_injector)
+    cancel_event, deadline = pool.binding_controls()
+    parent_span = tracer.current() if tracer.enabled else None
+    with tracer.span(
+        "process_dispatch",
+        attrs={"tasks": len(payloads), "workers": workers, "backend": "process"},
+    ):
+        wire_results = proc.dispatch(
+            payloads, workers, cancel_event=cancel_event, deadline=deadline
+        )
+    parent = pool.stats
+    for index, result in enumerate(wire_results):
+        worker_stats = stats_from_wire(result["stats"])
+        if parent_span is not None:
+            window = IoStats()
+            with tracer.span(
+                span_name,
+                parent=parent_span,
+                stats=window,
+                attrs={
+                    "morsel": index,
+                    "backend": "process",
+                    "worker_wall_s": result.get("wall_s"),
+                },
+            ):
+                window.merge(worker_stats)
+            parent.merge(window)
+        else:
+            parent.merge(worker_stats)
+    return wire_results
+
+
+def partial_from_wire(node: dict, aggregates, group_by):
+    """Rebuild a worker's partial AggregationState for the ordered merge.
+
+    The wire round-trip reconstructs aggregate specs structurally equal
+    to the parent's (frozen dataclasses), but we install the parent's
+    own tuples so ``AggregationState.merge`` compares identical objects.
+    """
+    partial = state_from_wire(node)
+    if tuple(partial.group_by) != tuple(group_by):
+        raise ExecutionError("process worker returned mismatched group_by")
+    if partial.aggregates != tuple(aggregates):
+        raise ExecutionError("process worker returned mismatched aggregates")
+    partial.aggregates = tuple(aggregates)
+    return partial

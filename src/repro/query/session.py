@@ -128,6 +128,9 @@ class Session:
     ``scan_workers`` > 1 enables morsel-driven intra-query parallelism:
     the planner swaps the serial scan operators for their morsel
     variants, whose results are byte-identical to serial execution.
+    ``scan_backend`` picks where morsels run: ``"thread"`` (default, in
+    process) or ``"process"`` (persistent worker-process pool, see
+    :mod:`repro.query.procpool`).
     """
 
     def __init__(
@@ -137,12 +140,15 @@ class Session:
         *,
         scan_workers: int = 1,
         morsel_buckets: int = DEFAULT_MORSEL_BUCKETS,
+        scan_backend: str = "thread",
         tracer=None,
     ):
         self.catalog = catalog
         self.disk_model = disk_model
         self.parallelism = ScanParallelism(
-            workers=scan_workers, morsel_buckets=morsel_buckets
+            workers=scan_workers,
+            morsel_buckets=morsel_buckets,
+            backend=scan_backend,
         )
         #: observability: None resolves to the shared no-op tracer, so
         #: un-instrumented callers pay nothing.
@@ -174,6 +180,10 @@ class Session:
         """
         if cold:
             self.catalog.go_cold()
+            if self.parallelism.use_processes:
+                from repro.query import procpool
+
+                procpool.go_cold(self.catalog.root_dir)
         pool = self.catalog.pool
         pool.reset_sequence_tracking()
         window = pool.stats
@@ -225,6 +235,10 @@ class Session:
             )
         if cold:
             self.catalog.go_cold()
+            if self.parallelism.use_processes:
+                from repro.query import procpool
+
+                procpool.go_cold(self.catalog.root_dir)
         pool = self.catalog.pool
         pool.reset_sequence_tracking()
         window = pool.stats
@@ -289,6 +303,10 @@ class Session:
         """Run ``EXPLAIN SELECT ...``: plan only, rows are the plan text."""
         if cold:
             self.catalog.go_cold()
+            if self.parallelism.use_processes:
+                from repro.query import procpool
+
+                procpool.go_cold(self.catalog.root_dir)
         pool = self.catalog.pool
         pool.reset_sequence_tracking()
         window = pool.stats

@@ -149,17 +149,21 @@ class SmaGAggr:
                 start = chunk[-1] + 1
             if start < self.table.num_buckets:
                 ranges.append((start, self.table.num_buckets))
-            tasks = [
-                self._range_task(lo, hi, entries) for lo, hi in ranges
-            ]
-            pool = self.table.heap.pool
-            partials = run_morsels(
-                pool,
-                tasks,
-                self.parallelism.workers,
-                tracer=tracer,
-                span_name="ambivalent_fetch",
-            )
+            partials = None
+            if self.parallelism.use_processes and len(ranges) > 1:
+                partials = self._process_partials(ranges, entries, partitioning)
+            if partials is None:
+                tasks = [
+                    self._range_task(lo, hi, entries) for lo, hi in ranges
+                ]
+                pool = self.table.heap.pool
+                partials = run_morsels(
+                    pool,
+                    tasks,
+                    self.parallelism.workers,
+                    tracer=tracer,
+                    span_name="ambivalent_fetch",
+                )
             with tracer.span("merge", attrs={"partials": len(partials)}):
                 for partial in partials:
                     state.merge(partial)
@@ -179,6 +183,40 @@ class SmaGAggr:
         Post-processing (averages) happens inside ``finalize()``.
         """
         return self.collect_state().finalize()
+
+    def _process_partials(self, ranges, entries, partitioning):
+        """Range partials via the worker-process pool (None = fall back).
+
+        Each task ships its bucket range with the partitioning masks and
+        SMA advancement entries pre-sliced to the range, so the worker
+        interleaves qualifying SMA entries and ambivalent heap tuples in
+        exactly the serial bucket order without re-reading SMA files.
+        """
+        from repro.query import procpool
+
+        payloads = [
+            procpool.sma_range_task(
+                self.table, self.predicate, self.group_by, self.aggregates,
+                lo, hi, partitioning.qualifying, partitioning.ambivalent,
+                entries,
+            )
+            for lo, hi in ranges
+        ]
+        try:
+            results = procpool.run_process_morsels(
+                self.table,
+                payloads,
+                self.parallelism.workers,
+                tracer=self.tracer,
+                span_name="ambivalent_fetch",
+            )
+        except procpool.ProcPoolBrokenError:
+            procpool.note_fallback()
+            return None
+        return [
+            procpool.partial_from_wire(r["state"], self.aggregates, self.group_by)
+            for r in results
+        ]
 
     def _range_task(self, lo: int, hi: int, entries: "_SmaEntries"):
         def task() -> AggregationState:

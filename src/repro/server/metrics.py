@@ -217,6 +217,8 @@ class MetricsRegistry:
         self._sma_repaired = 0
         #: per-table quarantine counts — {table: count}
         self._quarantined_by_table: dict[str, int] = {}
+        #: scan-backend info (set by the service) — {backend, scan_workers}
+        self._scan_info: dict | None = None
 
     @property
     def uptime_s(self) -> float:
@@ -231,6 +233,14 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # recording (called by the service / executor)
     # ------------------------------------------------------------------
+
+    def set_scan_info(self, *, backend: str, scan_workers: int) -> None:
+        """Publish the serving tier's scan backend configuration."""
+        with self._lock:
+            self._scan_info = {
+                "backend": backend,
+                "scan_workers": int(scan_workers),
+            }
 
     def record_submitted(self) -> None:
         with self._lock:
@@ -349,6 +359,8 @@ class MetricsRegistry:
                                   mean_/last_ x 3 fractions}},
               "integrity": {sma_quarantined, sma_repaired,
                             by_table: {table: count}},
+              "scan": {backend, scan_workers[, pool: {...gauges}]}
+                      or None when no service published its config,
             }
         """
         with self._lock:
@@ -400,4 +412,5 @@ class MetricsRegistry:
                     "sma_repaired": self._sma_repaired,
                     "by_table": dict(sorted(self._quarantined_by_table.items())),
                 },
+                "scan": dict(self._scan_info) if self._scan_info else None,
             }

@@ -91,6 +91,10 @@ class QueryService:
         reach ``workers * scan_workers``.
     morsel_buckets:
         Buckets per morsel when ``scan_workers`` > 1.
+    scan_backend:
+        Where morsels run: ``"thread"`` (in-process pool, default) or
+        ``"process"`` (persistent worker-process pool that sidesteps
+        the GIL; see :mod:`repro.query.procpool`).
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`.  When given, every
         submission gets a per-query root span (created at submit time so
@@ -118,6 +122,7 @@ class QueryService:
         metrics: MetricsRegistry | None = None,
         scan_workers: int = 1,
         morsel_buckets: int | None = None,
+        scan_backend: str = "thread",
         tracer=None,
         events: EventLog | None = None,
         slow_query_s: float | None = None,
@@ -127,7 +132,11 @@ class QueryService:
         self.default_timeout_s = default_timeout_s
         self.scan_workers = scan_workers
         self.morsel_buckets = morsel_buckets
+        self.scan_backend = scan_backend
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.set_scan_info(
+            backend=scan_backend, scan_workers=scan_workers
+        )
         self.tracer = resolve_tracer(tracer)
         self.events = events
         self.slow_query_s = slow_query_s
@@ -167,6 +176,7 @@ class QueryService:
                 workers=self.workers,
                 queue_depth=self.queue_depth,
                 scan_workers=self.scan_workers,
+                scan_backend=self.scan_backend,
                 started_at=self.metrics.started_at,
             )
         return self
@@ -200,6 +210,11 @@ class QueryService:
         observable.
         """
         snapshot = self.metrics.snapshot()
+        scan = snapshot.get("scan")
+        if scan is not None and self.scan_backend == "process":
+            from repro.query import procpool
+
+            scan["pool"] = procpool.pool_gauges(self.catalog.root_dir)
         if self.events is not None:
             snapshot["events"] = self.events.stats()
         return snapshot
@@ -318,7 +333,10 @@ class QueryService:
     def _session(self) -> Session:
         session = getattr(self._sessions, "session", None)
         if session is None:
-            kwargs: dict = {"scan_workers": self.scan_workers}
+            kwargs: dict = {
+                "scan_workers": self.scan_workers,
+                "scan_backend": self.scan_backend,
+            }
             if self.morsel_buckets is not None:
                 kwargs["morsel_buckets"] = self.morsel_buckets
             session = Session(
@@ -337,7 +355,9 @@ class QueryService:
         session = getattr(self._sessions, "explain_session", None)
         if session is None:
             session = Session(
-                self.catalog, self.disk_model, scan_workers=self.scan_workers
+                self.catalog, self.disk_model,
+                scan_workers=self.scan_workers,
+                scan_backend=self.scan_backend,
             )
             self._sessions.explain_session = session
         return session

@@ -36,9 +36,13 @@ class Catalog:
         *,
         buffer_pages: int = 2048,
         stripes: int | None = None,
+        read_only: bool = False,
     ):
         os.makedirs(root_dir, exist_ok=True)
         self.root_dir = root_dir
+        #: Read-only attach (scan worker processes): never rewrite the
+        #: manifest, even on registration during :meth:`discover`.
+        self.read_only = read_only
         self.stats = IoStats()
         self.pool = BufferPool(
             capacity_pages=buffer_pages, stats=self.stats, stripes=stripes
@@ -70,6 +74,8 @@ class Catalog:
             return json.load(f)
 
     def _save_manifest(self) -> None:
+        if self.read_only:
+            return
         manifest = {
             "tables": {
                 name: {"clustered_on": table.clustered_on}
@@ -84,8 +90,13 @@ class Catalog:
                 if by_name
             },
         }
-        with open(self._manifest_path, "w", encoding="utf-8") as f:
+        # Atomic replace: concurrent readers (spawning scan worker
+        # processes re-running discovery) must never observe a
+        # truncated manifest mid-rewrite.
+        tmp_path = self._manifest_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
             json.dump(manifest, f, indent=1)
+        os.replace(tmp_path, self._manifest_path)
 
     @classmethod
     def discover(
@@ -95,16 +106,26 @@ class Catalog:
         buffer_pages: int = 2048,
         stripes: int | None = None,
         fault_injector=None,
+        read_only: bool = False,
     ) -> "Catalog":
         """Re-open a persisted catalog: every table and SMA set listed in
         its manifest comes back registered and query-ready.
 
         ``fault_injector`` attaches before anything opens, so SMA body
         reads during discovery already run under injected faults — the
-        chaos suite uses this to corrupt files "in flight"."""
+        chaos suite uses this to corrupt files "in flight".
+
+        ``read_only`` attaches without ever rewriting the manifest —
+        scan worker processes use this so concurrent spawns cannot race
+        the file."""
         from repro.core.sma_set import SmaSet
 
-        catalog = cls(root_dir, buffer_pages=buffer_pages, stripes=stripes)
+        catalog = cls(
+            root_dir,
+            buffer_pages=buffer_pages,
+            stripes=stripes,
+            read_only=read_only,
+        )
         if fault_injector is not None:
             catalog.install_fault_injector(fault_injector)
         manifest = catalog._load_manifest()
@@ -236,6 +257,8 @@ class Catalog:
     def go_cold(self) -> None:
         """Empty the buffer pool: the next reads hit 'disk' (cold run)."""
         self.pool.clear()
+        for table in self._tables.values():
+            table.heap.drop_decode_cache()
 
     def reset_stats(self) -> IoStats:
         """Zero the shared counters and return the pre-reset snapshot."""

@@ -83,6 +83,19 @@ class HeapFile:
         # file may execute concurrently on this shared handle.
         self._handle = open(path, "r+b", buffering=0)
         self._closed = False
+        # Decoded-bucket cache: bucket_no -> (page payloads, record batch).
+        # Keyed on the *identity* of the pooled payload bytes — strictly
+        # stronger than a (page, generation) pair, because any reload,
+        # eviction or write produces a new bytes object.  The pool is
+        # still consulted on every read, so hit/miss accounting is
+        # unchanged; a cache hit merely skips header unpack + frombuffer
+        # (+ concatenate for multi-page buckets) on warm scans.
+        self._decode_cache: dict[int, tuple[tuple[bytes, ...], np.ndarray]] = {}
+        self._decode_cache_cap = max(1024, pool.capacity_pages)
+        #: decoded-bucket cache counters (local to this handle; not part
+        #: of IoStats — the wire format derives from its fields).
+        self.decode_hits = 0
+        self.decode_misses = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -356,14 +369,21 @@ class HeapFile:
         self.flush()
         return rewritten
 
-    def _read_page(self, page_no: int) -> np.ndarray:
-        payload = self.pool.read_page(
-            self.file_id, page_no, lambda: self._load_page(page_no)
-        )
+    def _decode_page(self, payload: bytes) -> np.ndarray:
         (count,) = _COUNT_STRUCT.unpack_from(payload, 0)
         start = self.layout.page_header
         end = start + count * self.layout.record_width
         return np.frombuffer(payload[start:end], dtype=self.schema.record_dtype)
+
+    def _read_page(self, page_no: int) -> np.ndarray:
+        payload = self.pool.read_page(
+            self.file_id, page_no, lambda: self._load_page(page_no)
+        )
+        return self._decode_page(payload)
+
+    def drop_decode_cache(self) -> None:
+        """Forget decoded buckets (go-cold / after bulk rewrites)."""
+        self._decode_cache.clear()
 
     # ------------------------------------------------------------------
     # bucket operations
@@ -373,13 +393,26 @@ class HeapFile:
         """All records of bucket *bucket_no* as a read-only record batch."""
         self._check_bucket(bucket_no)
         first = bucket_no * self.layout.pages_per_bucket
-        parts = [
-            self._read_page(first + j)
+        payloads = tuple(
+            self.pool.read_page(
+                self.file_id, first + j,
+                lambda j=j: self._load_page(first + j),
+            )
             for j in range(self.layout.pages_per_bucket)
-        ]
-        if len(parts) == 1:
-            return parts[0]
-        return np.concatenate(parts)
+        )
+        cached = self._decode_cache.get(bucket_no)
+        if cached is not None and all(
+            a is b for a, b in zip(cached[0], payloads)
+        ):
+            self.decode_hits += 1
+            return cached[1]
+        parts = [self._decode_page(payload) for payload in payloads]
+        records = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if len(self._decode_cache) >= self._decode_cache_cap:
+            self._decode_cache.clear()
+        self._decode_cache[bucket_no] = (payloads, records)
+        self.decode_misses += 1
+        return records
 
     def write_bucket(self, bucket_no: int, records: np.ndarray) -> None:
         """Replace the contents of bucket *bucket_no* with *records*.

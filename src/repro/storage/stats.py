@@ -24,6 +24,20 @@ equal the miss growth.  Morsel-parallel scans preserve the same
 invariant by giving each scan worker a private window that the
 dispatcher merges into the query's window, in morsel order, before the
 query settles.
+
+*Process* scan workers (``scan_backend="process"``) extend the same
+contract across process boundaries.  Each worker process owns a private
+buffer pool and opens a fresh :class:`IoStats` window per task; the
+window's deltas travel back over the wire
+(:func:`repro.shard.state_serde.stats_to_wire`) and the dispatching
+thread merges them into the parent query's window exactly once, in task
+order — the leader never re-charges a read a worker already charged,
+and a worker's physical reads never appear in the parent pool's
+cumulative counters (they happened against the worker's own pool).
+Consequently per-query windows still sum to exactly the trace's leaf
+spans, but the *parent* pool's hit/miss counters only cover parent-side
+accesses; worker-side physical I/O is visible solely through the query
+windows and span attribution.
 """
 
 from __future__ import annotations

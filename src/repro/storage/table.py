@@ -55,6 +55,11 @@ class Table:
     def read_bucket(self, bucket_no: int) -> np.ndarray:
         return self.heap.read_bucket(bucket_no)
 
+    @property
+    def decode_cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the heap's decoded-bucket cache."""
+        return self.heap.decode_hits, self.heap.decode_misses
+
     def iter_buckets(self) -> Iterator[tuple[int, np.ndarray]]:
         return self.heap.iter_buckets()
 
