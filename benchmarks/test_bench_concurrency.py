@@ -19,6 +19,7 @@ import os
 
 from repro.bench.concurrency import (
     exp_concurrency_throughput,
+    exp_ingest_concurrency,
     exp_scan_parallelism,
 )
 
@@ -30,6 +31,10 @@ QUERIES_PER_CLIENT = 4
 SCAN_BACKENDS = ("thread", "process")
 SCAN_WORKER_COUNTS = (1, 2, 4, 8)
 CLIENT_COUNTS = (1, 4, 16)
+
+INGEST_RATES = (0, 4, 16)
+INGEST_BATCH_ROWS = 64
+INGEST_CLIENTS = 4
 
 ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
 
@@ -100,3 +105,38 @@ def test_bench_scan_parallelism(benchmark, bench_sf):
         # Even unasserted, dispatch overhead must never collapse the
         # scan below half of serial.
         assert result.metric("scan_speedup_sw4") > 0.5
+
+
+def test_bench_ingest_concurrency(benchmark, bench_sf):
+    trace_log = bench_trace_log("C4")
+    try:
+        result = run_once(
+            benchmark,
+            exp_ingest_concurrency,
+            scale_factor=bench_sf,
+            ingest_rates=INGEST_RATES,
+            batch_rows=INGEST_BATCH_ROWS,
+            clients=INGEST_CLIENTS,
+            queries_per_client=4,
+            event_log=trace_log,
+        )
+    finally:
+        trace_log.close()
+    assert trace_log.stats()["written"] > 0  # trace artifact is non-empty
+    # The experiment raises on lost reads, failed ingest batches, row
+    # counts not matching applied batches, or SMA/scan divergence; here
+    # we sanity-check the emitted metrics.
+    for rate in INGEST_RATES:
+        assert result.metric(f"read_p95_r{rate}_s") > 0
+        assert result.metric(f"read_qps_r{rate}") > 0
+        batches = result.metric(f"ingest_batches_r{rate}")
+        assert result.metric(f"ingest_rows_r{rate}") == (
+            batches * INGEST_BATCH_ROWS
+        )
+        # Every applied batch bumps the epoch exactly once.
+        assert result.metric(f"ingest_epoch_r{rate}") == batches
+        if rate == 0:
+            assert batches == 0
+    # A non-zero paced writer must actually land batches.
+    assert result.metric(f"ingest_batches_r{INGEST_RATES[-1]}") > 0
+    assert result.metric("p95_degradation_ratio") > 0

@@ -1303,6 +1303,7 @@ def exp_scaling_linearity(
 
 from repro.bench.concurrency import (
     exp_concurrency_throughput,
+    exp_ingest_concurrency,
     exp_scan_parallelism,
 )
 from repro.bench.sharding import exp_shard_scaling
@@ -1331,4 +1332,5 @@ ALL_EXPERIMENTS = (
     exp_concurrency_throughput,
     exp_scan_parallelism,
     exp_shard_scaling,
+    exp_ingest_concurrency,
 )

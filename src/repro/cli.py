@@ -592,6 +592,7 @@ _EXPERIMENT_IDS = {
     "exp_concurrency_throughput": "C1",
     "exp_scan_parallelism": "C2",
     "exp_shard_scaling": "C3",
+    "exp_ingest_concurrency": "C4",
 }
 
 
@@ -628,9 +629,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_define.add_argument("--file", help="path to a define sma script")
     p_define.set_defaults(func=cmd_define)
 
-    p_query = sub.add_parser("query", help="run one SELECT")
+    p_query = sub.add_parser(
+        "query", help="run one SQL statement (SELECT or INSERT/UPDATE/DELETE)"
+    )
     add_db(p_query)
-    p_query.add_argument("sql", help="SELECT statement")
+    p_query.add_argument("sql", help="SQL statement")
     p_query.add_argument("--mode", choices=("auto", "sma", "scan"), default="auto")
     p_query.add_argument("--cold", action="store_true")
     p_query.add_argument("--scan-workers", type=int, default=1,

@@ -234,8 +234,16 @@ class SmaFile:
         if self.checksum_algo:
             meta["checksum_algo"] = self.checksum_algo
             meta["checksum"] = compute_checksum(self._serialize(), self.checksum_algo)
-        with open(self.path + _META_SUFFIX, "w", encoding="utf-8") as f:
+        # Atomic (tmp + replace): the DML maintainer rewrites metas on
+        # every batch, and a crash mid-write must never leave a garbled
+        # sidecar — ``open`` has no tolerant path for those.
+        meta_path = self.path + _META_SUFFIX
+        tmp = meta_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
             json.dump(meta, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, meta_path)
 
     def close(self) -> None:
         self._closed = True

@@ -132,8 +132,15 @@ class SmaSet:
                 }
             )
         meta = {"name": self.name, "table": self.table.name, "definitions": definitions}
-        with open(os.path.join(self.directory, _META_FILE), "w", encoding="utf-8") as f:
+        # Atomic (tmp + replace): the DML maintainer saves after every
+        # batch; a crash mid-write must not garble the set manifest.
+        meta_path = os.path.join(self.directory, _META_FILE)
+        tmp = meta_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
             json.dump(meta, f, indent=1)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, meta_path)
 
     @classmethod
     def open(cls, directory: str, table: Table) -> "SmaSet":

@@ -103,6 +103,61 @@ def _emit(events, issue: VerifyIssue) -> None:
         )
 
 
+def _verify_intents(
+    catalog: Catalog, report: VerifyReport, events, *, repair: bool
+) -> None:
+    """Settle pending write-ahead intents before anything else runs.
+
+    A pending intent sidecar means a DML batch died between its intent
+    append and retire.  Resolution must precede the heap sweep (an
+    interrupted insert's torn trailing page would otherwise be reported
+    as an unrepairable CRC failure — rolling back restores the clean
+    pre-image) and the SMA recompute (which must compare against the
+    settled heap).
+    """
+    from repro.storage.intents import intent_path, load_intent, resolve_intent
+
+    for table in catalog.tables():
+        intent = load_intent(table.heap.path)
+        if intent is None:
+            continue
+        issue = VerifyIssue(
+            kind="heap_intent",
+            table=table.name,
+            target=intent_path(table.heap.path),
+            detail=(
+                f"pending {intent.op} intent at epoch {intent.epoch} "
+                f"({intent.before_buckets}->{intent.after_buckets} buckets)"
+            ),
+            repairable=True,
+        )
+        report.issues.append(issue)
+        if repair:
+            action = resolve_intent(table.heap, intent)
+            if (
+                action == "replayed"
+                and catalog.ingest_epoch(table.name) < intent.epoch
+            ):
+                catalog.bump_ingest_epoch(table.name)
+            issue.repaired = True
+            issue.detail += f" — {action}"
+            catalog.integrity.record_intent_resolution(
+                table=table.name,
+                op=intent.op,
+                epoch=intent.epoch,
+                action=action,
+            )
+            if events is not None:
+                events.emit(
+                    "intent_replayed",
+                    table=table.name,
+                    op=intent.op,
+                    epoch=intent.epoch,
+                    action=action,
+                )
+        _emit(events, issue)
+
+
 def _verify_heap(catalog: Catalog, report: VerifyReport, events) -> None:
     for table in catalog.tables():
         heap = table.heap
@@ -291,11 +346,14 @@ def verify_catalog(
 ) -> VerifyReport:
     """Sweep every heap page and SMA definition of *catalog*.
 
+    Pending write-ahead intents are settled first (with ``repair=True``
+    they are replayed or rolled back, restoring a clean epoch boundary).
     With ``repair=True``, rebuildable damage (any SMA issue, v1 heap
     files lacking checksums) is fixed in place; heap pages failing their
     CRC are ground truth and stay unrepairable.
     """
     report = VerifyReport()
+    _verify_intents(catalog, report, events, repair=repair)
     _verify_heap(catalog, report, events)
     if repair:
         for issue in report.issues:

@@ -182,14 +182,47 @@ def aggregate_spec_from_json(node: dict):
 
 
 def query_to_json(query) -> dict:
-    """Serialize an AggregateQuery or ScanQuery for the shard protocol.
+    """Serialize a query or DML statement for the shard protocol.
 
     Deserializing on the far side rebuilds a structurally *equal* query
     (all parts are frozen dataclasses), which is what lets per-shard
     :class:`~repro.query.aggregation.AggregationState` partials merge.
+    DML statements round-trip their literal values through the same
+    tagged-value encoding as predicate constants.
     """
-    from repro.query.query import AggregateQuery, ScanQuery
+    from repro.query.query import (
+        AggregateQuery,
+        DeleteStatement,
+        InsertStatement,
+        ScanQuery,
+        UpdateStatement,
+    )
 
+    if isinstance(query, InsertStatement):
+        return {
+            "type": "insert",
+            "table": query.table,
+            "columns": list(query.columns),
+            "rows": [
+                [_value_to_json(value) for value in row] for row in query.rows
+            ],
+        }
+    if isinstance(query, UpdateStatement):
+        return {
+            "type": "update",
+            "table": query.table,
+            "assignments": [
+                [name, _value_to_json(value)]
+                for name, value in query.assignments
+            ],
+            "where": predicate_to_json(query.where),
+        }
+    if isinstance(query, DeleteStatement):
+        return {
+            "type": "delete",
+            "table": query.table,
+            "where": predicate_to_json(query.where),
+        }
     if isinstance(query, AggregateQuery):
         return {
             "type": "aggregate",
@@ -214,10 +247,40 @@ def query_to_json(query) -> dict:
 
 
 def query_from_json(node: dict):
-    """Rebuild a query from :func:`query_to_json` output."""
-    from repro.query.query import AggregateQuery, OutputAggregate, ScanQuery
+    """Rebuild a query or DML statement from :func:`query_to_json` output."""
+    from repro.query.query import (
+        AggregateQuery,
+        DeleteStatement,
+        InsertStatement,
+        OutputAggregate,
+        ScanQuery,
+        UpdateStatement,
+    )
 
     kind = node["type"]
+    if kind == "insert":
+        return InsertStatement(
+            table=node["table"],
+            rows=tuple(
+                tuple(_value_from_json(value) for value in row)
+                for row in node["rows"]
+            ),
+            columns=tuple(node["columns"]),
+        )
+    if kind == "update":
+        return UpdateStatement(
+            table=node["table"],
+            assignments=tuple(
+                (name, _value_from_json(value))
+                for name, value in node["assignments"]
+            ),
+            where=predicate_from_json(node["where"]),
+        )
+    if kind == "delete":
+        return DeleteStatement(
+            table=node["table"],
+            where=predicate_from_json(node["where"]),
+        )
     if kind == "aggregate":
         return AggregateQuery(
             table=node["table"],

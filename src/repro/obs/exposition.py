@@ -402,6 +402,54 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
                 kind="counter",
             )
 
+    ingest = snapshot.get("ingest")
+    if ingest:
+        for table, by_op in sorted(ingest.get("rows_total", {}).items()):
+            for op, rows in sorted(by_op.items()):
+                out.sample(
+                    f"{ns}_ingest_rows_total",
+                    rows,
+                    labels={"table": table, "op": op},
+                    help_text="Rows applied by DML batches, per table "
+                    "and operation.",
+                    kind="counter",
+                )
+        for table, epoch in sorted(ingest.get("epochs", {}).items()):
+            out.sample(
+                f"{ns}_ingest_epoch",
+                epoch,
+                labels={"table": table},
+                help_text="Per-table ingest epoch (bumps once per "
+                "applied DML batch; readers pin it at admission).",
+            )
+        out.sample(
+            f"{ns}_ingest_batches_total",
+            ingest.get("batches", 0),
+            help_text="DML batches applied through the write path.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_ingest_write_queue_depth",
+            ingest.get("write_queue_depth", 0),
+            help_text="DML jobs admitted but not yet settled.",
+        )
+        out.sample(
+            f"{ns}_ingest_write_queue_peak",
+            ingest.get("write_queue_peak", 0),
+            help_text="High-water mark of the write queue depth.",
+        )
+        for action, key in (
+            ("replayed", "intents_replayed"),
+            ("rolled_back", "intents_rolled_back"),
+        ):
+            out.sample(
+                f"{ns}_ingest_intents_resolved_total",
+                ingest.get(key, 0),
+                labels={"action": action},
+                help_text="Write-ahead intents resolved during repair.",
+                kind="counter",
+            )
+
     events = snapshot.get("events", {})
     if events:
         out.sample(

@@ -44,8 +44,12 @@ from repro.lang.predicate import (
 )
 from repro.query.query import (
     AggregateQuery,
+    DeleteStatement,
+    DmlStatement,
+    InsertStatement,
     OutputAggregate,
     ScanQuery,
+    UpdateStatement,
 )
 from repro.storage.schema import Schema
 
@@ -254,3 +258,81 @@ def build_logical(
             required_columns=frozenset(required),
             source=query,
         )
+
+
+# ----------------------------------------------------------------------
+# DML logical plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LogicalDml:
+    """A validated, normalized DML statement — input to the DML binder.
+
+    The same predicate rewrites that serve grading serve the write path:
+    UPDATE/DELETE partition their victim set with the normalized
+    predicate, so bound tightening narrows the buckets the maintainer
+    must rewrite.
+    """
+
+    op: str  # "insert" | "update" | "delete"
+    table: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    assignments: tuple[tuple[str, object], ...] = ()
+    rows: tuple[tuple, ...] = ()
+    columns: tuple[str, ...] = ()
+    source: DmlStatement | None = field(compare=False, default=None)
+
+    def render(self) -> str:
+        """A SQL-ish one-line rendering for EXPLAIN output."""
+        if self.op == "insert":
+            cols = f" ({', '.join(self.columns)})" if self.columns else ""
+            return (
+                f"INSERT INTO {self.table}{cols} VALUES "
+                f"<{len(self.rows)} rows>"
+            )
+        if self.op == "update":
+            sets = ", ".join(f"{c} = {v!r}" for c, v in self.assignments)
+            parts = [f"UPDATE {self.table} SET {sets}"]
+        else:
+            parts = [f"DELETE FROM {self.table}"]
+        if not isinstance(self.predicate, TruePredicate):
+            parts.append(f"WHERE {self.predicate}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def build_logical_dml(statement: DmlStatement, schema: Schema) -> LogicalDml:
+    """Validate *statement* against *schema* and build its logical form."""
+    if not isinstance(
+        statement, (InsertStatement, UpdateStatement, DeleteStatement)
+    ):
+        raise PlanningError(
+            f"cannot build a DML plan for {type(statement).__name__}"
+        )
+    statement.validate(schema)
+    if isinstance(statement, InsertStatement):
+        return LogicalDml(
+            op="insert",
+            table=statement.table,
+            rows=statement.rows,
+            columns=statement.columns,
+            source=statement,
+        )
+    predicate = normalize_predicate(statement.where.bind(schema))
+    if isinstance(statement, UpdateStatement):
+        return LogicalDml(
+            op="update",
+            table=statement.table,
+            predicate=predicate,
+            assignments=statement.assignments,
+            source=statement,
+        )
+    return LogicalDml(
+        op="delete",
+        table=statement.table,
+        predicate=predicate,
+        source=statement,
+    )

@@ -28,7 +28,7 @@ from repro.query.iterators import (
     SeqScan,
     SmaScan,
 )
-from repro.query.logical import LogicalPlan
+from repro.query.logical import LogicalDml, LogicalPlan
 from repro.query.parallel import ScanParallelism
 from repro.query.query import PlanRunner, QueryRows
 from repro.query.sma_gaggr import SmaGAggr
@@ -409,4 +409,56 @@ def bind_scan_plan(
         # Serial pipelines have no internal spans: one leaf span covers
         # the whole scan.  Morsel plans get per-worker spans instead.
         runner = _traced_runner(runner, tracer, strategy, table)
+    return PhysicalPlan(root, runner)
+
+
+def bind_dml_plan(catalog, logical: LogicalDml, *, tracer=NO_TRACER) -> PhysicalPlan:
+    """Bind a DML logical plan to the crash-consistent apply path.
+
+    The runner funnels into :func:`repro.core.ingest.apply_dml` (intent
+    append → data pages → SMA advancement → retire + epoch bump) and
+    returns a one-row relation ``(rows_affected, epoch)`` so callers see
+    both what the batch did and the epoch it produced.
+    """
+    from repro.core.ingest import apply_dml
+
+    op_node = {"insert": "Insert", "update": "Update", "delete": "Delete"}
+    if logical.op not in op_node:
+        raise ValueError(f"unknown DML op {logical.op!r}")
+    props: list[tuple[str, str]] = [("table", logical.table)]
+    if logical.op == "insert":
+        props.append(("rows", str(len(logical.rows))))
+    else:
+        if logical.op == "update":
+            props.append(
+                ("set", ", ".join(name for name, _ in logical.assignments))
+            )
+        props.append(("predicate", str(logical.predicate)))
+    root = PlanNode(
+        op_node[logical.op],
+        props=tuple(props),
+        children=(
+            PlanNode("WriteAheadIntent", props=(("op", logical.op),)),
+            PlanNode(
+                "SmaMaintain",
+                props=(
+                    (
+                        "action",
+                        "advance" if logical.op == "insert" else "recompute",
+                    ),
+                ),
+            ),
+        ),
+    )
+
+    def runner() -> QueryRows:
+        with tracer.span(
+            "apply_dml", attrs={"op": logical.op, "table": logical.table}
+        ):
+            outcome = apply_dml(catalog, logical.source)
+        return (
+            ["rows_affected", "epoch"],
+            [(outcome.rows_affected, outcome.epoch)],
+        )
+
     return PhysicalPlan(root, runner)

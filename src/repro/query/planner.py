@@ -39,18 +39,27 @@ import numpy as np
 from repro.core.aggregates import AggregateSpec
 from repro.core.partition import BucketPartitioning
 from repro.core.sma_set import SmaSet
-from repro.errors import PlanningError, SmaIntegrityError
+from repro.errors import PlanningError, SmaIntegrityError, SmaStateError
 from repro.lang.predicate import Predicate, atoms
 from repro.obs.trace import NO_TRACER
-from repro.query.logical import LogicalPlan, build_logical
+from repro.query.logical import LogicalPlan, build_logical, build_logical_dml
 from repro.query.parallel import ScanParallelism, resolve_parallelism
 from repro.query.physical import (
     PhysicalPlan,
     PlanNode,
     bind_aggregate_plan,
+    bind_dml_plan,
     bind_scan_plan,
 )
-from repro.query.query import AggregateQuery, QueryRows, ScanQuery
+from repro.query.query import (
+    AggregateQuery,
+    DeleteStatement,
+    DmlStatement,
+    InsertStatement,
+    QueryRows,
+    ScanQuery,
+    UpdateStatement,
+)
 from repro.query.sma_gaggr import sma_covers, sma_requirements
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskModel, PAPER_DISK
@@ -226,6 +235,46 @@ def fetch_io_profile(
     return total_pages - gaps, gaps
 
 
+def clip_to_view(
+    partitioning: BucketPartitioning, table: Table
+) -> BucketPartitioning:
+    """Bound a grading to a pinned :class:`~repro.storage.table.TableView`.
+
+    Grading runs against the *live* SMA-files, which a concurrent insert
+    may have grown past the view's pinned geometry (or not yet caught up
+    with).  The clip makes the partitioning sound for the snapshot:
+
+    * entries beyond the pinned bucket count are dropped (those buckets
+      do not exist for this query); missing entries pad as ambivalent;
+    * the pinned trailing bucket is forced ambivalent — its SMA entry
+      advances *in place* during a concurrent top-up, so its min/max may
+      describe rows the snapshot excludes.  Ambivalent routes it through
+      the view's truncating bucket read, which is always exact.
+
+    No-op for an unpinned base table.
+    """
+    pin = getattr(table, "pin", None)
+    if pin is None:
+        return partitioning
+    buckets = int(pin["buckets"])
+    qualifying = partitioning.qualifying
+    disqualifying = partitioning.disqualifying
+    if len(qualifying) < buckets:
+        pad = buckets - len(qualifying)
+        qualifying = np.concatenate([qualifying, np.zeros(pad, dtype=bool)])
+        disqualifying = np.concatenate(
+            [disqualifying, np.zeros(pad, dtype=bool)]
+        )
+    else:
+        qualifying = qualifying[:buckets].copy()
+        disqualifying = disqualifying[:buckets].copy()
+    per_bucket = table.layout.tuples_per_bucket
+    if buckets and int(pin["trailing"]) < per_bucket:
+        qualifying[-1] = False
+        disqualifying[-1] = False
+    return BucketPartitioning(qualifying, disqualifying)
+
+
 class Planner:
     """Chooses and builds physical plans against one catalog."""
 
@@ -319,7 +368,7 @@ class Planner:
         seq_pages, skip_pages = fetch_io_profile(
             fetched, table.layout.pages_per_bucket
         )
-        counts = np.asarray(table.heap.bucket_counts())
+        counts = np.asarray(table.bucket_counts())
         fetch_tuples = int(counts[fetched].sum())
         return (
             model.sma_seconds(
@@ -354,11 +403,18 @@ class Planner:
         paths: list[AccessPath] = []
         if mode != "scan":
             for candidate in self._usable_sets(table, logical, sma_set):
-                partitioning = self._grade_candidate(candidate, logical)
+                try:
+                    partitioning = self._grade_candidate(candidate, logical)
+                except SmaStateError:
+                    # Transient length mismatch while a concurrent insert
+                    # grows heap and SMA-files out of lockstep; the scan
+                    # alternative below still serves this query.
+                    continue
                 if partitioning is None:
                     # Integrity quarantine drained this candidate during
                     # grading; the scan alternative below still serves.
                     continue
+                partitioning = clip_to_view(partitioning, table)
                 grading = GradingSummary.of(partitioning)
                 fetched = (
                     partitioning.ambivalent
@@ -526,22 +582,39 @@ class Planner:
 
     def plan(
         self,
-        query: AggregateQuery | ScanQuery,
+        query: AggregateQuery | ScanQuery | DmlStatement,
         *,
         mode: str = "auto",
         sma_set: str | SmaSet | None = None,
+        table: Table | None = None,
     ) -> Plan:
         """Build a plan for any supported query shape.
 
         *mode* is ``auto`` (cost-based), ``sma`` (force an SMA plan —
         raises if impossible; the cheapest covering set still wins) or
-        ``scan`` (force the sequential plan).
+        ``scan`` (force the sequential plan).  DML statements route to
+        :meth:`plan_dml` regardless of mode.
+
+        *table* substitutes the table the plan binds against — the
+        session passes the pinned :class:`~repro.storage.table.TableView`
+        here so the whole plan (grading clip, costing, operators) reads
+        one epoch-consistent snapshot.
         """
+        if isinstance(
+            query, (InsertStatement, UpdateStatement, DeleteStatement)
+        ):
+            return self.plan_dml(query)
         if mode not in _MODES:
             raise PlanningError(f"unknown planning mode {mode!r}")
         if not isinstance(query, (AggregateQuery, ScanQuery)):
             raise PlanningError(f"cannot plan {type(query).__name__}")
-        table = self.catalog.table(query.table)
+        if table is None:
+            table = self.catalog.table(query.table)
+        elif table.name != query.table:
+            raise PlanningError(
+                f"pinned view of {table.name!r} cannot serve a query on "
+                f"{query.table!r}"
+            )
         with self.tracer.span(
             "logical_rewrite", attrs={"table": table.name}
         ):
@@ -550,6 +623,29 @@ class Planner:
         paths = self._enumerate(table, logical, mode, sma_set)
         chosen = self._choose(table, logical, mode, paths)
         return self._finish(table, logical, mode, chosen, paths)
+
+    def plan_dml(self, statement: DmlStatement) -> Plan:
+        """Build the (single-alternative) plan of one DML statement."""
+        table = self.catalog.table(statement.table)
+        with self.tracer.span(
+            "logical_rewrite", attrs={"table": table.name}
+        ):
+            logical = build_logical_dml(statement, table.schema)
+        physical = bind_dml_plan(self.catalog, logical, tracer=self.tracer)
+        info = PlanInfo(
+            strategy=logical.op,
+            reason="write path: intent-logged, SMA-maintained",
+            table=table.name,
+        )
+        explanation = Explanation(
+            query=logical.render(),
+            mode="dml",
+            info=info,
+            tree=physical.root,
+            alternatives=(),
+            grading=None,
+        )
+        return Plan(info=info, physical=physical, explanation=explanation)
 
     def plan_aggregate(
         self,

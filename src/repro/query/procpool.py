@@ -77,6 +77,11 @@ class ProcPoolBrokenError(ExecutionError):
 
 _WORKER_CATALOG = None
 _WORKER_EPOCH: int | None = None
+#: Highest ingest epoch this worker has seen per table.  A task pinned
+#: at a newer epoch means the parent retired DML batches after this
+#: worker opened (or last refreshed) the heap: reload the counts sidecar
+#: and drop stale cached pages before serving the snapshot.
+_WORKER_TABLE_EPOCHS: dict[str, int] = {}
 
 
 def _worker_init(root_dir: str, buffer_pages: int, fault_seed, fault_specs) -> None:
@@ -122,8 +127,32 @@ def _worker_run(task: dict) -> dict:
     return payload
 
 
+def _pinned_table(catalog, table, pin):
+    """Apply a shipped epoch-snapshot pin to the worker's table handle.
+
+    The returned :class:`~repro.storage.table.TableView` bounds every
+    bucket read to the parent's admission-time geometry, so a worker
+    whose on-disk bytes are fresher (a concurrent batch already retired)
+    still produces exactly the pinned snapshot.
+    """
+    if not pin:
+        return table
+    from repro.storage.table import TableView
+
+    known = _WORKER_TABLE_EPOCHS.get(table.name)
+    if known is None:
+        known = catalog.ingest_epoch(table.name)
+    epoch = int(pin["epoch"])
+    if epoch > known:
+        table.heap.refresh_from_disk()
+    _WORKER_TABLE_EPOCHS[table.name] = max(epoch, known)
+    return TableView.from_pin(table, pin)
+
+
 def _task_plan(catalog, task):
-    table = catalog.table(task["table"])
+    table = _pinned_table(
+        catalog, catalog.table(task["table"]), task.get("pin")
+    )
     predicate = predicate_from_json(task["predicate"]).bind(table.schema)
     group_by = tuple(task["group_by"])
     aggregates = tuple(
@@ -214,6 +243,7 @@ def _run_scan_task(catalog, task: dict) -> dict:
 def _plan_payload(table, predicate, group_by, aggregates) -> dict:
     return {
         "table": table.name,
+        "pin": getattr(table, "pin", None),
         "predicate": predicate_to_json(predicate),
         "group_by": list(group_by),
         "aggregates": [

@@ -106,3 +106,90 @@ class ExplainQuery:
     """``EXPLAIN SELECT ...`` — plan the wrapped query without running it."""
 
     query: AggregateQuery | ScanQuery
+
+
+# ----------------------------------------------------------------------
+# DML statements (the write path)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO t [(c1, ...)] VALUES (v1, ...), (v2, ...)``.
+
+    ``rows`` hold Python values in ``columns`` order (or full schema
+    order when ``columns`` is empty); coercion to the storage domain
+    happens at apply time against the table's schema.
+    """
+
+    table: str
+    rows: tuple[tuple, ...]
+    columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise PlanningError("INSERT needs at least one VALUES row")
+        widths = {len(row) for row in self.rows}
+        if len(widths) != 1:
+            raise PlanningError(f"INSERT rows have mixed widths {sorted(widths)}")
+        if self.columns and len(self.columns) != len(self.rows[0]):
+            raise PlanningError(
+                f"INSERT names {len(self.columns)} columns but rows have "
+                f"{len(self.rows[0])} values"
+            )
+
+    def validate(self, schema: Schema) -> None:
+        names = self.columns or tuple(schema.names)
+        for column in names:
+            schema.column(column)
+        if set(names) != set(schema.names):
+            missing = sorted(set(schema.names) - set(names))
+            raise PlanningError(
+                f"INSERT must supply every column; missing {missing}"
+            )
+        if len(self.rows[0]) != len(schema.names):
+            raise PlanningError(
+                f"INSERT rows have {len(self.rows[0])} values; table "
+                f"{self.table!r} has {len(schema.names)} columns"
+            )
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """``UPDATE t SET c = const [, ...] [WHERE ...]``.
+
+    Assignments are restricted to literal constants — the incremental
+    maintainer recomputes the touched buckets' SMA entries from the
+    rewritten tuples, which only needs the new stored values.
+    """
+
+    table: str
+    assignments: tuple[tuple[str, object], ...]
+    where: Predicate = field(default_factory=TruePredicate)
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise PlanningError("UPDATE needs at least one SET assignment")
+        names = [name for name, _ in self.assignments]
+        if len(set(names)) != len(names):
+            raise PlanningError(f"duplicate SET columns {names}")
+
+    def validate(self, schema: Schema) -> None:
+        self.where.bind(schema)
+        for column, _ in self.assignments:
+            schema.column(column)
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: str
+    where: Predicate = field(default_factory=TruePredicate)
+
+    def validate(self, schema: Schema) -> None:
+        self.where.bind(schema)
+
+
+#: Union of the write-path statements the planner and service route.
+DmlStatement = InsertStatement | UpdateStatement | DeleteStatement

@@ -16,7 +16,15 @@ from repro.errors import PlanningError
 from repro.obs.trace import resolve_tracer
 from repro.query.parallel import DEFAULT_MORSEL_BUCKETS, ScanParallelism
 from repro.query.planner import Explanation, Plan, PlanInfo, Planner
-from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
+from repro.query.query import (
+    AggregateQuery,
+    DeleteStatement,
+    DmlStatement,
+    ExplainQuery,
+    InsertStatement,
+    ScanQuery,
+    UpdateStatement,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.disk import DiskModel, PAPER_DISK
 from repro.storage.stats import CostBreakdown, IoStats
@@ -33,6 +41,9 @@ class QueryResult:
     cost: CostBreakdown
     plan: PlanInfo
     warm: bool = field(default=False)
+    #: the table's ingest epoch this execution ran against: the pinned
+    #: snapshot epoch for reads, the newly produced epoch for DML.
+    epoch: int | None = field(default=None)
 
     @property
     def simulated_seconds(self) -> float:
@@ -159,7 +170,7 @@ class Session:
 
     def execute(
         self,
-        query: AggregateQuery | ScanQuery,
+        query: AggregateQuery | ScanQuery | DmlStatement,
         *,
         mode: str = "auto",
         sma_set: str | None = None,
@@ -172,12 +183,23 @@ class Session:
         Planning happens *inside* the measured window — grading cost is
         part of SMA query cost, exactly as in the paper's operators.
 
+        Reads pin the table's ingest epoch at admission: the plan binds
+        against a :class:`~repro.storage.table.TableView` snapshot, so a
+        concurrent DML batch is either entirely visible or entirely
+        invisible — never torn.  DML statements route to the
+        crash-consistent write path and return a one-row
+        ``(rows_affected, epoch)`` relation.
+
         The stats window is resolved through ``pool.stats``: the shared
         catalog counters normally, the bound per-query window when the
         caller (the query service) wrapped this thread in
         :meth:`~repro.storage.buffer.BufferPool.query_context` — which is
         what makes concurrent executions account independently.
         """
+        if isinstance(
+            query, (InsertStatement, UpdateStatement, DeleteStatement)
+        ):
+            return self._execute_dml(query)
         if cold:
             self.catalog.go_cold()
             if self.parallelism.use_processes:
@@ -191,11 +213,14 @@ class Session:
         started = time.perf_counter()
 
         tracer = self.tracer
+        # Admission: pin the table's ingest epoch.  Everything after this
+        # line reads one bucket-generation snapshot.
+        view = self.catalog.pin_view(query.table)
         # Root when standalone (`repro trace`), child of the service's
         # per-query root span when running on an executor worker.
         with tracer.span("execute", attrs={"mode": mode}) as exec_span:
             with tracer.span("plan"):
-                plan = self._plan(query, mode=mode, sma_set=sma_set)
+                plan = self._plan(query, mode=mode, sma_set=sma_set, table=view)
             with tracer.span("run", attrs={"strategy": plan.info.strategy}):
                 columns, rows = plan.run()
             exec_span.annotate(strategy=plan.info.strategy)
@@ -212,6 +237,41 @@ class Session:
             cost=self.disk_model.cost(delta),
             plan=plan.info,
             warm=not cold,
+            epoch=view.epoch,
+        )
+
+    def _execute_dml(self, statement: DmlStatement) -> QueryResult:
+        """Run one DML statement through the crash-consistent write path.
+
+        Same measured window as reads; the result relation is the single
+        ``(rows_affected, epoch)`` row the DML plan produces, with the
+        produced epoch echoed on ``QueryResult.epoch``.
+        """
+        pool = self.catalog.pool
+        pool.reset_sequence_tracking()
+        window = pool.stats
+        before = window.snapshot()
+        started = time.perf_counter()
+
+        tracer = self.tracer
+        with tracer.span("execute", attrs={"dml": True}) as exec_span:
+            with tracer.span("plan"):
+                plan = self.planner.plan_dml(statement)
+            with tracer.span("run", attrs={"strategy": plan.info.strategy}):
+                columns, rows = plan.run()
+            exec_span.annotate(strategy=plan.info.strategy)
+
+        wall = time.perf_counter() - started
+        delta = window.snapshot() - before
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            stats=delta,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(delta),
+            plan=plan.info,
+            warm=True,
+            epoch=rows[0][1] if rows else None,
         )
 
     def execute_partial(
@@ -246,11 +306,12 @@ class Session:
         started = time.perf_counter()
 
         tracer = self.tracer
+        view = self.catalog.pin_view(query.table)
         with tracer.span(
             "execute", attrs={"mode": mode, "partial": True}
         ) as exec_span:
             with tracer.span("plan"):
-                plan = self._plan(query, mode=mode, sma_set=sma_set)
+                plan = self._plan(query, mode=mode, sma_set=sma_set, table=view)
             with tracer.span("run", attrs={"strategy": plan.info.strategy}):
                 state = plan.physical.run_state()
             exec_span.annotate(strategy=plan.info.strategy)
@@ -265,6 +326,7 @@ class Session:
             cost=self.disk_model.cost(delta),
             plan=plan.info,
             warm=not cold,
+            epoch=view.epoch,
             state=state,
         )
 
@@ -274,8 +336,9 @@ class Session:
         *,
         mode: str,
         sma_set: str | None,
+        table=None,
     ) -> Plan:
-        return self.planner.plan(query, mode=mode, sma_set=sma_set)
+        return self.planner.plan(query, mode=mode, sma_set=sma_set, table=table)
 
     def explain(
         self,
@@ -340,11 +403,14 @@ class Session:
         sma_set: str | None = None,
         cold: bool = False,
     ) -> QueryResult:
-        """Parse and execute one SELECT (or EXPLAIN SELECT) statement.
+        """Parse and execute one SQL statement.
 
-        ``EXPLAIN SELECT ...`` plans without executing and returns the
-        rendered plan as rows of a single ``QUERY PLAN`` column, exactly
-        like the direct statements return their relation.
+        SELECT runs against a pinned epoch snapshot; INSERT/UPDATE/DELETE
+        go through the crash-consistent write path and return their
+        ``(rows_affected, epoch)`` row.  ``EXPLAIN SELECT ...`` plans
+        without executing and returns the rendered plan as rows of a
+        single ``QUERY PLAN`` column, exactly like the direct statements
+        return their relation.
         """
         from repro.sql.parser import parse_statement
 
@@ -353,9 +419,18 @@ class Session:
             return self._explain_result(
                 statement, mode=mode, sma_set=sma_set, cold=cold
             )
-        if not isinstance(statement, (AggregateQuery, ScanQuery)):
+        if not isinstance(
+            statement,
+            (
+                AggregateQuery,
+                ScanQuery,
+                InsertStatement,
+                UpdateStatement,
+                DeleteStatement,
+            ),
+        ):
             raise PlanningError(
-                "Session.sql executes SELECT statements; use "
+                "Session.sql executes SELECT and DML statements; use "
                 "Session.define_smas for define sma scripts"
             )
         return self.execute(statement, mode=mode, sma_set=sma_set, cold=cold)

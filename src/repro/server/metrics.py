@@ -219,6 +219,15 @@ class MetricsRegistry:
         self._quarantined_by_table: dict[str, int] = {}
         #: scan-backend info (set by the service) — {backend, scan_workers}
         self._scan_info: dict | None = None
+        #: ingest telemetry — rows per (table, op), per-table epoch
+        #: gauges, write-queue depth (DML jobs admitted but not settled)
+        self._ingest_rows: dict[str, dict[str, int]] = {}
+        self._ingest_batches = 0
+        self._ingest_epochs: dict[str, int] = {}
+        self._intents_replayed = 0
+        self._intents_rolled_back = 0
+        self._write_queue_depth = 0
+        self._write_queue_peak = 0
 
     @property
     def uptime_s(self) -> float:
@@ -329,6 +338,41 @@ class MetricsRegistry:
         with self._lock:
             self._sma_repaired += 1
 
+    def record_ingest(
+        self, table: str, op: str, rows: int, epoch: int
+    ) -> None:
+        """One applied DML batch: rows by (table, op) plus the table's
+        new ingest epoch gauge."""
+        with self._lock:
+            by_op = self._ingest_rows.setdefault(table, {})
+            by_op[op] = by_op.get(op, 0) + int(rows)
+            self._ingest_batches += 1
+            self._ingest_epochs[table] = int(epoch)
+
+    def record_intent_resolution(self, action: str) -> None:
+        """One write-ahead intent resolved during repair
+        (``"replayed"`` or ``"rolled_back"``)."""
+        with self._lock:
+            if action == "replayed":
+                self._intents_replayed += 1
+            else:
+                self._intents_rolled_back += 1
+
+    def write_queue_enter(self) -> int:
+        """A DML job was admitted; returns the new write-queue depth."""
+        with self._lock:
+            self._write_queue_depth += 1
+            if self._write_queue_depth > self._write_queue_peak:
+                self._write_queue_peak = self._write_queue_depth
+            return self._write_queue_depth
+
+    def write_queue_exit(self) -> int:
+        """A DML job settled (completed, failed, or skipped)."""
+        with self._lock:
+            if self._write_queue_depth > 0:
+                self._write_queue_depth -= 1
+            return self._write_queue_depth
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -361,6 +405,10 @@ class MetricsRegistry:
                             by_table: {table: count}},
               "scan": {backend, scan_workers[, pool: {...gauges}]}
                       or None when no service published its config,
+              "ingest": {batches, rows_total: {table: {op: rows}},
+                         epochs: {table: epoch}, intents_replayed,
+                         intents_rolled_back, write_queue_depth,
+                         write_queue_peak},
             }
         """
         with self._lock:
@@ -413,4 +461,16 @@ class MetricsRegistry:
                     "by_table": dict(sorted(self._quarantined_by_table.items())),
                 },
                 "scan": dict(self._scan_info) if self._scan_info else None,
+                "ingest": {
+                    "batches": self._ingest_batches,
+                    "rows_total": {
+                        table: dict(sorted(by_op.items()))
+                        for table, by_op in sorted(self._ingest_rows.items())
+                    },
+                    "epochs": dict(sorted(self._ingest_epochs.items())),
+                    "intents_replayed": self._intents_replayed,
+                    "intents_rolled_back": self._intents_rolled_back,
+                    "write_queue_depth": self._write_queue_depth,
+                    "write_queue_peak": self._write_queue_peak,
+                },
             }

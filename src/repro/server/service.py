@@ -40,7 +40,15 @@ from repro.errors import (
 from repro.obs.events import EventLog
 from repro.obs.trace import Span, resolve_tracer
 from repro.query.planner import Explanation
-from repro.query.query import AggregateQuery, ExplainQuery, ScanQuery
+from repro.query.query import (
+    AggregateQuery,
+    DeleteStatement,
+    DmlStatement,
+    ExplainQuery,
+    InsertStatement,
+    ScanQuery,
+    UpdateStatement,
+)
 from repro.query.session import QueryResult, Session
 from repro.server.executor import QueryExecutor, QueryTicket, TicketState
 from repro.server.metrics import MetricsRegistry
@@ -57,7 +65,7 @@ _NO_CM = nullcontext()
 class QueryJob:
     """What one ticket carries: the query and its execution knobs."""
 
-    query: AggregateQuery | ScanQuery | str
+    query: AggregateQuery | ScanQuery | DmlStatement | str
     mode: str = "auto"
     sma_set: str | None = None
     #: metrics bucket ("q1", "range_scan", ...); defaults by query class
@@ -68,6 +76,21 @@ class QueryJob:
     #: stop aggregate queries before finalize and return the raw
     #: :class:`~repro.query.session.PartialQueryResult` (shard workers)
     partial: bool = False
+    #: write-path job: tracked on the write-queue depth gauge and, on
+    #: success, on the ingest counters/events
+    is_dml: bool = False
+
+
+_DML_PREFIXES = ("INSERT", "UPDATE", "DELETE")
+
+
+def _looks_like_dml(query: AggregateQuery | ScanQuery | DmlStatement | str) -> bool:
+    """Whether a submission targets the write path (objects or SQL text)."""
+    if isinstance(query, (InsertStatement, UpdateStatement, DeleteStatement)):
+        return True
+    if isinstance(query, str):
+        return query.lstrip().upper().startswith(_DML_PREFIXES)
+    return False
 
 
 class QueryService:
@@ -76,8 +99,11 @@ class QueryService:
     Parameters
     ----------
     catalog:
-        The shared database instance.  Served queries must be read-only;
-        loading/maintenance stays a single-threaded, out-of-band concern.
+        The shared database instance.  Reads and DML share the service:
+        writes serialize per table behind the catalog's ingest lock
+        (tracked on the write-queue depth gauge) while readers proceed
+        against epoch-pinned bucket-generation snapshots.  Bulk loading
+        stays a single-threaded, out-of-band concern.
     workers:
         Worker thread count (concurrent query executions).
     queue_depth:
@@ -199,6 +225,10 @@ class QueryService:
             self.metrics.record_repair(
                 info.get("table", ""), info.get("sma_set", "")
             )
+        elif event == "intent_replayed":
+            self.metrics.record_intent_resolution(
+                info.get("action", "replayed")
+            )
         if self.events is not None:
             self.events.emit(event, **info)
 
@@ -242,17 +272,21 @@ class QueryService:
         """Admit one query; returns its ticket or raises
         :class:`~repro.errors.ServerOverloadedError` when the queue is full.
 
-        *query* is a logical query object or a SQL SELECT string.
-        ``partial=True`` runs aggregate queries only up to their
-        un-finalized aggregation state (the shard-worker execution
+        *query* is a logical query object, a DML statement, or a SQL
+        string.  ``partial=True`` runs aggregate queries only up to
+        their un-finalized aggregation state (the shard-worker execution
         path); scan queries execute normally.
         """
+        is_dml = _looks_like_dml(query)
         if kind is None:
-            kind = (
-                "aggregate"
-                if isinstance(query, AggregateQuery)
-                else "scan" if isinstance(query, ScanQuery) else "sql"
-            )
+            if is_dml:
+                kind = "dml"
+            else:
+                kind = (
+                    "aggregate"
+                    if isinstance(query, AggregateQuery)
+                    else "scan" if isinstance(query, ScanQuery) else "sql"
+                )
         trace = None
         if self.tracer.enabled:
             # Root span opens at submit so its duration covers the queue
@@ -266,6 +300,7 @@ class QueryService:
             kind=kind,
             trace=trace,
             partial=partial,
+            is_dml=is_dml,
         )
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         try:
@@ -276,6 +311,8 @@ class QueryService:
                 self.events.emit("query_rejected", kind=kind, query=str(query))
             raise
         self.metrics.record_submitted()
+        if is_dml:
+            self.metrics.write_queue_enter()
         if trace is not None:
             trace.annotate(ticket=ticket.id)
         if self.events is not None:
@@ -380,10 +417,13 @@ class QueryService:
             # Adopt the submit-side root span on this worker thread, so
             # everything the session opens parents under it.
             with self.tracer.activate(trace) if trace is not None else _NO_CM:
+                # DML runs without the cancel/deadline hooks: a write
+                # batch aborted mid-apply would leave a pending intent
+                # for repair; writes finish, then the ticket settles.
                 with pool.query_context(
                     window,
-                    cancel_event=ticket.cancel_event,
-                    deadline=ticket.deadline,
+                    cancel_event=None if job.is_dml else ticket.cancel_event,
+                    deadline=None if job.is_dml else ticket.deadline,
                 ):
                     query = job.query
                     if job.partial and isinstance(query, str):
@@ -415,6 +455,8 @@ class QueryService:
             self.metrics.record_failure(job.kind)
             raise
         finally:
+            if job.is_dml:
+                self.metrics.write_queue_exit()
             if trace is not None:
                 trace.annotate(outcome=outcome)
                 self.tracer.finish(trace)
@@ -424,8 +466,31 @@ class QueryService:
             result.stats,
             strategy=result.plan.strategy,
         )
+        if result.plan.strategy in ("insert", "update", "delete"):
+            self._observe_ingest(ticket, job, result)
         self._observe_success(ticket, job, result)
         return result
+
+    def _observe_ingest(
+        self, ticket: QueryTicket, job: QueryJob, result: QueryResult
+    ) -> None:
+        """Ingest telemetry for one applied DML batch."""
+        rows_affected = result.rows[0][0] if result.rows else 0
+        epoch = result.epoch if result.epoch is not None else 0
+        table = result.plan.table or ""
+        self.metrics.record_ingest(
+            table, result.plan.strategy, rows_affected, epoch
+        )
+        if self.events is not None:
+            self.events.emit(
+                "ingest_applied",
+                ticket=ticket.id,
+                table=table,
+                op=result.plan.strategy,
+                rows_affected=rows_affected,
+                epoch=epoch,
+                latency_s=result.wall_seconds,
+            )
 
     def _observe_success(
         self, ticket: QueryTicket, job: QueryJob, result: QueryResult
@@ -487,6 +552,8 @@ class QueryService:
     def _record_skipped(self, ticket: QueryTicket) -> None:
         """Metrics for tickets settled without running (queued-cancel/expire)."""
         job: QueryJob = ticket.payload
+        if job.is_dml:
+            self.metrics.write_queue_exit()
         if ticket.state is TicketState.TIMED_OUT:
             outcome = "timed_out"
             self.metrics.record_timeout(job.kind)

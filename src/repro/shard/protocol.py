@@ -22,6 +22,19 @@ from repro.errors import ShardProtocolError
 #: Frame header: unsigned 32-bit big-endian payload length.
 _HEADER = struct.Struct(">I")
 
+#: Request ops a shard worker understands.  ``execute`` scatters reads;
+#: ``execute_dml`` carries one serialized DML statement to the shard(s)
+#: that own the target rows — writes apply through each shard's own
+#: intent-logged ingest path, never as merged partials.
+KNOWN_OPS = frozenset(
+    {"ping", "execute", "execute_dml", "explain", "metrics", "shutdown"}
+)
+
+
+def execute_dml_frame(query_json: dict, *, timeout_s: float | None = None) -> dict:
+    """Build an ``execute_dml`` request frame for one shard worker."""
+    return {"op": "execute_dml", "query": query_json, "timeout_s": timeout_s}
+
 #: Hard cap on one frame's payload (64 MiB) — a corrupt header must not
 #: make the reader try to allocate gigabytes.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -77,4 +90,10 @@ def recv_message(sock: socket.socket) -> object | None:
         raise ShardProtocolError(f"undecodable frame payload: {exc}") from exc
 
 
-__all__ = ["MAX_FRAME_BYTES", "recv_message", "send_message"]
+__all__ = [
+    "KNOWN_OPS",
+    "MAX_FRAME_BYTES",
+    "execute_dml_frame",
+    "recv_message",
+    "send_message",
+]

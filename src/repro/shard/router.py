@@ -40,12 +40,19 @@ from repro.errors import (
 from repro.lang.serde import query_to_json
 from repro.obs.events import EventLog
 from repro.query.planner import PlanInfo
-from repro.query.query import AggregateQuery, ScanQuery
+from repro.query.query import (
+    AggregateQuery,
+    DeleteStatement,
+    DmlStatement,
+    InsertStatement,
+    ScanQuery,
+    UpdateStatement,
+)
 from repro.query.session import QueryResult, _sort_rows
 from repro.server.executor import QueryExecutor, QueryTicket, TicketState
 from repro.server.metrics import LatencyRecorder, MetricsRegistry
 from repro.shard.manifest import ShardManifest
-from repro.shard.protocol import recv_message, send_message
+from repro.shard.protocol import execute_dml_frame, recv_message, send_message
 from repro.shard.state_serde import rows_from_wire, state_from_wire, stats_from_wire
 from repro.storage.disk import PAPER_DISK, DiskModel
 from repro.storage.faults import RetryPolicy
@@ -236,7 +243,7 @@ class ShardScoreboard:
 
 @dataclass(frozen=True)
 class _RouterJob:
-    query: AggregateQuery | ScanQuery
+    query: AggregateQuery | ScanQuery | DmlStatement
     mode: str = "auto"
     sma_set: str | None = None
     kind: str = "query"
@@ -395,13 +402,27 @@ class ShardRouter:
                 raise PlanningError(
                     "EXPLAIN is served by `repro explain`, not the router"
                 )
-            if not isinstance(statement, (AggregateQuery, ScanQuery)):
+            if not isinstance(
+                statement,
+                (
+                    AggregateQuery,
+                    ScanQuery,
+                    InsertStatement,
+                    UpdateStatement,
+                    DeleteStatement,
+                ),
+            ):
                 raise PlanningError(
-                    "the shard router serves SELECT statements only"
+                    "the shard router serves SELECT and DML statements only"
                 )
             query = statement
         if kind is None:
-            kind = "aggregate" if isinstance(query, AggregateQuery) else "scan"
+            if isinstance(query, DmlStatement):
+                kind = "dml"
+            elif isinstance(query, AggregateQuery):
+                kind = "aggregate"
+            else:
+                kind = "scan"
         job = _RouterJob(query=query, mode=mode, sma_set=sma_set, kind=kind)
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         try:
@@ -463,6 +484,8 @@ class ShardRouter:
         wait = ticket.queue_wait_s
         if wait is not None:
             self.metrics.record_queue_wait(wait)
+        if isinstance(job.query, DmlStatement):
+            return self._run_dml_job(ticket, job)
         remaining = None
         if ticket.deadline is not None:
             remaining = max(0.001, ticket.deadline - time.monotonic())
@@ -515,6 +538,111 @@ class ShardRouter:
                 io=result.stats.as_dict(),
             )
         return result
+
+    def _route_dml(self, statement: DmlStatement) -> list[ShardClient]:
+        """Pick the shard(s) one DML batch applies to.
+
+        Inserts route to the **last** shard: shards own contiguous bucket
+        ranges in shard order, so the table's tail buckets — the only
+        place appends land — live there, and the scatter-gather read
+        order stays the single-node bucket order.  Updates and deletes
+        scatter to every shard; each rewrites only the rows it owns and
+        the per-shard ``rows_affected`` counts sum exactly.
+        """
+        if isinstance(statement, InsertStatement):
+            return [self.clients[-1]]
+        return list(self.clients)
+
+    def _run_dml_job(self, ticket: QueryTicket, job: _RouterJob) -> QueryResult:
+        remaining = None
+        if ticket.deadline is not None:
+            remaining = max(0.001, ticket.deadline - time.monotonic())
+        request = execute_dml_frame(
+            query_to_json(job.query), timeout_s=remaining
+        )
+        targets = self._route_dml(job.query)
+        started = time.perf_counter()
+        self.scoreboard.record_scatter(len(targets))
+        futures = [
+            self._scatter_pool.submit(self._subquery, client, request)
+            for client in targets
+        ]
+        replies: list[dict] = []
+        first_error: BaseException | None = None
+        for future in futures:  # gather in shard order
+            try:
+                reply, _elapsed = future.result()
+                replies.append(reply["result"])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        try:
+            if first_error is not None:
+                # A write that reached some shards but not others is a
+                # reported failure, never a silent partial application.
+                raise first_error
+            result = self._gather_dml(job, targets, replies, started)
+        except ReproError:
+            self.metrics.record_failure(job.kind)
+            raise
+        self.metrics.record_success(
+            job.kind,
+            result.wall_seconds,
+            result.stats,
+            strategy=result.plan.strategy,
+        )
+        self.metrics.record_ingest(
+            job.query.table,
+            result.plan.strategy,
+            int(result.rows[0][0]),
+            int(result.rows[0][1]),
+        )
+        if self.events is not None:
+            self.events.emit(
+                "ingest_applied",
+                ticket=ticket.id,
+                table=job.query.table,
+                op=result.plan.strategy,
+                rows_affected=int(result.rows[0][0]),
+                epoch=int(result.rows[0][1]),
+                shards=len(targets),
+                latency_s=result.wall_seconds,
+            )
+        return result
+
+    def _gather_dml(
+        self,
+        job: _RouterJob,
+        targets: list[ShardClient],
+        replies: list[dict],
+        started: float,
+    ) -> QueryResult:
+        """Sum per-shard ``rows_affected``; report the max shard epoch."""
+        affected = sum(int(reply["rows_affected"]) for reply in replies)
+        epoch = max(int(reply["epoch"]) for reply in replies)
+        stats = stats_from_wire(replies[0]["stats"])
+        for reply in replies[1:]:
+            stats.merge(stats_from_wire(reply["stats"]))
+        wall = time.perf_counter() - started
+        op = replies[0]["strategy"]
+        info = PlanInfo(
+            strategy=op,
+            reason=(
+                f"routed to {len(targets)} of {self.num_shards} shard(s); "
+                f"write path intent-logged per shard"
+            ),
+            table=job.query.table,
+        )
+        return QueryResult(
+            columns=["rows_affected", "epoch"],
+            rows=[(affected, epoch)],
+            stats=stats,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(stats),
+            plan=info,
+            warm=True,
+            epoch=epoch,
+        )
 
     def _gather(
         self, job: _RouterJob, replies: list[dict], started: float

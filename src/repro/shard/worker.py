@@ -23,7 +23,7 @@ import threading
 from repro.errors import ReproError, ShardProtocolError
 from repro.lang.serde import query_from_json
 from repro.obs.events import EventLog
-from repro.query.query import AggregateQuery
+from repro.query.query import AggregateQuery, DmlStatement
 from repro.server.service import QueryService
 from repro.shard.protocol import recv_message, send_message
 from repro.shard.state_serde import rows_to_wire, state_to_wire, stats_to_wire
@@ -187,6 +187,8 @@ class ShardWorker:
             }
         if op == "execute":
             return self._handle_execute(request)
+        if op == "execute_dml":
+            return self._handle_execute_dml(request)
         if op == "explain":
             return self._handle_explain(request)
         if op == "metrics":
@@ -221,6 +223,38 @@ class ShardWorker:
             payload["kind"] = "rows"
             payload["rows"] = rows_to_wire(result.rows)
         return {"ok": True, "result": payload}
+
+    def _handle_execute_dml(self, request: dict) -> dict:
+        """Apply one routed DML batch through this shard's write queue.
+
+        The statement lands in the shard's own
+        :func:`~repro.core.ingest.apply_dml` — intent-logged, SMA-
+        maintained, epoch-bumped — exactly like a single-node write.
+        """
+        statement = query_from_json(request["query"])
+        if not isinstance(statement, DmlStatement):
+            raise ShardProtocolError(
+                f"execute_dml frame carries {type(statement).__name__}, "
+                f"not a DML statement"
+            )
+        ticket = self.service.submit(
+            statement,
+            timeout_s=request.get("timeout_s"),
+            kind="dml",
+        )
+        result = ticket.result()
+        rows_affected, epoch = result.rows[0]
+        return {
+            "ok": True,
+            "result": {
+                "columns": list(result.columns),
+                "rows_affected": int(rows_affected),
+                "epoch": int(epoch),
+                "strategy": result.plan.strategy,
+                "wall_seconds": result.wall_seconds,
+                "stats": stats_to_wire(result.stats),
+            },
+        }
 
     def _handle_explain(self, request: dict) -> dict:
         query = query_from_json(request["query"])

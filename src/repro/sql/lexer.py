@@ -27,6 +27,7 @@ KEYWORDS = frozenset(
         "DEFINE", "SMA", "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY",
         "AND", "OR", "NOT", "AS", "MIN", "MAX", "SUM", "COUNT", "AVG",
         "DATE", "INTERVAL", "DAY", "BETWEEN", "DESC", "ASC", "EXPLAIN",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
     }
 )
 

@@ -45,9 +45,12 @@ from repro.lang.predicate import (
 )
 from repro.query.query import (
     AggregateQuery,
+    DeleteStatement,
     ExplainQuery,
+    InsertStatement,
     OutputAggregate,
     ScanQuery,
+    UpdateStatement,
 )
 from repro.sql.lexer import Token, TokenKind, tokenize
 
@@ -140,9 +143,16 @@ class _Parser:
             statement = self.parse_explain()
         elif self.current.is_keyword("SELECT"):
             statement = self.parse_select()
+        elif self.current.is_keyword("INSERT"):
+            statement = self.parse_insert()
+        elif self.current.is_keyword("UPDATE"):
+            statement = self.parse_update()
+        elif self.current.is_keyword("DELETE"):
+            statement = self.parse_delete()
         else:
             raise ParseError(
-                f"expected DEFINE, EXPLAIN or SELECT, found {self.current}",
+                "expected DEFINE, EXPLAIN, SELECT, INSERT, UPDATE or "
+                f"DELETE, found {self.current}",
                 self.current.position,
             )
         if not self.at_end():
@@ -259,6 +269,77 @@ class _Parser:
             where=where,
             columns=() if star else tuple(plain_columns),
         )
+
+    # ------------------------------------------------------------------
+    # DML statements
+    # ------------------------------------------------------------------
+
+    def parse_insert(self) -> InsertStatement:
+        """``INSERT INTO t [(c1, ...)] VALUES (v1, ...) [, (..)]``."""
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_symbol("("):
+            names = [self.expect_ident()]
+            while self.accept_symbol(","):
+                names.append(self.expect_ident())
+            self.expect_symbol(")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows: list[tuple] = [self.parse_value_row()]
+        while self.accept_symbol(","):
+            rows.append(self.parse_value_row())
+        return InsertStatement(table=table, rows=tuple(rows), columns=columns)
+
+    def parse_value_row(self) -> tuple:
+        self.expect_symbol("(")
+        values = [self.parse_literal()]
+        while self.accept_symbol(","):
+            values.append(self.parse_literal())
+        self.expect_symbol(")")
+        return tuple(values)
+
+    def parse_literal(self) -> object:
+        """One constant value: number, string or (interval-folded) date."""
+        token = self.current
+        expr = self.parse_expression()
+        if not isinstance(expr, Const):
+            raise ParseError(
+                "DML values must be literal constants", token.position
+            )
+        return expr.value
+
+    def parse_update(self) -> UpdateStatement:
+        """``UPDATE t SET c = const [, ...] [WHERE ...]``."""
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+
+        def one_assignment() -> tuple[str, object]:
+            column = self.expect_ident()
+            self.expect_symbol("=")
+            return column, self.parse_literal()
+
+        assignments = [one_assignment()]
+        while self.accept_symbol(","):
+            assignments.append(one_assignment())
+        where: Predicate = TruePredicate()
+        if self.accept_keyword("WHERE"):
+            where = self.parse_predicate()
+        return UpdateStatement(
+            table=table, assignments=tuple(assignments), where=where
+        )
+
+    def parse_delete(self) -> DeleteStatement:
+        """``DELETE FROM t [WHERE ...]``."""
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where: Predicate = TruePredicate()
+        if self.accept_keyword("WHERE"):
+            where = self.parse_predicate()
+        return DeleteStatement(table=table, where=where)
 
     # ------------------------------------------------------------------
     # clauses
@@ -467,8 +548,10 @@ class _Parser:
 def parse_statement(text: str):
     """Parse one SQL statement.
 
-    Returns an :class:`SmaDefinition`, :class:`AggregateQuery` or
-    :class:`ScanQuery` depending on the statement form.
+    Returns an :class:`SmaDefinition`, :class:`AggregateQuery`,
+    :class:`ScanQuery`, :class:`ExplainQuery` or a DML statement
+    (:class:`InsertStatement`/:class:`UpdateStatement`/
+    :class:`DeleteStatement`) depending on the statement form.
     """
     return _Parser(text).parse_statement()
 

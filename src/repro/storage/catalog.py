@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import CatalogError
@@ -19,7 +20,7 @@ from repro.storage.integrity import IntegrityMonitor
 from repro.storage.page import DEFAULT_PAGE_HEADER, DEFAULT_PAGE_SIZE
 from repro.storage.schema import Schema
 from repro.storage.stats import IoStats
-from repro.storage.table import Table
+from repro.storage.table import Table, TableView
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.sma_set import SmaSet
@@ -53,6 +54,15 @@ class Catalog:
         self.integrity = IntegrityMonitor()
         self._tables: dict[str, Table] = {}
         self._sma_sets: dict[str, dict[str, "SmaSet"]] = {}
+        #: Monotone per-table ingest epochs: every applied DML batch
+        #: bumps its table's epoch.  Readers pin the epoch (and the
+        #: bucket-generation snapshot that goes with it) at admission
+        #: via :meth:`pin_view`.
+        self._ingest_epochs: dict[str, int] = {}
+        #: Per-table write serialization: DML batches on one table apply
+        #: strictly one at a time; readers never take this lock.
+        self._ingest_locks: dict[str, threading.Lock] = {}
+        self._ingest_locks_guard = threading.Lock()
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.storage.faults.FaultInjector` (or None)
@@ -88,6 +98,11 @@ class Catalog:
                 }
                 for table_name, by_name in self._sma_sets.items()
                 if by_name
+            },
+            "ingest_epochs": {
+                name: epoch
+                for name, epoch in self._ingest_epochs.items()
+                if epoch
             },
         }
         # Atomic replace: concurrent readers (spawning scan worker
@@ -129,6 +144,8 @@ class Catalog:
         if fault_injector is not None:
             catalog.install_fault_injector(fault_injector)
         manifest = catalog._load_manifest()
+        for name, epoch in manifest.get("ingest_epochs", {}).items():
+            catalog._ingest_epochs[name] = int(epoch)
         for name, info in manifest.get("tables", {}).items():
             catalog.open_table(name, clustered_on=info.get("clustered_on"))
         for table_name, sets in manifest.get("sma_sets", {}).items():
@@ -243,6 +260,55 @@ class Catalog:
         sma_set.delete_files()
         del self._sma_sets[table_name][set_name]
         self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # ingest epochs & snapshot views
+    # ------------------------------------------------------------------
+
+    def ingest_epoch(self, table_name: str) -> int:
+        """The table's current ingest epoch (0 = the bulk-loaded state)."""
+        self.table(table_name)
+        return self._ingest_epochs.get(table_name, 0)
+
+    def bump_ingest_epoch(self, table_name: str) -> int:
+        """Advance the table's epoch after an applied DML batch.
+
+        Persisted in the manifest so reopened catalogs (and read-only
+        process attaches) agree on the epoch numbering.  Returns the new
+        epoch.
+        """
+        self.table(table_name)
+        epoch = self._ingest_epochs.get(table_name, 0) + 1
+        self._ingest_epochs[table_name] = epoch
+        self._save_manifest()
+        return epoch
+
+    def pin_view(self, table_name: str) -> TableView:
+        """A bucket-generation snapshot of the table at its current epoch.
+
+        Queries take this at admission: the view bounds every bucket
+        read to the geometry frozen here, so concurrent appends (which
+        only grow the heap) are invisible for the query's lifetime.
+
+        Pinning takes the table's ingest lock for the capture so the
+        (epoch, geometry) pair is atomic — a pin can never see a batch's
+        appended pages under the pre-batch epoch number.  Writers hold
+        the lock for a whole batch, so admission briefly waits out an
+        in-flight write; scans themselves never block.
+        """
+        table = self.table(table_name)
+        with self.ingest_lock(table_name):
+            return TableView(table, self.ingest_epoch(table_name))
+
+    def ingest_lock(self, table_name: str) -> threading.Lock:
+        """The table's write-serialization lock (created on first use)."""
+        self.table(table_name)
+        with self._ingest_locks_guard:
+            lock = self._ingest_locks.get(table_name)
+            if lock is None:
+                lock = threading.Lock()
+                self._ingest_locks[table_name] = lock
+            return lock
 
     # ------------------------------------------------------------------
     # housekeeping

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 from typing import Iterator
 
 import numpy as np
@@ -83,6 +84,10 @@ class HeapFile:
         # file may execute concurrently on this shared handle.
         self._handle = open(path, "r+b", buffering=0)
         self._closed = False
+        # Serializes sidecar flushes: the process-scan dispatcher
+        # flushes before every dispatch, so concurrent readers (and a
+        # writer) would otherwise collide on the atomic-replace tmps.
+        self._flush_lock = threading.Lock()
         # Decoded-bucket cache: bucket_no -> (page payloads, record batch).
         # Keyed on the *identity* of the pooled payload bytes — strictly
         # stronger than a (page, generation) pair, because any reload,
@@ -156,21 +161,39 @@ class HeapFile:
         return cls(path, schema, layout, pool, counts, checksum_algo=algo)
 
     def flush(self) -> None:
-        """Persist metadata sidecars and flush the data file."""
-        self._handle.flush()
-        meta = {
-            "schema": self.schema.to_dict(),
-            "page_size": self.layout.page_size,
-            "pages_per_bucket": self.layout.pages_per_bucket,
-            "page_header": self.layout.page_header,
-            "num_records": int(self._bucket_counts.sum()),
-            "format_version": FORMAT_VERSION if self.checksum_algo else 1,
-        }
-        if self.checksum_algo:
-            meta["checksum_algo"] = self.checksum_algo
-        with open(self.path + _META_SUFFIX, "w", encoding="utf-8") as f:
-            json.dump(meta, f)
-        np.save(self.path + _COUNTS_SUFFIX, self._bucket_counts)
+        """Persist metadata sidecars and flush the data file.
+
+        Both sidecars go down atomically (tmp + replace): the ingest
+        path flushes after every DML batch, and a crash mid-write must
+        never leave a half-written meta or counts file — there is no
+        tolerant open path for those.
+        """
+        with self._flush_lock:
+            self._handle.flush()
+            meta = {
+                "schema": self.schema.to_dict(),
+                "page_size": self.layout.page_size,
+                "pages_per_bucket": self.layout.pages_per_bucket,
+                "page_header": self.layout.page_header,
+                "num_records": int(self._bucket_counts.sum()),
+                "format_version": FORMAT_VERSION if self.checksum_algo else 1,
+            }
+            if self.checksum_algo:
+                meta["checksum_algo"] = self.checksum_algo
+            meta_path = self.path + _META_SUFFIX
+            tmp = meta_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(meta, f)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, meta_path)
+            counts_path = self.path + _COUNTS_SUFFIX
+            tmp = counts_path + ".tmp"
+            with open(tmp, "wb") as f:
+                np.save(f, self._bucket_counts)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, counts_path)
 
     @property
     def closed(self) -> bool:
@@ -385,6 +408,37 @@ class HeapFile:
         """Forget decoded buckets (go-cold / after bulk rewrites)."""
         self._decode_cache.clear()
 
+    def invalidate_decoded(self, bucket_no: int) -> None:
+        """Drop bucket *bucket_no* from the decode cache **and** the pool.
+
+        Every mutation path calls this before rewriting the bucket's
+        pages: the decoded batch and any pooled payloads of the old
+        version disappear, so the single-flight leader reloads fresh
+        bytes and no reader can ever be served a stale decode.  (The
+        identity-keyed decode cache would miss anyway once ``note_write``
+        installs new payload objects — this makes the invalidation
+        explicit and covers pages evicted between write and re-read.)
+        """
+        self._decode_cache.pop(bucket_no, None)
+        first = bucket_no * self.layout.pages_per_bucket
+        for j in range(self.layout.pages_per_bucket):
+            self.pool.invalidate(self.file_id, first + j)
+
+    def refresh_from_disk(self) -> None:
+        """Re-read sidecar geometry after another process grew the file.
+
+        Read-only attaches (scan worker processes) call this when a
+        shipped ingest pin announces a newer epoch than the bucket
+        geometry they hold: per-bucket counts reload from the counts
+        sidecar and every cached page/decode of this file is dropped, so
+        subsequent ``read_bucket`` calls observe the writer's bytes.
+        """
+        counts_path = self.path + _COUNTS_SUFFIX
+        if os.path.exists(counts_path):
+            self._bucket_counts = np.load(counts_path).astype(np.int64, copy=True)
+        self.drop_decode_cache()
+        self.pool.invalidate(self.file_id)
+
     # ------------------------------------------------------------------
     # bucket operations
     # ------------------------------------------------------------------
@@ -429,12 +483,39 @@ class HeapFile:
                 f"{len(records)} records exceed bucket capacity "
                 f"{self.layout.tuples_per_bucket}"
             )
+        self.invalidate_decoded(bucket_no)
         tpp = self.layout.tuples_per_page
         first = bucket_no * self.layout.pages_per_bucket
         for j in range(self.layout.pages_per_bucket):
             chunk = records[j * tpp : (j + 1) * tpp]
             self._write_page(first + j, chunk)
         self._bucket_counts[bucket_no] = len(records)
+
+    def truncate_to(self, num_buckets: int, trailing: np.ndarray | None = None) -> None:
+        """Roll the file back to its first *num_buckets* buckets.
+
+        The write-ahead intent machinery uses this to undo an incomplete
+        append: buckets past *num_buckets* are cut off the data file (and
+        invalidated from pool + decode caches), and — when *trailing* is
+        given — the new last bucket is rewritten to exactly that
+        pre-image batch, repairing a possibly-torn in-place top-up.
+        """
+        if not 0 <= num_buckets <= self.num_buckets:
+            raise StorageError(
+                f"cannot truncate to {num_buckets} buckets "
+                f"(have {self.num_buckets})"
+            )
+        for bucket_no in range(num_buckets, self.num_buckets):
+            self.invalidate_decoded(bucket_no)
+        self._bucket_counts = self._bucket_counts[:num_buckets].copy()
+        self._handle.truncate(
+            num_buckets * self.layout.pages_per_bucket * self.layout.page_size
+        )
+        if trailing is not None:
+            if num_buckets == 0:
+                raise StorageError("no trailing bucket to rewrite in an empty file")
+            self.write_bucket(num_buckets - 1, trailing)
+        self.flush()
 
     def append_batch(self, records: np.ndarray) -> None:
         """Append a record batch, packing buckets densely in order.

@@ -14,7 +14,7 @@ import time
 from typing import Callable
 
 #: Listener signature: ``fn(event_name, info_dict)`` where event_name is
-#: ``"sma_quarantined"`` or ``"sma_repaired"``.
+#: ``"sma_quarantined"``, ``"sma_repaired"`` or ``"intent_replayed"``.
 IntegrityListener = Callable[[str, dict], None]
 
 #: Bounded history so long-lived catalogs cannot grow without limit.
@@ -29,6 +29,7 @@ class IntegrityMonitor:
         self._listeners: list[IntegrityListener] = []
         self._quarantines = 0
         self._repairs = 0
+        self._intent_resolutions: dict[str, int] = {}
         self._by_table: dict[str, int] = {}
         self._records: list[dict] = []
 
@@ -73,6 +74,25 @@ class IntegrityMonitor:
             listeners = list(self._listeners)
         self._notify(listeners, "sma_repaired", info)
 
+    def record_intent_resolution(
+        self, *, table: str, op: str, epoch: int, action: str
+    ) -> None:
+        """A pending write-ahead intent was replayed or rolled back.
+
+        ``action`` is ``"replayed"`` (the batch's post-image was complete
+        and was committed) or ``"rolled_back"`` (the pre-image was
+        restored).  Emitted by :func:`~repro.core.ingest.apply_dml`'s
+        self-heal path and ``repro verify --repair``.
+        """
+        info = {"table": table, "op": op, "epoch": epoch, "action": action}
+        with self._lock:
+            self._intent_resolutions[action] = (
+                self._intent_resolutions.get(action, 0) + 1
+            )
+            self._append_record("intent_replayed", info)
+            listeners = list(self._listeners)
+        self._notify(listeners, "intent_replayed", info)
+
     def _append_record(self, event: str, info: dict) -> None:
         self._records.append({"event": event, "ts": time.time(), **info})
         if len(self._records) > _MAX_RECORDS:
@@ -93,6 +113,7 @@ class IntegrityMonitor:
             return {
                 "sma_quarantined": self._quarantines,
                 "sma_repaired": self._repairs,
+                "intent_resolutions": dict(self._intent_resolutions),
                 "by_table": dict(self._by_table),
                 "recent": [dict(r) for r in self._records[-16:]],
             }

@@ -13,6 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.errors import CatalogError, StorageError
 from repro.storage.heapfile import HeapFile
 from repro.storage.page import BucketLayout
 from repro.storage.schema import Schema
@@ -55,6 +56,9 @@ class Table:
     def read_bucket(self, bucket_no: int) -> np.ndarray:
         return self.heap.read_bucket(bucket_no)
 
+    def bucket_counts(self) -> np.ndarray:
+        return self.heap.bucket_counts()
+
     @property
     def decode_cache_stats(self) -> tuple[int, int]:
         """(hits, misses) of the heap's decoded-bucket cache."""
@@ -79,4 +83,120 @@ class Table:
         return (
             f"Table({self.name!r}, records={self.num_records}, "
             f"buckets={self.num_buckets}, clustered_on={self.clustered_on!r})"
+        )
+
+
+class TableView(Table):
+    """A bucket-generation snapshot of a table, pinned at one ingest epoch.
+
+    Concurrent inserts only ever *grow* the heap: they top up the
+    trailing bucket in place and append whole buckets after it.  A view
+    therefore freezes two numbers at admission — the bucket count ``B``
+    and the trailing bucket's record count ``c`` — and bounds every read
+    against them: buckets ``>= B`` do not exist, and bucket ``B - 1``
+    is truncated to its first ``c`` records.  Readers holding the view
+    can never observe a torn append or rows of a later epoch, while the
+    writer proceeds underneath.
+
+    The view is a :class:`Table` duck-type: every operator, planner and
+    morsel dispatcher works on it unchanged.  ``pin`` round-trips the
+    snapshot to process scan workers, which clip after reading their own
+    (possibly fresher) on-disk bytes.
+    """
+
+    def __init__(self, base: Table, epoch: int):
+        super().__init__(base.name, base.heap, clustered_on=base.clustered_on)
+        self.base = base
+        self.epoch = epoch
+        self._pinned_buckets = base.num_buckets
+        self._pinned_trailing = (
+            base.heap.bucket_count(self._pinned_buckets - 1)
+            if self._pinned_buckets
+            else 0
+        )
+
+    @property
+    def pin(self) -> dict:
+        """Wire form of the snapshot for process scan-worker payloads."""
+        return {
+            "epoch": self.epoch,
+            "buckets": self._pinned_buckets,
+            "trailing": self._pinned_trailing,
+        }
+
+    @classmethod
+    def from_pin(cls, base: Table, pin: dict) -> "TableView":
+        """Rebuild a view from a shipped ``pin`` snapshot (worker side).
+
+        The worker's on-disk state may be fresher than the parent's pin
+        (a later batch already retired); the shipped geometry — not the
+        worker's current heap — defines what this view exposes.
+        """
+        view = cls(base, int(pin["epoch"]))
+        view._pinned_buckets = int(pin["buckets"])
+        view._pinned_trailing = int(pin["trailing"])
+        return view
+
+    @property
+    def num_buckets(self) -> int:
+        return self._pinned_buckets
+
+    @property
+    def num_records(self) -> int:
+        if not self._pinned_buckets:
+            return 0
+        full = int(
+            np.asarray(self.heap.bucket_counts()[: self._pinned_buckets - 1]).sum()
+        )
+        return full + self._pinned_trailing
+
+    @property
+    def num_pages(self) -> int:
+        return self._pinned_buckets * self.layout.pages_per_bucket
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * self.layout.page_size
+
+    def bucket_counts(self) -> np.ndarray:
+        counts = np.asarray(self.heap.bucket_counts())[: self._pinned_buckets].copy()
+        if self._pinned_buckets:
+            counts[-1] = self._pinned_trailing
+        counts.flags.writeable = False
+        return counts
+
+    def read_bucket(self, bucket_no: int) -> np.ndarray:
+        if not 0 <= bucket_no < self._pinned_buckets:
+            raise StorageError(
+                f"bucket {bucket_no} out of pinned range "
+                f"[0, {self._pinned_buckets}) at epoch {self.epoch}"
+            )
+        records = self.heap.read_bucket(bucket_no)
+        if bucket_no == self._pinned_buckets - 1:
+            return records[: self._pinned_trailing]
+        return records
+
+    def iter_buckets(self):
+        for bucket_no in range(self._pinned_buckets):
+            yield bucket_no, self.read_bucket(bucket_no)
+
+    def read_all(self) -> np.ndarray:
+        if self._pinned_buckets == 0:
+            return self.schema.empty_batch()
+        return np.concatenate([records for _, records in self.iter_buckets()])
+
+    def append_batch(self, records: np.ndarray) -> None:
+        raise CatalogError("cannot write through a pinned TableView")
+
+    def append_bucket(self, records: np.ndarray) -> None:
+        raise CatalogError("cannot write through a pinned TableView")
+
+    def append_rows(self, rows: list) -> None:
+        raise CatalogError("cannot write through a pinned TableView")
+
+    def __repr__(self) -> str:
+        return (
+            f"TableView({self.name!r}@{self.epoch}, "
+            f"buckets={self._pinned_buckets}, "
+            f"trailing={self._pinned_trailing})"
         )

@@ -1,0 +1,151 @@
+"""DML through the serving tiers: QueryService and the shard router.
+
+Service half: writes serialize behind the write queue, ingest telemetry
+lands in the metrics snapshot + event log + Prometheus exposition.
+
+Shard half: the router routes INSERT batches to the tail-owning (last)
+shard only, scatters UPDATE/DELETE to every shard, and scatter-gather
+reads stay byte-identical across the epochs the writes produce.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.events import EventLog
+from repro.obs.exposition import render_prometheus
+from repro.server.service import QueryService
+from repro.shard.partitioner import shard_init
+from repro.storage import Catalog
+
+from tests.conftest import SALES_SCHEMA, sales_rows
+from tests.shard.conftest import live_cluster
+
+
+def _events(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestServiceDml:
+    def test_write_metrics_and_events(self, catalog, sales_table, sales_sma_set):
+        stream = io.StringIO()
+        with EventLog(stream) as log, QueryService(
+            catalog, workers=2, events=log
+        ) as service:
+            result = service.execute(
+                "INSERT INTO SALES VALUES (9001, DATE '1999-01-01', 1.0, 'A'), "
+                "(9002, DATE '1999-01-02', 2.0, 'R')"
+            )
+            assert result.rows == [(2, 1)]
+            service.execute("DELETE FROM SALES WHERE id = 9002")
+            snapshot = service.metrics.snapshot()
+
+        ingest = snapshot["ingest"]
+        assert ingest["batches"] == 2
+        assert ingest["rows_total"]["SALES"] == {"delete": 1, "insert": 2}
+        assert ingest["epochs"]["SALES"] == 2
+        assert ingest["write_queue_depth"] == 0
+        assert ingest["write_queue_peak"] >= 1
+
+        applied = [e for e in _events(stream) if e["event"] == "ingest_applied"]
+        assert [e["op"] for e in applied] == ["insert", "delete"]
+        assert applied[0]["rows_affected"] == 2
+        assert applied[0]["epoch"] == 1
+
+        text = render_prometheus(snapshot)
+        assert 'repro_ingest_rows_total{table="SALES",op="insert"} 2' in text
+        assert 'repro_ingest_epoch{table="SALES"} 2' in text
+        assert "repro_ingest_batches_total 2" in text
+
+    def test_reads_between_writes_stay_consistent(self, catalog, sales_table, sales_sma_set):
+        with QueryService(catalog, workers=4) as service:
+            for i in range(4):
+                service.execute(
+                    f"INSERT INTO SALES VALUES ({9100 + i}, "
+                    f"DATE '1999-02-01', 1.0, 'A')"
+                )
+                count = service.execute("SELECT COUNT(*) AS n FROM SALES")
+                assert count.rows == [(2001 + i,)]
+                assert count.epoch == i + 1
+
+
+def _make_sharded_sales(tmp_path, num_shards: int = 2) -> str:
+    source = tmp_path / "source"
+    with Catalog(str(source)) as catalog:
+        table = catalog.create_table(
+            "SALES", SALES_SCHEMA, clustered_on="ship"
+        )
+        table.append_rows(sales_rows())
+        table.heap.flush()
+    out = tmp_path / "sharded"
+    shard_init(str(source), str(out), num_shards)
+    return str(out)
+
+
+class TestShardDml:
+    def test_insert_routes_to_last_shard_only(self, tmp_path):
+        root = _make_sharded_sales(tmp_path)
+        with live_cluster(root) as cluster:
+            router = cluster.router
+            before = [
+                router.clients[i]
+                .request({"op": "metrics"})["metrics"]["ingest"]["batches"]
+                for i in range(2)
+            ]
+            result = router.execute(
+                "INSERT INTO SALES VALUES (9001, DATE '1999-01-01', 1.0, 'A')"
+            )
+            assert result.rows == [(1, 1)]
+            assert result.plan.strategy == "insert"
+            assert "1 of 2 shard(s)" in result.plan.reason
+            after = [
+                router.clients[i]
+                .request({"op": "metrics"})["metrics"]["ingest"]["batches"]
+                for i in range(2)
+            ]
+            # Only the tail-owning shard applied the batch.
+            assert after[0] == before[0]
+            assert after[1] == before[1] + 1
+
+    def test_update_delete_scatter_to_all_shards(self, tmp_path):
+        root = _make_sharded_sales(tmp_path)
+        with live_cluster(root) as cluster:
+            router = cluster.router
+            updated = router.execute(
+                "UPDATE SALES SET qty = 0.0 WHERE qty = 1.0"
+            )
+            assert updated.plan.strategy == "update"
+            assert "2 of 2 shard(s)" in updated.plan.reason
+            # 2000 rows, qty = i % 7: ids 1, 8, 15, ... -> 286 rows,
+            # spread across both shards.
+            assert updated.rows[0][0] == 286
+            zeroed = router.execute(
+                "SELECT COUNT(*) AS n FROM SALES WHERE qty = 1.0"
+            )
+            assert zeroed.rows == [(0,)]
+            deleted = router.execute("DELETE FROM SALES WHERE qty = 2.0")
+            assert deleted.plan.strategy == "delete"
+            assert deleted.rows[0][0] == 286
+            count = router.execute("SELECT COUNT(*) AS n FROM SALES")
+            assert count.rows == [(2000 - 286,)]
+
+    def test_scatter_gather_reads_identical_across_epochs(self, tmp_path):
+        """The tentpole read guarantee: merged reads are byte-identical
+        before and after ingest for data the writes did not touch."""
+        root = _make_sharded_sales(tmp_path)
+        probe = (
+            "SELECT flag, COUNT(*) AS n, SUM(qty) AS s FROM SALES "
+            "WHERE id < 2000 GROUP BY flag ORDER BY flag"
+        )
+        with live_cluster(root) as cluster:
+            router = cluster.router
+            baseline = repr(router.execute(probe).rows)
+            for i in range(3):
+                router.execute(
+                    f"INSERT INTO SALES VALUES ({9200 + i}, "
+                    f"DATE '1999-03-01', 5.0, 'R')"
+                )
+                assert repr(router.execute(probe).rows) == baseline
+            total = router.execute("SELECT COUNT(*) AS n FROM SALES")
+            assert total.rows == [(2003,)]

@@ -232,8 +232,10 @@ class TestErrors:
             parse_statement("select * from T extra")
 
     def test_not_a_statement(self):
-        with pytest.raises(ParseError, match="DEFINE, EXPLAIN or SELECT"):
-            parse_statement("insert into T values (1)")
+        with pytest.raises(
+            ParseError, match="DEFINE, EXPLAIN, SELECT, INSERT, UPDATE or DELETE"
+        ):
+            parse_statement("drop table T")
 
     def test_missing_from(self):
         with pytest.raises(ParseError, match="FROM"):
