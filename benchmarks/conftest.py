@@ -40,20 +40,10 @@ def _git_rev() -> str:
 
 
 def _metric_unit(name: str) -> str:
-    """Best-effort unit from the metric naming conventions used here."""
-    if name.startswith("qps") or "_qps" in name:
-        return "queries/s"
-    if "speedup" in name or name.endswith("_ratio"):
-        return "x"
-    if "rate" in name or "fraction" in name:
-        return "fraction"
-    if "wall" in name or name.endswith("_s") or "seconds" in name:
-        return "s"
-    if "bytes" in name:
-        return "bytes"
-    if "completed" in name or name.startswith("num_") or name.endswith("_count"):
-        return "count"
-    return "value"
+    """Canonical unit for a metric name (see :func:`repro.bench.harness.metric_unit`)."""
+    from repro.bench.harness import metric_unit
+
+    return metric_unit(name)
 
 
 def write_bench_json(result, config: dict) -> Path:

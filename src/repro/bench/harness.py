@@ -8,12 +8,54 @@ pytest-benchmark targets, and the EXPERIMENTS.md regeneration.
 
 from __future__ import annotations
 
+import re
 import shutil
 import tempfile
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.storage.catalog import Catalog
+
+#: latency-percentile metric names: ``p50``, ``p95_s4``, ``read_p99_x`` ...
+_PERCENTILE_RE = re.compile(r"(?:^|_)p\d{1,3}(?:_|$)")
+
+
+def metric_unit(name: str) -> str:
+    """Canonical unit for a benchmark metric, from its naming convention.
+
+    The BENCH_*.json artifacts label every metric with a unit so CI
+    dashboards don't have to guess.  Time is always ``"seconds"`` —
+    including latency percentiles (``p50_s4``), which name a duration
+    even when the suffix encodes a shard count rather than seconds.
+    Dimensionless tallies (batch/row/epoch counters) are ``"count"``;
+    only a genuinely unit-less metric falls through to ``"value"``.
+    """
+    if name.startswith("qps") or "_qps" in name:
+        return "queries/s"
+    if "speedup" in name or name.endswith("_ratio"):
+        return "x"
+    if "rate" in name or "fraction" in name:
+        return "fraction"
+    if "bytes" in name:
+        return "bytes"
+    if (
+        "wall" in name
+        or "seconds" in name
+        or "latency" in name
+        or name.endswith("_s")
+        or _PERCENTILE_RE.search(name)
+    ):
+        return "seconds"
+    if (
+        "completed" in name
+        or "batches" in name
+        or "rows" in name
+        or "epoch" in name
+        or name.startswith("num_")
+        or name.endswith("_count")
+    ):
+        return "count"
+    return "value"
 
 
 def human_bytes(size: float) -> str:

@@ -166,6 +166,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import Tracer, render_span_tree
 
+    if args.distributed:
+        return _trace_distributed(args)
     catalog = _open_catalog(args.db, args.buffer_pages, args.stripes)
     tracer = Tracer()
     session = Session(catalog, scan_workers=args.scan_workers,
@@ -202,6 +204,98 @@ def cmd_trace(args: argparse.Namespace) -> int:
           f"-> {'exact' if exact else 'MISMATCH'}")
     catalog.close()
     return 0 if exact else 1
+
+
+def _trace_distributed(args: argparse.Namespace) -> int:
+    """``repro trace --distributed``: one merged tree across router +
+    shard workers (+ scan-pool processes), reconciled byte-exactly.
+
+    Launches one worker subprocess per shard of the sharded root, routes
+    the query through a traced :class:`~repro.shard.router.ShardRouter`,
+    prints the merged span tree and the per-counter reconciliation of
+    remote leaf-span I/O against router-side query totals, and emits the
+    per-query resource ledger.  Exits non-zero unless every counter
+    matches exactly.
+    """
+    import json
+
+    from repro.obs import EventLog, Tracer, render_span_tree
+    from repro.obs.collect import build_ledger, reconcile
+    from repro.shard.manifest import ShardManifest
+    from repro.shard.router import (
+        ShardRouter,
+        launch_local_shards,
+        stop_local_shards,
+    )
+
+    if not ShardManifest.exists(args.db):
+        print(f"error: {args.db} is not a sharded root; "
+              f"run `repro shard-init` first (or drop --distributed)",
+              file=sys.stderr)
+        return 1
+    manifest = ShardManifest.load(args.db)
+    events = EventLog(args.events) if args.events else None
+    tracer = Tracer()
+    processes = launch_local_shards(
+        args.db,
+        manifest=manifest,
+        scan_workers=args.scan_workers,
+        scan_backend=args.scan_backend,
+        buffer_pages=args.buffer_pages,
+    )
+    try:
+        with ShardRouter(
+            [handle.endpoint for handle in processes],
+            manifest=manifest,
+            tracer=tracer,
+            events=events,
+        ) as router:
+            result = router.execute(
+                args.sql, mode=args.mode, sma_set=args.sma_set
+            )
+    finally:
+        stop_local_shards(processes)
+    root = tracer.last_trace()
+    if root is None:
+        if events is not None:
+            events.close()
+        print("error: no trace captured", file=sys.stderr)
+        return 1
+    print(render_span_tree(root))
+    print()
+    print(f"rows: {len(result.rows)}; "
+          f"wall {human_seconds(result.wall_seconds)}; "
+          f"strategy {result.plan.strategy}; "
+          f"shards {manifest.num_shards}; "
+          f"scan backend {args.scan_backend}")
+    report = reconcile(root, result.stats)
+    print(report.render())
+    ledger = build_ledger(root)
+    print(f"ledger: fan_out={ledger['fan_out']} "
+          f"queue_wait={human_seconds(ledger['queue_wait_s'])} "
+          f"spans={ledger['spans']}")
+    for table, io in ledger["tables"].items():
+        print(f"  {table}: {io['page_reads']} reads "
+              f"({io['sma_page_reads']} sma / {io['heap_page_reads']} heap), "
+              f"{io['buffer_hits']} hits, {io['tuples_scanned']} tuples")
+    if events is not None:
+        # The router already emitted query_ledger + trace events into
+        # the log; we only need to flush it.
+        events.close()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "trace": root.to_dict(),
+                    "ledger": ledger,
+                    "reconciliation": report.as_dict(),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"merged trace -> {args.json_out}")
+    return 0 if report.exact else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -361,6 +455,7 @@ def cmd_shard_worker(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_depth=args.queue,
         scan_workers=args.scan_workers,
+        scan_backend=args.scan_backend,
         buffer_pages=args.buffer_pages,
         fault_injector=injector,
         events=events,
@@ -679,6 +774,18 @@ def build_parser() -> argparse.ArgumentParser:
                          default="thread",
                          help="where morsels run: in-process threads or a "
                          "persistent worker-process pool (default thread)")
+    p_trace.add_argument("--distributed", action="store_true",
+                         help="treat --db as a sharded root: launch its "
+                         "shard workers, route the query, merge the remote "
+                         "span trees into one tree and reconcile remote "
+                         "leaf-span I/O against router-side totals")
+    p_trace.add_argument("--json-out",
+                         help="with --distributed: write the merged trace, "
+                         "ledger and reconciliation report as JSON here")
+    p_trace.add_argument("--events",
+                         help="with --distributed: write router events "
+                         "(incl. query_ledger and trace records) as JSONL "
+                         "to this file")
     p_trace.set_defaults(func=cmd_trace)
 
     p_info = sub.add_parser("info", help="describe a catalog")
@@ -791,6 +898,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard_worker.add_argument("--scan-workers", type=int, default=1,
                                 help="morsel-scan threads per query "
                                 "(default 1)")
+    p_shard_worker.add_argument("--scan-backend",
+                                choices=("thread", "process"),
+                                default="thread",
+                                help="where this shard's morsels run "
+                                "(default thread)")
     p_shard_worker.add_argument("--events",
                                 help="write this shard's JSONL events here")
     add_faults(p_shard_worker)

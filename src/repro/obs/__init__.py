@@ -11,8 +11,20 @@ Three pieces, designed to never get in the query path's way:
 * :mod:`repro.obs.exposition` — Prometheus text rendering of the
   metrics snapshot and the ``/metrics`` / ``/healthz`` / ``/snapshot``
   HTTP endpoint.
+* :mod:`repro.obs.collect` — distributed-trace collection: graft span
+  trees exported by shard workers and scan-pool processes into the
+  router's trace (fresh ids, clock-skew-tolerant rebasing), reconcile
+  leaf-span I/O against query totals, and build per-query resource
+  ledgers.
 """
 
+from repro.obs.collect import (
+    ReconcileReport,
+    build_ledger,
+    graft_remote_trace,
+    reconcile,
+    span_from_wire,
+)
 from repro.obs.events import EventLog
 from repro.obs.exposition import MetricsServer, render_prometheus
 from repro.obs.trace import (
@@ -29,9 +41,14 @@ __all__ = [
     "MetricsServer",
     "NO_TRACER",
     "NoopTracer",
+    "ReconcileReport",
     "Span",
     "Tracer",
+    "build_ledger",
+    "graft_remote_trace",
+    "reconcile",
     "render_prometheus",
     "render_span_tree",
     "resolve_tracer",
+    "span_from_wire",
 ]

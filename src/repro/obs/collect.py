@@ -1,0 +1,277 @@
+"""Trace collection: graft remote span trees, reconcile I/O, build ledgers.
+
+Distributed queries run in several processes (the router, N shard
+workers, and — under ``--scan-backend process`` — a pool of scan
+workers), each with its own :class:`~repro.obs.trace.Tracer`.  Three
+things stop the remote trees from simply being appended to the parent
+trace:
+
+* **span-id collisions** — every tracer counts ids from 1, so remote
+  ids collide with local ones;
+* **clock skew** — span timestamps are ``time.perf_counter()`` values
+  with a *per-process* arbitrary origin, meaningless across processes;
+* **naming** — each remote process opens its own root span.
+
+:func:`graft_remote_trace` solves all three: it rebuilds the exported
+tree (the ``Span.to_dict()`` JSON shipped in the response frame) under a
+local parent span, re-ids every node from the local tracer, rewrites the
+trace id, and rebases timestamps into the *anchor* span's window — the
+local span that timed the remote call, so the remote tree lands inside
+the interval where the work observably happened.  Durations and
+relative offsets within the remote tree are preserved exactly; only the
+origin shifts.  Original remote ids survive as span attributes so event
+records written by the remote process can still be joined to the merged
+tree.
+
+On the merged tree, :func:`reconcile` extends PR 4's attribution
+invariant to the distributed case — the io-carrying leaf spans (now
+living in other processes) must still sum *exactly* to the router-side
+query totals — and :func:`build_ledger` distills the per-query resource
+ledger (per-table sma/heap page reads, queue wait, scatter fan-out,
+wall time by span kind) that the SMA advisor will mine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.obs.trace import Span, Tracer
+from repro.storage.stats import IoStats
+
+__all__ = [
+    "RECONCILE_FIELDS",
+    "ReconcileReport",
+    "build_ledger",
+    "graft_remote_trace",
+    "reconcile",
+    "span_from_wire",
+]
+
+#: Constructor fields of IoStats — ``as_dict()`` adds derived totals
+#: (page_reads, page_accesses) that must not reach the constructor.
+_IO_FIELDS = frozenset(field.name for field in dataclasses.fields(IoStats))
+
+
+def _io_from_wire(payload: dict) -> IoStats:
+    """Rebuild an IoStats delta from its ``as_dict()`` wire form."""
+    kwargs = {key: value for key, value in payload.items() if key in _IO_FIELDS}
+    return IoStats(**kwargs)
+
+
+def span_from_wire(node: dict) -> Span:
+    """Rebuild one exported span tree verbatim (ids and times untouched).
+
+    Mostly a building block for :func:`graft_remote_trace`, which is
+    what callers almost always want; useful on its own for inspecting a
+    spooled trace record.
+    """
+    span = Span(
+        str(node["name"]),
+        trace_id=int(node["trace_id"]),
+        span_id=int(node["span_id"]),
+        parent_id=None if node.get("parent_id") is None else int(node["parent_id"]),
+    )
+    span.start_s = float(node["start_s"])
+    span.end_s = span.start_s + float(node.get("duration_s", 0.0))
+    span.thread_name = str(node.get("thread", span.thread_name))
+    attrs = node.get("attrs")
+    if attrs:
+        span.attrs.update(attrs)
+    io = node.get("io")
+    if io is not None:
+        span.io = _io_from_wire(io)
+    for child in node.get("children", ()):
+        span.children.append(span_from_wire(child))
+    return span
+
+
+def graft_remote_trace(
+    tracer: Tracer,
+    parent: Span,
+    node: dict,
+    *,
+    anchor: Span | None = None,
+    name: str | None = None,
+    attrs: dict[str, object] | None = None,
+) -> Span:
+    """Attach a remote process's exported span tree under *parent*.
+
+    ``anchor`` is the local span whose ``[start_s, end_s]`` window timed
+    the remote call (defaults to *parent*); the remote tree is shifted
+    so it sits inside that window — centred when it fits, pinned to the
+    window's start when remote durations exceed it (clock skew is
+    tolerated, never trusted).  ``name`` renames the grafted root (e.g.
+    a worker's generic ``scan_task`` becomes the backend-neutral
+    ``scan_morsel`` the rest of the tooling expects); ``attrs`` are
+    merged into the grafted root.  Returns the grafted root span.
+    """
+    window = anchor if anchor is not None else parent
+    remote_start = float(node["start_s"])
+    remote_dur = max(0.0, float(node.get("duration_s", 0.0)))
+    lo = window.start_s
+    hi = window.end_s if window.end_s is not None else lo + remote_dur
+    slack = (hi - lo) - remote_dur
+    offset = lo + max(0.0, slack / 2.0) - remote_start
+
+    def rebuild(node: dict, parent: Span) -> Span:
+        span = Span(
+            str(node["name"]),
+            trace_id=parent.trace_id,
+            span_id=tracer.next_span_id(),
+            parent_id=parent.span_id,
+        )
+        span.start_s = float(node["start_s"]) + offset
+        span.end_s = span.start_s + float(node.get("duration_s", 0.0))
+        span.thread_name = str(node.get("thread", span.thread_name))
+        node_attrs = node.get("attrs")
+        if node_attrs:
+            span.attrs.update(node_attrs)
+        io = node.get("io")
+        if io is not None:
+            span.io = _io_from_wire(io)
+        parent.children.append(span)
+        for child in node.get("children", ()):
+            rebuild(child, span)
+        return span
+
+    root = rebuild(node, parent)
+    if name is not None:
+        root.name = name
+    root.annotate(
+        remote_trace_id=int(node["trace_id"]),
+        remote_span_id=int(node["span_id"]),
+    )
+    if attrs:
+        root.attrs.update(attrs)
+    return root
+
+
+# ----------------------------------------------------------------------
+# reconciliation
+# ----------------------------------------------------------------------
+
+#: Counters the distributed reconciliation compares, field by field.
+#: These are exactly the read-side counters a query window accumulates;
+#: each must match between the merged tree's leaf spans and the
+#: router-side totals — byte-exact, no tolerance.
+RECONCILE_FIELDS = (
+    "page_reads",
+    "sma_page_reads",
+    "heap_page_reads",
+    "buffer_hits",
+    "tuples_scanned",
+    "buckets_skipped",
+)
+
+
+@dataclass(frozen=True)
+class ReconcileReport:
+    """Outcome of one leaf-span-sum vs query-totals comparison."""
+
+    #: (counter name, sum over io-carrying leaf spans, query total)
+    fields: tuple[tuple[str, int, int], ...]
+
+    @property
+    def exact(self) -> bool:
+        return all(leaf == total for _, leaf, total in self.fields)
+
+    def as_dict(self) -> dict:
+        return {
+            "exact": self.exact,
+            "fields": {
+                name: {"leaf_spans": leaf, "query_totals": total}
+                for name, leaf, total in self.fields
+            },
+        }
+
+    def render(self) -> str:
+        lines = ["reconciliation (leaf span sums vs query totals):"]
+        for name, leaf, total in self.fields:
+            verdict = "ok" if leaf == total else "MISMATCH"
+            lines.append(f"  {name:18s} {leaf:>10d} vs {total:>10d}  {verdict}")
+        lines.append(f"reconciliation: {'exact' if self.exact else 'MISMATCH'}")
+        return "\n".join(lines)
+
+
+def reconcile(root: Span, totals: IoStats) -> ReconcileReport:
+    """Compare the merged tree's leaf I/O against the query's totals."""
+    leaf = root.io_total()
+    return ReconcileReport(
+        fields=tuple(
+            (name, int(getattr(leaf, name)), int(getattr(totals, name)))
+            for name in RECONCILE_FIELDS
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# resource ledger
+# ----------------------------------------------------------------------
+
+#: Per-table counters the ledger keeps (the advisor's scoring inputs).
+_LEDGER_TABLE_FIELDS = (
+    "sma_page_reads",
+    "heap_page_reads",
+    "page_reads",
+    "buffer_hits",
+    "tuples_scanned",
+    "buckets_fetched",
+    "buckets_skipped",
+)
+
+
+def build_ledger(root: Span) -> dict:
+    """Distill one merged trace into a per-query resource ledger.
+
+    Per-table I/O is attributed by the nearest ancestor span carrying a
+    ``table`` attribute (the session annotates its ``execute`` spans,
+    scan-pool workers annotate their task roots); io-carrying spans with
+    no table in scope land under ``"<unattributed>"`` so nothing is
+    silently dropped.  The dict is JSON-ready — it is emitted verbatim
+    as the ``query_ledger`` event and folded into the
+    ``repro_query_ledger_*`` Prometheus series.
+    """
+    tables: dict[str, IoStats] = {}
+
+    def attribute(span: Span, table: str | None) -> None:
+        owner = span.attrs.get("table")
+        if owner is not None:
+            table = str(owner)
+        if span.io is not None:
+            key = table if table is not None else "<unattributed>"
+            tables.setdefault(key, IoStats()).merge(span.io)
+        for child in span.children:
+            attribute(child, table)
+
+    attribute(root, None)
+
+    wall_by_kind: dict[str, float] = {}
+    queue_wait_s = 0.0
+    fan_out = 0
+    span_count = 0
+    for span in root.walk():
+        span_count += 1
+        wall_by_kind[span.name] = wall_by_kind.get(span.name, 0.0) + span.duration_s
+        if span.name == "queue_wait":
+            queue_wait_s += span.duration_s
+        elif span.name == "shard_execute":
+            fan_out += 1
+
+    io = root.io_total()
+    return {
+        "trace_id": root.trace_id,
+        "ticket": root.attrs.get("ticket"),
+        "kind": root.attrs.get("kind"),
+        "outcome": root.attrs.get("outcome"),
+        "duration_s": root.duration_s,
+        "queue_wait_s": queue_wait_s,
+        "fan_out": fan_out,
+        "spans": span_count,
+        "tables": {
+            name: {field: int(getattr(stats, field)) for field in _LEDGER_TABLE_FIELDS}
+            for name, stats in sorted(tables.items())
+        },
+        "wall_by_kind": {name: wall_by_kind[name] for name in sorted(wall_by_kind)},
+        "io": io.as_dict(),
+    }

@@ -19,7 +19,16 @@ everything else is event-specific.  Types emitted by the service layer:
 ``slow_query``            over-threshold query + its captured EXPLAIN
 ``trace``                 a finished span tree (see :mod:`.trace`)
 ``ambivalent_warning``    a table's grading crossed the break-even
+``query_ledger``          per-query resource ledger (queue wait, scatter
+                          fan-out, wall seconds by span kind, per-table
+                          I/O attribution; see :mod:`.collect`)
 ========================  ==============================================
+
+Per-query events (``query_start``/``query_finish``/``slow_query``/
+``ambivalent_warning``/``ingest_applied``/``query_ledger``) carry a
+``trace_id`` so log lines join against the merged span tree — on shard
+workers that id is the *router's* global trace id whenever the request
+carried a wire trace context.
 """
 
 from __future__ import annotations

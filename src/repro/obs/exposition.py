@@ -450,6 +450,63 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
                 kind="counter",
             )
 
+    ledger = snapshot.get("ledger")
+    if ledger and ledger.get("queries"):
+        out.sample(
+            f"{ns}_query_ledger_queries_total",
+            ledger.get("queries", 0),
+            help_text="Traced queries folded into the resource ledger.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_query_ledger_queue_wait_seconds_total",
+            ledger.get("queue_wait_s", 0.0),
+            help_text="Summed admission queue wait across ledgered "
+            "queries.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_query_ledger_fan_out_total",
+            ledger.get("fan_out", 0),
+            help_text="Shard subqueries scattered by ledgered queries.",
+            kind="counter",
+        )
+        for kind, seconds in sorted(ledger.get("span_seconds", {}).items()):
+            out.sample(
+                f"{ns}_query_ledger_span_seconds_total",
+                seconds,
+                labels={"kind": kind},
+                help_text="Wall seconds attributed to each span kind "
+                "across ledgered queries.",
+                kind="counter",
+            )
+        for table, counters in sorted(ledger.get("tables", {}).items()):
+            for file_kind in ("sma", "heap"):
+                out.sample(
+                    f"{ns}_query_ledger_page_reads_total",
+                    counters.get(f"{file_kind}_page_reads", 0),
+                    labels={"table": table, "file": file_kind},
+                    help_text="Per-table physical page reads attributed "
+                    "from merged span trees, split by file kind.",
+                    kind="counter",
+                )
+            out.sample(
+                f"{ns}_query_ledger_buffer_hits_total",
+                counters.get("buffer_hits", 0),
+                labels={"table": table},
+                help_text="Per-table buffer-pool hits attributed from "
+                "merged span trees.",
+                kind="counter",
+            )
+            out.sample(
+                f"{ns}_query_ledger_tuples_scanned_total",
+                counters.get("tuples_scanned", 0),
+                labels={"table": table},
+                help_text="Per-table tuples scanned attributed from "
+                "merged span trees.",
+                kind="counter",
+            )
+
     events = snapshot.get("events", {})
     if events:
         out.sample(

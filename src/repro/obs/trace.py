@@ -278,6 +278,16 @@ class Tracer:
             parent.children.append(span)
         return span
 
+    def next_span_id(self) -> int:
+        """Allocate a fresh span id from this tracer's id space.
+
+        Span ids are only unique *per tracer*: every process counts from
+        1, so spans shipped across the wire collide with local ones.
+        The collector (:mod:`repro.obs.collect`) re-ids grafted spans
+        through this method to keep one trace's ids unambiguous.
+        """
+        return next(self._ids)
+
     def finish(self, span: Span) -> None:
         """End a span created with :meth:`begin`; emits root spans."""
         if span.end_s is None:
@@ -417,6 +427,9 @@ class NoopTracer:
 
     def begin(self, name: str, **kwargs: object) -> _NoopSpan:
         return _NOOP_SPAN
+
+    def next_span_id(self) -> int:
+        return 0
 
     def finish(self, span: object) -> None:
         return None

@@ -50,7 +50,8 @@ from repro.lang.serde import (
     predicate_from_json,
     predicate_to_json,
 )
-from repro.obs.trace import NO_TRACER
+from repro.obs.collect import graft_remote_trace
+from repro.obs.trace import NO_TRACER, Tracer
 from repro.shard.state_serde import (
     state_from_wire,
     state_to_wire,
@@ -118,12 +119,34 @@ def _worker_run(task: dict) -> dict:
         # caches so this task's reads hit "disk" like the parent's would.
         catalog.go_cold()
         _WORKER_EPOCH = epoch
+    ctx = task.get("trace")
+    tracer = span = None
+    if ctx is not None:
+        # Traced dispatch: open a local root span over this task's whole
+        # window.  Ids/timestamps are process-local; the parent grafts
+        # the exported tree (re-id + rebase) via obs.collect.
+        tracer = Tracer(keep=1)
+        span = tracer.begin(str(ctx.get("span_name", "scan_task")), root=True)
+        span.annotate(
+            kind=task["kind"],
+            table=task["table"],
+            pid=os.getpid(),
+            remote_trace_id=ctx.get("trace_id"),
+            remote_parent_span_id=ctx.get("parent_span_id"),
+        )
     window = IoStats()
     started = time.perf_counter()
     with catalog.pool.query_context(window):
         payload = _execute_task(catalog, task)
     payload["stats"] = stats_to_wire(window)
     payload["wall_s"] = time.perf_counter() - started
+    if span is not None:
+        # The span's io IS the task window: the exported leaf delta and
+        # the stats the parent merges are the same counters, so the
+        # distributed reconciliation stays byte-exact.
+        span.io = window.snapshot()
+        tracer.finish(span)
+        payload["trace"] = span.to_dict()
     return payload
 
 
@@ -545,10 +568,20 @@ def run_process_morsels(
     proc = get_pool(root_dir, pool.capacity_pages, pool.fault_injector)
     cancel_event, deadline = pool.binding_controls()
     parent_span = tracer.current() if tracer.enabled else None
+    if parent_span is not None:
+        # Traced dispatch: ship trace context so each worker opens its
+        # task span as a child of this query instead of a fresh root.
+        ctx = {
+            "trace_id": parent_span.trace_id,
+            "parent_span_id": parent_span.span_id,
+            "span_name": span_name,
+        }
+        for payload in payloads:
+            payload["trace"] = ctx
     with tracer.span(
         "process_dispatch",
         attrs={"tasks": len(payloads), "workers": workers, "backend": "process"},
-    ):
+    ) as dispatch_span:
         wire_results = proc.dispatch(
             payloads, workers, cancel_event=cancel_event, deadline=deadline
         )
@@ -556,6 +589,26 @@ def run_process_morsels(
     for index, result in enumerate(wire_results):
         worker_stats = stats_from_wire(result["stats"])
         if parent_span is not None:
+            remote = result.get("trace")
+            if remote is not None:
+                # The worker's exported span carries the task window as
+                # its io delta; graft it (re-id, rebase into the dispatch
+                # interval) and merge the same counters into the caller's
+                # window — the grafted leaf and the merge agree exactly.
+                graft_remote_trace(
+                    tracer,
+                    parent_span,
+                    remote,
+                    anchor=dispatch_span,
+                    name=span_name,
+                    attrs={
+                        "morsel": index,
+                        "backend": "process",
+                        "worker_wall_s": result.get("wall_s"),
+                    },
+                )
+                parent.merge(worker_stats)
+                continue
             window = IoStats()
             with tracer.span(
                 span_name,

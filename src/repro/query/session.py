@@ -218,7 +218,9 @@ class Session:
         view = self.catalog.pin_view(query.table)
         # Root when standalone (`repro trace`), child of the service's
         # per-query root span when running on an executor worker.
-        with tracer.span("execute", attrs={"mode": mode}) as exec_span:
+        with tracer.span(
+            "execute", attrs={"mode": mode, "table": query.table}
+        ) as exec_span:
             with tracer.span("plan"):
                 plan = self._plan(query, mode=mode, sma_set=sma_set, table=view)
             with tracer.span("run", attrs={"strategy": plan.info.strategy}):
@@ -254,7 +256,9 @@ class Session:
         started = time.perf_counter()
 
         tracer = self.tracer
-        with tracer.span("execute", attrs={"dml": True}) as exec_span:
+        with tracer.span(
+            "execute", attrs={"dml": True, "table": statement.table}
+        ) as exec_span:
             with tracer.span("plan"):
                 plan = self.planner.plan_dml(statement)
             with tracer.span("run", attrs={"strategy": plan.info.strategy}):
@@ -308,7 +312,7 @@ class Session:
         tracer = self.tracer
         view = self.catalog.pin_view(query.table)
         with tracer.span(
-            "execute", attrs={"mode": mode, "partial": True}
+            "execute", attrs={"mode": mode, "partial": True, "table": query.table}
         ) as exec_span:
             with tracer.span("plan"):
                 plan = self._plan(query, mode=mode, sma_set=sma_set, table=view)

@@ -228,6 +228,13 @@ class MetricsRegistry:
         self._intents_rolled_back = 0
         self._write_queue_depth = 0
         self._write_queue_peak = 0
+        #: resource-ledger aggregates — one sample per traced query:
+        #: wall seconds by span kind and per-table I/O attribution
+        self._ledger_queries = 0
+        self._ledger_queue_wait_s = 0.0
+        self._ledger_fan_out = 0
+        self._ledger_span_s: dict[str, float] = {}
+        self._ledger_tables: dict[str, dict[str, int]] = {}
 
     @property
     def uptime_s(self) -> float:
@@ -349,6 +356,27 @@ class MetricsRegistry:
             self._ingest_batches += 1
             self._ingest_epochs[table] = int(epoch)
 
+    def record_ledger(self, ledger: dict) -> None:
+        """Fold one per-query resource ledger into the running aggregates.
+
+        *ledger* is the dict built by
+        :func:`repro.obs.collect.build_ledger` — queue wait, scatter
+        fan-out, wall seconds by span kind, and per-table I/O counters
+        attributed from the merged span tree.
+        """
+        with self._lock:
+            self._ledger_queries += 1
+            self._ledger_queue_wait_s += float(ledger.get("queue_wait_s", 0.0))
+            self._ledger_fan_out += int(ledger.get("fan_out", 0))
+            for kind, seconds in (ledger.get("wall_by_kind") or {}).items():
+                self._ledger_span_s[kind] = (
+                    self._ledger_span_s.get(kind, 0.0) + float(seconds)
+                )
+            for table, counters in (ledger.get("tables") or {}).items():
+                totals = self._ledger_tables.setdefault(table, {})
+                for name, value in counters.items():
+                    totals[name] = totals.get(name, 0) + int(value)
+
     def record_intent_resolution(self, action: str) -> None:
         """One write-ahead intent resolved during repair
         (``"replayed"`` or ``"rolled_back"``)."""
@@ -409,6 +437,9 @@ class MetricsRegistry:
                          epochs: {table: epoch}, intents_replayed,
                          intents_rolled_back, write_queue_depth,
                          write_queue_peak},
+              "ledger": {queries, queue_wait_s, fan_out,
+                         span_seconds: {kind: s},
+                         tables: {table: {counter: n}}},
             }
         """
         with self._lock:
@@ -472,5 +503,15 @@ class MetricsRegistry:
                     "intents_rolled_back": self._intents_rolled_back,
                     "write_queue_depth": self._write_queue_depth,
                     "write_queue_peak": self._write_queue_peak,
+                },
+                "ledger": {
+                    "queries": self._ledger_queries,
+                    "queue_wait_s": self._ledger_queue_wait_s,
+                    "fan_out": self._ledger_fan_out,
+                    "span_seconds": dict(sorted(self._ledger_span_s.items())),
+                    "tables": {
+                        table: dict(sorted(counters.items()))
+                        for table, counters in sorted(self._ledger_tables.items())
+                    },
                 },
             }

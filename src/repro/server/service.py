@@ -37,6 +37,7 @@ from repro.errors import (
     QueryTimeoutError,
     ServerOverloadedError,
 )
+from repro.obs.collect import build_ledger
 from repro.obs.events import EventLog
 from repro.obs.trace import Span, resolve_tracer
 from repro.query.planner import Explanation
@@ -73,6 +74,10 @@ class QueryJob:
     #: per-query root span (created at submit, finished by the worker) —
     #: None when tracing is disabled
     trace: Span | None = None
+    #: remote trace context ({"trace_id", "parent_span_id"}) when this
+    #: job arrived over the shard wire — events carry the *global*
+    #: (router-side) trace id so they join against the merged tree
+    trace_ctx: dict | None = None
     #: stop aggregate queries before finalize and return the raw
     #: :class:`~repro.query.session.PartialQueryResult` (shard workers)
     partial: bool = False
@@ -268,6 +273,7 @@ class QueryService:
         timeout_s: float | None = None,
         kind: str | None = None,
         partial: bool = False,
+        trace_ctx: dict | None = None,
     ) -> QueryTicket:
         """Admit one query; returns its ticket or raises
         :class:`~repro.errors.ServerOverloadedError` when the queue is full.
@@ -275,7 +281,11 @@ class QueryService:
         *query* is a logical query object, a DML statement, or a SQL
         string.  ``partial=True`` runs aggregate queries only up to
         their un-finalized aggregation state (the shard-worker execution
-        path); scan queries execute normally.
+        path); scan queries execute normally.  ``trace_ctx`` is the
+        remote trace context a shard worker received over the wire
+        (``{"trace_id", "parent_span_id"}``): the local root span is
+        annotated with it so the router's collector can verify the
+        graft, and this service's events carry the global trace id.
         """
         is_dml = _looks_like_dml(query)
         if kind is None:
@@ -293,12 +303,18 @@ class QueryService:
             # wait; the worker thread adopts and finishes it.
             trace = self.tracer.begin("query", root=True)
             trace.annotate(kind=kind, mode=mode, query=str(query))
+            if trace_ctx is not None:
+                trace.annotate(
+                    remote_trace_id=trace_ctx.get("trace_id"),
+                    remote_parent_span_id=trace_ctx.get("parent_span_id"),
+                )
         job = QueryJob(
             query=query,
             mode=mode,
             sma_set=sma_set,
             kind=kind,
             trace=trace,
+            trace_ctx=trace_ctx,
             partial=partial,
             is_dml=is_dml,
         )
@@ -317,7 +333,11 @@ class QueryService:
             trace.annotate(ticket=ticket.id)
         if self.events is not None:
             self.events.emit(
-                "query_start", ticket=ticket.id, kind=kind, query=str(query)
+                "query_start",
+                ticket=ticket.id,
+                kind=kind,
+                query=str(query),
+                trace_id=self._trace_id(job),
             )
         return ticket
 
@@ -366,6 +386,20 @@ class QueryService:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _trace_id(job: QueryJob) -> int | None:
+        """The trace id this job's events should join against.
+
+        A wire context wins (events must join the *router's* merged
+        tree, not the worker-local root); otherwise the local root span;
+        None when tracing is off.
+        """
+        if job.trace_ctx is not None:
+            return job.trace_ctx.get("trace_id")
+        if job.trace is not None:
+            return job.trace.trace_id
+        return None
 
     def _session(self) -> Session:
         session = getattr(self._sessions, "session", None)
@@ -469,6 +503,13 @@ class QueryService:
         if result.plan.strategy in ("insert", "update", "delete"):
             self._observe_ingest(ticket, job, result)
         self._observe_success(ticket, job, result)
+        if trace is not None:
+            # The root finished in the finally above, so the tree is
+            # complete: distill it into the per-query resource ledger.
+            ledger = build_ledger(trace)
+            self.metrics.record_ledger(ledger)
+            if self.events is not None:
+                self.events.emit("query_ledger", **ledger)
         return result
 
     def _observe_ingest(
@@ -490,6 +531,7 @@ class QueryService:
                 rows_affected=rows_affected,
                 epoch=epoch,
                 latency_s=result.wall_seconds,
+                trace_id=self._trace_id(job),
             )
 
     def _observe_success(
@@ -516,6 +558,7 @@ class QueryService:
             simulated_s=result.simulated_seconds,
             strategy=info.strategy,
             io=result.stats.as_dict(),
+            trace_id=self._trace_id(job),
         )
         if crossed:
             self.events.emit(
@@ -524,6 +567,7 @@ class QueryService:
                 fraction_ambivalent=info.fraction_ambivalent,
                 break_even=self.metrics.ambivalent_break_even,
                 sma_set=info.sma_set_name,
+                trace_id=self._trace_id(job),
             )
         if (
             self.slow_query_s is not None
@@ -547,6 +591,7 @@ class QueryService:
                 threshold_s=self.slow_query_s,
                 query=str(job.query),
                 explain=plan_text,
+                trace_id=self._trace_id(job),
             )
 
     def _record_skipped(self, ticket: QueryTicket) -> None:
@@ -570,4 +615,5 @@ class QueryService:
                 kind=job.kind,
                 outcome=outcome,
                 skipped=True,
+                trace_id=self._trace_id(job),
             )

@@ -38,7 +38,9 @@ from repro.errors import (
     ShardUnavailableError,
 )
 from repro.lang.serde import query_to_json
+from repro.obs.collect import build_ledger, graft_remote_trace
 from repro.obs.events import EventLog
+from repro.obs.trace import Span, resolve_tracer
 from repro.query.planner import PlanInfo
 from repro.query.query import (
     AggregateQuery,
@@ -134,7 +136,13 @@ class ShardClient:
         sock.close()
 
     def request(self, payload: dict) -> dict:
-        """One request/reply round trip with bounded connection retries."""
+        """One request/reply round trip with bounded connection retries.
+
+        The reply dict gains an ``attempts`` key (how many tries this
+        round trip took) so traced scatters can annotate retries — only
+        the final successful reply's stats and spans reach the gather,
+        which is what keeps retried I/O from double-counting.
+        """
         policy = self.retry_policy
         attempt = 1
         while True:
@@ -169,6 +177,7 @@ class ShardClient:
                 raise _map_remote_error(
                     reply.get("error", {}), self.shard_id
                 )
+            reply["attempts"] = attempt
             return reply
 
     def ping(self) -> dict:
@@ -247,6 +256,9 @@ class _RouterJob:
     mode: str = "auto"
     sma_set: str | None = None
     kind: str = "query"
+    #: per-query root span (created at submit, finished by the router
+    #: worker after the gather) — None when tracing is disabled
+    trace: Span | None = None
 
 
 class ShardRouter:
@@ -271,6 +283,7 @@ class ShardRouter:
         metrics: MetricsRegistry | None = None,
         events: EventLog | None = None,
         retry_policy: RetryPolicy | None = None,
+        tracer=None,
     ):
         if not endpoints:
             raise ShardError("a router needs at least one shard endpoint")
@@ -279,6 +292,15 @@ class ShardRouter:
         self.default_timeout_s = default_timeout_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
+        # With a tracer, every routed query gets a root span, each
+        # scatter leg a ``shard_execute`` child carrying its wire trace
+        # context, and the workers' exported span trees are grafted back
+        # so one tree covers the whole distributed execution.
+        self.tracer = resolve_tracer(tracer)
+        if events is not None and self.tracer.enabled:
+            self.tracer.add_sink(
+                lambda root: events.emit("trace", trace=root.to_dict())
+            )
         self.clients = [
             ShardClient(endpoint, retry_policy=retry_policy)
             for endpoint in sorted(endpoints, key=lambda e: e.shard_id)
@@ -423,21 +445,40 @@ class ShardRouter:
                 kind = "aggregate"
             else:
                 kind = "scan"
-        job = _RouterJob(query=query, mode=mode, sma_set=sma_set, kind=kind)
+        trace = None
+        if self.tracer.enabled:
+            # Root span opens at submit so its duration covers the queue
+            # wait; the router worker finishes it after the gather.
+            trace = self.tracer.begin("query", root=True)
+            trace.annotate(
+                kind=kind, mode=mode, query=str(query), shards=self.num_shards
+            )
+        job = _RouterJob(
+            query=query, mode=mode, sma_set=sma_set, kind=kind, trace=trace
+        )
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         try:
             ticket = self._executor.submit(job, timeout_s=timeout)
         except ServerOverloadedError:
             self.metrics.record_rejected()
+            if trace is not None:
+                trace.annotate(outcome="rejected")
+                self.tracer.finish(trace)
             if self.events is not None:
                 self.events.emit(
                     "query_rejected", kind=kind, query=str(query)
                 )
             raise
         self.metrics.record_submitted()
+        if trace is not None:
+            trace.annotate(ticket=ticket.id)
         if self.events is not None:
             self.events.emit(
-                "query_start", ticket=ticket.id, kind=kind, query=str(query)
+                "query_start",
+                ticket=ticket.id,
+                kind=kind,
+                query=str(query),
+                trace_id=trace.trace_id if trace is not None else None,
             )
         return ticket
 
@@ -458,7 +499,25 @@ class ShardRouter:
     # scatter / gather
     # ------------------------------------------------------------------
 
-    def _subquery(self, client: ShardClient, request: dict) -> tuple[dict, float]:
+    def _subquery(
+        self,
+        client: ShardClient,
+        request: dict,
+        trace: Span | None = None,
+    ) -> tuple[dict, float]:
+        span = None
+        if trace is not None:
+            # One ``shard_execute`` span per scatter leg, parented
+            # explicitly (this runs on a scatter-pool thread with no
+            # active span).  Its wire context rides in the request so
+            # the worker's own root becomes this span's child.
+            span = self.tracer.begin("shard_execute", parent=trace)
+            span.annotate(shard=client.shard_id)
+            request = dict(request)
+            request["trace"] = {
+                "trace_id": trace.trace_id,
+                "parent_span_id": span.span_id,
+            }
         started = time.perf_counter()
         try:
             reply = client.request(request)
@@ -467,16 +526,32 @@ class ShardRouter:
                 client.shard_id,
                 unavailable=isinstance(exc, ShardUnavailableError),
             )
+            if span is not None:
+                # A failed leg contributes no I/O: the span records the
+                # error but carries no io delta, so reconciliation of a
+                # later successful run stays exact.
+                span.annotate(error=type(exc).__name__)
+                self.tracer.finish(span)
             if self.events is not None:
                 self.events.emit(
                     "shard_error",
                     shard_id=client.shard_id,
                     error=type(exc).__name__,
                     message=str(exc),
+                    trace_id=trace.trace_id if trace is not None else None,
                 )
             raise
         elapsed = time.perf_counter() - started
         self.scoreboard.record_shard_success(client.shard_id, elapsed)
+        if span is not None:
+            span.annotate(attempts=reply.get("attempts", 1))
+            self.tracer.finish(span)
+            remote = reply["result"].get("trace")
+            if remote is not None:
+                # Finish first so the graft rebases the worker tree into
+                # the span's closed [start, end] window (clock skew is
+                # tolerated, never trusted).
+                graft_remote_trace(self.tracer, span, remote)
         return reply, elapsed
 
     def _run_job(self, ticket: QueryTicket) -> QueryResult:
@@ -484,6 +559,9 @@ class ShardRouter:
         wait = ticket.queue_wait_s
         if wait is not None:
             self.metrics.record_queue_wait(wait)
+        trace = job.trace
+        if trace is not None and wait is not None:
+            self.tracer.record_span("queue_wait", parent=trace, duration_s=wait)
         if isinstance(job.query, DmlStatement):
             return self._run_dml_job(ticket, job)
         remaining = None
@@ -500,7 +578,7 @@ class ShardRouter:
         started = time.perf_counter()
         self.scoreboard.record_scatter(self.num_shards)
         futures = [
-            self._scatter_pool.submit(self._subquery, client, request)
+            self._scatter_pool.submit(self._subquery, client, request, trace)
             for client in self.clients
         ]
         replies: list[dict] = []
@@ -512,14 +590,20 @@ class ShardRouter:
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = exc
+        done = False
         try:
             if first_error is not None:
                 # Partial-result refusal: one failed shard fails the query.
                 raise first_error
             result = self._gather(job, replies, started)
+            done = True
         except ReproError:
             self.metrics.record_failure(job.kind)
             raise
+        finally:
+            if trace is not None:
+                trace.annotate(outcome="completed" if done else "failed")
+                self.tracer.finish(trace)
         self.metrics.record_success(
             job.kind,
             result.wall_seconds,
@@ -536,8 +620,19 @@ class ShardRouter:
                 simulated_s=result.simulated_seconds,
                 strategy=result.plan.strategy,
                 io=result.stats.as_dict(),
+                trace_id=trace.trace_id if trace is not None else None,
             )
+        self._observe_ledger(trace)
         return result
+
+    def _observe_ledger(self, trace: Span | None) -> None:
+        """Distill one finished merged trace into the resource ledger."""
+        if trace is None:
+            return
+        ledger = build_ledger(trace)
+        self.metrics.record_ledger(ledger)
+        if self.events is not None:
+            self.events.emit("query_ledger", **ledger)
 
     def _route_dml(self, statement: DmlStatement) -> list[ShardClient]:
         """Pick the shard(s) one DML batch applies to.
@@ -554,6 +649,7 @@ class ShardRouter:
         return list(self.clients)
 
     def _run_dml_job(self, ticket: QueryTicket, job: _RouterJob) -> QueryResult:
+        trace = job.trace
         remaining = None
         if ticket.deadline is not None:
             remaining = max(0.001, ticket.deadline - time.monotonic())
@@ -564,7 +660,7 @@ class ShardRouter:
         started = time.perf_counter()
         self.scoreboard.record_scatter(len(targets))
         futures = [
-            self._scatter_pool.submit(self._subquery, client, request)
+            self._scatter_pool.submit(self._subquery, client, request, trace)
             for client in targets
         ]
         replies: list[dict] = []
@@ -576,15 +672,21 @@ class ShardRouter:
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = exc
+        done = False
         try:
             if first_error is not None:
                 # A write that reached some shards but not others is a
                 # reported failure, never a silent partial application.
                 raise first_error
             result = self._gather_dml(job, targets, replies, started)
+            done = True
         except ReproError:
             self.metrics.record_failure(job.kind)
             raise
+        finally:
+            if trace is not None:
+                trace.annotate(outcome="completed" if done else "failed")
+                self.tracer.finish(trace)
         self.metrics.record_success(
             job.kind,
             result.wall_seconds,
@@ -607,7 +709,9 @@ class ShardRouter:
                 epoch=int(result.rows[0][1]),
                 shards=len(targets),
                 latency_s=result.wall_seconds,
+                trace_id=trace.trace_id if trace is not None else None,
             )
+        self._observe_ledger(trace)
         return result
 
     def _gather_dml(
@@ -687,9 +791,14 @@ class ShardRouter:
     def _record_skipped(self, ticket: QueryTicket) -> None:
         job: _RouterJob = ticket.payload
         if ticket.state is TicketState.TIMED_OUT:
+            outcome = "timed_out"
             self.metrics.record_timeout(job.kind)
         else:
+            outcome = "cancelled"
             self.metrics.record_cancelled(job.kind)
+        if job.trace is not None:
+            job.trace.annotate(outcome=outcome, skipped=True)
+            self.tracer.finish(job.trace)
 
 
 # ----------------------------------------------------------------------
@@ -763,6 +872,7 @@ def launch_local_shards(
     manifest: ShardManifest | None = None,
     workers: int = 2,
     scan_workers: int = 1,
+    scan_backend: str = "thread",
     queue_depth: int = 32,
     buffer_pages: int = 2048,
     events_dir: str | None = None,
@@ -795,6 +905,7 @@ def launch_local_shards(
                 "--port", "0",
                 "--workers", str(workers),
                 "--scan-workers", str(scan_workers),
+                "--scan-backend", scan_backend,
                 "--queue", str(queue_depth),
                 "--buffer-pages", str(buffer_pages),
             ]

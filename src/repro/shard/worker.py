@@ -23,6 +23,7 @@ import threading
 from repro.errors import ReproError, ShardProtocolError
 from repro.lang.serde import query_from_json
 from repro.obs.events import EventLog
+from repro.obs.trace import Tracer
 from repro.query.query import AggregateQuery, DmlStatement
 from repro.server.service import QueryService
 from repro.shard.protocol import recv_message, send_message
@@ -50,10 +51,12 @@ class ShardWorker:
         workers: int = 2,
         queue_depth: int = 32,
         scan_workers: int = 1,
+        scan_backend: str = "thread",
         buffer_pages: int = 2048,
         default_timeout_s: float | None = None,
         fault_injector=None,
         events: EventLog | None = None,
+        enable_tracing: bool = True,
     ):
         self.shard_id = shard_id
         self.catalog = Catalog.discover(
@@ -62,12 +65,19 @@ class ShardWorker:
             fault_injector=fault_injector,
         )
         self.events = events
+        # Workers trace by default: requests carrying a wire trace
+        # context get their local span tree exported in the reply so the
+        # router reassembles one tree per query.  Span overhead is a few
+        # allocations per query phase — noise against socket round trips.
+        self.tracer = Tracer() if enable_tracing else None
         self.service = QueryService(
             self.catalog,
             workers=workers,
             queue_depth=queue_depth,
             scan_workers=scan_workers,
+            scan_backend=scan_backend,
             default_timeout_s=default_timeout_s,
+            tracer=self.tracer,
             events=events,
         )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -200,6 +210,7 @@ class ShardWorker:
     def _handle_execute(self, request: dict) -> dict:
         query = query_from_json(request["query"])
         partial = isinstance(query, AggregateQuery)
+        trace_ctx = request.get("trace")
         ticket = self.service.submit(
             query,
             mode=request.get("mode", "auto"),
@@ -207,6 +218,7 @@ class ShardWorker:
             timeout_s=request.get("timeout_s"),
             kind=request.get("kind") or None,
             partial=partial,
+            trace_ctx=trace_ctx,
         )
         result = ticket.result()
         payload: dict = {
@@ -216,6 +228,7 @@ class ShardWorker:
             "strategy": result.plan.strategy,
             "warm": result.warm,
         }
+        self._export_trace(ticket, trace_ctx, payload)
         if partial:
             payload["kind"] = "state"
             payload["state"] = state_to_wire(result.state)
@@ -223,6 +236,21 @@ class ShardWorker:
             payload["kind"] = "rows"
             payload["rows"] = rows_to_wire(result.rows)
         return {"ok": True, "result": payload}
+
+    @staticmethod
+    def _export_trace(ticket, trace_ctx, payload: dict) -> None:
+        """Ship the finished local span tree when the caller asked for it.
+
+        ``ticket.result()`` has settled, so the job's root span (finished
+        in the service worker's ``finally``) is complete.  Only traced
+        requests pay the serialization; untraced routers get the slim
+        reply they always did.
+        """
+        if trace_ctx is None:
+            return
+        trace = ticket.payload.trace
+        if trace is not None:
+            payload["trace"] = trace.to_dict()
 
     def _handle_execute_dml(self, request: dict) -> dict:
         """Apply one routed DML batch through this shard's write queue.
@@ -237,24 +265,25 @@ class ShardWorker:
                 f"execute_dml frame carries {type(statement).__name__}, "
                 f"not a DML statement"
             )
+        trace_ctx = request.get("trace")
         ticket = self.service.submit(
             statement,
             timeout_s=request.get("timeout_s"),
             kind="dml",
+            trace_ctx=trace_ctx,
         )
         result = ticket.result()
         rows_affected, epoch = result.rows[0]
-        return {
-            "ok": True,
-            "result": {
-                "columns": list(result.columns),
-                "rows_affected": int(rows_affected),
-                "epoch": int(epoch),
-                "strategy": result.plan.strategy,
-                "wall_seconds": result.wall_seconds,
-                "stats": stats_to_wire(result.stats),
-            },
+        payload: dict = {
+            "columns": list(result.columns),
+            "rows_affected": int(rows_affected),
+            "epoch": int(epoch),
+            "strategy": result.plan.strategy,
+            "wall_seconds": result.wall_seconds,
+            "stats": stats_to_wire(result.stats),
         }
+        self._export_trace(ticket, trace_ctx, payload)
+        return {"ok": True, "result": payload}
 
     def _handle_explain(self, request: dict) -> dict:
         query = query_from_json(request["query"])

@@ -1,0 +1,40 @@
+"""Shared fixtures for the observability suite.
+
+One session-scoped TPC-D LINEITEM catalog (SF=0.002, sorted) is
+partitioned into 1-, 2- and 4-shard roots once; the distributed-trace
+and failure-survival tests open real workers over the shard catalogs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import procpool
+from repro.shard.manifest import ShardManifest
+from repro.shard.partitioner import shard_init
+from repro.storage.catalog import Catalog
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="session")
+def sharded_roots(tmp_path_factory):
+    """{num_shards: sharded_root} built from one SF=0.002 LINEITEM load."""
+    from repro.tpcd.loader import load_lineitem
+
+    root = tmp_path_factory.mktemp("obs-dist")
+    source = root / "source"
+    with Catalog(str(source), buffer_pages=8192) as catalog:
+        load_lineitem(catalog, scale_factor=0.002, clustering="sorted")
+    sharded = {}
+    for num_shards in SHARD_COUNTS:
+        out = root / f"sharded-{num_shards}"
+        shard_init(str(source), str(out), num_shards)
+        sharded[num_shards] = str(out)
+    yield sharded
+    # In-process workers on the process backend attach scan pools to the
+    # shard catalog dirs; tear them down with the roots.
+    for out in sharded.values():
+        manifest = ShardManifest.load(out)
+        for shard_id in range(manifest.num_shards):
+            procpool.dispose_pools(manifest.shard_path(out, shard_id))

@@ -1,0 +1,186 @@
+"""Unit tests for the trace collector: grafting, reconciliation, ledgers."""
+
+import json
+
+from repro.obs import Tracer, render_span_tree
+from repro.obs.collect import (
+    RECONCILE_FIELDS,
+    build_ledger,
+    graft_remote_trace,
+    reconcile,
+    span_from_wire,
+)
+from repro.storage.stats import IoStats
+
+
+def _remote_trace(*, clock_origin: float = 0.0) -> dict:
+    """A finished two-level remote trace, exported to wire form.
+
+    ``clock_origin`` shifts the remote tracer's perf_counter origin so
+    tests can simulate arbitrary cross-process clock skew.
+    """
+    tracer = Tracer()
+    root = tracer.begin("query", root=True)
+    root.annotate(ticket=7)
+    child = tracer.begin("execute", parent=root)
+    child.annotate(table="LINEITEM")
+    leaf = tracer.begin("scan_morsel", parent=child)
+    leaf.io = IoStats(
+        sequential_page_reads=8, heap_page_reads=8, tuples_scanned=256
+    )
+    tracer.finish(leaf)
+    tracer.finish(child)
+    tracer.finish(root)
+    wire = json.loads(json.dumps(root.to_dict()))  # exactly what ships
+
+    def shift(node: dict) -> None:
+        node["start_s"] += clock_origin
+        for sub in node.get("children", ()):
+            shift(sub)
+
+    shift(wire)
+    return wire
+
+
+class TestSpanFromWire:
+    def test_roundtrips_ids_times_io(self):
+        wire = _remote_trace()
+        span = span_from_wire(wire)
+        assert span.trace_id == wire["trace_id"]
+        assert span.span_id == wire["span_id"]
+        assert span.start_s == wire["start_s"]
+        leaf = span.children[0].children[0]
+        assert leaf.name == "scan_morsel"
+        assert leaf.io.page_reads == 8
+        assert leaf.io.tuples_scanned == 256
+
+
+class TestGraft:
+    def test_fresh_ids_under_parent_trace(self):
+        tracer = Tracer()
+        with tracer.span("local_root") as parent:
+            pass
+        grafted = graft_remote_trace(tracer, parent, _remote_trace())
+        local_ids = {parent.span_id}
+        for span in grafted.walk():
+            assert span.trace_id == parent.trace_id
+            assert span.span_id not in local_ids
+            local_ids.add(span.span_id)
+        assert grafted in parent.children
+        assert grafted.parent_id == parent.span_id
+        # remote ids survive as attributes for event-log joins
+        assert grafted.attrs["remote_trace_id"] != parent.trace_id or True
+        assert "remote_span_id" in grafted.attrs
+
+    def test_rebases_arbitrary_clock_skew_into_anchor_window(self):
+        # A remote process whose perf_counter origin is light-years away
+        # must still land inside the local span that timed the call.
+        tracer = Tracer()
+        with tracer.span("local_root") as parent:
+            with tracer.span("shard_execute") as anchor:
+                pass
+        for skew in (-1e6, 0.0, +1e9):
+            remote = _remote_trace(clock_origin=skew)
+            grafted = graft_remote_trace(tracer, parent, remote, anchor=anchor)
+            # float64 granularity at |origin| ~ 1e9 is ~1e-7 s; the
+            # rebased tree must sit in the anchor window up to that
+            eps = 1e-6
+            assert grafted.start_s >= anchor.start_s - eps
+            for span in grafted.walk():
+                assert span.start_s >= anchor.start_s - eps
+            assert abs(grafted.duration_s - remote["duration_s"]) < eps
+
+    def test_rename_and_extra_attrs(self):
+        tracer = Tracer()
+        with tracer.span("dispatch") as parent:
+            pass
+        grafted = graft_remote_trace(
+            tracer,
+            parent,
+            _remote_trace(),
+            name="scan_morsel",
+            attrs={"morsel": 3, "backend": "process"},
+        )
+        assert grafted.name == "scan_morsel"
+        assert grafted.attrs["morsel"] == 3
+        assert grafted.attrs["backend"] == "process"
+
+    def test_grafted_io_feeds_io_total(self):
+        tracer = Tracer()
+        with tracer.span("local_root") as parent:
+            pass
+        graft_remote_trace(tracer, parent, _remote_trace())
+        total = parent.io_total()
+        assert total.page_reads == 8
+        assert total.tuples_scanned == 256
+
+    def test_renders_without_error(self):
+        tracer = Tracer()
+        with tracer.span("local_root") as parent:
+            pass
+        graft_remote_trace(tracer, parent, _remote_trace())
+        assert "scan_morsel" in render_span_tree(parent)
+
+
+class TestReconcile:
+    def _traced_query(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            pass
+        graft_remote_trace(tracer, root, _remote_trace())
+        return root
+
+    def test_exact_when_totals_match(self):
+        root = self._traced_query()
+        report = reconcile(root, root.io_total())
+        assert report.exact
+        assert "MISMATCH" not in report.render()
+        assert report.as_dict()["exact"] is True
+
+    def test_mismatch_when_a_counter_drifts(self):
+        root = self._traced_query()
+        totals = root.io_total()
+        totals.heap_page_reads += 1
+        report = reconcile(root, totals)
+        assert not report.exact
+        rendered = report.render()
+        assert "MISMATCH" in rendered
+        bad = report.as_dict()["fields"]["heap_page_reads"]
+        assert bad["leaf_spans"] + 1 == bad["query_totals"]
+
+    def test_covers_every_reconcile_field(self):
+        report = reconcile(self._traced_query(), IoStats())
+        assert tuple(name for name, _, _ in report.fields) == RECONCILE_FIELDS
+
+
+class TestBuildLedger:
+    def test_attribution_and_aggregates(self):
+        tracer = Tracer()
+        root = tracer.begin("query", root=True)
+        root.annotate(ticket=11, kind="aggregate", outcome="completed")
+        tracer.record_span("queue_wait", parent=root, duration_s=0.5)
+        for shard in range(2):
+            span = tracer.begin("shard_execute", parent=root)
+            span.annotate(shard=shard)
+            tracer.finish(span)
+            graft_remote_trace(tracer, span, _remote_trace(), anchor=span)
+        stray = tracer.begin("grade", parent=root)
+        stray.io = IoStats(sma_page_reads=2, sequential_page_reads=2)
+        tracer.finish(stray)
+        tracer.finish(root)
+
+        ledger = build_ledger(root)
+        assert ledger["trace_id"] == root.trace_id
+        assert ledger["ticket"] == 11
+        assert ledger["outcome"] == "completed"
+        assert ledger["fan_out"] == 2
+        assert ledger["queue_wait_s"] >= 0.5
+        # table attribution: both grafted trees carry table=LINEITEM on
+        # their execute span; the stray grade span has no table in scope
+        assert ledger["tables"]["LINEITEM"]["heap_page_reads"] == 16
+        assert ledger["tables"]["LINEITEM"]["tuples_scanned"] == 512
+        assert ledger["tables"]["<unattributed>"]["sma_page_reads"] == 2
+        assert ledger["io"]["page_reads"] == 18
+        assert ledger["wall_by_kind"]["shard_execute"] >= 0.0
+        assert ledger["spans"] == len(list(root.walk()))
+        json.dumps(ledger)  # must be JSON-ready verbatim

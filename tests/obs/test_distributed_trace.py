@@ -1,0 +1,211 @@
+"""End-to-end distributed tracing: router + shard workers (+ scan pool).
+
+One traced query must come back as ONE span tree — the router's root,
+a ``shard_execute`` child per scattered subquery, and each worker's
+exported local tree grafted underneath — whose io-carrying leaf spans
+sum byte-exactly to the router-side query totals (PR 4's attribution
+invariant, extended across process boundaries).  Parametrized over
+{1, 2, 4} shards x {thread, process} scan backends.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro import cli
+from repro.obs import Tracer
+from repro.obs.collect import build_ledger, reconcile
+from repro.shard.manifest import ShardManifest
+from repro.shard.router import ShardEndpoint, ShardRouter
+from repro.shard.worker import ShardWorker
+
+from tests.obs.conftest import SHARD_COUNTS
+
+BACKENDS = ("thread", "process")
+
+SQL = (
+    "SELECT SUM(L_EXTENDEDPRICE) FROM LINEITEM "
+    "WHERE L_SHIPDATE >= 9100 AND L_SHIPDATE < 9400"
+)
+
+
+@contextlib.contextmanager
+def traced_cluster(root: str, *, scan_backend: str = "thread", **router_kwargs):
+    """In-process workers + a *traced* router over the sharded *root*."""
+    manifest = ShardManifest.load(root)
+    tracer = Tracer()
+    workers = []
+    router = None
+    try:
+        for shard_id in range(manifest.num_shards):
+            worker = ShardWorker(
+                shard_id,
+                manifest.shard_path(root, shard_id),
+                workers=2,
+                scan_workers=2,
+                scan_backend=scan_backend,
+            )
+            workers.append(worker.start())
+        endpoints = [ShardEndpoint(w.shard_id, w.host, w.port) for w in workers]
+        router = ShardRouter(
+            endpoints, manifest=manifest, tracer=tracer, **router_kwargs
+        ).start()
+        yield SimpleNamespace(router=router, tracer=tracer, workers=workers)
+    finally:
+        if router is not None:
+            router.shutdown(wait=True, cancel_pending=True)
+        for worker in workers:
+            worker.close()
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDistributedReconciliation:
+    def test_merged_tree_reconciles_exactly(
+        self, sharded_roots, num_shards, backend
+    ):
+        with traced_cluster(
+            sharded_roots[num_shards], scan_backend=backend
+        ) as cluster:
+            result = cluster.router.execute(SQL)
+            root = cluster.tracer.last_trace()
+
+        assert root is not None and root.name == "query"
+        report = reconcile(root, result.stats)
+        assert report.exact, report.render()
+        # real work happened and every byte of it is attributed
+        assert result.stats.page_reads > 0
+        assert root.io_total().tuples_scanned == result.stats.tuples_scanned
+
+        legs = [s for s in root.walk() if s.name == "shard_execute"]
+        assert len(legs) == num_shards
+        for leg in legs:
+            # each leg carries exactly one grafted remote tree, re-id'd
+            # into the router's trace
+            (remote_root,) = leg.children
+            assert remote_root.trace_id == root.trace_id
+            assert "remote_span_id" in remote_root.attrs
+
+        ledger = build_ledger(root)
+        assert ledger["fan_out"] == num_shards
+        assert ledger["outcome"] == "completed"
+        assert ledger["tables"]["LINEITEM"]["page_reads"] == (
+            result.stats.page_reads
+        )
+        assert "<unattributed>" not in ledger["tables"]
+
+    def test_ledger_event_and_metrics_recorded(
+        self, sharded_roots, num_shards, backend, tmp_path
+    ):
+        from repro.obs import EventLog
+
+        events_path = tmp_path / "events.jsonl"
+        events = EventLog(str(events_path))
+        with traced_cluster(
+            sharded_roots[num_shards], scan_backend=backend, events=events
+        ) as cluster:
+            cluster.router.execute(SQL)
+            snapshot = cluster.router.metrics.snapshot()
+        events.close()
+
+        ledger_section = snapshot["ledger"]
+        assert ledger_section["queries"] == 1
+        assert ledger_section["fan_out"] == num_shards
+        assert ledger_section["tables"]["LINEITEM"]["page_reads"] > 0
+        assert "shard_execute" in ledger_section["span_seconds"]
+
+        records = [
+            json.loads(line) for line in events_path.read_text().splitlines()
+        ]
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["event"], []).append(record)
+        (ledger_event,) = by_type["query_ledger"]
+        (trace_event,) = by_type["trace"]
+        assert ledger_event["trace_id"] == trace_event["trace"]["trace_id"]
+        assert by_type["query_start"][0]["trace_id"] == ledger_event["trace_id"]
+        assert by_type["query_finish"][0]["trace_id"] == ledger_event["trace_id"]
+
+
+class TestDistributedTraceCli:
+    @pytest.fixture(scope="class")
+    def cli_root(self, sharded_roots):
+        return sharded_roots[2]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exit_zero_and_artifacts(self, cli_root, backend, tmp_path, capsys):
+        json_out = tmp_path / f"merged-{backend}.json"
+        events_out = tmp_path / f"events-{backend}.jsonl"
+        code = cli.main(
+            [
+                "trace",
+                "--db", cli_root,
+                "--distributed",
+                "--scan-workers", "2",
+                "--scan-backend", backend,
+                "--json-out", str(json_out),
+                "--events", str(events_out),
+                SQL,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "reconciliation: exact" in out
+        assert "shard_execute" in out
+        assert "ledger: fan_out=2" in out
+
+        merged = json.loads(json_out.read_text())
+        assert merged["reconciliation"]["exact"] is True
+        assert merged["ledger"]["fan_out"] == 2
+        assert merged["trace"]["name"] == "query"
+        events = [
+            json.loads(line) for line in events_out.read_text().splitlines()
+        ]
+        assert any(e["event"] == "query_ledger" for e in events)
+
+    def test_dropped_span_tree_fails_reconciliation(
+        self, cli_root, monkeypatch, capsys
+    ):
+        # Deliberately lose a worker's exported tree: the merged trace
+        # then under-counts I/O and the CLI must exit non-zero.
+        import repro.shard.router as router_mod
+
+        def drop_graft(tracer, parent, node, **kwargs):
+            return None
+
+        monkeypatch.setattr(router_mod, "graft_remote_trace", drop_graft)
+        code = cli.main(
+            ["trace", "--db", cli_root, "--distributed", SQL]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISMATCH" in out
+
+    def test_dropped_io_delta_fails_reconciliation(
+        self, cli_root, monkeypatch, capsys
+    ):
+        # Keep the spans but strip every IoStats delta from the wire
+        # form: structure survives, attribution doesn't — non-zero exit.
+        import repro.shard.router as router_mod
+        from repro.obs.collect import graft_remote_trace as real_graft
+
+        def strip_io(node):
+            node.pop("io", None)
+            for child in node.get("children", ()):
+                strip_io(child)
+            return node
+
+        def graft_without_io(tracer, parent, node, **kwargs):
+            return real_graft(tracer, parent, strip_io(dict(node)), **kwargs)
+
+        monkeypatch.setattr(router_mod, "graft_remote_trace", graft_without_io)
+        code = cli.main(
+            ["trace", "--db", cli_root, "--distributed", SQL]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISMATCH" in out

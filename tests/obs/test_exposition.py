@@ -99,6 +99,21 @@ def _busy_registry() -> MetricsRegistry:
     registry.record_failure("q1")
     registry.record_rejected()
     registry.record_grading("LINEITEM", 0.6, 0.3, 0.1)
+    registry.record_ledger(
+        {
+            "queue_wait_s": 0.002,
+            "fan_out": 2,
+            "wall_by_kind": {"query": 0.02, "shard_execute": 0.015},
+            "tables": {
+                "LINEITEM": {
+                    "sma_page_reads": 2, "heap_page_reads": 6,
+                    "page_reads": 8, "buffer_hits": 5,
+                    "tuples_scanned": 320, "buckets_fetched": 10,
+                    "buckets_skipped": 30,
+                }
+            },
+        }
+    )
     return registry
 
 
@@ -128,6 +143,24 @@ class TestRenderPrometheus:
             for labels, value in samples["repro_io_file_page_reads_total"]
         }
         assert file_reads == {"sma": 2, "heap": 6}
+
+    def test_query_ledger_series(self):
+        samples = parse_prometheus(render_prometheus(_busy_registry().snapshot()))
+        assert samples["repro_query_ledger_queries_total"][0][1] == 1
+        assert samples["repro_query_ledger_fan_out_total"][0][1] == 2
+        span_s = {
+            labels["kind"]: value
+            for labels, value in samples["repro_query_ledger_span_seconds_total"]
+        }
+        assert span_s == {"query": 0.02, "shard_execute": 0.015}
+        page_reads = {
+            labels["file"]: value
+            for labels, value in samples["repro_query_ledger_page_reads_total"]
+        }
+        assert page_reads == {"sma": 2, "heap": 6}
+        # a registry that never saw a ledger renders none of the series
+        empty = parse_prometheus(render_prometheus(MetricsRegistry().snapshot()))
+        assert "repro_query_ledger_queries_total" not in empty
 
     def test_grading_gauges_and_warning(self):
         registry = MetricsRegistry(ambivalent_break_even=0.25)

@@ -1,0 +1,177 @@
+"""Span and attribution survival under process death.
+
+Two kill scenarios, one invariant: whatever dies mid-query, the trace
+that survives must still account for exactly the I/O the query charged —
+retried/fallback spans carry the retried work's I/O, failed dispatches
+contribute none, nothing is double-counted.
+
+* SIGKILL the scan-pool workers: the query falls back to thread
+  morsels; the merged trace reconciles against the (thread-executed)
+  query totals.
+* SIGKILL a shard worker subprocess: the routed query fails after
+  retries with an error-annotated, io-free ``shard_execute`` span; a
+  restarted worker on the same endpoint serves the next query with an
+  exactly-reconciling merged tree again.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import signal
+
+import pytest
+
+from repro.core import (
+    SmaDefinition,
+    build_sma_set,
+    count_star,
+    minimum,
+    total,
+)
+from repro.errors import ShardUnavailableError
+from repro.lang import cmp, col
+from repro.obs import Tracer
+from repro.obs.collect import reconcile
+from repro.query import procpool
+from repro.query.query import AggregateQuery, OutputAggregate
+from repro.query.session import Session
+from repro.shard.manifest import ShardManifest
+from repro.shard.router import ShardRouter, launch_local_shards, stop_local_shards
+from repro.shard.worker import ShardWorker
+from repro.storage import Catalog
+from repro.storage.faults import RetryPolicy
+
+from tests.conftest import BASE_DATE, SALES_SCHEMA, sales_rows
+
+SQL = (
+    "SELECT SUM(L_EXTENDEDPRICE) FROM LINEITEM "
+    "WHERE L_SHIPDATE >= 9100 AND L_SHIPDATE < 9400"
+)
+
+
+class TestProcPoolWorkerDeath:
+    @pytest.fixture()
+    def crash_catalog(self, tmp_path):
+        """Function-scoped SALES catalog: this test kills its pool, so
+        it must not share workers with the rest of the suite."""
+        cat = Catalog(str(tmp_path / "db"))
+        table = cat.create_table("SALES", SALES_SCHEMA, clustered_on="ship")
+        table.append_rows(sales_rows())
+        definitions = [
+            SmaDefinition("smin", "SALES", minimum(col("ship"))),
+            SmaDefinition("cnt", "SALES", count_star(), ("flag",)),
+        ]
+        sma_set, _ = build_sma_set(
+            table, definitions, directory=str(tmp_path / "db" / "SALES.smas")
+        )
+        cat.register_sma_set("SALES", sma_set)
+        yield cat
+        procpool.dispose_pools(cat.root_dir)
+        cat.close()
+
+    def test_fallback_trace_still_reconciles(self, crash_catalog):
+        query = AggregateQuery(
+            table="SALES",
+            aggregates=(
+                OutputAggregate("s", total(col("qty"))),
+                OutputAggregate("n", count_star()),
+            ),
+            where=cmp(
+                "ship", "<=", BASE_DATE + datetime.timedelta(days=45)
+            ),
+            group_by=("flag",),
+            order_by=("flag",),
+        )
+        tracer = Tracer(keep=16)
+        session = Session(
+            crash_catalog,
+            scan_workers=4,
+            morsel_buckets=1,
+            scan_backend="process",
+            tracer=tracer,
+        )
+        reference = session.execute(query, mode="scan")
+        healthy = tracer.last_trace()
+        assert reconcile(healthy, reference.stats).exact
+
+        pool = procpool.get_pool(
+            crash_catalog.root_dir, crash_catalog.pool.capacity_pages
+        )
+        workers = list(pool._executor._processes.values())
+        assert workers, "pool should have live worker processes"
+        before = procpool.pool_gauges()["fallbacks"]
+        for worker in workers:
+            os.kill(worker.pid, signal.SIGKILL)
+
+        result = session.execute(query, mode="scan")
+        assert procpool.pool_gauges()["fallbacks"] >= before + 1
+        assert result.rows == reference.rows
+
+        root = tracer.last_trace()
+        report = reconcile(root, result.stats)
+        # The dead dispatch contributed no I/O; the thread-fallback
+        # morsel spans carry all of the retried work exactly once.
+        assert report.exact, report.render()
+        morsels = [s for s in root.walk() if s.name == "scan_morsel"]
+        assert morsels and all(s.io is not None for s in morsels)
+        assert not any(
+            s.attrs.get("backend") == "process" for s in morsels
+        ), "process workers were dead; no process-backend span may carry io"
+
+
+class TestShardWorkerDeath:
+    def test_killed_shard_then_restart(self, sharded_roots, tmp_path):
+        root = sharded_roots[2]
+        manifest = ShardManifest.load(root)
+        tracer = Tracer(keep=16)
+        processes = launch_local_shards(root, manifest=manifest)
+        restarted = None
+        try:
+            with ShardRouter(
+                [handle.endpoint for handle in processes],
+                manifest=manifest,
+                tracer=tracer,
+                retry_policy=RetryPolicy(max_attempts=2),
+            ) as router:
+                reference = router.execute(SQL)
+                assert reconcile(tracer.last_trace(), reference.stats).exact
+
+                victim = processes[1]
+                os.kill(victim.process.pid, signal.SIGKILL)
+                victim.process.wait()
+
+                with pytest.raises(ShardUnavailableError):
+                    router.execute(SQL)
+
+                failed = tracer.last_trace()
+                assert failed.attrs["outcome"] == "failed"
+                legs = [
+                    s for s in failed.walk() if s.name == "shard_execute"
+                ]
+                dead = [s for s in legs if "error" in s.attrs]
+                assert dead, "the killed shard's leg must carry the error"
+                for leg in dead:
+                    # a failed leg contributes NO I/O — retries that
+                    # never succeeded must not leak into attribution
+                    assert leg.io is None
+                    assert not leg.children
+
+                # Restart the shard on the same endpoint (in-process is
+                # fine; the wire protocol doesn't care) and re-query:
+                # attribution is exact again, retried connects included.
+                restarted = ShardWorker(
+                    victim.shard_id,
+                    manifest.shard_path(root, victim.shard_id),
+                    host=victim.endpoint.host,
+                    port=victim.endpoint.port,
+                    workers=2,
+                ).start()
+                result = router.execute(SQL)
+                assert result.rows == reference.rows
+                report = reconcile(tracer.last_trace(), result.stats)
+                assert report.exact, report.render()
+        finally:
+            if restarted is not None:
+                restarted.close()
+            stop_local_shards(processes)
