@@ -1,0 +1,308 @@
+"""C5 — plan-fingerprint result caching under a zipf-skewed mix.
+
+Not a paper experiment: the paper measures single cold queries, but a
+dashboard-style serving workload repeats a small set of hot plans.  C5
+stands up the query service on a loaded LINEITEM and replays the
+zipf-skewed Query-1 mix (:func:`repro.server.workload.zipf_mix`)
+closed-loop, cache off vs cache on, at several client counts, then once
+more cache-on with a paced INSERT writer running — the cell that proves
+epoch invalidation keeps hits consistent under concurrent DML.
+
+Correctness is gated inside the experiment, timing floors only under
+``REPRO_BENCH_ASSERT_SPEEDUP=1``: on the static cells every kept result
+must be byte-identical to an uncached serial replay, and on the DML
+cell all results sharing a (plan, epoch) pair must agree byte-for-byte
+(the stale-read detector — a hit served across an epoch boundary would
+trip it).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.bench.harness import ExperimentResult, ScratchCatalog, human_seconds
+from repro.query.session import Session
+from repro.server.metrics import MetricsRegistry
+from repro.server.service import QueryService
+from repro.server.workload import WorkloadDriver, zipf_mix
+from repro.tpcd.loader import load_lineitem
+
+#: Floors asserted only under ``REPRO_BENCH_ASSERT_SPEEDUP=1``: the
+#: cache must at least double zipf-mix throughput at the top client
+#: count, and at least half the lookups must hit.
+SPEEDUP_FLOOR = 2.0
+HIT_RATE_FLOOR = 0.5
+
+
+def _tracer_for(event_log):
+    """A real tracer when a trace artifact is wanted, else None (no-op)."""
+    if event_log is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _replay_gate(catalog, mix, run) -> None:
+    """Static-table gate: every kept result == an uncached serial replay."""
+    session = Session(catalog)
+    references: dict[str, object] = {}
+    by_name = {entry.name: entry for entry in mix}
+    for outcome in run.outcomes:
+        if outcome.result is None:
+            continue
+        if outcome.name not in references:
+            references[outcome.name] = session.execute(
+                by_name[outcome.name].query
+            )
+        reference = references[outcome.name]
+        if (
+            outcome.result.columns != reference.columns
+            or repr(outcome.result.rows) != repr(reference.rows)
+        ):
+            raise AssertionError(
+                f"cached serving diverged from uncached replay for "
+                f"{outcome.name} (strategy {outcome.result.plan.strategy})"
+            )
+
+
+def _epoch_gate(run) -> None:
+    """DML-cell gate: results sharing (plan, epoch) agree byte-for-byte."""
+    groups: dict[tuple, tuple] = {}
+    for outcome in run.outcomes:
+        result = outcome.result
+        if result is None or result.epoch is None:
+            continue
+        key = (outcome.name, int(result.epoch))
+        fingerprint = (tuple(result.columns), repr(result.rows))
+        if key in groups and groups[key] != fingerprint:
+            raise AssertionError(
+                f"stale read: two results for plan {outcome.name} at epoch "
+                f"{result.epoch} differ (one of them crossed a DML boundary)"
+            )
+        groups.setdefault(key, fingerprint)
+
+
+def exp_result_cache(
+    scale_factor: float = 0.005,
+    client_counts: tuple[int, ...] = (4, 16),
+    queries_per_client: int = 6,
+    distinct: int = 16,
+    zipf_s: float = 1.2,
+    cache_entries: int = 256,
+    shared_scans: bool = False,
+    dml_interval_s: float = 0.05,
+    dml_batch_rows: int = 32,
+    event_log=None,
+    fault_injector=None,
+) -> ExperimentResult:
+    """C5 — result-cache speedup and hit rate on the zipf dashboard mix.
+
+    One (clients, cache off/on) grid on a static table plus a final
+    cache-on cell at the top client count with a paced INSERT writer.
+    ``shared_scans`` additionally enables cooperative scan sharing in
+    the cache-on cells (the CLI's ``--shared-scans``); the headline
+    speedup still compares against the plain cache-off baseline.
+    """
+    rows: list[tuple] = []
+    metrics: dict[str, float] = {}
+    assert_floors = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
+    with ScratchCatalog() as catalog:
+        loaded = load_lineitem(
+            catalog, scale_factor=scale_factor, clustering="sorted"
+        )
+        if fault_injector is not None:
+            catalog.install_fault_injector(fault_injector)
+        table_name = loaded.table.name
+        mix = zipf_mix(table_name, distinct=distinct, s=zipf_s)
+
+        def run_cell(
+            *, clients: int, cache: bool, writer_rate_s: float | None = None
+        ):
+            if event_log is not None:
+                event_log.emit(
+                    "experiment", exp="C5", clients=clients, cache=cache,
+                    dml=writer_rate_s is not None,
+                )
+            registry = MetricsRegistry()
+            counters = {"batches": 0}
+            stop = threading.Event()
+
+            def ingest_loop() -> None:
+                from repro.errors import ReproError
+                from repro.query.query import InsertStatement
+
+                template = tuple(
+                    tuple(record)
+                    for record in loaded.table.read_bucket(0).tolist()
+                )[:dml_batch_rows]
+                while not stop.is_set():
+                    started = time.perf_counter()
+                    try:
+                        service.submit(
+                            InsertStatement(table_name, template), kind="dml"
+                        ).result()
+                        counters["batches"] += 1
+                    except ReproError:
+                        pass
+                    remaining = writer_rate_s - (
+                        time.perf_counter() - started
+                    )
+                    if remaining > 0:
+                        stop.wait(remaining)
+
+            with QueryService(
+                catalog,
+                workers=clients + (1 if writer_rate_s is not None else 0),
+                queue_depth=max(32, 2 * clients),
+                metrics=registry,
+                tracer=_tracer_for(event_log),
+                events=event_log,
+                result_cache=cache,
+                cache_entries=cache_entries,
+                shared_scans=cache and shared_scans,
+            ) as service:
+                writer = None
+                if writer_rate_s is not None:
+                    writer = threading.Thread(
+                        target=ingest_loop, name="c5-writer", daemon=True
+                    )
+                    writer.start()
+                driver = WorkloadDriver(service, mix)
+                run = driver.run_closed_loop(
+                    clients=clients,
+                    queries_per_client=queries_per_client,
+                    keep_results=True,
+                )
+                if writer is not None:
+                    stop.set()
+                    writer.join()
+                cache_snapshot = (
+                    service.result_cache.snapshot()
+                    if service.result_cache is not None
+                    else None
+                )
+            if fault_injector is None and run.completed != run.total:
+                errors = sorted(
+                    {
+                        outcome.error
+                        for outcome in run.outcomes
+                        if outcome.error is not None
+                    }
+                )[:4]
+                raise AssertionError(
+                    f"lost queries at clients={clients}, cache={cache}, "
+                    f"dml={writer_rate_s is not None}: "
+                    f"{run.completed}/{run.total} completed "
+                    f"({run.rejected} rejected, {run.timed_out} timed out, "
+                    f"{run.cancelled} cancelled, {run.failed} failed; "
+                    f"errors: {errors})"
+                )
+            return run, cache_snapshot, counters["batches"]
+
+        top_clients = client_counts[-1]
+        for clients in client_counts:
+            off_run, _, _ = run_cell(clients=clients, cache=False)
+            if fault_injector is None:
+                _replay_gate(catalog, mix, off_run)
+            on_run, cache_snap, _ = run_cell(clients=clients, cache=True)
+            if fault_injector is None:
+                _replay_gate(catalog, mix, on_run)
+            speedup = (
+                on_run.throughput_qps / off_run.throughput_qps
+                if off_run.throughput_qps > 0
+                else 0.0
+            )
+            hit_rate = cache_snap["hit_rate"] if cache_snap else 0.0
+            for label, run in (("off", off_run), ("on", on_run)):
+                latency = run.metrics["latency_s"]["overall"]
+                rows.append(
+                    (
+                        clients,
+                        label,
+                        run.completed,
+                        f"{run.throughput_qps:.1f}",
+                        human_seconds(latency["p50_s"]),
+                        human_seconds(latency["p95_s"]),
+                        f"{hit_rate:.1%}" if label == "on" else "-",
+                        f"{speedup:.2f}x" if label == "on" else "-",
+                    )
+                )
+            metrics[f"qps_cache_off_c{clients}"] = off_run.throughput_qps
+            metrics[f"qps_cache_on_c{clients}"] = on_run.throughput_qps
+            metrics[f"cache_speedup_c{clients}"] = speedup
+            metrics[f"hit_rate_cache_on_c{clients}"] = hit_rate
+
+        # DML cell: cache on, paced writer — epoch invalidation keeps
+        # hits consistent while the table grows under the mix.
+        dml_run, dml_snap, batches = run_cell(
+            clients=top_clients, cache=True, writer_rate_s=dml_interval_s
+        )
+        if fault_injector is None:
+            _epoch_gate(dml_run)
+        dml_hit_rate = dml_snap["hit_rate"] if dml_snap else 0.0
+        latency = dml_run.metrics["latency_s"]["overall"]
+        rows.append(
+            (
+                top_clients,
+                "on+dml",
+                dml_run.completed,
+                f"{dml_run.throughput_qps:.1f}",
+                human_seconds(latency["p50_s"]),
+                human_seconds(latency["p95_s"]),
+                f"{dml_hit_rate:.1%}",
+                "-",
+            )
+        )
+        metrics[f"qps_cache_dml_c{top_clients}"] = dml_run.throughput_qps
+        metrics["hit_rate_cache_dml"] = dml_hit_rate
+        metrics["dml_batches"] = float(batches)
+        metrics["dml_invalidations_count"] = float(
+            dml_snap["invalidations"] if dml_snap else 0
+        )
+        if shared_scans:
+            metrics["shared_scans_enabled"] = 1.0
+        from repro.query import procpool
+
+        procpool.dispose_pools(catalog.root_dir)
+
+    if assert_floors and fault_injector is None:
+        speedup = metrics[f"cache_speedup_c{top_clients}"]
+        hit_rate = metrics[f"hit_rate_cache_on_c{top_clients}"]
+        if speedup < SPEEDUP_FLOOR:
+            raise AssertionError(
+                f"cache speedup {speedup:.2f}x at {top_clients} clients "
+                f"below the {SPEEDUP_FLOOR:.1f}x floor"
+            )
+        if hit_rate < HIT_RATE_FLOOR:
+            raise AssertionError(
+                f"cache hit rate {hit_rate:.1%} below the "
+                f"{HIT_RATE_FLOOR:.0%} floor"
+            )
+    return ExperimentResult(
+        exp_id="C5",
+        title="Result cache: zipf mix throughput, cache off/on, DML cell",
+        headers=[
+            "clients", "cache", "completed", "q/s",
+            "p50", "p95", "hit rate", "speedup",
+        ],
+        rows=rows,
+        paper_reference="beyond the paper: ISSUE PR 10 (result caching)",
+        notes=[
+            f"zipf mix: {distinct} Query-1 delta variants, s={zipf_s}, "
+            "pre-interleaved weight-1 schedule (rank 1 ~ a third of "
+            "traffic); closed loop, warm shared pool",
+            "static cells gate every kept result byte-identical to an "
+            "uncached serial replay; the DML cell gates all results "
+            "sharing a (plan, epoch) pair byte-identical (stale-read "
+            "detector)",
+            "cache keyed on canonical plan + per-table ingest epoch: a "
+            "paced INSERT writer advances the epoch, so hits never span "
+            "a write (hit rate dips instead)",
+            "timing floors (speedup, hit rate) asserted only under "
+            "REPRO_BENCH_ASSERT_SPEEDUP=1",
+        ],
+        metrics=metrics,
+    )

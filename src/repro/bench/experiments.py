@@ -1301,6 +1301,7 @@ def exp_scaling_linearity(
     )
 
 
+from repro.bench.caching import exp_result_cache
 from repro.bench.concurrency import (
     exp_concurrency_throughput,
     exp_ingest_concurrency,
@@ -1333,4 +1334,5 @@ ALL_EXPERIMENTS = (
     exp_scan_parallelism,
     exp_shard_scaling,
     exp_ingest_concurrency,
+    exp_result_cache,
 )

@@ -386,6 +386,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             kwargs["fault_injector"] = injector
         if getattr(args, "scan_backend", None) and "backends" in parameters:
             kwargs["backends"] = (args.scan_backend,)
+        if "cache_entries" in parameters and getattr(args, "cache_entries", None):
+            kwargs["cache_entries"] = args.cache_entries
+        if "shared_scans" in parameters and getattr(args, "shared_scans", False):
+            kwargs["shared_scans"] = True
         event_log = None
         if (
             args.trace_file
@@ -513,6 +517,8 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             queue_depth=args.queue,
             default_timeout_s=timeout,
             events=event_log,
+            result_cache=args.result_cache,
+            cache_entries=args.cache_entries,
         ) as router:
             for shard_id, info in sorted(router.health().items()):
                 state = ("up" if info.get("up")
@@ -548,6 +554,7 @@ def _serve_sharded(args: argparse.Namespace) -> int:
                 if server is not None:
                     server.close()
             fanout = router.scoreboard.snapshot()["fanout"]
+            report_snapshot = router.observed_snapshot()
     finally:
         stop_local_shards(processes)
     if event_log is not None:
@@ -561,7 +568,7 @@ def _serve_sharded(args: argparse.Namespace) -> int:
           f"{fanout['gather_merges']} partial-state merges")
     if args.report:
         print()
-        print(render_metrics(result.metrics))
+        print(render_metrics(report_snapshot))
     return 0
 
 
@@ -620,6 +627,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         events=event_log,
         slow_query_s=slow_query_s,
+        result_cache=args.result_cache,
+        cache_entries=args.cache_entries,
+        shared_scans=args.shared_scans,
     ) as service:
         server = None
         if args.metrics_port is not None:
@@ -648,6 +658,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 print(f"lingering {args.linger:g}s so the metrics "
                       f"endpoint stays scrapeable ...")
                 time.sleep(args.linger)
+            # The report snapshot comes from observed_snapshot so the
+            # result-cache / shared-scan sections make it into --report.
+            report_snapshot = service.observed_snapshot()
         finally:
             if server is not None:
                 server.close()
@@ -659,7 +672,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(render_workload(result))
     if args.report:
         print()
-        print(render_metrics(result.metrics))
+        print(render_metrics(report_snapshot))
     _report_faults(injector, args)
     catalog.close()
     return 0
@@ -688,6 +701,7 @@ _EXPERIMENT_IDS = {
     "exp_scan_parallelism": "C2",
     "exp_shard_scaling": "C3",
     "exp_ingest_concurrency": "C4",
+    "exp_result_cache": "C5",
 }
 
 
@@ -816,6 +830,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="restrict backend-aware experiments (C2) to "
                          "one scan backend (default: full backend grid)")
+    p_bench.add_argument("--result-cache", action="store_true",
+                         help="forwarded to caching-aware experiments (C5): "
+                         "also report the cache-enabled cells")
+    p_bench.add_argument("--cache-entries", type=int, default=256,
+                         help="result cache capacity for caching-aware "
+                         "experiments (default 256)")
+    p_bench.add_argument("--shared-scans", action="store_true",
+                         help="enable cooperative scan sharing in "
+                         "caching-aware experiments")
     add_faults(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
@@ -841,6 +864,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="thread",
                          help="where morsels run: in-process threads or a "
                          "persistent worker-process pool (default thread)")
+    p_serve.add_argument("--result-cache", action="store_true",
+                         help="cache finalized results by plan fingerprint "
+                         "(invalidated on ingest epoch advance and SMA "
+                         "quarantine)")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="result cache capacity in entries (default 256)")
+    p_serve.add_argument("--shared-scans", action="store_true",
+                         help="let queued queries over the same table attach "
+                         "to one in-flight shared bucket pass")
     p_serve.add_argument("--timeout", type=float, default=None,
                          help="per-query timeout in seconds (default: none)")
     p_serve.add_argument("--report", action="store_true",

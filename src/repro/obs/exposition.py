@@ -507,6 +507,82 @@ def render_prometheus(snapshot: dict, *, namespace: str = "repro") -> str:
                 kind="counter",
             )
 
+    cache = snapshot.get("result_cache")
+    if cache:
+        for outcome, key in (
+            ("hit", "hits"),
+            ("flight_hit", "flight_hits"),
+            ("miss", "misses"),
+        ):
+            out.sample(
+                f"{ns}_result_cache_lookups_total",
+                cache.get(key, 0),
+                labels={"outcome": outcome},
+                help_text="Result-cache lookups by outcome (flight_hit = "
+                "served by a concurrent single-flight leader).",
+                kind="counter",
+            )
+        out.sample(
+            f"{ns}_result_cache_stores_total",
+            cache.get("stores", 0),
+            help_text="Finalized results published into the cache.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_result_cache_evictions_total",
+            cache.get("evictions", 0),
+            help_text="Entries dropped by the LRU capacity bound.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_result_cache_invalidations_total",
+            cache.get("invalidations", 0),
+            help_text="Entries evicted by quarantine or go_cold().",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_result_cache_entries",
+            cache.get("entries", 0),
+            help_text="Entries currently resident.",
+        )
+        out.sample(
+            f"{ns}_result_cache_hit_rate",
+            cache.get("hit_rate", 0.0),
+            help_text="Fraction of lookups served without execution.",
+        )
+
+    shared = snapshot.get("shared_scan")
+    if shared:
+        for role, key in (
+            ("lead", "leads"),
+            ("attach", "attaches"),
+            ("detach", "detaches"),
+        ):
+            out.sample(
+                f"{ns}_shared_scan_consumers_total",
+                shared.get(key, 0),
+                labels={"role": role},
+                help_text="Shared-scan consumers by role (detach = fell "
+                "back to a solo execution).",
+                kind="counter",
+            )
+        out.sample(
+            f"{ns}_shared_scan_fan_in_total",
+            shared.get("fan_in_total", 0),
+            help_text="Summed consumers over all led passes.",
+            kind="counter",
+        )
+        out.sample(
+            f"{ns}_shared_scan_fan_in_max",
+            shared.get("fan_in_max", 0),
+            help_text="Largest consumer count one pass served.",
+        )
+        out.sample(
+            f"{ns}_shared_scan_pending_groups",
+            shared.get("pending_groups", 0),
+            help_text="Passes currently gathering consumers.",
+        )
+
     events = snapshot.get("events", {})
     if events:
         out.sample(

@@ -1,0 +1,253 @@
+"""Plan-fingerprint result cache with single-flight fill.
+
+Dashboard-style traffic repeats the same handful of logical plans
+against slowly-changing tables.  The :class:`ResultCache` memoizes
+finalized :class:`~repro.query.session.QueryResult` payloads under a
+*plan fingerprint*: a SHA-256 over the canonical serialized logical
+plan, the per-table ingest epoch, the planner mode / SMA-set pin, and
+the scan-parallelism configuration.  Because the ingest epoch is part
+of the key, a DML batch (which bumps the epoch) makes every stale entry
+unreachable — epoch advance *is* the invalidation — while quarantine
+and ``go_cold()`` evict eagerly via :meth:`ResultCache.invalidate_table`
+and :meth:`ResultCache.clear`.
+
+Canonicalization makes semantically identical queries collide:
+
+* whitespace / formatting differences disappear at SQL parse time —
+  the fingerprint hangs off the logical query, not its text;
+* commutative ``AND`` / ``OR`` predicates are order-normalized by
+  sorting each ``operands`` list by its own canonical serialization;
+* serde round-trips are stable because
+  :func:`repro.lang.serde.query_from_json` rebuilds structurally equal
+  queries, so ``canonical_plan`` is a fixed point of the round-trip.
+
+Any differing literal, column, table, epoch or mode lands in the JSON
+document and therefore in the hash — distinct queries never collide
+(modulo SHA-256).
+
+Concurrency follows the single-flight discipline of the buffer pool's
+page loads (PR 2), lifted from pages to whole results: the first miss
+for a key becomes the *leader* and computes; concurrent requests for
+the same key park on an event and are served the leader's result.  A
+leader that fails or abandons wakes the waiters empty-handed and each
+recomputes solo — waiters never re-enroll, so a crashing leader cannot
+wedge the herd.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.lang.serde import query_to_json
+from repro.query.query import AggregateQuery, ScanQuery
+
+#: acquire() verdicts: served from cache / this caller computes and may
+#: publish.  A "lead" after a failed single-flight wait recomputes solo
+#: but still publishes through :meth:`ResultCache.complete`.
+HIT = "hit"
+LEAD = "lead"
+
+
+def canonical_plan(query: AggregateQuery | ScanQuery) -> dict:
+    """Canonical JSON document for a logical read query.
+
+    Starts from :func:`repro.lang.serde.query_to_json` and sorts every
+    commutative ``and`` / ``or`` ``operands`` list by the operand's own
+    sorted-key serialization, bottom-up, so operand order never reaches
+    the fingerprint.  Dict key order is irrelevant — hashing always
+    dumps with ``sort_keys=True``.
+    """
+    return _canonical(query_to_json(query))
+
+
+def _canonical(node):
+    if isinstance(node, dict):
+        out = {key: _canonical(value) for key, value in node.items()}
+        if out.get("node") in ("and", "or"):
+            out["operands"] = sorted(
+                out["operands"], key=lambda op: json.dumps(op, sort_keys=True)
+            )
+        return out
+    if isinstance(node, (list, tuple)):
+        return [_canonical(value) for value in node]
+    return node
+
+
+def plan_fingerprint(
+    query: AggregateQuery | ScanQuery,
+    *,
+    epochs: dict[str, int],
+    mode: str = "auto",
+    sma_set: str | None = None,
+    scan: dict | None = None,
+) -> str:
+    """SHA-256 fingerprint of (logical plan, table epochs, scan params).
+
+    *epochs* maps every table the plan reads to its ingest epoch at
+    lookup time; *scan* carries the backend configuration dict
+    (``{"workers", "morsel_buckets", "backend"}``) or ``None`` for a
+    serial session.
+    """
+    document = {
+        "plan": canonical_plan(query),
+        "epochs": {str(name): int(epoch) for name, epoch in epochs.items()},
+        "mode": mode,
+        "sma_set": sma_set,
+        "scan": scan,
+    }
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def query_tables(query: AggregateQuery | ScanQuery) -> frozenset[str]:
+    """The set of tables a logical read query touches (single-table today)."""
+    return frozenset((query.table,))
+
+
+@dataclass
+class _Entry:
+    result: object
+    tables: frozenset[str]
+
+
+@dataclass
+class _Fill:
+    """One in-flight single-flight computation."""
+
+    event: threading.Event = field(default_factory=threading.Event)
+    result: object | None = None
+
+
+class ResultCache:
+    """Bounded-LRU fingerprint → finalized-result cache, single-flight fill.
+
+    Thread-safe.  Entries are immutable from the cache's point of view;
+    callers must not mutate a served result (the service hands out
+    shallow copies with per-request wall times).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._fills: dict[str, _Fill] = {}
+        self.hits = 0
+        self.misses = 0
+        self.flight_hits = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # the single-flight protocol
+    # ------------------------------------------------------------------
+
+    def acquire(self, key: str, timeout_s: float | None = None):
+        """Look *key* up, parking on an in-flight fill when one exists.
+
+        Returns ``(HIT, result)`` when served (from the cache or from a
+        concurrent leader's fresh fill) or ``(LEAD, None)`` when this
+        caller must compute — either as the first leader or solo after
+        a leader failed.  A LEAD caller should finish with
+        :meth:`complete` (success) or :meth:`abandon` (failure).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return HIT, entry.result
+            fill = self._fills.get(key)
+            if fill is None:
+                self._fills[key] = _Fill()
+                self.misses += 1
+                return LEAD, None
+        fill.event.wait(timeout_s)
+        with self._lock:
+            if fill.result is not None:
+                self.flight_hits += 1
+                return HIT, fill.result
+            # Leader failed, abandoned, or overran the wait: compute
+            # solo without re-enrolling (no second herd forms behind a
+            # wedged fill).
+            self.misses += 1
+            return LEAD, None
+
+    def complete(self, key: str, result, tables) -> None:
+        """Publish a LEAD caller's finished result and wake any waiters."""
+        with self._lock:
+            self._entries[key] = _Entry(result, frozenset(tables))
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            fill = self._fills.pop(key, None)
+            if fill is not None:
+                fill.result = result
+                fill.event.set()
+
+    def abandon(self, key: str) -> None:
+        """A LEAD caller failed (or its result no longer matches the
+        key's epoch); wake waiters empty-handed so they recompute."""
+        with self._lock:
+            fill = self._fills.pop(key, None)
+            if fill is not None:
+                fill.event.set()
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every entry whose plan reads *table* (quarantine path);
+        returns how many entries were evicted."""
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if table in entry.tables
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (the ``go_cold()`` path); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.flight_hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "flight_hits": self.flight_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": (
+                    (self.hits + self.flight_hits) / lookups if lookups else 0.0
+                ),
+            }

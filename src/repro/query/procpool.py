@@ -198,6 +198,8 @@ def _execute_task(catalog, task: dict) -> dict:
         return _run_sma_range_task(catalog, task)
     if kind == "scan":
         return _run_scan_task(catalog, task)
+    if kind == "shared_gaggr":
+        return _run_shared_gaggr_task(catalog, task)
     raise ExecutionError(f"unknown process-scan task kind {kind!r}")
 
 
@@ -214,6 +216,41 @@ def _run_gaggr_task(catalog, task: dict) -> dict:
         mask = predicate.evaluate(records)
         partial.consume_batch(records if mask.all() else records[mask])
     return {"state": state_to_wire(partial)}
+
+
+def _run_shared_gaggr_task(catalog, task: dict) -> dict:
+    """One shared-pass morsel: decode each bucket once, fold every consumer.
+
+    The payload ships a *list* of consumer plans (predicate, group_by,
+    aggregates) over one pinned table; the worker grades each decoded
+    bucket with every consumer's predicate and returns one wire state
+    per consumer, in consumer order — the parent merges them per
+    consumer in morsel order, exactly like single-consumer gaggr tasks.
+    """
+    from repro.query.aggregation import AggregationState
+
+    table = _pinned_table(
+        catalog, catalog.table(task["table"]), task.get("pin")
+    )
+    stats = table.heap.pool.stats
+    consumers = []
+    for spec in task["consumers"]:
+        predicate = predicate_from_json(spec["predicate"]).bind(table.schema)
+        group_by = tuple(spec["group_by"])
+        aggregates = tuple(
+            _rebuild_aggregate(node) for node in spec["aggregates"]
+        )
+        consumers.append(
+            (predicate, AggregationState(table.schema, group_by, aggregates))
+        )
+    for bucket_no in task["buckets"]:
+        records = table.read_bucket(bucket_no)
+        stats.buckets_fetched += 1
+        stats.tuples_scanned += len(records)
+        for predicate, partial in consumers:
+            mask = predicate.evaluate(records)
+            partial.consume_batch(records if mask.all() else records[mask])
+    return {"states": [state_to_wire(partial) for _, partial in consumers]}
 
 
 def _run_sma_range_task(catalog, task: dict) -> dict:
@@ -280,6 +317,31 @@ def gaggr_task(table, predicate, group_by, aggregates, buckets) -> dict:
     payload = _plan_payload(table, predicate, group_by, aggregates)
     payload.update(kind="gaggr", buckets=[int(b) for b in buckets])
     return payload
+
+
+def shared_gaggr_task(table, consumers, buckets) -> dict:
+    """Ship one shared-pass morsel: all consumers' plans + a bucket list.
+
+    *consumers* is the dispatcher's sealed list; each carries a bound
+    ``predicate`` and its logical ``query`` (group_by / aggregates).
+    """
+    return {
+        "kind": "shared_gaggr",
+        "table": table.name,
+        "pin": getattr(table, "pin", None),
+        "consumers": [
+            {
+                "predicate": predicate_to_json(consumer.predicate),
+                "group_by": list(consumer.query.group_by),
+                "aggregates": [
+                    {"name": a.name, "spec": aggregate_spec_to_json(a.spec)}
+                    for a in consumer.query.aggregates
+                ],
+            }
+            for consumer in consumers
+        ],
+        "buckets": [int(b) for b in buckets],
+    }
 
 
 def sma_range_task(

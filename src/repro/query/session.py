@@ -278,6 +278,64 @@ class Session:
             epoch=rows[0][1] if rows else None,
         )
 
+    def execute_shared(
+        self,
+        query: AggregateQuery,
+        *,
+        dispatcher,
+        timeout_s: float | None = None,
+    ) -> QueryResult:
+        """Run *query* through a shared bucket pass (attach-or-lead).
+
+        Same measured window, epoch pinning and result shape as
+        :meth:`execute`; the state computation routes through
+        *dispatcher* (a
+        :class:`~repro.query.sharedscan.SharedScanDispatcher`), which
+        either leads one cooperative pass for every consumer gathered at
+        this ``(table, epoch)`` or attaches to a pending one.  Raises
+        :class:`~repro.query.sharedscan.SharedScanDetached` when this
+        consumer lost its pass — callers fall back to :meth:`execute`.
+        """
+        if not isinstance(query, AggregateQuery):
+            raise PlanningError(
+                "shared-scan execution applies to aggregate queries only"
+            )
+        pool = self.catalog.pool
+        pool.reset_sequence_tracking()
+        window = pool.stats
+        before = window.snapshot()
+        started = time.perf_counter()
+
+        tracer = self.tracer
+        view = self.catalog.pin_view(query.table)
+        with tracer.span(
+            "execute", attrs={"shared": True, "table": query.table}
+        ) as exec_span:
+            outcome = dispatcher.run(
+                view,
+                query,
+                parallelism=self.parallelism,
+                tracer=tracer,
+                timeout_s=timeout_s,
+            )
+            exec_span.annotate(strategy=outcome.info.strategy)
+
+        wall = time.perf_counter() - started
+        delta = window.snapshot() - before
+        rows = _sort_rows(
+            outcome.rows, outcome.columns, query.order_by, query.order_desc
+        )
+        return QueryResult(
+            columns=outcome.columns,
+            rows=rows,
+            stats=delta,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(delta),
+            plan=outcome.info,
+            warm=True,
+            epoch=view.epoch,
+        )
+
     def execute_partial(
         self,
         query: AggregateQuery,

@@ -113,6 +113,29 @@ def render_metrics(snapshot: dict) -> str:
                 f"{strategy} {count}" for strategy, count in plans.items()
             )
         )
+
+    cache = snapshot.get("result_cache")
+    if cache:
+        lines.append("")
+        lines.append(
+            "result cache: "
+            f"{cache['entries']}/{cache['capacity']} entries, "
+            f"{cache['hits']} hits + {cache['flight_hits']} flight hits / "
+            f"{cache['misses']} misses (hit rate {cache['hit_rate']:.1%}), "
+            f"{cache['stores']} stores, {cache['evictions']} evictions, "
+            f"{cache['invalidations']} invalidations"
+        )
+
+    shared = snapshot.get("shared_scan")
+    if shared:
+        lines.append("")
+        lines.append(
+            "shared scans: "
+            f"{shared['leads']} passes led, {shared['attaches']} attaches, "
+            f"{shared['detaches']} detaches, "
+            f"mean fan-in {shared['mean_fan_in']:.2f} "
+            f"(max {shared['fan_in_max']})"
+        )
     return "\n".join(lines)
 
 

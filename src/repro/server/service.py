@@ -27,7 +27,9 @@ threads), while the catalog, pool and SMA sets are shared read-only.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 
@@ -40,7 +42,8 @@ from repro.errors import (
 from repro.obs.collect import build_ledger
 from repro.obs.events import EventLog
 from repro.obs.trace import Span, resolve_tracer
-from repro.query.planner import Explanation
+from repro.query.cache import HIT, ResultCache, plan_fingerprint, query_tables
+from repro.query.planner import Explanation, PlanInfo
 from repro.query.query import (
     AggregateQuery,
     DeleteStatement,
@@ -157,6 +160,9 @@ class QueryService:
         tracer=None,
         events: EventLog | None = None,
         slow_query_s: float | None = None,
+        result_cache: bool = False,
+        cache_entries: int = 256,
+        shared_scans: bool = False,
     ):
         self.catalog = catalog
         self.disk_model = disk_model
@@ -164,6 +170,22 @@ class QueryService:
         self.scan_workers = scan_workers
         self.morsel_buckets = morsel_buckets
         self.scan_backend = scan_backend
+        #: plan-fingerprint result cache (None = disabled).  Keys carry
+        #: the per-table ingest epoch, so epoch advance is the natural
+        #: invalidation; quarantine and go_cold() evict eagerly.
+        self.result_cache = ResultCache(cache_entries) if result_cache else None
+        #: cooperative shared-scan dispatcher (None = disabled).
+        self.shared_scans = None
+        if shared_scans:
+            from repro.query.sharedscan import SharedScanDispatcher
+
+            self.shared_scans = SharedScanDispatcher()
+        #: the scan-parameter slice of every cache key this service mints
+        self._scan_signature = {
+            "workers": int(scan_workers),
+            "morsel_buckets": morsel_buckets,
+            "backend": scan_backend,
+        }
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics.set_scan_info(
             backend=scan_backend, scan_workers=scan_workers
@@ -186,6 +208,12 @@ class QueryService:
         # outlives this service, so shutdown() must unsubscribe — stale
         # listeners would push events into closed logs.
         catalog.integrity.add_listener(self._on_integrity_event)
+        # go_cold() must drop the result cache together with the buffer
+        # pool and decode caches; unregistered again at shutdown.
+        self._cold_hook = None
+        if self.result_cache is not None:
+            self._cold_hook = self.result_cache.clear
+            catalog.add_cold_hook(self._cold_hook)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -214,6 +242,8 @@ class QueryService:
 
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
         self.catalog.integrity.remove_listener(self._on_integrity_event)
+        if self._cold_hook is not None:
+            self.catalog.remove_cold_hook(self._cold_hook)
         self._executor.shutdown(wait=wait, cancel_pending=cancel_pending)
         if self.events is not None:
             self.events.emit(
@@ -226,6 +256,32 @@ class QueryService:
             self.metrics.record_quarantine(
                 info.get("table", ""), info.get("sma_set", "")
             )
+            # A quarantined SMA definition means the table's metadata is
+            # suspect: evict its cached results and poison every pending
+            # shared pass — detached consumers re-plan solo, where the
+            # quarantine fallback routes them to the heap.
+            table = info.get("table", "")
+            if table:
+                if self.result_cache is not None:
+                    evicted = self.result_cache.invalidate_table(table)
+                    if evicted and self.events is not None:
+                        self.events.emit(
+                            "cache_invalidate",
+                            table=table,
+                            entries=evicted,
+                            reason="sma_quarantined",
+                        )
+                if self.shared_scans is not None:
+                    poisoned = self.shared_scans.poison(
+                        table, "sma_quarantined"
+                    )
+                    if poisoned and self.events is not None:
+                        self.events.emit(
+                            "shared_scan_poison",
+                            table=table,
+                            groups=poisoned,
+                            reason="sma_quarantined",
+                        )
         elif event == "sma_repaired":
             self.metrics.record_repair(
                 info.get("table", ""), info.get("sma_set", "")
@@ -250,6 +306,10 @@ class QueryService:
             from repro.query import procpool
 
             scan["pool"] = procpool.pool_gauges(self.catalog.root_dir)
+        if self.result_cache is not None:
+            snapshot["result_cache"] = self.result_cache.snapshot()
+        if self.shared_scans is not None:
+            snapshot["shared_scan"] = self.shared_scans.snapshot()
         if self.events is not None:
             snapshot["events"] = self.events.stats()
         return snapshot
@@ -447,6 +507,7 @@ class QueryService:
         window = IoStats()
         pool = self.catalog.pool
         outcome = "completed"
+        cache_note = {"cache": "bypass"}
         try:
             # Adopt the submit-side root span on this worker thread, so
             # everything the session opens parents under it.
@@ -464,6 +525,25 @@ class QueryService:
                         from repro.sql.parser import parse_statement
 
                         query = parse_statement(query)
+                    elif (
+                        isinstance(query, str)
+                        and not job.is_dml
+                        and (
+                            self.result_cache is not None
+                            or self.shared_scans is not None
+                        )
+                    ):
+                        # SQL reads parse up-front so the cache and the
+                        # shared-scan dispatcher see the logical plan
+                        # (this is also what makes fingerprints
+                        # whitespace-insensitive).  EXPLAIN and anything
+                        # else stays a string and takes the session.sql
+                        # path below, uncached.
+                        from repro.sql.parser import parse_statement
+
+                        parsed = parse_statement(query)
+                        if isinstance(parsed, (AggregateQuery, ScanQuery)):
+                            query = parsed
                     if job.partial and isinstance(query, AggregateQuery):
                         result = session.execute_partial(
                             query, mode=job.mode, sma_set=job.sma_set
@@ -471,6 +551,12 @@ class QueryService:
                     elif isinstance(query, str):
                         result = session.sql(
                             query, mode=job.mode, sma_set=job.sma_set
+                        )
+                    elif not job.is_dml and isinstance(
+                        query, (AggregateQuery, ScanQuery)
+                    ):
+                        result = self._execute_read(
+                            session, ticket, job, query, cache_note
                         )
                     else:
                         result = session.execute(
@@ -507,10 +593,162 @@ class QueryService:
             # The root finished in the finally above, so the tree is
             # complete: distill it into the per-query resource ledger.
             ledger = build_ledger(trace)
+            ledger["cache"] = cache_note["cache"]
             self.metrics.record_ledger(ledger)
             if self.events is not None:
                 self.events.emit("query_ledger", **ledger)
         return result
+
+    # ------------------------------------------------------------------
+    # the cached / shared read path
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _remaining_s(ticket: QueryTicket) -> float | None:
+        """Seconds until the ticket's deadline (None = unbounded)."""
+        if ticket.deadline is None:
+            return None
+        return max(0.0, ticket.deadline - time.monotonic())
+
+    def _cache_key(self, query, job: QueryJob) -> tuple[str, dict[str, int]]:
+        """Fingerprint *query* at the tables' current ingest epochs."""
+        epochs = {
+            table: self.catalog.ingest_epoch(table)
+            for table in query_tables(query)
+        }
+        key = plan_fingerprint(
+            query,
+            epochs=epochs,
+            mode=job.mode,
+            sma_set=job.sma_set,
+            scan=self._scan_signature,
+        )
+        return key, epochs
+
+    def _serve_cached(self, cached: QueryResult, wall: float) -> QueryResult:
+        """A fresh result view over a cached entry: same relation bytes,
+        this request's wall clock, zero I/O (nothing was read)."""
+        empty = IoStats()
+        return dataclasses.replace(
+            cached,
+            stats=empty,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(empty),
+            plan=PlanInfo(
+                strategy="result_cache",
+                reason=(
+                    f"plan-fingerprint cache hit at epoch {cached.epoch}"
+                ),
+                table=cached.plan.table,
+            ),
+        )
+
+    def _execute_read(
+        self,
+        session: Session,
+        ticket: QueryTicket,
+        job: QueryJob,
+        query,
+        cache_note: dict,
+    ) -> QueryResult:
+        """Cache lookup → attach-or-lead → solo, in that order."""
+        cache = self.result_cache
+        if cache is None:
+            return self._execute_read_fresh(session, ticket, job, query)
+        started = time.perf_counter()
+        key, epochs = self._cache_key(query, job)
+        verdict, cached = cache.acquire(key, timeout_s=self._remaining_s(ticket))
+        if verdict == HIT:
+            cache_note["cache"] = "hit"
+            if job.trace is not None:
+                job.trace.annotate(cache="hit")
+            if self.events is not None:
+                self.events.emit(
+                    "cache_hit",
+                    ticket=ticket.id,
+                    kind=job.kind,
+                    query=str(query),
+                    epoch=cached.epoch,
+                    trace_id=self._trace_id(job),
+                )
+            return self._serve_cached(cached, time.perf_counter() - started)
+        # LEAD: compute, then publish (or abandon, waking any herd).
+        try:
+            result = self._execute_read_fresh(session, ticket, job, query)
+        except BaseException:
+            cache.abandon(key)
+            raise
+        cache_note["cache"] = "miss"
+        if job.trace is not None:
+            job.trace.annotate(cache="miss")
+        tables = query_tables(query)
+        store_key = key
+        if result.epoch is not None and result.epoch != epochs.get(query.table):
+            # The epoch advanced between fingerprinting and pinning: the
+            # computed result belongs to the *newer* epoch.  Re-key it
+            # there and wake the original herd empty-handed — an entry
+            # keyed at epoch e always holds a result computed at epoch e.
+            cache.abandon(key)
+            store_key = plan_fingerprint(
+                query,
+                epochs={query.table: result.epoch},
+                mode=job.mode,
+                sma_set=job.sma_set,
+                scan=self._scan_signature,
+            )
+        cache.complete(store_key, result, tables)
+        if self.events is not None:
+            self.events.emit(
+                "cache_store",
+                ticket=ticket.id,
+                kind=job.kind,
+                epoch=result.epoch,
+                trace_id=self._trace_id(job),
+            )
+        return result
+
+    def _execute_read_fresh(
+        self, session: Session, ticket: QueryTicket, job: QueryJob, query
+    ) -> QueryResult:
+        """One actual execution: shared pass when possible, else solo."""
+        if (
+            self.shared_scans is not None
+            and isinstance(query, AggregateQuery)
+            and job.mode == "auto"
+            and job.sma_set is None
+        ):
+            from repro.query.sharedscan import SharedScanDetached
+
+            try:
+                result = session.execute_shared(
+                    query,
+                    dispatcher=self.shared_scans,
+                    timeout_s=self._remaining_s(ticket),
+                )
+            except SharedScanDetached:
+                # Lost the pass (quarantine poison / leader failure):
+                # re-execute solo against the quarantine-aware planner.
+                if self.events is not None:
+                    self.events.emit(
+                        "shared_scan_detach",
+                        ticket=ticket.id,
+                        table=query.table,
+                        trace_id=self._trace_id(job),
+                    )
+            else:
+                if self.events is not None:
+                    strategy = result.plan.strategy
+                    self.events.emit(
+                        "shared_scan_attach"
+                        if strategy == "shared_scan(follow)"
+                        else "shared_scan_lead",
+                        ticket=ticket.id,
+                        table=query.table,
+                        strategy=strategy,
+                        trace_id=self._trace_id(job),
+                    )
+                return result
+        return session.execute(query, mode=job.mode, sma_set=job.sma_set)
 
     def _observe_ingest(
         self, ticket: QueryTicket, job: QueryJob, result: QueryResult
@@ -522,6 +760,18 @@ class QueryService:
         self.metrics.record_ingest(
             table, result.plan.strategy, rows_affected, epoch
         )
+        # The epoch bump already makes old fingerprints unreachable;
+        # this sweep just stops dead entries from squatting LRU slots
+        # under sustained ingest.
+        if table and self.result_cache is not None:
+            evicted = self.result_cache.invalidate_table(table)
+            if evicted and self.events is not None:
+                self.events.emit(
+                    "cache_invalidate",
+                    table=table,
+                    entries=evicted,
+                    reason="epoch_advance",
+                )
         if self.events is not None:
             self.events.emit(
                 "ingest_applied",

@@ -303,3 +303,50 @@ def default_mix(table: str = "LINEITEM") -> list[WorkloadQuery]:
         WorkloadQuery("q1_d120", query1(delta=120, table=table), weight=2),
         WorkloadQuery("range_scan", scan, weight=2),
     ]
+
+
+def zipf_mix(
+    table: str = "LINEITEM",
+    *,
+    distinct: int = 16,
+    s: float = 1.2,
+    scale: int = 100,
+) -> list[WorkloadQuery]:
+    """A zipf-skewed dashboard mix: *distinct* Query-1 variants drawn
+    with frequency ``freq(rank) ∝ 1 / rank**s``.
+
+    Rank 1 is the hottest plan; with the defaults (``distinct=16``,
+    ``s=1.2``) it draws ~1/3 of the traffic, which is the repeat-heavy
+    shape the plan-fingerprint result cache (C5) is built for.  Each
+    variant uses a different ``delta`` window, so the variants are
+    genuinely distinct logical plans — the cache can only merge true
+    repeats, while shared scans may still coalesce different variants
+    hitting the table concurrently.
+
+    The returned entries all carry weight 1 and are *pre-interleaved*
+    round-robin (rank 1 appears in every round, rank k in the rounds
+    below its zipf count): :func:`expand_mix` would repeat a weighted
+    entry as one contiguous block, which at zipf scales would hand each
+    closed-loop client a long run of a single plan instead of a skewed
+    blend.  Deterministic, like every mix.
+    """
+    from repro.tpcd.queries import query1
+
+    if distinct <= 0:
+        raise ReproError(f"distinct must be positive, got {distinct}")
+    counts = {
+        rank: max(1, round(scale / rank**s)) for rank in range(1, distinct + 1)
+    }
+    variants = {
+        rank: WorkloadQuery(
+            f"q1_z{rank:02d}",
+            query1(delta=30 + 10 * (rank - 1), table=table),
+        )
+        for rank in range(1, distinct + 1)
+    }
+    mix = []
+    for round_no in range(max(counts.values())):
+        for rank in range(1, distinct + 1):
+            if counts[rank] > round_no:
+                mix.append(variants[rank])
+    return mix

@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.lang.serde import query_to_json
 from repro.obs.collect import build_ledger, graft_remote_trace
+from repro.query.cache import HIT, ResultCache, plan_fingerprint, query_tables
 from repro.obs.events import EventLog
 from repro.obs.trace import Span, resolve_tracer
 from repro.query.planner import PlanInfo
@@ -58,6 +59,7 @@ from repro.shard.protocol import execute_dml_frame, recv_message, send_message
 from repro.shard.state_serde import rows_from_wire, state_from_wire, stats_from_wire
 from repro.storage.disk import PAPER_DISK, DiskModel
 from repro.storage.faults import RetryPolicy
+from repro.storage.stats import IoStats
 
 
 def _map_remote_error(info: dict, shard_id: int) -> ReproError:
@@ -284,6 +286,8 @@ class ShardRouter:
         events: EventLog | None = None,
         retry_policy: RetryPolicy | None = None,
         tracer=None,
+        result_cache: bool = False,
+        cache_entries: int = 256,
     ):
         if not endpoints:
             raise ShardError("a router needs at least one shard endpoint")
@@ -306,6 +310,15 @@ class ShardRouter:
             for endpoint in sorted(endpoints, key=lambda e: e.shard_id)
         ]
         self.scoreboard = ShardScoreboard(len(self.clients))
+        # Router-side plan-fingerprint cache: keyed on the merged-epoch
+        # clock (advanced on every DML the router itself gathers), so a
+        # write through this router moves every affected plan to a fresh
+        # key and stale entries age out of the LRU.  Writes bypassing
+        # the router are invisible to this clock — same single-writer
+        # assumption the shard manifest already makes.
+        self.result_cache = ResultCache(cache_entries) if result_cache else None
+        self._epoch_lock = threading.Lock()
+        self._table_epochs: dict[str, int] = {}
         self._executor = QueryExecutor(
             self._run_job,
             workers=workers,
@@ -386,6 +399,8 @@ class ShardRouter:
     def observed_snapshot(self) -> dict:
         snapshot = self.metrics.snapshot()
         snapshot["shard"] = self.scoreboard.snapshot()
+        if self.result_cache is not None:
+            snapshot["result_cache"] = self.result_cache.snapshot()
         if self.events is not None:
             snapshot["events"] = self.events.stats()
         return snapshot
@@ -564,45 +579,75 @@ class ShardRouter:
             self.tracer.record_span("queue_wait", parent=trace, duration_s=wait)
         if isinstance(job.query, DmlStatement):
             return self._run_dml_job(ticket, job)
-        remaining = None
-        if ticket.deadline is not None:
-            remaining = max(0.001, ticket.deadline - time.monotonic())
-        request = {
-            "op": "execute",
-            "query": query_to_json(job.query),
-            "mode": job.mode,
-            "sma_set": job.sma_set,
-            "kind": job.kind,
-            "timeout_s": remaining,
-        }
         started = time.perf_counter()
-        self.scoreboard.record_scatter(self.num_shards)
-        futures = [
-            self._scatter_pool.submit(self._subquery, client, request, trace)
-            for client in self.clients
-        ]
-        replies: list[dict] = []
-        first_error: BaseException | None = None
-        for future in futures:  # gather in shard order
-            try:
-                reply, _elapsed = future.result()
-                replies.append(reply["result"])
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
+        cache = self.result_cache
+        cache_outcome = "bypass"
+        key: str | None = None
+        epochs: dict[str, int] | None = None
+        tables: frozenset[str] = frozenset()
+        result: QueryResult | None = None
+        if cache is not None:
+            tables = query_tables(job.query)
+            epochs = self._cache_epochs(tables)
+            key = plan_fingerprint(
+                job.query,
+                epochs=epochs,
+                mode=job.mode,
+                sma_set=job.sma_set,
+                scan={"shards": self.num_shards},
+            )
+            wait_s = None
+            if ticket.deadline is not None:
+                wait_s = max(0.001, ticket.deadline - time.monotonic())
+            outcome, cached = cache.acquire(key, timeout_s=wait_s)
+            if outcome == HIT and cached is not None:
+                cache_outcome = "hit"
+                result = self._serve_cached(
+                    cached, time.perf_counter() - started
+                )
+                if self.events is not None:
+                    self.events.emit(
+                        "cache_hit",
+                        ticket=ticket.id,
+                        table=result.plan.table,
+                        key=key[:16],
+                    )
         done = False
         try:
-            if first_error is not None:
-                # Partial-result refusal: one failed shard fails the query.
-                raise first_error
-            result = self._gather(job, replies, started)
+            if result is None:
+                try:
+                    result = self._scatter_read(job, ticket, started, trace)
+                except BaseException:
+                    if key is not None:
+                        cache.abandon(key)
+                    raise
+                if key is not None:
+                    cache_outcome = "miss"
+                    # A DML may have been gathered while this read was in
+                    # flight; an entry is only stored when the epoch clock
+                    # is unchanged, so a cached result always matches the
+                    # epochs in its key.
+                    if self._cache_epochs(tables) == epochs:
+                        cache.complete(key, result, tables)
+                        if self.events is not None:
+                            self.events.emit(
+                                "cache_store",
+                                ticket=ticket.id,
+                                table=result.plan.table,
+                                key=key[:16],
+                            )
+                    else:
+                        cache.abandon(key)
             done = True
         except ReproError:
             self.metrics.record_failure(job.kind)
             raise
         finally:
             if trace is not None:
-                trace.annotate(outcome="completed" if done else "failed")
+                trace.annotate(
+                    outcome="completed" if done else "failed",
+                    cache=cache_outcome,
+                )
                 self.tracer.finish(trace)
         self.metrics.record_success(
             job.kind,
@@ -622,14 +667,93 @@ class ShardRouter:
                 io=result.stats.as_dict(),
                 trace_id=trace.trace_id if trace is not None else None,
             )
-        self._observe_ledger(trace)
+        self._observe_ledger(trace, cache=cache_outcome)
         return result
 
-    def _observe_ledger(self, trace: Span | None) -> None:
+    def _scatter_read(
+        self,
+        job: _RouterJob,
+        ticket: QueryTicket,
+        started: float,
+        trace: Span | None,
+    ) -> QueryResult:
+        """Scatter one read to every shard and gather the merged result."""
+        remaining = None
+        if ticket.deadline is not None:
+            remaining = max(0.001, ticket.deadline - time.monotonic())
+        request = {
+            "op": "execute",
+            "query": query_to_json(job.query),
+            "mode": job.mode,
+            "sma_set": job.sma_set,
+            "kind": job.kind,
+            "timeout_s": remaining,
+        }
+        self.scoreboard.record_scatter(self.num_shards)
+        futures = [
+            self._scatter_pool.submit(self._subquery, client, request, trace)
+            for client in self.clients
+        ]
+        replies: list[dict] = []
+        first_error: BaseException | None = None
+        for future in futures:  # gather in shard order
+            try:
+                reply, _elapsed = future.result()
+                replies.append(reply["result"])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            # Partial-result refusal: one failed shard fails the query.
+            raise first_error
+        return self._gather(job, replies, started)
+
+    # ------------------------------------------------------------------
+    # router-side result cache
+    # ------------------------------------------------------------------
+
+    def _cache_epochs(self, tables: frozenset[str]) -> dict[str, int]:
+        """Snapshot of the router's per-table merged-epoch clock."""
+        with self._epoch_lock:
+            return {table: self._table_epochs.get(table, 0) for table in tables}
+
+    def _bump_epoch(self, table: str, epoch: int) -> None:
+        """Advance the clock past every cached fingerprint of *table*.
+
+        The clock takes the gathered max shard epoch but always strictly
+        increases, so even a zero-row DML moves reads of the table onto a
+        fresh cache key.
+        """
+        with self._epoch_lock:
+            current = self._table_epochs.get(table, 0)
+            self._table_epochs[table] = max(current + 1, int(epoch))
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(table)
+
+    def _serve_cached(self, cached: QueryResult, wall: float) -> QueryResult:
+        """A hit is a copy: fresh stats (a hit does no I/O), real wall."""
+        import dataclasses
+
+        empty = IoStats()
+        return dataclasses.replace(
+            cached,
+            stats=empty,
+            wall_seconds=wall,
+            cost=self.disk_model.cost(empty),
+            plan=PlanInfo(
+                strategy="result_cache",
+                reason="router plan-fingerprint cache hit at merged epoch",
+                table=cached.plan.table,
+            ),
+        )
+
+    def _observe_ledger(self, trace: Span | None, cache: str | None = None) -> None:
         """Distill one finished merged trace into the resource ledger."""
         if trace is None:
             return
         ledger = build_ledger(trace)
+        if cache is not None:
+            ledger["cache"] = cache
         self.metrics.record_ledger(ledger)
         if self.events is not None:
             self.events.emit("query_ledger", **ledger)
@@ -699,6 +823,7 @@ class ShardRouter:
             int(result.rows[0][0]),
             int(result.rows[0][1]),
         )
+        self._bump_epoch(job.query.table, int(result.rows[0][1]))
         if self.events is not None:
             self.events.emit(
                 "ingest_applied",

@@ -63,6 +63,10 @@ class Catalog:
         #: strictly one at a time; readers never take this lock.
         self._ingest_locks: dict[str, threading.Lock] = {}
         self._ingest_locks_guard = threading.Lock()
+        #: Callbacks invoked by :meth:`go_cold` after the pool and decode
+        #: caches drop — services register derived caches (e.g. the
+        #: result cache) here so "cold" means *every* caching layer.
+        self._cold_hooks: list = []
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.storage.faults.FaultInjector` (or None)
@@ -320,11 +324,26 @@ class Catalog:
         os.makedirs(path, exist_ok=True)
         return path
 
+    def add_cold_hook(self, hook) -> None:
+        """Register a zero-argument callback to run on :meth:`go_cold`."""
+        self._cold_hooks.append(hook)
+
+    def remove_cold_hook(self, hook) -> None:
+        """Unregister a callback previously added (no-op when absent)."""
+        try:
+            self._cold_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def go_cold(self) -> None:
-        """Empty the buffer pool: the next reads hit 'disk' (cold run)."""
+        """Make the next reads hit 'disk' (cold run): empty the buffer
+        pool, drop every heap's decoded-bucket cache, and run the
+        registered cold hooks (result caches and the like)."""
         self.pool.clear()
         for table in self._tables.values():
             table.heap.drop_decode_cache()
+        for hook in list(self._cold_hooks):
+            hook()
 
     def reset_stats(self) -> IoStats:
         """Zero the shared counters and return the pre-reset snapshot."""

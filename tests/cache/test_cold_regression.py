@@ -1,0 +1,92 @@
+"""Regression: ``Catalog.go_cold()`` must drop *every* warm layer.
+
+A "cold" run exists to measure real I/O, so coldness has three layers
+to reset: the shared buffer pool, each heap's decoded-bucket cache
+(previously uncovered — a stale decode cache made cold scans serve
+decoded tuples without touching the pool at all), and any registered
+result caches (the cold hooks).  Each layer gets its own assertion
+here, plus the ``Session.execute(cold=True)`` path end to end.
+"""
+
+from __future__ import annotations
+
+from repro.query.session import Session
+from repro.server.service import QueryService
+from repro.tpcd.queries import query1
+
+
+def _heap(catalog):
+    return catalog.table("LINEITEM").heap
+
+
+def test_go_cold_drops_decode_cache(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    session = Session(catalog)
+    query = query1(delta=90)
+    session.execute(query, mode="scan")
+    assert len(_heap(catalog)._decode_cache) > 0, (
+        "a full scan should have warmed the decoded-bucket cache"
+    )
+    catalog.go_cold()
+    assert len(_heap(catalog)._decode_cache) == 0, (
+        "go_cold() left decoded buckets behind: a 'cold' scan would "
+        "serve tuples without any page read"
+    )
+
+
+def test_cold_scan_does_physical_reads_again(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    session = Session(catalog)
+    query = query1(delta=90)
+    warm = session.execute(query, mode="scan")  # warm everything
+    warm = session.execute(query, mode="scan")
+    assert warm.stats.page_reads == 0, "second warm scan should be all hits"
+    cold = session.execute(query, mode="scan", cold=True)
+    assert cold.stats.page_reads > 0, (
+        "cold=True scan did no physical reads: some warm layer survived"
+    )
+    assert repr(cold.rows) == repr(warm.rows)
+
+
+def test_go_cold_runs_result_cache_hook(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    query = query1(delta=90)
+    with QueryService(catalog, workers=2, result_cache=True) as service:
+        service.submit(query).result()
+        second = service.submit(query).result()
+        assert second.plan.strategy == "result_cache"
+        assert service.result_cache.snapshot()["entries"] > 0
+        catalog.go_cold()
+        assert service.result_cache.snapshot()["entries"] == 0, (
+            "go_cold() must clear the registered result cache"
+        )
+        after = service.submit(query).result()
+        assert after.plan.strategy != "result_cache"
+
+
+def test_shutdown_unregisters_the_cold_hook(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    query = query1(delta=90)
+    with QueryService(catalog, workers=2, result_cache=True) as service:
+        service.submit(query).result()
+        cache = service.result_cache
+    # The service is gone; its hook must be too — go_cold on the
+    # catalog must not reach into a shut-down service's cache.
+    cache.acquire("synthetic")
+    cache.complete("synthetic", "x", {"LINEITEM"})
+    before = cache.snapshot()["entries"]
+    catalog.go_cold()
+    assert cache.snapshot()["entries"] == before
+
+
+def test_cold_hook_add_remove_are_safe(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    calls: list[int] = []
+    hook = lambda: calls.append(1)  # noqa: E731
+    catalog.add_cold_hook(hook)
+    catalog.go_cold()
+    assert calls == [1]
+    catalog.remove_cold_hook(hook)
+    catalog.go_cold()
+    assert calls == [1]
+    catalog.remove_cold_hook(hook)  # double-remove must not raise

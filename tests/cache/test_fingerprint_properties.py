@@ -1,0 +1,247 @@
+"""Property tests for plan fingerprinting (Hypothesis).
+
+The fingerprint is the cache's correctness boundary, so it must satisfy
+two one-sided guarantees:
+
+* **collision by design** — semantically identical plans (whitespace
+  variants of the same SQL, commuted And/Or operand order) map to the
+  same key, or the cache silently loses hit rate;
+* **separation always** — plans differing in any literal, column,
+  aggregate, epoch, mode or scan signature map to different keys, or
+  the cache silently serves wrong answers.  Separation failures are the
+  dangerous ones, hence the property-based sweep.
+
+Fingerprints must also survive a serde round trip: a query shipped to a
+shard worker and rebuilt from JSON must land on the same key.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import count_star, maximum, minimum, total
+from repro.lang import col
+from repro.lang.predicate import and_, cmp, or_
+from repro.lang.serde import query_from_json, query_to_json
+from repro.query.cache import canonical_plan, plan_fingerprint
+from repro.query.query import AggregateQuery, OutputAggregate
+from repro.sql.parser import parse_statement
+
+COLUMNS = ("qty", "ship", "id")
+OPS = ("<", "<=", "=", ">=", ">")
+
+literals = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+@st.composite
+def comparisons(draw):
+    return cmp(
+        draw(st.sampled_from(COLUMNS)),
+        draw(st.sampled_from(OPS)),
+        draw(literals),
+    )
+
+
+@st.composite
+def predicates(draw):
+    """Leaf comparisons and one level of And/Or over them."""
+    kind = draw(st.sampled_from(("leaf", "and", "or")))
+    if kind == "leaf":
+        return draw(comparisons())
+    combine = and_ if kind == "and" else or_
+    return combine(draw(comparisons()), draw(comparisons()))
+
+
+_AGG_CHOICES = (
+    ("n", count_star),
+    ("s", lambda: total(col("qty"))),
+    ("lo", lambda: minimum(col("ship"))),
+    ("hi", lambda: maximum(col("ship"))),
+)
+
+
+@st.composite
+def agg_queries(draw):
+    picked = draw(
+        st.lists(
+            st.sampled_from(range(len(_AGG_CHOICES))),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    aggregates = tuple(
+        OutputAggregate(_AGG_CHOICES[i][0], _AGG_CHOICES[i][1]())
+        for i in sorted(picked)
+    )
+    group_by = draw(st.sampled_from(((), ("flag",))))
+    return AggregateQuery(
+        table="SALES",
+        aggregates=aggregates,
+        where=draw(predicates()),
+        group_by=group_by,
+    )
+
+
+def _fp(query, epoch: int = 0, **kwargs):
+    kwargs.setdefault("epochs", {query.table: epoch})
+    return plan_fingerprint(query, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# collision by design
+# ----------------------------------------------------------------------
+
+_SQL_TOKENS = (
+    "SELECT", "flag", ",", "SUM", "(", "qty", ")", "AS", "s", "FROM",
+    "SALES", "WHERE", "qty", ">=", "3", "AND", "ship", "<=",
+    "DATE '1997-01-21'", "GROUP", "BY", "flag",
+)
+#: Token indices that must stay glued to the previous token (function
+#: application and punctuation the tokenizer reads greedily).
+_GLUE = {3, 4, 5, 6}
+
+ws = st.sampled_from((" ", "  ", "\t", " \n ", "   "))
+
+
+@given(st.lists(ws, min_size=len(_SQL_TOKENS), max_size=len(_SQL_TOKENS)))
+@settings(max_examples=50, deadline=None)
+def test_whitespace_variants_collide(gaps):
+    """Any whitespace layout of the same SQL shares one fingerprint."""
+    base = parse_statement(" ".join(_SQL_TOKENS))
+    pieces = []
+    for index, token in enumerate(_SQL_TOKENS):
+        if index and index not in _GLUE:
+            pieces.append(gaps[index])
+        pieces.append(token)
+    variant = parse_statement("".join(pieces))
+    assert _fp(variant) == _fp(base)
+
+
+@given(comparisons(), comparisons(), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_commuted_operands_collide(left, right, use_or):
+    """And/Or operand order never changes the fingerprint."""
+    combine = or_ if use_or else and_
+    forward = AggregateQuery(
+        table="SALES",
+        aggregates=(OutputAggregate("n", count_star()),),
+        where=combine(left, right),
+    )
+    reversed_ = AggregateQuery(
+        table="SALES",
+        aggregates=(OutputAggregate("n", count_star()),),
+        where=combine(right, left),
+    )
+    assert _fp(forward) == _fp(reversed_)
+    assert canonical_plan(forward) == canonical_plan(reversed_)
+
+
+# ----------------------------------------------------------------------
+# separation always
+# ----------------------------------------------------------------------
+
+
+@given(agg_queries(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_literal_change_separates(query, data):
+    """Perturbing any one comparison literal changes the fingerprint."""
+    document = query_to_json(query)
+
+    def perturb(node):
+        if isinstance(node, dict):
+            constant = node.get("constant")
+            if (
+                node.get("node") == "cmp_const"
+                and isinstance(constant, dict)
+                and constant.get("t") == "int"
+            ):
+                constant["v"] = constant["v"] + data.draw(
+                    st.integers(min_value=1, max_value=1000)
+                )
+                return True
+            return any(perturb(child) for child in node.values())
+        if isinstance(node, list):
+            return any(perturb(child) for child in node)
+        return False
+
+    changed = perturb(document)
+    assert changed, f"no literal found to perturb in {document}"
+    variant = query_from_json(document)
+    assert _fp(variant) != _fp(query)
+
+
+@given(comparisons(), st.sampled_from(COLUMNS))
+@settings(max_examples=100, deadline=None)
+def test_column_change_separates(predicate, other_column):
+    document = query_to_json(
+        AggregateQuery(
+            table="SALES",
+            aggregates=(OutputAggregate("n", count_star()),),
+            where=predicate,
+        )
+    )
+    base = query_from_json(document)
+
+    def retarget(node):
+        if isinstance(node, dict):
+            if node.get("node") == "cmp_const":
+                if node["column"] == other_column:
+                    return False
+                node["column"] = other_column
+                return True
+            return any(retarget(child) for child in node.values())
+        if isinstance(node, list):
+            return any(retarget(child) for child in node)
+        return False
+
+    if not retarget(document):
+        return  # predicate already targeted other_column everywhere
+    variant = query_from_json(document)
+    assert _fp(variant) != _fp(base)
+
+
+@given(agg_queries(), st.integers(min_value=0, max_value=10**9),
+       st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=100, deadline=None)
+def test_epoch_change_separates(query, epoch, bump):
+    assert _fp(query, epoch=epoch) != _fp(query, epoch=epoch + bump)
+
+
+@given(agg_queries())
+@settings(max_examples=50, deadline=None)
+def test_mode_sma_set_and_scan_separate(query):
+    base = _fp(query)
+    assert _fp(query, mode="scan") != base
+    assert _fp(query, mode="sma") != base
+    assert _fp(query, sma_set="q1") != base
+    assert _fp(query, scan={"workers": 4, "backend": "process"}) != base
+
+
+# ----------------------------------------------------------------------
+# serde round-trip stability
+# ----------------------------------------------------------------------
+
+
+@given(agg_queries(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=100, deadline=None)
+def test_serde_round_trip_stable(query, epoch):
+    """A query rebuilt from its wire JSON lands on the same key."""
+    rebuilt = query_from_json(query_to_json(query))
+    assert _fp(rebuilt, epoch=epoch) == _fp(query, epoch=epoch)
+
+
+def test_date_literals_fingerprint_by_value():
+    """Smoke: date literals distinguish plans like ints do."""
+    def q(day):
+        return AggregateQuery(
+            table="SALES",
+            aggregates=(OutputAggregate("n", count_star()),),
+            where=cmp("ship", "<=", datetime.date(1997, 1, day)),
+        )
+
+    assert _fp(q(21)) == _fp(q(21))
+    assert _fp(q(21)) != _fp(q(22))

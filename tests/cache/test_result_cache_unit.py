@@ -1,0 +1,137 @@
+"""Unit tests for :class:`repro.query.cache.ResultCache`.
+
+The cache is plumbing the service trusts blindly, so its contract is
+pinned here in isolation: LRU bounds, single-flight fills (one leader
+computes, waiters get the fill or inherit the lead on abandonment),
+table-scoped invalidation, and honest counters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.query.cache import HIT, LEAD, ResultCache
+
+
+def test_miss_then_hit_round_trip():
+    cache = ResultCache(capacity=4)
+    outcome, result = cache.acquire("k1")
+    assert outcome == LEAD and result is None
+    cache.complete("k1", "payload", {"T"})
+    outcome, result = cache.acquire("k1")
+    assert outcome == HIT and result == "payload"
+    snap = cache.snapshot()
+    assert snap["hits"] == 1
+    assert snap["misses"] == 1
+    assert snap["stores"] == 1
+    assert snap["entries"] == 1
+
+
+def test_single_flight_waiters_get_the_fill():
+    cache = ResultCache(capacity=4)
+    outcome, _ = cache.acquire("k")
+    assert outcome == LEAD
+    got: list = []
+    ready = threading.Barrier(3)
+
+    def wait_for_fill():
+        ready.wait()
+        got.append(cache.acquire("k", timeout_s=5.0))
+
+    waiters = [threading.Thread(target=wait_for_fill) for _ in range(2)]
+    for thread in waiters:
+        thread.start()
+    ready.wait()  # both waiters are about to enter acquire
+    cache.complete("k", "answer", {"T"})
+    for thread in waiters:
+        thread.join()
+    assert [outcome for outcome, _ in got] == [HIT, HIT]
+    assert all(result == "answer" for _, result in got)
+    # Waiters served off an in-flight fill count as flight hits.
+    assert cache.snapshot()["hits"] + cache.snapshot()["flight_hits"] >= 2
+
+
+def test_abandon_wakes_waiters_as_leaders():
+    cache = ResultCache(capacity=4)
+    outcome, _ = cache.acquire("k")
+    assert outcome == LEAD
+    got: list = []
+    started = threading.Event()
+
+    def wait_for_fill():
+        started.set()
+        got.append(cache.acquire("k", timeout_s=5.0))
+
+    waiter = threading.Thread(target=wait_for_fill)
+    waiter.start()
+    started.wait()
+    cache.abandon("k")
+    waiter.join()
+    # The abandoned fill produced no result: the waiter must lead its
+    # own execution, never hang and never get a phantom hit.
+    assert got[0][0] == LEAD and got[0][1] is None
+
+
+def test_lru_eviction_is_bounded_and_counted():
+    cache = ResultCache(capacity=2)
+    for key in ("a", "b", "c"):
+        assert cache.acquire(key)[0] == LEAD
+        cache.complete(key, key.upper(), {"T"})
+    snap = cache.snapshot()
+    assert snap["entries"] == 2
+    assert snap["evictions"] == 1
+    # "a" was the least recently used: gone; "b" and "c" remain.
+    assert cache.acquire("a")[0] == LEAD
+    cache.abandon("a")
+    assert cache.acquire("b")[0] == HIT
+    assert cache.acquire("c")[0] == HIT
+
+
+def test_lru_order_updates_on_hit():
+    cache = ResultCache(capacity=2)
+    for key in ("a", "b"):
+        cache.acquire(key)
+        cache.complete(key, key, {"T"})
+    assert cache.acquire("a")[0] == HIT  # refresh "a"
+    cache.acquire("c")
+    cache.complete("c", "c", {"T"})  # evicts "b", not "a"
+    assert cache.acquire("a")[0] == HIT
+    assert cache.acquire("b")[0] == LEAD
+
+
+def test_invalidate_table_scopes_to_that_table():
+    cache = ResultCache(capacity=8)
+    cache.acquire("q-sales")
+    cache.complete("q-sales", 1, {"SALES"})
+    cache.acquire("q-line")
+    cache.complete("q-line", 2, {"LINEITEM"})
+    cache.acquire("q-join")
+    cache.complete("q-join", 3, {"SALES", "LINEITEM"})
+    dropped = cache.invalidate_table("SALES")
+    assert dropped == 2
+    assert cache.acquire("q-line")[0] == HIT
+    assert cache.acquire("q-sales")[0] == LEAD
+    assert cache.snapshot()["invalidations"] == 2
+
+
+def test_clear_empties_everything():
+    cache = ResultCache(capacity=8)
+    for key in ("a", "b", "c"):
+        cache.acquire(key)
+        cache.complete(key, key, {"T"})
+    assert cache.clear() == 3
+    snap = cache.snapshot()
+    assert snap["entries"] == 0
+    assert all(cache.acquire(key)[0] == LEAD for key in ("a", "b", "c"))
+
+
+def test_hit_rate_snapshot_math():
+    cache = ResultCache(capacity=4)
+    cache.acquire("k")
+    cache.complete("k", "v", {"T"})
+    for _ in range(3):
+        cache.acquire("k")
+    snap = cache.snapshot()
+    assert snap["hits"] == 3
+    assert snap["misses"] == 1
+    assert abs(snap["hit_rate"] - 0.75) < 1e-9

@@ -1,0 +1,166 @@
+"""Unit/concurrency tests for the cooperative scan dispatcher.
+
+Shared scans must be invisible in the results: each consumer grades the
+shared decoded stream with its *own* predicate, so every attached query
+gets exactly what a solo execution of its plan would return — on the
+thread and the process scan backend alike.  Poisoning (the quarantine
+hook) must detach pending consumers loudly, never serve them from a
+suspect pass.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.query.parallel import ScanParallelism
+from repro.query.session import Session, _sort_rows
+from repro.query.sharedscan import SharedScanDetached, SharedScanDispatcher
+from repro.tpcd.queries import query1, query6
+
+from tests.cache.conftest import TINY_SF  # noqa: F401 - fixture module
+
+
+def _run_solo(catalog, query):
+    return Session(catalog).execute(query)
+
+
+def _sorted_outcome(outcome, query):
+    return outcome.columns, _sort_rows(
+        outcome.rows, outcome.columns, query.order_by, query.order_desc
+    )
+
+
+def test_solo_pass_matches_session(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    dispatcher = SharedScanDispatcher(gather_window_s=0.0)
+    query = query1(delta=90)
+    view = catalog.pin_view("LINEITEM")
+    outcome = dispatcher.run(view, query)
+    columns, rows = _sorted_outcome(outcome, query)
+    reference = _run_solo(catalog, query)
+    assert columns == reference.columns
+    assert repr(rows) == repr(reference.rows)
+    assert outcome.info.strategy == "shared_scan(lead[1])"
+
+
+def test_concurrent_consumers_share_one_pass(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    dispatcher = SharedScanDispatcher(gather_window_s=0.2)
+    queries = [query1(delta=30 + 20 * i) for i in range(4)]
+    view = catalog.pin_view("LINEITEM")
+    outcomes: dict[int, object] = {}
+    errors: list[BaseException] = []
+
+    def consume(index):
+        try:
+            outcomes[index] = dispatcher.run(view, queries[index])
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=consume, args=(i,)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    roles = sorted(outcome.role for outcome in outcomes.values())
+    assert roles == ["follow", "follow", "follow", "lead"]
+    for index, outcome in outcomes.items():
+        columns, rows = _sorted_outcome(outcome, queries[index])
+        reference = _run_solo(catalog, queries[index])
+        assert columns == reference.columns
+        assert repr(rows) == repr(reference.rows)
+    snap = dispatcher.snapshot()
+    assert snap["leads"] == 1
+    assert snap["attaches"] == 3
+    assert snap["fan_in_max"] == 4
+    assert snap["pending_groups"] == 0
+
+
+def test_mixed_query_shapes_share_a_pass(lineitem_catalog):
+    """Query 1 and Query 6 (different aggregates, predicates, grouping)
+    can ride the same bucket pass without cross-talk."""
+    catalog, _ = lineitem_catalog
+    dispatcher = SharedScanDispatcher(gather_window_s=0.2)
+    queries = [query1(delta=90), query6()]
+    view = catalog.pin_view("LINEITEM")
+    outcomes: dict[int, object] = {}
+
+    def consume(index):
+        outcomes[index] = dispatcher.run(view, queries[index])
+
+    threads = [
+        threading.Thread(target=consume, args=(i,)) for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for index, query in enumerate(queries):
+        columns, rows = _sorted_outcome(outcomes[index], query)
+        reference = _run_solo(catalog, query)
+        assert columns == reference.columns
+        assert repr(rows) == repr(reference.rows)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_pass_matches_serial(lineitem_catalog, backend):
+    catalog, _ = lineitem_catalog
+    dispatcher = SharedScanDispatcher(gather_window_s=0.0)
+    query = query1(delta=90)
+    view = catalog.pin_view("LINEITEM")
+    outcome = dispatcher.run(
+        view,
+        query,
+        parallelism=ScanParallelism(
+            workers=4, morsel_buckets=2, backend=backend
+        ),
+    )
+    columns, rows = _sorted_outcome(outcome, query)
+    reference = _run_solo(catalog, query)
+    assert columns == reference.columns
+    assert repr(rows) == repr(reference.rows)
+    if backend == "process":
+        from repro.query import procpool
+
+        procpool.dispose_pools(catalog.root_dir)
+
+
+def test_poison_detaches_pending_consumers(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    dispatcher = SharedScanDispatcher(gather_window_s=0.5)
+    query = query1(delta=90)
+    view = catalog.pin_view("LINEITEM")
+    results: list = []
+    started = threading.Event()
+
+    def lead():
+        started.set()
+        try:
+            results.append(dispatcher.run(view, query))
+        except SharedScanDetached as exc:
+            results.append(exc)
+
+    leader = threading.Thread(target=lead)
+    leader.start()
+    started.wait()
+    # Poison while the leader is inside its gather window: the pending
+    # group must detach, never run a pass it can no longer trust.
+    assert dispatcher.poison("LINEITEM", "sma_quarantined") == 1
+    leader.join()
+    assert isinstance(results[0], SharedScanDetached)
+    assert dispatcher.snapshot()["detaches"] >= 1
+
+
+def test_poison_other_table_is_a_noop(lineitem_catalog):
+    catalog, _ = lineitem_catalog
+    dispatcher = SharedScanDispatcher(gather_window_s=0.0)
+    assert dispatcher.poison("OTHER", "sma_quarantined") == 0
+    query = query1(delta=90)
+    view = catalog.pin_view("LINEITEM")
+    outcome = dispatcher.run(view, query)
+    assert outcome.role == "lead"
